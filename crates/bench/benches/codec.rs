@@ -1,0 +1,60 @@
+//! Micro-benchmarks for the codec stack: block compression on clustered vs
+//! interleaved rows, and the columnar encodings.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use recd_bench::BenchFixture;
+use recd_codec::{delta, dict, rle, varint, Compressor};
+use recd_etl::interleave_by_time;
+use recd_storage::encode_stripe;
+
+fn bench_block_compression(c: &mut Criterion) {
+    let fixture = BenchFixture::new(60);
+    let clustered = &fixture.samples[..512.min(fixture.samples.len())];
+    let interleaved = interleave_by_time(clustered);
+
+    let mut group = c.benchmark_group("stripe_encode");
+    group.sample_size(15);
+    group.bench_function("clustered_512_rows", |b| {
+        b.iter(|| encode_stripe(black_box(&fixture.schema), black_box(clustered)))
+    });
+    group.bench_function("interleaved_512_rows", |b| {
+        b.iter(|| encode_stripe(black_box(&fixture.schema), black_box(&interleaved)))
+    });
+    group.finish();
+
+    // Raw LZ round trip throughput on a redundant byte stream.
+    let data: Vec<u8> = clustered
+        .iter()
+        .flat_map(|s| s.sparse.iter().flatten().flat_map(|v| v.to_le_bytes()))
+        .collect();
+    let compressed = Compressor::Lz.compress(&data);
+    let mut group = c.benchmark_group("lz");
+    group.sample_size(15);
+    group.throughput(Throughput::Bytes(data.len() as u64));
+    group.bench_function("compress", |b| {
+        b.iter(|| Compressor::Lz.compress(black_box(&data)))
+    });
+    group.throughput(Throughput::Bytes(compressed.len() as u64));
+    group.bench_function("decompress", |b| {
+        b.iter(|| Compressor::Lz.decompress(black_box(&compressed)).unwrap())
+    });
+    group.finish();
+}
+
+fn bench_integer_encodings(c: &mut Criterion) {
+    let offsets: Vec<u64> = (0..4096u64).map(|i| i * 97).collect();
+    let repeated: Vec<u64> = (0..4096u64).map(|i| 1_000_000 + (i % 9)).collect();
+
+    let mut group = c.benchmark_group("int_encodings_4096");
+    group.sample_size(30);
+    group.bench_function("varint", |b| {
+        b.iter(|| varint::encode_u64_slice(black_box(&offsets)))
+    });
+    group.bench_function("delta", |b| b.iter(|| delta::encode(black_box(&offsets))));
+    group.bench_function("rle", |b| b.iter(|| rle::encode(black_box(&repeated))));
+    group.bench_function("dictionary", |b| b.iter(|| dict::encode(black_box(&repeated))));
+    group.finish();
+}
+
+criterion_group!(benches, bench_block_compression, bench_integer_encodings);
+criterion_main!(benches);

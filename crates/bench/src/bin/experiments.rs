@@ -1,0 +1,114 @@
+//! Regenerates every table and figure of the RecD paper's evaluation.
+//!
+//! Usage:
+//!
+//! ```text
+//! experiments [all|fig3|fig4|scribe|fig7|fig8|fig9|fig10|table2|table3|table4|
+//!              single_node|dedupe_factor|accuracy] [--smoke]
+//! ```
+//!
+//! `--smoke` runs every experiment at a reduced scale (the size the
+//! integration tests use).
+
+use recd_pipeline::experiments::{self, ExperimentScale};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let scale = if smoke {
+        ExperimentScale::Smoke
+    } else {
+        ExperimentScale::Full
+    };
+    let which: Vec<&str> = args
+        .iter()
+        .filter(|a| !a.starts_with("--"))
+        .map(String::as_str)
+        .collect();
+    let which = if which.is_empty() { vec!["all"] } else { which };
+
+    for name in which {
+        run_one(name, scale);
+    }
+}
+
+fn run_one(name: &str, scale: ExperimentScale) {
+    let all = name == "all";
+    let mut ran = false;
+
+    if all || name == "fig3" || name == "fig4" {
+        let exp = experiments::characterization(scale);
+        if all || name == "fig3" {
+            print!("{}", exp.render_fig3());
+            println!();
+        }
+        if all || name == "fig4" {
+            print!("{}", exp.render_fig4());
+            println!();
+        }
+        ran = true;
+    }
+    if all || name == "scribe" {
+        print!("{}", experiments::scribe_compression(scale).render());
+        println!();
+        ran = true;
+    }
+    if all || name == "fig7" {
+        print!("{}", experiments::fig7(scale).render());
+        println!();
+        ran = true;
+    }
+    if all || name == "fig8" {
+        print!("{}", experiments::fig8(scale).render());
+        println!();
+        ran = true;
+    }
+    if all || name == "fig9" {
+        print!("{}", experiments::fig9(scale).render());
+        println!();
+        ran = true;
+    }
+    if all || name == "fig10" {
+        print!("{}", experiments::fig10(scale).render());
+        println!();
+        ran = true;
+    }
+    if all || name == "table2" {
+        print!("{}", experiments::table2(scale).render());
+        println!();
+        ran = true;
+    }
+    if all || name == "table3" {
+        print!("{}", experiments::table3(scale).render());
+        println!();
+        ran = true;
+    }
+    if all || name == "table4" {
+        print!("{}", experiments::table4(scale).render());
+        println!();
+        ran = true;
+    }
+    if all || name == "single_node" {
+        print!("{}", experiments::single_node(scale).render());
+        println!();
+        ran = true;
+    }
+    if all || name == "dedupe_factor" {
+        print!("{}", experiments::dedupe_factor_sweep(scale).render());
+        println!();
+        ran = true;
+    }
+    if all || name == "accuracy" {
+        print!("{}", experiments::accuracy(scale).render());
+        println!();
+        ran = true;
+    }
+
+    if !ran {
+        eprintln!("unknown experiment `{name}`");
+        eprintln!(
+            "known experiments: all fig3 fig4 scribe fig7 fig8 fig9 fig10 table2 table3 table4 single_node dedupe_factor accuracy"
+        );
+        std::process::exit(2);
+    }
+}

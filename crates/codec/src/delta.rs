@@ -1,0 +1,95 @@
+//! Delta encoding for monotone or slowly-varying integer streams.
+//!
+//! Offset streams in jagged tensors and timestamp columns are monotonically
+//! non-decreasing, so storing first-order differences followed by zigzag
+//! varints shrinks them dramatically.
+
+use crate::varint;
+use crate::Result;
+
+/// Delta-encodes a sequence of `u64` values into a byte stream.
+///
+/// The first value is stored verbatim (as a varint); subsequent values are
+/// stored as zigzag-encoded differences from their predecessor.
+pub fn encode(values: &[u64]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(values.len() + 8);
+    varint::encode_u64(values.len() as u64, &mut out);
+    let mut prev: u64 = 0;
+    for (i, &v) in values.iter().enumerate() {
+        if i == 0 {
+            varint::encode_u64(v, &mut out);
+        } else {
+            // Wrapping difference so arbitrary u64 values (not just monotone
+            // offsets) round-trip; the decoder applies a wrapping add.
+            let delta = v.wrapping_sub(prev) as i64;
+            varint::encode_i64(delta, &mut out);
+        }
+        prev = v;
+    }
+    out
+}
+
+/// Decodes a stream produced by [`encode`], returning the values and the
+/// number of bytes consumed.
+///
+/// # Errors
+///
+/// Returns a [`CodecError`](crate::CodecError) if the stream is truncated.
+pub fn decode(input: &[u8]) -> Result<(Vec<u64>, usize)> {
+    let (len, mut cursor) = varint::decode_u64(input)?;
+    let mut values = Vec::with_capacity(len as usize);
+    let mut prev: u64 = 0;
+    for i in 0..len {
+        if i == 0 {
+            let (v, used) = varint::decode_u64(&input[cursor..])?;
+            cursor += used;
+            prev = v;
+        } else {
+            let (d, used) = varint::decode_i64(&input[cursor..])?;
+            cursor += used;
+            prev = prev.wrapping_add(d as u64);
+        }
+        values.push(prev);
+    }
+    Ok((values, cursor))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::CodecError;
+
+    #[test]
+    fn round_trip_monotone_offsets() {
+        let offsets: Vec<u64> = (0..1000u64).map(|i| i * 37).collect();
+        let encoded = encode(&offsets);
+        // 1000 values of magnitude up to 37k raw would take >2 bytes each as
+        // plain varints; constant deltas of 37 take 1 byte each.
+        assert!(encoded.len() < 1100);
+        let (decoded, used) = decode(&encoded).unwrap();
+        assert_eq!(decoded, offsets);
+        assert_eq!(used, encoded.len());
+    }
+
+    #[test]
+    fn round_trip_non_monotone_values() {
+        let values = vec![10u64, 3, 3, 900, 0, u64::MAX, 1];
+        let (decoded, _) = decode(&encode(&values)).unwrap();
+        assert_eq!(decoded, values);
+    }
+
+    #[test]
+    fn round_trip_empty_and_single() {
+        assert_eq!(decode(&encode(&[])).unwrap().0, Vec::<u64>::new());
+        assert_eq!(decode(&encode(&[7])).unwrap().0, vec![7]);
+    }
+
+    #[test]
+    fn truncated_stream_is_an_error() {
+        let encoded = encode(&[1, 2, 3, 4, 5]);
+        assert!(matches!(
+            decode(&encoded[..encoded.len() - 1]),
+            Err(CodecError::UnexpectedEof { .. })
+        ));
+    }
+}

@@ -1,0 +1,177 @@
+//! Dictionary encoding for columns with repeated values.
+//!
+//! The paper notes that IKJTs "use a similar encoding mechanism to dictionary
+//! encoding commonly used in file formats such as Parquet" (§8). The storage
+//! layer uses this module to encode flattened id-list columns: distinct
+//! values are collected into a dictionary and each occurrence is replaced by
+//! its code, which is then varint-encoded.
+
+use crate::varint;
+use crate::{CodecError, Result};
+use std::collections::HashMap;
+
+/// A value dictionary built from a column of `u64` values.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Dictionary {
+    entries: Vec<u64>,
+    codes: HashMap<u64, u64>,
+}
+
+impl Dictionary {
+    /// Creates an empty dictionary.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Builds a dictionary from the distinct values of a column, assigning
+    /// codes in first-seen order.
+    pub fn build(values: &[u64]) -> Self {
+        let mut dict = Self::new();
+        for &v in values {
+            dict.intern(v);
+        }
+        dict
+    }
+
+    /// Returns the code for `value`, adding it to the dictionary if missing.
+    pub fn intern(&mut self, value: u64) -> u64 {
+        if let Some(&code) = self.codes.get(&value) {
+            return code;
+        }
+        let code = self.entries.len() as u64;
+        self.entries.push(value);
+        self.codes.insert(value, code);
+        code
+    }
+
+    /// Returns the code for `value` if it is present.
+    pub fn code(&self, value: u64) -> Option<u64> {
+        self.codes.get(&value).copied()
+    }
+
+    /// Returns the value for `code`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CodecError::InvalidDictionaryCode`] if the code is out of
+    /// range.
+    pub fn value(&self, code: u64) -> Result<u64> {
+        self.entries
+            .get(code as usize)
+            .copied()
+            .ok_or(CodecError::InvalidDictionaryCode {
+                code,
+                len: self.entries.len(),
+            })
+    }
+
+    /// Number of distinct values in the dictionary.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Returns true if the dictionary has no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Borrows the dictionary entries in code order.
+    pub fn entries(&self) -> &[u64] {
+        &self.entries
+    }
+}
+
+/// Dictionary-encodes a column: returns the serialized dictionary followed by
+/// the varint-encoded code stream.
+pub fn encode(values: &[u64]) -> Vec<u8> {
+    let mut dict = Dictionary::new();
+    let codes: Vec<u64> = values.iter().map(|&v| dict.intern(v)).collect();
+    let mut out = Vec::new();
+    out.extend_from_slice(&varint::encode_u64_slice(dict.entries()));
+    out.extend_from_slice(&varint::encode_u64_slice(&codes));
+    out
+}
+
+/// Decodes a column produced by [`encode`], returning the values and the
+/// number of bytes consumed.
+///
+/// # Errors
+///
+/// Returns a [`CodecError`] if the stream is truncated or a code is invalid.
+pub fn decode(input: &[u8]) -> Result<(Vec<u64>, usize)> {
+    let (entries, used_dict) = varint::decode_u64_slice(input)?;
+    let (codes, used_codes) = varint::decode_u64_slice(&input[used_dict..])?;
+    let mut values = Vec::with_capacity(codes.len());
+    for code in codes {
+        let v = entries
+            .get(code as usize)
+            .copied()
+            .ok_or(CodecError::InvalidDictionaryCode {
+                code,
+                len: entries.len(),
+            })?;
+        values.push(v);
+    }
+    Ok((values, used_dict + used_codes))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_assigns_stable_codes() {
+        let mut dict = Dictionary::new();
+        assert_eq!(dict.intern(100), 0);
+        assert_eq!(dict.intern(200), 1);
+        assert_eq!(dict.intern(100), 0);
+        assert_eq!(dict.len(), 2);
+        assert!(!dict.is_empty());
+        assert_eq!(dict.code(200), Some(1));
+        assert_eq!(dict.code(999), None);
+        assert_eq!(dict.value(1).unwrap(), 200);
+        assert!(matches!(
+            dict.value(5),
+            Err(CodecError::InvalidDictionaryCode { code: 5, .. })
+        ));
+    }
+
+    #[test]
+    fn build_from_column() {
+        let dict = Dictionary::build(&[5, 5, 9, 5, 7]);
+        assert_eq!(dict.entries(), &[5, 9, 7]);
+    }
+
+    #[test]
+    fn round_trip_repeated_ids() {
+        // A column where a handful of large ids repeat many times (the shape
+        // of a duplicated user feature).
+        let values: Vec<u64> = (0..2000)
+            .map(|i| 0xdead_beef_0000 + (i % 7) as u64)
+            .collect();
+        let encoded = encode(&values);
+        assert!(encoded.len() < values.len() * 8 / 2);
+        let (decoded, used) = decode(&encoded).unwrap();
+        assert_eq!(decoded, values);
+        assert_eq!(used, encoded.len());
+    }
+
+    #[test]
+    fn round_trip_empty() {
+        let encoded = encode(&[]);
+        let (decoded, _) = decode(&encoded).unwrap();
+        assert!(decoded.is_empty());
+    }
+
+    #[test]
+    fn corrupted_code_stream_is_an_error() {
+        // Hand-craft a stream whose codes reference a missing entry.
+        let mut out = Vec::new();
+        out.extend_from_slice(&varint::encode_u64_slice(&[10])); // 1 entry
+        out.extend_from_slice(&varint::encode_u64_slice(&[0, 3])); // code 3 invalid
+        assert!(matches!(
+            decode(&out),
+            Err(CodecError::InvalidDictionaryCode { code: 3, .. })
+        ));
+    }
+}

@@ -1,0 +1,251 @@
+//! A self-contained LZ77-style block compressor — the repository's stand-in
+//! for zstd.
+//!
+//! The format is a sequence of tokens, each describing a literal run followed
+//! by an optional back-reference match:
+//!
+//! ```text
+//! block     := varint(decompressed_len) token*
+//! token     := varint(literal_len) literal_bytes
+//!              [ varint(match_len) varint(distance) ]   -- absent in the final token
+//! ```
+//!
+//! Matching uses a hash table over 4-byte prefixes with greedy extension,
+//! which is enough to capture the redundancy RecD cares about: repeated
+//! feature value lists that become adjacent once logs are sharded and tables
+//! are clustered by session id.
+
+use crate::varint;
+use crate::{CodecError, Result};
+
+/// Minimum match length worth encoding (shorter matches cost more than
+/// literals).
+const MIN_MATCH: usize = 4;
+/// Maximum back-reference distance. 64 KiB keeps the hash-table small while
+/// comfortably spanning a stripe's worth of adjacent duplicate rows.
+const MAX_DISTANCE: usize = 64 * 1024;
+/// Number of hash-table buckets (power of two).
+const HASH_BUCKETS: usize = 1 << 15;
+
+#[inline]
+fn hash4(bytes: &[u8]) -> usize {
+    let v = u32::from_le_bytes([bytes[0], bytes[1], bytes[2], bytes[3]]);
+    ((v.wrapping_mul(2_654_435_761)) >> 17) as usize & (HASH_BUCKETS - 1)
+}
+
+/// Compresses a block of bytes.
+pub fn compress(data: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(data.len() / 2 + 16);
+    varint::encode_u64(data.len() as u64, &mut out);
+    if data.is_empty() {
+        return out;
+    }
+
+    // head[h] = most recent position whose 4-byte prefix hashed to h.
+    let mut head = vec![usize::MAX; HASH_BUCKETS];
+    let mut literal_start = 0usize;
+    let mut pos = 0usize;
+
+    while pos + MIN_MATCH <= data.len() {
+        let h = hash4(&data[pos..]);
+        let candidate = head[h];
+        head[h] = pos;
+
+        let mut match_len = 0usize;
+        if candidate != usize::MAX && pos - candidate <= MAX_DISTANCE {
+            // Extend the match as far as it goes.
+            let max = data.len() - pos;
+            while match_len < max && data[candidate + match_len] == data[pos + match_len] {
+                match_len += 1;
+            }
+        }
+
+        if match_len >= MIN_MATCH {
+            let distance = pos - candidate;
+            // Emit literal run followed by the match.
+            let literals = &data[literal_start..pos];
+            varint::encode_u64(literals.len() as u64, &mut out);
+            out.extend_from_slice(literals);
+            varint::encode_u64(match_len as u64, &mut out);
+            varint::encode_u64(distance as u64, &mut out);
+
+            // Index a few positions inside the match so later data can refer
+            // back into it, then skip past it.
+            let end = pos + match_len;
+            let mut p = pos + 1;
+            while p + MIN_MATCH <= end && p + MIN_MATCH <= data.len() {
+                head[hash4(&data[p..])] = p;
+                p += 1;
+            }
+            pos = end;
+            literal_start = pos;
+        } else {
+            pos += 1;
+        }
+    }
+
+    // Final literal-only token.
+    let literals = &data[literal_start..];
+    varint::encode_u64(literals.len() as u64, &mut out);
+    out.extend_from_slice(literals);
+    out
+}
+
+/// Decompresses a block produced by [`compress`].
+///
+/// # Errors
+///
+/// Returns a [`CodecError`] if the block is truncated, a match references
+/// data before the start of the output, or the declared length does not match
+/// the decoded content.
+pub fn decompress(data: &[u8]) -> Result<Vec<u8>> {
+    let (expected_len, mut cursor) = varint::decode_u64(data)?;
+    let expected_len = expected_len as usize;
+    let mut out: Vec<u8> = Vec::with_capacity(expected_len);
+
+    while out.len() < expected_len {
+        let (literal_len, used) = varint::decode_u64(&data[cursor..])?;
+        cursor += used;
+        let literal_len = literal_len as usize;
+        if cursor + literal_len > data.len() {
+            return Err(CodecError::UnexpectedEof {
+                context: "lz literal run",
+            });
+        }
+        out.extend_from_slice(&data[cursor..cursor + literal_len]);
+        cursor += literal_len;
+
+        if out.len() >= expected_len {
+            break;
+        }
+        if cursor >= data.len() {
+            // No match token follows the final literal run.
+            break;
+        }
+
+        let (match_len, used) = varint::decode_u64(&data[cursor..])?;
+        cursor += used;
+        let (distance, used) = varint::decode_u64(&data[cursor..])?;
+        cursor += used;
+        let match_len = match_len as usize;
+        let distance = distance as usize;
+        if distance == 0 || distance > out.len() {
+            return Err(CodecError::InvalidMatch {
+                distance,
+                produced: out.len(),
+            });
+        }
+        // Byte-by-byte copy supports overlapping matches (distance < len).
+        let start = out.len() - distance;
+        for i in 0..match_len {
+            let byte = out[start + i];
+            out.push(byte);
+        }
+    }
+
+    if out.len() != expected_len {
+        return Err(CodecError::LengthMismatch {
+            expected: expected_len,
+            actual: out.len(),
+        });
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_empty_and_tiny() {
+        for data in [&b""[..], b"a", b"ab", b"abc"] {
+            assert_eq!(decompress(&compress(data)).unwrap(), data);
+        }
+    }
+
+    #[test]
+    fn round_trip_incompressible_data() {
+        // Pseudo-random bytes with no 4-byte repeats to speak of.
+        let mut state = 0x12345678u64;
+        let data: Vec<u8> = (0..10_000)
+            .map(|_| {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+                (state >> 33) as u8
+            })
+            .collect();
+        let compressed = compress(&data);
+        assert_eq!(decompress(&compressed).unwrap(), data);
+    }
+
+    #[test]
+    fn repeated_rows_compress_much_better_when_adjacent() {
+        // Emulates the clustering effect: the same 200-byte "row" appearing
+        // 16 times adjacently vs interleaved with 15 distinct rows.
+        let row: Vec<u8> = (0..200u32).map(|i| (i % 251) as u8).collect();
+        let distinct: Vec<Vec<u8>> = (0..16u64)
+            .map(|k| {
+                let mut state = 0x9e37_79b9_7f4a_7c15u64 ^ (k + 1);
+                (0..200)
+                    .map(|_| {
+                        state = state.wrapping_mul(6364136223846793005).wrapping_add(k + 1);
+                        (state >> 33) as u8
+                    })
+                    .collect()
+            })
+            .collect();
+
+        let adjacent: Vec<u8> = std::iter::repeat(row.clone()).take(16).flatten().collect();
+        let interleaved: Vec<u8> = distinct.iter().flatten().copied().collect();
+
+        let adjacent_ratio = adjacent.len() as f64 / compress(&adjacent).len() as f64;
+        let interleaved_ratio = interleaved.len() as f64 / compress(&interleaved).len() as f64;
+        assert!(
+            adjacent_ratio > 2.0 * interleaved_ratio,
+            "adjacent duplicates should compress far better: {adjacent_ratio:.2} vs {interleaved_ratio:.2}"
+        );
+        assert_eq!(decompress(&compress(&adjacent)).unwrap(), adjacent);
+        assert_eq!(decompress(&compress(&interleaved)).unwrap(), interleaved);
+    }
+
+    #[test]
+    fn overlapping_match_round_trip() {
+        // A run of a single byte forces distance-1 overlapping matches.
+        let data = vec![7u8; 5000];
+        let compressed = compress(&data);
+        assert!(compressed.len() < 64);
+        assert_eq!(decompress(&compressed).unwrap(), data);
+    }
+
+    #[test]
+    fn corrupted_blocks_are_errors_not_panics() {
+        let data: Vec<u8> = (0..100u8).cycle().take(2000).collect();
+        let compressed = compress(&data);
+        // Truncations at every prefix length must never panic.
+        for cut in 0..compressed.len() {
+            let _ = decompress(&compressed[..cut]);
+        }
+        // Declared-length mismatch.
+        let mut forged = Vec::new();
+        varint::encode_u64(10, &mut forged); // claims 10 bytes
+        varint::encode_u64(2, &mut forged); // but only 2 literals follow
+        forged.extend_from_slice(b"ab");
+        assert!(matches!(
+            decompress(&forged),
+            Err(CodecError::LengthMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn invalid_distance_is_an_error() {
+        let mut forged = Vec::new();
+        varint::encode_u64(8, &mut forged);
+        varint::encode_u64(2, &mut forged);
+        forged.extend_from_slice(b"ab");
+        varint::encode_u64(4, &mut forged); // match length
+        varint::encode_u64(100, &mut forged); // distance > produced
+        assert!(matches!(
+            decompress(&forged),
+            Err(CodecError::InvalidMatch { .. })
+        ));
+    }
+}

@@ -1,0 +1,106 @@
+//! Run-length encoding for integer streams with repeated values.
+//!
+//! Label columns, inverse-lookup slices, and low-cardinality feature columns
+//! contain long runs of identical values; RLE stores each run as a
+//! `(value, run_length)` pair of varints.
+
+use crate::varint;
+use crate::Result;
+
+/// Run-length encodes a sequence of `u64` values.
+pub fn encode(values: &[u64]) -> Vec<u8> {
+    let mut out = Vec::new();
+    // Count the runs first so the decoder knows how many pairs to read.
+    let mut runs: Vec<(u64, u64)> = Vec::new();
+    for &v in values {
+        match runs.last_mut() {
+            Some((value, count)) if *value == v => *count += 1,
+            _ => runs.push((v, 1)),
+        }
+    }
+    varint::encode_u64(runs.len() as u64, &mut out);
+    for (value, count) in runs {
+        varint::encode_u64(value, &mut out);
+        varint::encode_u64(count, &mut out);
+    }
+    out
+}
+
+/// Decodes a stream produced by [`encode`], returning the values and the
+/// number of bytes consumed.
+///
+/// # Errors
+///
+/// Returns a [`CodecError`](crate::CodecError) if the stream is truncated.
+pub fn decode(input: &[u8]) -> Result<(Vec<u64>, usize)> {
+    let (run_count, mut cursor) = varint::decode_u64(input)?;
+    let mut values = Vec::new();
+    for _ in 0..run_count {
+        let (value, used) = varint::decode_u64(&input[cursor..])?;
+        cursor += used;
+        let (count, used) = varint::decode_u64(&input[cursor..])?;
+        cursor += used;
+        values.extend(std::iter::repeat(value).take(count as usize));
+    }
+    Ok((values, cursor))
+}
+
+/// Returns the encoded size without materializing the encoding; used by the
+/// storage layer to pick between RLE and plain varint encoding per column.
+pub fn encoded_len(values: &[u64]) -> usize {
+    encode(values).len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::CodecError;
+
+    #[test]
+    fn round_trip_runs() {
+        let values = vec![7u64, 7, 7, 7, 1, 1, 9, 9, 9, 9, 9, 9, 9, 0];
+        let encoded = encode(&values);
+        let (decoded, used) = decode(&encoded).unwrap();
+        assert_eq!(decoded, values);
+        assert_eq!(used, encoded.len());
+        assert!(encoded.len() < values.len() * 8);
+    }
+
+    #[test]
+    fn round_trip_no_runs() {
+        let values: Vec<u64> = (0..100).collect();
+        let (decoded, _) = decode(&encode(&values)).unwrap();
+        assert_eq!(decoded, values);
+    }
+
+    #[test]
+    fn round_trip_empty() {
+        let encoded = encode(&[]);
+        let (decoded, used) = decode(&encoded).unwrap();
+        assert!(decoded.is_empty());
+        assert_eq!(used, encoded.len());
+    }
+
+    #[test]
+    fn long_run_compresses_well() {
+        let values = vec![42u64; 10_000];
+        let encoded = encode(&values);
+        assert!(encoded.len() <= 5);
+        assert_eq!(decode(&encoded).unwrap().0, values);
+    }
+
+    #[test]
+    fn truncated_stream_is_an_error() {
+        let encoded = encode(&[1, 1, 2, 2]);
+        assert!(matches!(
+            decode(&encoded[..encoded.len() - 1]),
+            Err(CodecError::UnexpectedEof { .. })
+        ));
+    }
+
+    #[test]
+    fn encoded_len_matches_encode() {
+        let values = vec![3u64, 3, 3, 8, 8, 1];
+        assert_eq!(encoded_len(&values), encode(&values).len());
+    }
+}

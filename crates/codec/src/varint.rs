@@ -1,0 +1,187 @@
+//! LEB128 variable-length integer encoding, plus zigzag encoding for signed
+//! values.
+//!
+//! Varints are the base encoding for every numeric stream in the DWRF-like
+//! columnar format: lengths, offsets, dictionary codes, and delta streams.
+
+use crate::{CodecError, Result};
+
+/// Maximum number of bytes a `u64` varint may occupy.
+pub const MAX_VARINT_LEN: usize = 10;
+
+/// Appends the varint encoding of `value` to `out` and returns the number of
+/// bytes written.
+pub fn encode_u64(value: u64, out: &mut Vec<u8>) -> usize {
+    let mut v = value;
+    let mut written = 0;
+    loop {
+        let byte = (v & 0x7f) as u8;
+        v >>= 7;
+        written += 1;
+        if v == 0 {
+            out.push(byte);
+            return written;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+/// Decodes a varint from the front of `input`, returning the value and the
+/// number of bytes consumed.
+///
+/// # Errors
+///
+/// Returns [`CodecError::UnexpectedEof`] if the input ends mid-varint and
+/// [`CodecError::VarintOverflow`] if the encoding exceeds
+/// [`MAX_VARINT_LEN`] bytes.
+pub fn decode_u64(input: &[u8]) -> Result<(u64, usize)> {
+    let mut value: u64 = 0;
+    let mut shift = 0u32;
+    for (i, &byte) in input.iter().enumerate() {
+        if i >= MAX_VARINT_LEN {
+            return Err(CodecError::VarintOverflow);
+        }
+        value |= u64::from(byte & 0x7f) << shift;
+        if byte & 0x80 == 0 {
+            return Ok((value, i + 1));
+        }
+        shift += 7;
+    }
+    Err(CodecError::UnexpectedEof { context: "varint" })
+}
+
+/// Zigzag-encodes a signed integer so small magnitudes use few varint bytes.
+pub fn zigzag_encode(value: i64) -> u64 {
+    ((value << 1) ^ (value >> 63)) as u64
+}
+
+/// Inverse of [`zigzag_encode`].
+pub fn zigzag_decode(value: u64) -> i64 {
+    ((value >> 1) as i64) ^ -((value & 1) as i64)
+}
+
+/// Appends the zigzag varint encoding of a signed value.
+pub fn encode_i64(value: i64, out: &mut Vec<u8>) -> usize {
+    encode_u64(zigzag_encode(value), out)
+}
+
+/// Decodes a zigzag varint from the front of `input`.
+///
+/// # Errors
+///
+/// Same error conditions as [`decode_u64`].
+pub fn decode_i64(input: &[u8]) -> Result<(i64, usize)> {
+    let (raw, used) = decode_u64(input)?;
+    Ok((zigzag_decode(raw), used))
+}
+
+/// Encodes a slice of `u64` values as back-to-back varints.
+pub fn encode_u64_slice(values: &[u64]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(values.len() * 2);
+    encode_u64(values.len() as u64, &mut out);
+    for &v in values {
+        encode_u64(v, &mut out);
+    }
+    out
+}
+
+/// Decodes a slice previously produced by [`encode_u64_slice`], returning the
+/// values and the number of bytes consumed.
+///
+/// # Errors
+///
+/// Returns a [`CodecError`] if the stream is truncated or malformed.
+pub fn decode_u64_slice(input: &[u8]) -> Result<(Vec<u64>, usize)> {
+    let (len, mut cursor) = decode_u64(input)?;
+    let mut values = Vec::with_capacity(len as usize);
+    for _ in 0..len {
+        let (v, used) = decode_u64(&input[cursor..])?;
+        values.push(v);
+        cursor += used;
+    }
+    Ok((values, cursor))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_u64_boundaries() {
+        for value in [0u64, 1, 127, 128, 16_383, 16_384, u32::MAX as u64, u64::MAX] {
+            let mut buf = Vec::new();
+            let written = encode_u64(value, &mut buf);
+            assert_eq!(written, buf.len());
+            let (decoded, used) = decode_u64(&buf).unwrap();
+            assert_eq!(decoded, value);
+            assert_eq!(used, buf.len());
+        }
+    }
+
+    #[test]
+    fn round_trip_i64_boundaries() {
+        for value in [0i64, 1, -1, 63, -64, i64::MAX, i64::MIN] {
+            let mut buf = Vec::new();
+            encode_i64(value, &mut buf);
+            let (decoded, _) = decode_i64(&buf).unwrap();
+            assert_eq!(decoded, value);
+        }
+    }
+
+    #[test]
+    fn small_values_use_one_byte() {
+        let mut buf = Vec::new();
+        encode_u64(100, &mut buf);
+        assert_eq!(buf.len(), 1);
+    }
+
+    #[test]
+    fn truncated_input_is_an_error() {
+        let mut buf = Vec::new();
+        encode_u64(u64::MAX, &mut buf);
+        buf.truncate(3);
+        assert!(matches!(
+            decode_u64(&buf),
+            Err(CodecError::UnexpectedEof { .. })
+        ));
+        assert!(matches!(
+            decode_u64(&[]),
+            Err(CodecError::UnexpectedEof { .. })
+        ));
+    }
+
+    #[test]
+    fn overlong_varint_is_an_error() {
+        let buf = [0x80u8; 11];
+        assert!(matches!(decode_u64(&buf), Err(CodecError::VarintOverflow)));
+    }
+
+    #[test]
+    fn zigzag_maps_small_magnitudes_to_small_codes() {
+        assert_eq!(zigzag_encode(0), 0);
+        assert_eq!(zigzag_encode(-1), 1);
+        assert_eq!(zigzag_encode(1), 2);
+        assert_eq!(zigzag_encode(-2), 3);
+        for v in [-1000i64, -3, 0, 3, 1000] {
+            assert_eq!(zigzag_decode(zigzag_encode(v)), v);
+        }
+    }
+
+    #[test]
+    fn slice_round_trip_and_trailing_bytes() {
+        let values = vec![5u64, 0, 123_456_789, 42];
+        let mut encoded = encode_u64_slice(&values);
+        encoded.extend_from_slice(&[0xde, 0xad]);
+        let (decoded, used) = decode_u64_slice(&encoded).unwrap();
+        assert_eq!(decoded, values);
+        assert_eq!(used, encoded.len() - 2);
+    }
+
+    #[test]
+    fn empty_slice_round_trip() {
+        let encoded = encode_u64_slice(&[]);
+        let (decoded, used) = decode_u64_slice(&encoded).unwrap();
+        assert!(decoded.is_empty());
+        assert_eq!(used, encoded.len());
+    }
+}

@@ -1,0 +1,402 @@
+//! Feature conversion: the reader-tier step that turns a batch of rows into
+//! KJTs and IKJTs according to a DataLoader specification (paper §4.2,
+//! Figure 5).
+
+use crate::dense::DenseMatrix;
+use crate::ikjt::InverseKeyedJaggedTensor;
+use crate::kjt::KeyedJaggedTensor;
+use crate::{CoreError, Result};
+use recd_data::{FeatureId, SampleBatch, Schema};
+use serde::{Deserialize, Serialize};
+use std::collections::HashSet;
+
+/// The RecD-extended DataLoader specification: which sparse features stay in
+/// KJT form and which feature groups are deduplicated into IKJTs.
+///
+/// Mirrors the paper's
+/// `sparse_features: [a], dedup_sparse_features: [[b], [c, d]]` example.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct DataLoaderConfig {
+    /// Sparse features converted to a conventional KJT.
+    pub kjt_features: Vec<FeatureId>,
+    /// Groups of sparse features deduplicated into one IKJT each.
+    pub dedup_groups: Vec<Vec<FeatureId>>,
+    /// Number of dense feature columns to materialize.
+    pub dense_features: usize,
+}
+
+impl DataLoaderConfig {
+    /// Creates an empty configuration.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds features that stay KJT-encoded.
+    #[must_use]
+    pub fn with_kjt_features<I: IntoIterator<Item = FeatureId>>(mut self, features: I) -> Self {
+        self.kjt_features.extend(features);
+        self
+    }
+
+    /// Adds one deduplication group (an IKJT).
+    #[must_use]
+    pub fn with_dedup_group<I: IntoIterator<Item = FeatureId>>(mut self, group: I) -> Self {
+        self.dedup_groups.push(group.into_iter().collect());
+        self
+    }
+
+    /// Sets the number of dense feature columns.
+    #[must_use]
+    pub fn with_dense_features(mut self, count: usize) -> Self {
+        self.dense_features = count;
+        self
+    }
+
+    /// Builds a configuration from a schema: every declared dedup group
+    /// becomes an IKJT group and every remaining sparse feature stays in the
+    /// KJT.
+    pub fn from_schema(schema: &Schema) -> Self {
+        let dedup_groups = schema
+            .groups()
+            .into_iter()
+            .map(|(_, members)| members)
+            .filter(|members| !members.is_empty())
+            .collect();
+        Self {
+            kjt_features: schema.undeduplicated_sparse(),
+            dedup_groups,
+            dense_features: schema.dense_count(),
+        }
+    }
+
+    /// Builds a *baseline* configuration from a schema: every sparse feature
+    /// stays in the KJT and nothing is deduplicated. Used for the paper's
+    /// baseline measurements.
+    pub fn baseline_from_schema(schema: &Schema) -> Self {
+        Self {
+            kjt_features: schema.sparse_features().iter().map(|f| f.id).collect(),
+            dedup_groups: Vec::new(),
+            dense_features: schema.dense_count(),
+        }
+    }
+
+    /// All sparse features referenced by the configuration, KJT first then
+    /// groups in order.
+    pub fn all_sparse_features(&self) -> Vec<FeatureId> {
+        let mut all = self.kjt_features.clone();
+        for group in &self.dedup_groups {
+            all.extend(group.iter().copied());
+        }
+        all
+    }
+
+    /// Validates that no feature appears twice across the KJT list and the
+    /// dedup groups.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::DuplicateFeatureInConfig`] naming the first
+    /// repeated feature.
+    pub fn validate(&self) -> Result<()> {
+        let mut seen = HashSet::new();
+        for feature in self.all_sparse_features() {
+            if !seen.insert(feature) {
+                return Err(CoreError::DuplicateFeatureInConfig { feature });
+            }
+        }
+        Ok(())
+    }
+}
+
+/// The output of feature conversion for one batch: dense features, labels,
+/// the KJT of non-deduplicated features, and one IKJT per dedup group.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ConvertedBatch {
+    /// Number of samples in the batch.
+    pub batch_size: usize,
+    /// Labels in batch order.
+    pub labels: Vec<f32>,
+    /// Dense features as a `[batch_size, dense_features]` matrix.
+    pub dense: DenseMatrix,
+    /// Non-deduplicated sparse features.
+    pub kjt: KeyedJaggedTensor,
+    /// One IKJT per configured dedup group, in configuration order.
+    pub ikjts: Vec<InverseKeyedJaggedTensor>,
+}
+
+impl ConvertedBatch {
+    /// Total sparse ids stored by this converted batch (KJT values plus
+    /// deduplicated IKJT values).
+    pub fn stored_sparse_values(&self) -> usize {
+        self.kjt.value_count()
+            + self
+                .ikjts
+                .iter()
+                .map(InverseKeyedJaggedTensor::dedup_value_count)
+                .sum::<usize>()
+    }
+
+    /// Total sparse ids the batch would store without any deduplication.
+    pub fn logical_sparse_values(&self) -> usize {
+        self.kjt.value_count()
+            + self
+                .ikjts
+                .iter()
+                .map(InverseKeyedJaggedTensor::original_value_count)
+                .sum::<usize>()
+    }
+
+    /// Bytes shipped from readers to trainers for the sparse part of this
+    /// batch: KJT payload plus IKJT payloads plus the (local, but still
+    /// transported once from reader to trainer) inverse lookups.
+    pub fn sparse_payload_bytes(&self) -> usize {
+        self.kjt.payload_bytes()
+            + self
+                .ikjts
+                .iter()
+                .map(|i| i.payload_bytes() + i.inverse_lookup_bytes())
+                .sum::<usize>()
+    }
+
+    /// Bytes the sparse part would occupy with no deduplication at all.
+    pub fn baseline_sparse_payload_bytes(&self) -> usize {
+        self.kjt.payload_bytes()
+            + self
+                .ikjts
+                .iter()
+                .map(|ikjt| {
+                    // The equivalent KJT stores every logical value plus one
+                    // offsets slice per feature with batch_size + 1 entries.
+                    ikjt.original_value_count() * 8
+                        + ikjt.keys().len() * (ikjt.batch_size() + 1) * 8
+                })
+                .sum::<usize>()
+    }
+
+    /// Batch-wide deduplication factor over the grouped features.
+    pub fn dedupe_factor(&self) -> f64 {
+        let stored: usize = self
+            .ikjts
+            .iter()
+            .map(InverseKeyedJaggedTensor::dedup_value_count)
+            .sum();
+        let logical: usize = self
+            .ikjts
+            .iter()
+            .map(InverseKeyedJaggedTensor::original_value_count)
+            .sum();
+        if stored == 0 {
+            1.0
+        } else {
+            logical as f64 / stored as f64
+        }
+    }
+}
+
+/// Converts batches of rows into tensors according to a
+/// [`DataLoaderConfig`], deduplicating the configured groups (O3).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FeatureConverter {
+    config: DataLoaderConfig,
+}
+
+impl FeatureConverter {
+    /// Creates a converter for the given configuration.
+    pub fn new(config: DataLoaderConfig) -> Self {
+        Self { config }
+    }
+
+    /// Borrows the configuration.
+    pub fn config(&self) -> &DataLoaderConfig {
+        &self.config
+    }
+
+    /// Converts one batch of samples into tensors.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the configuration references a feature twice or a
+    /// sample does not carry a configured feature.
+    pub fn convert(&self, batch: &SampleBatch) -> Result<ConvertedBatch> {
+        self.config.validate()?;
+        let labels = batch.iter().map(|s| s.label).collect();
+        let dense = DenseMatrix::from_batch(batch, self.config.dense_features);
+        let kjt = KeyedJaggedTensor::from_batch(batch, &self.config.kjt_features)?;
+        let ikjts = self
+            .config
+            .dedup_groups
+            .iter()
+            .map(|group| InverseKeyedJaggedTensor::dedup_from_batch(batch, group))
+            .collect::<Result<Vec<_>>>()?;
+        Ok(ConvertedBatch {
+            batch_size: batch.len(),
+            labels,
+            dense,
+            kjt,
+            ikjts,
+        })
+    }
+
+    /// Converts a batch without any deduplication, regardless of the
+    /// configured groups (all features land in the KJT). This is the
+    /// baseline conversion path used for comparisons.
+    ///
+    /// # Errors
+    ///
+    /// Same error conditions as [`FeatureConverter::convert`].
+    pub fn convert_baseline(&self, batch: &SampleBatch) -> Result<ConvertedBatch> {
+        let all = self.config.all_sparse_features();
+        let labels = batch.iter().map(|s| s.label).collect();
+        let dense = DenseMatrix::from_batch(batch, self.config.dense_features);
+        let kjt = KeyedJaggedTensor::from_batch(batch, &all)?;
+        Ok(ConvertedBatch {
+            batch_size: batch.len(),
+            labels,
+            dense,
+            kjt,
+            ikjts: Vec::new(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use recd_data::{FeatureClass, RequestId, Sample, SessionId, Timestamp};
+
+    fn f(i: u32) -> FeatureId {
+        FeatureId::new(i)
+    }
+
+    /// Builds the exact batch of Figure 5: features a, b, c, d over 3 rows.
+    fn figure5_batch() -> SampleBatch {
+        let rows: Vec<(Vec<u64>, Vec<u64>, Vec<u64>, Vec<u64>, f32)> = vec![
+            (vec![1, 2], vec![3, 4, 5], vec![7, 8], vec![9], 1.0),
+            (vec![1, 2], vec![4, 5, 6], vec![7, 8], vec![9], 0.0),
+            (vec![1, 2], vec![3, 4, 5], vec![10], vec![11], 1.0),
+        ];
+        rows.into_iter()
+            .enumerate()
+            .map(|(i, (a, b, c, d, label))| {
+                Sample::builder(
+                    SessionId::new(1),
+                    RequestId::new(i as u64),
+                    Timestamp::from_millis(i as u64),
+                )
+                .label(label)
+                .dense(vec![i as f32])
+                .sparse(vec![a, b, c, d])
+                .build()
+            })
+            .collect()
+    }
+
+    fn figure5_config() -> DataLoaderConfig {
+        DataLoaderConfig::new()
+            .with_kjt_features([f(0)])
+            .with_dedup_group([f(1)])
+            .with_dedup_group([f(2), f(3)])
+            .with_dense_features(1)
+    }
+
+    #[test]
+    fn figure5_conversion() {
+        let converted = FeatureConverter::new(figure5_config())
+            .convert(&figure5_batch())
+            .unwrap();
+        assert_eq!(converted.batch_size, 3);
+        assert_eq!(converted.labels, vec![1.0, 0.0, 1.0]);
+        assert_eq!(converted.dense.row(2), &[2.0]);
+
+        // Feature a stays a KJT with duplicate values intact.
+        let a = converted.kjt.feature(f(0)).unwrap();
+        assert_eq!(a.values(), &[1, 2, 1, 2, 1, 2]);
+
+        // Feature b: rows 0 and 2 deduplicated.
+        let b = &converted.ikjts[0];
+        assert_eq!(b.inverse_lookup(), &[0, 1, 0]);
+        assert_eq!(b.feature(f(1)).unwrap().values(), &[3, 4, 5, 4, 5, 6]);
+
+        // Features c and d grouped: rows 0 and 1 share a slot.
+        let cd = &converted.ikjts[1];
+        assert_eq!(cd.inverse_lookup(), &[0, 0, 1]);
+        assert_eq!(cd.feature(f(2)).unwrap().values(), &[7, 8, 10]);
+        assert_eq!(cd.feature(f(3)).unwrap().values(), &[9, 11]);
+
+        // Logical content is preserved: expanding every IKJT gives back the
+        // original per-row values.
+        assert_eq!(cd.to_kjt().unwrap().feature(f(2)).unwrap().row(1), &[7, 8]);
+        assert!(converted.stored_sparse_values() < converted.logical_sparse_values());
+        assert!(converted.dedupe_factor() > 1.0);
+    }
+
+    #[test]
+    fn baseline_conversion_keeps_everything_in_kjt() {
+        let converter = FeatureConverter::new(figure5_config());
+        let baseline = converter.convert_baseline(&figure5_batch()).unwrap();
+        assert!(baseline.ikjts.is_empty());
+        assert_eq!(baseline.kjt.feature_count(), 4);
+        assert_eq!(baseline.dedupe_factor(), 1.0);
+
+        let recd = converter.convert(&figure5_batch()).unwrap();
+        assert_eq!(
+            baseline.logical_sparse_values(),
+            recd.logical_sparse_values(),
+            "deduplication must not change the logical data"
+        );
+        assert!(recd.sparse_payload_bytes() <= baseline.sparse_payload_bytes());
+    }
+
+    #[test]
+    fn duplicate_feature_across_config_sections_is_rejected() {
+        let config = DataLoaderConfig::new()
+            .with_kjt_features([f(1)])
+            .with_dedup_group([f(1)]);
+        assert!(matches!(
+            config.validate(),
+            Err(CoreError::DuplicateFeatureInConfig { .. })
+        ));
+        let err = FeatureConverter::new(config)
+            .convert(&figure5_batch())
+            .unwrap_err();
+        assert!(matches!(err, CoreError::DuplicateFeatureInConfig { .. }));
+    }
+
+    #[test]
+    fn config_from_schema_uses_declared_groups() {
+        let schema = Schema::builder()
+            .dense("d0")
+            .dedup_groups(1)
+            .sparse_with(
+                "user_hist",
+                FeatureClass::User,
+                50.0,
+                0.9,
+                1 << 20,
+                64,
+                Some(recd_data::DedupGroupId::new(0)),
+            )
+            .sparse("item", FeatureClass::Item, 1.0, 0.1, 1 << 20)
+            .build()
+            .unwrap();
+        let config = DataLoaderConfig::from_schema(&schema);
+        assert_eq!(config.dense_features, 1);
+        assert_eq!(config.kjt_features, vec![f(1)]);
+        assert_eq!(config.dedup_groups, vec![vec![f(0)]]);
+        assert!(config.validate().is_ok());
+
+        let baseline = DataLoaderConfig::baseline_from_schema(&schema);
+        assert!(baseline.dedup_groups.is_empty());
+        assert_eq!(baseline.kjt_features.len(), 2);
+    }
+
+    #[test]
+    fn empty_batch_conversion() {
+        let converted = FeatureConverter::new(figure5_config())
+            .convert(&SampleBatch::empty())
+            .unwrap();
+        assert_eq!(converted.batch_size, 0);
+        assert!(converted.labels.is_empty());
+        assert_eq!(converted.dedupe_factor(), 1.0);
+    }
+}

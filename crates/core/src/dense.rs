@@ -1,0 +1,146 @@
+//! Dense feature matrices (batch-major float features).
+
+use crate::{CoreError, Result};
+use recd_data::SampleBatch;
+use serde::{Deserialize, Serialize};
+
+/// A row-major `[batch_size, feature_count]` matrix of dense feature values.
+///
+/// Dense features flow through the pipeline unchanged by RecD (deduplication
+/// targets sparse features), but the trainer's bottom MLP consumes them, so
+/// the converter materializes them alongside the sparse tensors.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct DenseMatrix {
+    data: Vec<f32>,
+    rows: usize,
+    cols: usize,
+}
+
+impl DenseMatrix {
+    /// Creates a zero-filled matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Self {
+            data: vec![0.0; rows * cols],
+            rows,
+            cols,
+        }
+    }
+
+    /// Creates a matrix from row-major data.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::BatchSizeMismatch`] if `data.len() != rows * cols`.
+    pub fn from_vec(data: Vec<f32>, rows: usize, cols: usize) -> Result<Self> {
+        if data.len() != rows * cols {
+            return Err(CoreError::BatchSizeMismatch {
+                expected: rows * cols,
+                actual: data.len(),
+            });
+        }
+        Ok(Self { data, rows, cols })
+    }
+
+    /// Extracts the dense features of a batch into a matrix. Samples with
+    /// fewer dense values than `cols` are zero-padded; extra values are
+    /// ignored.
+    pub fn from_batch(batch: &SampleBatch, cols: usize) -> Self {
+        let mut m = Self::zeros(batch.len(), cols);
+        for (i, sample) in batch.iter().enumerate() {
+            let n = sample.dense.len().min(cols);
+            m.data[i * cols..i * cols + n].copy_from_slice(&sample.dense[..n]);
+        }
+        m
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Returns true if the matrix holds no elements.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Borrows row `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.rows()`.
+    pub fn row(&self, i: usize) -> &[f32] {
+        &self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Mutably borrows row `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.rows()`.
+    pub fn row_mut(&mut self, i: usize) -> &mut [f32] {
+        &mut self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Borrows the full row-major buffer.
+    pub fn data(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutably borrows the full row-major buffer.
+    pub fn data_mut(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Size of the matrix payload in bytes (4 bytes per element).
+    pub fn payload_bytes(&self) -> usize {
+        self.data.len() * 4
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use recd_data::{RequestId, Sample, SessionId, Timestamp};
+
+    #[test]
+    fn zeros_and_indexing() {
+        let mut m = DenseMatrix::zeros(2, 3);
+        assert_eq!(m.rows(), 2);
+        assert_eq!(m.cols(), 3);
+        assert!(!m.is_empty());
+        m.row_mut(1)[2] = 5.0;
+        assert_eq!(m.row(1), &[0.0, 0.0, 5.0]);
+        assert_eq!(m.payload_bytes(), 24);
+    }
+
+    #[test]
+    fn from_vec_validates_shape() {
+        assert!(DenseMatrix::from_vec(vec![1.0; 6], 2, 3).is_ok());
+        assert!(matches!(
+            DenseMatrix::from_vec(vec![1.0; 5], 2, 3),
+            Err(CoreError::BatchSizeMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn from_batch_pads_and_truncates() {
+        let batch: SampleBatch = vec![
+            Sample::builder(SessionId::new(1), RequestId::new(0), Timestamp::from_millis(0))
+                .dense(vec![1.0])
+                .build(),
+            Sample::builder(SessionId::new(1), RequestId::new(1), Timestamp::from_millis(1))
+                .dense(vec![2.0, 3.0, 4.0])
+                .build(),
+        ]
+        .into_iter()
+        .collect();
+        let m = DenseMatrix::from_batch(&batch, 2);
+        assert_eq!(m.row(0), &[1.0, 0.0]);
+        assert_eq!(m.row(1), &[2.0, 3.0]);
+    }
+}

@@ -1,0 +1,559 @@
+//! InverseKeyedJaggedTensor: RecD's deduplicated sparse-feature container
+//! (paper §4.2).
+
+use crate::jagged::JaggedTensor;
+use crate::kjt::KeyedJaggedTensor;
+use crate::select::jagged_index_select;
+use crate::{CoreError, Result};
+use recd_codec::Hasher64;
+use recd_data::{FeatureId, SampleBatch};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// A grouped, deduplicated sparse-feature container.
+///
+/// Where a [`KeyedJaggedTensor`] stores one jagged row per *sample*, an
+/// `InverseKeyedJaggedTensor` stores one jagged row per *deduplicated slot*
+/// and a shared `inverse_lookup` slice with one entry per sample pointing at
+/// that sample's slot. Exact duplicate rows therefore pay for their values
+/// exactly once per batch.
+///
+/// All features grouped into one IKJT share the same `inverse_lookup`
+/// (the paper's "grouped IKJT" design): a sample only reuses an existing slot
+/// when *every* feature in the group matches that slot, which is what makes
+/// deduplicated compute (O7) sound.
+///
+/// # Example
+///
+/// ```
+/// use recd_core::{InverseKeyedJaggedTensor, KeyedJaggedTensor, JaggedTensor};
+/// use recd_data::FeatureId;
+///
+/// let f = FeatureId::new(0);
+/// let kjt = KeyedJaggedTensor::from_tensors(vec![(
+///     f,
+///     JaggedTensor::from_lists(&[vec![3u64, 4, 5], vec![4, 5, 6], vec![3, 4, 5]]),
+/// )])?;
+/// let ikjt = InverseKeyedJaggedTensor::dedup_from_kjt(&kjt, &[f])?;
+/// assert_eq!(ikjt.slot_count(), 2);
+/// assert_eq!(ikjt.inverse_lookup(), &[0, 1, 0]);
+/// assert_eq!(ikjt.to_kjt()?, kjt); // lossless
+/// # Ok::<(), recd_core::CoreError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct InverseKeyedJaggedTensor {
+    keys: Vec<FeatureId>,
+    tensors: Vec<JaggedTensor<u64>>,
+    inverse_lookup: Vec<usize>,
+    batch_size: usize,
+}
+
+impl InverseKeyedJaggedTensor {
+    /// Deduplicates the listed feature group out of an existing KJT.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::UnknownFeature`] if a grouped feature is missing
+    /// from the KJT.
+    pub fn dedup_from_kjt(kjt: &KeyedJaggedTensor, group: &[FeatureId]) -> Result<Self> {
+        let tensors: Vec<&JaggedTensor<u64>> = group
+            .iter()
+            .map(|&key| kjt.feature_required(key))
+            .collect::<Result<_>>()?;
+        Ok(Self::dedup_rows(group, &tensors, kjt.batch_size()))
+    }
+
+    /// Deduplicates the listed feature group directly from a batch of
+    /// samples (the feature-conversion path used by readers).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::MissingSparseFeature`] if a sample does not carry
+    /// one of the grouped features.
+    pub fn dedup_from_batch(batch: &SampleBatch, group: &[FeatureId]) -> Result<Self> {
+        let batch_size = batch.len();
+        let mut slot_tensors: Vec<JaggedTensor<u64>> =
+            group.iter().map(|_| JaggedTensor::new()).collect();
+        let mut inverse_lookup = Vec::with_capacity(batch_size);
+        let mut slots_by_hash: HashMap<u64, Vec<usize>> = HashMap::new();
+
+        for sample in batch.iter() {
+            let mut hasher = Hasher64::new();
+            for &key in group {
+                let values = sample.sparse.get(key.index()).ok_or(
+                    CoreError::MissingSparseFeature {
+                        feature: key,
+                        available: sample.sparse.len(),
+                    },
+                )?;
+                hasher.mix_u64(values.len() as u64);
+                for &v in values {
+                    hasher.mix_u64(v);
+                }
+            }
+            let digest = hasher.finish();
+
+            let candidates = slots_by_hash.entry(digest).or_default();
+            let matched = candidates.iter().copied().find(|&slot| {
+                group.iter().enumerate().all(|(fi, key)| {
+                    slot_tensors[fi].row(slot) == sample.sparse[key.index()].as_slice()
+                })
+            });
+            match matched {
+                Some(slot) => inverse_lookup.push(slot),
+                None => {
+                    let slot = slot_tensors
+                        .first()
+                        .map(JaggedTensor::row_count)
+                        .unwrap_or(0);
+                    for (fi, key) in group.iter().enumerate() {
+                        slot_tensors[fi].push_row(&sample.sparse[key.index()]);
+                    }
+                    candidates.push(slot);
+                    inverse_lookup.push(slot);
+                }
+            }
+        }
+
+        Ok(Self {
+            keys: group.to_vec(),
+            tensors: slot_tensors,
+            inverse_lookup,
+            batch_size,
+        })
+    }
+
+    /// Core dedup routine over per-feature row views.
+    fn dedup_rows(
+        group: &[FeatureId],
+        per_feature: &[&JaggedTensor<u64>],
+        batch_size: usize,
+    ) -> Self {
+        let mut slot_tensors: Vec<JaggedTensor<u64>> =
+            group.iter().map(|_| JaggedTensor::new()).collect();
+        let mut inverse_lookup = Vec::with_capacity(batch_size);
+        // hash of the row's combined group value -> candidate slot indices
+        let mut slots_by_hash: HashMap<u64, Vec<usize>> = HashMap::new();
+
+        for row in 0..batch_size {
+            let mut hasher = Hasher64::new();
+            for tensor in per_feature {
+                let values = tensor.row(row);
+                hasher.mix_u64(values.len() as u64);
+                for &v in values {
+                    hasher.mix_u64(v);
+                }
+            }
+            let digest = hasher.finish();
+
+            let candidates = slots_by_hash.entry(digest).or_default();
+            let matched = candidates.iter().copied().find(|&slot| {
+                per_feature
+                    .iter()
+                    .enumerate()
+                    .all(|(fi, tensor)| slot_tensors[fi].row(slot) == tensor.row(row))
+            });
+
+            match matched {
+                Some(slot) => inverse_lookup.push(slot),
+                None => {
+                    let slot = slot_tensors
+                        .first()
+                        .map(JaggedTensor::row_count)
+                        .unwrap_or(0);
+                    for (fi, tensor) in per_feature.iter().enumerate() {
+                        slot_tensors[fi].push_row(tensor.row(row));
+                    }
+                    candidates.push(slot);
+                    inverse_lookup.push(slot);
+                }
+            }
+        }
+
+        Self {
+            keys: group.to_vec(),
+            tensors: slot_tensors,
+            inverse_lookup,
+            batch_size,
+        }
+    }
+
+    /// Creates an IKJT from raw parts, validating all invariants.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the per-feature tensors disagree on slot count or
+    /// an `inverse_lookup` entry references a non-existent slot.
+    pub fn from_parts(
+        keys: Vec<FeatureId>,
+        tensors: Vec<JaggedTensor<u64>>,
+        inverse_lookup: Vec<usize>,
+    ) -> Result<Self> {
+        if keys.len() != tensors.len() {
+            return Err(CoreError::GroupInvariantViolation {
+                reason: format!(
+                    "{} keys but {} tensors",
+                    keys.len(),
+                    tensors.len()
+                ),
+            });
+        }
+        let batch_size = inverse_lookup.len();
+        let ikjt = Self {
+            keys,
+            tensors,
+            inverse_lookup,
+            batch_size,
+        };
+        ikjt.check_invariants()?;
+        Ok(ikjt)
+    }
+
+    /// Validates the shared-inverse-lookup invariant: every feature tensor
+    /// has the same slot count and every lookup entry is in range.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::GroupInvariantViolation`] or
+    /// [`CoreError::InvalidInverseLookup`] describing the violation.
+    pub fn check_invariants(&self) -> Result<()> {
+        let slots = self.slot_count();
+        for (key, tensor) in self.keys.iter().zip(&self.tensors) {
+            if tensor.row_count() != slots {
+                return Err(CoreError::GroupInvariantViolation {
+                    reason: format!(
+                        "feature {key} has {} slots but the group has {slots}",
+                        tensor.row_count()
+                    ),
+                });
+            }
+        }
+        for (row, &slot) in self.inverse_lookup.iter().enumerate() {
+            if slot >= slots {
+                return Err(CoreError::InvalidInverseLookup { row, slot, slots });
+            }
+        }
+        Ok(())
+    }
+
+    /// Feature keys in the group, in configuration order.
+    pub fn keys(&self) -> &[FeatureId] {
+        &self.keys
+    }
+
+    /// Number of samples in the batch.
+    pub fn batch_size(&self) -> usize {
+        self.batch_size
+    }
+
+    /// Number of deduplicated slots shared by the group.
+    pub fn slot_count(&self) -> usize {
+        self.tensors
+            .first()
+            .map(JaggedTensor::row_count)
+            .unwrap_or(0)
+    }
+
+    /// The shared inverse lookup: `inverse_lookup()[row]` is the slot holding
+    /// that row's values for every feature in the group.
+    pub fn inverse_lookup(&self) -> &[usize] {
+        &self.inverse_lookup
+    }
+
+    /// Deduplicated jagged tensor for one feature (rows are slots).
+    pub fn feature(&self, key: FeatureId) -> Option<&JaggedTensor<u64>> {
+        self.keys
+            .iter()
+            .position(|&k| k == key)
+            .map(|i| &self.tensors[i])
+    }
+
+    /// Deduplicated jagged tensor for one feature, or an error if absent.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::UnknownFeature`] if the feature is not in the
+    /// group.
+    pub fn feature_required(&self, key: FeatureId) -> Result<&JaggedTensor<u64>> {
+        self.feature(key).ok_or(CoreError::UnknownFeature { feature: key })
+    }
+
+    /// Iterates over `(feature, deduplicated tensor)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (FeatureId, &JaggedTensor<u64>)> {
+        self.keys.iter().copied().zip(self.tensors.iter())
+    }
+
+    /// The logical (pre-deduplication) value for `key` at batch row `row`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::UnknownFeature`] for a feature outside the group
+    /// or [`CoreError::IndexOutOfRange`] for a row outside the batch.
+    pub fn row(&self, key: FeatureId, row: usize) -> Result<&[u64]> {
+        if row >= self.batch_size {
+            return Err(CoreError::IndexOutOfRange {
+                index: row,
+                rows: self.batch_size,
+            });
+        }
+        let tensor = self.feature_required(key)?;
+        Ok(tensor.row(self.inverse_lookup[row]))
+    }
+
+    /// Number of values stored after deduplication (all features).
+    pub fn dedup_value_count(&self) -> usize {
+        self.tensors.iter().map(JaggedTensor::value_count).sum()
+    }
+
+    /// Number of values the equivalent KJT would store (all features).
+    pub fn original_value_count(&self) -> usize {
+        self.keys
+            .iter()
+            .zip(&self.tensors)
+            .map(|(_, tensor)| {
+                self.inverse_lookup
+                    .iter()
+                    .map(|&slot| tensor.row_len(slot))
+                    .sum::<usize>()
+            })
+            .sum()
+    }
+
+    /// Measured deduplication factor for this batch: original values divided
+    /// by deduplicated values. Returns 1.0 when the group stores no values.
+    pub fn dedupe_factor(&self) -> f64 {
+        let dedup = self.dedup_value_count();
+        if dedup == 0 {
+            1.0
+        } else {
+            self.original_value_count() as f64 / dedup as f64
+        }
+    }
+
+    /// Bytes shipped over the network for this group during SDD: only the
+    /// deduplicated `values` and `offsets` slices travel; the
+    /// `inverse_lookup` slice stays local to the GPU that produced it
+    /// (paper §5, "Sparse Data Distribution").
+    pub fn payload_bytes(&self) -> usize {
+        self.tensors.iter().map(|t| t.payload_bytes()).sum()
+    }
+
+    /// Bytes of the local-only `inverse_lookup` slice (8 bytes per row).
+    pub fn inverse_lookup_bytes(&self) -> usize {
+        self.inverse_lookup.len() * 8
+    }
+
+    /// Expands the IKJT back into a KJT using a jagged index select (O6).
+    /// The result is logically identical to the KJT the group was built from.
+    ///
+    /// # Errors
+    ///
+    /// Propagates index errors from the underlying select (cannot occur for a
+    /// structurally valid IKJT).
+    pub fn to_kjt(&self) -> Result<KeyedJaggedTensor> {
+        let mut entries = Vec::with_capacity(self.keys.len());
+        for (key, tensor) in self.keys.iter().zip(&self.tensors) {
+            entries.push((*key, jagged_index_select(tensor, &self.inverse_lookup)?));
+        }
+        KeyedJaggedTensor::from_tensors(entries)
+    }
+
+    /// Expands a per-slot vector to a per-row vector through the shared
+    /// inverse lookup. This is the "expand the output" step of deduplicated
+    /// pooling (O7): compute on `slot_count()` items, then broadcast to
+    /// `batch_size()` rows.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::BatchSizeMismatch`] if `per_slot` does not have
+    /// exactly `slot_count()` entries.
+    pub fn expand_per_slot<T: Clone>(&self, per_slot: &[T]) -> Result<Vec<T>> {
+        if per_slot.len() != self.slot_count() {
+            return Err(CoreError::BatchSizeMismatch {
+                expected: self.slot_count(),
+                actual: per_slot.len(),
+            });
+        }
+        Ok(self
+            .inverse_lookup
+            .iter()
+            .map(|&slot| per_slot[slot].clone())
+            .collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn f(i: u32) -> FeatureId {
+        FeatureId::new(i)
+    }
+
+    /// The exact example from the paper's Figure 5: features c and d grouped,
+    /// rows 0 and 1 duplicates, row 2 distinct.
+    fn figure5_group() -> KeyedJaggedTensor {
+        KeyedJaggedTensor::from_tensors(vec![
+            (
+                f(2), // feature c
+                JaggedTensor::from_lists(&[vec![7u64, 8], vec![7, 8], vec![10]]),
+            ),
+            (
+                f(3), // feature d
+                JaggedTensor::from_lists(&[vec![9u64], vec![9], vec![11]]),
+            ),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn figure5_grouped_dedup() {
+        let kjt = figure5_group();
+        let ikjt = InverseKeyedJaggedTensor::dedup_from_kjt(&kjt, &[f(2), f(3)]).unwrap();
+        assert_eq!(ikjt.batch_size(), 3);
+        assert_eq!(ikjt.slot_count(), 2);
+        assert_eq!(ikjt.inverse_lookup(), &[0, 0, 1]);
+        assert_eq!(ikjt.feature(f(2)).unwrap().row(0), &[7, 8]);
+        assert_eq!(ikjt.feature(f(2)).unwrap().row(1), &[10]);
+        assert_eq!(ikjt.feature(f(3)).unwrap().row(0), &[9]);
+        assert_eq!(ikjt.feature(f(3)).unwrap().row(1), &[11]);
+        assert!(ikjt.check_invariants().is_ok());
+        // Round trip back to KJT is lossless.
+        assert_eq!(ikjt.to_kjt().unwrap(), kjt);
+    }
+
+    #[test]
+    fn figure5_single_feature_b() {
+        // Feature b: rows 0 and 2 duplicates ([3,4,5]), row 1 distinct.
+        let kjt = KeyedJaggedTensor::from_tensors(vec![(
+            f(1),
+            JaggedTensor::from_lists(&[vec![3u64, 4, 5], vec![4, 5, 6], vec![3, 4, 5]]),
+        )])
+        .unwrap();
+        let ikjt = InverseKeyedJaggedTensor::dedup_from_kjt(&kjt, &[f(1)]).unwrap();
+        assert_eq!(ikjt.inverse_lookup(), &[0, 1, 0]);
+        assert_eq!(ikjt.feature(f(1)).unwrap().values(), &[3, 4, 5, 4, 5, 6]);
+        assert_eq!(ikjt.dedup_value_count(), 6);
+        assert_eq!(ikjt.original_value_count(), 9);
+        assert!((ikjt.dedupe_factor() - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unsynchronized_group_rows_are_not_deduplicated() {
+        // Feature x repeats on rows 0/1 but feature y does not: the group must
+        // keep both rows as distinct slots to preserve the shared lookup.
+        let kjt = KeyedJaggedTensor::from_tensors(vec![
+            (f(0), JaggedTensor::from_lists(&[vec![1u64, 2], vec![1, 2]])),
+            (f(1), JaggedTensor::from_lists(&[vec![5u64], vec![6]])),
+        ])
+        .unwrap();
+        let ikjt = InverseKeyedJaggedTensor::dedup_from_kjt(&kjt, &[f(0), f(1)]).unwrap();
+        assert_eq!(ikjt.slot_count(), 2);
+        assert_eq!(ikjt.inverse_lookup(), &[0, 1]);
+        assert_eq!(ikjt.to_kjt().unwrap(), kjt);
+    }
+
+    #[test]
+    fn row_accessor_reads_through_lookup() {
+        let kjt = figure5_group();
+        let ikjt = InverseKeyedJaggedTensor::dedup_from_kjt(&kjt, &[f(2), f(3)]).unwrap();
+        assert_eq!(ikjt.row(f(2), 1).unwrap(), &[7, 8]);
+        assert_eq!(ikjt.row(f(3), 2).unwrap(), &[11]);
+        assert!(matches!(
+            ikjt.row(f(2), 7),
+            Err(CoreError::IndexOutOfRange { .. })
+        ));
+        assert!(matches!(
+            ikjt.row(f(9), 0),
+            Err(CoreError::UnknownFeature { .. })
+        ));
+    }
+
+    #[test]
+    fn empty_batch_dedup() {
+        let kjt = KeyedJaggedTensor::from_tensors(vec![(f(0), JaggedTensor::new())]).unwrap();
+        let ikjt = InverseKeyedJaggedTensor::dedup_from_kjt(&kjt, &[f(0)]).unwrap();
+        assert_eq!(ikjt.batch_size(), 0);
+        assert_eq!(ikjt.slot_count(), 0);
+        assert_eq!(ikjt.dedupe_factor(), 1.0);
+        assert!(ikjt.to_kjt().unwrap().feature(f(0)).unwrap().is_empty());
+    }
+
+    #[test]
+    fn payload_bytes_exclude_inverse_lookup() {
+        let kjt = figure5_group();
+        let ikjt = InverseKeyedJaggedTensor::dedup_from_kjt(&kjt, &[f(2), f(3)]).unwrap();
+        let expected: usize = ikjt.iter().map(|(_, t)| t.payload_bytes()).sum();
+        assert_eq!(ikjt.payload_bytes(), expected);
+        assert_eq!(ikjt.inverse_lookup_bytes(), 3 * 8);
+        // Deduplicated payload must be strictly smaller than the original KJT's.
+        assert!(ikjt.payload_bytes() < kjt.payload_bytes());
+    }
+
+    #[test]
+    fn expand_per_slot_broadcasts() {
+        let kjt = figure5_group();
+        let ikjt = InverseKeyedJaggedTensor::dedup_from_kjt(&kjt, &[f(2), f(3)]).unwrap();
+        // Pooled output per slot (paper example: [24, 21]).
+        let expanded = ikjt.expand_per_slot(&[24.0f32, 21.0]).unwrap();
+        assert_eq!(expanded, vec![24.0, 24.0, 21.0]);
+        assert!(matches!(
+            ikjt.expand_per_slot(&[1.0f32]),
+            Err(CoreError::BatchSizeMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn from_parts_validates_invariants() {
+        let good = InverseKeyedJaggedTensor::from_parts(
+            vec![f(0)],
+            vec![JaggedTensor::from_lists(&[vec![1u64]])],
+            vec![0, 0, 0],
+        );
+        assert!(good.is_ok());
+
+        let bad_lookup = InverseKeyedJaggedTensor::from_parts(
+            vec![f(0)],
+            vec![JaggedTensor::from_lists(&[vec![1u64]])],
+            vec![0, 1],
+        );
+        assert!(matches!(
+            bad_lookup,
+            Err(CoreError::InvalidInverseLookup { row: 1, slot: 1, .. })
+        ));
+
+        let mismatched_slots = InverseKeyedJaggedTensor::from_parts(
+            vec![f(0), f(1)],
+            vec![
+                JaggedTensor::from_lists(&[vec![1u64]]),
+                JaggedTensor::from_lists(&[vec![1u64], vec![2]]),
+            ],
+            vec![0],
+        );
+        assert!(matches!(
+            mismatched_slots,
+            Err(CoreError::GroupInvariantViolation { .. })
+        ));
+
+        let wrong_key_count = InverseKeyedJaggedTensor::from_parts(
+            vec![f(0), f(1)],
+            vec![JaggedTensor::from_lists(&[vec![1u64]])],
+            vec![0],
+        );
+        assert!(wrong_key_count.is_err());
+    }
+
+    #[test]
+    fn hash_collisions_do_not_merge_distinct_rows() {
+        // Many distinct single-id rows: a weak converter that trusted hashes
+        // without equality confirmation could merge two of them; dedupe factor
+        // must stay exactly 1.0 and the round trip must be lossless.
+        let rows: Vec<Vec<u64>> = (0..10_000u64).map(|i| vec![i.wrapping_mul(0x9e37)]).collect();
+        let kjt = KeyedJaggedTensor::from_tensors(vec![(f(0), JaggedTensor::from_lists(&rows))])
+            .unwrap();
+        let ikjt = InverseKeyedJaggedTensor::dedup_from_kjt(&kjt, &[f(0)]).unwrap();
+        assert_eq!(ikjt.slot_count(), 10_000);
+        assert_eq!(ikjt.dedupe_factor(), 1.0);
+        assert_eq!(ikjt.to_kjt().unwrap(), kjt);
+    }
+}

@@ -1,0 +1,326 @@
+//! Jagged tensors: a flat value buffer plus row offsets.
+
+use crate::{CoreError, Result};
+use serde::{Deserialize, Serialize};
+
+/// A tensor with one jagged (variable-length) dimension.
+///
+/// Rows are stored back-to-back in `values`; `offsets` has `rows + 1`
+/// entries with `offsets[0] == 0` and `offsets[rows] == values.len()`, so row
+/// `i` occupies `values[offsets[i]..offsets[i + 1]]`.
+///
+/// The paper's figures show the equivalent TorchRec convention where the last
+/// offset is implicit; the explicit trailing offset used here removes a
+/// special case without changing any of the byte accounting (one extra `u64`
+/// per feature per batch).
+///
+/// # Example
+///
+/// ```
+/// use recd_core::JaggedTensor;
+///
+/// let jt = JaggedTensor::from_lists(&[vec![1u64, 2], vec![], vec![7, 8, 9]]);
+/// assert_eq!(jt.row_count(), 3);
+/// assert_eq!(jt.row(2), &[7, 8, 9]);
+/// assert_eq!(jt.lengths(), vec![2, 0, 3]);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct JaggedTensor<T = u64> {
+    values: Vec<T>,
+    offsets: Vec<usize>,
+}
+
+impl<T> JaggedTensor<T> {
+    /// Creates an empty jagged tensor with zero rows.
+    pub fn new() -> Self {
+        Self {
+            values: Vec::new(),
+            offsets: vec![0],
+        }
+    }
+
+    /// Creates a jagged tensor from raw parts.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidOffsets`] if the offsets slice is empty,
+    /// does not start at zero, is decreasing, or does not end at
+    /// `values.len()`.
+    pub fn from_parts(values: Vec<T>, offsets: Vec<usize>) -> Result<Self> {
+        if offsets.is_empty() {
+            return Err(CoreError::InvalidOffsets {
+                reason: "offsets must contain at least one entry",
+            });
+        }
+        if offsets[0] != 0 {
+            return Err(CoreError::InvalidOffsets {
+                reason: "offsets must start at zero",
+            });
+        }
+        if offsets.windows(2).any(|w| w[0] > w[1]) {
+            return Err(CoreError::InvalidOffsets {
+                reason: "offsets must be non-decreasing",
+            });
+        }
+        if *offsets.last().expect("non-empty") != values.len() {
+            return Err(CoreError::InvalidOffsets {
+                reason: "offsets must end at the values length",
+            });
+        }
+        Ok(Self { values, offsets })
+    }
+
+    /// Builds a jagged tensor by copying a slice of row lists.
+    pub fn from_lists(rows: &[Vec<T>]) -> Self
+    where
+        T: Clone,
+    {
+        let mut values = Vec::with_capacity(rows.iter().map(Vec::len).sum());
+        let mut offsets = Vec::with_capacity(rows.len() + 1);
+        offsets.push(0);
+        for row in rows {
+            values.extend_from_slice(row);
+            offsets.push(values.len());
+        }
+        Self { values, offsets }
+    }
+
+    /// Builds a jagged tensor by copying rows produced by an iterator of
+    /// slices.
+    pub fn from_rows<'a, I>(rows: I) -> Self
+    where
+        T: Clone + 'a,
+        I: IntoIterator<Item = &'a [T]>,
+    {
+        let mut tensor = Self::new();
+        for row in rows {
+            tensor.push_row(row);
+        }
+        tensor
+    }
+
+    /// Appends a row.
+    pub fn push_row(&mut self, row: &[T])
+    where
+        T: Clone,
+    {
+        self.values.extend_from_slice(row);
+        self.offsets.push(self.values.len());
+    }
+
+    /// Number of rows.
+    pub fn row_count(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Returns true if the tensor has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.row_count() == 0
+    }
+
+    /// Total number of values across all rows.
+    pub fn value_count(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Borrows row `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.row_count()`.
+    pub fn row(&self, i: usize) -> &[T] {
+        &self.values[self.offsets[i]..self.offsets[i + 1]]
+    }
+
+    /// Returns row `i`, or `None` if it is out of range.
+    pub fn get(&self, i: usize) -> Option<&[T]> {
+        if i < self.row_count() {
+            Some(self.row(i))
+        } else {
+            None
+        }
+    }
+
+    /// Borrows the flat value buffer.
+    pub fn values(&self) -> &[T] {
+        &self.values
+    }
+
+    /// Borrows the offsets slice (`row_count() + 1` entries).
+    pub fn offsets(&self) -> &[usize] {
+        &self.offsets
+    }
+
+    /// Returns the per-row lengths.
+    pub fn lengths(&self) -> Vec<usize> {
+        self.offsets.windows(2).map(|w| w[1] - w[0]).collect()
+    }
+
+    /// Length of row `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.row_count()`.
+    pub fn row_len(&self, i: usize) -> usize {
+        self.offsets[i + 1] - self.offsets[i]
+    }
+
+    /// Length of the longest row, or 0 for an empty tensor.
+    pub fn max_row_len(&self) -> usize {
+        self.offsets.windows(2).map(|w| w[1] - w[0]).max().unwrap_or(0)
+    }
+
+    /// Iterates over rows as slices.
+    pub fn iter(&self) -> JaggedRows<'_, T> {
+        JaggedRows { tensor: self, next: 0 }
+    }
+
+    /// Consumes the tensor and returns `(values, offsets)`.
+    pub fn into_parts(self) -> (Vec<T>, Vec<usize>) {
+        (self.values, self.offsets)
+    }
+}
+
+impl JaggedTensor<u64> {
+    /// Bytes occupied by the `values` and `offsets` slices when shipped over
+    /// the network (8 bytes per element), the quantity SDD transfers.
+    pub fn payload_bytes(&self) -> usize {
+        self.values.len() * 8 + self.offsets.len() * 8
+    }
+}
+
+impl JaggedTensor<f32> {
+    /// Bytes occupied by the `values` and `offsets` slices (4-byte floats,
+    /// 8-byte offsets).
+    pub fn payload_bytes(&self) -> usize {
+        self.values.len() * 4 + self.offsets.len() * 8
+    }
+}
+
+/// Iterator over the rows of a [`JaggedTensor`], produced by
+/// [`JaggedTensor::iter`].
+#[derive(Debug, Clone)]
+pub struct JaggedRows<'a, T> {
+    tensor: &'a JaggedTensor<T>,
+    next: usize,
+}
+
+impl<'a, T> Iterator for JaggedRows<'a, T> {
+    type Item = &'a [T];
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.next < self.tensor.row_count() {
+            let row = self.tensor.row(self.next);
+            self.next += 1;
+            Some(row)
+        } else {
+            None
+        }
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let remaining = self.tensor.row_count() - self.next;
+        (remaining, Some(remaining))
+    }
+}
+
+impl<'a, T> ExactSizeIterator for JaggedRows<'a, T> {}
+
+impl<T: Clone> FromIterator<Vec<T>> for JaggedTensor<T> {
+    fn from_iter<I: IntoIterator<Item = Vec<T>>>(iter: I) -> Self {
+        let mut tensor = Self::new();
+        for row in iter {
+            tensor.push_row(&row);
+        }
+        tensor
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_lists_and_accessors() {
+        let jt = JaggedTensor::from_lists(&[vec![1u64, 2], vec![], vec![7, 8, 9]]);
+        assert_eq!(jt.row_count(), 3);
+        assert_eq!(jt.value_count(), 5);
+        assert_eq!(jt.row(0), &[1, 2]);
+        assert_eq!(jt.row(1), &[] as &[u64]);
+        assert_eq!(jt.row(2), &[7, 8, 9]);
+        assert_eq!(jt.get(3), None);
+        assert_eq!(jt.lengths(), vec![2, 0, 3]);
+        assert_eq!(jt.row_len(2), 3);
+        assert_eq!(jt.max_row_len(), 3);
+        assert_eq!(jt.offsets(), &[0, 2, 2, 5]);
+        assert!(!jt.is_empty());
+    }
+
+    #[test]
+    fn empty_tensor() {
+        let jt: JaggedTensor<u64> = JaggedTensor::new();
+        assert!(jt.is_empty());
+        assert_eq!(jt.row_count(), 0);
+        assert_eq!(jt.value_count(), 0);
+        assert_eq!(jt.max_row_len(), 0);
+        assert_eq!(jt.iter().count(), 0);
+    }
+
+    #[test]
+    fn from_parts_validation() {
+        assert!(JaggedTensor::from_parts(vec![1u64, 2], vec![0, 1, 2]).is_ok());
+        assert!(matches!(
+            JaggedTensor::from_parts(vec![1u64], Vec::new()),
+            Err(CoreError::InvalidOffsets { .. })
+        ));
+        assert!(matches!(
+            JaggedTensor::from_parts(vec![1u64], vec![1, 1]),
+            Err(CoreError::InvalidOffsets { .. })
+        ));
+        assert!(matches!(
+            JaggedTensor::from_parts(vec![1u64, 2], vec![0, 2, 1]),
+            Err(CoreError::InvalidOffsets { .. })
+        ));
+        assert!(matches!(
+            JaggedTensor::from_parts(vec![1u64, 2], vec![0, 1]),
+            Err(CoreError::InvalidOffsets { .. })
+        ));
+    }
+
+    #[test]
+    fn push_row_matches_from_lists() {
+        let rows = vec![vec![5u64], vec![6, 7], vec![]];
+        let mut incremental = JaggedTensor::new();
+        for row in &rows {
+            incremental.push_row(row);
+        }
+        assert_eq!(incremental, JaggedTensor::from_lists(&rows));
+        let collected: JaggedTensor<u64> = rows.clone().into_iter().collect();
+        assert_eq!(collected, incremental);
+    }
+
+    #[test]
+    fn iterator_and_round_trip_through_parts() {
+        let jt = JaggedTensor::from_lists(&[vec![1u64, 2], vec![3]]);
+        let rows: Vec<Vec<u64>> = jt.iter().map(|r| r.to_vec()).collect();
+        assert_eq!(rows, vec![vec![1, 2], vec![3]]);
+        assert_eq!(jt.iter().len(), 2);
+        let (values, offsets) = jt.clone().into_parts();
+        assert_eq!(JaggedTensor::from_parts(values, offsets).unwrap(), jt);
+    }
+
+    #[test]
+    fn payload_bytes_accounting() {
+        let jt = JaggedTensor::from_lists(&[vec![1u64, 2, 3], vec![4]]);
+        // 4 values * 8 + 3 offsets * 8
+        assert_eq!(jt.payload_bytes(), 32 + 24);
+        let jf = JaggedTensor::from_lists(&[vec![1.0f32, 2.0]]);
+        assert_eq!(jf.payload_bytes(), 8 + 16);
+    }
+
+    #[test]
+    fn generic_over_float_rows() {
+        let jt = JaggedTensor::from_lists(&[vec![1.0f32, 2.0], vec![3.0]]);
+        assert_eq!(jt.row(1), &[3.0]);
+    }
+}

@@ -1,0 +1,243 @@
+//! KeyedJaggedTensor: the conventional (non-deduplicated) sparse-feature
+//! container, equivalent to TorchRec's `KeyedJaggedTensor`.
+
+use crate::jagged::JaggedTensor;
+use crate::{CoreError, Result};
+use recd_data::{FeatureId, SampleBatch};
+use serde::{Deserialize, Serialize};
+
+/// A keyed collection of jagged tensors, one per sparse feature, each with
+/// one row per sample in the batch (paper §4.2, Figure 5).
+///
+/// # Example
+///
+/// ```
+/// use recd_core::KeyedJaggedTensor;
+/// use recd_data::{FeatureId, RequestId, Sample, SessionId, Timestamp};
+///
+/// let samples: recd_data::SampleBatch = (0..2)
+///     .map(|i| {
+///         Sample::builder(SessionId::new(1), RequestId::new(i), Timestamp::from_millis(i))
+///             .sparse(vec![vec![i, i + 1]])
+///             .build()
+///     })
+///     .collect();
+/// let kjt = KeyedJaggedTensor::from_batch(&samples, &[FeatureId::new(0)])?;
+/// assert_eq!(kjt.batch_size(), 2);
+/// assert_eq!(kjt.feature(FeatureId::new(0)).unwrap().row(1), &[1, 2]);
+/// # Ok::<(), recd_core::CoreError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct KeyedJaggedTensor {
+    keys: Vec<FeatureId>,
+    tensors: Vec<JaggedTensor<u64>>,
+    batch_size: usize,
+}
+
+impl KeyedJaggedTensor {
+    /// Creates an empty KJT for a batch of `batch_size` rows.
+    pub fn empty(batch_size: usize) -> Self {
+        Self {
+            keys: Vec::new(),
+            tensors: Vec::new(),
+            batch_size,
+        }
+    }
+
+    /// Creates a KJT from per-feature jagged tensors.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::BatchSizeMismatch`] if the tensors do not all
+    /// have the same row count, or [`CoreError::DuplicateFeatureInConfig`]
+    /// if a key repeats.
+    pub fn from_tensors(entries: Vec<(FeatureId, JaggedTensor<u64>)>) -> Result<Self> {
+        let batch_size = entries.first().map(|(_, t)| t.row_count()).unwrap_or(0);
+        let mut kjt = Self::empty(batch_size);
+        for (key, tensor) in entries {
+            kjt.insert(key, tensor)?;
+        }
+        Ok(kjt)
+    }
+
+    /// Extracts the listed sparse features from a batch of samples.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::MissingSparseFeature`] if a sample does not carry
+    /// one of the requested features.
+    pub fn from_batch(batch: &SampleBatch, features: &[FeatureId]) -> Result<Self> {
+        let mut kjt = Self::empty(batch.len());
+        for &feature in features {
+            let mut tensor = JaggedTensor::new();
+            for sample in batch.iter() {
+                if feature.index() >= sample.sparse.len() {
+                    return Err(CoreError::MissingSparseFeature {
+                        feature,
+                        available: sample.sparse.len(),
+                    });
+                }
+                tensor.push_row(&sample.sparse[feature.index()]);
+            }
+            kjt.insert(feature, tensor)?;
+        }
+        Ok(kjt)
+    }
+
+    /// Adds a feature tensor to the KJT.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::BatchSizeMismatch`] if the tensor's row count
+    /// differs from the KJT's batch size, or
+    /// [`CoreError::DuplicateFeatureInConfig`] if the key is already present.
+    pub fn insert(&mut self, key: FeatureId, tensor: JaggedTensor<u64>) -> Result<()> {
+        if tensor.row_count() != self.batch_size {
+            return Err(CoreError::BatchSizeMismatch {
+                expected: self.batch_size,
+                actual: tensor.row_count(),
+            });
+        }
+        if self.keys.contains(&key) {
+            return Err(CoreError::DuplicateFeatureInConfig { feature: key });
+        }
+        self.keys.push(key);
+        self.tensors.push(tensor);
+        Ok(())
+    }
+
+    /// Number of rows (samples) in the batch.
+    pub fn batch_size(&self) -> usize {
+        self.batch_size
+    }
+
+    /// Feature keys in insertion order.
+    pub fn keys(&self) -> &[FeatureId] {
+        &self.keys
+    }
+
+    /// Number of features.
+    pub fn feature_count(&self) -> usize {
+        self.keys.len()
+    }
+
+    /// Returns true if the KJT holds no features.
+    pub fn is_empty(&self) -> bool {
+        self.keys.is_empty()
+    }
+
+    /// Looks up a feature's jagged tensor.
+    pub fn feature(&self, key: FeatureId) -> Option<&JaggedTensor<u64>> {
+        self.keys
+            .iter()
+            .position(|&k| k == key)
+            .map(|i| &self.tensors[i])
+    }
+
+    /// Looks up a feature's jagged tensor, returning an error if absent.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::UnknownFeature`] if the feature is not present.
+    pub fn feature_required(&self, key: FeatureId) -> Result<&JaggedTensor<u64>> {
+        self.feature(key).ok_or(CoreError::UnknownFeature { feature: key })
+    }
+
+    /// Iterates over `(feature, tensor)` pairs in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = (FeatureId, &JaggedTensor<u64>)> {
+        self.keys.iter().copied().zip(self.tensors.iter())
+    }
+
+    /// Total number of sparse values across all features.
+    pub fn value_count(&self) -> usize {
+        self.tensors.iter().map(JaggedTensor::value_count).sum()
+    }
+
+    /// Bytes transferred when this KJT's `values` and `offsets` slices are
+    /// shipped over the network (e.g. reader→trainer, or the SDD all-to-all).
+    pub fn payload_bytes(&self) -> usize {
+        self.tensors.iter().map(|t| t.payload_bytes()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use recd_data::{RequestId, Sample, SessionId, Timestamp};
+
+    fn batch() -> SampleBatch {
+        (0..3u64)
+            .map(|i| {
+                Sample::builder(SessionId::new(1), RequestId::new(i), Timestamp::from_millis(i))
+                    .sparse(vec![vec![i, i + 1], vec![100 + i]])
+                    .build()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn from_batch_extracts_features_in_order() {
+        let kjt = KeyedJaggedTensor::from_batch(&batch(), &[FeatureId::new(1), FeatureId::new(0)])
+            .unwrap();
+        assert_eq!(kjt.batch_size(), 3);
+        assert_eq!(kjt.feature_count(), 2);
+        assert_eq!(kjt.keys(), &[FeatureId::new(1), FeatureId::new(0)]);
+        assert_eq!(kjt.feature(FeatureId::new(1)).unwrap().row(2), &[102]);
+        assert_eq!(kjt.feature(FeatureId::new(0)).unwrap().row(0), &[0, 1]);
+        assert_eq!(kjt.value_count(), 3 + 6);
+        assert!(!kjt.is_empty());
+    }
+
+    #[test]
+    fn missing_feature_is_an_error() {
+        let err = KeyedJaggedTensor::from_batch(&batch(), &[FeatureId::new(9)]).unwrap_err();
+        assert!(matches!(err, CoreError::MissingSparseFeature { .. }));
+    }
+
+    #[test]
+    fn insert_validates_batch_size_and_duplicates() {
+        let mut kjt = KeyedJaggedTensor::empty(2);
+        let t = JaggedTensor::from_lists(&[vec![1u64], vec![2]]);
+        kjt.insert(FeatureId::new(0), t.clone()).unwrap();
+        assert!(matches!(
+            kjt.insert(FeatureId::new(0), t.clone()),
+            Err(CoreError::DuplicateFeatureInConfig { .. })
+        ));
+        let wrong = JaggedTensor::from_lists(&[vec![1u64]]);
+        assert!(matches!(
+            kjt.insert(FeatureId::new(1), wrong),
+            Err(CoreError::BatchSizeMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn feature_required_and_iter() {
+        let kjt = KeyedJaggedTensor::from_batch(&batch(), &[FeatureId::new(0)]).unwrap();
+        assert!(kjt.feature_required(FeatureId::new(0)).is_ok());
+        assert!(matches!(
+            kjt.feature_required(FeatureId::new(5)),
+            Err(CoreError::UnknownFeature { .. })
+        ));
+        let pairs: Vec<_> = kjt.iter().collect();
+        assert_eq!(pairs.len(), 1);
+    }
+
+    #[test]
+    fn payload_bytes_sums_feature_tensors() {
+        let kjt = KeyedJaggedTensor::from_batch(&batch(), &[FeatureId::new(0), FeatureId::new(1)])
+            .unwrap();
+        let expected: usize = kjt.iter().map(|(_, t)| t.payload_bytes()).sum();
+        assert_eq!(kjt.payload_bytes(), expected);
+    }
+
+    #[test]
+    fn from_tensors_round_trip() {
+        let entries = vec![
+            (FeatureId::new(3), JaggedTensor::from_lists(&[vec![1u64], vec![]])),
+            (FeatureId::new(5), JaggedTensor::from_lists(&[vec![2u64, 3], vec![4]])),
+        ];
+        let kjt = KeyedJaggedTensor::from_tensors(entries).unwrap();
+        assert_eq!(kjt.batch_size(), 2);
+        assert_eq!(kjt.feature(FeatureId::new(5)).unwrap().row(0), &[2, 3]);
+    }
+}

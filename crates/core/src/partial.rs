@@ -1,0 +1,293 @@
+//! Partial IKJTs: deduplication of *shifted* list values (paper §7).
+//!
+//! Exact-match IKJTs capture the bulk of the duplication in DLRM datasets
+//! (81.6% of an estimated 93.9% maximum), but many of the remaining
+//! non-exact duplicates are shifts: a user's "last N liked items" list gains
+//! one element and drops the oldest, so 99% of its ids are unchanged.
+//!
+//! A [`PartialIkjt`] removes the per-slot `offsets` slice and instead stores
+//! an `[offset, length]` pair per batch row over a shared value pool. A row
+//! whose list already appears as a contiguous window of the pool (including
+//! windows created by earlier, overlapping rows) stores no new values at all;
+//! a row that extends an existing window only stores the non-overlapping
+//! suffix.
+
+use crate::jagged::JaggedTensor;
+use crate::{CoreError, Result};
+use recd_data::FeatureId;
+use serde::{Deserialize, Serialize};
+
+/// One row's view into the shared value pool.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PartialEntry {
+    /// Start of the row's values within the pool.
+    pub offset: usize,
+    /// Number of values in the row.
+    pub len: usize,
+}
+
+/// A partially-deduplicated single-feature container.
+///
+/// # Example
+///
+/// The paper's Figure 5 feature `b` — `[3,4,5]`, `[4,5,6]`, `[3,4,5]` — packs
+/// into the pool `[3,4,5,6]` with entries `[0,3]`, `[1,3]`, `[0,3]`:
+///
+/// ```
+/// use recd_core::PartialIkjt;
+/// use recd_data::FeatureId;
+///
+/// let rows: Vec<Vec<u64>> = vec![vec![3, 4, 5], vec![4, 5, 6], vec![3, 4, 5]];
+/// let pikjt = PartialIkjt::dedup_from_rows(FeatureId::new(1), &rows);
+/// assert_eq!(pikjt.values(), &[3, 4, 5, 6]);
+/// assert_eq!(pikjt.entry(1).unwrap(), (1, 3));
+/// assert_eq!(pikjt.row(2), &[3, 4, 5]);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PartialIkjt {
+    key: FeatureId,
+    values: Vec<u64>,
+    entries: Vec<PartialEntry>,
+    original_value_count: usize,
+}
+
+impl PartialIkjt {
+    /// Builds a partial IKJT from a feature's per-row value lists.
+    pub fn dedup_from_rows(key: FeatureId, rows: &[Vec<u64>]) -> Self {
+        let mut values: Vec<u64> = Vec::new();
+        let mut entries = Vec::with_capacity(rows.len());
+        let mut original_value_count = 0;
+
+        for row in rows {
+            original_value_count += row.len();
+            if row.is_empty() {
+                entries.push(PartialEntry { offset: 0, len: 0 });
+                continue;
+            }
+            if let Some(offset) = find_subslice(&values, row) {
+                entries.push(PartialEntry {
+                    offset,
+                    len: row.len(),
+                });
+                continue;
+            }
+            // Shift case: the longest suffix of the pool that equals a prefix
+            // of the row can be reused; only the remainder is appended.
+            let overlap = longest_suffix_prefix_overlap(&values, row);
+            let offset = values.len() - overlap;
+            values.extend_from_slice(&row[overlap..]);
+            entries.push(PartialEntry {
+                offset,
+                len: row.len(),
+            });
+        }
+
+        Self {
+            key,
+            values,
+            entries,
+            original_value_count,
+        }
+    }
+
+    /// Builds a partial IKJT from one feature of a jagged tensor whose rows
+    /// are batch rows.
+    pub fn dedup_from_jagged(key: FeatureId, tensor: &JaggedTensor<u64>) -> Self {
+        let rows: Vec<Vec<u64>> = tensor.iter().map(<[u64]>::to_vec).collect();
+        Self::dedup_from_rows(key, &rows)
+    }
+
+    /// The feature this container holds.
+    pub fn key(&self) -> FeatureId {
+        self.key
+    }
+
+    /// Number of batch rows.
+    pub fn batch_size(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// The shared, deduplicated value pool.
+    pub fn values(&self) -> &[u64] {
+        &self.values
+    }
+
+    /// The `[offset, length]` entries, one per batch row.
+    pub fn entries(&self) -> &[PartialEntry] {
+        &self.entries
+    }
+
+    /// Returns `(offset, len)` for one row, or `None` if out of range.
+    pub fn entry(&self, row: usize) -> Option<(usize, usize)> {
+        self.entries.get(row).map(|e| (e.offset, e.len))
+    }
+
+    /// The logical value list of one row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row >= self.batch_size()`.
+    pub fn row(&self, row: usize) -> &[u64] {
+        let e = self.entries[row];
+        &self.values[e.offset..e.offset + e.len]
+    }
+
+    /// Number of values stored after partial deduplication.
+    pub fn dedup_value_count(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Number of values the raw (KJT) representation would store.
+    pub fn original_value_count(&self) -> usize {
+        self.original_value_count
+    }
+
+    /// Measured deduplication factor (original / stored). Returns 1.0 when
+    /// the pool is empty.
+    pub fn dedupe_factor(&self) -> f64 {
+        if self.values.is_empty() {
+            1.0
+        } else {
+            self.original_value_count as f64 / self.values.len() as f64
+        }
+    }
+
+    /// Bytes shipped over the network: the value pool plus one
+    /// `[offset, len]` pair per row.
+    pub fn payload_bytes(&self) -> usize {
+        self.values.len() * 8 + self.entries.len() * 16
+    }
+
+    /// Expands the container back into a per-row jagged tensor.
+    ///
+    /// # Errors
+    ///
+    /// Never fails for a container built by this crate; present for parity
+    /// with the exact-match path.
+    pub fn to_jagged(&self) -> Result<JaggedTensor<u64>> {
+        let mut out = JaggedTensor::new();
+        for (i, e) in self.entries.iter().enumerate() {
+            if e.offset + e.len > self.values.len() {
+                return Err(CoreError::InvalidInverseLookup {
+                    row: i,
+                    slot: e.offset + e.len,
+                    slots: self.values.len(),
+                });
+            }
+            out.push_row(&self.values[e.offset..e.offset + e.len]);
+        }
+        Ok(out)
+    }
+}
+
+/// Finds `needle` as a contiguous subslice of `haystack` and returns its
+/// starting offset.
+fn find_subslice(haystack: &[u64], needle: &[u64]) -> Option<usize> {
+    if needle.is_empty() || needle.len() > haystack.len() {
+        return None;
+    }
+    haystack
+        .windows(needle.len())
+        .position(|window| window == needle)
+}
+
+/// Length of the longest suffix of `pool` that equals a prefix of `row`.
+fn longest_suffix_prefix_overlap(pool: &[u64], row: &[u64]) -> usize {
+    let max = pool.len().min(row.len());
+    for overlap in (1..=max).rev() {
+        if pool[pool.len() - overlap..] == row[..overlap] {
+            return overlap;
+        }
+    }
+    0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_figure5_feature_b() {
+        let rows = vec![vec![3u64, 4, 5], vec![4, 5, 6], vec![3, 4, 5]];
+        let p = PartialIkjt::dedup_from_rows(FeatureId::new(1), &rows);
+        assert_eq!(p.values(), &[3, 4, 5, 6]);
+        assert_eq!(
+            p.entries(),
+            &[
+                PartialEntry { offset: 0, len: 3 },
+                PartialEntry { offset: 1, len: 3 },
+                PartialEntry { offset: 0, len: 3 },
+            ]
+        );
+        assert_eq!(p.batch_size(), 3);
+        assert_eq!(p.original_value_count(), 9);
+        assert_eq!(p.dedup_value_count(), 4);
+        assert!((p.dedupe_factor() - 2.25).abs() < 1e-12);
+        // Expansion reproduces the original rows exactly.
+        let expanded = p.to_jagged().unwrap();
+        for (i, row) in rows.iter().enumerate() {
+            assert_eq!(expanded.row(i), row.as_slice());
+            assert_eq!(p.row(i), row.as_slice());
+        }
+    }
+
+    #[test]
+    fn sliding_window_session_history() {
+        // A user history of length 5 that shifts by one per impression: each
+        // new row adds only one value to the pool.
+        let history: Vec<u64> = (0..20).collect();
+        let rows: Vec<Vec<u64>> = (0..10).map(|i| history[i..i + 5].to_vec()).collect();
+        let p = PartialIkjt::dedup_from_rows(FeatureId::new(0), &rows);
+        assert_eq!(p.dedup_value_count(), 14); // 5 + 9 appended singles
+        assert_eq!(p.original_value_count(), 50);
+        let expanded = p.to_jagged().unwrap();
+        for (i, row) in rows.iter().enumerate() {
+            assert_eq!(expanded.row(i), row.as_slice());
+        }
+    }
+
+    #[test]
+    fn exact_duplicates_store_once() {
+        let rows = vec![vec![9u64, 9, 9]; 6];
+        let p = PartialIkjt::dedup_from_rows(FeatureId::new(0), &rows);
+        assert_eq!(p.dedup_value_count(), 3);
+        assert!((p.dedupe_factor() - 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn disjoint_rows_fall_back_to_append() {
+        let rows = vec![vec![1u64, 2], vec![10, 20], vec![100, 200]];
+        let p = PartialIkjt::dedup_from_rows(FeatureId::new(0), &rows);
+        assert_eq!(p.dedup_value_count(), 6);
+        assert_eq!(p.dedupe_factor(), 1.0);
+        assert_eq!(p.row(2), &[100, 200]);
+    }
+
+    #[test]
+    fn empty_rows_and_empty_batch() {
+        let p = PartialIkjt::dedup_from_rows(FeatureId::new(0), &[vec![], vec![1], vec![]]);
+        assert_eq!(p.entry(0).unwrap(), (0, 0));
+        assert_eq!(p.row(0), &[] as &[u64]);
+        assert_eq!(p.row(1), &[1]);
+        let empty = PartialIkjt::dedup_from_rows(FeatureId::new(0), &[]);
+        assert_eq!(empty.batch_size(), 0);
+        assert_eq!(empty.dedupe_factor(), 1.0);
+        assert!(empty.to_jagged().unwrap().is_empty());
+    }
+
+    #[test]
+    fn from_jagged_matches_from_rows() {
+        let rows = vec![vec![3u64, 4, 5], vec![4, 5, 6], vec![3, 4, 5]];
+        let tensor = JaggedTensor::from_lists(&rows);
+        let a = PartialIkjt::dedup_from_jagged(FeatureId::new(1), &tensor);
+        let b = PartialIkjt::dedup_from_rows(FeatureId::new(1), &rows);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn payload_accounts_values_and_entries() {
+        let rows = vec![vec![1u64, 2, 3], vec![1, 2, 3]];
+        let p = PartialIkjt::dedup_from_rows(FeatureId::new(0), &rows);
+        assert_eq!(p.payload_bytes(), 3 * 8 + 2 * 16);
+    }
+}

@@ -1,0 +1,203 @@
+//! Measured per-batch deduplication statistics.
+//!
+//! These are the quantities the paper characterizes in §3 (exact duplicate
+//! fractions per feature) restricted to a single batch, and the measured
+//! counterpart of the analytical [`DedupeModel`](crate::DedupeModel).
+
+use crate::kjt::KeyedJaggedTensor;
+use recd_codec::hash_ids;
+use recd_data::FeatureId;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Exact-duplication statistics for one feature within one batch.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FeatureDedupStats {
+    /// The feature measured.
+    pub feature: FeatureId,
+    /// Number of batch rows.
+    pub rows: usize,
+    /// Rows whose value exactly equals the value of an earlier row in the
+    /// batch.
+    pub exact_duplicate_rows: usize,
+    /// Total ids carried by the feature across all rows.
+    pub original_values: usize,
+    /// Ids carried after exact-match deduplication.
+    pub dedup_values: usize,
+}
+
+impl FeatureDedupStats {
+    /// Fraction of rows that are exact duplicates of an earlier row.
+    pub fn exact_duplicate_fraction(&self) -> f64 {
+        if self.rows == 0 {
+            0.0
+        } else {
+            self.exact_duplicate_rows as f64 / self.rows as f64
+        }
+    }
+
+    /// Fraction of ids (bytes) eliminated by exact-match deduplication.
+    pub fn duplicate_value_fraction(&self) -> f64 {
+        if self.original_values == 0 {
+            0.0
+        } else {
+            (self.original_values - self.dedup_values) as f64 / self.original_values as f64
+        }
+    }
+
+    /// Measured deduplication factor for the feature in this batch.
+    pub fn dedupe_factor(&self) -> f64 {
+        if self.dedup_values == 0 {
+            1.0
+        } else {
+            self.original_values as f64 / self.dedup_values as f64
+        }
+    }
+}
+
+/// Exact-duplication statistics for every feature of a batch.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct BatchDedupStats {
+    /// Per-feature statistics, in KJT key order.
+    pub per_feature: Vec<FeatureDedupStats>,
+}
+
+impl BatchDedupStats {
+    /// Measures exact duplication for every feature of a KJT.
+    pub fn measure(kjt: &KeyedJaggedTensor) -> Self {
+        let per_feature = kjt
+            .iter()
+            .map(|(feature, tensor)| {
+                let mut seen: HashMap<u64, Vec<usize>> = HashMap::new();
+                let mut exact_duplicate_rows = 0;
+                let mut dedup_values = 0;
+                for (row_idx, row) in tensor.iter().enumerate() {
+                    let digest = hash_ids(row);
+                    let candidates = seen.entry(digest).or_default();
+                    let duplicate = candidates
+                        .iter()
+                        .any(|&earlier| tensor.row(earlier) == row);
+                    if duplicate {
+                        exact_duplicate_rows += 1;
+                    } else {
+                        dedup_values += row.len();
+                        candidates.push(row_idx);
+                    }
+                }
+                FeatureDedupStats {
+                    feature,
+                    rows: tensor.row_count(),
+                    exact_duplicate_rows,
+                    original_values: tensor.value_count(),
+                    dedup_values,
+                }
+            })
+            .collect();
+        Self { per_feature }
+    }
+
+    /// Total ids across all features before deduplication.
+    pub fn total_original_values(&self) -> usize {
+        self.per_feature.iter().map(|f| f.original_values).sum()
+    }
+
+    /// Total ids across all features after deduplication.
+    pub fn total_dedup_values(&self) -> usize {
+        self.per_feature.iter().map(|f| f.dedup_values).sum()
+    }
+
+    /// Value-weighted (byte-weighted) exact-duplicate fraction across all
+    /// features — the quantity the paper reports as 81.6% for the full
+    /// partition.
+    pub fn weighted_duplicate_fraction(&self) -> f64 {
+        let original = self.total_original_values();
+        if original == 0 {
+            0.0
+        } else {
+            (original - self.total_dedup_values()) as f64 / original as f64
+        }
+    }
+
+    /// Batch-level deduplication factor across all measured features.
+    pub fn overall_dedupe_factor(&self) -> f64 {
+        let dedup = self.total_dedup_values();
+        if dedup == 0 {
+            1.0
+        } else {
+            self.total_original_values() as f64 / dedup as f64
+        }
+    }
+
+    /// Looks up the statistics for one feature.
+    pub fn feature(&self, feature: FeatureId) -> Option<&FeatureDedupStats> {
+        self.per_feature.iter().find(|f| f.feature == feature)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::jagged::JaggedTensor;
+
+    fn f(i: u32) -> FeatureId {
+        FeatureId::new(i)
+    }
+
+    #[test]
+    fn measures_duplicates_per_feature() {
+        let kjt = KeyedJaggedTensor::from_tensors(vec![
+            (
+                f(0),
+                JaggedTensor::from_lists(&[vec![1u64, 2], vec![1, 2], vec![1, 2], vec![9]]),
+            ),
+            (
+                f(1),
+                JaggedTensor::from_lists(&[vec![5u64], vec![6], vec![7], vec![8]]),
+            ),
+        ])
+        .unwrap();
+        let stats = BatchDedupStats::measure(&kjt);
+        let s0 = stats.feature(f(0)).unwrap();
+        assert_eq!(s0.rows, 4);
+        assert_eq!(s0.exact_duplicate_rows, 2);
+        assert_eq!(s0.original_values, 7);
+        assert_eq!(s0.dedup_values, 3);
+        assert!((s0.exact_duplicate_fraction() - 0.5).abs() < 1e-12);
+        assert!((s0.dedupe_factor() - 7.0 / 3.0).abs() < 1e-12);
+
+        let s1 = stats.feature(f(1)).unwrap();
+        assert_eq!(s1.exact_duplicate_rows, 0);
+        assert_eq!(s1.dedupe_factor(), 1.0);
+
+        assert_eq!(stats.total_original_values(), 11);
+        assert_eq!(stats.total_dedup_values(), 7);
+        assert!((stats.weighted_duplicate_fraction() - 4.0 / 11.0).abs() < 1e-12);
+        assert!(stats.overall_dedupe_factor() > 1.0);
+        assert!(stats.feature(f(9)).is_none());
+    }
+
+    #[test]
+    fn empty_batch_statistics() {
+        let kjt = KeyedJaggedTensor::from_tensors(vec![(f(0), JaggedTensor::new())]).unwrap();
+        let stats = BatchDedupStats::measure(&kjt);
+        let s = stats.feature(f(0)).unwrap();
+        assert_eq!(s.exact_duplicate_fraction(), 0.0);
+        assert_eq!(s.duplicate_value_fraction(), 0.0);
+        assert_eq!(stats.weighted_duplicate_fraction(), 0.0);
+        assert_eq!(stats.overall_dedupe_factor(), 1.0);
+    }
+
+    #[test]
+    fn empty_value_lists_count_as_duplicates_but_contribute_no_bytes() {
+        let kjt = KeyedJaggedTensor::from_tensors(vec![(
+            f(0),
+            JaggedTensor::from_lists(&[vec![], vec![], vec![1u64]]),
+        )])
+        .unwrap();
+        let stats = BatchDedupStats::measure(&kjt);
+        let s = stats.feature(f(0)).unwrap();
+        assert_eq!(s.exact_duplicate_rows, 1);
+        assert_eq!(s.original_values, 1);
+        assert_eq!(s.dedup_values, 1);
+    }
+}

@@ -1,0 +1,159 @@
+//! Raw inference-time logs, as emitted by inference servers before the ETL
+//! join turns them into labeled [`Sample`](crate::Sample)s (paper §2.1).
+//!
+//! Inference servers log the features used for each request (to avoid data
+//! leakage), while user-facing services log impression outcomes (events).
+//! Both log streams flow through the Scribe tier and are joined on
+//! [`RequestId`] by the ETL stage.
+
+use crate::ids::{RequestId, SessionId, Timestamp};
+use crate::sample::IdList;
+use serde::{Deserialize, Serialize};
+
+/// A feature log record: the inputs of one inference request.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FeatureLog {
+    /// The request whose features are logged.
+    pub request_id: RequestId,
+    /// Session the request belongs to (the RecD shard/cluster key).
+    pub session_id: SessionId,
+    /// Time the request was served.
+    pub timestamp: Timestamp,
+    /// Dense feature values in schema order.
+    pub dense: Vec<f32>,
+    /// Sparse feature values in schema order.
+    pub sparse: Vec<IdList>,
+}
+
+impl FeatureLog {
+    /// Approximate payload size of the record in bytes, used for Scribe
+    /// network and storage accounting.
+    pub fn payload_bytes(&self) -> usize {
+        const HEADER: usize = 8 + 8 + 8;
+        HEADER
+            + self.dense.len() * 4
+            + self.sparse.iter().map(|l| l.len() * 8).sum::<usize>()
+    }
+}
+
+/// An event log record: the observed outcome of one impression.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EventLog {
+    /// The request whose outcome is logged.
+    pub request_id: RequestId,
+    /// Session the request belongs to.
+    pub session_id: SessionId,
+    /// Time the outcome was observed.
+    pub timestamp: Timestamp,
+    /// The label (e.g. 1.0 for a click).
+    pub label: f32,
+}
+
+impl EventLog {
+    /// Payload size of the record in bytes.
+    pub const fn payload_bytes(&self) -> usize {
+        8 + 8 + 8 + 4
+    }
+}
+
+/// Either kind of raw log record, as transported by the Scribe tier.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum LogRecord {
+    /// Feature log from an inference server.
+    Feature(FeatureLog),
+    /// Event log from a user-facing service.
+    Event(EventLog),
+}
+
+impl LogRecord {
+    /// Session id of the record (the RecD shard key).
+    pub fn session_id(&self) -> SessionId {
+        match self {
+            LogRecord::Feature(f) => f.session_id,
+            LogRecord::Event(e) => e.session_id,
+        }
+    }
+
+    /// Request id of the record (the ETL join key).
+    pub fn request_id(&self) -> RequestId {
+        match self {
+            LogRecord::Feature(f) => f.request_id,
+            LogRecord::Event(e) => e.request_id,
+        }
+    }
+
+    /// Timestamp of the record.
+    pub fn timestamp(&self) -> Timestamp {
+        match self {
+            LogRecord::Feature(f) => f.timestamp,
+            LogRecord::Event(e) => e.timestamp,
+        }
+    }
+
+    /// Payload size of the record in bytes.
+    pub fn payload_bytes(&self) -> usize {
+        match self {
+            LogRecord::Feature(f) => f.payload_bytes(),
+            LogRecord::Event(e) => e.payload_bytes(),
+        }
+    }
+}
+
+impl From<FeatureLog> for LogRecord {
+    fn from(value: FeatureLog) -> Self {
+        LogRecord::Feature(value)
+    }
+}
+
+impl From<EventLog> for LogRecord {
+    fn from(value: EventLog) -> Self {
+        LogRecord::Event(value)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn feature_log() -> FeatureLog {
+        FeatureLog {
+            request_id: RequestId::new(1),
+            session_id: SessionId::new(2),
+            timestamp: Timestamp::from_millis(3),
+            dense: vec![1.0, 2.0],
+            sparse: vec![vec![1, 2, 3], vec![4]],
+        }
+    }
+
+    #[test]
+    fn payload_sizes() {
+        let f = feature_log();
+        assert_eq!(f.payload_bytes(), 24 + 8 + 32);
+        let e = EventLog {
+            request_id: RequestId::new(1),
+            session_id: SessionId::new(2),
+            timestamp: Timestamp::from_millis(3),
+            label: 1.0,
+        };
+        assert_eq!(e.payload_bytes(), 28);
+    }
+
+    #[test]
+    fn log_record_accessors() {
+        let rec: LogRecord = feature_log().into();
+        assert_eq!(rec.session_id(), SessionId::new(2));
+        assert_eq!(rec.request_id(), RequestId::new(1));
+        assert_eq!(rec.timestamp().as_millis(), 3);
+        assert!(rec.payload_bytes() > 0);
+
+        let rec: LogRecord = EventLog {
+            request_id: RequestId::new(9),
+            session_id: SessionId::new(8),
+            timestamp: Timestamp::from_millis(7),
+            label: 0.0,
+        }
+        .into();
+        assert_eq!(rec.session_id(), SessionId::new(8));
+        assert_eq!(rec.request_id(), RequestId::new(9));
+    }
+}

@@ -1,0 +1,340 @@
+//! Dataset characterization (paper §3, Figures 3 and 4).
+//!
+//! Reproduces, over a generated partition, the three measurements the paper
+//! uses to motivate RecD:
+//!
+//! 1. the histogram of samples per session within the partition and within a
+//!    training batch (Figure 3);
+//! 2. the percentage of exact and partial duplicate feature values across
+//!    sparse features (Figure 4);
+//! 3. the byte-weighted exact/partial duplicate totals (81.6% / 89.4% in the
+//!    paper).
+
+use recd_codec::hash_ids;
+use recd_data::{FeatureClass, Sample, Schema, SessionId};
+use serde::{Deserialize, Serialize};
+use std::collections::{HashMap, HashSet};
+
+/// Histogram of the number of samples each session contributes to a scope
+/// (a partition or a batch).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SamplesPerSessionHistogram {
+    /// `(upper_bound, session_count)` pairs; sessions whose sample count is
+    /// `<= upper_bound` (and greater than the previous bound) land in the
+    /// bucket. Bounds grow geometrically: 1, 2, 4, 8, ...
+    pub buckets: Vec<(u64, usize)>,
+    /// Mean samples per session.
+    pub mean: f64,
+    /// Maximum samples contributed by any single session.
+    pub max: u64,
+    /// Number of distinct sessions observed.
+    pub sessions: usize,
+    /// Number of samples observed.
+    pub samples: usize,
+}
+
+impl SamplesPerSessionHistogram {
+    /// Builds the histogram for a slice of samples.
+    pub fn from_samples(samples: &[Sample]) -> Self {
+        let mut per_session: HashMap<SessionId, u64> = HashMap::new();
+        for s in samples {
+            *per_session.entry(s.session_id).or_insert(0) += 1;
+        }
+        let sessions = per_session.len();
+        let max = per_session.values().copied().max().unwrap_or(0);
+        let mean = if sessions == 0 {
+            0.0
+        } else {
+            samples.len() as f64 / sessions as f64
+        };
+
+        // Geometric buckets up to the max count.
+        let mut bounds = vec![1u64];
+        while *bounds.last().expect("non-empty") < max.max(1) {
+            let next = bounds.last().expect("non-empty") * 2;
+            bounds.push(next);
+        }
+        let mut buckets: Vec<(u64, usize)> = bounds.iter().map(|&b| (b, 0)).collect();
+        for &count in per_session.values() {
+            let idx = buckets
+                .iter()
+                .position(|&(bound, _)| count <= bound)
+                .unwrap_or(buckets.len() - 1);
+            buckets[idx].1 += 1;
+        }
+
+        Self {
+            buckets,
+            mean,
+            max,
+            sessions,
+            samples: samples.len(),
+        }
+    }
+}
+
+/// Exact and partial duplication measured for one sparse feature across a
+/// partition, computed within sessions (paper Figure 4).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FeatureDuplication {
+    /// Feature name.
+    pub name: String,
+    /// Whether the feature is a user, item, or context feature.
+    pub class: FeatureClass,
+    /// Average value-list length observed.
+    pub avg_len: f64,
+    /// Fraction of samples whose value exactly matches an earlier sample of
+    /// the same session (duplicate copies / total samples).
+    pub exact_fraction: f64,
+    /// Fraction of individual ids that are duplicates of ids already seen in
+    /// the same session for this feature.
+    pub partial_fraction: f64,
+    /// Total ids observed for the feature.
+    pub total_values: usize,
+}
+
+/// Full §3-style characterization of a partition.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CharacterizationReport {
+    /// Samples-per-session histogram over the whole partition (Figure 3,
+    /// left).
+    pub partition_histogram: SamplesPerSessionHistogram,
+    /// Samples-per-session histogram within one batch of `batch_size`
+    /// samples taken from the partition in storage order (Figure 3, right).
+    pub batch_histogram: SamplesPerSessionHistogram,
+    /// Batch size used for the batch histogram.
+    pub batch_size: usize,
+    /// Per-feature duplication, sorted by descending exact fraction.
+    pub per_feature: Vec<FeatureDuplication>,
+    /// Byte-weighted exact duplicate fraction across all features (paper:
+    /// 81.6%).
+    pub weighted_exact_fraction: f64,
+    /// Byte-weighted partial duplicate fraction across all features (paper:
+    /// 89.4%).
+    pub weighted_partial_fraction: f64,
+}
+
+impl CharacterizationReport {
+    /// Mean exact-duplicate fraction across features (unweighted, the
+    /// paper's "80.0% on average across all features").
+    pub fn mean_exact_fraction(&self) -> f64 {
+        if self.per_feature.is_empty() {
+            0.0
+        } else {
+            self.per_feature.iter().map(|f| f.exact_fraction).sum::<f64>()
+                / self.per_feature.len() as f64
+        }
+    }
+
+    /// Mean partial-duplicate fraction across features.
+    pub fn mean_partial_fraction(&self) -> f64 {
+        if self.per_feature.is_empty() {
+            0.0
+        } else {
+            self.per_feature.iter().map(|f| f.partial_fraction).sum::<f64>()
+                / self.per_feature.len() as f64
+        }
+    }
+}
+
+/// Characterizes a partition: samples-per-session histograms and per-feature
+/// exact/partial duplication.
+///
+/// `samples` must be in the order the partition is stored in (inference-time
+/// order for a baseline table, clustered order after the RecD ETL); the batch
+/// histogram simply takes the first `batch_size` samples in that order.
+pub fn characterize(
+    schema: &Schema,
+    samples: &[Sample],
+    batch_size: usize,
+) -> CharacterizationReport {
+    let partition_histogram = SamplesPerSessionHistogram::from_samples(samples);
+    let batch = &samples[..batch_size.min(samples.len())];
+    let batch_histogram = SamplesPerSessionHistogram::from_samples(batch);
+
+    // Group sample indices by session once.
+    let mut by_session: HashMap<SessionId, Vec<usize>> = HashMap::new();
+    for (idx, s) in samples.iter().enumerate() {
+        by_session.entry(s.session_id).or_default().push(idx);
+    }
+
+    let mut per_feature = Vec::with_capacity(schema.sparse_count());
+    let mut weighted_exact_dups = 0usize;
+    let mut weighted_partial_dups = 0usize;
+    let mut weighted_total = 0usize;
+
+    for spec in schema.sparse_features() {
+        let fi = spec.id.index();
+        let mut duplicate_samples = 0usize;
+        let mut total_samples = 0usize;
+        let mut duplicate_ids = 0usize;
+        let mut total_ids = 0usize;
+
+        for indices in by_session.values() {
+            // Exact duplicates: samples whose list was already seen in the
+            // session (hash + equality confirmation).
+            let mut seen_lists: HashMap<u64, Vec<usize>> = HashMap::new();
+            // Partial duplicates: individual ids already seen in the session.
+            let mut seen_ids: HashSet<u64> = HashSet::new();
+            for &idx in indices {
+                let value = &samples[idx].sparse[fi];
+                total_samples += 1;
+                total_ids += value.len();
+
+                let digest = hash_ids(value);
+                let candidates = seen_lists.entry(digest).or_default();
+                let exact = candidates
+                    .iter()
+                    .any(|&earlier| samples[earlier].sparse[fi] == *value);
+                if exact {
+                    duplicate_samples += 1;
+                } else {
+                    candidates.push(idx);
+                }
+
+                for &id in value {
+                    if !seen_ids.insert(id) {
+                        duplicate_ids += 1;
+                    }
+                }
+            }
+        }
+
+        let exact_fraction = if total_samples == 0 {
+            0.0
+        } else {
+            duplicate_samples as f64 / total_samples as f64
+        };
+        let partial_fraction = if total_ids == 0 {
+            0.0
+        } else {
+            duplicate_ids as f64 / total_ids as f64
+        };
+        let avg_len = if total_samples == 0 {
+            0.0
+        } else {
+            total_ids as f64 / total_samples as f64
+        };
+
+        // Byte weighting: exact duplicates contribute their full list length.
+        weighted_exact_dups += (exact_fraction * total_ids as f64) as usize;
+        weighted_partial_dups += duplicate_ids;
+        weighted_total += total_ids;
+
+        per_feature.push(FeatureDuplication {
+            name: spec.name.clone(),
+            class: spec.class,
+            avg_len,
+            exact_fraction,
+            partial_fraction,
+            total_values: total_ids,
+        });
+    }
+
+    per_feature.sort_by(|a, b| {
+        b.exact_fraction
+            .partial_cmp(&a.exact_fraction)
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+
+    let weighted_exact_fraction = if weighted_total == 0 {
+        0.0
+    } else {
+        weighted_exact_dups as f64 / weighted_total as f64
+    };
+    let weighted_partial_fraction = if weighted_total == 0 {
+        0.0
+    } else {
+        weighted_partial_dups as f64 / weighted_total as f64
+    };
+
+    CharacterizationReport {
+        partition_histogram,
+        batch_histogram,
+        batch_size,
+        per_feature,
+        weighted_exact_fraction,
+        weighted_partial_fraction,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{WorkloadConfig, WorkloadPreset};
+    use crate::generator::DatasetGenerator;
+
+    #[test]
+    fn histogram_counts_sessions_and_mean() {
+        let gen = DatasetGenerator::new(WorkloadConfig::preset(WorkloadPreset::Tiny));
+        let partition = gen.generate_partition();
+        let hist = SamplesPerSessionHistogram::from_samples(&partition.samples);
+        assert_eq!(hist.sessions, partition.sessions);
+        assert_eq!(hist.samples, partition.len());
+        assert!((hist.mean - partition.samples_per_session()).abs() < 1e-9);
+        let bucketed: usize = hist.buckets.iter().map(|&(_, c)| c).sum();
+        assert_eq!(bucketed, hist.sessions);
+        assert!(hist.max >= 1);
+    }
+
+    #[test]
+    fn interleaved_batches_have_few_samples_per_session() {
+        // Reproduces the Figure 3 contrast: the partition has a high mean
+        // samples-per-session while a storage-order batch has close to 1.
+        let gen = DatasetGenerator::new(
+            WorkloadConfig::preset(WorkloadPreset::Small).with_sessions(300),
+        );
+        let partition = gen.generate_partition();
+        let report = characterize(&partition.schema, &partition.samples, 512);
+        assert!(report.partition_histogram.mean > 5.0);
+        assert!(
+            report.batch_histogram.mean < report.partition_histogram.mean / 3.0,
+            "interleaved batch should have far fewer samples per session ({}) than the partition ({})",
+            report.batch_histogram.mean,
+            report.partition_histogram.mean
+        );
+    }
+
+    #[test]
+    fn user_features_dominate_duplication() {
+        let gen = DatasetGenerator::new(WorkloadConfig::preset(WorkloadPreset::Tiny));
+        let partition = gen.generate_partition();
+        let report = characterize(&partition.schema, &partition.samples, 256);
+
+        let user_exact: Vec<f64> = report
+            .per_feature
+            .iter()
+            .filter(|f| f.class == FeatureClass::User)
+            .map(|f| f.exact_fraction)
+            .collect();
+        let item_exact: Vec<f64> = report
+            .per_feature
+            .iter()
+            .filter(|f| f.class == FeatureClass::Item)
+            .map(|f| f.exact_fraction)
+            .collect();
+        let user_mean = user_exact.iter().sum::<f64>() / user_exact.len() as f64;
+        let item_mean = item_exact.iter().sum::<f64>() / item_exact.len() as f64;
+        assert!(
+            user_mean > 0.5,
+            "user features should be mostly duplicated, got {user_mean}"
+        );
+        assert!(item_mean < 0.3, "item features should rarely duplicate, got {item_mean}");
+
+        // Partial duplication captures at least as much as exact duplication.
+        assert!(report.weighted_partial_fraction >= report.weighted_exact_fraction - 1e-9);
+        assert!(report.mean_partial_fraction() >= 0.0);
+        assert!(report.mean_exact_fraction() <= 1.0);
+    }
+
+    #[test]
+    fn empty_partition_characterization() {
+        let gen = DatasetGenerator::new(WorkloadConfig::preset(WorkloadPreset::Tiny));
+        let schema = gen.schema().clone();
+        let report = characterize(&schema, &[], 128);
+        assert_eq!(report.partition_histogram.sessions, 0);
+        assert_eq!(report.weighted_exact_fraction, 0.0);
+        assert_eq!(report.mean_exact_fraction(), 0.0);
+        assert!(report.per_feature.iter().all(|f| f.total_values == 0));
+    }
+}

@@ -1,0 +1,136 @@
+//! Small samplers used by the workload generator.
+
+use rand::Rng;
+
+/// Samples a heavy-tailed positive integer from a discretized log-normal
+/// distribution, used for the number of samples a session generates.
+///
+/// The paper's Figure 3 shows a mean of 16.5 samples per session within an
+/// hourly partition with a tail beyond 1000; a log-normal with
+/// `sigma ≈ 1.4–1.6` reproduces that shape.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LogNormalSampler {
+    mu: f64,
+    sigma: f64,
+}
+
+impl LogNormalSampler {
+    /// Creates a sampler from the distribution's natural parameters.
+    pub fn new(mu: f64, sigma: f64) -> Self {
+        Self {
+            mu,
+            sigma: sigma.max(1e-6),
+        }
+    }
+
+    /// Creates a sampler whose distribution has the requested arithmetic
+    /// mean, given the log-space standard deviation `sigma`.
+    pub fn with_mean(mean: f64, sigma: f64) -> Self {
+        let sigma = sigma.max(1e-6);
+        let mu = mean.max(1.0).ln() - sigma * sigma / 2.0;
+        Self::new(mu, sigma)
+    }
+
+    /// Draws a sample, rounded to an integer and clamped to at least 1.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u64 {
+        // Box-Muller transform over two uniforms.
+        let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+        let u2: f64 = rng.gen_range(0.0..1.0);
+        let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+        let value = (self.mu + self.sigma * z).exp();
+        value.round().max(1.0) as u64
+    }
+}
+
+/// Samples categorical ids with a skewed (power-law-like) popularity, so a
+/// few ids are hot and most are cold — the shape real DLRM id spaces have.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PowerLawIdSampler {
+    cardinality: u64,
+    skew: f64,
+}
+
+impl PowerLawIdSampler {
+    /// Creates a sampler over `[0, cardinality)` with the given skew
+    /// exponent (larger = more skewed; 0 = uniform).
+    pub fn new(cardinality: u64, skew: f64) -> Self {
+        Self {
+            cardinality: cardinality.max(1),
+            skew: skew.max(0.0),
+        }
+    }
+
+    /// Draws one id.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u64 {
+        let u: f64 = rng.gen_range(0.0..1.0);
+        // Inverse-transform of a bounded Pareto-like CDF: u^(1+skew) pushes
+        // mass toward small ids.
+        let skewed = u.powf(1.0 + self.skew);
+        ((skewed * self.cardinality as f64) as u64).min(self.cardinality - 1)
+    }
+
+    /// Draws a list of `len` ids.
+    pub fn sample_list<R: Rng + ?Sized>(&self, rng: &mut R, len: usize) -> Vec<u64> {
+        (0..len).map(|_| self.sample(rng)).collect()
+    }
+
+    /// The id-space size.
+    pub fn cardinality(&self) -> u64 {
+        self.cardinality
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn lognormal_mean_is_close_to_target() {
+        let sampler = LogNormalSampler::with_mean(16.5, 1.4);
+        let mut rng = StdRng::seed_from_u64(7);
+        let n = 200_000;
+        let total: u64 = (0..n).map(|_| sampler.sample(&mut rng)).sum();
+        let mean = total as f64 / n as f64;
+        assert!(
+            (mean - 16.5).abs() < 1.5,
+            "empirical mean {mean} too far from 16.5"
+        );
+    }
+
+    #[test]
+    fn lognormal_has_a_heavy_tail_but_never_returns_zero() {
+        let sampler = LogNormalSampler::with_mean(16.5, 1.5);
+        let mut rng = StdRng::seed_from_u64(11);
+        let samples: Vec<u64> = (0..100_000).map(|_| sampler.sample(&mut rng)).collect();
+        assert!(samples.iter().all(|&s| s >= 1));
+        assert!(
+            samples.iter().any(|&s| s > 300),
+            "expected a tail beyond 300 samples per session"
+        );
+    }
+
+    #[test]
+    fn power_law_ids_stay_in_range_and_are_skewed() {
+        let sampler = PowerLawIdSampler::new(1000, 2.0);
+        let mut rng = StdRng::seed_from_u64(3);
+        let samples: Vec<u64> = (0..50_000).map(|_| sampler.sample(&mut rng)).collect();
+        assert!(samples.iter().all(|&id| id < 1000));
+        let small_fraction =
+            samples.iter().filter(|&&id| id < 100).count() as f64 / samples.len() as f64;
+        assert!(
+            small_fraction > 0.3,
+            "skewed sampler should favor small ids, got {small_fraction}"
+        );
+        assert_eq!(sampler.cardinality(), 1000);
+    }
+
+    #[test]
+    fn degenerate_cardinality() {
+        let sampler = PowerLawIdSampler::new(0, 1.0);
+        let mut rng = StdRng::seed_from_u64(5);
+        assert_eq!(sampler.sample(&mut rng), 0);
+        assert_eq!(sampler.sample_list(&mut rng, 3), vec![0, 0, 0]);
+    }
+}

@@ -1,0 +1,279 @@
+//! Per-session feature evolution.
+//!
+//! A session holds the current value of every user feature. Each impression
+//! either keeps a feature's value (probability `d(f)`, the stay probability)
+//! or updates it; sequence features update by *shifting* (append one new id,
+//! drop the oldest), which is what produces the paper's partial duplicates.
+
+use crate::config::WorkloadConfig;
+use crate::distributions::PowerLawIdSampler;
+use rand::Rng;
+use recd_data::{
+    EventLog, FeatureClass, FeatureLog, RequestId, Sample, Schema, SessionId, Timestamp,
+};
+
+/// The evolving state of one user session.
+#[derive(Debug, Clone)]
+pub struct SessionState {
+    /// The session's identifier.
+    pub session_id: SessionId,
+    /// Time of the session's first impression.
+    pub start: Timestamp,
+    /// Number of impressions this session will generate.
+    pub impressions: usize,
+    /// Current value of every sparse feature (schema order).
+    current_sparse: Vec<Vec<u64>>,
+    /// Current value of every dense feature (schema order).
+    current_dense: Vec<f32>,
+}
+
+/// Generates the samples (or raw logs) of one session at a time.
+#[derive(Debug, Clone)]
+pub struct SessionGenerator {
+    config: WorkloadConfig,
+    schema: Schema,
+    id_samplers: Vec<PowerLawIdSampler>,
+}
+
+impl SessionGenerator {
+    /// Creates a generator for the given workload.
+    pub fn new(config: WorkloadConfig) -> Self {
+        let schema = config.schema();
+        let id_samplers = schema
+            .sparse_features()
+            .iter()
+            .map(|spec| PowerLawIdSampler::new(spec.cardinality, 1.5))
+            .collect();
+        Self {
+            config,
+            schema,
+            id_samplers,
+        }
+    }
+
+    /// Borrows the dataset schema.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Borrows the workload configuration.
+    pub fn config(&self) -> &WorkloadConfig {
+        &self.config
+    }
+
+    /// Initializes a session: samples its length, start time, and initial
+    /// feature values.
+    pub fn start_session<R: Rng + ?Sized>(
+        &self,
+        rng: &mut R,
+        session_id: SessionId,
+        impressions: usize,
+    ) -> SessionState {
+        let start =
+            Timestamp::from_millis(rng.gen_range(0..self.config.window_ms.max(1)));
+        let current_sparse = self
+            .schema
+            .sparse_features()
+            .iter()
+            .zip(&self.id_samplers)
+            .map(|(spec, sampler)| sampler.sample_list(rng, spec.avg_len.max(1.0) as usize))
+            .collect();
+        let current_dense = (0..self.config.dense_features)
+            .map(|_| rng.gen_range(0.0..1.0))
+            .collect();
+        SessionState {
+            session_id,
+            start,
+            impressions,
+            current_sparse,
+            current_dense,
+        }
+    }
+
+    /// Produces the sample for impression `index` of a session, mutating the
+    /// session state according to each feature's stay probability.
+    pub fn next_sample<R: Rng + ?Sized>(
+        &self,
+        rng: &mut R,
+        state: &mut SessionState,
+        index: usize,
+        request_id: RequestId,
+    ) -> Sample {
+        // Evolve features (the first impression uses the initial values).
+        if index > 0 {
+            for (feature_idx, spec) in self.schema.sparse_features().iter().enumerate() {
+                let stays = rng.gen_bool(spec.stay_prob.clamp(0.0, 1.0));
+                if stays {
+                    continue;
+                }
+                let sampler = &self.id_samplers[feature_idx];
+                let value = &mut state.current_sparse[feature_idx];
+                match spec.class {
+                    FeatureClass::User | FeatureClass::Context => {
+                        // Shift: append a new id, drop the oldest, keeping the
+                        // length stable — the sliding-history update.
+                        value.push(sampler.sample(rng));
+                        if value.len() > spec.avg_len.max(1.0) as usize {
+                            value.remove(0);
+                        }
+                    }
+                    FeatureClass::Item => {
+                        // Item features are resampled wholesale: a different
+                        // candidate item is being ranked.
+                        *value = sampler.sample_list(rng, spec.avg_len.max(1.0) as usize);
+                    }
+                }
+            }
+            // Dense features drift slightly every impression.
+            for v in &mut state.current_dense {
+                *v = (*v + rng.gen_range(-0.05..0.05)).clamp(0.0, 1.0);
+            }
+        }
+
+        let timestamp = state
+            .start
+            .advanced_by(index as u64 * self.config.impression_gap_ms);
+        let label = if rng.gen_bool(self.config.positive_rate.clamp(0.0, 1.0)) {
+            1.0
+        } else {
+            0.0
+        };
+        Sample::builder(state.session_id, request_id, timestamp)
+            .label(label)
+            .dense(state.current_dense.clone())
+            .sparse(state.current_sparse.clone())
+            .build()
+    }
+
+    /// Splits a sample into the raw feature/event log pair the inference tier
+    /// would emit for it.
+    pub fn to_logs(sample: &Sample) -> (FeatureLog, EventLog) {
+        (
+            FeatureLog {
+                request_id: sample.request_id,
+                session_id: sample.session_id,
+                timestamp: sample.timestamp,
+                dense: sample.dense.clone(),
+                sparse: sample.sparse.clone(),
+            },
+            EventLog {
+                request_id: sample.request_id,
+                session_id: sample.session_id,
+                // Outcomes are observed shortly after the impression.
+                timestamp: sample.timestamp.advanced_by(500),
+                label: sample.label,
+            },
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::WorkloadPreset;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn generator() -> SessionGenerator {
+        SessionGenerator::new(WorkloadConfig::preset(WorkloadPreset::Tiny))
+    }
+
+    #[test]
+    fn session_samples_share_session_id_and_advance_in_time() {
+        let gen = generator();
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut state = gen.start_session(&mut rng, SessionId::new(9), 5);
+        let samples: Vec<Sample> = (0..5)
+            .map(|i| gen.next_sample(&mut rng, &mut state, i, RequestId::new(i as u64)))
+            .collect();
+        assert!(samples.iter().all(|s| s.session_id == SessionId::new(9)));
+        assert!(samples.windows(2).all(|w| w[0].timestamp < w[1].timestamp));
+        let schema = gen.schema();
+        for s in &samples {
+            assert!(schema.validate_sample(s).is_ok());
+        }
+    }
+
+    #[test]
+    fn user_features_are_mostly_duplicated_item_features_are_not() {
+        let gen = generator();
+        let schema = gen.schema().clone();
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut user_dups = 0usize;
+        let mut user_total = 0usize;
+        let mut item_dups = 0usize;
+        let mut item_total = 0usize;
+        for session in 0..50u64 {
+            let mut state = gen.start_session(&mut rng, SessionId::new(session), 10);
+            let samples: Vec<Sample> = (0..10)
+                .map(|i| gen.next_sample(&mut rng, &mut state, i, RequestId::new(session * 100 + i as u64)))
+                .collect();
+            for spec in schema.sparse_features() {
+                for pair in samples.windows(2) {
+                    let same = pair[0].sparse[spec.id.index()] == pair[1].sparse[spec.id.index()];
+                    match spec.class {
+                        FeatureClass::User | FeatureClass::Context => {
+                            user_total += 1;
+                            if same {
+                                user_dups += 1;
+                            }
+                        }
+                        FeatureClass::Item => {
+                            item_total += 1;
+                            if same {
+                                item_dups += 1;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        let user_rate = user_dups as f64 / user_total as f64;
+        let item_rate = item_dups as f64 / item_total as f64;
+        assert!(user_rate > 0.7, "user duplication rate too low: {user_rate}");
+        assert!(item_rate < 0.3, "item duplication rate too high: {item_rate}");
+    }
+
+    #[test]
+    fn sequence_updates_are_shifts_not_rewrites() {
+        let gen = generator();
+        let schema = gen.schema().clone();
+        let seq_feature = schema
+            .sparse_features()
+            .iter()
+            .find(|f| f.name.starts_with("user_seq"))
+            .unwrap()
+            .id;
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut state = gen.start_session(&mut rng, SessionId::new(1), 40);
+        let samples: Vec<Sample> = (0..40)
+            .map(|i| gen.next_sample(&mut rng, &mut state, i, RequestId::new(i as u64)))
+            .collect();
+        // When the value changes, the overlap with the previous value must be
+        // nearly complete (a single-element shift).
+        for pair in samples.windows(2) {
+            let prev = &pair[0].sparse[seq_feature.index()];
+            let next = &pair[1].sparse[seq_feature.index()];
+            if prev != next {
+                let shared = next.iter().filter(|id| prev.contains(id)).count();
+                assert!(
+                    shared * 10 >= next.len() * 8,
+                    "sequence update should preserve most ids"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn logs_round_trip_the_sample_content() {
+        let gen = generator();
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut state = gen.start_session(&mut rng, SessionId::new(2), 1);
+        let sample = gen.next_sample(&mut rng, &mut state, 0, RequestId::new(77));
+        let (features, event) = SessionGenerator::to_logs(&sample);
+        assert_eq!(features.request_id, sample.request_id);
+        assert_eq!(features.sparse, sample.sparse);
+        assert_eq!(event.label, sample.label);
+        assert!(event.timestamp > sample.timestamp);
+    }
+}

@@ -1,0 +1,127 @@
+//! Downsampling policies (paper §7, "Boosting Dedupe Factors").
+//!
+//! Production pipelines discard a fraction of training samples to keep
+//! datasets at a manageable size. Doing this per *sample* shrinks every
+//! session uniformly and therefore shrinks `S`, the samples-per-session
+//! statistic that all of RecD's benefits scale with. Downsampling per
+//! *session* removes whole sessions instead, keeping `S` (and thus the
+//! dedupe factors) intact for the sessions that survive.
+
+use recd_codec::hash_ids;
+use recd_data::Sample;
+use serde::{Deserialize, Serialize};
+
+/// Which unit the downsampler drops.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DownsamplePolicy {
+    /// Drop individual samples independently (the status quo).
+    PerSample,
+    /// Drop whole sessions, keeping every sample of surviving sessions
+    /// (RecD's proposed policy).
+    PerSession,
+}
+
+/// Downsamples a slice of samples, keeping roughly `keep_rate` of them.
+///
+/// The decision is a deterministic hash of `(seed, sample or session id)`,
+/// so repeated runs keep the same rows, mirroring how production samplers
+/// key off stable identifiers.
+pub fn downsample(
+    samples: &[Sample],
+    policy: DownsamplePolicy,
+    keep_rate: f64,
+    seed: u64,
+) -> Vec<Sample> {
+    let keep_rate = keep_rate.clamp(0.0, 1.0);
+    let threshold = (keep_rate * u64::MAX as f64) as u64;
+    samples
+        .iter()
+        .filter(|s| {
+            let key = match policy {
+                DownsamplePolicy::PerSample => s.request_id.raw(),
+                DownsamplePolicy::PerSession => s.session_id.raw(),
+            };
+            hash_ids(&[seed, key]) <= threshold
+        })
+        .cloned()
+        .collect()
+}
+
+/// Average samples per session of a slice (0.0 for an empty slice).
+pub fn samples_per_session(samples: &[Sample]) -> f64 {
+    if samples.is_empty() {
+        return 0.0;
+    }
+    let mut sessions: Vec<u64> = samples.iter().map(|s| s.session_id.raw()).collect();
+    sessions.sort_unstable();
+    sessions.dedup();
+    samples.len() as f64 / sessions.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use recd_data::{RequestId, SessionId, Timestamp};
+
+    fn dataset() -> Vec<Sample> {
+        // 200 sessions x 10 samples each.
+        let mut out = Vec::new();
+        let mut request = 0u64;
+        for session in 0..200u64 {
+            for i in 0..10u64 {
+                out.push(
+                    Sample::builder(
+                        SessionId::new(session),
+                        RequestId::new(request),
+                        Timestamp::from_millis(i),
+                    )
+                    .sparse(vec![vec![session, i]])
+                    .build(),
+                );
+                request += 1;
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn keep_rate_is_roughly_honoured_by_both_policies() {
+        let data = dataset();
+        for policy in [DownsamplePolicy::PerSample, DownsamplePolicy::PerSession] {
+            let kept = downsample(&data, policy, 0.5, 3);
+            let fraction = kept.len() as f64 / data.len() as f64;
+            assert!(
+                (0.35..0.65).contains(&fraction),
+                "{policy:?} kept {fraction}"
+            );
+        }
+    }
+
+    #[test]
+    fn per_session_downsampling_preserves_samples_per_session() {
+        let data = dataset();
+        let original_s = samples_per_session(&data);
+        let per_sample = downsample(&data, DownsamplePolicy::PerSample, 0.4, 7);
+        let per_session = downsample(&data, DownsamplePolicy::PerSession, 0.4, 7);
+        assert!(
+            samples_per_session(&per_sample) < original_s * 0.6,
+            "per-sample downsampling must shrink S"
+        );
+        assert!(
+            (samples_per_session(&per_session) - original_s).abs() < 1e-9,
+            "per-session downsampling must keep S intact"
+        );
+    }
+
+    #[test]
+    fn downsampling_is_deterministic_and_respects_bounds() {
+        let data = dataset();
+        let a = downsample(&data, DownsamplePolicy::PerSession, 0.3, 11);
+        let b = downsample(&data, DownsamplePolicy::PerSession, 0.3, 11);
+        assert_eq!(a, b);
+        assert!(downsample(&data, DownsamplePolicy::PerSample, 0.0, 1).is_empty());
+        assert_eq!(downsample(&data, DownsamplePolicy::PerSample, 1.0, 1).len(), data.len());
+        assert!(downsample(&[], DownsamplePolicy::PerSession, 0.5, 1).is_empty());
+        assert_eq!(samples_per_session(&[]), 0.0);
+    }
+}

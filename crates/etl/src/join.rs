@@ -1,0 +1,144 @@
+//! Joining raw feature logs and event logs into labeled samples.
+
+use recd_data::{LogRecord, RequestId, Sample};
+use std::collections::HashMap;
+
+/// The result of joining a log stream.
+#[derive(Debug, Clone, Default)]
+pub struct JoinOutput {
+    /// Labeled samples (one per feature/event pair that matched on request
+    /// id).
+    pub samples: Vec<Sample>,
+    /// Feature logs that never saw a matching event (no impression outcome
+    /// was logged — dropped by the join, as in production).
+    pub unmatched_features: usize,
+    /// Event logs that never saw matching features.
+    pub unmatched_events: usize,
+}
+
+/// Joins feature logs and event logs on [`RequestId`], producing one labeled
+/// sample per matched pair. The sample keeps the *feature log's* timestamp
+/// (the impression time), matching how the paper's pipeline orders rows.
+pub fn join_logs(records: &[LogRecord]) -> JoinOutput {
+    let mut features: HashMap<RequestId, usize> = HashMap::new();
+    let mut events: HashMap<RequestId, usize> = HashMap::new();
+    for (idx, record) in records.iter().enumerate() {
+        match record {
+            LogRecord::Feature(f) => {
+                features.insert(f.request_id, idx);
+            }
+            LogRecord::Event(e) => {
+                events.insert(e.request_id, idx);
+            }
+        }
+    }
+
+    let mut samples = Vec::new();
+    let mut matched = 0usize;
+    for (request_id, &feature_idx) in &features {
+        let Some(&event_idx) = events.get(request_id) else {
+            continue;
+        };
+        let (LogRecord::Feature(f), LogRecord::Event(e)) =
+            (&records[feature_idx], &records[event_idx])
+        else {
+            continue;
+        };
+        matched += 1;
+        samples.push(
+            Sample::builder(f.session_id, f.request_id, f.timestamp)
+                .label(e.label)
+                .dense(f.dense.clone())
+                .sparse(f.sparse.clone())
+                .build(),
+        );
+    }
+    // Deterministic output order regardless of hash-map iteration order.
+    samples.sort_by_key(|s| (s.timestamp, s.request_id));
+
+    JoinOutput {
+        unmatched_features: features.len() - matched,
+        unmatched_events: events.len() - matched,
+        samples,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use recd_data::{EventLog, FeatureLog, SessionId, Timestamp};
+
+    fn feature(request: u64, session: u64, ts: u64) -> LogRecord {
+        LogRecord::Feature(FeatureLog {
+            request_id: RequestId::new(request),
+            session_id: SessionId::new(session),
+            timestamp: Timestamp::from_millis(ts),
+            dense: vec![ts as f32],
+            sparse: vec![vec![request]],
+        })
+    }
+
+    fn event(request: u64, session: u64, ts: u64, label: f32) -> LogRecord {
+        LogRecord::Event(EventLog {
+            request_id: RequestId::new(request),
+            session_id: SessionId::new(session),
+            timestamp: Timestamp::from_millis(ts),
+            label,
+        })
+    }
+
+    #[test]
+    fn matched_pairs_become_labeled_samples() {
+        let records = vec![
+            feature(1, 10, 100),
+            event(1, 10, 150, 1.0),
+            feature(2, 10, 200),
+            event(2, 10, 260, 0.0),
+        ];
+        let out = join_logs(&records);
+        assert_eq!(out.samples.len(), 2);
+        assert_eq!(out.unmatched_features, 0);
+        assert_eq!(out.unmatched_events, 0);
+        assert_eq!(out.samples[0].request_id, RequestId::new(1));
+        assert_eq!(out.samples[0].label, 1.0);
+        assert_eq!(out.samples[0].timestamp.as_millis(), 100);
+        assert_eq!(out.samples[1].label, 0.0);
+    }
+
+    #[test]
+    fn unmatched_records_are_counted_and_dropped() {
+        let records = vec![
+            feature(1, 10, 100),
+            feature(2, 10, 200),
+            event(2, 10, 260, 1.0),
+            event(3, 11, 300, 1.0),
+        ];
+        let out = join_logs(&records);
+        assert_eq!(out.samples.len(), 1);
+        assert_eq!(out.unmatched_features, 1);
+        assert_eq!(out.unmatched_events, 1);
+    }
+
+    #[test]
+    fn output_is_sorted_by_impression_time() {
+        let records = vec![
+            feature(5, 1, 500),
+            event(5, 1, 501, 0.0),
+            feature(3, 1, 300),
+            event(3, 1, 301, 0.0),
+            feature(4, 2, 400),
+            event(4, 2, 401, 1.0),
+        ];
+        let out = join_logs(&records);
+        let times: Vec<u64> = out.samples.iter().map(|s| s.timestamp.as_millis()).collect();
+        assert_eq!(times, vec![300, 400, 500]);
+    }
+
+    #[test]
+    fn empty_input() {
+        let out = join_logs(&[]);
+        assert!(out.samples.is_empty());
+        assert_eq!(out.unmatched_features, 0);
+        assert_eq!(out.unmatched_events, 0);
+    }
+}

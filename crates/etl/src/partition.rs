@@ -1,0 +1,168 @@
+//! Hourly table partitioning and row layout (time-ordered vs clustered by
+//! session).
+
+use recd_data::{Sample, SampleBatch};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// One hourly table partition, as landed into the warehouse.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct TablePartition {
+    /// Hour bucket (timestamp / 1h) the partition covers.
+    pub hour: u64,
+    /// Rows of the partition, in landed order.
+    pub samples: Vec<Sample>,
+}
+
+impl TablePartition {
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Returns true if the partition holds no rows.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// The partition's rows as a [`SampleBatch`], preserving order.
+    pub fn to_batch(&self) -> SampleBatch {
+        SampleBatch::new(self.samples.clone())
+    }
+}
+
+/// Splits samples into hourly table partitions.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct HourlyPartitioner;
+
+impl HourlyPartitioner {
+    /// Lands samples into hourly partitions, keyed by
+    /// [`Timestamp::hour_bucket`](recd_data::Timestamp::hour_bucket).
+    /// Partitions are returned in hour order; rows keep their input order
+    /// within each partition.
+    pub fn partition(samples: Vec<Sample>) -> Vec<TablePartition> {
+        let mut by_hour: BTreeMap<u64, Vec<Sample>> = BTreeMap::new();
+        for sample in samples {
+            by_hour
+                .entry(sample.timestamp.hour_bucket())
+                .or_default()
+                .push(sample);
+        }
+        by_hour
+            .into_iter()
+            .map(|(hour, samples)| TablePartition { hour, samples })
+            .collect()
+    }
+}
+
+/// Baseline row layout: order rows by inference time (sessions interleave).
+pub fn interleave_by_time(samples: &[Sample]) -> Vec<Sample> {
+    let mut out = samples.to_vec();
+    out.sort_by_key(|s| (s.timestamp, s.request_id));
+    out
+}
+
+/// RecD O2 row layout: `CLUSTER BY session_id SORT BY timestamp` — all of a
+/// session's rows become adjacent, ordered by time within the session.
+/// Sessions themselves are ordered by their first timestamp so the partition
+/// remains roughly chronological.
+pub fn cluster_by_session(samples: &[Sample]) -> Vec<Sample> {
+    let mut first_seen: BTreeMap<u64, u64> = BTreeMap::new();
+    for s in samples {
+        let entry = first_seen
+            .entry(s.session_id.raw())
+            .or_insert(s.timestamp.as_millis());
+        *entry = (*entry).min(s.timestamp.as_millis());
+    }
+    let mut out = samples.to_vec();
+    out.sort_by_key(|s| {
+        (
+            first_seen[&s.session_id.raw()],
+            s.session_id,
+            s.timestamp,
+            s.request_id,
+        )
+    });
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use recd_data::{RequestId, SessionId, Timestamp};
+
+    fn sample(session: u64, request: u64, ts: u64) -> Sample {
+        Sample::builder(
+            SessionId::new(session),
+            RequestId::new(request),
+            Timestamp::from_millis(ts),
+        )
+        .sparse(vec![vec![session]])
+        .build()
+    }
+
+    #[test]
+    fn partitioner_groups_by_hour_and_sorts_partitions() {
+        const HOUR: u64 = Timestamp::MILLIS_PER_HOUR;
+        let samples = vec![
+            sample(1, 0, HOUR + 5),
+            sample(1, 1, 10),
+            sample(2, 2, 2 * HOUR + 1),
+            sample(2, 3, 20),
+        ];
+        let partitions = HourlyPartitioner::partition(samples);
+        assert_eq!(partitions.len(), 3);
+        assert_eq!(partitions[0].hour, 0);
+        assert_eq!(partitions[0].len(), 2);
+        assert_eq!(partitions[1].hour, 1);
+        assert_eq!(partitions[2].hour, 2);
+        assert!(!partitions[0].is_empty());
+        assert_eq!(partitions[0].to_batch().len(), 2);
+    }
+
+    #[test]
+    fn clustering_makes_sessions_adjacent_and_preserves_the_multiset() {
+        // Interleaved input: sessions 1 and 2 alternate.
+        let samples = vec![
+            sample(1, 0, 100),
+            sample(2, 1, 150),
+            sample(1, 2, 200),
+            sample(2, 3, 250),
+            sample(1, 4, 300),
+        ];
+        let clustered = cluster_by_session(&samples);
+        assert_eq!(clustered.len(), samples.len());
+        // Session 1 first (earliest first timestamp), all rows adjacent and
+        // time-ordered, then session 2.
+        let sessions: Vec<u64> = clustered.iter().map(|s| s.session_id.raw()).collect();
+        assert_eq!(sessions, vec![1, 1, 1, 2, 2]);
+        let times: Vec<u64> = clustered
+            .iter()
+            .filter(|s| s.session_id.raw() == 1)
+            .map(|s| s.timestamp.as_millis())
+            .collect();
+        assert_eq!(times, vec![100, 200, 300]);
+
+        // Multiset of request ids unchanged.
+        let mut before: Vec<u64> = samples.iter().map(|s| s.request_id.raw()).collect();
+        let mut after: Vec<u64> = clustered.iter().map(|s| s.request_id.raw()).collect();
+        before.sort_unstable();
+        after.sort_unstable();
+        assert_eq!(before, after);
+    }
+
+    #[test]
+    fn interleave_orders_strictly_by_time() {
+        let samples = vec![sample(1, 0, 300), sample(2, 1, 100), sample(1, 2, 200)];
+        let ordered = interleave_by_time(&samples);
+        let times: Vec<u64> = ordered.iter().map(|s| s.timestamp.as_millis()).collect();
+        assert_eq!(times, vec![100, 200, 300]);
+    }
+
+    #[test]
+    fn empty_inputs() {
+        assert!(HourlyPartitioner::partition(Vec::new()).is_empty());
+        assert!(cluster_by_session(&[]).is_empty());
+        assert!(interleave_by_time(&[]).is_empty());
+    }
+}

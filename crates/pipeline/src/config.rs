@@ -1,0 +1,278 @@
+//! Pipeline configuration: the per-optimization switches and the RM model
+//! presets.
+
+use recd_datagen::{FeatureProfile, WorkloadConfig, WorkloadPreset};
+use recd_trainer::{ClusterSpec, PoolingKind};
+use serde::{Deserialize, Serialize};
+
+/// Switches for every RecD optimization (Table 1 of the paper). The
+/// Figure 9 ablation toggles these cumulatively.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct RecdConfig {
+    /// O1: shard Scribe logs by session id instead of per-request hashing.
+    pub o1_log_sharding: bool,
+    /// O2: cluster table partitions by session id.
+    pub o2_cluster_by_session: bool,
+    /// O3: convert configured feature groups to IKJTs at the reader.
+    pub o3_ikjt: bool,
+    /// O4: run preprocessing over deduplicated tensors.
+    pub o4_dedup_preprocessing: bool,
+    /// O5: deduplicated EMB lookups / activations / output all-to-all.
+    pub o5_dedup_emb: bool,
+    /// O6: jagged index select instead of densify-then-select.
+    pub o6_jagged_index_select: bool,
+    /// O7: deduplicated compute for sequence pooling modules.
+    pub o7_dedup_compute: bool,
+}
+
+impl RecdConfig {
+    /// The baseline pipeline: nothing enabled.
+    pub fn baseline() -> Self {
+        Self::default()
+    }
+
+    /// The full RecD pipeline: everything enabled.
+    pub fn full() -> Self {
+        Self {
+            o1_log_sharding: true,
+            o2_cluster_by_session: true,
+            o3_ikjt: true,
+            o4_dedup_preprocessing: true,
+            o5_dedup_emb: true,
+            o6_jagged_index_select: true,
+            o7_dedup_compute: true,
+        }
+    }
+
+    /// The cumulative ablation ladder used by Figure 9: each rung adds one
+    /// more optimization on top of the previous, in the paper's order
+    /// (clustered table, dedup EMB + jagged index select, dedup compute).
+    pub fn ablation_ladder() -> Vec<(&'static str, Self)> {
+        let baseline = Self::baseline();
+        let ct = Self {
+            o1_log_sharding: true,
+            o2_cluster_by_session: true,
+            ..baseline
+        };
+        let de_jis = Self {
+            o3_ikjt: true,
+            o4_dedup_preprocessing: true,
+            o5_dedup_emb: true,
+            o6_jagged_index_select: true,
+            ..ct
+        };
+        let dc = Self {
+            o7_dedup_compute: true,
+            ..de_jis
+        };
+        vec![
+            ("baseline", baseline),
+            ("O1+O2 clustered table", ct),
+            ("+O3-O6 dedup EMB + JIS", de_jis),
+            ("+O7 dedup compute (full RecD)", dc),
+        ]
+    }
+
+    /// Whether any trainer-side optimization requires IKJTs from the reader.
+    pub fn needs_ikjt(&self) -> bool {
+        self.o3_ikjt || self.o5_dedup_emb || self.o6_jagged_index_select || self.o7_dedup_compute
+    }
+}
+
+/// The three representative industrial models of the evaluation (§6.1),
+/// scaled down to laptop size while preserving the architectural traits the
+/// paper uses to explain their different gains.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum RmPreset {
+    /// Many long sequence features in several IKJT groups, transformer
+    /// pooling — the model that benefits most.
+    Rm1,
+    /// Fewer sequence features in one group, attention pooling; shares RM1's
+    /// table.
+    Rm2,
+    /// Moderate sequence features, attention pooling, a table with fewer
+    /// samples per session.
+    Rm3,
+}
+
+impl RmPreset {
+    /// All presets in paper order.
+    pub fn all() -> [RmPreset; 3] {
+        [RmPreset::Rm1, RmPreset::Rm2, RmPreset::Rm3]
+    }
+
+    /// Human-readable name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            RmPreset::Rm1 => "RM1",
+            RmPreset::Rm2 => "RM2",
+            RmPreset::Rm3 => "RM3",
+        }
+    }
+
+    /// Builds the full specification for this preset.
+    pub fn spec(&self) -> RmSpec {
+        match self {
+            RmPreset::Rm1 => RmSpec {
+                preset: *self,
+                workload: rm_workload(16.5, 5, 8, 96, 11),
+                embedding_dim: 64,
+                sequence_pooling: PoolingKind::Transformer,
+                baseline_batch: 512,
+                recd_batch: 1536,
+                gpus: 48,
+                sessions: 280,
+            },
+            RmPreset::Rm2 => RmSpec {
+                preset: *self,
+                // Same table (same workload statistics and seed) as RM1.
+                workload: rm_workload(16.5, 1, 3, 64, 11),
+                embedding_dim: 64,
+                sequence_pooling: PoolingKind::Attention,
+                baseline_batch: 512,
+                recd_batch: 512,
+                gpus: 48,
+                sessions: 280,
+            },
+            RmPreset::Rm3 => RmSpec {
+                preset: *self,
+                workload: rm_workload(6.0, 1, 6, 48, 23),
+                embedding_dim: 64,
+                sequence_pooling: PoolingKind::Attention,
+                baseline_batch: 288,
+                recd_batch: 512,
+                gpus: 64,
+                sessions: 400,
+            },
+        }
+    }
+}
+
+fn rm_workload(
+    samples_per_session: f64,
+    seq_groups: u32,
+    seq_features: usize,
+    seq_len: usize,
+    seed: u64,
+) -> WorkloadConfig {
+    WorkloadConfig {
+        profiles: vec![
+            FeatureProfile::user_sequence(seq_features, seq_len, seq_groups),
+            FeatureProfile::user_elementwise(24),
+            FeatureProfile::item(4),
+        ],
+        samples_per_session_mean: samples_per_session,
+        seed,
+        ..WorkloadConfig::preset(WorkloadPreset::Small)
+    }
+}
+
+/// The full, concrete specification of one RM experiment.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RmSpec {
+    /// Which preset this spec came from.
+    pub preset: RmPreset,
+    /// The dataset workload.
+    pub workload: WorkloadConfig,
+    /// Embedding dimension.
+    pub embedding_dim: usize,
+    /// Pooling used for sequence features.
+    pub sequence_pooling: PoolingKind,
+    /// Baseline global batch size.
+    pub baseline_batch: usize,
+    /// Batch size RecD's memory savings allow (paper §6.1).
+    pub recd_batch: usize,
+    /// Number of GPUs in the trainer tier.
+    pub gpus: usize,
+    /// Number of sessions generated for the experiment.
+    pub sessions: usize,
+}
+
+impl RmSpec {
+    /// The trainer-cluster specification for this RM.
+    pub fn cluster(&self) -> ClusterSpec {
+        ClusterSpec::zionex(self.gpus)
+    }
+
+    /// The workload with the experiment's session count applied.
+    pub fn sized_workload(&self) -> WorkloadConfig {
+        self.workload.clone().with_sessions(self.sessions)
+    }
+
+    /// A shrunken copy for fast tests (fewer sessions, smaller batches).
+    #[must_use]
+    pub fn scaled_down(mut self, sessions: usize) -> Self {
+        self.sessions = sessions;
+        self.baseline_batch = self.baseline_batch.min(128);
+        self.recd_batch = self.recd_batch.min(256);
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_and_baseline_configs() {
+        assert!(!RecdConfig::baseline().needs_ikjt());
+        let full = RecdConfig::full();
+        assert!(full.o1_log_sharding && full.o7_dedup_compute && full.needs_ikjt());
+    }
+
+    #[test]
+    fn ablation_ladder_is_monotone() {
+        let ladder = RecdConfig::ablation_ladder();
+        assert_eq!(ladder.len(), 4);
+        assert_eq!(ladder[0].1, RecdConfig::baseline());
+        assert_eq!(ladder[3].1, RecdConfig::full());
+        // Each rung enables at least as much as the previous one.
+        let count = |c: &RecdConfig| {
+            [
+                c.o1_log_sharding,
+                c.o2_cluster_by_session,
+                c.o3_ikjt,
+                c.o4_dedup_preprocessing,
+                c.o5_dedup_emb,
+                c.o6_jagged_index_select,
+                c.o7_dedup_compute,
+            ]
+            .iter()
+            .filter(|&&b| b)
+            .count()
+        };
+        for pair in ladder.windows(2) {
+            assert!(count(&pair[1].1) > count(&pair[0].1));
+        }
+    }
+
+    #[test]
+    fn rm_presets_reflect_the_paper_traits() {
+        let rm1 = RmPreset::Rm1.spec();
+        let rm2 = RmPreset::Rm2.spec();
+        let rm3 = RmPreset::Rm3.spec();
+        // RM1 uses transformers and several groups; RM2/RM3 a single group.
+        assert_eq!(rm1.sequence_pooling, PoolingKind::Transformer);
+        assert!(rm1.recd_batch > rm1.baseline_batch);
+        assert_eq!(rm2.recd_batch, rm2.baseline_batch);
+        assert!(rm3.recd_batch > rm3.baseline_batch);
+        // RM1 and RM2 share the same table statistics (same seed and S).
+        assert_eq!(rm1.workload.seed, rm2.workload.seed);
+        assert_eq!(
+            rm1.workload.samples_per_session_mean,
+            rm2.workload.samples_per_session_mean
+        );
+        assert!(rm3.workload.samples_per_session_mean < rm1.workload.samples_per_session_mean);
+        for preset in RmPreset::all() {
+            let spec = preset.spec();
+            assert!(!preset.name().is_empty());
+            assert!(spec.cluster().gpus >= 8);
+            let small = spec.scaled_down(20);
+            assert_eq!(small.sessions, 20);
+            assert!(small.baseline_batch <= 128);
+            // The workload schema must build.
+            let schema = small.sized_workload().schema();
+            assert!(schema.dedup_group_count() > 0);
+        }
+    }
+}

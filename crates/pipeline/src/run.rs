@@ -1,0 +1,320 @@
+//! The end-to-end pipeline runner.
+
+use crate::config::{RecdConfig, RmSpec};
+use recd_core::{ConvertedBatch, DataLoaderConfig};
+use recd_data::Schema;
+use recd_datagen::DatasetGenerator;
+use recd_etl::{EtlJob, TableLayout};
+use recd_reader::{PreprocessPipeline, ReaderConfig, ReaderTier, TierReport};
+use recd_scribe::{ScribeCluster, ScribeConfig, ScribeReport, ShardKeyPolicy};
+use recd_storage::{StorageReport, TableStore, TectonicSim};
+use recd_trainer::{
+    ClusterSpec, DlrmConfig, IterationCost, MemoryReport, TrainerOptimizations, WorkStats,
+};
+use serde::{Deserialize, Serialize};
+
+/// Everything measured by one end-to-end pipeline run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PipelineReport {
+    /// RM preset name.
+    pub rm: String,
+    /// The optimization switches used.
+    pub config: RecdConfig,
+    /// Global batch size used for reading and training.
+    pub batch_size: usize,
+    /// Samples that flowed through the pipeline.
+    pub samples: usize,
+    /// Scribe tier byte accounting (O1).
+    pub scribe: ScribeReport,
+    /// Storage byte accounting (O2).
+    pub storage: StorageReport,
+    /// Reader tier accounting (O3, O4).
+    pub reader: TierReport,
+    /// Modeled training iteration cost (O5–O7).
+    pub trainer: IterationCost,
+    /// Modeled GPU memory usage.
+    pub memory: MemoryReport,
+    /// Measured average in-batch deduplication factor over grouped features.
+    pub dedupe_factor: f64,
+    /// Total bytes readers fetched from storage.
+    pub read_bytes: usize,
+    /// Total bytes readers sent toward trainers.
+    pub egress_bytes: usize,
+}
+
+/// The report plus the artifacts downstream experiments reuse.
+#[derive(Debug)]
+pub struct PipelineArtifacts {
+    /// The dataset schema.
+    pub schema: Schema,
+    /// Preprocessed batches, in storage order.
+    pub batches: Vec<ConvertedBatch>,
+    /// The model configuration derived from the RM spec.
+    pub model: DlrmConfig,
+    /// The run's measurements.
+    pub report: PipelineReport,
+}
+
+/// Runs one RM workload through the full pipeline under a given
+/// [`RecdConfig`].
+#[derive(Debug, Clone)]
+pub struct PipelineRunner {
+    spec: RmSpec,
+    config: RecdConfig,
+    readers: usize,
+}
+
+impl PipelineRunner {
+    /// Creates a runner.
+    pub fn new(spec: RmSpec, config: RecdConfig) -> Self {
+        Self {
+            spec,
+            config,
+            readers: 2,
+        }
+    }
+
+    /// Overrides the number of reader nodes.
+    #[must_use]
+    pub fn with_readers(mut self, readers: usize) -> Self {
+        self.readers = readers.max(1);
+        self
+    }
+
+    /// Borrows the RM spec.
+    pub fn spec(&self) -> &RmSpec {
+        &self.spec
+    }
+
+    /// Runs the pipeline with the given global batch size.
+    pub fn run(&self, batch_size: usize) -> PipelineArtifacts {
+        let spec = &self.spec;
+        let config = self.config;
+
+        // 1. Data generation: raw inference-time logs.
+        let generator = DatasetGenerator::new(spec.sized_workload());
+        let schema = generator.schema().clone();
+        let (records, _) = generator.generate_logs();
+
+        // 2. Scribe (O1): shard, buffer, compress, then drain for ETL.
+        let policy = if config.o1_log_sharding {
+            ShardKeyPolicy::SessionId
+        } else {
+            ShardKeyPolicy::RandomRequest
+        };
+        let mut scribe = ScribeCluster::new(ScribeConfig {
+            flush_bytes: 128 * 1024,
+            ..ScribeConfig::with_policy(policy)
+        });
+        scribe.ingest_all(&records);
+        scribe.flush();
+        let scribe_report = scribe.report();
+        let drained = scribe.drain().expect("scribe blocks written by this run decode");
+
+        // 3. ETL (O2): join, partition hourly, lay out rows.
+        let layout = if config.o2_cluster_by_session {
+            TableLayout::ClusteredBySession
+        } else {
+            TableLayout::TimeOrdered
+        };
+        let partitions = EtlJob::new(layout).run(&schema, &drained);
+
+        // 4. Storage: land every partition as DWRF-like files in Tectonic.
+        let table_store = TableStore::new(TectonicSim::new(8), 64, 4);
+        let mut storage_report = StorageReport::default();
+        let mut stored_partitions = Vec::new();
+        for partition in &partitions {
+            let (stored, report) =
+                table_store.land_partition(&schema, spec.preset.name(), partition.hour, &partition.samples);
+            merge_storage(&mut storage_report, &report);
+            stored_partitions.push(stored);
+        }
+        table_store.blob_store().reset_read_counters();
+
+        // 5. Reader tier (O3, O4): fill, convert, preprocess.
+        let dataloader = if config.o3_ikjt {
+            DataLoaderConfig::from_schema(&schema)
+        } else {
+            DataLoaderConfig::baseline_from_schema(&schema)
+        };
+        let mut reader_config = ReaderConfig::new(batch_size, dataloader);
+        if !config.o3_ikjt {
+            reader_config = reader_config.without_dedup();
+        }
+        let tier = ReaderTier::new(self.readers, reader_config, PreprocessPipeline::new);
+        let mut reader_report = TierReport::default();
+        reader_report.readers = self.readers;
+        let mut batches = Vec::new();
+        for stored in &stored_partitions {
+            let (outputs, report) = tier
+                .run(&table_store, &schema, stored)
+                .expect("reader tier over freshly-landed partitions succeeds");
+            reader_report.metrics += report.metrics;
+            for output in outputs {
+                batches.extend(output.batches);
+            }
+        }
+        let read_bytes = table_store.blob_store().stats().read_bytes;
+        let egress_bytes = reader_report.metrics.egress_bytes;
+
+        // 6. Trainer cost model (O5–O7) over the produced batches.
+        let model = DlrmConfig::from_schema(&schema, spec.embedding_dim, spec.sequence_pooling);
+        let opts = TrainerOptimizations {
+            dedup_emb: config.o5_dedup_emb,
+            jagged_index_select: config.o6_jagged_index_select,
+            dedup_compute: config.o7_dedup_compute,
+        };
+        let cluster = spec.cluster();
+        let (trainer, memory, dedupe_factor) =
+            evaluate_trainer(&batches, &model, opts, &cluster, batch_size);
+
+        let samples = batches.iter().map(|b| b.batch_size).sum();
+        let report = PipelineReport {
+            rm: spec.preset.name().to_string(),
+            config,
+            batch_size,
+            samples,
+            scribe: scribe_report,
+            storage: storage_report,
+            reader: reader_report,
+            trainer,
+            memory,
+            dedupe_factor,
+            read_bytes,
+            egress_bytes,
+        };
+
+        PipelineArtifacts {
+            schema,
+            batches,
+            model,
+            report,
+        }
+    }
+}
+
+fn merge_storage(total: &mut StorageReport, part: &StorageReport) {
+    total.files += part.files;
+    total.stripes += part.stripes;
+    total.rows += part.rows;
+    total.raw_bytes += part.raw_bytes;
+    total.encoded_bytes += part.encoded_bytes;
+    total.stored_bytes += part.stored_bytes;
+}
+
+/// Averages the trainer cost model over the full-size batches of a run.
+pub fn evaluate_trainer(
+    batches: &[ConvertedBatch],
+    model: &DlrmConfig,
+    opts: TrainerOptimizations,
+    cluster: &ClusterSpec,
+    batch_size: usize,
+) -> (IterationCost, MemoryReport, f64) {
+    // Prefer full batches (the trailing batch is usually short).
+    let full: Vec<&ConvertedBatch> = batches
+        .iter()
+        .filter(|b| b.batch_size == batch_size)
+        .collect();
+    let considered: Vec<&ConvertedBatch> = if full.is_empty() {
+        batches.iter().collect()
+    } else {
+        full
+    };
+    if considered.is_empty() {
+        return (IterationCost::default(), MemoryReport::default(), 1.0);
+    }
+
+    let mut avg = WorkStats::default();
+    let mut dedupe = 0.0;
+    for batch in &considered {
+        let work = WorkStats::from_batch(batch, model, opts);
+        avg.batch_size += work.batch_size;
+        avg.sdd_bytes += work.sdd_bytes;
+        avg.emb_lookups += work.emb_lookups;
+        avg.emb_activation_bytes += work.emb_activation_bytes;
+        avg.pooling_flops += work.pooling_flops;
+        avg.mlp_flops += work.mlp_flops;
+        avg.emb_output_a2a_bytes += work.emb_output_a2a_bytes;
+        avg.index_select_bytes += work.index_select_bytes;
+        avg.allreduce_bytes = work.allreduce_bytes;
+        dedupe += batch.dedupe_factor();
+    }
+    let n = considered.len() as f64;
+    avg.batch_size = (avg.batch_size as f64 / n).round() as usize;
+    avg.sdd_bytes /= n;
+    avg.emb_lookups /= n;
+    avg.emb_activation_bytes /= n;
+    avg.pooling_flops /= n;
+    avg.mlp_flops /= n;
+    avg.emb_output_a2a_bytes /= n;
+    avg.index_select_bytes /= n;
+
+    let emb_param_bytes = model.sparse_feature_count() as f64
+        * model.hash_buckets as f64
+        * model.embedding_dim as f64
+        * 4.0;
+    let cost = IterationCost::evaluate(&avg, cluster);
+    let memory = MemoryReport::evaluate(&avg, cluster, emb_param_bytes);
+    (cost, memory, dedupe / n)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::RmPreset;
+
+    fn small_spec() -> RmSpec {
+        RmPreset::Rm1.spec().scaled_down(60)
+    }
+
+    #[test]
+    fn full_pipeline_beats_baseline_on_every_axis() {
+        let spec = small_spec();
+        let baseline = PipelineRunner::new(spec.clone(), RecdConfig::baseline()).run(128);
+        let recd = PipelineRunner::new(spec, RecdConfig::full()).run(128);
+
+        let b = &baseline.report;
+        let r = &recd.report;
+        assert_eq!(b.samples, r.samples, "both runs must see the same samples");
+
+        // O1: better Scribe compression.
+        assert!(r.scribe.compression_ratio > b.scribe.compression_ratio);
+        // O2: better table compression, fewer stored bytes.
+        assert!(r.storage.compression_ratio() > b.storage.compression_ratio());
+        assert!(r.read_bytes < b.read_bytes);
+        // O3/O4: smaller reader egress and real dedupe factor.
+        assert!(r.egress_bytes < b.egress_bytes);
+        assert!(r.dedupe_factor > 1.2);
+        assert!((b.dedupe_factor - 1.0).abs() < 1e-9);
+        // O5–O7: higher modeled training throughput and lower memory.
+        assert!(r.trainer.throughput > b.trainer.throughput);
+        assert!(r.memory.max_utilization < b.memory.max_utilization);
+    }
+
+    #[test]
+    fn artifacts_contain_usable_batches() {
+        let artifacts = PipelineRunner::new(small_spec(), RecdConfig::full()).run(128);
+        assert!(!artifacts.batches.is_empty());
+        assert!(artifacts.batches.iter().all(|b| b.batch_size > 0));
+        assert_eq!(artifacts.model.dense_features, artifacts.schema.dense_count());
+        // Most batches carry IKJTs under the full config.
+        assert!(artifacts.batches.iter().any(|b| !b.ikjts.is_empty()));
+    }
+
+    #[test]
+    fn evaluate_trainer_handles_empty_input() {
+        let spec = small_spec();
+        let schema = spec.sized_workload().schema();
+        let model = DlrmConfig::from_schema(&schema, 16, recd_trainer::PoolingKind::Sum);
+        let (cost, memory, dedupe) = evaluate_trainer(
+            &[],
+            &model,
+            TrainerOptimizations::all(),
+            &spec.cluster(),
+            128,
+        );
+        assert_eq!(cost.throughput, 0.0);
+        assert_eq!(memory.max_utilization, 0.0);
+        assert_eq!(dedupe, 1.0);
+    }
+}

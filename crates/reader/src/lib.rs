@@ -1,0 +1,34 @@
+//! # recd-reader
+//!
+//! The reader tier (the paper's DPP readers): stateless nodes that *fill*
+//! batches of rows from storage, *convert* them into tensors, and *process*
+//! (preprocess) the tensors before sending them to trainers (paper §2.1,
+//! Figure 5).
+//!
+//! RecD touches the reader in two places:
+//!
+//! * **O3 — feature conversion to IKJTs**: duplicate feature values are
+//!   detected (by hashing) during conversion and encoded once per batch.
+//! * **O4 — deduplicated preprocessing**: preprocessing transforms run over
+//!   the deduplicated `values`/`offsets` slices instead of the full batch,
+//!   and their outputs stay deduplicated, cutting both reader CPU time and
+//!   reader→trainer network bytes.
+//!
+//! [`ReaderNode`] implements fill/convert/process with per-phase CPU-time and
+//! byte accounting ([`ReaderMetrics`]); [`ReaderTier`] runs several readers
+//! over a partition's files in parallel.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod metrics;
+pub mod reader;
+pub mod tier;
+pub mod transforms;
+
+pub use metrics::{PhaseMetrics, ReaderCostModel, ReaderMetrics};
+pub use reader::{ReaderConfig, ReaderNode, ReaderOutput};
+pub use tier::{ReaderTier, TierReport};
+pub use transforms::{
+    DenseNormalize, HashBucketize, PreprocessPipeline, SparseTransform, TruncateList,
+};

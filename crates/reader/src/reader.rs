@@ -1,0 +1,316 @@
+//! A single reader node: fill, convert, process.
+
+use crate::metrics::ReaderMetrics;
+use crate::transforms::PreprocessPipeline;
+use recd_core::{ConvertedBatch, DataLoaderConfig, FeatureConverter};
+use recd_data::{Sample, SampleBatch, Schema};
+use recd_storage::{DwrfFile, StoredPartition, TableStore};
+use std::time::Instant;
+
+/// Configuration of one reader node.
+#[derive(Debug, Clone)]
+pub struct ReaderConfig {
+    /// Training batch size the reader assembles.
+    pub batch_size: usize,
+    /// DataLoader specification (which features become KJTs vs IKJTs).
+    pub dataloader: DataLoaderConfig,
+    /// Whether the RecD deduplicating conversion is enabled (O3). When
+    /// false, the reader produces baseline KJT-only batches even if the
+    /// dataloader declares dedup groups.
+    pub dedup_enabled: bool,
+}
+
+impl ReaderConfig {
+    /// Creates a reader configuration.
+    pub fn new(batch_size: usize, dataloader: DataLoaderConfig) -> Self {
+        Self {
+            batch_size: batch_size.max(1),
+            dataloader,
+            dedup_enabled: true,
+        }
+    }
+
+    /// Disables deduplication (baseline reader).
+    #[must_use]
+    pub fn without_dedup(mut self) -> Self {
+        self.dedup_enabled = false;
+        self
+    }
+}
+
+/// The output of one reader run over a set of files.
+#[derive(Debug)]
+pub struct ReaderOutput {
+    /// Preprocessed batches, in row order.
+    pub batches: Vec<ConvertedBatch>,
+    /// Per-phase accounting.
+    pub metrics: ReaderMetrics,
+}
+
+/// A stateless reader node.
+#[derive(Debug)]
+pub struct ReaderNode {
+    config: ReaderConfig,
+    converter: FeatureConverter,
+    pipeline: PreprocessPipeline,
+}
+
+impl ReaderNode {
+    /// Creates a reader with the standard preprocessing pipeline.
+    pub fn new(config: ReaderConfig, pipeline: PreprocessPipeline) -> Self {
+        let converter = FeatureConverter::new(config.dataloader.clone());
+        Self {
+            config,
+            converter,
+            pipeline,
+        }
+    }
+
+    /// Borrows the reader configuration.
+    pub fn config(&self) -> &ReaderConfig {
+        &self.config
+    }
+
+    /// Fill phase: fetch the listed files from storage, decompress and decode
+    /// them into rows.
+    ///
+    /// # Errors
+    ///
+    /// Propagates storage errors for missing or corrupt files.
+    pub fn fill(
+        &self,
+        store: &TableStore,
+        schema: &Schema,
+        files: &[String],
+        metrics: &mut ReaderMetrics,
+    ) -> recd_storage::Result<Vec<Sample>> {
+        let start = Instant::now();
+        let mut rows = Vec::new();
+        let mut bytes_read = 0usize;
+        for path in files {
+            let blob = store.blob_store().get(path)?;
+            bytes_read += blob.len();
+            let file = DwrfFile::from_blob(&blob)?;
+            rows.extend(file.read_all(schema)?);
+        }
+        metrics.fill.record(start.elapsed(), bytes_read, rows.len());
+        Ok(rows)
+    }
+
+    /// Convert phase: rows → KJT/IKJT tensors.
+    ///
+    /// # Errors
+    ///
+    /// Propagates conversion errors (malformed dataloader configuration).
+    pub fn convert(
+        &self,
+        batch: &SampleBatch,
+        metrics: &mut ReaderMetrics,
+    ) -> recd_core::Result<ConvertedBatch> {
+        let start = Instant::now();
+        let converted = if self.config.dedup_enabled {
+            self.converter.convert(batch)?
+        } else {
+            self.converter.convert_baseline(batch)?
+        };
+        // `items` counts the values hashed for duplicate detection (zero on
+        // the baseline path); `bytes` is the tensor payload materialized.
+        let hashed_values: usize = converted
+            .ikjts
+            .iter()
+            .map(|ikjt| ikjt.original_value_count())
+            .sum();
+        metrics.convert.record(
+            start.elapsed(),
+            converted.sparse_payload_bytes(),
+            hashed_values,
+        );
+        Ok(converted)
+    }
+
+    /// Process phase: run the preprocessing pipeline over the converted
+    /// tensors.
+    pub fn process(&self, batch: &mut ConvertedBatch, metrics: &mut ReaderMetrics) {
+        let start = Instant::now();
+        let stats = self.pipeline.apply(batch);
+        metrics.process.record(
+            start.elapsed(),
+            batch.sparse_payload_bytes(),
+            stats.values_processed,
+        );
+    }
+
+    /// Runs the full fill→convert→process loop over a stored partition,
+    /// producing preprocessed batches of `batch_size` rows.
+    ///
+    /// # Errors
+    ///
+    /// Propagates storage and conversion errors.
+    pub fn read_partition(
+        &self,
+        store: &TableStore,
+        schema: &Schema,
+        partition: &StoredPartition,
+    ) -> Result<ReaderOutput, Box<dyn std::error::Error + Send + Sync>> {
+        self.read_files(store, schema, &partition.files)
+    }
+
+    /// Runs the full loop over an explicit list of files (the unit of work a
+    /// reader tier assigns to one reader).
+    ///
+    /// # Errors
+    ///
+    /// Propagates storage and conversion errors.
+    pub fn read_files(
+        &self,
+        store: &TableStore,
+        schema: &Schema,
+        files: &[String],
+    ) -> Result<ReaderOutput, Box<dyn std::error::Error + Send + Sync>> {
+        let mut metrics = ReaderMetrics::default();
+        let rows = self.fill(store, schema, files, &mut metrics)?;
+        let mut batches = Vec::new();
+        for chunk in rows.chunks(self.config.batch_size) {
+            let sample_batch = SampleBatch::new(chunk.to_vec());
+            let mut converted = self.convert(&sample_batch, &mut metrics)?;
+            self.process(&mut converted, &mut metrics);
+            metrics.samples += converted.batch_size;
+            metrics.batches += 1;
+            metrics.egress_bytes +=
+                converted.sparse_payload_bytes() + converted.dense.payload_bytes();
+            batches.push(converted);
+        }
+        Ok(ReaderOutput { batches, metrics })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use recd_datagen::{DatasetGenerator, WorkloadConfig, WorkloadPreset};
+    use recd_etl::cluster_by_session;
+    use recd_storage::TectonicSim;
+
+    struct Setup {
+        schema: Schema,
+        store: TableStore,
+        partition: StoredPartition,
+        samples: Vec<Sample>,
+    }
+
+    fn setup(clustered: bool) -> Setup {
+        let gen = DatasetGenerator::new(WorkloadConfig::preset(WorkloadPreset::Tiny));
+        let p = gen.generate_partition();
+        let samples = if clustered {
+            cluster_by_session(&p.samples)
+        } else {
+            p.samples.clone()
+        };
+        let store = TableStore::new(TectonicSim::new(4), 32, 4);
+        let (partition, _) = store.land_partition(&p.schema, "t", 0, &samples);
+        Setup {
+            schema: p.schema,
+            store,
+            partition,
+            samples,
+        }
+    }
+
+    fn dataloader(schema: &Schema) -> DataLoaderConfig {
+        DataLoaderConfig::from_schema(schema)
+    }
+
+    #[test]
+    fn reader_round_trips_all_samples_into_batches() {
+        let s = setup(true);
+        let reader = ReaderNode::new(
+            ReaderConfig::new(64, dataloader(&s.schema)),
+            PreprocessPipeline::new(),
+        );
+        let out = reader
+            .read_partition(&s.store, &s.schema, &s.partition)
+            .unwrap();
+        assert_eq!(out.metrics.samples, s.samples.len());
+        assert_eq!(
+            out.batches.iter().map(|b| b.batch_size).sum::<usize>(),
+            s.samples.len()
+        );
+        assert_eq!(out.metrics.batches, out.batches.len());
+        assert!(out.metrics.fill.bytes > 0);
+        assert!(out.metrics.egress_bytes > 0);
+        assert!(out.metrics.total_cpu_nanos() > 0);
+        // Labels survive the conversion in order.
+        let first_batch = &out.batches[0];
+        assert_eq!(first_batch.labels[0], s.samples[0].label);
+    }
+
+    #[test]
+    fn dedup_reader_sends_fewer_bytes_than_baseline_on_clustered_data() {
+        let s = setup(true);
+        let recd = ReaderNode::new(
+            ReaderConfig::new(128, dataloader(&s.schema)),
+            PreprocessPipeline::standard(1 << 20, 64),
+        );
+        let baseline = ReaderNode::new(
+            ReaderConfig::new(128, dataloader(&s.schema)).without_dedup(),
+            PreprocessPipeline::standard(1 << 20, 64),
+        );
+        let recd_out = recd
+            .read_partition(&s.store, &s.schema, &s.partition)
+            .unwrap();
+        let baseline_out = baseline
+            .read_partition(&s.store, &s.schema, &s.partition)
+            .unwrap();
+        assert_eq!(recd_out.metrics.samples, baseline_out.metrics.samples);
+        assert!(
+            recd_out.metrics.egress_bytes < baseline_out.metrics.egress_bytes,
+            "dedup egress {} should be below baseline {}",
+            recd_out.metrics.egress_bytes,
+            baseline_out.metrics.egress_bytes
+        );
+        // Fewer values run through preprocessing with O4.
+        assert!(recd_out.metrics.process.items < baseline_out.metrics.process.items);
+    }
+
+    #[test]
+    fn clustered_batches_dedupe_better_than_interleaved() {
+        let clustered = setup(true);
+        let interleaved = setup(false);
+        let make_reader = |schema: &Schema| {
+            ReaderNode::new(
+                ReaderConfig::new(128, dataloader(schema)),
+                PreprocessPipeline::new(),
+            )
+        };
+        let c_out = make_reader(&clustered.schema)
+            .read_partition(&clustered.store, &clustered.schema, &clustered.partition)
+            .unwrap();
+        let i_out = make_reader(&interleaved.schema)
+            .read_partition(&interleaved.store, &interleaved.schema, &interleaved.partition)
+            .unwrap();
+        let dedupe = |out: &ReaderOutput| {
+            let logical: usize = out.batches.iter().map(|b| b.logical_sparse_values()).sum();
+            let stored: usize = out.batches.iter().map(|b| b.stored_sparse_values()).sum();
+            logical as f64 / stored.max(1) as f64
+        };
+        assert!(
+            dedupe(&c_out) > dedupe(&i_out),
+            "clustering should increase the in-batch dedupe factor ({:.2} vs {:.2})",
+            dedupe(&c_out),
+            dedupe(&i_out)
+        );
+    }
+
+    #[test]
+    fn missing_file_surfaces_as_error() {
+        let s = setup(true);
+        let reader = ReaderNode::new(
+            ReaderConfig::new(64, dataloader(&s.schema)),
+            PreprocessPipeline::new(),
+        );
+        let err = reader
+            .read_files(&s.store, &s.schema, &["nope".to_string()])
+            .unwrap_err();
+        assert!(err.to_string().contains("not found"));
+    }
+}

@@ -1,0 +1,141 @@
+//! The reader tier: several reader nodes splitting a partition's files.
+
+use crate::metrics::{ReaderCostModel, ReaderMetrics};
+use crate::reader::{ReaderConfig, ReaderNode, ReaderOutput};
+use crate::transforms::PreprocessPipeline;
+use recd_data::Schema;
+use recd_storage::{StoredPartition, TableStore};
+use serde::{Deserialize, Serialize};
+
+/// Aggregate report for a reader-tier run.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct TierReport {
+    /// Number of readers used.
+    pub readers: usize,
+    /// Combined per-phase metrics across all readers.
+    pub metrics: ReaderMetrics,
+}
+
+impl TierReport {
+    /// Average per-reader throughput (samples per CPU-second under the
+    /// [`ReaderCostModel`]) — the quantity Figure 7 reports as "reader
+    /// throughput".
+    pub fn per_reader_throughput(&self) -> f64 {
+        ReaderCostModel::default().samples_per_cpu_second(&self.metrics)
+    }
+}
+
+/// A tier of identical reader nodes. Files of a partition are distributed
+/// round-robin across the readers, which run in parallel threads.
+#[derive(Debug)]
+pub struct ReaderTier {
+    readers: usize,
+    config: ReaderConfig,
+    pipeline_factory: fn() -> PreprocessPipeline,
+}
+
+impl ReaderTier {
+    /// Creates a tier of `readers` identical readers. The pipeline factory
+    /// builds each reader's preprocessing pipeline (pipelines hold boxed
+    /// transforms and are not `Clone`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `readers` is zero.
+    pub fn new(readers: usize, config: ReaderConfig, pipeline_factory: fn() -> PreprocessPipeline) -> Self {
+        assert!(readers > 0, "a reader tier needs at least one reader");
+        Self {
+            readers,
+            config,
+            pipeline_factory,
+        }
+    }
+
+    /// Runs the tier over a stored partition: files are assigned round-robin
+    /// to readers, readers run in parallel, and their outputs are
+    /// concatenated in reader order.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first reader error encountered.
+    pub fn run(
+        &self,
+        store: &TableStore,
+        schema: &Schema,
+        partition: &StoredPartition,
+    ) -> Result<(Vec<ReaderOutput>, TierReport), Box<dyn std::error::Error + Send + Sync>> {
+        let assignments: Vec<Vec<String>> = (0..self.readers)
+            .map(|r| {
+                partition
+                    .files
+                    .iter()
+                    .enumerate()
+                    .filter(|(i, _)| i % self.readers == r)
+                    .map(|(_, f)| f.clone())
+                    .collect()
+            })
+            .collect();
+
+        let outputs: Vec<Result<ReaderOutput, _>> = crossbeam::thread::scope(|scope| {
+            let handles: Vec<_> = assignments
+                .iter()
+                .map(|files| {
+                    let config = self.config.clone();
+                    let pipeline = (self.pipeline_factory)();
+                    scope.spawn(move |_| {
+                        ReaderNode::new(config, pipeline).read_files(store, schema, files)
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("reader thread must not panic"))
+                .collect()
+        })
+        .expect("reader scope must not panic");
+
+        let mut report = TierReport {
+            readers: self.readers,
+            metrics: ReaderMetrics::default(),
+        };
+        let mut collected = Vec::with_capacity(outputs.len());
+        for output in outputs {
+            let output = output?;
+            report.metrics += output.metrics;
+            collected.push(output);
+        }
+        Ok((collected, report))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use recd_core::DataLoaderConfig;
+    use recd_datagen::{DatasetGenerator, WorkloadConfig, WorkloadPreset};
+    use recd_storage::TectonicSim;
+
+    #[test]
+    fn tier_splits_files_and_aggregates_metrics() {
+        let gen = DatasetGenerator::new(WorkloadConfig::preset(WorkloadPreset::Tiny));
+        let p = gen.generate_partition();
+        let store = TableStore::new(TectonicSim::new(4), 16, 1);
+        let (stored, _) = store.land_partition(&p.schema, "t", 0, &p.samples);
+        assert!(stored.files.len() >= 3, "need several files to split");
+
+        let config = ReaderConfig::new(64, DataLoaderConfig::from_schema(&p.schema));
+        let tier = ReaderTier::new(3, config, PreprocessPipeline::new);
+        let (outputs, report) = tier.run(&store, &p.schema, &stored).unwrap();
+        assert_eq!(outputs.len(), 3);
+        assert_eq!(report.readers, 3);
+        assert_eq!(report.metrics.samples, p.samples.len());
+        assert!(report.per_reader_throughput() > 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one reader")]
+    fn zero_readers_panics() {
+        let config = ReaderConfig::new(1, DataLoaderConfig::new());
+        ReaderTier::new(0, config, PreprocessPipeline::new);
+    }
+}

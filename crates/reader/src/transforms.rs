@@ -1,0 +1,320 @@
+//! Preprocessing transforms (the user-provided TorchScript modules of the
+//! paper) and the wrapper that lets them run over deduplicated tensors (O4).
+
+use recd_core::{ConvertedBatch, DenseMatrix, InverseKeyedJaggedTensor, JaggedTensor};
+use serde::{Deserialize, Serialize};
+
+/// A preprocessing transform over one sparse feature's jagged tensor.
+///
+/// The same transform object is applied either to a full KJT tensor (one row
+/// per sample — the baseline) or, through the O4 wrapper, to an IKJT's
+/// deduplicated tensor (one row per slot), saving the work for duplicate
+/// rows.
+pub trait SparseTransform: Send + Sync {
+    /// Applies the transform to a jagged tensor, producing a new tensor with
+    /// the same row count.
+    fn apply(&self, tensor: &JaggedTensor<u64>) -> JaggedTensor<u64>;
+
+    /// Short name used in reports.
+    fn name(&self) -> &'static str;
+}
+
+/// Hashes every id into `buckets` buckets — the standard "hashing" transform
+/// applied before embedding lookup.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HashBucketize {
+    /// Number of hash buckets.
+    pub buckets: u64,
+}
+
+impl SparseTransform for HashBucketize {
+    fn apply(&self, tensor: &JaggedTensor<u64>) -> JaggedTensor<u64> {
+        let buckets = self.buckets.max(1);
+        let mut out = JaggedTensor::new();
+        let mut scratch = Vec::new();
+        for row in tensor.iter() {
+            scratch.clear();
+            scratch.extend(row.iter().map(|&id| recd_codec::hash_ids(&[id]) % buckets));
+            out.push_row(&scratch);
+        }
+        out
+    }
+
+    fn name(&self) -> &'static str {
+        "hash_bucketize"
+    }
+}
+
+/// Truncates every list to its most recent `max_len` ids — the standard
+/// sequence-length cap for long user histories.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TruncateList {
+    /// Maximum list length kept.
+    pub max_len: usize,
+}
+
+impl SparseTransform for TruncateList {
+    fn apply(&self, tensor: &JaggedTensor<u64>) -> JaggedTensor<u64> {
+        let mut out = JaggedTensor::new();
+        for row in tensor.iter() {
+            let start = row.len().saturating_sub(self.max_len);
+            out.push_row(&row[start..]);
+        }
+        out
+    }
+
+    fn name(&self) -> &'static str {
+        "truncate_list"
+    }
+}
+
+/// Normalizes dense features to zero mean and unit variance per column.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct DenseNormalize;
+
+impl DenseNormalize {
+    /// Applies the normalization in place.
+    pub fn apply(&self, dense: &mut DenseMatrix) {
+        let rows = dense.rows();
+        let cols = dense.cols();
+        if rows == 0 || cols == 0 {
+            return;
+        }
+        for c in 0..cols {
+            let mut mean = 0.0f64;
+            for r in 0..rows {
+                mean += dense.row(r)[c] as f64;
+            }
+            mean /= rows as f64;
+            let mut var = 0.0f64;
+            for r in 0..rows {
+                let d = dense.row(r)[c] as f64 - mean;
+                var += d * d;
+            }
+            let std = (var / rows as f64).sqrt().max(1e-6);
+            for r in 0..rows {
+                let v = dense.row_mut(r);
+                v[c] = ((v[c] as f64 - mean) / std) as f32;
+            }
+        }
+    }
+}
+
+/// Counts of preprocessing work, used to show O4's savings.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct PreprocessStats {
+    /// Sparse values actually run through transforms.
+    pub values_processed: usize,
+    /// Sparse values that would have been processed without deduplication.
+    pub logical_values: usize,
+}
+
+/// A pipeline of sparse transforms plus dense normalization, applied to a
+/// [`ConvertedBatch`].
+#[derive(Default)]
+pub struct PreprocessPipeline {
+    sparse: Vec<Box<dyn SparseTransform>>,
+    normalize_dense: bool,
+}
+
+impl std::fmt::Debug for PreprocessPipeline {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PreprocessPipeline")
+            .field(
+                "sparse",
+                &self.sparse.iter().map(|t| t.name()).collect::<Vec<_>>(),
+            )
+            .field("normalize_dense", &self.normalize_dense)
+            .finish()
+    }
+}
+
+impl PreprocessPipeline {
+    /// Creates an empty pipeline (no transforms).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A representative production-style pipeline: hash ids into `buckets`
+    /// buckets, cap sequences at `max_len`, and normalize dense features.
+    pub fn standard(buckets: u64, max_len: usize) -> Self {
+        Self::new()
+            .with_sparse(HashBucketize { buckets })
+            .with_sparse(TruncateList { max_len })
+            .with_dense_normalization()
+    }
+
+    /// Adds a sparse transform.
+    #[must_use]
+    pub fn with_sparse<T: SparseTransform + 'static>(mut self, transform: T) -> Self {
+        self.sparse.push(Box::new(transform));
+        self
+    }
+
+    /// Enables dense normalization.
+    #[must_use]
+    pub fn with_dense_normalization(mut self) -> Self {
+        self.normalize_dense = true;
+        self
+    }
+
+    /// Number of sparse transforms in the pipeline.
+    pub fn sparse_transform_count(&self) -> usize {
+        self.sparse.len()
+    }
+
+    fn apply_sparse(&self, tensor: &JaggedTensor<u64>) -> JaggedTensor<u64> {
+        let mut current = tensor.clone();
+        for t in &self.sparse {
+            current = t.apply(&current);
+        }
+        current
+    }
+
+    /// Preprocesses a converted batch in place.
+    ///
+    /// KJT features are transformed row-by-row (every sample pays). IKJT
+    /// features are transformed *once per deduplicated slot* — the O4
+    /// wrapper — and their outputs remain IKJTs, so downstream network and
+    /// trainer savings are preserved. Returns work accounting.
+    pub fn apply(&self, batch: &mut ConvertedBatch) -> PreprocessStats {
+        let mut stats = PreprocessStats::default();
+
+        // KJT path: full per-row work.
+        let kjt_entries: Vec<_> = batch
+            .kjt
+            .iter()
+            .map(|(key, tensor)| {
+                stats.values_processed += tensor.value_count();
+                stats.logical_values += tensor.value_count();
+                (key, self.apply_sparse(tensor))
+            })
+            .collect();
+        batch.kjt = recd_core::KeyedJaggedTensor::from_tensors(kjt_entries)
+            .expect("transforms preserve batch size");
+
+        // IKJT path: work on deduplicated slots only.
+        let ikjts = std::mem::take(&mut batch.ikjts);
+        batch.ikjts = ikjts
+            .into_iter()
+            .map(|ikjt| {
+                let keys = ikjt.keys().to_vec();
+                let lookup = ikjt.inverse_lookup().to_vec();
+                let tensors: Vec<JaggedTensor<u64>> = keys
+                    .iter()
+                    .map(|&key| {
+                        let tensor = ikjt.feature(key).expect("key from the same ikjt");
+                        stats.values_processed += tensor.value_count();
+                        self.apply_sparse(tensor)
+                    })
+                    .collect();
+                stats.logical_values += ikjt.original_value_count();
+                InverseKeyedJaggedTensor::from_parts(keys, tensors, lookup)
+                    .expect("transforms preserve slot structure")
+            })
+            .collect();
+
+        if self.normalize_dense {
+            DenseNormalize.apply(&mut batch.dense);
+        }
+        stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use recd_core::{DataLoaderConfig, FeatureConverter};
+    use recd_data::{FeatureId, RequestId, Sample, SampleBatch, SessionId, Timestamp};
+
+    fn batch_with_duplicates() -> SampleBatch {
+        (0..6u64)
+            .map(|i| {
+                Sample::builder(SessionId::new(i / 3), RequestId::new(i), Timestamp::from_millis(i))
+                    .dense(vec![i as f32, 10.0 * i as f32])
+                    // Feature 0 duplicates within each session; feature 1 unique.
+                    .sparse(vec![vec![100 + (i / 3), 200 + (i / 3), 300], vec![i]])
+                    .build()
+            })
+            .collect()
+    }
+
+    fn converted(dedup: bool) -> recd_core::ConvertedBatch {
+        let config = if dedup {
+            DataLoaderConfig::new()
+                .with_kjt_features([FeatureId::new(1)])
+                .with_dedup_group([FeatureId::new(0)])
+                .with_dense_features(2)
+        } else {
+            DataLoaderConfig::new()
+                .with_kjt_features([FeatureId::new(0), FeatureId::new(1)])
+                .with_dense_features(2)
+        };
+        FeatureConverter::new(config)
+            .convert(&batch_with_duplicates())
+            .unwrap()
+    }
+
+    #[test]
+    fn transforms_are_deterministic_and_preserve_shape() {
+        let t = HashBucketize { buckets: 97 };
+        let tensor = JaggedTensor::from_lists(&[vec![1u64, 2, 3], vec![], vec![u64::MAX]]);
+        let out = t.apply(&tensor);
+        assert_eq!(out.lengths(), tensor.lengths());
+        assert!(out.values().iter().all(|&v| v < 97));
+        assert_eq!(out, t.apply(&tensor));
+
+        let trunc = TruncateList { max_len: 2 };
+        let out = trunc.apply(&JaggedTensor::from_lists(&[vec![1u64, 2, 3, 4], vec![5]]));
+        assert_eq!(out.row(0), &[3, 4]);
+        assert_eq!(out.row(1), &[5]);
+    }
+
+    #[test]
+    fn dense_normalization_zero_mean_unit_variance() {
+        let mut m = DenseMatrix::from_vec(vec![1.0, 10.0, 2.0, 20.0, 3.0, 30.0], 3, 2).unwrap();
+        DenseNormalize.apply(&mut m);
+        for c in 0..2 {
+            let mean: f32 = (0..3).map(|r| m.row(r)[c]).sum::<f32>() / 3.0;
+            assert!(mean.abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn dedup_preprocessing_touches_fewer_values_but_same_logical_result() {
+        let pipeline = PreprocessPipeline::standard(1 << 20, 8);
+        let mut baseline = converted(false);
+        let mut recd = converted(true);
+        let baseline_stats = pipeline.apply(&mut baseline);
+        let recd_stats = pipeline.apply(&mut recd);
+
+        assert_eq!(baseline_stats.logical_values, recd_stats.logical_values);
+        assert!(
+            recd_stats.values_processed < baseline_stats.values_processed,
+            "O4 must process fewer values: {} vs {}",
+            recd_stats.values_processed,
+            baseline_stats.values_processed
+        );
+
+        // Logical equality: expanding the preprocessed IKJT matches the
+        // preprocessed KJT for the deduplicated feature.
+        let expanded = recd.ikjts[0].to_kjt().unwrap();
+        let from_baseline = baseline.kjt.feature(FeatureId::new(0)).unwrap();
+        let from_recd = expanded.feature(FeatureId::new(0)).unwrap();
+        assert_eq!(from_baseline, from_recd);
+    }
+
+    #[test]
+    fn pipeline_debug_and_empty_pipeline() {
+        let pipeline = PreprocessPipeline::standard(16, 4);
+        assert_eq!(pipeline.sparse_transform_count(), 2);
+        assert!(format!("{pipeline:?}").contains("hash_bucketize"));
+
+        let empty = PreprocessPipeline::new();
+        let mut batch = converted(true);
+        let before = batch.clone();
+        let stats = empty.apply(&mut batch);
+        assert_eq!(batch, before);
+        assert_eq!(stats.values_processed, batch.stored_sparse_values());
+    }
+}

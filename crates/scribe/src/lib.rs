@@ -1,0 +1,27 @@
+//! # recd-scribe
+//!
+//! A sharded, buffered message-log simulation standing in for Scribe, the
+//! distributed message-passing system the paper's inference tier logs into
+//! (paper §2.1, §4.1).
+//!
+//! The piece of Scribe that matters to RecD is small: raw logs are routed to
+//! a shard by a hash of some key, each shard buffers and block-compresses its
+//! messages, and downstream ETL jobs read the compressed buffers back. RecD's
+//! first optimization (O1, *log sharding*) changes the shard key from the
+//! default per-message hash to the session id, which co-locates a session's
+//! (highly redundant) logs in one shard buffer and therefore raises the
+//! black-box compression ratio — reducing both Scribe storage nodes and the
+//! network bytes ETL must ingest.
+//!
+//! [`ScribeCluster`] implements exactly that: pluggable [`ShardKeyPolicy`],
+//! per-shard buffering, real block compression via `recd-codec`, and byte
+//! accounting in [`ScribeReport`].
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cluster;
+pub mod wire;
+
+pub use cluster::{ScribeCluster, ScribeConfig, ScribeReport, ShardKeyPolicy, ShardStats};
+pub use wire::{decode_record, encode_record, WireError};

@@ -1,0 +1,222 @@
+//! Binary wire encoding for raw log records, so shard buffers hold realistic
+//! byte streams for the block compressor to work on.
+
+use recd_codec::varint;
+use recd_data::{EventLog, FeatureLog, LogRecord, RequestId, SessionId, Timestamp};
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced when decoding a malformed wire record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// The record ended before a complete field could be decoded.
+    Truncated,
+    /// The record tag byte was not a known record kind.
+    UnknownTag(u8),
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::Truncated => write!(f, "wire record is truncated"),
+            WireError::UnknownTag(tag) => write!(f, "unknown wire record tag {tag}"),
+        }
+    }
+}
+
+impl Error for WireError {}
+
+impl From<recd_codec::CodecError> for WireError {
+    fn from(_: recd_codec::CodecError) -> Self {
+        WireError::Truncated
+    }
+}
+
+const TAG_FEATURE: u8 = 1;
+const TAG_EVENT: u8 = 2;
+
+/// Appends the wire encoding of a record to `out`.
+pub fn encode_record(record: &LogRecord, out: &mut Vec<u8>) {
+    match record {
+        LogRecord::Feature(f) => {
+            out.push(TAG_FEATURE);
+            varint::encode_u64(f.request_id.raw(), out);
+            varint::encode_u64(f.session_id.raw(), out);
+            varint::encode_u64(f.timestamp.as_millis(), out);
+            varint::encode_u64(f.dense.len() as u64, out);
+            for &v in &f.dense {
+                out.extend_from_slice(&v.to_le_bytes());
+            }
+            varint::encode_u64(f.sparse.len() as u64, out);
+            for list in &f.sparse {
+                varint::encode_u64(list.len() as u64, out);
+                for &id in list {
+                    out.extend_from_slice(&id.to_le_bytes());
+                }
+            }
+        }
+        LogRecord::Event(e) => {
+            out.push(TAG_EVENT);
+            varint::encode_u64(e.request_id.raw(), out);
+            varint::encode_u64(e.session_id.raw(), out);
+            varint::encode_u64(e.timestamp.as_millis(), out);
+            out.extend_from_slice(&e.label.to_le_bytes());
+        }
+    }
+}
+
+fn take<'a>(input: &'a [u8], cursor: &mut usize, n: usize) -> Result<&'a [u8], WireError> {
+    if *cursor + n > input.len() {
+        return Err(WireError::Truncated);
+    }
+    let slice = &input[*cursor..*cursor + n];
+    *cursor += n;
+    Ok(slice)
+}
+
+fn take_varint(input: &[u8], cursor: &mut usize) -> Result<u64, WireError> {
+    let (value, used) = varint::decode_u64(&input[*cursor..])?;
+    *cursor += used;
+    Ok(value)
+}
+
+/// Decodes one record from the front of `input`, returning the record and the
+/// number of bytes consumed.
+///
+/// # Errors
+///
+/// Returns a [`WireError`] if the record is truncated or has an unknown tag.
+pub fn decode_record(input: &[u8]) -> Result<(LogRecord, usize), WireError> {
+    let mut cursor = 0usize;
+    let tag = *take(input, &mut cursor, 1)?.first().expect("one byte");
+    match tag {
+        TAG_FEATURE => {
+            let request_id = RequestId::new(take_varint(input, &mut cursor)?);
+            let session_id = SessionId::new(take_varint(input, &mut cursor)?);
+            let timestamp = Timestamp::from_millis(take_varint(input, &mut cursor)?);
+            let dense_len = take_varint(input, &mut cursor)? as usize;
+            let mut dense = Vec::with_capacity(dense_len);
+            for _ in 0..dense_len {
+                let bytes = take(input, &mut cursor, 4)?;
+                dense.push(f32::from_le_bytes([bytes[0], bytes[1], bytes[2], bytes[3]]));
+            }
+            let sparse_len = take_varint(input, &mut cursor)? as usize;
+            let mut sparse = Vec::with_capacity(sparse_len);
+            for _ in 0..sparse_len {
+                let list_len = take_varint(input, &mut cursor)? as usize;
+                let mut list = Vec::with_capacity(list_len);
+                for _ in 0..list_len {
+                    let bytes = take(input, &mut cursor, 8)?;
+                    list.push(u64::from_le_bytes([
+                        bytes[0], bytes[1], bytes[2], bytes[3], bytes[4], bytes[5], bytes[6],
+                        bytes[7],
+                    ]));
+                }
+                sparse.push(list);
+            }
+            Ok((
+                LogRecord::Feature(FeatureLog {
+                    request_id,
+                    session_id,
+                    timestamp,
+                    dense,
+                    sparse,
+                }),
+                cursor,
+            ))
+        }
+        TAG_EVENT => {
+            let request_id = RequestId::new(take_varint(input, &mut cursor)?);
+            let session_id = SessionId::new(take_varint(input, &mut cursor)?);
+            let timestamp = Timestamp::from_millis(take_varint(input, &mut cursor)?);
+            let bytes = take(input, &mut cursor, 4)?;
+            let label = f32::from_le_bytes([bytes[0], bytes[1], bytes[2], bytes[3]]);
+            Ok((
+                LogRecord::Event(EventLog {
+                    request_id,
+                    session_id,
+                    timestamp,
+                    label,
+                }),
+                cursor,
+            ))
+        }
+        other => Err(WireError::UnknownTag(other)),
+    }
+}
+
+/// Decodes every record in a buffer.
+///
+/// # Errors
+///
+/// Returns a [`WireError`] if any record is malformed.
+pub fn decode_all(input: &[u8]) -> Result<Vec<LogRecord>, WireError> {
+    let mut records = Vec::new();
+    let mut cursor = 0;
+    while cursor < input.len() {
+        let (record, used) = decode_record(&input[cursor..])?;
+        records.push(record);
+        cursor += used;
+    }
+    Ok(records)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn feature_record() -> LogRecord {
+        LogRecord::Feature(FeatureLog {
+            request_id: RequestId::new(11),
+            session_id: SessionId::new(22),
+            timestamp: Timestamp::from_millis(33),
+            dense: vec![0.5, -1.5],
+            sparse: vec![vec![1, 2, 3], vec![], vec![u64::MAX]],
+        })
+    }
+
+    fn event_record() -> LogRecord {
+        LogRecord::Event(EventLog {
+            request_id: RequestId::new(44),
+            session_id: SessionId::new(55),
+            timestamp: Timestamp::from_millis(66),
+            label: 1.0,
+        })
+    }
+
+    #[test]
+    fn round_trip_both_kinds() {
+        for record in [feature_record(), event_record()] {
+            let mut buf = Vec::new();
+            encode_record(&record, &mut buf);
+            let (decoded, used) = decode_record(&buf).unwrap();
+            assert_eq!(decoded, record);
+            assert_eq!(used, buf.len());
+        }
+    }
+
+    #[test]
+    fn decode_all_handles_concatenated_records() {
+        let mut buf = Vec::new();
+        encode_record(&feature_record(), &mut buf);
+        encode_record(&event_record(), &mut buf);
+        encode_record(&feature_record(), &mut buf);
+        let records = decode_all(&buf).unwrap();
+        assert_eq!(records.len(), 3);
+        assert_eq!(records[1], event_record());
+    }
+
+    #[test]
+    fn truncation_and_bad_tags_are_errors() {
+        let mut buf = Vec::new();
+        encode_record(&feature_record(), &mut buf);
+        for cut in 1..buf.len() {
+            assert!(decode_record(&buf[..cut]).is_err() || cut == buf.len());
+        }
+        assert!(matches!(decode_record(&[]), Err(WireError::Truncated)));
+        assert!(matches!(
+            decode_record(&[99, 0, 0]),
+            Err(WireError::UnknownTag(99))
+        ));
+    }
+}

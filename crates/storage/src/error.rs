@@ -1,0 +1,85 @@
+//! Error type for storage-format and blob-store failures.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by the storage layer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum StorageError {
+    /// A stripe or file failed to decode.
+    Corrupt {
+        /// Description of what failed.
+        reason: String,
+    },
+    /// An underlying codec error (decompression or varint decoding).
+    Codec(recd_codec::CodecError),
+    /// The requested blob does not exist in the store.
+    NotFound {
+        /// The requested path.
+        path: String,
+    },
+    /// The file was written with a different schema than the one used to
+    /// read it.
+    SchemaMismatch {
+        /// Schema fingerprint stored in the file.
+        expected: u64,
+        /// Fingerprint of the schema supplied by the reader.
+        actual: u64,
+    },
+    /// A stripe index was out of range.
+    StripeOutOfRange {
+        /// The requested stripe.
+        index: usize,
+        /// Number of stripes in the file.
+        stripes: usize,
+    },
+}
+
+impl fmt::Display for StorageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StorageError::Corrupt { reason } => write!(f, "corrupt storage data: {reason}"),
+            StorageError::Codec(err) => write!(f, "codec failure: {err}"),
+            StorageError::NotFound { path } => write!(f, "blob `{path}` not found"),
+            StorageError::SchemaMismatch { expected, actual } => write!(
+                f,
+                "schema fingerprint mismatch: file has {expected:#x}, reader supplied {actual:#x}"
+            ),
+            StorageError::StripeOutOfRange { index, stripes } => {
+                write!(f, "stripe {index} out of range ({stripes} stripes)")
+            }
+        }
+    }
+}
+
+impl Error for StorageError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            StorageError::Codec(err) => Some(err),
+            _ => None,
+        }
+    }
+}
+
+impl From<recd_codec::CodecError> for StorageError {
+    fn from(err: recd_codec::CodecError) -> Self {
+        StorageError::Codec(err)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let err = StorageError::from(recd_codec::CodecError::VarintOverflow);
+        assert!(err.to_string().contains("codec"));
+        assert!(err.source().is_some());
+        let err = StorageError::NotFound {
+            path: "t/p0/f1".into(),
+        };
+        assert!(err.to_string().contains("t/p0/f1"));
+    }
+}

@@ -1,0 +1,293 @@
+//! The DWRF-like file: a sequence of compressed stripes plus a footer.
+
+use crate::stripe::{decode_stripe, encode_stripe, StripeStats};
+use crate::{Result, StorageError};
+use recd_codec::{varint, Hasher64};
+use recd_data::{Sample, Schema};
+use serde::{Deserialize, Serialize};
+
+/// Fingerprints a schema so a file records which schema wrote it.
+fn schema_fingerprint(schema: &Schema) -> u64 {
+    let mut h = Hasher64::new();
+    h.write_u64(schema.dense_count() as u64);
+    h.write_u64(schema.sparse_count() as u64);
+    for spec in schema.sparse_features() {
+        h.write_bytes(spec.name.as_bytes());
+    }
+    h.finish()
+}
+
+/// Metadata about one stripe within a file.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StripeFooter {
+    /// Byte offset of the stripe within the file body.
+    pub offset: usize,
+    /// Compressed length of the stripe in bytes.
+    pub length: usize,
+    /// Number of rows in the stripe.
+    pub rows: usize,
+}
+
+/// An in-memory DWRF-like file: stripes plus footer.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DwrfFile {
+    body: Vec<u8>,
+    stripes: Vec<StripeFooter>,
+    schema_fingerprint: u64,
+}
+
+impl DwrfFile {
+    /// Number of stripes in the file.
+    pub fn stripe_count(&self) -> usize {
+        self.stripes.len()
+    }
+
+    /// Total number of rows across all stripes.
+    pub fn row_count(&self) -> usize {
+        self.stripes.iter().map(|s| s.rows).sum()
+    }
+
+    /// Stored (compressed) size of the file in bytes, footer included.
+    pub fn stored_bytes(&self) -> usize {
+        self.body.len() + self.stripes.len() * 24 + 16
+    }
+
+    /// Stripe footers.
+    pub fn stripe_footers(&self) -> &[StripeFooter] {
+        &self.stripes
+    }
+
+    /// Decodes one stripe.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StorageError::StripeOutOfRange`] for a bad index,
+    /// [`StorageError::SchemaMismatch`] if `schema` differs from the writer's
+    /// schema, or a decode error for corrupt data.
+    pub fn read_stripe(&self, schema: &Schema, index: usize) -> Result<Vec<Sample>> {
+        self.check_schema(schema)?;
+        let footer = self
+            .stripes
+            .get(index)
+            .ok_or(StorageError::StripeOutOfRange {
+                index,
+                stripes: self.stripes.len(),
+            })?;
+        decode_stripe(schema, &self.body[footer.offset..footer.offset + footer.length])
+    }
+
+    /// Decodes every stripe, returning all rows in file order.
+    ///
+    /// # Errors
+    ///
+    /// Same error conditions as [`DwrfFile::read_stripe`].
+    pub fn read_all(&self, schema: &Schema) -> Result<Vec<Sample>> {
+        self.check_schema(schema)?;
+        let mut out = Vec::with_capacity(self.row_count());
+        for i in 0..self.stripes.len() {
+            out.extend(self.read_stripe(schema, i)?);
+        }
+        Ok(out)
+    }
+
+    fn check_schema(&self, schema: &Schema) -> Result<()> {
+        let actual = schema_fingerprint(schema);
+        if actual != self.schema_fingerprint {
+            return Err(StorageError::SchemaMismatch {
+                expected: self.schema_fingerprint,
+                actual,
+            });
+        }
+        Ok(())
+    }
+
+    /// Serializes the file (body + footer) into one blob for the blob store.
+    pub fn to_blob(&self) -> Vec<u8> {
+        let mut blob = Vec::with_capacity(self.stored_bytes());
+        varint::encode_u64(self.schema_fingerprint, &mut blob);
+        varint::encode_u64(self.stripes.len() as u64, &mut blob);
+        for s in &self.stripes {
+            varint::encode_u64(s.offset as u64, &mut blob);
+            varint::encode_u64(s.length as u64, &mut blob);
+            varint::encode_u64(s.rows as u64, &mut blob);
+        }
+        varint::encode_u64(self.body.len() as u64, &mut blob);
+        blob.extend_from_slice(&self.body);
+        blob
+    }
+
+    /// Deserializes a blob produced by [`DwrfFile::to_blob`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`StorageError`] if the blob is truncated or inconsistent.
+    pub fn from_blob(blob: &[u8]) -> Result<Self> {
+        let mut cursor = 0usize;
+        let (fingerprint, used) = varint::decode_u64(&blob[cursor..])?;
+        cursor += used;
+        let (stripe_count, used) = varint::decode_u64(&blob[cursor..])?;
+        cursor += used;
+        let mut stripes = Vec::with_capacity(stripe_count as usize);
+        for _ in 0..stripe_count {
+            let (offset, used) = varint::decode_u64(&blob[cursor..])?;
+            cursor += used;
+            let (length, used) = varint::decode_u64(&blob[cursor..])?;
+            cursor += used;
+            let (rows, used) = varint::decode_u64(&blob[cursor..])?;
+            cursor += used;
+            stripes.push(StripeFooter {
+                offset: offset as usize,
+                length: length as usize,
+                rows: rows as usize,
+            });
+        }
+        let (body_len, used) = varint::decode_u64(&blob[cursor..])?;
+        cursor += used;
+        let body_len = body_len as usize;
+        if cursor + body_len > blob.len() {
+            return Err(StorageError::Corrupt {
+                reason: "file body truncated".to_string(),
+            });
+        }
+        let body = blob[cursor..cursor + body_len].to_vec();
+        for s in &stripes {
+            if s.offset + s.length > body.len() {
+                return Err(StorageError::Corrupt {
+                    reason: "stripe footer points past the file body".to_string(),
+                });
+            }
+        }
+        Ok(Self {
+            body,
+            stripes,
+            schema_fingerprint: fingerprint,
+        })
+    }
+}
+
+/// Writes samples into a [`DwrfFile`], one stripe per `rows_per_stripe` rows.
+#[derive(Debug)]
+pub struct DwrfWriter<'a> {
+    schema: &'a Schema,
+    rows_per_stripe: usize,
+    body: Vec<u8>,
+    stripes: Vec<StripeFooter>,
+    stats: Vec<StripeStats>,
+}
+
+impl<'a> DwrfWriter<'a> {
+    /// Creates a writer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rows_per_stripe` is zero.
+    pub fn new(schema: &'a Schema, rows_per_stripe: usize) -> Self {
+        assert!(rows_per_stripe > 0, "rows_per_stripe must be positive");
+        Self {
+            schema,
+            rows_per_stripe,
+            body: Vec::new(),
+            stripes: Vec::new(),
+            stats: Vec::new(),
+        }
+    }
+
+    /// Appends samples, cutting a stripe every `rows_per_stripe` rows.
+    pub fn write(&mut self, samples: &[Sample]) {
+        for chunk in samples.chunks(self.rows_per_stripe) {
+            let (block, stats) = encode_stripe(self.schema, chunk);
+            let offset = self.body.len();
+            self.body.extend_from_slice(&block);
+            self.stripes.push(StripeFooter {
+                offset,
+                length: block.len(),
+                rows: chunk.len(),
+            });
+            self.stats.push(stats);
+        }
+    }
+
+    /// Per-stripe statistics collected so far.
+    pub fn stripe_stats(&self) -> &[StripeStats] {
+        &self.stats
+    }
+
+    /// Finalizes the file.
+    pub fn finish(self) -> (DwrfFile, Vec<StripeStats>) {
+        (
+            DwrfFile {
+                body: self.body,
+                stripes: self.stripes,
+                schema_fingerprint: schema_fingerprint(self.schema),
+            },
+            self.stats,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use recd_data::FeatureClass;
+    use recd_datagen::{DatasetGenerator, WorkloadConfig, WorkloadPreset};
+
+    fn partition() -> (Schema, Vec<Sample>) {
+        let gen = DatasetGenerator::new(WorkloadConfig::preset(WorkloadPreset::Tiny));
+        let p = gen.generate_partition();
+        (p.schema, p.samples)
+    }
+
+    #[test]
+    fn write_read_round_trip() {
+        let (schema, samples) = partition();
+        let mut writer = DwrfWriter::new(&schema, 32);
+        writer.write(&samples);
+        let (file, stats) = writer.finish();
+        assert_eq!(file.row_count(), samples.len());
+        assert_eq!(file.stripe_count(), samples.len().div_ceil(32));
+        assert_eq!(stats.len(), file.stripe_count());
+        assert_eq!(file.read_all(&schema).unwrap(), samples);
+        assert_eq!(file.read_stripe(&schema, 0).unwrap(), samples[..32]);
+        assert!(matches!(
+            file.read_stripe(&schema, 999),
+            Err(StorageError::StripeOutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn blob_round_trip_and_truncation_errors() {
+        let (schema, samples) = partition();
+        let mut writer = DwrfWriter::new(&schema, 16);
+        writer.write(&samples[..48]);
+        let (file, _) = writer.finish();
+        let blob = file.to_blob();
+        let back = DwrfFile::from_blob(&blob).unwrap();
+        assert_eq!(back, file);
+        assert_eq!(back.read_all(&schema).unwrap(), &samples[..48]);
+        assert!(DwrfFile::from_blob(&blob[..blob.len() / 2]).is_err());
+        assert!(DwrfFile::from_blob(&[]).is_err());
+    }
+
+    #[test]
+    fn schema_mismatch_is_detected() {
+        let (schema, samples) = partition();
+        let mut writer = DwrfWriter::new(&schema, 16);
+        writer.write(&samples[..16]);
+        let (file, _) = writer.finish();
+        let other = Schema::builder()
+            .sparse("other", FeatureClass::User, 1.0, 0.5, 100)
+            .build()
+            .unwrap();
+        assert!(matches!(
+            file.read_all(&other),
+            Err(StorageError::SchemaMismatch { .. })
+        ));
+    }
+
+    #[test]
+    #[should_panic(expected = "rows_per_stripe must be positive")]
+    fn zero_rows_per_stripe_panics() {
+        let (schema, _) = partition();
+        DwrfWriter::new(&schema, 0);
+    }
+}

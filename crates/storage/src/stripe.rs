@@ -1,0 +1,252 @@
+//! Stripe encoding: a run of rows stored as flattened, encoded, compressed
+//! column streams.
+
+use crate::{Result, StorageError};
+use recd_codec::{delta, varint, Compressor};
+use recd_data::{RequestId, Sample, Schema, SessionId, Timestamp};
+use serde::{Deserialize, Serialize};
+
+/// Byte accounting for one encoded stripe.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct StripeStats {
+    /// Number of rows in the stripe.
+    pub rows: usize,
+    /// Logical payload bytes of the rows (dense + sparse + header fields).
+    pub raw_bytes: usize,
+    /// Bytes after columnar encoding, before block compression.
+    pub encoded_bytes: usize,
+    /// Bytes after block compression — what is actually stored and fetched.
+    pub compressed_bytes: usize,
+}
+
+impl StripeStats {
+    /// Compression ratio relative to the logical payload.
+    pub fn compression_ratio(&self) -> f64 {
+        if self.compressed_bytes == 0 {
+            1.0
+        } else {
+            self.raw_bytes as f64 / self.compressed_bytes as f64
+        }
+    }
+}
+
+/// Encodes a stripe of samples into a compressed byte block.
+///
+/// Layout (before compression): row count, then session/request/timestamp
+/// columns (delta-encoded), the label column, each dense column as raw f32
+/// bytes, and each sparse column as a lengths stream plus a values stream.
+pub fn encode_stripe(schema: &Schema, samples: &[Sample]) -> (Vec<u8>, StripeStats) {
+    let mut buf = Vec::new();
+    varint::encode_u64(samples.len() as u64, &mut buf);
+
+    // Header columns.
+    let sessions: Vec<u64> = samples.iter().map(|s| s.session_id.raw()).collect();
+    let requests: Vec<u64> = samples.iter().map(|s| s.request_id.raw()).collect();
+    let timestamps: Vec<u64> = samples.iter().map(|s| s.timestamp.as_millis()).collect();
+    buf.extend_from_slice(&delta::encode(&sessions));
+    buf.extend_from_slice(&delta::encode(&requests));
+    buf.extend_from_slice(&delta::encode(&timestamps));
+    for s in samples {
+        buf.extend_from_slice(&s.label.to_le_bytes());
+    }
+
+    // Dense columns.
+    for d in 0..schema.dense_count() {
+        for s in samples {
+            let v = s.dense.get(d).copied().unwrap_or(0.0);
+            buf.extend_from_slice(&v.to_le_bytes());
+        }
+    }
+
+    // Sparse columns: lengths stream + values stream per feature.
+    for spec in schema.sparse_features() {
+        let fi = spec.id.index();
+        let lengths: Vec<u64> = samples
+            .iter()
+            .map(|s| s.sparse.get(fi).map(|l| l.len() as u64).unwrap_or(0))
+            .collect();
+        let mut values: Vec<u64> = Vec::new();
+        for s in samples {
+            if let Some(list) = s.sparse.get(fi) {
+                values.extend_from_slice(list);
+            }
+        }
+        buf.extend_from_slice(&varint::encode_u64_slice(&lengths));
+        buf.extend_from_slice(&varint::encode_u64_slice(&values));
+    }
+
+    let encoded_bytes = buf.len();
+    let compressed = Compressor::Lz.compress(&buf);
+    let stats = StripeStats {
+        rows: samples.len(),
+        raw_bytes: samples.iter().map(Sample::payload_bytes).sum(),
+        encoded_bytes,
+        compressed_bytes: compressed.len(),
+    };
+    (compressed, stats)
+}
+
+/// Decodes a stripe produced by [`encode_stripe`].
+///
+/// # Errors
+///
+/// Returns a [`StorageError`] if decompression or any column decode fails.
+pub fn decode_stripe(schema: &Schema, block: &[u8]) -> Result<Vec<Sample>> {
+    let buf = Compressor::Lz.decompress(block)?;
+    let mut cursor = 0usize;
+
+    let (rows, used) = varint::decode_u64(&buf[cursor..])?;
+    cursor += used;
+    let rows = rows as usize;
+
+    let (sessions, used) = delta::decode(&buf[cursor..])?;
+    cursor += used;
+    let (requests, used) = delta::decode(&buf[cursor..])?;
+    cursor += used;
+    let (timestamps, used) = delta::decode(&buf[cursor..])?;
+    cursor += used;
+    if sessions.len() != rows || requests.len() != rows || timestamps.len() != rows {
+        return Err(StorageError::Corrupt {
+            reason: "header column length mismatch".to_string(),
+        });
+    }
+
+    let mut labels = Vec::with_capacity(rows);
+    for _ in 0..rows {
+        if cursor + 4 > buf.len() {
+            return Err(StorageError::Corrupt {
+                reason: "label column truncated".to_string(),
+            });
+        }
+        labels.push(f32::from_le_bytes([
+            buf[cursor],
+            buf[cursor + 1],
+            buf[cursor + 2],
+            buf[cursor + 3],
+        ]));
+        cursor += 4;
+    }
+
+    let mut dense: Vec<Vec<f32>> = vec![Vec::with_capacity(schema.dense_count()); rows];
+    for _ in 0..schema.dense_count() {
+        for row in dense.iter_mut().take(rows) {
+            if cursor + 4 > buf.len() {
+                return Err(StorageError::Corrupt {
+                    reason: "dense column truncated".to_string(),
+                });
+            }
+            row.push(f32::from_le_bytes([
+                buf[cursor],
+                buf[cursor + 1],
+                buf[cursor + 2],
+                buf[cursor + 3],
+            ]));
+            cursor += 4;
+        }
+    }
+
+    let mut sparse: Vec<Vec<Vec<u64>>> = vec![Vec::with_capacity(schema.sparse_count()); rows];
+    for _ in schema.sparse_features() {
+        let (lengths, used) = varint::decode_u64_slice(&buf[cursor..])?;
+        cursor += used;
+        let (values, used) = varint::decode_u64_slice(&buf[cursor..])?;
+        cursor += used;
+        if lengths.len() != rows {
+            return Err(StorageError::Corrupt {
+                reason: "sparse lengths column length mismatch".to_string(),
+            });
+        }
+        if lengths.iter().map(|&l| l as usize).sum::<usize>() != values.len() {
+            return Err(StorageError::Corrupt {
+                reason: "sparse values column length mismatch".to_string(),
+            });
+        }
+        let mut offset = 0usize;
+        for (row, &len) in lengths.iter().enumerate() {
+            let len = len as usize;
+            sparse[row].push(values[offset..offset + len].to_vec());
+            offset += len;
+        }
+    }
+
+    let mut samples = Vec::with_capacity(rows);
+    for row in 0..rows {
+        samples.push(
+            Sample::builder(
+                SessionId::new(sessions[row]),
+                RequestId::new(requests[row]),
+                Timestamp::from_millis(timestamps[row]),
+            )
+            .label(labels[row])
+            .dense(std::mem::take(&mut dense[row]))
+            .sparse(std::mem::take(&mut sparse[row]))
+            .build(),
+        );
+    }
+    Ok(samples)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use recd_datagen::{DatasetGenerator, WorkloadConfig, WorkloadPreset};
+
+    fn partition() -> (Schema, Vec<Sample>) {
+        let gen = DatasetGenerator::new(WorkloadConfig::preset(WorkloadPreset::Tiny));
+        let p = gen.generate_partition();
+        (p.schema, p.samples)
+    }
+
+    #[test]
+    fn round_trip_preserves_every_row() {
+        let (schema, samples) = partition();
+        let stripe_rows = &samples[..64.min(samples.len())];
+        let (block, stats) = encode_stripe(&schema, stripe_rows);
+        assert_eq!(stats.rows, stripe_rows.len());
+        assert!(stats.compressed_bytes > 0);
+        assert!(stats.encoded_bytes >= stats.compressed_bytes);
+        let decoded = decode_stripe(&schema, &block).unwrap();
+        assert_eq!(decoded, stripe_rows);
+    }
+
+    #[test]
+    fn empty_stripe_round_trip() {
+        let (schema, _) = partition();
+        let (block, stats) = encode_stripe(&schema, &[]);
+        assert_eq!(stats.rows, 0);
+        assert!(decode_stripe(&schema, &block).unwrap().is_empty());
+    }
+
+    #[test]
+    fn clustered_rows_compress_better_than_interleaved() {
+        // The storage-level mechanism behind O2: adjacent duplicate rows in a
+        // stripe compress better.
+        let (schema, samples) = partition();
+        let mut clustered = samples.clone();
+        clustered.sort_by_key(|s| (s.session_id, s.timestamp));
+        let take = 128.min(samples.len());
+        let (_, interleaved_stats) = encode_stripe(&schema, &samples[..take]);
+        let (_, clustered_stats) = encode_stripe(&schema, &clustered[..take]);
+        assert!(
+            clustered_stats.compression_ratio() > interleaved_stats.compression_ratio(),
+            "clustered {:.2} vs interleaved {:.2}",
+            clustered_stats.compression_ratio(),
+            interleaved_stats.compression_ratio()
+        );
+    }
+
+    #[test]
+    fn corrupted_blocks_are_errors_not_panics() {
+        let (schema, samples) = partition();
+        let (block, _) = encode_stripe(&schema, &samples[..16]);
+        for cut in [0, 1, block.len() / 2, block.len().saturating_sub(1)] {
+            assert!(decode_stripe(&schema, &block[..cut]).is_err());
+        }
+        let mut flipped = block.clone();
+        if let Some(byte) = flipped.get_mut(8) {
+            *byte ^= 0xff;
+        }
+        // Either an error or (rarely) a benign decode difference — never a panic.
+        let _ = decode_stripe(&schema, &flipped);
+    }
+}

@@ -1,0 +1,184 @@
+//! A blob-store simulation standing in for the Tectonic distributed
+//! filesystem: put/get with per-node storage and read accounting.
+
+use crate::{Result, StorageError};
+use parking_lot::RwLock;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Aggregate blob-store accounting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct BlobStats {
+    /// Number of blobs stored.
+    pub blobs: usize,
+    /// Total stored bytes.
+    pub stored_bytes: usize,
+    /// Number of get operations served (read IOPS).
+    pub read_ops: usize,
+    /// Total bytes served by get operations.
+    pub read_bytes: usize,
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    blobs: HashMap<String, Arc<Vec<u8>>>,
+    node_bytes: Vec<usize>,
+    read_ops: usize,
+    read_bytes: usize,
+}
+
+/// The blob store. Cloning is cheap and clones share state, so a reader tier
+/// can fetch from the same store concurrently.
+#[derive(Debug, Clone)]
+pub struct TectonicSim {
+    inner: Arc<RwLock<Inner>>,
+    nodes: usize,
+}
+
+impl TectonicSim {
+    /// Creates a store spread over `nodes` storage nodes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nodes` is zero.
+    pub fn new(nodes: usize) -> Self {
+        assert!(nodes > 0, "a blob store needs at least one node");
+        Self {
+            inner: Arc::new(RwLock::new(Inner {
+                node_bytes: vec![0; nodes],
+                ..Inner::default()
+            })),
+            nodes,
+        }
+    }
+
+    /// Number of storage nodes.
+    pub fn node_count(&self) -> usize {
+        self.nodes
+    }
+
+    /// Stores a blob under `path`, replacing any previous blob at that path.
+    pub fn put(&self, path: &str, bytes: Vec<u8>) {
+        let node = (recd_codec::hash_bytes(path.as_bytes()) % self.nodes as u64) as usize;
+        let mut inner = self.inner.write();
+        let len = bytes.len();
+        if let Some(old) = inner.blobs.insert(path.to_string(), Arc::new(bytes)) {
+            inner.node_bytes[node] = inner.node_bytes[node].saturating_sub(old.len());
+        }
+        inner.node_bytes[node] += len;
+    }
+
+    /// Fetches a blob, counting the read.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StorageError::NotFound`] if no blob exists at `path`.
+    pub fn get(&self, path: &str) -> Result<Arc<Vec<u8>>> {
+        let mut inner = self.inner.write();
+        let blob = inner
+            .blobs
+            .get(path)
+            .cloned()
+            .ok_or_else(|| StorageError::NotFound {
+                path: path.to_string(),
+            })?;
+        inner.read_ops += 1;
+        inner.read_bytes += blob.len();
+        Ok(blob)
+    }
+
+    /// Lists paths with the given prefix, sorted.
+    pub fn list(&self, prefix: &str) -> Vec<String> {
+        let inner = self.inner.read();
+        let mut paths: Vec<String> = inner
+            .blobs
+            .keys()
+            .filter(|p| p.starts_with(prefix))
+            .cloned()
+            .collect();
+        paths.sort();
+        paths
+    }
+
+    /// Current aggregate statistics.
+    pub fn stats(&self) -> BlobStats {
+        let inner = self.inner.read();
+        BlobStats {
+            blobs: inner.blobs.len(),
+            stored_bytes: inner.blobs.values().map(|b| b.len()).sum(),
+            read_ops: inner.read_ops,
+            read_bytes: inner.read_bytes,
+        }
+    }
+
+    /// Bytes stored per node, for load-balance inspection.
+    pub fn node_bytes(&self) -> Vec<usize> {
+        self.inner.read().node_bytes.clone()
+    }
+
+    /// Resets the read counters (storage contents are kept). Used between
+    /// experiment phases that reuse one store.
+    pub fn reset_read_counters(&self) {
+        let mut inner = self.inner.write();
+        inner.read_ops = 0;
+        inner.read_bytes = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn put_get_list_and_stats() {
+        let store = TectonicSim::new(4);
+        store.put("table/p0/f0", vec![1, 2, 3]);
+        store.put("table/p0/f1", vec![4; 100]);
+        store.put("other/x", vec![9]);
+
+        assert_eq!(store.node_count(), 4);
+        assert_eq!(store.list("table/p0/"), vec!["table/p0/f0", "table/p0/f1"]);
+        assert_eq!(store.get("table/p0/f0").unwrap().as_slice(), &[1, 2, 3]);
+        assert!(matches!(
+            store.get("missing"),
+            Err(StorageError::NotFound { .. })
+        ));
+
+        let stats = store.stats();
+        assert_eq!(stats.blobs, 3);
+        assert_eq!(stats.stored_bytes, 104);
+        assert_eq!(stats.read_ops, 1);
+        assert_eq!(stats.read_bytes, 3);
+        assert_eq!(store.node_bytes().iter().sum::<usize>(), 104);
+    }
+
+    #[test]
+    fn overwrite_replaces_bytes_and_counters_reset() {
+        let store = TectonicSim::new(2);
+        store.put("a", vec![0; 50]);
+        store.put("a", vec![0; 10]);
+        assert_eq!(store.stats().stored_bytes, 10);
+        store.get("a").unwrap();
+        store.reset_read_counters();
+        assert_eq!(store.stats().read_ops, 0);
+        assert_eq!(store.stats().read_bytes, 0);
+    }
+
+    #[test]
+    fn clones_share_state_across_threads() {
+        let store = TectonicSim::new(2);
+        let clone = store.clone();
+        let handle = std::thread::spawn(move || {
+            clone.put("from-thread", vec![7; 7]);
+        });
+        handle.join().unwrap();
+        assert_eq!(store.get("from-thread").unwrap().len(), 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one node")]
+    fn zero_nodes_panics() {
+        TectonicSim::new(0);
+    }
+}

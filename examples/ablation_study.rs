@@ -1,0 +1,16 @@
+//! Reproduces the paper's Figure 9 ablation (which RecD optimizations buy
+//! which part of the trainer speedup on RM1) plus the Table 2 memory study
+//! and the single-node result, at smoke scale so it finishes quickly.
+//!
+//! Run with: `cargo run --release --example ablation_study`
+
+use recd::pipeline::experiments::{fig9, single_node, table2, ExperimentScale};
+
+fn main() {
+    let scale = ExperimentScale::Smoke;
+    print!("{}", fig9(scale).render());
+    println!();
+    print!("{}", table2(scale).render());
+    println!();
+    print!("{}", single_node(scale).render());
+}

@@ -1,0 +1,19 @@
+//! Reproduces the paper's §3 dataset characterization (Figures 3 and 4) on a
+//! synthetic social-media-style workload: samples-per-session histograms and
+//! per-feature exact/partial duplication, including the byte-weighted
+//! totals.
+//!
+//! Run with: `cargo run --release --example dataset_characterization`
+
+use recd::pipeline::experiments::{characterization, dedupe_factor_sweep, ExperimentScale};
+
+fn main() {
+    let exp = characterization(ExperimentScale::Smoke);
+    print!("{}", exp.render_fig3());
+    println!();
+    print!("{}", exp.render_fig4());
+    println!();
+
+    // The analytical DedupeFactor model (§4.2) against measured batches.
+    print!("{}", dedupe_factor_sweep(ExperimentScale::Smoke).render());
+}

@@ -1,0 +1,148 @@
+//! Property-based tests for the core invariants of the RecD stack.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+use recd::codec::{delta, dict, rle, varint, Compressor};
+use recd::core::{
+    jagged_index_select, InverseKeyedJaggedTensor, JaggedTensor, KeyedJaggedTensor, PartialIkjt,
+};
+use recd::data::{FeatureId, RequestId, Sample, SessionId, Timestamp};
+use recd::etl::cluster_by_session;
+use recd::storage::{decode_stripe, encode_stripe};
+
+/// Strategy for a batch of rows for one feature: ids drawn from a small
+/// alphabet so duplicates are common, with empty rows allowed.
+fn rows_strategy() -> impl Strategy<Value = Vec<Vec<u64>>> {
+    vec(vec(0u64..50, 0..12), 0..40)
+}
+
+/// Strategy for a pair of features sharing a batch size (a dedup group).
+fn grouped_rows_strategy() -> impl Strategy<Value = (Vec<Vec<u64>>, Vec<Vec<u64>>)> {
+    (0usize..30).prop_flat_map(|batch| {
+        (
+            vec(vec(0u64..20, 0..8), batch..=batch),
+            vec(vec(0u64..20, 0..8), batch..=batch),
+        )
+    })
+}
+
+proptest! {
+    /// IKJT deduplication is lossless: expanding back to a KJT reproduces the
+    /// original rows exactly, for any batch.
+    #[test]
+    fn ikjt_round_trip_is_identity(rows in rows_strategy()) {
+        let feature = FeatureId::new(0);
+        let kjt = KeyedJaggedTensor::from_tensors(vec![(feature, JaggedTensor::from_lists(&rows))])
+            .unwrap();
+        let ikjt = InverseKeyedJaggedTensor::dedup_from_kjt(&kjt, &[feature]).unwrap();
+        prop_assert!(ikjt.check_invariants().is_ok());
+        prop_assert!(ikjt.slot_count() <= ikjt.batch_size().max(1));
+        prop_assert!(ikjt.dedup_value_count() <= ikjt.original_value_count());
+        prop_assert_eq!(ikjt.to_kjt().unwrap(), kjt);
+    }
+
+    /// Grouped dedup never violates the shared-inverse-lookup invariant and
+    /// stays lossless even when the two features are not updated in sync.
+    #[test]
+    fn grouped_ikjt_preserves_both_features((a, b) in grouped_rows_strategy()) {
+        let fa = FeatureId::new(0);
+        let fb = FeatureId::new(1);
+        let kjt = KeyedJaggedTensor::from_tensors(vec![
+            (fa, JaggedTensor::from_lists(&a)),
+            (fb, JaggedTensor::from_lists(&b)),
+        ])
+        .unwrap();
+        let ikjt = InverseKeyedJaggedTensor::dedup_from_kjt(&kjt, &[fa, fb]).unwrap();
+        prop_assert!(ikjt.check_invariants().is_ok());
+        prop_assert_eq!(ikjt.to_kjt().unwrap(), kjt);
+    }
+
+    /// Jagged index select agrees with naive per-row expansion.
+    #[test]
+    fn jagged_select_matches_naive(rows in rows_strategy(), indices in vec(0usize..40, 0..60)) {
+        let tensor = JaggedTensor::from_lists(&rows);
+        let valid: Vec<usize> = indices.into_iter().filter(|&i| i < tensor.row_count()).collect();
+        let selected = jagged_index_select(&tensor, &valid).unwrap();
+        prop_assert_eq!(selected.row_count(), valid.len());
+        for (out_row, &src) in valid.iter().enumerate() {
+            prop_assert_eq!(selected.row(out_row), tensor.row(src));
+        }
+    }
+
+    /// Partial IKJTs are lossless for arbitrary rows.
+    #[test]
+    fn partial_ikjt_round_trip(rows in rows_strategy()) {
+        let p = PartialIkjt::dedup_from_rows(FeatureId::new(3), &rows);
+        prop_assert!(p.dedup_value_count() <= p.original_value_count());
+        let expanded = p.to_jagged().unwrap();
+        prop_assert_eq!(expanded.row_count(), rows.len());
+        for (i, row) in rows.iter().enumerate() {
+            prop_assert_eq!(expanded.row(i), row.as_slice());
+        }
+    }
+
+    /// Codec round trips: varint slices, delta, RLE, dictionary, and the LZ
+    /// block compressor.
+    #[test]
+    fn codecs_round_trip(values in vec(any::<u64>(), 0..200), bytes in vec(any::<u8>(), 0..2000)) {
+        let (decoded, _) = varint::decode_u64_slice(&varint::encode_u64_slice(&values)).unwrap();
+        prop_assert_eq!(&decoded, &values);
+        let (decoded, _) = delta::decode(&delta::encode(&values)).unwrap();
+        prop_assert_eq!(&decoded, &values);
+        let (decoded, _) = rle::decode(&rle::encode(&values)).unwrap();
+        prop_assert_eq!(&decoded, &values);
+        let (decoded, _) = dict::decode(&dict::encode(&values)).unwrap();
+        prop_assert_eq!(&decoded, &values);
+        prop_assert_eq!(Compressor::Lz.decompress(&Compressor::Lz.compress(&bytes)).unwrap(), bytes);
+    }
+
+    /// Stripe encoding round trips arbitrary (schema-conforming) samples, and
+    /// clustering never changes the multiset of rows.
+    #[test]
+    fn stripe_and_clustering_preserve_rows(
+        seed_rows in vec((0u64..20, 0u64..1000, vec(0u64..100, 0..6), vec(0u64..100, 0..3)), 1..60)
+    ) {
+        let schema = recd::data::Schema::builder()
+            .dense("d0")
+            .dedup_groups(1)
+            .sparse_with("f0", recd::data::FeatureClass::User, 4.0, 0.9, 1 << 20, 64,
+                Some(recd::data::DedupGroupId::new(0)))
+            .sparse("f1", recd::data::FeatureClass::Item, 2.0, 0.1, 1 << 20)
+            .build()
+            .unwrap();
+        let samples: Vec<Sample> = seed_rows
+            .iter()
+            .enumerate()
+            .map(|(i, (session, ts, f0, f1))| {
+                Sample::builder(SessionId::new(*session), RequestId::new(i as u64), Timestamp::from_millis(*ts))
+                    .label((i % 2) as f32)
+                    .dense(vec![*ts as f32])
+                    .sparse(vec![f0.clone(), f1.clone()])
+                    .build()
+            })
+            .collect();
+
+        // Stripe round trip.
+        let (block, stats) = encode_stripe(&schema, &samples);
+        prop_assert_eq!(stats.rows, samples.len());
+        prop_assert_eq!(decode_stripe(&schema, &block).unwrap(), samples.clone());
+
+        // Clustering preserves the multiset of request ids and keeps each
+        // session contiguous.
+        let clustered = cluster_by_session(&samples);
+        let mut before: Vec<u64> = samples.iter().map(|s| s.request_id.raw()).collect();
+        let mut after: Vec<u64> = clustered.iter().map(|s| s.request_id.raw()).collect();
+        before.sort_unstable();
+        after.sort_unstable();
+        prop_assert_eq!(before, after);
+        // Contiguity: once we leave a session we never see it again.
+        let mut seen = std::collections::HashSet::new();
+        let mut current = None;
+        for s in &clustered {
+            if current != Some(s.session_id) {
+                prop_assert!(seen.insert(s.session_id), "session split apart");
+                current = Some(s.session_id);
+            }
+        }
+    }
+}
