@@ -52,7 +52,9 @@ fn bench_integer_encodings(c: &mut Criterion) {
     });
     group.bench_function("delta", |b| b.iter(|| delta::encode(black_box(&offsets))));
     group.bench_function("rle", |b| b.iter(|| rle::encode(black_box(&repeated))));
-    group.bench_function("dictionary", |b| b.iter(|| dict::encode(black_box(&repeated))));
+    group.bench_function("dictionary", |b| {
+        b.iter(|| dict::encode(black_box(&repeated)))
+    });
     group.finish();
 }
 

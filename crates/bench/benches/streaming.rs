@@ -1,0 +1,81 @@
+//! Benchmarks of the streaming DPP service vs. the one-shot reader tier:
+//! end-to-end wall-clock over the same landed partition, across compute
+//! worker counts. Streaming throughput should scale with workers because
+//! fill, conversion (O3), and preprocessing (O4) overlap across the
+//! pipeline's bounded queues.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use recd_bench::BenchFixture;
+use recd_core::DataLoaderConfig;
+use recd_dpp::{DppConfig, DppService, ShardPolicy};
+use recd_reader::{PreprocessPipeline, ReaderConfig, ReaderTier};
+use recd_storage::{StoredPartition, TableStore, TectonicSim};
+use std::sync::Arc;
+
+struct LandedFixture {
+    schema: recd_data::Schema,
+    store: Arc<TableStore>,
+    partition: StoredPartition,
+}
+
+fn landed_fixture() -> LandedFixture {
+    let fixture = BenchFixture::new(120);
+    // Simulated per-fetch RPC latency: production fill is I/O-bound, and
+    // overlapping those waits is precisely what the streaming tier buys, so
+    // the worker-count scaling is observable even on a single core.
+    let blob_store = TectonicSim::new(8).with_get_latency(std::time::Duration::from_micros(750));
+    let store = Arc::new(TableStore::new(blob_store, 32, 2));
+    let (partition, _) = store.land_partition(&fixture.schema, "bench", 0, &fixture.samples);
+    LandedFixture {
+        schema: fixture.schema,
+        store,
+        partition,
+    }
+}
+
+fn reader_config(schema: &recd_data::Schema) -> ReaderConfig {
+    ReaderConfig::new(128, DataLoaderConfig::from_schema(schema))
+}
+
+fn bench_streaming_vs_one_shot(c: &mut Criterion) {
+    let f = landed_fixture();
+    let mut group = c.benchmark_group("dpp_end_to_end");
+    group.sample_size(10);
+
+    group.bench_function("one_shot_tier_2_readers", |b| {
+        b.iter(|| {
+            let tier = ReaderTier::new(2, reader_config(&f.schema), || {
+                PreprocessPipeline::standard(1 << 20, 64)
+            });
+            tier.run(black_box(&f.store), &f.schema, &f.partition)
+                .unwrap()
+        })
+    });
+
+    for workers in [1, 2, 4, 8] {
+        group.bench_with_input(
+            BenchmarkId::new("streaming_workers", workers),
+            &workers,
+            |b, &workers| {
+                b.iter(|| {
+                    // `workers` scales the whole service: fill decode and
+                    // compute both parallelize, shards follow compute.
+                    let config = DppConfig::new(reader_config(&f.schema))
+                        .with_policy(ShardPolicy::SessionAffine)
+                        .with_fill_workers(workers)
+                        .with_compute_workers(workers)
+                        .with_shards(workers)
+                        .with_pipeline_factory(|| PreprocessPipeline::standard(1 << 20, 64));
+                    let mut handle =
+                        DppService::start(config, Arc::clone(&f.store), f.schema.clone());
+                    handle.submit_partition(black_box(&f.partition));
+                    handle.finish().expect("clean bench run")
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_streaming_vs_one_shot);
+criterion_main!(benches);

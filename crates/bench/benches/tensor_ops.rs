@@ -27,9 +27,7 @@ fn bench_dedup_and_select(c: &mut Criterion) {
     let kjt = KeyedJaggedTensor::from_tensors(vec![(feature, tensor.clone())]).unwrap();
 
     c.bench_function("ikjt_dedup_from_kjt_512x64", |b| {
-        b.iter(|| {
-            InverseKeyedJaggedTensor::dedup_from_kjt(black_box(&kjt), &[feature]).unwrap()
-        })
+        b.iter(|| InverseKeyedJaggedTensor::dedup_from_kjt(black_box(&kjt), &[feature]).unwrap())
     });
 
     let ikjt = InverseKeyedJaggedTensor::dedup_from_kjt(&kjt, &[feature]).unwrap();

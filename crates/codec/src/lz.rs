@@ -194,7 +194,7 @@ mod tests {
             })
             .collect();
 
-        let adjacent: Vec<u8> = std::iter::repeat(row.clone()).take(16).flatten().collect();
+        let adjacent: Vec<u8> = std::iter::repeat_n(row.clone(), 16).flatten().collect();
         let interleaved: Vec<u8> = distinct.iter().flatten().copied().collect();
 
         let adjacent_ratio = adjacent.len() as f64 / compress(&adjacent).len() as f64;

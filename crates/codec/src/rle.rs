@@ -40,7 +40,7 @@ pub fn decode(input: &[u8]) -> Result<(Vec<u64>, usize)> {
         cursor += used;
         let (count, used) = varint::decode_u64(&input[cursor..])?;
         cursor += used;
-        values.extend(std::iter::repeat(value).take(count as usize));
+        values.extend(std::iter::repeat_n(value, count as usize));
     }
     Ok((values, cursor))
 }

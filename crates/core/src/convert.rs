@@ -268,9 +268,12 @@ mod tests {
         FeatureId::new(i)
     }
 
+    /// One row of the Figure 5 batch: features a–d plus a label.
+    type Figure5Row = (Vec<u64>, Vec<u64>, Vec<u64>, Vec<u64>, f32);
+
     /// Builds the exact batch of Figure 5: features a, b, c, d over 3 rows.
     fn figure5_batch() -> SampleBatch {
-        let rows: Vec<(Vec<u64>, Vec<u64>, Vec<u64>, Vec<u64>, f32)> = vec![
+        let rows: Vec<Figure5Row> = vec![
             (vec![1, 2], vec![3, 4, 5], vec![7, 8], vec![9], 1.0),
             (vec![1, 2], vec![4, 5, 6], vec![7, 8], vec![9], 0.0),
             (vec![1, 2], vec![3, 4, 5], vec![10], vec![11], 1.0),

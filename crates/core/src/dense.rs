@@ -130,12 +130,20 @@ mod tests {
     #[test]
     fn from_batch_pads_and_truncates() {
         let batch: SampleBatch = vec![
-            Sample::builder(SessionId::new(1), RequestId::new(0), Timestamp::from_millis(0))
-                .dense(vec![1.0])
-                .build(),
-            Sample::builder(SessionId::new(1), RequestId::new(1), Timestamp::from_millis(1))
-                .dense(vec![2.0, 3.0, 4.0])
-                .build(),
+            Sample::builder(
+                SessionId::new(1),
+                RequestId::new(0),
+                Timestamp::from_millis(0),
+            )
+            .dense(vec![1.0])
+            .build(),
+            Sample::builder(
+                SessionId::new(1),
+                RequestId::new(1),
+                Timestamp::from_millis(1),
+            )
+            .dense(vec![2.0, 3.0, 4.0])
+            .build(),
         ]
         .into_iter()
         .collect();

@@ -86,7 +86,10 @@ impl fmt::Display for CoreError {
                 "sample carries {available} sparse features but {feature} was requested"
             ),
             CoreError::DuplicateFeatureInConfig { feature } => {
-                write!(f, "feature {feature} appears more than once in the dataloader config")
+                write!(
+                    f,
+                    "feature {feature} appears more than once in the dataloader config"
+                )
             }
             CoreError::IndexOutOfRange { index, rows } => {
                 write!(f, "index {index} out of range for {rows} rows")

@@ -80,12 +80,14 @@ impl InverseKeyedJaggedTensor {
         for sample in batch.iter() {
             let mut hasher = Hasher64::new();
             for &key in group {
-                let values = sample.sparse.get(key.index()).ok_or(
-                    CoreError::MissingSparseFeature {
-                        feature: key,
-                        available: sample.sparse.len(),
-                    },
-                )?;
+                let values =
+                    sample
+                        .sparse
+                        .get(key.index())
+                        .ok_or(CoreError::MissingSparseFeature {
+                            feature: key,
+                            available: sample.sparse.len(),
+                        })?;
                 hasher.mix_u64(values.len() as u64);
                 for &v in values {
                     hasher.mix_u64(v);
@@ -191,11 +193,7 @@ impl InverseKeyedJaggedTensor {
     ) -> Result<Self> {
         if keys.len() != tensors.len() {
             return Err(CoreError::GroupInvariantViolation {
-                reason: format!(
-                    "{} keys but {} tensors",
-                    keys.len(),
-                    tensors.len()
-                ),
+                reason: format!("{} keys but {} tensors", keys.len(), tensors.len()),
             });
         }
         let batch_size = inverse_lookup.len();
@@ -275,7 +273,8 @@ impl InverseKeyedJaggedTensor {
     /// Returns [`CoreError::UnknownFeature`] if the feature is not in the
     /// group.
     pub fn feature_required(&self, key: FeatureId) -> Result<&JaggedTensor<u64>> {
-        self.feature(key).ok_or(CoreError::UnknownFeature { feature: key })
+        self.feature(key)
+            .ok_or(CoreError::UnknownFeature { feature: key })
     }
 
     /// Iterates over `(feature, deduplicated tensor)` pairs.
@@ -519,7 +518,11 @@ mod tests {
         );
         assert!(matches!(
             bad_lookup,
-            Err(CoreError::InvalidInverseLookup { row: 1, slot: 1, .. })
+            Err(CoreError::InvalidInverseLookup {
+                row: 1,
+                slot: 1,
+                ..
+            })
         ));
 
         let mismatched_slots = InverseKeyedJaggedTensor::from_parts(
@@ -548,9 +551,11 @@ mod tests {
         // Many distinct single-id rows: a weak converter that trusted hashes
         // without equality confirmation could merge two of them; dedupe factor
         // must stay exactly 1.0 and the round trip must be lossless.
-        let rows: Vec<Vec<u64>> = (0..10_000u64).map(|i| vec![i.wrapping_mul(0x9e37)]).collect();
-        let kjt = KeyedJaggedTensor::from_tensors(vec![(f(0), JaggedTensor::from_lists(&rows))])
-            .unwrap();
+        let rows: Vec<Vec<u64>> = (0..10_000u64)
+            .map(|i| vec![i.wrapping_mul(0x9e37)])
+            .collect();
+        let kjt =
+            KeyedJaggedTensor::from_tensors(vec![(f(0), JaggedTensor::from_lists(&rows))]).unwrap();
         let ikjt = InverseKeyedJaggedTensor::dedup_from_kjt(&kjt, &[f(0)]).unwrap();
         assert_eq!(ikjt.slot_count(), 10_000);
         assert_eq!(ikjt.dedupe_factor(), 1.0);

@@ -167,12 +167,19 @@ impl<T> JaggedTensor<T> {
 
     /// Length of the longest row, or 0 for an empty tensor.
     pub fn max_row_len(&self) -> usize {
-        self.offsets.windows(2).map(|w| w[1] - w[0]).max().unwrap_or(0)
+        self.offsets
+            .windows(2)
+            .map(|w| w[1] - w[0])
+            .max()
+            .unwrap_or(0)
     }
 
     /// Iterates over rows as slices.
     pub fn iter(&self) -> JaggedRows<'_, T> {
-        JaggedRows { tensor: self, next: 0 }
+        JaggedRows {
+            tensor: self,
+            next: 0,
+        }
     }
 
     /// Consumes the tensor and returns `(values, offsets)`.

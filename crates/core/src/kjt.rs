@@ -140,7 +140,8 @@ impl KeyedJaggedTensor {
     ///
     /// Returns [`CoreError::UnknownFeature`] if the feature is not present.
     pub fn feature_required(&self, key: FeatureId) -> Result<&JaggedTensor<u64>> {
-        self.feature(key).ok_or(CoreError::UnknownFeature { feature: key })
+        self.feature(key)
+            .ok_or(CoreError::UnknownFeature { feature: key })
     }
 
     /// Iterates over `(feature, tensor)` pairs in insertion order.
@@ -168,9 +169,13 @@ mod tests {
     fn batch() -> SampleBatch {
         (0..3u64)
             .map(|i| {
-                Sample::builder(SessionId::new(1), RequestId::new(i), Timestamp::from_millis(i))
-                    .sparse(vec![vec![i, i + 1], vec![100 + i]])
-                    .build()
+                Sample::builder(
+                    SessionId::new(1),
+                    RequestId::new(i),
+                    Timestamp::from_millis(i),
+                )
+                .sparse(vec![vec![i, i + 1], vec![100 + i]])
+                .build()
             })
             .collect()
     }
@@ -233,8 +238,14 @@ mod tests {
     #[test]
     fn from_tensors_round_trip() {
         let entries = vec![
-            (FeatureId::new(3), JaggedTensor::from_lists(&[vec![1u64], vec![]])),
-            (FeatureId::new(5), JaggedTensor::from_lists(&[vec![2u64, 3], vec![4]])),
+            (
+                FeatureId::new(3),
+                JaggedTensor::from_lists(&[vec![1u64], vec![]]),
+            ),
+            (
+                FeatureId::new(5),
+                JaggedTensor::from_lists(&[vec![2u64, 3], vec![4]]),
+            ),
         ];
         let kjt = KeyedJaggedTensor::from_tensors(entries).unwrap();
         assert_eq!(kjt.batch_size(), 2);

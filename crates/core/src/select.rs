@@ -37,8 +37,12 @@ pub fn jagged_index_select<T: Clone>(
     indices: &[usize],
 ) -> Result<JaggedTensor<T>> {
     let rows = tensor.row_count();
-    let mut out_values =
-        Vec::with_capacity(indices.iter().map(|&i| tensor.get(i).map_or(0, <[T]>::len)).sum());
+    let mut out_values = Vec::with_capacity(
+        indices
+            .iter()
+            .map(|&i| tensor.get(i).map_or(0, <[T]>::len))
+            .sum(),
+    );
     let mut out_offsets = Vec::with_capacity(indices.len() + 1);
     out_offsets.push(0);
     for &index in indices {

@@ -74,9 +74,7 @@ impl BatchDedupStats {
                 for (row_idx, row) in tensor.iter().enumerate() {
                     let digest = hash_ids(row);
                     let candidates = seen.entry(digest).or_default();
-                    let duplicate = candidates
-                        .iter()
-                        .any(|&earlier| tensor.row(earlier) == row);
+                    let duplicate = candidates.iter().any(|&earlier| tensor.row(earlier) == row);
                     if duplicate {
                         exact_duplicate_rows += 1;
                     } else {

@@ -30,9 +30,7 @@ impl FeatureLog {
     /// network and storage accounting.
     pub fn payload_bytes(&self) -> usize {
         const HEADER: usize = 8 + 8 + 8;
-        HEADER
-            + self.dense.len() * 4
-            + self.sparse.iter().map(|l| l.len() * 8).sum::<usize>()
+        HEADER + self.dense.len() * 4 + self.sparse.iter().map(|l| l.len() * 8).sum::<usize>()
     }
 }
 

@@ -121,7 +121,10 @@ impl CharacterizationReport {
         if self.per_feature.is_empty() {
             0.0
         } else {
-            self.per_feature.iter().map(|f| f.exact_fraction).sum::<f64>()
+            self.per_feature
+                .iter()
+                .map(|f| f.exact_fraction)
+                .sum::<f64>()
                 / self.per_feature.len() as f64
         }
     }
@@ -131,7 +134,10 @@ impl CharacterizationReport {
         if self.per_feature.is_empty() {
             0.0
         } else {
-            self.per_feature.iter().map(|f| f.partial_fraction).sum::<f64>()
+            self.per_feature
+                .iter()
+                .map(|f| f.partial_fraction)
+                .sum::<f64>()
                 / self.per_feature.len() as f64
         }
     }
@@ -281,9 +287,8 @@ mod tests {
     fn interleaved_batches_have_few_samples_per_session() {
         // Reproduces the Figure 3 contrast: the partition has a high mean
         // samples-per-session while a storage-order batch has close to 1.
-        let gen = DatasetGenerator::new(
-            WorkloadConfig::preset(WorkloadPreset::Small).with_sessions(300),
-        );
+        let gen =
+            DatasetGenerator::new(WorkloadConfig::preset(WorkloadPreset::Small).with_sessions(300));
         let partition = gen.generate_partition();
         let report = characterize(&partition.schema, &partition.samples, 512);
         assert!(report.partition_histogram.mean > 5.0);
@@ -319,7 +324,10 @@ mod tests {
             user_mean > 0.5,
             "user features should be mostly duplicated, got {user_mean}"
         );
-        assert!(item_mean < 0.3, "item features should rarely duplicate, got {item_mean}");
+        assert!(
+            item_mean < 0.3,
+            "item features should rarely duplicate, got {item_mean}"
+        );
 
         // Partial duplication captures at least as much as exact duplication.
         assert!(report.weighted_partial_fraction >= report.weighted_exact_fraction - 1e-9);

@@ -286,7 +286,10 @@ mod tests {
         let schema = config.schema();
         // The 4 user_seq features are spread over 2 groups, 2 features each.
         let groups = schema.groups();
-        let seq_groups: Vec<_> = groups.iter().filter(|(_, members)| members.len() == 2).collect();
+        let seq_groups: Vec<_> = groups
+            .iter()
+            .filter(|(_, members)| members.len() == 2)
+            .collect();
         assert_eq!(seq_groups.len(), 2);
         // Item features are never deduplicated.
         for spec in schema.sparse_features() {

@@ -176,10 +176,8 @@ mod tests {
         let a = DatasetGenerator::new(config.clone()).generate_partition();
         let b = DatasetGenerator::new(config).generate_partition();
         assert_eq!(a.samples, b.samples);
-        let c = DatasetGenerator::new(
-            WorkloadConfig::preset(WorkloadPreset::Tiny).with_seed(1234),
-        )
-        .generate_partition();
+        let c = DatasetGenerator::new(WorkloadConfig::preset(WorkloadPreset::Tiny).with_seed(1234))
+            .generate_partition();
         assert_ne!(a.samples, c.samples);
     }
 

@@ -69,8 +69,7 @@ impl SessionGenerator {
         session_id: SessionId,
         impressions: usize,
     ) -> SessionState {
-        let start =
-            Timestamp::from_millis(rng.gen_range(0..self.config.window_ms.max(1)));
+        let start = Timestamp::from_millis(rng.gen_range(0..self.config.window_ms.max(1)));
         let current_sparse = self
             .schema
             .sparse_features()
@@ -206,7 +205,14 @@ mod tests {
         for session in 0..50u64 {
             let mut state = gen.start_session(&mut rng, SessionId::new(session), 10);
             let samples: Vec<Sample> = (0..10)
-                .map(|i| gen.next_sample(&mut rng, &mut state, i, RequestId::new(session * 100 + i as u64)))
+                .map(|i| {
+                    gen.next_sample(
+                        &mut rng,
+                        &mut state,
+                        i,
+                        RequestId::new(session * 100 + i as u64),
+                    )
+                })
                 .collect();
             for spec in schema.sparse_features() {
                 for pair in samples.windows(2) {
@@ -230,8 +236,14 @@ mod tests {
         }
         let user_rate = user_dups as f64 / user_total as f64;
         let item_rate = item_dups as f64 / item_total as f64;
-        assert!(user_rate > 0.7, "user duplication rate too low: {user_rate}");
-        assert!(item_rate < 0.3, "item duplication rate too high: {item_rate}");
+        assert!(
+            user_rate > 0.7,
+            "user duplication rate too low: {user_rate}"
+        );
+        assert!(
+            item_rate < 0.3,
+            "item duplication rate too high: {item_rate}"
+        );
     }
 
     #[test]

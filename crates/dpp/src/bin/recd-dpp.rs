@@ -1,0 +1,229 @@
+//! The `recd-dpp` CLI: runs the streaming preprocessing service over a
+//! synthetic `recd-datagen` dataset and prints live metrics plus the final
+//! report.
+//!
+//! ```text
+//! recd-dpp [--preset tiny|small] [--sessions N] [--batch-size N]
+//!          [--fill-workers N] [--workers N] [--shards N] [--queue-depth N]
+//!          [--policy session|file|row] [--quiet]
+//! ```
+
+use recd_core::DataLoaderConfig;
+use recd_datagen::{DatasetGenerator, WorkloadConfig, WorkloadPreset};
+use recd_dpp::{DppConfig, DppService, ShardPolicy};
+use recd_etl::cluster_by_session;
+use recd_reader::{PreprocessPipeline, ReaderConfig};
+use recd_storage::{TableStore, TectonicSim};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+struct Args {
+    preset: WorkloadPreset,
+    sessions: Option<usize>,
+    batch_size: usize,
+    fill_workers: usize,
+    compute_workers: usize,
+    shards: usize,
+    queue_depth: usize,
+    policy: ShardPolicy,
+    quiet: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        preset: WorkloadPreset::Small,
+        sessions: None,
+        batch_size: 128,
+        fill_workers: 2,
+        compute_workers: 4,
+        shards: 4,
+        queue_depth: 8,
+        policy: ShardPolicy::SessionAffine,
+        quiet: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |flag: &str| it.next().ok_or_else(|| format!("{flag} requires a value"));
+        match flag.as_str() {
+            "--preset" => {
+                args.preset = match value("--preset")?.as_str() {
+                    "tiny" => WorkloadPreset::Tiny,
+                    "small" => WorkloadPreset::Small,
+                    other => return Err(format!("unknown preset '{other}' (tiny|small)")),
+                }
+            }
+            "--sessions" => {
+                args.sessions = Some(
+                    value("--sessions")?
+                        .parse()
+                        .map_err(|e| format!("--sessions: {e}"))?,
+                )
+            }
+            "--batch-size" => {
+                args.batch_size = value("--batch-size")?
+                    .parse()
+                    .map_err(|e| format!("--batch-size: {e}"))?
+            }
+            "--fill-workers" => {
+                args.fill_workers = value("--fill-workers")?
+                    .parse()
+                    .map_err(|e| format!("--fill-workers: {e}"))?
+            }
+            "--workers" => {
+                args.compute_workers = value("--workers")?
+                    .parse()
+                    .map_err(|e| format!("--workers: {e}"))?
+            }
+            "--shards" => {
+                args.shards = value("--shards")?
+                    .parse()
+                    .map_err(|e| format!("--shards: {e}"))?
+            }
+            "--queue-depth" => {
+                args.queue_depth = value("--queue-depth")?
+                    .parse()
+                    .map_err(|e| format!("--queue-depth: {e}"))?
+            }
+            "--policy" => {
+                args.policy = match value("--policy")?.as_str() {
+                    "session" => ShardPolicy::SessionAffine,
+                    "file" => ShardPolicy::FileRoundRobin,
+                    "row" => ShardPolicy::RowRoundRobin,
+                    other => return Err(format!("unknown policy '{other}' (session|file|row)")),
+                }
+            }
+            "--quiet" => args.quiet = true,
+            "--help" | "-h" => {
+                println!(
+                    "recd-dpp: streaming DPP service demo\n\
+                     \n  --preset tiny|small      workload preset (default small)\
+                     \n  --sessions N             override session count\
+                     \n  --batch-size N           training batch size (default 128)\
+                     \n  --fill-workers N         fill (decode) workers (default 2)\
+                     \n  --workers N              convert/process workers (default 4)\
+                     \n  --shards N               shard lanes (default 4)\
+                     \n  --queue-depth N          backpressure window per queue (default 8)\
+                     \n  --policy session|file|row  sharding policy (default session)\
+                     \n  --quiet                  suppress live snapshots"
+                );
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown flag '{other}' (try --help)")),
+        }
+    }
+    Ok(args)
+}
+
+fn main() {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(message) => {
+            eprintln!("recd-dpp: {message}");
+            std::process::exit(2);
+        }
+    };
+
+    // Dataset: generate, cluster by session (O2), land into the table store.
+    let mut workload = WorkloadConfig::preset(args.preset);
+    if let Some(sessions) = args.sessions {
+        workload = workload.with_sessions(sessions);
+    }
+    let generator = DatasetGenerator::new(workload);
+    let partition = generator.generate_partition();
+    let clustered = cluster_by_session(&partition.samples);
+    let store = Arc::new(TableStore::new(TectonicSim::new(8), 64, 2));
+    let (stored, storage_report) = store.land_partition(&partition.schema, "cli", 0, &clustered);
+    println!(
+        "dataset: {} samples in {} files ({} stored bytes)",
+        clustered.len(),
+        stored.files.len(),
+        storage_report.stored_bytes
+    );
+
+    // Service topology.
+    let config = DppConfig::new(ReaderConfig::new(
+        args.batch_size,
+        DataLoaderConfig::from_schema(&partition.schema),
+    ))
+    .with_fill_workers(args.fill_workers)
+    .with_compute_workers(args.compute_workers)
+    .with_shards(args.shards)
+    .with_queue_depth(args.queue_depth)
+    .with_policy(args.policy)
+    .with_pipeline_factory(|| PreprocessPipeline::standard(1 << 20, 64));
+    println!(
+        "service: {} fill + {} compute workers, {} shards, policy {}, queue depth {}",
+        args.fill_workers,
+        args.compute_workers,
+        args.shards,
+        args.policy.name(),
+        args.queue_depth
+    );
+
+    let mut handle = DppService::start(config, Arc::clone(&store), partition.schema.clone());
+
+    // Live metrics monitor (the service's own snapshot API).
+    let done = Arc::new(AtomicBool::new(false));
+    let monitor = if args.quiet {
+        None
+    } else {
+        let done = Arc::clone(&done);
+        let snapshot_source = handle.snapshot_source();
+        Some(std::thread::spawn(move || {
+            while !done.load(Ordering::Relaxed) {
+                std::thread::sleep(Duration::from_millis(100));
+                let s = snapshot_source.snapshot();
+                println!(
+                    "  [{:6.2}s] {:>8} samples  {:>9.0} samples/s  dedup {:>5.2}x  queues fill={} route={} work={} out={}",
+                    s.elapsed_seconds,
+                    s.samples_out,
+                    s.samples_per_second,
+                    s.dedupe_factor,
+                    s.input_queue_depth,
+                    s.filled_queue_depth,
+                    s.work_queue_depth,
+                    s.output_queue_depth,
+                );
+            }
+        }))
+    };
+
+    handle.submit_partition(&stored);
+    let result = handle.finish();
+    done.store(true, Ordering::Relaxed);
+    if let Some(monitor) = monitor {
+        monitor.join().expect("monitor thread");
+    }
+
+    match result {
+        Ok(output) => {
+            let r = &output.report;
+            println!(
+                "\ndone in {:.3}s: {} batches, {} samples, {:.0} samples/s",
+                r.wall_seconds, r.batches, r.samples, r.samples_per_second
+            );
+            println!(
+                "dedup factor {:.2}x, egress {} bytes, peak queue depths: input={} filled={} work={} out={}",
+                r.dedupe_factor,
+                r.egress_bytes,
+                r.peak_input_queue_depth,
+                r.peak_filled_queue_depth,
+                r.peak_work_queue_depth,
+                r.peak_output_queue_depth,
+            );
+            let m = &r.reader_metrics;
+            let (fill, convert, process) = m.phase_fractions();
+            println!(
+                "phase CPU split: fill {:.0}% / convert {:.0}% / process {:.0}%",
+                fill * 100.0,
+                convert * 100.0,
+                process * 100.0
+            );
+        }
+        Err(err) => {
+            eprintln!("recd-dpp: {err}");
+            std::process::exit(1);
+        }
+    }
+}

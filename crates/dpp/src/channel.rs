@@ -1,0 +1,365 @@
+//! A bounded multi-producer multi-consumer channel with blocking
+//! backpressure — the connective tissue between the service's pipeline
+//! stages.
+//!
+//! Semantics:
+//!
+//! * [`Sender::send`] blocks while the queue is at capacity (backpressure);
+//!   it fails only when every receiver is gone.
+//! * [`Receiver::recv`] blocks while the queue is empty; it returns [`None`]
+//!   once every sender is gone *and* the queue has drained, so shutdown is
+//!   simply "drop the senders and keep draining".
+//! * Both handles are cloneable; drop bookkeeping is automatic.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+
+struct Shared<T> {
+    queue: Mutex<VecDeque<T>>,
+    not_full: Condvar,
+    not_empty: Condvar,
+    capacity: usize,
+    senders: AtomicUsize,
+    receivers: AtomicUsize,
+    peak_depth: AtomicUsize,
+}
+
+/// The sending half of a bounded channel.
+pub struct Sender<T> {
+    shared: Arc<Shared<T>>,
+}
+
+/// The receiving half of a bounded channel.
+pub struct Receiver<T> {
+    shared: Arc<Shared<T>>,
+}
+
+/// Error returned by [`Sender::send`] when every receiver is gone; carries
+/// the rejected item back to the caller.
+#[derive(Debug, PartialEq, Eq)]
+pub struct SendError<T>(pub T);
+
+/// Creates a bounded channel with the given capacity (minimum 1).
+pub fn bounded<T>(capacity: usize) -> (Sender<T>, Receiver<T>) {
+    let shared = Arc::new(Shared {
+        queue: Mutex::new(VecDeque::new()),
+        not_full: Condvar::new(),
+        not_empty: Condvar::new(),
+        capacity: capacity.max(1),
+        senders: AtomicUsize::new(1),
+        receivers: AtomicUsize::new(1),
+        peak_depth: AtomicUsize::new(0),
+    });
+    (
+        Sender {
+            shared: Arc::clone(&shared),
+        },
+        Receiver { shared },
+    )
+}
+
+impl<T> Shared<T> {
+    fn note_depth(&self, depth: usize) {
+        self.peak_depth.fetch_max(depth, Ordering::Relaxed);
+    }
+
+    fn depth(&self) -> usize {
+        self.queue.lock().expect("channel lock poisoned").len()
+    }
+
+    fn peak(&self) -> usize {
+        self.peak_depth.load(Ordering::Relaxed)
+    }
+}
+
+impl<T> Sender<T> {
+    /// Sends an item, blocking while the channel is full. Returns the item
+    /// if every receiver has been dropped.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SendError`] carrying `item` when no receiver remains.
+    pub fn send(&self, item: T) -> Result<(), SendError<T>> {
+        let shared = &self.shared;
+        let mut queue = shared.queue.lock().expect("channel lock poisoned");
+        loop {
+            if shared.receivers.load(Ordering::Acquire) == 0 {
+                return Err(SendError(item));
+            }
+            if queue.len() < shared.capacity {
+                queue.push_back(item);
+                shared.note_depth(queue.len());
+                drop(queue);
+                shared.not_empty.notify_one();
+                return Ok(());
+            }
+            queue = shared.not_full.wait(queue).expect("channel lock poisoned");
+        }
+    }
+
+    /// Attempts to send without blocking. Returns the item if the channel is
+    /// full or every receiver is gone.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SendError`] carrying `item` when the queue is at capacity
+    /// or no receiver remains.
+    pub fn try_send(&self, item: T) -> Result<(), SendError<T>> {
+        let shared = &self.shared;
+        let mut queue = shared.queue.lock().expect("channel lock poisoned");
+        if shared.receivers.load(Ordering::Acquire) == 0 || queue.len() >= shared.capacity {
+            return Err(SendError(item));
+        }
+        queue.push_back(item);
+        shared.note_depth(queue.len());
+        drop(queue);
+        shared.not_empty.notify_one();
+        Ok(())
+    }
+
+    /// Current queue depth (a live gauge, racy by nature).
+    pub fn len(&self) -> usize {
+        self.shared.depth()
+    }
+
+    /// Whether the queue is currently empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// High-water mark of the queue depth since creation.
+    pub fn peak_depth(&self) -> usize {
+        self.shared.peak()
+    }
+
+    /// A passive depth gauge on this channel (see [`Gauge`]).
+    pub fn gauge(&self) -> Gauge<T> {
+        Gauge {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+}
+
+impl<T> Receiver<T> {
+    /// Receives the next item, blocking while the channel is empty. Returns
+    /// [`None`] once all senders are gone and the queue has drained.
+    pub fn recv(&self) -> Option<T> {
+        let shared = &self.shared;
+        let mut queue = shared.queue.lock().expect("channel lock poisoned");
+        loop {
+            if let Some(item) = queue.pop_front() {
+                drop(queue);
+                shared.not_full.notify_one();
+                return Some(item);
+            }
+            if shared.senders.load(Ordering::Acquire) == 0 {
+                return None;
+            }
+            queue = shared.not_empty.wait(queue).expect("channel lock poisoned");
+        }
+    }
+
+    /// Current queue depth (a live gauge, racy by nature).
+    pub fn len(&self) -> usize {
+        self.shared.depth()
+    }
+
+    /// Whether the queue is currently empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// High-water mark of the queue depth since creation.
+    pub fn peak_depth(&self) -> usize {
+        self.shared.peak()
+    }
+
+    /// A passive depth gauge on this channel (see [`Gauge`]).
+    pub fn gauge(&self) -> Gauge<T> {
+        Gauge {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+}
+
+/// A passive observer of a channel's queue depth. Unlike a [`Receiver`]
+/// clone, a gauge does **not** participate in disconnect bookkeeping: it
+/// never keeps a channel "open", so sender-side failure detection (and
+/// therefore teardown after a worker panic) behaves exactly as if the gauge
+/// did not exist.
+pub struct Gauge<T> {
+    shared: Arc<Shared<T>>,
+}
+
+impl<T> Clone for Gauge<T> {
+    fn clone(&self) -> Self {
+        Self {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+}
+
+impl<T> Gauge<T> {
+    /// Current queue depth (a live gauge, racy by nature).
+    pub fn len(&self) -> usize {
+        self.shared.depth()
+    }
+
+    /// Whether the queue is currently empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// High-water mark of the queue depth since creation.
+    pub fn peak_depth(&self) -> usize {
+        self.shared.peak()
+    }
+}
+
+impl<T> Clone for Sender<T> {
+    fn clone(&self) -> Self {
+        self.shared.senders.fetch_add(1, Ordering::AcqRel);
+        Self {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+}
+
+impl<T> Clone for Receiver<T> {
+    fn clone(&self) -> Self {
+        self.shared.receivers.fetch_add(1, Ordering::AcqRel);
+        Self {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+}
+
+impl<T> Drop for Sender<T> {
+    fn drop(&mut self) {
+        if self.shared.senders.fetch_sub(1, Ordering::AcqRel) == 1 {
+            // Last sender: wake every blocked receiver so it can observe
+            // end-of-stream.
+            let _guard = self.shared.queue.lock();
+            self.shared.not_empty.notify_all();
+        }
+    }
+}
+
+impl<T> Drop for Receiver<T> {
+    fn drop(&mut self) {
+        if self.shared.receivers.fetch_sub(1, Ordering::AcqRel) == 1 {
+            // Last receiver: wake every blocked sender so it can fail fast.
+            let _guard = self.shared.queue.lock();
+            self.shared.not_full.notify_all();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+    use std::time::Duration;
+
+    #[test]
+    fn fifo_order_and_drain() {
+        let (tx, rx) = bounded(4);
+        for i in 0..4 {
+            tx.send(i).unwrap();
+        }
+        drop(tx);
+        assert_eq!(rx.recv(), Some(0));
+        assert_eq!(rx.recv(), Some(1));
+        assert_eq!(rx.recv(), Some(2));
+        assert_eq!(rx.recv(), Some(3));
+        assert_eq!(rx.recv(), None);
+    }
+
+    #[test]
+    fn full_channel_blocks_producer_until_drained() {
+        let (tx, rx) = bounded(2);
+        let sent = Arc::new(AtomicUsize::new(0));
+        let producer_sent = Arc::clone(&sent);
+        let producer = std::thread::spawn(move || {
+            for i in 0..5 {
+                tx.send(i).unwrap();
+                producer_sent.fetch_add(1, Ordering::SeqCst);
+            }
+        });
+        // Give the producer time to hit the capacity wall: it can complete
+        // at most `capacity` sends while nothing drains.
+        let deadline = std::time::Instant::now() + Duration::from_secs(2);
+        while sent.load(Ordering::SeqCst) < 2 && std::time::Instant::now() < deadline {
+            std::thread::yield_now();
+        }
+        std::thread::sleep(Duration::from_millis(50));
+        assert_eq!(
+            sent.load(Ordering::SeqCst),
+            2,
+            "producer must stall at capacity"
+        );
+        // Draining unblocks it and preserves order.
+        let drained: Vec<i32> = std::iter::from_fn(|| rx.recv()).collect();
+        producer.join().unwrap();
+        assert_eq!(drained, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn try_send_reports_full() {
+        let (tx, rx) = bounded(1);
+        tx.try_send(1).unwrap();
+        assert_eq!(tx.try_send(2), Err(SendError(2)));
+        assert_eq!(rx.recv(), Some(1));
+        tx.try_send(3).unwrap();
+        assert_eq!(tx.peak_depth(), 1);
+    }
+
+    #[test]
+    fn dropped_receiver_fails_senders() {
+        let (tx, rx) = bounded(1);
+        drop(rx);
+        assert_eq!(tx.send(9), Err(SendError(9)));
+    }
+
+    #[test]
+    fn gauges_do_not_keep_a_channel_open() {
+        // The liveness property monitoring relies on: if every real receiver
+        // is gone (e.g. all workers panicked), senders must fail fast even
+        // while gauges are still alive — otherwise a monitor would convert a
+        // worker crash into a permanent producer hang.
+        let (tx, rx) = bounded(2);
+        let gauge = rx.gauge();
+        tx.send(1).unwrap();
+        assert_eq!(gauge.len(), 1);
+        drop(rx);
+        assert_eq!(tx.send(2), Err(SendError(2)));
+        assert_eq!(gauge.peak_depth(), 1);
+        assert!(!gauge.is_empty());
+    }
+
+    #[test]
+    fn multiple_consumers_partition_the_stream() {
+        let (tx, rx) = bounded(8);
+        let rx2 = rx.clone();
+        let consumer = |rx: Receiver<u64>| {
+            std::thread::spawn(move || {
+                let mut got = Vec::new();
+                while let Some(v) = rx.recv() {
+                    got.push(v);
+                }
+                got
+            })
+        };
+        let a = consumer(rx);
+        let b = consumer(rx2);
+        for i in 0..100u64 {
+            tx.send(i).unwrap();
+        }
+        drop(tx);
+        let mut all = a.join().unwrap();
+        all.extend(b.join().unwrap());
+        all.sort_unstable();
+        assert_eq!(all, (0..100).collect::<Vec<_>>());
+    }
+}

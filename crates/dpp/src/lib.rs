@@ -1,0 +1,45 @@
+//! # recd-dpp
+//!
+//! The streaming Data PreProcessing tier: a long-running, multi-worker
+//! service that feeds deduplicated IKJT batches to trainers, modeled on the
+//! paper's production DPP setting (RecD runs *continuously* under heavy
+//! load, not as a one-shot job).
+//!
+//! Where [`recd_reader::ReaderTier`] is a batch runner — hand it a stored
+//! partition, get every batch back — this crate decomposes the same
+//! fill → convert (O3) → preprocess (O4) phases into **pipeline stages
+//! connected by bounded channels**:
+//!
+//! * a pool of *fill workers* decodes DWRF files concurrently,
+//! * a deterministic *router* restores submission order, shards rows (by
+//!   session id under [`ShardPolicy::SessionAffine`], preserving the O1
+//!   session-affinity property so in-batch dedup factors survive
+//!   streaming), and coalesces each shard into training batches,
+//! * a pool of *compute workers* runs the shared
+//!   [`recd_reader::PhaseEngine`] over coalesced batches,
+//! * a *sink* resequences the output so results are deterministic for any
+//!   worker count.
+//!
+//! Every queue is bounded, so a slow stage backpressures all the way to the
+//! producer: [`DppHandle::submit_file`] blocks instead of buffering without
+//! limit. [`DppHandle::snapshot`] exposes live throughput, progress, and
+//! queue-depth metrics; [`DppHandle::finish`] drains and joins everything
+//! for a graceful shutdown.
+//!
+//! Under [`ShardPolicy::FileRoundRobin`] with `shards == readers`, the
+//! service's concatenated output is **identical** to the one-shot
+//! [`recd_reader::ReaderTier`] over the same files — the integration tests
+//! assert this sample for sample.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod channel;
+pub mod metrics;
+pub mod service;
+
+pub use channel::{bounded, Receiver, SendError, Sender};
+pub use metrics::{DppReport, DppSnapshot, ServiceCounters};
+pub use service::{
+    DppConfig, DppError, DppHandle, DppOutput, DppService, ShardPolicy, SnapshotSource,
+};

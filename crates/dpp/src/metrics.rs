@@ -1,0 +1,135 @@
+//! Live counters and final reports for the streaming service.
+
+use recd_reader::ReaderMetrics;
+use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+/// Shared live counters, updated by every stage as work flows through.
+/// Gauges for queue depths live on the channels themselves; this struct only
+/// holds monotonic counters plus the service start time.
+#[derive(Debug)]
+pub struct ServiceCounters {
+    /// Files accepted into the fill queue.
+    pub files_submitted: AtomicU64,
+    /// Files fully decoded by fill workers.
+    pub files_filled: AtomicU64,
+    /// Rows routed to shard accumulators.
+    pub rows_routed: AtomicU64,
+    /// Deduplicated batches emitted by compute workers.
+    pub batches_out: AtomicU64,
+    /// Samples contained in emitted batches.
+    pub samples_out: AtomicU64,
+    /// Preprocessed tensor bytes sent toward trainers.
+    pub egress_bytes: AtomicU64,
+    /// Logical sparse values across emitted batches (pre-dedup).
+    pub logical_sparse_values: AtomicU64,
+    /// Stored sparse values across emitted batches (post-dedup).
+    pub stored_sparse_values: AtomicU64,
+    /// Stage errors (failed fills or conversions).
+    pub errors: AtomicU64,
+    started: Instant,
+}
+
+impl Default for ServiceCounters {
+    fn default() -> Self {
+        Self {
+            files_submitted: AtomicU64::new(0),
+            files_filled: AtomicU64::new(0),
+            rows_routed: AtomicU64::new(0),
+            batches_out: AtomicU64::new(0),
+            samples_out: AtomicU64::new(0),
+            egress_bytes: AtomicU64::new(0),
+            logical_sparse_values: AtomicU64::new(0),
+            stored_sparse_values: AtomicU64::new(0),
+            errors: AtomicU64::new(0),
+            started: Instant::now(),
+        }
+    }
+}
+
+impl ServiceCounters {
+    /// Seconds since the service started.
+    pub fn elapsed_seconds(&self) -> f64 {
+        self.started.elapsed().as_secs_f64()
+    }
+
+    /// Average in-batch dedup factor over everything emitted so far.
+    pub fn dedupe_factor(&self) -> f64 {
+        let logical = self.logical_sparse_values.load(Ordering::Relaxed);
+        let stored = self.stored_sparse_values.load(Ordering::Relaxed);
+        if stored == 0 {
+            1.0
+        } else {
+            logical as f64 / stored as f64
+        }
+    }
+}
+
+/// A point-in-time view of the running service: throughput, progress, queue
+/// depths. Taken with [`DppHandle::snapshot`](crate::DppHandle::snapshot).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DppSnapshot {
+    /// Seconds since the service started.
+    pub elapsed_seconds: f64,
+    /// Files accepted so far.
+    pub files_submitted: u64,
+    /// Files decoded so far.
+    pub files_filled: u64,
+    /// Rows routed to shards so far.
+    pub rows_routed: u64,
+    /// Batches emitted so far.
+    pub batches_out: u64,
+    /// Samples emitted so far.
+    pub samples_out: u64,
+    /// Emitted samples per wall-clock second since start.
+    pub samples_per_second: f64,
+    /// Average in-batch dedup factor of emitted batches.
+    pub dedupe_factor: f64,
+    /// Current depth of the file (fill input) queue.
+    pub input_queue_depth: usize,
+    /// Current depth of the decoded-file (router input) queue.
+    pub filled_queue_depth: usize,
+    /// Current depth of the coalesced-batch (compute input) queue.
+    pub work_queue_depth: usize,
+    /// Current depth of the output queue.
+    pub output_queue_depth: usize,
+    /// Stage errors so far.
+    pub errors: u64,
+}
+
+/// The final accounting of one service run, produced by
+/// [`DppHandle::finish`](crate::DppHandle::finish).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DppReport {
+    /// Fill workers used.
+    pub fill_workers: usize,
+    /// Convert/process workers used.
+    pub compute_workers: usize,
+    /// Shard lanes used.
+    pub shards: usize,
+    /// Sharding policy name.
+    pub policy: String,
+    /// Wall-clock seconds from service start to drain.
+    pub wall_seconds: f64,
+    /// Samples emitted.
+    pub samples: usize,
+    /// Batches emitted.
+    pub batches: usize,
+    /// Emitted samples per wall-clock second (the streaming throughput).
+    pub samples_per_second: f64,
+    /// Preprocessed tensor bytes sent toward trainers.
+    pub egress_bytes: usize,
+    /// Average in-batch dedup factor of emitted batches.
+    pub dedupe_factor: f64,
+    /// High-water mark of the fill input queue.
+    pub peak_input_queue_depth: usize,
+    /// High-water mark of the router input queue.
+    pub peak_filled_queue_depth: usize,
+    /// High-water mark of the compute input queue.
+    pub peak_work_queue_depth: usize,
+    /// High-water mark of the output queue.
+    pub peak_output_queue_depth: usize,
+    /// Combined per-phase CPU/byte accounting across all workers.
+    pub reader_metrics: ReaderMetrics,
+}

@@ -1,0 +1,602 @@
+//! The streaming DPP service: a pipeline of fill workers, a deterministic
+//! sharding router, and a pool of convert/process workers, connected by
+//! bounded channels.
+//!
+//! ```text
+//!                    ┌─ fill worker ─┐          ┌─ compute worker ─┐
+//! submit_file ──▶ [input] ─ fill ─ [filled] ─ router ─ [work] ─ O3+O4 ─ [out] ─ sink
+//!                    └─ fill worker ─┘   (reorder + shard + coalesce)    (resequence)
+//! ```
+//!
+//! * **Fill workers** decode DWRF files concurrently (the fill phase).
+//! * The **router** restores file submission order (decode finishes out of
+//!   order), shards rows by the configured [`ShardPolicy`], and coalesces
+//!   each shard's rows into `batch_size` chunks. Because routing is
+//!   single-threaded and order-restored, batch composition is a pure
+//!   function of the submitted file sequence — output does not depend on
+//!   worker counts or scheduling.
+//! * **Compute workers** run the shared [`PhaseEngine`] (IKJT conversion O3,
+//!   deduplicated preprocessing O4) over coalesced chunks concurrently.
+//! * The **sink** resequences finished batches per shard so the concatenated
+//!   output is deterministic.
+//!
+//! Every queue is bounded: a slow stage blocks its upstream all the way back
+//! to `submit_file`, which is the service's backpressure contract over
+//! *in-flight* work. The sink itself collects finished batches until
+//! [`DppHandle::finish`] (see its docs for the memory implication).
+
+use crate::channel::{bounded, Gauge, Sender};
+use crate::metrics::{DppReport, DppSnapshot, ServiceCounters};
+use recd_core::ConvertedBatch;
+use recd_data::{Sample, Schema};
+use recd_reader::{fill_file, PhaseEngine, PreprocessPipeline, ReaderConfig, ReaderMetrics};
+use recd_storage::{StoredPartition, TableStore};
+use std::collections::BTreeMap;
+use std::sync::atomic::Ordering;
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+
+/// How the router assigns incoming rows to shard lanes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShardPolicy {
+    /// Whole files round-robin across shards by submission index — mirrors
+    /// the batch [`ReaderTier`](recd_reader::ReaderTier) file assignment, so
+    /// with `shards == readers` the emitted batches are identical to the
+    /// one-shot tier's.
+    FileRoundRobin,
+    /// Each row routes by a hash of its session id, so a session's rows
+    /// always land in the same shard and stay adjacent in its accumulator.
+    /// This preserves the O1 session-affinity property (and therefore the
+    /// in-batch dedup factor) even when the incoming file stream interleaves
+    /// sessions.
+    SessionAffine,
+    /// Rows round-robin individually — deliberately scatters sessions. This
+    /// is the worst case for in-batch deduplication and exists as the
+    /// ablation baseline for [`ShardPolicy::SessionAffine`].
+    RowRoundRobin,
+}
+
+impl ShardPolicy {
+    /// Stable name used in reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            ShardPolicy::FileRoundRobin => "file_round_robin",
+            ShardPolicy::SessionAffine => "session_affine",
+            ShardPolicy::RowRoundRobin => "row_round_robin",
+        }
+    }
+}
+
+/// Configuration of the streaming service.
+#[derive(Debug, Clone)]
+pub struct DppConfig {
+    /// Batch assembly and dataloader configuration (shared with the batch
+    /// reader tier).
+    pub reader: ReaderConfig,
+    /// Concurrent fill (decode) workers.
+    pub fill_workers: usize,
+    /// Concurrent convert/process workers.
+    pub compute_workers: usize,
+    /// Shard lanes rows are routed into.
+    pub shards: usize,
+    /// Capacity of every inter-stage queue (the backpressure window).
+    pub queue_depth: usize,
+    /// Row sharding policy.
+    pub policy: ShardPolicy,
+    /// Builds each compute worker's preprocessing pipeline (pipelines hold
+    /// boxed transforms and are not `Clone`).
+    pub pipeline_factory: fn() -> PreprocessPipeline,
+}
+
+impl DppConfig {
+    /// Creates a configuration with production-flavored defaults: 2 fill
+    /// workers, 2 compute workers, one shard per compute worker,
+    /// session-affine routing, and a backpressure window of 8 items per
+    /// queue.
+    pub fn new(reader: ReaderConfig) -> Self {
+        Self {
+            reader,
+            fill_workers: 2,
+            compute_workers: 2,
+            shards: 2,
+            queue_depth: 8,
+            policy: ShardPolicy::SessionAffine,
+            pipeline_factory: PreprocessPipeline::new,
+        }
+    }
+
+    /// Sets the fill worker count (minimum 1).
+    #[must_use]
+    pub fn with_fill_workers(mut self, workers: usize) -> Self {
+        self.fill_workers = workers.max(1);
+        self
+    }
+
+    /// Sets the compute worker count (minimum 1).
+    #[must_use]
+    pub fn with_compute_workers(mut self, workers: usize) -> Self {
+        self.compute_workers = workers.max(1);
+        self
+    }
+
+    /// Sets the shard count (minimum 1).
+    #[must_use]
+    pub fn with_shards(mut self, shards: usize) -> Self {
+        self.shards = shards.max(1);
+        self
+    }
+
+    /// Sets the per-queue capacity (minimum 1).
+    #[must_use]
+    pub fn with_queue_depth(mut self, depth: usize) -> Self {
+        self.queue_depth = depth.max(1);
+        self
+    }
+
+    /// Sets the sharding policy.
+    #[must_use]
+    pub fn with_policy(mut self, policy: ShardPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Sets the preprocessing pipeline factory.
+    #[must_use]
+    pub fn with_pipeline_factory(mut self, factory: fn() -> PreprocessPipeline) -> Self {
+        self.pipeline_factory = factory;
+        self
+    }
+}
+
+struct FileTask {
+    seq: u64,
+    path: String,
+}
+
+struct FilledFile {
+    seq: u64,
+    rows: Vec<Sample>,
+}
+
+struct WorkItem {
+    shard: usize,
+    seq: u64,
+    rows: Vec<Sample>,
+}
+
+struct OutBatch {
+    shard: usize,
+    seq: u64,
+    batch: ConvertedBatch,
+}
+
+/// Everything a finished service run produced.
+#[derive(Debug)]
+pub struct DppOutput {
+    /// Emitted batches in deterministic (shard, sequence) order.
+    pub batches: Vec<ConvertedBatch>,
+    /// Final accounting.
+    pub report: DppReport,
+}
+
+/// Errors accumulated by a service run.
+#[derive(Debug)]
+pub struct DppError {
+    /// One message per failed fill or conversion, in no particular order.
+    pub errors: Vec<String>,
+    /// Everything the run still produced: the batches that drained cleanly
+    /// plus the accounting, so a partially failed run is not a total loss.
+    /// Boxed so the `Result` the service returns stays small.
+    pub output: Box<DppOutput>,
+}
+
+impl std::fmt::Display for DppError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "streaming DPP run finished with {} error(s): {}",
+            self.errors.len(),
+            self.errors.first().map(String::as_str).unwrap_or("?")
+        )
+    }
+}
+
+impl std::error::Error for DppError {}
+
+/// The long-running streaming preprocessing service. [`DppService::start`]
+/// spawns the worker topology and returns a [`DppHandle`] for feeding it.
+#[derive(Debug)]
+pub struct DppService;
+
+impl DppService {
+    /// Starts the service over a table store. Work arrives via
+    /// [`DppHandle::submit_file`]; results and metrics come back through
+    /// [`DppHandle::finish`].
+    pub fn start(config: DppConfig, store: Arc<TableStore>, schema: Schema) -> DppHandle {
+        let counters = Arc::new(ServiceCounters::default());
+        let phase_metrics = Arc::new(Mutex::new(ReaderMetrics::default()));
+        let errors = Arc::new(Mutex::new(Vec::new()));
+
+        let (input_tx, input_rx) = bounded::<FileTask>(config.queue_depth);
+        let (filled_tx, filled_rx) = bounded::<FilledFile>(config.queue_depth);
+        let (work_tx, work_rx) = bounded::<WorkItem>(config.queue_depth);
+        let (out_tx, out_rx) = bounded::<OutBatch>(config.queue_depth);
+
+        // Passive gauges for live snapshots: they read depths without
+        // participating in the channels' disconnect bookkeeping, so failure
+        // detection (e.g. after a worker panic) is unaffected by monitoring.
+        let gauges = SnapshotSource {
+            counters: Arc::clone(&counters),
+            input_gauge: input_rx.gauge(),
+            filled_gauge: filled_rx.gauge(),
+            work_gauge: work_rx.gauge(),
+            out_gauge: out_rx.gauge(),
+        };
+
+        let mut fill_threads = Vec::new();
+        for worker in 0..config.fill_workers {
+            let input_rx = input_rx.clone();
+            let filled_tx = filled_tx.clone();
+            let store = Arc::clone(&store);
+            let schema = schema.clone();
+            let counters = Arc::clone(&counters);
+            let phase_metrics = Arc::clone(&phase_metrics);
+            let errors = Arc::clone(&errors);
+            fill_threads.push(
+                std::thread::Builder::new()
+                    .name(format!("dpp-fill-{worker}"))
+                    .spawn(move || {
+                        let mut local = ReaderMetrics::default();
+                        while let Some(task) = input_rx.recv() {
+                            match fill_file(&store, &schema, &task.path, &mut local) {
+                                Ok(rows) => {
+                                    counters.files_filled.fetch_add(1, Ordering::Relaxed);
+                                    // A failed send means the run is being torn
+                                    // down; exit quietly.
+                                    if filled_tx
+                                        .send(FilledFile {
+                                            seq: task.seq,
+                                            rows,
+                                        })
+                                        .is_err()
+                                    {
+                                        break;
+                                    }
+                                }
+                                Err(err) => {
+                                    counters.errors.fetch_add(1, Ordering::Relaxed);
+                                    errors
+                                        .lock()
+                                        .expect("error list lock")
+                                        .push(format!("fill {}: {err}", task.path));
+                                    // The router skips missing seqs via the
+                                    // tombstone below so ordering survives
+                                    // fill failures.
+                                    if filled_tx
+                                        .send(FilledFile {
+                                            seq: task.seq,
+                                            rows: Vec::new(),
+                                        })
+                                        .is_err()
+                                    {
+                                        break;
+                                    }
+                                }
+                            }
+                        }
+                        *phase_metrics.lock().expect("phase metrics lock") += local;
+                    })
+                    .expect("spawn fill worker"),
+            );
+        }
+        drop(input_rx);
+        drop(filled_tx);
+
+        let router = {
+            let config_snapshot = (config.policy, config.shards, config.reader.batch_size);
+            let counters = Arc::clone(&counters);
+            std::thread::Builder::new()
+                .name("dpp-router".to_string())
+                .spawn(move || {
+                    let (policy, shards, batch_size) = config_snapshot;
+                    let mut pending: BTreeMap<u64, Vec<Sample>> = BTreeMap::new();
+                    let mut next_seq = 0u64;
+                    let mut accumulators: Vec<Vec<Sample>> = vec![Vec::new(); shards];
+                    let mut shard_seqs = vec![0u64; shards];
+                    let mut row_rr = 0usize;
+                    let emit =
+                        |shard: usize, rows: Vec<Sample>, shard_seqs: &mut Vec<u64>| -> bool {
+                            let seq = shard_seqs[shard];
+                            shard_seqs[shard] += 1;
+                            work_tx.send(WorkItem { shard, seq, rows }).is_ok()
+                        };
+                    'stream: while let Some(filled) = filled_rx.recv() {
+                        pending.insert(filled.seq, filled.rows);
+                        // Drain the contiguous prefix in submission order.
+                        while let Some(rows) = pending.remove(&next_seq) {
+                            let file_seq = next_seq;
+                            next_seq += 1;
+                            counters
+                                .rows_routed
+                                .fetch_add(rows.len() as u64, Ordering::Relaxed);
+                            for row in rows {
+                                let shard = match policy {
+                                    ShardPolicy::FileRoundRobin => {
+                                        (file_seq % shards as u64) as usize
+                                    }
+                                    ShardPolicy::SessionAffine => {
+                                        (recd_codec::hash_ids(&[row.session_id.raw()])
+                                            % shards as u64)
+                                            as usize
+                                    }
+                                    ShardPolicy::RowRoundRobin => {
+                                        row_rr = (row_rr + 1) % shards;
+                                        row_rr
+                                    }
+                                };
+                                accumulators[shard].push(row);
+                                if accumulators[shard].len() >= batch_size {
+                                    let full = std::mem::take(&mut accumulators[shard]);
+                                    if !emit(shard, full, &mut shard_seqs) {
+                                        break 'stream;
+                                    }
+                                }
+                            }
+                        }
+                    }
+                    // End of stream: flush partial accumulators in shard order.
+                    for (shard, rows) in accumulators.into_iter().enumerate() {
+                        if !rows.is_empty() && !emit(shard, rows, &mut shard_seqs) {
+                            break;
+                        }
+                    }
+                })
+                .expect("spawn router")
+        };
+
+        let mut compute_threads = Vec::new();
+        for worker in 0..config.compute_workers {
+            let work_rx = work_rx.clone();
+            let out_tx = out_tx.clone();
+            let engine = PhaseEngine::new(config.reader.clone(), (config.pipeline_factory)());
+            let counters = Arc::clone(&counters);
+            let phase_metrics = Arc::clone(&phase_metrics);
+            let errors = Arc::clone(&errors);
+            compute_threads.push(
+                std::thread::Builder::new()
+                    .name(format!("dpp-compute-{worker}"))
+                    .spawn(move || {
+                        let mut local = ReaderMetrics::default();
+                        while let Some(item) = work_rx.recv() {
+                            match engine.run_batch(item.rows, &mut local) {
+                                Ok(batch) => {
+                                    counters.batches_out.fetch_add(1, Ordering::Relaxed);
+                                    counters
+                                        .samples_out
+                                        .fetch_add(batch.batch_size as u64, Ordering::Relaxed);
+                                    counters.egress_bytes.fetch_add(
+                                        (batch.sparse_payload_bytes() + batch.dense.payload_bytes())
+                                            as u64,
+                                        Ordering::Relaxed,
+                                    );
+                                    counters.logical_sparse_values.fetch_add(
+                                        batch.logical_sparse_values() as u64,
+                                        Ordering::Relaxed,
+                                    );
+                                    counters.stored_sparse_values.fetch_add(
+                                        batch.stored_sparse_values() as u64,
+                                        Ordering::Relaxed,
+                                    );
+                                    if out_tx
+                                        .send(OutBatch {
+                                            shard: item.shard,
+                                            seq: item.seq,
+                                            batch,
+                                        })
+                                        .is_err()
+                                    {
+                                        break;
+                                    }
+                                }
+                                Err(err) => {
+                                    counters.errors.fetch_add(1, Ordering::Relaxed);
+                                    errors
+                                        .lock()
+                                        .expect("error list lock")
+                                        .push(format!("convert shard {}: {err}", item.shard));
+                                }
+                            }
+                        }
+                        *phase_metrics.lock().expect("phase metrics lock") += local;
+                    })
+                    .expect("spawn compute worker"),
+            );
+        }
+        drop(work_rx);
+        drop(out_tx);
+
+        let sink = std::thread::Builder::new()
+            .name("dpp-sink".to_string())
+            .spawn(move || {
+                let mut collected: BTreeMap<(usize, u64), ConvertedBatch> = BTreeMap::new();
+                while let Some(out) = out_rx.recv() {
+                    collected.insert((out.shard, out.seq), out.batch);
+                }
+                collected
+            })
+            .expect("spawn sink");
+
+        DppHandle {
+            config,
+            input: input_tx,
+            next_file_seq: 0,
+            counters,
+            phase_metrics,
+            errors,
+            gauges,
+            fill_threads,
+            router,
+            compute_threads,
+            sink,
+        }
+    }
+}
+
+/// A detachable, cloneable view of the service's live metrics — safe to hand
+/// to a monitoring thread while the [`DppHandle`] keeps feeding (or is
+/// consumed by [`DppHandle::finish`]).
+#[derive(Clone)]
+pub struct SnapshotSource {
+    counters: Arc<ServiceCounters>,
+    input_gauge: Gauge<FileTask>,
+    filled_gauge: Gauge<FilledFile>,
+    work_gauge: Gauge<WorkItem>,
+    out_gauge: Gauge<OutBatch>,
+}
+
+impl SnapshotSource {
+    /// Takes a live snapshot of throughput, progress, and queue depths.
+    pub fn snapshot(&self) -> DppSnapshot {
+        let elapsed = self.counters.elapsed_seconds();
+        let samples = self.counters.samples_out.load(Ordering::Relaxed);
+        DppSnapshot {
+            elapsed_seconds: elapsed,
+            files_submitted: self.counters.files_submitted.load(Ordering::Relaxed),
+            files_filled: self.counters.files_filled.load(Ordering::Relaxed),
+            rows_routed: self.counters.rows_routed.load(Ordering::Relaxed),
+            batches_out: self.counters.batches_out.load(Ordering::Relaxed),
+            samples_out: samples,
+            samples_per_second: if elapsed > 0.0 {
+                samples as f64 / elapsed
+            } else {
+                0.0
+            },
+            dedupe_factor: self.counters.dedupe_factor(),
+            input_queue_depth: self.input_gauge.len(),
+            filled_queue_depth: self.filled_gauge.len(),
+            work_queue_depth: self.work_gauge.len(),
+            output_queue_depth: self.out_gauge.len(),
+            errors: self.counters.errors.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// The feeding/monitoring handle of a running [`DppService`].
+pub struct DppHandle {
+    config: DppConfig,
+    input: Sender<FileTask>,
+    next_file_seq: u64,
+    counters: Arc<ServiceCounters>,
+    phase_metrics: Arc<Mutex<ReaderMetrics>>,
+    errors: Arc<Mutex<Vec<String>>>,
+    gauges: SnapshotSource,
+    fill_threads: Vec<JoinHandle<()>>,
+    router: JoinHandle<()>,
+    compute_threads: Vec<JoinHandle<()>>,
+    sink: JoinHandle<BTreeMap<(usize, u64), ConvertedBatch>>,
+}
+
+impl DppHandle {
+    /// Submits one stored file. Blocks while the fill queue is at capacity —
+    /// this is where the service's backpressure reaches the producer.
+    ///
+    /// File submission order is the service's ordering authority: batch
+    /// composition is a pure function of it (never of worker scheduling).
+    pub fn submit_file(&mut self, path: impl Into<String>) {
+        let task = FileTask {
+            seq: self.next_file_seq,
+            path: path.into(),
+        };
+        self.next_file_seq += 1;
+        self.counters
+            .files_submitted
+            .fetch_add(1, Ordering::Relaxed);
+        // The only way every receiver disappears is a torn-down run; the
+        // caller learns the details from finish().
+        let _ = self.input.send(task);
+    }
+
+    /// Submits every file of a stored partition, in order.
+    pub fn submit_partition(&mut self, partition: &StoredPartition) {
+        for file in &partition.files {
+            self.submit_file(file.clone());
+        }
+    }
+
+    /// Takes a live snapshot of throughput, progress, and queue depths.
+    pub fn snapshot(&self) -> DppSnapshot {
+        self.gauges.snapshot()
+    }
+
+    /// Returns a cloneable snapshot source that outlives this handle — hand
+    /// it to a monitoring thread while the handle keeps feeding.
+    pub fn snapshot_source(&self) -> SnapshotSource {
+        self.gauges.clone()
+    }
+
+    /// Gracefully shuts down: closes the input, lets every stage drain, joins
+    /// all workers, and returns the resequenced batches plus the final
+    /// report.
+    ///
+    /// Note on memory: the sink *collects* — the bounded queues cap
+    /// in-flight work between stages, but the finished batches accumulate
+    /// until this call returns, so a run must fit its output in memory. A
+    /// trainer-facing consumer API that streams batches out with per-shard
+    /// flow control is the planned next step (see ROADMAP "Open items").
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DppError`] (still carrying the report) if any fill or
+    /// conversion failed during the run.
+    pub fn finish(self) -> Result<DppOutput, DppError> {
+        // Closing the input cascades end-of-stream through every stage.
+        drop(self.input);
+        for handle in self.fill_threads {
+            handle.join().expect("fill worker must not panic");
+        }
+        self.router.join().expect("router must not panic");
+        for handle in self.compute_threads {
+            handle.join().expect("compute worker must not panic");
+        }
+        let collected = self.sink.join().expect("sink must not panic");
+
+        let wall_seconds = self.counters.elapsed_seconds();
+        let samples = self.counters.samples_out.load(Ordering::Relaxed) as usize;
+        let reader_metrics = *self.phase_metrics.lock().expect("phase metrics lock");
+        let report = DppReport {
+            fill_workers: self.config.fill_workers,
+            compute_workers: self.config.compute_workers,
+            shards: self.config.shards,
+            policy: self.config.policy.name().to_string(),
+            wall_seconds,
+            samples,
+            batches: collected.len(),
+            samples_per_second: if wall_seconds > 0.0 {
+                samples as f64 / wall_seconds
+            } else {
+                0.0
+            },
+            egress_bytes: self.counters.egress_bytes.load(Ordering::Relaxed) as usize,
+            dedupe_factor: self.counters.dedupe_factor(),
+            peak_input_queue_depth: self.gauges.input_gauge.peak_depth(),
+            peak_filled_queue_depth: self.gauges.filled_gauge.peak_depth(),
+            peak_work_queue_depth: self.gauges.work_gauge.peak_depth(),
+            peak_output_queue_depth: self.gauges.out_gauge.peak_depth(),
+            reader_metrics,
+        };
+
+        let errors = std::mem::take(&mut *self.errors.lock().expect("error list lock"));
+        let output = DppOutput {
+            batches: collected.into_values().collect(),
+            report,
+        };
+        if errors.is_empty() {
+            Ok(output)
+        } else {
+            Err(DppError {
+                errors,
+                output: Box::new(output),
+            })
+        }
+    }
+}

@@ -1,0 +1,187 @@
+//! Integration tests for the streaming DPP service: byte-identical
+//! equivalence with the one-shot reader tier, session-affinity preservation,
+//! graceful shutdown, and error surfacing.
+
+use recd_core::{DataLoaderConfig, JaggedTensor};
+use recd_datagen::{DatasetGenerator, WorkloadConfig, WorkloadPreset};
+use recd_dpp::{DppConfig, DppService, ShardPolicy};
+use recd_etl::cluster_by_session;
+use recd_reader::{PreprocessPipeline, ReaderConfig, ReaderTier, SparseTransform};
+use recd_storage::{StoredPartition, TableStore, TectonicSim};
+use std::sync::Arc;
+
+struct Fixture {
+    schema: recd_data::Schema,
+    store: Arc<TableStore>,
+    partition: StoredPartition,
+    rows: usize,
+}
+
+fn fixture(clustered: bool) -> Fixture {
+    let generator = DatasetGenerator::new(WorkloadConfig::preset(WorkloadPreset::Tiny));
+    let partition = generator.generate_partition();
+    let samples = if clustered {
+        cluster_by_session(&partition.samples)
+    } else {
+        partition.samples.clone()
+    };
+    // Small stripes so the partition spans many files and the pipeline
+    // actually streams.
+    let store = Arc::new(TableStore::new(TectonicSim::new(4), 16, 1));
+    let (stored, _) = store.land_partition(&partition.schema, "t", 0, &samples);
+    assert!(stored.files.len() >= 4, "fixture must span several files");
+    Fixture {
+        schema: partition.schema,
+        store,
+        partition: stored,
+        rows: samples.len(),
+    }
+}
+
+fn reader_config(schema: &recd_data::Schema, batch_size: usize) -> ReaderConfig {
+    ReaderConfig::new(batch_size, DataLoaderConfig::from_schema(schema))
+}
+
+/// The acceptance criterion: with file-round-robin sharding and
+/// `shards == readers`, the streaming service's concatenated output is
+/// sample-for-sample identical to the one-shot `ReaderTier`, for any worker
+/// count.
+#[test]
+fn streaming_output_matches_one_shot_reader_tier() {
+    let f = fixture(true);
+    let readers = 3;
+
+    let tier = ReaderTier::new(readers, reader_config(&f.schema, 64), || {
+        PreprocessPipeline::standard(1 << 20, 64)
+    });
+    let (outputs, tier_report) = tier.run(&f.store, &f.schema, &f.partition).unwrap();
+    let one_shot: Vec<_> = outputs.into_iter().flat_map(|o| o.batches).collect();
+
+    for compute_workers in [1, 2, 4] {
+        let config = DppConfig::new(reader_config(&f.schema, 64))
+            .with_policy(ShardPolicy::FileRoundRobin)
+            .with_shards(readers)
+            .with_fill_workers(2)
+            .with_compute_workers(compute_workers)
+            .with_pipeline_factory(|| PreprocessPipeline::standard(1 << 20, 64));
+        let mut handle = DppService::start(config, Arc::clone(&f.store), f.schema.clone());
+        handle.submit_partition(&f.partition);
+        let output = handle.finish().expect("clean run");
+
+        assert_eq!(
+            output.batches.len(),
+            one_shot.len(),
+            "batch count must match at {compute_workers} workers"
+        );
+        for (i, (streamed, batch)) in output.batches.iter().zip(&one_shot).enumerate() {
+            assert_eq!(
+                streamed, batch,
+                "batch {i} diverged at {compute_workers} workers"
+            );
+        }
+        assert_eq!(output.report.samples, tier_report.metrics.samples);
+        assert_eq!(
+            output.report.reader_metrics.egress_bytes,
+            tier_report.metrics.egress_bytes
+        );
+        assert_eq!(output.report.compute_workers, compute_workers);
+        assert!(output.report.samples_per_second > 0.0);
+    }
+}
+
+/// Session-affine sharding preserves the in-batch dedup factor that O1/O2
+/// clustering created; row-round-robin sharding (the ablation baseline)
+/// destroys it.
+#[test]
+fn session_affine_sharding_preserves_dedup_factor() {
+    let f = fixture(true);
+    let run = |policy: ShardPolicy| {
+        let config = DppConfig::new(reader_config(&f.schema, 64))
+            .with_policy(policy)
+            .with_shards(4)
+            .with_compute_workers(2);
+        let mut handle = DppService::start(config, Arc::clone(&f.store), f.schema.clone());
+        handle.submit_partition(&f.partition);
+        handle.finish().expect("clean run").report
+    };
+    let affine = run(ShardPolicy::SessionAffine);
+    let scattered = run(ShardPolicy::RowRoundRobin);
+    assert_eq!(affine.samples, scattered.samples);
+    assert!(
+        affine.dedupe_factor > scattered.dedupe_factor,
+        "session-affine dedup factor {:.3} must beat row-round-robin {:.3}",
+        affine.dedupe_factor,
+        scattered.dedupe_factor
+    );
+    assert!(affine.dedupe_factor > 1.2, "affinity must yield real dedup");
+}
+
+/// A transform slow enough that the compute stage becomes the bottleneck,
+/// forcing the work queue to fill and backpressure to propagate upstream.
+struct SlowIdentity;
+
+impl SparseTransform for SlowIdentity {
+    fn apply(&self, tensor: &JaggedTensor<u64>) -> JaggedTensor<u64> {
+        std::thread::sleep(std::time::Duration::from_micros(500));
+        tensor.clone()
+    }
+
+    fn name(&self) -> &'static str {
+        "slow_identity"
+    }
+}
+
+/// A graceful shutdown drains everything in flight: every submitted sample
+/// comes out, and with a deliberately slow compute stage the bounded work
+/// queue demonstrably fills to capacity (backpressure engaged) without
+/// deadlocking the drain.
+#[test]
+fn finish_drains_all_in_flight_work_under_backpressure() {
+    let f = fixture(true);
+    let config = DppConfig::new(reader_config(&f.schema, 32))
+        .with_queue_depth(2)
+        .with_compute_workers(1)
+        .with_pipeline_factory(|| PreprocessPipeline::new().with_sparse(SlowIdentity));
+    let mut handle = DppService::start(config, Arc::clone(&f.store), f.schema.clone());
+    handle.submit_partition(&f.partition);
+    let mid = handle.snapshot();
+    assert_eq!(mid.files_submitted as usize, f.partition.files.len());
+    let output = handle.finish().expect("clean run");
+    assert_eq!(output.report.samples, f.rows);
+    assert_eq!(
+        output.batches.iter().map(|b| b.batch_size).sum::<usize>(),
+        f.rows
+    );
+    // The slow single compute worker cannot keep up with the router, so the
+    // bounded work queue must have hit its capacity: the router spent time
+    // blocked in send — that is backpressure, and the drain still completed.
+    assert_eq!(
+        output.report.peak_work_queue_depth, 2,
+        "work queue must fill to its capacity under a slow compute stage"
+    );
+}
+
+/// Fill errors don't wedge the pipeline: the run drains, reports the error,
+/// and still returns the report.
+#[test]
+fn missing_file_surfaces_as_error_without_deadlock() {
+    let f = fixture(true);
+    let config = DppConfig::new(reader_config(&f.schema, 64));
+    let mut handle = DppService::start(config, Arc::clone(&f.store), f.schema.clone());
+    handle.submit_file("does-not-exist");
+    handle.submit_partition(&f.partition);
+    let err = handle.finish().expect_err("missing file must fail the run");
+    assert_eq!(err.errors.len(), 1);
+    assert!(err.errors[0].contains("does-not-exist"));
+    // The rest of the stream still drained — and the batches it produced
+    // are returned, not discarded.
+    assert_eq!(err.output.report.samples, f.rows);
+    assert_eq!(
+        err.output
+            .batches
+            .iter()
+            .map(|b| b.batch_size)
+            .sum::<usize>(),
+        f.rows
+    );
+}

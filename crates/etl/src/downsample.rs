@@ -120,7 +120,10 @@ mod tests {
         let b = downsample(&data, DownsamplePolicy::PerSession, 0.3, 11);
         assert_eq!(a, b);
         assert!(downsample(&data, DownsamplePolicy::PerSample, 0.0, 1).is_empty());
-        assert_eq!(downsample(&data, DownsamplePolicy::PerSample, 1.0, 1).len(), data.len());
+        assert_eq!(
+            downsample(&data, DownsamplePolicy::PerSample, 1.0, 1).len(),
+            data.len()
+        );
         assert!(downsample(&[], DownsamplePolicy::PerSession, 0.5, 1).is_empty());
         assert_eq!(samples_per_session(&[]), 0.0);
     }

@@ -130,7 +130,11 @@ mod tests {
             event(4, 2, 401, 1.0),
         ];
         let out = join_logs(&records);
-        let times: Vec<u64> = out.samples.iter().map(|s| s.timestamp.as_millis()).collect();
+        let times: Vec<u64> = out
+            .samples
+            .iter()
+            .map(|s| s.timestamp.as_millis())
+            .collect();
         assert_eq!(times, vec![300, 400, 500]);
     }
 

@@ -28,7 +28,9 @@ pub use partition::{cluster_by_session, interleave_by_time, HourlyPartitioner, T
 use recd_data::{LogRecord, Schema};
 
 /// Table layout produced by the ETL stage.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, serde::Serialize, serde::Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, Default, serde::Serialize, serde::Deserialize,
+)]
 pub enum TableLayout {
     /// Baseline: rows ordered by inference time (sessions interleaved).
     #[default]
@@ -56,7 +58,12 @@ impl EtlJob {
 
     /// Enables downsampling with the given policy, keep-rate, and seed.
     #[must_use]
-    pub fn with_downsampling(mut self, policy: DownsamplePolicy, keep_rate: f64, seed: u64) -> Self {
+    pub fn with_downsampling(
+        mut self,
+        policy: DownsamplePolicy,
+        keep_rate: f64,
+        seed: u64,
+    ) -> Self {
         self.downsample = Some((policy, keep_rate, seed));
         self
     }

@@ -90,7 +90,11 @@ impl CharacterizationExperiment {
             self.report.partition_histogram.max,
             self.report.batch_histogram.mean
         );
-        let _ = writeln!(out, "{:>12} {:>18} {:>18}", "<= samples", "partition sessions", "batch sessions");
+        let _ = writeln!(
+            out,
+            "{:>12} {:>18} {:>18}",
+            "<= samples", "partition sessions", "batch sessions"
+        );
         let bounds: Vec<u64> = self
             .report
             .partition_histogram
@@ -132,7 +136,11 @@ impl CharacterizationExperiment {
             self.report.weighted_exact_fraction * 100.0,
             self.report.weighted_partial_fraction * 100.0
         );
-        let _ = writeln!(out, "{:>28} {:>8} {:>10} {:>10}", "feature", "class", "exact %", "partial %");
+        let _ = writeln!(
+            out,
+            "{:>28} {:>8} {:>10} {:>10}",
+            "feature", "class", "exact %", "partial %"
+        );
         for f in self.report.per_feature.iter().take(12) {
             let _ = writeln!(
                 out,
@@ -143,7 +151,11 @@ impl CharacterizationExperiment {
                 f.partial_fraction * 100.0
             );
         }
-        let _ = writeln!(out, "... ({} features total)", self.report.per_feature.len());
+        let _ = writeln!(
+            out,
+            "... ({} features total)",
+            self.report.per_feature.len()
+        );
         out
     }
 }
@@ -266,7 +278,11 @@ impl Fig7Report {
             let _ = writeln!(
                 out,
                 "{:>5} {:>15.2}x {:>14.2}x {:>19.2}x {:>13.2}x",
-                row.rm, row.trainer_speedup, row.reader_speedup, row.storage_improvement, row.dedupe_factor
+                row.rm,
+                row.trainer_speedup,
+                row.reader_speedup,
+                row.storage_improvement,
+                row.dedupe_factor
             );
         }
         out
@@ -393,8 +409,16 @@ pub fn fig9(scale: ExperimentScale) -> Fig9Report {
     let plan: Vec<(String, RecdConfig, usize)> = vec![
         (ladder[0].0.to_string(), ladder[0].1, base_batch),
         (ladder[1].0.to_string(), ladder[1].1, base_batch),
-        (format!("{} (B{mid_batch})", ladder[2].0), ladder[2].1, mid_batch),
-        (format!("{} (B{mid_batch})", ladder[3].0), ladder[3].1, mid_batch),
+        (
+            format!("{} (B{mid_batch})", ladder[2].0),
+            ladder[2].1,
+            mid_batch,
+        ),
+        (
+            format!("{} (B{mid_batch})", ladder[3].0),
+            ladder[3].1,
+            mid_batch,
+        ),
         (format!("full RecD (B{big_batch})"), ladder[3].1, big_batch),
     ];
 
@@ -422,7 +446,11 @@ impl Fig9Report {
             out,
             "Figure 9 — RM1 ablation, trainer throughput normalized to baseline (paper: 1.0, 1.0, 1.34, 2.42, 2.48)"
         );
-        let _ = writeln!(out, "{:>36} {:>8} {:>12}", "configuration", "batch", "throughput");
+        let _ = writeln!(
+            out,
+            "{:>36} {:>8} {:>12}",
+            "configuration", "batch", "throughput"
+        );
         for row in &self.rows {
             let _ = writeln!(
                 out,
@@ -477,7 +505,10 @@ pub fn table2(scale: ExperimentScale) -> Table2Report {
 
     // RecD + doubled embedding dimension: rebuild the trainer model over the
     // RecD batches with dim x2.
-    let wide_model = recd.model.clone().with_embedding_dim(spec.embedding_dim * 2);
+    let wide_model = recd
+        .model
+        .clone()
+        .with_embedding_dim(spec.embedding_dim * 2);
     let (wide_cost, wide_memory, _) = evaluate_trainer(
         &recd.batches,
         &wide_model,
@@ -495,7 +526,8 @@ pub fn table2(scale: ExperimentScale) -> Table2Report {
     // would execute for the same batches and model) per second. Dedup makes
     // the same logical work finish faster, so efficiency rises even though
     // fewer physical FLOPs run — matching how the paper reports FLOP/s/GPU.
-    let logical_flops_per_sample = |artifacts: &crate::run::PipelineArtifacts, model: &DlrmConfig| {
+    let logical_flops_per_sample = |artifacts: &crate::run::PipelineArtifacts,
+                                    model: &DlrmConfig| {
         let batch = artifacts
             .batches
             .iter()
@@ -504,9 +536,10 @@ pub fn table2(scale: ExperimentScale) -> Table2Report {
         let work = WorkStats::from_batch(batch, model, TrainerOptimizations::none());
         (work.pooling_flops + work.mlp_flops) / batch.batch_size.max(1) as f64
     };
-    let efficiency = |artifacts: &crate::run::PipelineArtifacts, model: &DlrmConfig, cost: &IterationCost| {
-        logical_flops_per_sample(artifacts, model) * cost.throughput
-    };
+    let efficiency =
+        |artifacts: &crate::run::PipelineArtifacts, model: &DlrmConfig, cost: &IterationCost| {
+            logical_flops_per_sample(artifacts, model) * cost.throughput
+        };
     let base_eff = efficiency(&baseline, &baseline.model, &baseline.report.trainer).max(1e-12);
 
     let rows = vec![
@@ -537,8 +570,11 @@ pub fn table2(scale: ExperimentScale) -> Table2Report {
             normalized_qps: recd_big.report.trainer.throughput / base_qps,
             max_memory_utilization: mem(recd_big.report.memory.max_utilization),
             avg_memory_utilization: mem(recd_big.report.memory.avg_utilization),
-            normalized_compute_efficiency: efficiency(&recd_big, &recd_big.model, &recd_big.report.trainer)
-                / base_eff,
+            normalized_compute_efficiency: efficiency(
+                &recd_big,
+                &recd_big.model,
+                &recd_big.report.trainer,
+            ) / base_eff,
         },
     ];
     Table2Report { rows }
@@ -638,7 +674,11 @@ impl Table3Report {
             out,
             "Table 3 — reader ingest & egress bytes for a fixed sample count (paper: read 538/179/179 GB, send 837/837/713 GB)"
         );
-        let _ = writeln!(out, "{:>14} {:>14} {:>14}", "config", "read MiB", "send MiB");
+        let _ = writeln!(
+            out,
+            "{:>14} {:>14} {:>14}",
+            "config", "read MiB", "send MiB"
+        );
         for row in &self.rows {
             let _ = writeln!(
                 out,
@@ -973,8 +1013,15 @@ impl DedupeFactorReport {
     /// Renders the sweep.
     pub fn render(&self) -> String {
         let mut out = String::new();
-        let _ = writeln!(out, "DedupeFactor model (analytical vs measured, l(f)=64, B=512)");
-        let _ = writeln!(out, "{:>6} {:>6} {:>12} {:>10}", "S", "d(f)", "analytical", "measured");
+        let _ = writeln!(
+            out,
+            "DedupeFactor model (analytical vs measured, l(f)=64, B=512)"
+        );
+        let _ = writeln!(
+            out,
+            "{:>6} {:>6} {:>12} {:>10}",
+            "S", "d(f)", "analytical", "measured"
+        );
         for row in &self.rows {
             let _ = writeln!(
                 out,
@@ -1133,7 +1180,10 @@ mod tests {
         assert_eq!(fig9_report.rows.len(), 5);
         assert!((fig9_report.rows[0].normalized_throughput - 1.0).abs() < 1e-9);
         let last = fig9_report.rows.last().unwrap().normalized_throughput;
-        assert!(last > 1.2, "full RecD should clearly beat baseline, got {last}");
+        assert!(
+            last > 1.2,
+            "full RecD should clearly beat baseline, got {last}"
+        );
         assert!(fig9_report.render().contains("Figure 9"));
 
         let t3 = table3(ExperimentScale::Smoke);

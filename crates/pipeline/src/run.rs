@@ -4,6 +4,7 @@ use crate::config::{RecdConfig, RmSpec};
 use recd_core::{ConvertedBatch, DataLoaderConfig};
 use recd_data::Schema;
 use recd_datagen::DatasetGenerator;
+use recd_dpp::{DppConfig, DppReport, DppService, ShardPolicy};
 use recd_etl::{EtlJob, TableLayout};
 use recd_reader::{PreprocessPipeline, ReaderConfig, ReaderTier, TierReport};
 use recd_scribe::{ScribeCluster, ScribeConfig, ScribeReport, ShardKeyPolicy};
@@ -40,6 +41,10 @@ pub struct PipelineReport {
     pub read_bytes: usize,
     /// Total bytes readers sent toward trainers.
     pub egress_bytes: usize,
+    /// Streaming DPP service accounting (wall-clock throughput, queue
+    /// peaks), present when the runner was configured with
+    /// [`PipelineRunner::with_streaming`].
+    pub streaming: Option<DppReport>,
 }
 
 /// The report plus the artifacts downstream experiments reuse.
@@ -62,6 +67,7 @@ pub struct PipelineRunner {
     spec: RmSpec,
     config: RecdConfig,
     readers: usize,
+    streaming_workers: Option<usize>,
 }
 
 impl PipelineRunner {
@@ -71,6 +77,7 @@ impl PipelineRunner {
             spec,
             config,
             readers: 2,
+            streaming_workers: None,
         }
     }
 
@@ -78,6 +85,15 @@ impl PipelineRunner {
     #[must_use]
     pub fn with_readers(mut self, readers: usize) -> Self {
         self.readers = readers.max(1);
+        self
+    }
+
+    /// Additionally drives the streaming `recd-dpp` service (with the given
+    /// compute worker count) over the landed partitions and records its
+    /// wall-clock throughput in [`PipelineReport::streaming`].
+    #[must_use]
+    pub fn with_streaming(mut self, compute_workers: usize) -> Self {
+        self.streaming_workers = Some(compute_workers.max(1));
         self
     }
 
@@ -109,7 +125,9 @@ impl PipelineRunner {
         scribe.ingest_all(&records);
         scribe.flush();
         let scribe_report = scribe.report();
-        let drained = scribe.drain().expect("scribe blocks written by this run decode");
+        let drained = scribe
+            .drain()
+            .expect("scribe blocks written by this run decode");
 
         // 3. ETL (O2): join, partition hourly, lay out rows.
         let layout = if config.o2_cluster_by_session {
@@ -124,8 +142,12 @@ impl PipelineRunner {
         let mut storage_report = StorageReport::default();
         let mut stored_partitions = Vec::new();
         for partition in &partitions {
-            let (stored, report) =
-                table_store.land_partition(&schema, spec.preset.name(), partition.hour, &partition.samples);
+            let (stored, report) = table_store.land_partition(
+                &schema,
+                spec.preset.name(),
+                partition.hour,
+                &partition.samples,
+            );
             merge_storage(&mut storage_report, &report);
             stored_partitions.push(stored);
         }
@@ -141,9 +163,11 @@ impl PipelineRunner {
         if !config.o3_ikjt {
             reader_config = reader_config.without_dedup();
         }
-        let tier = ReaderTier::new(self.readers, reader_config, PreprocessPipeline::new);
-        let mut reader_report = TierReport::default();
-        reader_report.readers = self.readers;
+        let tier = ReaderTier::new(self.readers, reader_config.clone(), PreprocessPipeline::new);
+        let mut reader_report = TierReport {
+            readers: self.readers,
+            ..TierReport::default()
+        };
         let mut batches = Vec::new();
         for stored in &stored_partitions {
             let (outputs, report) = tier
@@ -156,6 +180,29 @@ impl PipelineRunner {
         }
         let read_bytes = table_store.blob_store().stats().read_bytes;
         let egress_bytes = reader_report.metrics.egress_bytes;
+
+        // 5b. Optional streaming mode: run the recd-dpp service over the same
+        // landed partitions and record its wall-clock throughput. (After the
+        // read_bytes capture so the one-shot accounting stays untouched.)
+        let streaming = self.streaming_workers.map(|workers| {
+            let dpp_config = DppConfig::new(reader_config.clone())
+                .with_policy(ShardPolicy::SessionAffine)
+                .with_shards(workers)
+                .with_compute_workers(workers)
+                .with_fill_workers(2);
+            let mut handle = DppService::start(
+                dpp_config,
+                std::sync::Arc::new(table_store.clone()),
+                schema.clone(),
+            );
+            for stored in &stored_partitions {
+                handle.submit_partition(stored);
+            }
+            handle
+                .finish()
+                .expect("streaming over freshly-landed partitions succeeds")
+                .report
+        });
 
         // 6. Trainer cost model (O5–O7) over the produced batches.
         let model = DlrmConfig::from_schema(&schema, spec.embedding_dim, spec.sequence_pooling);
@@ -182,6 +229,7 @@ impl PipelineRunner {
             dedupe_factor,
             read_bytes,
             egress_bytes,
+            streaming,
         };
 
         PipelineArtifacts {
@@ -296,9 +344,34 @@ mod tests {
         let artifacts = PipelineRunner::new(small_spec(), RecdConfig::full()).run(128);
         assert!(!artifacts.batches.is_empty());
         assert!(artifacts.batches.iter().all(|b| b.batch_size > 0));
-        assert_eq!(artifacts.model.dense_features, artifacts.schema.dense_count());
+        assert_eq!(
+            artifacts.model.dense_features,
+            artifacts.schema.dense_count()
+        );
         // Most batches carry IKJTs under the full config.
         assert!(artifacts.batches.iter().any(|b| !b.ikjts.is_empty()));
+    }
+
+    #[test]
+    fn streaming_mode_reports_live_throughput() {
+        let artifacts = PipelineRunner::new(small_spec(), RecdConfig::full())
+            .with_streaming(2)
+            .run(128);
+        let report = artifacts.report;
+        let streaming = report.streaming.expect("streaming report requested");
+        assert_eq!(streaming.compute_workers, 2);
+        assert_eq!(streaming.samples, report.samples);
+        assert!(streaming.samples_per_second > 0.0);
+        assert!(
+            streaming.dedupe_factor > 1.0,
+            "session-affine sharding must preserve dedup"
+        );
+        // Streaming egress uses the same dedup path, so it stays in the same
+        // ballpark as the one-shot reader's.
+        assert!(streaming.egress_bytes > 0);
+
+        let without = PipelineRunner::new(small_spec(), RecdConfig::full()).run(128);
+        assert!(without.report.streaming.is_none());
     }
 
     #[test]

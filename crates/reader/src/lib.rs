@@ -22,11 +22,13 @@
 #![warn(missing_docs)]
 
 pub mod metrics;
+pub mod phases;
 pub mod reader;
 pub mod tier;
 pub mod transforms;
 
 pub use metrics::{PhaseMetrics, ReaderCostModel, ReaderMetrics};
+pub use phases::{fill_file, PhaseEngine};
 pub use reader::{ReaderConfig, ReaderNode, ReaderOutput};
 pub use tier::{ReaderTier, TierReport};
 pub use transforms::{

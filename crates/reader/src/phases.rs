@@ -1,0 +1,144 @@
+//! The reader's phase logic — fill, convert (O3), process (O4) — factored
+//! out of [`ReaderNode`](crate::ReaderNode) so the one-shot batch tier and
+//! the streaming `recd-dpp` service share one implementation.
+
+use crate::metrics::ReaderMetrics;
+use crate::reader::ReaderConfig;
+use crate::transforms::PreprocessPipeline;
+use recd_core::{ConvertedBatch, FeatureConverter};
+use recd_data::{Sample, SampleBatch, Schema};
+use recd_storage::{DwrfFile, TableStore};
+use std::time::Instant;
+
+/// Fill phase over a single file: fetch the blob, decompress and decode its
+/// rows. This is the unit of fill work a streaming fill worker claims.
+///
+/// # Errors
+///
+/// Propagates storage errors for missing or corrupt files.
+pub fn fill_file(
+    store: &TableStore,
+    schema: &Schema,
+    path: &str,
+    metrics: &mut ReaderMetrics,
+) -> recd_storage::Result<Vec<Sample>> {
+    let start = Instant::now();
+    let blob = store.blob_store().get(path)?;
+    let bytes_read = blob.len();
+    let file = DwrfFile::from_blob(&blob)?;
+    let rows = file.read_all(schema)?;
+    metrics.fill.record(start.elapsed(), bytes_read, rows.len());
+    Ok(rows)
+}
+
+/// The convert + process engine of one reader or streaming worker: owns the
+/// feature converter (O3) and the preprocessing pipeline (O4), both of which
+/// are stateless across batches, so an engine can run forever.
+#[derive(Debug)]
+pub struct PhaseEngine {
+    config: ReaderConfig,
+    converter: FeatureConverter,
+    pipeline: PreprocessPipeline,
+}
+
+impl PhaseEngine {
+    /// Creates an engine for the given reader configuration and
+    /// preprocessing pipeline.
+    pub fn new(config: ReaderConfig, pipeline: PreprocessPipeline) -> Self {
+        let converter = FeatureConverter::new(config.dataloader.clone());
+        Self {
+            config,
+            converter,
+            pipeline,
+        }
+    }
+
+    /// Borrows the reader configuration.
+    pub fn config(&self) -> &ReaderConfig {
+        &self.config
+    }
+
+    /// Fill phase over an explicit file list (the batch reader's unit of
+    /// work).
+    ///
+    /// # Errors
+    ///
+    /// Propagates storage errors for missing or corrupt files.
+    pub fn fill(
+        &self,
+        store: &TableStore,
+        schema: &Schema,
+        files: &[String],
+        metrics: &mut ReaderMetrics,
+    ) -> recd_storage::Result<Vec<Sample>> {
+        let mut rows = Vec::new();
+        for path in files {
+            rows.extend(fill_file(store, schema, path, metrics)?);
+        }
+        Ok(rows)
+    }
+
+    /// Convert phase: rows → KJT/IKJT tensors.
+    ///
+    /// # Errors
+    ///
+    /// Propagates conversion errors (malformed dataloader configuration).
+    pub fn convert(
+        &self,
+        batch: &SampleBatch,
+        metrics: &mut ReaderMetrics,
+    ) -> recd_core::Result<ConvertedBatch> {
+        let start = Instant::now();
+        let converted = if self.config.dedup_enabled {
+            self.converter.convert(batch)?
+        } else {
+            self.converter.convert_baseline(batch)?
+        };
+        // `items` counts the values hashed for duplicate detection (zero on
+        // the baseline path); `bytes` is the tensor payload materialized.
+        let hashed_values: usize = converted
+            .ikjts
+            .iter()
+            .map(|ikjt| ikjt.original_value_count())
+            .sum();
+        metrics.convert.record(
+            start.elapsed(),
+            converted.sparse_payload_bytes(),
+            hashed_values,
+        );
+        Ok(converted)
+    }
+
+    /// Process phase: run the preprocessing pipeline over the converted
+    /// tensors.
+    pub fn process(&self, batch: &mut ConvertedBatch, metrics: &mut ReaderMetrics) {
+        let start = Instant::now();
+        let stats = self.pipeline.apply(batch);
+        metrics.process.record(
+            start.elapsed(),
+            batch.sparse_payload_bytes(),
+            stats.values_processed,
+        );
+    }
+
+    /// Runs convert + process over one coalesced chunk of rows and records
+    /// the batch-level accounting (samples, batches, egress bytes). This is
+    /// the unit of compute work a streaming worker claims.
+    ///
+    /// # Errors
+    ///
+    /// Propagates conversion errors.
+    pub fn run_batch(
+        &self,
+        rows: Vec<Sample>,
+        metrics: &mut ReaderMetrics,
+    ) -> recd_core::Result<ConvertedBatch> {
+        let sample_batch = SampleBatch::new(rows);
+        let mut converted = self.convert(&sample_batch, metrics)?;
+        self.process(&mut converted, metrics);
+        metrics.samples += converted.batch_size;
+        metrics.batches += 1;
+        metrics.egress_bytes += converted.sparse_payload_bytes() + converted.dense.payload_bytes();
+        Ok(converted)
+    }
+}

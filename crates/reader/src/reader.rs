@@ -1,11 +1,11 @@
 //! A single reader node: fill, convert, process.
 
 use crate::metrics::ReaderMetrics;
+use crate::phases::PhaseEngine;
 use crate::transforms::PreprocessPipeline;
-use recd_core::{ConvertedBatch, DataLoaderConfig, FeatureConverter};
+use recd_core::{ConvertedBatch, DataLoaderConfig};
 use recd_data::{Sample, SampleBatch, Schema};
-use recd_storage::{DwrfFile, StoredPartition, TableStore};
-use std::time::Instant;
+use recd_storage::{StoredPartition, TableStore};
 
 /// Configuration of one reader node.
 #[derive(Debug, Clone)]
@@ -47,28 +47,25 @@ pub struct ReaderOutput {
     pub metrics: ReaderMetrics,
 }
 
-/// A stateless reader node.
+/// A stateless reader node: a thin orchestration shell around the shared
+/// [`PhaseEngine`], which both this batch reader and the streaming
+/// `recd-dpp` service use for the actual phase work.
 #[derive(Debug)]
 pub struct ReaderNode {
-    config: ReaderConfig,
-    converter: FeatureConverter,
-    pipeline: PreprocessPipeline,
+    engine: PhaseEngine,
 }
 
 impl ReaderNode {
     /// Creates a reader with the standard preprocessing pipeline.
     pub fn new(config: ReaderConfig, pipeline: PreprocessPipeline) -> Self {
-        let converter = FeatureConverter::new(config.dataloader.clone());
         Self {
-            config,
-            converter,
-            pipeline,
+            engine: PhaseEngine::new(config, pipeline),
         }
     }
 
     /// Borrows the reader configuration.
     pub fn config(&self) -> &ReaderConfig {
-        &self.config
+        self.engine.config()
     }
 
     /// Fill phase: fetch the listed files from storage, decompress and decode
@@ -84,17 +81,7 @@ impl ReaderNode {
         files: &[String],
         metrics: &mut ReaderMetrics,
     ) -> recd_storage::Result<Vec<Sample>> {
-        let start = Instant::now();
-        let mut rows = Vec::new();
-        let mut bytes_read = 0usize;
-        for path in files {
-            let blob = store.blob_store().get(path)?;
-            bytes_read += blob.len();
-            let file = DwrfFile::from_blob(&blob)?;
-            rows.extend(file.read_all(schema)?);
-        }
-        metrics.fill.record(start.elapsed(), bytes_read, rows.len());
-        Ok(rows)
+        self.engine.fill(store, schema, files, metrics)
     }
 
     /// Convert phase: rows → KJT/IKJT tensors.
@@ -107,37 +94,13 @@ impl ReaderNode {
         batch: &SampleBatch,
         metrics: &mut ReaderMetrics,
     ) -> recd_core::Result<ConvertedBatch> {
-        let start = Instant::now();
-        let converted = if self.config.dedup_enabled {
-            self.converter.convert(batch)?
-        } else {
-            self.converter.convert_baseline(batch)?
-        };
-        // `items` counts the values hashed for duplicate detection (zero on
-        // the baseline path); `bytes` is the tensor payload materialized.
-        let hashed_values: usize = converted
-            .ikjts
-            .iter()
-            .map(|ikjt| ikjt.original_value_count())
-            .sum();
-        metrics.convert.record(
-            start.elapsed(),
-            converted.sparse_payload_bytes(),
-            hashed_values,
-        );
-        Ok(converted)
+        self.engine.convert(batch, metrics)
     }
 
     /// Process phase: run the preprocessing pipeline over the converted
     /// tensors.
     pub fn process(&self, batch: &mut ConvertedBatch, metrics: &mut ReaderMetrics) {
-        let start = Instant::now();
-        let stats = self.pipeline.apply(batch);
-        metrics.process.record(
-            start.elapsed(),
-            batch.sparse_payload_bytes(),
-            stats.values_processed,
-        );
+        self.engine.process(batch, metrics)
     }
 
     /// Runs the full fill→convert→process loop over a stored partition,
@@ -170,15 +133,8 @@ impl ReaderNode {
         let mut metrics = ReaderMetrics::default();
         let rows = self.fill(store, schema, files, &mut metrics)?;
         let mut batches = Vec::new();
-        for chunk in rows.chunks(self.config.batch_size) {
-            let sample_batch = SampleBatch::new(chunk.to_vec());
-            let mut converted = self.convert(&sample_batch, &mut metrics)?;
-            self.process(&mut converted, &mut metrics);
-            metrics.samples += converted.batch_size;
-            metrics.batches += 1;
-            metrics.egress_bytes +=
-                converted.sparse_payload_bytes() + converted.dense.payload_bytes();
-            batches.push(converted);
+        for chunk in rows.chunks(self.engine.config().batch_size) {
+            batches.push(self.engine.run_batch(chunk.to_vec(), &mut metrics)?);
         }
         Ok(ReaderOutput { batches, metrics })
     }
@@ -286,7 +242,11 @@ mod tests {
             .read_partition(&clustered.store, &clustered.schema, &clustered.partition)
             .unwrap();
         let i_out = make_reader(&interleaved.schema)
-            .read_partition(&interleaved.store, &interleaved.schema, &interleaved.partition)
+            .read_partition(
+                &interleaved.store,
+                &interleaved.schema,
+                &interleaved.partition,
+            )
             .unwrap();
         let dedupe = |out: &ReaderOutput| {
             let logical: usize = out.batches.iter().map(|b| b.logical_sparse_values()).sum();

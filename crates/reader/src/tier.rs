@@ -42,7 +42,11 @@ impl ReaderTier {
     /// # Panics
     ///
     /// Panics if `readers` is zero.
-    pub fn new(readers: usize, config: ReaderConfig, pipeline_factory: fn() -> PreprocessPipeline) -> Self {
+    pub fn new(
+        readers: usize,
+        config: ReaderConfig,
+        pipeline_factory: fn() -> PreprocessPipeline,
+    ) -> Self {
         assert!(readers > 0, "a reader tier needs at least one reader");
         Self {
             readers,
@@ -76,13 +80,13 @@ impl ReaderTier {
             })
             .collect();
 
-        let outputs: Vec<Result<ReaderOutput, _>> = crossbeam::thread::scope(|scope| {
+        let outputs: Vec<Result<ReaderOutput, _>> = std::thread::scope(|scope| {
             let handles: Vec<_> = assignments
                 .iter()
                 .map(|files| {
                     let config = self.config.clone();
                     let pipeline = (self.pipeline_factory)();
-                    scope.spawn(move |_| {
+                    scope.spawn(move || {
                         ReaderNode::new(config, pipeline).read_files(store, schema, files)
                     })
                 })
@@ -91,8 +95,7 @@ impl ReaderTier {
                 .into_iter()
                 .map(|h| h.join().expect("reader thread must not panic"))
                 .collect()
-        })
-        .expect("reader scope must not panic");
+        });
 
         let mut report = TierReport {
             readers: self.readers,

@@ -230,11 +230,15 @@ mod tests {
     fn batch_with_duplicates() -> SampleBatch {
         (0..6u64)
             .map(|i| {
-                Sample::builder(SessionId::new(i / 3), RequestId::new(i), Timestamp::from_millis(i))
-                    .dense(vec![i as f32, 10.0 * i as f32])
-                    // Feature 0 duplicates within each session; feature 1 unique.
-                    .sparse(vec![vec![100 + (i / 3), 200 + (i / 3), 300], vec![i]])
-                    .build()
+                Sample::builder(
+                    SessionId::new(i / 3),
+                    RequestId::new(i),
+                    Timestamp::from_millis(i),
+                )
+                .dense(vec![i as f32, 10.0 * i as f32])
+                // Feature 0 duplicates within each session; feature 1 unique.
+                .sparse(vec![vec![100 + (i / 3), 200 + (i / 3), 300], vec![i]])
+                .build()
             })
             .collect()
     }

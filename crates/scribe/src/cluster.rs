@@ -102,7 +102,10 @@ impl ScribeCluster {
     ///
     /// Panics if `config.shards` is zero.
     pub fn new(config: ScribeConfig) -> Self {
-        assert!(config.shards > 0, "a scribe cluster needs at least one shard");
+        assert!(
+            config.shards > 0,
+            "a scribe cluster needs at least one shard"
+        );
         Self {
             shards: vec![Shard::default(); config.shards],
             config,
@@ -288,7 +291,7 @@ mod tests {
         // request id + kind.
         let key = |r: &LogRecord| (r.request_id(), matches!(r, LogRecord::Feature(_)));
         let mut expected: Vec<_> = records.iter().map(key).collect();
-        let mut actual: Vec<_> = drained.iter().map(|r| key(r)).collect();
+        let mut actual: Vec<_> = drained.iter().map(key).collect();
         expected.sort();
         actual.sort();
         assert_eq!(expected, actual);

@@ -73,7 +73,10 @@ impl DwrfFile {
                 index,
                 stripes: self.stripes.len(),
             })?;
-        decode_stripe(schema, &self.body[footer.offset..footer.offset + footer.length])
+        decode_stripe(
+            schema,
+            &self.body[footer.offset..footer.offset + footer.length],
+        )
     }
 
     /// Decodes every stripe, returning all rows in file order.

@@ -100,7 +100,10 @@ impl TableStore {
             writer.write(chunk);
             let (file, stats) = writer.finish();
             accumulate(&mut report, &file, &stats);
-            let path = format!("{}file-{file_idx:05}.dwrf", StoredPartition::prefix(table, hour));
+            let path = format!(
+                "{}file-{file_idx:05}.dwrf",
+                StoredPartition::prefix(table, hour)
+            );
             self.store.put(&path, file.to_blob());
             files.push(path);
         }
@@ -121,7 +124,11 @@ impl TableStore {
     ///
     /// Returns a [`StorageError`](crate::StorageError) if a blob is missing
     /// or corrupt.
-    pub fn read_partition(&self, schema: &Schema, partition: &StoredPartition) -> Result<Vec<Sample>> {
+    pub fn read_partition(
+        &self,
+        schema: &Schema,
+        partition: &StoredPartition,
+    ) -> Result<Vec<Sample>> {
         let mut out = Vec::new();
         for path in &partition.files {
             let blob = self.store.get(path)?;
@@ -161,10 +168,7 @@ mod tests {
         assert_eq!(stored.files.len(), samples.len().div_ceil(64));
         assert!(report.compression_ratio() > 1.0);
         assert!(report.stored_bytes > 0);
-        assert_eq!(
-            table_store.blob_store().stats().blobs,
-            stored.files.len()
-        );
+        assert_eq!(table_store.blob_store().stats().blobs, stored.files.len());
         let read_back = table_store.read_partition(&schema, &stored).unwrap();
         assert_eq!(read_back, samples);
         assert!(table_store.blob_store().stats().read_bytes > 0);

@@ -6,6 +6,7 @@ use parking_lot::RwLock;
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::sync::Arc;
+use std::time::Duration;
 
 /// Aggregate blob-store accounting.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
@@ -34,6 +35,7 @@ struct Inner {
 pub struct TectonicSim {
     inner: Arc<RwLock<Inner>>,
     nodes: usize,
+    get_latency: Duration,
 }
 
 impl TectonicSim {
@@ -50,7 +52,18 @@ impl TectonicSim {
                 ..Inner::default()
             })),
             nodes,
+            get_latency: Duration::ZERO,
         }
+    }
+
+    /// Simulates per-fetch network latency: every [`get`](Self::get) sleeps
+    /// for `latency` outside the store lock, the way a production reader
+    /// waits on an RPC. Concurrent fetchers overlap their waits, so this
+    /// makes fill-parallelism effects observable even on a single core.
+    #[must_use]
+    pub fn with_get_latency(mut self, latency: Duration) -> Self {
+        self.get_latency = latency;
+        self
     }
 
     /// Number of storage nodes.
@@ -75,16 +88,22 @@ impl TectonicSim {
     ///
     /// Returns [`StorageError::NotFound`] if no blob exists at `path`.
     pub fn get(&self, path: &str) -> Result<Arc<Vec<u8>>> {
-        let mut inner = self.inner.write();
-        let blob = inner
-            .blobs
-            .get(path)
-            .cloned()
-            .ok_or_else(|| StorageError::NotFound {
-                path: path.to_string(),
-            })?;
-        inner.read_ops += 1;
-        inner.read_bytes += blob.len();
+        let blob = {
+            let mut inner = self.inner.write();
+            let blob = inner
+                .blobs
+                .get(path)
+                .cloned()
+                .ok_or_else(|| StorageError::NotFound {
+                    path: path.to_string(),
+                })?;
+            inner.read_ops += 1;
+            inner.read_bytes += blob.len();
+            blob
+        };
+        if !self.get_latency.is_zero() {
+            std::thread::sleep(self.get_latency);
+        }
         Ok(blob)
     }
 

@@ -384,7 +384,8 @@ impl MemoryReport {
         let emb_param_bytes_per_gpu = emb_param_bytes / gpus;
         // Peak: activations + pooled outputs + index-select transients.
         let peak_activation_bytes_per_gpu =
-            (work.emb_activation_bytes + work.emb_output_a2a_bytes + work.index_select_bytes) / gpus;
+            (work.emb_activation_bytes + work.emb_output_a2a_bytes + work.index_select_bytes)
+                / gpus;
         let avg_activation_bytes_per_gpu = peak_activation_bytes_per_gpu * 0.6;
         let capacity = cluster.gpu.hbm_capacity;
         let max_utilization =

@@ -69,7 +69,11 @@ impl DlrmConfig {
     /// Builds a model configuration from a dataset schema: features named
     /// `user_seq*` (long histories) get `sequence_pooling`, everything else
     /// gets sum pooling.
-    pub fn from_schema(schema: &Schema, embedding_dim: usize, sequence_pooling: PoolingKind) -> Self {
+    pub fn from_schema(
+        schema: &Schema,
+        embedding_dim: usize,
+        sequence_pooling: PoolingKind,
+    ) -> Self {
         let feature_pooling = schema
             .sparse_features()
             .iter()
@@ -181,7 +185,10 @@ impl Dlrm {
 
     /// Total embedding parameter bytes (for the memory report).
     pub fn embedding_parameter_bytes(&self) -> usize {
-        self.tables.values().map(EmbeddingTable::parameter_bytes).sum()
+        self.tables
+            .values()
+            .map(EmbeddingTable::parameter_bytes)
+            .sum()
     }
 
     /// Total dense (MLP) parameter count.
@@ -216,8 +223,9 @@ impl Dlrm {
             return match mode {
                 ExecutionMode::Baseline => {
                     // Expand first, then process every row.
-                    let expanded = recd_core::jagged_index_select(slot_tensor, ikjt.inverse_lookup())
-                        .expect("ikjt lookup is valid");
+                    let expanded =
+                        recd_core::jagged_index_select(slot_tensor, ikjt.inverse_lookup())
+                            .expect("ikjt lookup is valid");
                     pool_rows(table, kind, &expanded, dim, stats)
                 }
                 ExecutionMode::Deduplicated => {
@@ -234,7 +242,11 @@ impl Dlrm {
 
     /// Forward pass over a converted batch, returning per-row click
     /// probabilities and work counters.
-    pub fn forward(&mut self, batch: &ConvertedBatch, mode: ExecutionMode) -> (Vec<f32>, ForwardStats) {
+    pub fn forward(
+        &mut self,
+        batch: &ConvertedBatch,
+        mode: ExecutionMode,
+    ) -> (Vec<f32>, ForwardStats) {
         let (probs, _, stats) = self.forward_full(batch, mode);
         (probs, stats)
     }
@@ -263,7 +275,12 @@ impl Dlrm {
         stats.mlp_flops += self.bottom.flops() * batch_size as u64;
 
         // Pool every sparse feature.
-        let features: Vec<FeatureId> = self.config.feature_pooling.iter().map(|&(f, _)| f).collect();
+        let features: Vec<FeatureId> = self
+            .config
+            .feature_pooling
+            .iter()
+            .map(|&(f, _)| f)
+            .collect();
         let mut pooled_per_feature: Vec<Vec<Vec<f32>>> = Vec::with_capacity(features.len());
         for &feature in &features {
             pooled_per_feature.push(self.pool_feature(feature, batch, mode, &mut stats));
@@ -319,9 +336,8 @@ impl Dlrm {
         let batch_size = batch.batch_size.max(1);
 
         let mut total_loss = 0.0;
-        for row in 0..batch.batch_size {
+        for (row, &p) in probs.iter().enumerate() {
             let label = batch.labels[row];
-            let p = probs[row];
             total_loss += bce_loss(p, label);
             // dL/dlogit for sigmoid + BCE, averaged over the batch.
             let grad_logit = (p - label) / batch_size as f32;
@@ -389,7 +405,10 @@ fn row_ids(batch: &ConvertedBatch, feature: FeatureId, row: usize) -> Vec<u64> {
     }
     for ikjt in &batch.ikjts {
         if ikjt.feature(feature).is_some() {
-            return ikjt.row(feature, row).map(<[u64]>::to_vec).unwrap_or_default();
+            return ikjt
+                .row(feature, row)
+                .map(<[u64]>::to_vec)
+                .unwrap_or_default();
         }
     }
     Vec::new()
@@ -473,9 +492,9 @@ fn pairwise_dot_interaction_backward(
 mod tests {
     use super::*;
     use recd_core::{DataLoaderConfig, FeatureConverter};
+    use recd_data::SampleBatch;
     use recd_datagen::{DatasetGenerator, WorkloadConfig, WorkloadPreset};
     use recd_etl::cluster_by_session;
-    use recd_data::SampleBatch;
 
     fn converted_batch(dedup: bool) -> (Schema, ConvertedBatch) {
         let gen = DatasetGenerator::new(WorkloadConfig::preset(WorkloadPreset::Tiny));
@@ -502,7 +521,10 @@ mod tests {
         let (probs_base, stats_base) = model_b.forward(&batch, ExecutionMode::Baseline);
         assert_eq!(probs_dedup.len(), batch.batch_size);
         for (a, b) in probs_dedup.iter().zip(&probs_base) {
-            assert!((a - b).abs() < 1e-5, "IKJT and KJT paths must agree: {a} vs {b}");
+            assert!(
+                (a - b).abs() < 1e-5,
+                "IKJT and KJT paths must agree: {a} vs {b}"
+            );
         }
         // The deduplicated path does strictly less embedding and pooling work.
         assert!(stats_dedup.emb_lookups < stats_base.emb_lookups);

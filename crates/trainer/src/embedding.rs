@@ -24,7 +24,9 @@ impl EmbeddingTable {
         let mut rng = StdRng::seed_from_u64(seed);
         let rows = rows.max(1);
         let dim = dim.max(1);
-        let weights = (0..rows * dim).map(|_| rng.gen_range(-0.01..0.01)).collect();
+        let weights = (0..rows * dim)
+            .map(|_| rng.gen_range(-0.01..0.01))
+            .collect();
         Self {
             weights,
             rows,

@@ -37,5 +37,5 @@ pub use cost::{
 pub use dlrm::{Dlrm, DlrmConfig, ExecutionMode, ForwardStats};
 pub use embedding::EmbeddingTable;
 pub use nn::{bce_loss, Linear, Mlp};
-pub use pooling::{pool_sequence, PoolingKind, PoolingCost};
+pub use pooling::{pool_sequence, PoolingCost, PoolingKind};
 pub use train::{TrainReport, Trainer, TrainerConfig};

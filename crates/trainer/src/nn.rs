@@ -211,7 +211,10 @@ mod tests {
         let layer = Linear::new(3, 2, true, &mut rng());
         let out = layer.forward(&[1.0, -2.0, 0.5]);
         assert_eq!(out.len(), 2);
-        assert!(out.iter().all(|&v| v >= 0.0), "relu output must be non-negative");
+        assert!(
+            out.iter().all(|&v| v >= 0.0),
+            "relu output must be non-negative"
+        );
         assert_eq!(layer.flops(), 12);
         assert_eq!(layer.parameter_count(), 8);
     }
@@ -237,7 +240,10 @@ mod tests {
         for epoch in 0..300 {
             let mut epoch_loss = 0.0;
             for _ in 0..32 {
-                let x = [data_rng.gen_range(0.0..1.0f32), data_rng.gen_range(0.0..1.0f32)];
+                let x = [
+                    data_rng.gen_range(0.0..1.0f32),
+                    data_rng.gen_range(0.0..1.0f32),
+                ];
                 let label = if x[0] > x[1] { 1.0 } else { 0.0 };
                 let activations = mlp.forward_cached(&x);
                 let logit = activations.last().unwrap()[0];
@@ -268,8 +274,7 @@ mod tests {
 
     #[test]
     #[should_panic(expected = "an mlp needs an input and an output size")]
-    fn mlp_requires_two_dims()
-    {
+    fn mlp_requires_two_dims() {
         Mlp::new(&[4], &mut rng());
     }
 }

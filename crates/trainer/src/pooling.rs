@@ -75,7 +75,11 @@ fn softmax_in_place(scores: &mut [f32]) {
 /// the pooled vector and the FLOPs spent.
 ///
 /// An empty sequence pools to the zero vector.
-pub fn pool_sequence(kind: PoolingKind, sequence: &[Vec<f32>], dim: usize) -> (Vec<f32>, PoolingCost) {
+pub fn pool_sequence(
+    kind: PoolingKind,
+    sequence: &[Vec<f32>],
+    dim: usize,
+) -> (Vec<f32>, PoolingCost) {
     let cost = PoolingCost {
         flops: kind.flops_per_row(sequence.len(), dim),
         rows: 1,
@@ -205,8 +209,14 @@ mod tests {
         let (out, cost) = pool_sequence(PoolingKind::Attention, &sequence(), 2);
         // Each output coordinate must lie within the min/max of inputs.
         for d in 0..2 {
-            let min = sequence().iter().map(|e| e[d]).fold(f32::INFINITY, f32::min);
-            let max = sequence().iter().map(|e| e[d]).fold(f32::NEG_INFINITY, f32::max);
+            let min = sequence()
+                .iter()
+                .map(|e| e[d])
+                .fold(f32::INFINITY, f32::min);
+            let max = sequence()
+                .iter()
+                .map(|e| e[d])
+                .fold(f32::NEG_INFINITY, f32::max);
             assert!(out[d] >= min - 1e-5 && out[d] <= max + 1e-5);
         }
         assert!(cost.flops > 0);
@@ -218,7 +228,10 @@ mod tests {
         let (b, _) = pool_sequence(PoolingKind::Transformer, &sequence(), 2);
         assert_eq!(a, b);
         let sum_cost = PoolingKind::Sum.flops_per_row(3, 2);
-        assert!(cost_a.flops > sum_cost, "transformer must be far more expensive");
+        assert!(
+            cost_a.flops > sum_cost,
+            "transformer must be far more expensive"
+        );
         assert!(PoolingKind::Transformer.is_sequence_module());
         assert!(!PoolingKind::Sum.is_sequence_module());
     }

@@ -63,7 +63,11 @@ impl Trainer {
     }
 
     /// Trains on `train_batches` and evaluates on `eval_batches`.
-    pub fn run(&mut self, train_batches: &[ConvertedBatch], eval_batches: &[ConvertedBatch]) -> TrainReport {
+    pub fn run(
+        &mut self,
+        train_batches: &[ConvertedBatch],
+        eval_batches: &[ConvertedBatch],
+    ) -> TrainReport {
         let mut report = TrainReport::default();
         for _ in 0..self.config.epochs.max(1) {
             for batch in train_batches {
@@ -156,7 +160,10 @@ mod tests {
         let mut baseline_trainer = Trainer::new(trainer_config(&schema, ExecutionMode::Baseline));
         let dedup_report = dedup_trainer.run(&dedup_batches, &dedup_batches);
         let baseline_report = baseline_trainer.run(&baseline_batches, &baseline_batches);
-        assert_eq!(dedup_report.step_losses.len(), baseline_report.step_losses.len());
+        assert_eq!(
+            dedup_report.step_losses.len(),
+            baseline_report.step_losses.len()
+        );
         for (a, b) in dedup_report
             .step_losses
             .iter()

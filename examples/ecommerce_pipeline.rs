@@ -10,10 +10,10 @@
 //!
 //! Run with: `cargo run --release --example ecommerce_pipeline`
 
+use recd::data::FeatureClass;
 use recd::datagen::{DedupPolicy, FeatureProfile, WorkloadConfig, WorkloadPreset};
 use recd::pipeline::{PipelineRunner, RecdConfig, RmPreset, RmSpec};
 use recd::trainer::PoolingKind;
-use recd::data::FeatureClass;
 
 fn ecommerce_spec() -> RmSpec {
     // Shopping sessions: cart history, viewed-item history, wish-list ids
@@ -71,7 +71,8 @@ fn main() {
     let spec = ecommerce_spec();
     println!("== e-commerce DLRM pipeline: baseline vs RecD ==\n");
 
-    let baseline = PipelineRunner::new(spec.clone(), RecdConfig::baseline()).run(spec.baseline_batch);
+    let baseline =
+        PipelineRunner::new(spec.clone(), RecdConfig::baseline()).run(spec.baseline_batch);
     let recd = PipelineRunner::new(spec.clone(), RecdConfig::full()).run(spec.recd_batch);
     let b = &baseline.report;
     let r = &recd.report;

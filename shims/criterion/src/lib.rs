@@ -1,0 +1,300 @@
+//! Offline shim for `criterion`.
+//!
+//! Provides the API subset the workspace's benches use (`criterion_group!`,
+//! `criterion_main!`, benchmark groups, `iter`, `iter_batched`, throughput
+//! annotations) backed by a simple wall-clock harness: each benchmark warms
+//! up, then runs timed iterations inside a fixed time budget and reports the
+//! mean iteration time (and throughput when declared). No statistics beyond
+//! the mean are computed — the numbers are indicative, not criterion-grade.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Per-iteration throughput annotation.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Bytes handled per iteration.
+    Bytes(u64),
+    /// Logical elements handled per iteration.
+    Elements(u64),
+}
+
+/// How much setup output `iter_batched` keeps in flight (ignored by the shim).
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+}
+
+/// A `group/parameter` benchmark identifier.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Creates an id rendered as `name/parameter`.
+    pub fn new(name: impl Into<String>, parameter: impl Display) -> Self {
+        Self {
+            id: format!("{}/{}", name.into(), parameter),
+        }
+    }
+}
+
+/// Anything usable as a benchmark name.
+pub trait IntoBenchmarkId {
+    /// The rendered name.
+    fn into_id(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_id(self) -> String {
+        self.id
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_id(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_id(self) -> String {
+        self
+    }
+}
+
+/// Drives timed iterations of one benchmark.
+pub struct Bencher<'a> {
+    samples: u64,
+    budget: Duration,
+    result: &'a mut Option<MeasuredTime>,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct MeasuredTime {
+    mean_nanos: f64,
+}
+
+impl Bencher<'_> {
+    /// Times `routine` back to back.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warmup.
+        black_box(routine());
+        let mut iters = 0u64;
+        let start = Instant::now();
+        while iters < self.samples || start.elapsed() < self.budget {
+            black_box(routine());
+            iters += 1;
+            if iters >= self.samples && start.elapsed() >= self.budget {
+                break;
+            }
+            if iters >= 1_000_000 {
+                break;
+            }
+        }
+        *self.result = Some(MeasuredTime {
+            mean_nanos: start.elapsed().as_nanos() as f64 / iters as f64,
+        });
+    }
+
+    /// Times `routine` on fresh inputs from `setup`; setup time is excluded.
+    pub fn iter_batched<I, O, S: FnMut() -> I, R: FnMut(I) -> O>(
+        &mut self,
+        mut setup: S,
+        mut routine: R,
+        _size: BatchSize,
+    ) {
+        black_box(routine(setup()));
+        let mut iters = 0u64;
+        let mut spent = Duration::ZERO;
+        while iters < self.samples || spent < self.budget {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            spent += start.elapsed();
+            iters += 1;
+            if iters >= self.samples && spent >= self.budget {
+                break;
+            }
+            if iters >= 1_000_000 {
+                break;
+            }
+        }
+        *self.result = Some(MeasuredTime {
+            mean_nanos: spent.as_nanos() as f64 / iters as f64,
+        });
+    }
+}
+
+fn human_nanos(nanos: f64) -> String {
+    if nanos >= 1e9 {
+        format!("{:.3} s", nanos / 1e9)
+    } else if nanos >= 1e6 {
+        format!("{:.3} ms", nanos / 1e6)
+    } else if nanos >= 1e3 {
+        format!("{:.3} µs", nanos / 1e3)
+    } else {
+        format!("{nanos:.1} ns")
+    }
+}
+
+fn run_one(
+    full_name: &str,
+    samples: u64,
+    throughput: Option<Throughput>,
+    f: impl FnOnce(&mut Bencher<'_>),
+) {
+    let mut result = None;
+    let mut bencher = Bencher {
+        samples: samples.max(1),
+        budget: Duration::from_millis(100),
+        result: &mut result,
+    };
+    f(&mut bencher);
+    match result {
+        Some(measured) => {
+            let mut line = format!(
+                "{full_name:<56} time: {:>12}",
+                human_nanos(measured.mean_nanos)
+            );
+            if let Some(throughput) = throughput {
+                let per_second = match throughput {
+                    Throughput::Bytes(n) => {
+                        format!(
+                            "{:.1} MiB/s",
+                            n as f64 / (measured.mean_nanos / 1e9) / (1 << 20) as f64
+                        )
+                    }
+                    Throughput::Elements(n) => {
+                        format!("{:.0} elem/s", n as f64 / (measured.mean_nanos / 1e9))
+                    }
+                };
+                line.push_str(&format!("  thrpt: {per_second}"));
+            }
+            println!("{line}");
+        }
+        None => println!("{full_name:<56} (no measurement)"),
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: u64,
+    throughput: Option<Throughput>,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the minimum number of timed iterations.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n as u64;
+        self
+    }
+
+    /// Declares per-iteration throughput for subsequent benches.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function<I: IntoBenchmarkId>(
+        &mut self,
+        id: I,
+        f: impl FnOnce(&mut Bencher<'_>),
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id.into_id());
+        run_one(&full, self.sample_size, self.throughput, f);
+        self
+    }
+
+    /// Runs one parameterized benchmark in the group.
+    pub fn bench_with_input<I: IntoBenchmarkId, T: ?Sized>(
+        &mut self,
+        id: I,
+        input: &T,
+        f: impl FnOnce(&mut Bencher<'_>, &T),
+    ) -> &mut Self {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// Ends the group (printing is incremental, so this is a no-op).
+    pub fn finish(&mut self) {}
+}
+
+/// The benchmark driver.
+pub struct Criterion {
+    default_sample_size: u64,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self {
+            default_sample_size: 10,
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the default minimum number of timed iterations (builder form,
+    /// used by the `criterion_group! { config = ... }` syntax).
+    #[must_use]
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.default_sample_size = n as u64;
+        self
+    }
+
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: self.default_sample_size,
+            throughput: None,
+            _criterion: self,
+        }
+    }
+
+    /// Runs one stand-alone benchmark.
+    pub fn bench_function(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        f: impl FnOnce(&mut Bencher<'_>),
+    ) -> &mut Self {
+        run_one(&id.into_id(), self.default_sample_size, None, f);
+        self
+    }
+}
+
+/// Declares a function running a list of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

@@ -1,0 +1,15 @@
+//! Offline shim for `serde`.
+//!
+//! The container this workspace builds in has no access to crates.io, so the
+//! real `serde` cannot be vendored. The workspace only *derives*
+//! `Serialize`/`Deserialize` (for downstream forward compatibility) and never
+//! invokes an actual serializer, so marker traits plus no-op derive macros
+//! are sufficient to compile the seed sources unchanged.
+
+/// Marker stand-in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize`.
+pub trait Deserialize<'de> {}
+
+pub use serde_derive::{Deserialize, Serialize};

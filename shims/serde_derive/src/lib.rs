@@ -1,0 +1,19 @@
+//! Offline shim for `serde_derive`: the derive macros accept the same
+//! surface syntax (including `#[serde(...)]` attributes) but expand to
+//! nothing. The workspace derives `Serialize`/`Deserialize` for forward
+//! compatibility; nothing in-tree performs actual serialization, so empty
+//! expansions keep the seed sources unmodified without the real dependency.
+
+use proc_macro::TokenStream;
+
+/// No-op `#[derive(Serialize)]`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `#[derive(Deserialize)]`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

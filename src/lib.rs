@@ -18,6 +18,7 @@
 //! | [`etl`] | `recd-etl` | join, hourly partitioning, CLUSTER BY session (O2), downsampling |
 //! | [`storage`] | `recd-storage` | DWRF-like columnar files + Tectonic-like blob store |
 //! | [`reader`] | `recd-reader` | fill/convert/process reader tier (O3, O4) |
+//! | [`dpp`] | `recd-dpp` | streaming DPP service: sharded, backpressured, multi-worker preprocessing |
 //! | [`trainer`] | `recd-trainer` | executable DLRM + hybrid-parallel cost model (O5–O7) |
 //! | [`pipeline`] | `recd-pipeline` | end-to-end runner, RM presets, experiment drivers |
 //!
@@ -48,6 +49,7 @@ pub use recd_codec as codec;
 pub use recd_core as core;
 pub use recd_data as data;
 pub use recd_datagen as datagen;
+pub use recd_dpp as dpp;
 pub use recd_etl as etl;
 pub use recd_pipeline as pipeline;
 pub use recd_reader as reader;

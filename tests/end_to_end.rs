@@ -65,7 +65,10 @@ fn iteration_breakdown_shrinks_at_equal_batch_size() {
         let recd_total: f64 = row.recd.iter().sum();
         assert!((baseline_total - 1.0).abs() < 1e-6, "baseline is the unit");
         assert!(recd_total < baseline_total, "{row:?}");
-        assert!(row.recd[2] <= row.baseline[2] + 1e-9, "A2A must not grow: {row:?}");
+        assert!(
+            row.recd[2] <= row.baseline[2] + 1e-9,
+            "A2A must not grow: {row:?}"
+        );
     }
 }
 
@@ -104,7 +107,10 @@ fn conversion_round_trips_after_clustering() {
         let expanded = ikjt.to_kjt().unwrap();
         for (feature, tensor) in expanded.iter() {
             for (row_idx, sample) in batch.iter().enumerate() {
-                assert_eq!(tensor.row(row_idx), sample.sparse[feature.index()].as_slice());
+                assert_eq!(
+                    tensor.row(row_idx),
+                    sample.sparse[feature.index()].as_slice()
+                );
             }
         }
     }
@@ -114,7 +120,10 @@ fn conversion_round_trips_after_clustering() {
 #[test]
 fn experiment_harness_covers_every_artifact() {
     let scale = ExperimentScale::Smoke;
-    assert!(!experiments::characterization(scale).report.per_feature.is_empty());
+    assert!(!experiments::characterization(scale)
+        .report
+        .per_feature
+        .is_empty());
     assert!(experiments::scribe_compression(scale).session_ratio > 1.0);
     assert_eq!(experiments::table3(scale).rows.len(), 3);
     assert_eq!(experiments::dedupe_factor_sweep(scale).rows.len(), 9);
@@ -129,7 +138,10 @@ fn experiment_harness_covers_every_artifact() {
     let fig10 = experiments::fig10(scale);
     for row in &fig10.rows {
         let recd_total = row.recd.0 + row.recd.1 + row.recd.2;
-        assert!(recd_total < 1.0 + 1e-9, "reader CPU per sample must not grow: {row:?}");
+        assert!(
+            recd_total < 1.0 + 1e-9,
+            "reader CPU per sample must not grow: {row:?}"
+        );
     }
     let table4 = experiments::table4(scale);
     assert_eq!(table4.rows.len(), 6);
