@@ -56,6 +56,15 @@ impl BenchFixture {
         SampleBatch::new(self.samples[..batch_size.min(self.samples.len())].to_vec())
     }
 
+    /// The first `batch_size` samples in columnar form (schema-shaped).
+    pub fn columnar_batch(&self, batch_size: usize) -> recd_data::ColumnarBatch {
+        recd_data::ColumnarBatch::from_samples(
+            &self.samples[..batch_size.min(self.samples.len())],
+            self.schema.dense_count(),
+            self.schema.sparse_count(),
+        )
+    }
+
     /// A deduplicated converted batch of the given size.
     pub fn dedup_batch(&self, batch_size: usize) -> ConvertedBatch {
         self.dedup_converter

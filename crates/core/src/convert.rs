@@ -6,7 +6,7 @@ use crate::dense::DenseMatrix;
 use crate::ikjt::InverseKeyedJaggedTensor;
 use crate::kjt::KeyedJaggedTensor;
 use crate::{CoreError, Result};
-use recd_data::{FeatureId, SampleBatch, Schema};
+use recd_data::{ColumnarBatch, FeatureId, SampleBatch, Schema};
 use serde::{Deserialize, Serialize};
 use std::collections::HashSet;
 
@@ -81,13 +81,14 @@ impl DataLoaderConfig {
     }
 
     /// All sparse features referenced by the configuration, KJT first then
-    /// groups in order.
-    pub fn all_sparse_features(&self) -> Vec<FeatureId> {
-        let mut all = self.kjt_features.clone();
-        for group in &self.dedup_groups {
-            all.extend(group.iter().copied());
-        }
-        all
+    /// groups in order. Borrowed iterator access — callers that need an
+    /// owned list collect it themselves; validation and feature counting
+    /// allocate nothing.
+    pub fn all_sparse_features(&self) -> impl Iterator<Item = FeatureId> + '_ {
+        self.kjt_features
+            .iter()
+            .copied()
+            .chain(self.dedup_groups.iter().flat_map(|g| g.iter().copied()))
     }
 
     /// Validates that no feature appears twice across the KJT list and the
@@ -245,10 +246,59 @@ impl FeatureConverter {
     ///
     /// Same error conditions as [`FeatureConverter::convert`].
     pub fn convert_baseline(&self, batch: &SampleBatch) -> Result<ConvertedBatch> {
-        let all = self.config.all_sparse_features();
+        let all: Vec<FeatureId> = self.config.all_sparse_features().collect();
         let labels = batch.iter().map(|s| s.label).collect();
         let dense = DenseMatrix::from_batch(batch, self.config.dense_features);
         let kjt = KeyedJaggedTensor::from_batch(batch, &all)?;
+        Ok(ConvertedBatch {
+            batch_size: batch.len(),
+            labels,
+            dense,
+            kjt,
+            ikjts: Vec::new(),
+        })
+    }
+
+    /// Converts one columnar batch into tensors — the flat counterpart of
+    /// [`FeatureConverter::convert`], producing a value-identical
+    /// [`ConvertedBatch`]. Labels and dense values copy over as whole
+    /// buffers, each KJT feature is two flat copies, and the dedup groups
+    /// run the allocation-free columnar IKJT path.
+    ///
+    /// # Errors
+    ///
+    /// Same error conditions as [`FeatureConverter::convert`].
+    pub fn convert_columnar(&self, batch: &ColumnarBatch) -> Result<ConvertedBatch> {
+        self.config.validate()?;
+        let labels = batch.labels().to_vec();
+        let dense = DenseMatrix::from_columnar(batch, self.config.dense_features);
+        let kjt = KeyedJaggedTensor::from_columnar(batch, &self.config.kjt_features)?;
+        let ikjts = self
+            .config
+            .dedup_groups
+            .iter()
+            .map(|group| InverseKeyedJaggedTensor::dedup_from_columnar(batch, group))
+            .collect::<Result<Vec<_>>>()?;
+        Ok(ConvertedBatch {
+            batch_size: batch.len(),
+            labels,
+            dense,
+            kjt,
+            ikjts,
+        })
+    }
+
+    /// Converts a columnar batch without any deduplication — the flat
+    /// counterpart of [`FeatureConverter::convert_baseline`].
+    ///
+    /// # Errors
+    ///
+    /// Same error conditions as [`FeatureConverter::convert`].
+    pub fn convert_columnar_baseline(&self, batch: &ColumnarBatch) -> Result<ConvertedBatch> {
+        let all: Vec<FeatureId> = self.config.all_sparse_features().collect();
+        let labels = batch.labels().to_vec();
+        let dense = DenseMatrix::from_columnar(batch, self.config.dense_features);
+        let kjt = KeyedJaggedTensor::from_columnar(batch, &all)?;
         Ok(ConvertedBatch {
             batch_size: batch.len(),
             labels,
@@ -331,6 +381,28 @@ mod tests {
         assert_eq!(cd.to_kjt().unwrap().feature(f(2)).unwrap().row(1), &[7, 8]);
         assert!(converted.stored_sparse_values() < converted.logical_sparse_values());
         assert!(converted.dedupe_factor() > 1.0);
+    }
+
+    #[test]
+    fn columnar_conversion_is_value_identical_to_row_wise() {
+        let batch = figure5_batch();
+        let columnar = ColumnarBatch::from_samples(batch.samples(), 1, 4);
+        let converter = FeatureConverter::new(figure5_config());
+
+        let row_wise = converter.convert(&batch).unwrap();
+        let col_wise = converter.convert_columnar(&columnar).unwrap();
+        assert_eq!(row_wise, col_wise);
+
+        let row_base = converter.convert_baseline(&batch).unwrap();
+        let col_base = converter.convert_columnar_baseline(&columnar).unwrap();
+        assert_eq!(row_base, col_base);
+
+        // Empty columnar batches convert cleanly too.
+        let empty = converter
+            .convert_columnar(&ColumnarBatch::new(1, 4))
+            .unwrap();
+        assert_eq!(empty.batch_size, 0);
+        assert_eq!(empty.dedupe_factor(), 1.0);
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! Dense feature matrices (batch-major float features).
 
 use crate::{CoreError, Result};
-use recd_data::SampleBatch;
+use recd_data::{ColumnarBatch, SampleBatch};
 use serde::{Deserialize, Serialize};
 
 /// A row-major `[batch_size, feature_count]` matrix of dense feature values.
@@ -49,6 +49,27 @@ impl DenseMatrix {
         for (i, sample) in batch.iter().enumerate() {
             let n = sample.dense.len().min(cols);
             m.data[i * cols..i * cols + n].copy_from_slice(&sample.dense[..n]);
+        }
+        m
+    }
+
+    /// Extracts the dense features of a columnar batch. When the batch's
+    /// dense width already matches `cols` (the common, schema-driven case)
+    /// this is a single flat buffer copy; otherwise rows are zero-padded or
+    /// truncated like [`DenseMatrix::from_batch`].
+    pub fn from_columnar(batch: &ColumnarBatch, cols: usize) -> Self {
+        if batch.dense_cols() == cols {
+            return Self {
+                data: batch.dense_values().to_vec(),
+                rows: batch.len(),
+                cols,
+            };
+        }
+        let mut m = Self::zeros(batch.len(), cols);
+        for i in 0..batch.len() {
+            let row = batch.dense_row(i);
+            let n = row.len().min(cols);
+            m.data[i * cols..i * cols + n].copy_from_slice(&row[..n]);
         }
         m
     }

@@ -6,9 +6,62 @@ use crate::kjt::KeyedJaggedTensor;
 use crate::select::jagged_index_select;
 use crate::{CoreError, Result};
 use recd_codec::Hasher64;
-use recd_data::{FeatureId, SampleBatch};
+use recd_data::{ColumnarBatch, FeatureId, SampleBatch};
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+
+/// Sentinel marking an unoccupied [`DedupTable`] bucket.
+const EMPTY_SLOT: usize = usize::MAX;
+
+/// A flat open-addressing `(digest, slot)` table sized once per batch.
+///
+/// This replaces the previous `HashMap<u64, Vec<usize>>` candidate index: no
+/// per-digest `Vec` is ever allocated, probing is a linear scan over one
+/// contiguous buffer, and because the table is sized to twice the row count
+/// up front it never rehashes. Digest collisions are harmless: every
+/// candidate is confirmed with a full row-equality check, and a failed check
+/// simply continues the probe.
+struct DedupTable {
+    digests: Vec<u64>,
+    slots: Vec<usize>,
+    mask: usize,
+}
+
+impl DedupTable {
+    /// Creates a table with room for `rows` insertions at ≤50% load.
+    fn for_rows(rows: usize) -> Self {
+        let capacity = rows.saturating_mul(2).next_power_of_two().max(8);
+        Self {
+            digests: vec![0; capacity],
+            slots: vec![EMPTY_SLOT; capacity],
+            mask: capacity - 1,
+        }
+    }
+
+    /// Probes for a slot whose digest matches and whose content
+    /// `rows_equal` confirms. On a hit, returns `Some(existing_slot)`; on a
+    /// miss, records `(digest, new_slot)` in the probed bucket and returns
+    /// `None`.
+    fn find_or_insert(
+        &mut self,
+        digest: u64,
+        new_slot: usize,
+        mut rows_equal: impl FnMut(usize) -> bool,
+    ) -> Option<usize> {
+        let mut idx = (digest as usize) & self.mask;
+        loop {
+            let slot = self.slots[idx];
+            if slot == EMPTY_SLOT {
+                self.digests[idx] = digest;
+                self.slots[idx] = new_slot;
+                return None;
+            }
+            if self.digests[idx] == digest && rows_equal(slot) {
+                return Some(slot);
+            }
+            idx = (idx + 1) & self.mask;
+        }
+    }
+}
 
 /// A grouped, deduplicated sparse-feature container.
 ///
@@ -64,65 +117,53 @@ impl InverseKeyedJaggedTensor {
     }
 
     /// Deduplicates the listed feature group directly from a batch of
-    /// samples (the feature-conversion path used by readers).
+    /// samples (the row-wise feature-conversion path).
     ///
     /// # Errors
     ///
     /// Returns [`CoreError::MissingSparseFeature`] if a sample does not carry
     /// one of the grouped features.
     pub fn dedup_from_batch(batch: &SampleBatch, group: &[FeatureId]) -> Result<Self> {
-        let batch_size = batch.len();
-        let mut slot_tensors: Vec<JaggedTensor<u64>> =
-            group.iter().map(|_| JaggedTensor::new()).collect();
-        let mut inverse_lookup = Vec::with_capacity(batch_size);
-        let mut slots_by_hash: HashMap<u64, Vec<usize>> = HashMap::new();
-
         for sample in batch.iter() {
-            let mut hasher = Hasher64::new();
             for &key in group {
-                let values =
-                    sample
-                        .sparse
-                        .get(key.index())
-                        .ok_or(CoreError::MissingSparseFeature {
-                            feature: key,
-                            available: sample.sparse.len(),
-                        })?;
-                hasher.mix_u64(values.len() as u64);
-                for &v in values {
-                    hasher.mix_u64(v);
-                }
-            }
-            let digest = hasher.finish();
-
-            let candidates = slots_by_hash.entry(digest).or_default();
-            let matched = candidates.iter().copied().find(|&slot| {
-                group.iter().enumerate().all(|(fi, key)| {
-                    slot_tensors[fi].row(slot) == sample.sparse[key.index()].as_slice()
-                })
-            });
-            match matched {
-                Some(slot) => inverse_lookup.push(slot),
-                None => {
-                    let slot = slot_tensors
-                        .first()
-                        .map(JaggedTensor::row_count)
-                        .unwrap_or(0);
-                    for (fi, key) in group.iter().enumerate() {
-                        slot_tensors[fi].push_row(&sample.sparse[key.index()]);
-                    }
-                    candidates.push(slot);
-                    inverse_lookup.push(slot);
+                if key.index() >= sample.sparse.len() {
+                    return Err(CoreError::MissingSparseFeature {
+                        feature: key,
+                        available: sample.sparse.len(),
+                    });
                 }
             }
         }
+        let samples = batch.samples();
+        Ok(Self::dedup_core(group, batch.len(), |fi, row| {
+            samples[row].sparse[group[fi].index()].as_slice()
+        }))
+    }
 
-        Ok(Self {
-            keys: group.to_vec(),
-            tensors: slot_tensors,
-            inverse_lookup,
-            batch_size,
-        })
+    /// Deduplicates the listed feature group straight off a columnar batch's
+    /// sparse columns — the flat fill→convert hot path. Row views are slices
+    /// into the batch's contiguous value buffers, so no per-row data is
+    /// materialized at any point.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::MissingSparseFeature`] if the batch carries
+    /// fewer sparse columns than a grouped feature's index.
+    pub fn dedup_from_columnar(batch: &ColumnarBatch, group: &[FeatureId]) -> Result<Self> {
+        let columns: Vec<&recd_data::SparseColumn> = group
+            .iter()
+            .map(|&key| {
+                batch
+                    .sparse_column(key.index())
+                    .ok_or(CoreError::MissingSparseFeature {
+                        feature: key,
+                        available: batch.sparse_cols(),
+                    })
+            })
+            .collect::<Result<_>>()?;
+        Ok(Self::dedup_core(group, batch.len(), |fi, row| {
+            columns[fi].row(row)
+        }))
     }
 
     /// Core dedup routine over per-feature row views.
@@ -131,43 +172,57 @@ impl InverseKeyedJaggedTensor {
         per_feature: &[&JaggedTensor<u64>],
         batch_size: usize,
     ) -> Self {
-        let mut slot_tensors: Vec<JaggedTensor<u64>> =
-            group.iter().map(|_| JaggedTensor::new()).collect();
-        let mut inverse_lookup = Vec::with_capacity(batch_size);
-        // hash of the row's combined group value -> candidate slot indices
-        let mut slots_by_hash: HashMap<u64, Vec<usize>> = HashMap::new();
+        Self::dedup_core(group, batch_size, |fi, row| per_feature[fi].row(row))
+    }
 
-        for row in 0..batch_size {
-            let mut hasher = Hasher64::new();
-            for tensor in per_feature {
-                let values = tensor.row(row);
+    /// Precomputes one digest per row over the whole feature group, then
+    /// assigns slots through a flat [`DedupTable`].
+    ///
+    /// Digests are accumulated feature-major (one sequential sweep per
+    /// feature over its contiguous values) and memoized across the group, so
+    /// each value is hashed exactly once regardless of how many candidate
+    /// comparisons a row later participates in. The hash order per row is
+    /// identical to the old row-major loop (group order, length then
+    /// values), so digests — and therefore slot assignment order — are
+    /// unchanged.
+    fn dedup_core<'a>(
+        group: &[FeatureId],
+        batch_size: usize,
+        row_view: impl Fn(usize, usize) -> &'a [u64],
+    ) -> Self {
+        let mut hashers = vec![Hasher64::new(); batch_size];
+        for fi in 0..group.len() {
+            for (row, hasher) in hashers.iter_mut().enumerate() {
+                let values = row_view(fi, row);
                 hasher.mix_u64(values.len() as u64);
                 for &v in values {
                     hasher.mix_u64(v);
                 }
             }
-            let digest = hasher.finish();
+        }
 
-            let candidates = slots_by_hash.entry(digest).or_default();
-            let matched = candidates.iter().copied().find(|&slot| {
-                per_feature
-                    .iter()
-                    .enumerate()
-                    .all(|(fi, tensor)| slot_tensors[fi].row(slot) == tensor.row(row))
+        let digests: Vec<u64> = hashers.iter().map(Hasher64::finish).collect();
+
+        let mut slot_tensors: Vec<JaggedTensor<u64>> =
+            group.iter().map(|_| JaggedTensor::new()).collect();
+        let mut inverse_lookup = Vec::with_capacity(batch_size);
+        let mut table = DedupTable::for_rows(batch_size);
+
+        for (row, &digest) in digests.iter().enumerate() {
+            let next_slot = slot_tensors
+                .first()
+                .map(JaggedTensor::row_count)
+                .unwrap_or(0);
+            let matched = table.find_or_insert(digest, next_slot, |slot| {
+                (0..group.len()).all(|fi| slot_tensors[fi].row(slot) == row_view(fi, row))
             });
-
             match matched {
                 Some(slot) => inverse_lookup.push(slot),
                 None => {
-                    let slot = slot_tensors
-                        .first()
-                        .map(JaggedTensor::row_count)
-                        .unwrap_or(0);
-                    for (fi, tensor) in per_feature.iter().enumerate() {
-                        slot_tensors[fi].push_row(tensor.row(row));
+                    for (fi, tensor) in slot_tensors.iter_mut().enumerate() {
+                        tensor.push_row(row_view(fi, row));
                     }
-                    candidates.push(slot);
-                    inverse_lookup.push(slot);
+                    inverse_lookup.push(next_slot);
                 }
             }
         }
@@ -379,6 +434,31 @@ impl InverseKeyedJaggedTensor {
             .map(|&slot| per_slot[slot].clone())
             .collect())
     }
+
+    /// Expands a flat `[slot_count() * width]` per-slot buffer to a flat
+    /// `[batch_size() * width]` per-row buffer through the shared inverse
+    /// lookup, by offset-based slicing — the allocation-free counterpart of
+    /// [`InverseKeyedJaggedTensor::expand_per_slot`] for fixed-width rows
+    /// (e.g. pooled embedding vectors). One output buffer is allocated; no
+    /// per-row container is ever cloned.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::BatchSizeMismatch`] if `per_slot` does not hold
+    /// exactly `slot_count() * width` values.
+    pub fn expand_per_slot_concat<T: Copy>(&self, per_slot: &[T], width: usize) -> Result<Vec<T>> {
+        if per_slot.len() != self.slot_count() * width {
+            return Err(CoreError::BatchSizeMismatch {
+                expected: self.slot_count() * width,
+                actual: per_slot.len(),
+            });
+        }
+        let mut out = Vec::with_capacity(self.batch_size * width);
+        for &slot in &self.inverse_lookup {
+            out.extend_from_slice(&per_slot[slot * width..(slot + 1) * width]);
+        }
+        Ok(out)
+    }
 }
 
 #[cfg(test)]
@@ -544,6 +624,57 @@ mod tests {
             vec![0],
         );
         assert!(wrong_key_count.is_err());
+    }
+
+    #[test]
+    fn expand_per_slot_concat_slices_by_offset() {
+        let kjt = figure5_group();
+        let ikjt = InverseKeyedJaggedTensor::dedup_from_kjt(&kjt, &[f(2), f(3)]).unwrap();
+        // Two slots of width 2, expanded to three rows.
+        let expanded = ikjt
+            .expand_per_slot_concat(&[1.0f32, 2.0, 3.0, 4.0], 2)
+            .unwrap();
+        assert_eq!(expanded, vec![1.0, 2.0, 1.0, 2.0, 3.0, 4.0]);
+        assert!(matches!(
+            ikjt.expand_per_slot_concat(&[1.0f32], 2),
+            Err(CoreError::BatchSizeMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn columnar_dedup_matches_batch_dedup() {
+        use recd_data::{ColumnarBatch, RequestId, Sample, SessionId, Timestamp};
+        let rows: Vec<Vec<Vec<u64>>> = vec![
+            vec![vec![7, 8], vec![9]],
+            vec![vec![7, 8], vec![9]],
+            vec![vec![10], vec![11]],
+            vec![vec![], vec![9]],
+        ];
+        let samples: Vec<Sample> = rows
+            .into_iter()
+            .enumerate()
+            .map(|(i, sparse)| {
+                Sample::builder(
+                    SessionId::new(1),
+                    RequestId::new(i as u64),
+                    Timestamp::from_millis(i as u64),
+                )
+                .sparse(sparse)
+                .build()
+            })
+            .collect();
+        let batch: SampleBatch = samples.iter().cloned().collect();
+        let columnar = ColumnarBatch::from_samples(&samples, 0, 2);
+        let group = [f(0), f(1)];
+        let from_batch = InverseKeyedJaggedTensor::dedup_from_batch(&batch, &group).unwrap();
+        let from_columnar =
+            InverseKeyedJaggedTensor::dedup_from_columnar(&columnar, &group).unwrap();
+        assert_eq!(from_batch, from_columnar);
+        assert_eq!(from_columnar.inverse_lookup(), &[0, 0, 1, 2]);
+        assert!(matches!(
+            InverseKeyedJaggedTensor::dedup_from_columnar(&columnar, &[f(5)]),
+            Err(CoreError::MissingSparseFeature { .. })
+        ));
     }
 
     #[test]

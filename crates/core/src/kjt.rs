@@ -3,7 +3,7 @@
 
 use crate::jagged::JaggedTensor;
 use crate::{CoreError, Result};
-use recd_data::{FeatureId, SampleBatch};
+use recd_data::{ColumnarBatch, FeatureId, SampleBatch};
 use serde::{Deserialize, Serialize};
 
 /// A keyed collection of jagged tensors, one per sparse feature, each with
@@ -79,6 +79,33 @@ impl KeyedJaggedTensor {
                 }
                 tensor.push_row(&sample.sparse[feature.index()]);
             }
+            kjt.insert(feature, tensor)?;
+        }
+        Ok(kjt)
+    }
+
+    /// Extracts the listed sparse features from a columnar batch. Each
+    /// feature's jagged tensor is built from two flat buffer copies (values
+    /// and offsets) instead of one `push_row` per sample — the columnar
+    /// convert path's KJT constructor.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::MissingSparseFeature`] if the batch carries
+    /// fewer sparse columns than a requested feature's index.
+    pub fn from_columnar(batch: &ColumnarBatch, features: &[FeatureId]) -> Result<Self> {
+        let mut kjt = Self::empty(batch.len());
+        for &feature in features {
+            let column =
+                batch
+                    .sparse_column(feature.index())
+                    .ok_or(CoreError::MissingSparseFeature {
+                        feature,
+                        available: batch.sparse_cols(),
+                    })?;
+            let tensor =
+                JaggedTensor::from_parts(column.values().to_vec(), column.offsets().to_vec())
+                    .expect("a valid sparse column is a valid jagged tensor");
             kjt.insert(feature, tensor)?;
         }
         Ok(kjt)

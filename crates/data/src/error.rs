@@ -40,6 +40,11 @@ pub enum DataError {
     },
     /// An operation required a non-empty batch but the batch had no samples.
     EmptyBatch,
+    /// A columnar batch's buffers violated a shape invariant.
+    ColumnarInvariant {
+        /// What went wrong.
+        reason: String,
+    },
 }
 
 impl fmt::Display for DataError {
@@ -64,6 +69,9 @@ impl fmt::Display for DataError {
                 write!(f, "dedup group {group} was referenced but never declared")
             }
             DataError::EmptyBatch => write!(f, "operation requires a non-empty batch"),
+            DataError::ColumnarInvariant { reason } => {
+                write!(f, "columnar batch invariant violated: {reason}")
+            }
         }
     }
 }

@@ -33,6 +33,7 @@
 #![warn(missing_docs)]
 
 pub mod batch;
+pub mod columnar;
 pub mod error;
 pub mod ids;
 pub mod log;
@@ -40,6 +41,7 @@ pub mod sample;
 pub mod schema;
 
 pub use batch::SampleBatch;
+pub use columnar::{ColumnarBatch, SparseColumn};
 pub use error::DataError;
 pub use ids::{FeatureId, RequestId, SessionId, ShardId, Timestamp, UserId};
 pub use log::{EventLog, FeatureLog, LogRecord};

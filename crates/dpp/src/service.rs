@@ -8,7 +8,10 @@
 //!                    └─ fill worker ─┘   (reorder + shard + coalesce)    (resequence)
 //! ```
 //!
-//! * **Fill workers** decode DWRF files concurrently (the fill phase).
+//! * Every inter-stage payload is a flat [`ColumnarBatch`] — the service
+//!   never shuttles per-sample `Vec`s between threads.
+//! * **Fill workers** decode DWRF files concurrently (the fill phase),
+//!   straight into columnar buffers.
 //! * The **router** restores file submission order (decode finishes out of
 //!   order), shards rows by the configured [`ShardPolicy`], and coalesces
 //!   each shard's rows into `batch_size` chunks. Because routing is
@@ -28,8 +31,10 @@
 use crate::channel::{bounded, Gauge, Sender};
 use crate::metrics::{DppReport, DppSnapshot, ServiceCounters};
 use recd_core::ConvertedBatch;
-use recd_data::{Sample, Schema};
-use recd_reader::{fill_file, PhaseEngine, PreprocessPipeline, ReaderConfig, ReaderMetrics};
+use recd_data::{ColumnarBatch, Schema};
+use recd_reader::{
+    fill_file_columnar, PhaseEngine, PreprocessPipeline, ReaderConfig, ReaderMetrics,
+};
 use recd_storage::{StoredPartition, TableStore};
 use std::collections::BTreeMap;
 use std::sync::atomic::Ordering;
@@ -155,13 +160,13 @@ struct FileTask {
 
 struct FilledFile {
     seq: u64,
-    rows: Vec<Sample>,
+    rows: ColumnarBatch,
 }
 
 struct WorkItem {
     shard: usize,
     seq: u64,
-    rows: Vec<Sample>,
+    rows: ColumnarBatch,
 }
 
 struct OutBatch {
@@ -248,7 +253,7 @@ impl DppService {
                     .spawn(move || {
                         let mut local = ReaderMetrics::default();
                         while let Some(task) = input_rx.recv() {
-                            match fill_file(&store, &schema, &task.path, &mut local) {
+                            match fill_file_columnar(&store, &schema, &task.path, &mut local) {
                                 Ok(rows) => {
                                     counters.files_filled.fetch_add(1, Ordering::Relaxed);
                                     // A failed send means the run is being torn
@@ -275,7 +280,10 @@ impl DppService {
                                     if filled_tx
                                         .send(FilledFile {
                                             seq: task.seq,
-                                            rows: Vec::new(),
+                                            rows: ColumnarBatch::new(
+                                                schema.dense_count(),
+                                                schema.sparse_count(),
+                                            ),
                                         })
                                         .is_err()
                                     {
@@ -294,18 +302,26 @@ impl DppService {
 
         let router = {
             let config_snapshot = (config.policy, config.shards, config.reader.batch_size);
+            let shape = (schema.dense_count(), schema.sparse_count());
             let counters = Arc::clone(&counters);
             std::thread::Builder::new()
                 .name("dpp-router".to_string())
                 .spawn(move || {
                     let (policy, shards, batch_size) = config_snapshot;
-                    let mut pending: BTreeMap<u64, Vec<Sample>> = BTreeMap::new();
+                    let (dense_cols, sparse_cols) = shape;
+                    let fresh =
+                        || ColumnarBatch::with_capacity(dense_cols, sparse_cols, batch_size);
+                    let mut pending: BTreeMap<u64, ColumnarBatch> = BTreeMap::new();
                     let mut next_seq = 0u64;
-                    let mut accumulators: Vec<Vec<Sample>> = vec![Vec::new(); shards];
+                    // Shard accumulators are columnar too: routing a row is a
+                    // handful of flat-buffer appends, not a Sample move, and
+                    // the buffers amortize across batches.
+                    let mut accumulators: Vec<ColumnarBatch> =
+                        (0..shards).map(|_| fresh()).collect();
                     let mut shard_seqs = vec![0u64; shards];
                     let mut row_rr = 0usize;
                     let emit =
-                        |shard: usize, rows: Vec<Sample>, shard_seqs: &mut Vec<u64>| -> bool {
+                        |shard: usize, rows: ColumnarBatch, shard_seqs: &mut Vec<u64>| -> bool {
                             let seq = shard_seqs[shard];
                             shard_seqs[shard] += 1;
                             work_tx.send(WorkItem { shard, seq, rows }).is_ok()
@@ -319,13 +335,13 @@ impl DppService {
                             counters
                                 .rows_routed
                                 .fetch_add(rows.len() as u64, Ordering::Relaxed);
-                            for row in rows {
+                            for row in 0..rows.len() {
                                 let shard = match policy {
                                     ShardPolicy::FileRoundRobin => {
                                         (file_seq % shards as u64) as usize
                                     }
                                     ShardPolicy::SessionAffine => {
-                                        (recd_codec::hash_ids(&[row.session_id.raw()])
+                                        (recd_codec::hash_ids(&[rows.session_id(row).raw()])
                                             % shards as u64)
                                             as usize
                                     }
@@ -334,9 +350,9 @@ impl DppService {
                                         row_rr
                                     }
                                 };
-                                accumulators[shard].push(row);
+                                accumulators[shard].push_row_from(&rows, row);
                                 if accumulators[shard].len() >= batch_size {
-                                    let full = std::mem::take(&mut accumulators[shard]);
+                                    let full = std::mem::replace(&mut accumulators[shard], fresh());
                                     if !emit(shard, full, &mut shard_seqs) {
                                         break 'stream;
                                     }
@@ -368,7 +384,7 @@ impl DppService {
                     .spawn(move || {
                         let mut local = ReaderMetrics::default();
                         while let Some(item) = work_rx.recv() {
-                            match engine.run_batch(item.rows, &mut local) {
+                            match engine.run_batch_columnar(&item.rows, &mut local) {
                                 Ok(batch) => {
                                     counters.batches_out.fetch_add(1, Ordering::Relaxed);
                                     counters

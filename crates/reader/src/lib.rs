@@ -28,7 +28,7 @@ pub mod tier;
 pub mod transforms;
 
 pub use metrics::{PhaseMetrics, ReaderCostModel, ReaderMetrics};
-pub use phases::{fill_file, PhaseEngine};
+pub use phases::{fill_file, fill_file_columnar, PhaseEngine};
 pub use reader::{ReaderConfig, ReaderNode, ReaderOutput};
 pub use tier::{ReaderTier, TierReport};
 pub use transforms::{

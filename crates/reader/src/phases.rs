@@ -6,7 +6,7 @@ use crate::metrics::ReaderMetrics;
 use crate::reader::ReaderConfig;
 use crate::transforms::PreprocessPipeline;
 use recd_core::{ConvertedBatch, FeatureConverter};
-use recd_data::{Sample, SampleBatch, Schema};
+use recd_data::{ColumnarBatch, Sample, SampleBatch, Schema};
 use recd_storage::{DwrfFile, TableStore};
 use std::time::Instant;
 
@@ -22,11 +22,36 @@ pub fn fill_file(
     path: &str,
     metrics: &mut ReaderMetrics,
 ) -> recd_storage::Result<Vec<Sample>> {
+    // Timed directly (not via fill_file_columnar) so the row-wise fill
+    // metric keeps covering Sample materialization, as it always has.
     let start = Instant::now();
     let blob = store.blob_store().get(path)?;
     let bytes_read = blob.len();
     let file = DwrfFile::from_blob(&blob)?;
     let rows = file.read_all(schema)?;
+    metrics.fill.record(start.elapsed(), bytes_read, rows.len());
+    Ok(rows)
+}
+
+/// Columnar fill phase over a single file: fetch the blob, decompress, and
+/// decode straight into flat column buffers — no per-row `Sample` is ever
+/// materialized. This is the fill path the streaming service and the batch
+/// reader both run.
+///
+/// # Errors
+///
+/// Propagates storage errors for missing or corrupt files.
+pub fn fill_file_columnar(
+    store: &TableStore,
+    schema: &Schema,
+    path: &str,
+    metrics: &mut ReaderMetrics,
+) -> recd_storage::Result<ColumnarBatch> {
+    let start = Instant::now();
+    let blob = store.blob_store().get(path)?;
+    let bytes_read = blob.len();
+    let file = DwrfFile::from_blob(&blob)?;
+    let rows = file.read_all_columnar(schema)?;
     metrics.fill.record(start.elapsed(), bytes_read, rows.len());
     Ok(rows)
 }
@@ -78,6 +103,28 @@ impl PhaseEngine {
         Ok(rows)
     }
 
+    /// Columnar fill phase over an explicit file list: every file decodes
+    /// into flat buffers which are concatenated in file order.
+    ///
+    /// # Errors
+    ///
+    /// Propagates storage errors for missing or corrupt files.
+    pub fn fill_columnar(
+        &self,
+        store: &TableStore,
+        schema: &Schema,
+        files: &[String],
+        metrics: &mut ReaderMetrics,
+    ) -> recd_storage::Result<ColumnarBatch> {
+        let mut rows = ColumnarBatch::new(schema.dense_count(), schema.sparse_count());
+        for path in files {
+            let file_rows = fill_file_columnar(store, schema, path, metrics)?;
+            rows.append(&file_rows)
+                .expect("files of one schema share a column shape");
+        }
+        Ok(rows)
+    }
+
     /// Convert phase: rows → KJT/IKJT tensors.
     ///
     /// # Errors
@@ -121,9 +168,40 @@ impl PhaseEngine {
         );
     }
 
-    /// Runs convert + process over one coalesced chunk of rows and records
-    /// the batch-level accounting (samples, batches, egress bytes). This is
-    /// the unit of compute work a streaming worker claims.
+    /// Columnar convert phase: flat column buffers → KJT/IKJT tensors,
+    /// value-identical to [`PhaseEngine::convert`] over the same rows.
+    ///
+    /// # Errors
+    ///
+    /// Propagates conversion errors (malformed dataloader configuration).
+    pub fn convert_columnar(
+        &self,
+        batch: &ColumnarBatch,
+        metrics: &mut ReaderMetrics,
+    ) -> recd_core::Result<ConvertedBatch> {
+        let start = Instant::now();
+        let converted = if self.config.dedup_enabled {
+            self.converter.convert_columnar(batch)?
+        } else {
+            self.converter.convert_columnar_baseline(batch)?
+        };
+        let hashed_values: usize = converted
+            .ikjts
+            .iter()
+            .map(|ikjt| ikjt.original_value_count())
+            .sum();
+        metrics.convert.record(
+            start.elapsed(),
+            converted.sparse_payload_bytes(),
+            hashed_values,
+        );
+        Ok(converted)
+    }
+
+    /// Runs convert + process over one coalesced chunk of row-wise samples
+    /// and records the batch-level accounting (samples, batches, egress
+    /// bytes) — the row-wise counterpart of
+    /// [`PhaseEngine::run_batch_columnar`].
     ///
     /// # Errors
     ///
@@ -134,11 +212,37 @@ impl PhaseEngine {
         metrics: &mut ReaderMetrics,
     ) -> recd_core::Result<ConvertedBatch> {
         let sample_batch = SampleBatch::new(rows);
-        let mut converted = self.convert(&sample_batch, metrics)?;
+        let converted = self.convert(&sample_batch, metrics)?;
+        Ok(self.finish_batch(converted, metrics))
+    }
+
+    /// Runs convert + process over one coalesced columnar chunk — the unit
+    /// of compute work a streaming worker claims. Output is value-identical
+    /// to [`PhaseEngine::run_batch`] over the same rows.
+    ///
+    /// # Errors
+    ///
+    /// Propagates conversion errors.
+    pub fn run_batch_columnar(
+        &self,
+        rows: &ColumnarBatch,
+        metrics: &mut ReaderMetrics,
+    ) -> recd_core::Result<ConvertedBatch> {
+        let converted = self.convert_columnar(rows, metrics)?;
+        Ok(self.finish_batch(converted, metrics))
+    }
+
+    /// Shared tail of both `run_batch` flavors: the process phase plus the
+    /// batch-level accounting.
+    fn finish_batch(
+        &self,
+        mut converted: ConvertedBatch,
+        metrics: &mut ReaderMetrics,
+    ) -> ConvertedBatch {
         self.process(&mut converted, metrics);
         metrics.samples += converted.batch_size;
         metrics.batches += 1;
         metrics.egress_bytes += converted.sparse_payload_bytes() + converted.dense.payload_bytes();
-        Ok(converted)
+        converted
     }
 }

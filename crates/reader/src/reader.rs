@@ -131,10 +131,17 @@ impl ReaderNode {
         files: &[String],
     ) -> Result<ReaderOutput, Box<dyn std::error::Error + Send + Sync>> {
         let mut metrics = ReaderMetrics::default();
-        let rows = self.fill(store, schema, files, &mut metrics)?;
+        let rows = self
+            .engine
+            .fill_columnar(store, schema, files, &mut metrics)?;
+        let batch_size = self.engine.config().batch_size;
         let mut batches = Vec::new();
-        for chunk in rows.chunks(self.engine.config().batch_size) {
-            batches.push(self.engine.run_batch(chunk.to_vec(), &mut metrics)?);
+        let mut start = 0;
+        while start < rows.len() {
+            let end = (start + batch_size).min(rows.len());
+            let chunk = rows.slice_rows(start..end);
+            batches.push(self.engine.run_batch_columnar(&chunk, &mut metrics)?);
+            start = end;
         }
         Ok(ReaderOutput { batches, metrics })
     }

@@ -1,9 +1,9 @@
 //! The DWRF-like file: a sequence of compressed stripes plus a footer.
 
-use crate::stripe::{decode_stripe, encode_stripe, StripeStats};
+use crate::stripe::{decode_stripe, decode_stripe_columnar, encode_stripe, StripeStats};
 use crate::{Result, StorageError};
 use recd_codec::{varint, Hasher64};
-use recd_data::{Sample, Schema};
+use recd_data::{ColumnarBatch, Sample, Schema};
 use serde::{Deserialize, Serialize};
 
 /// Fingerprints a schema so a file records which schema wrote it.
@@ -79,16 +79,53 @@ impl DwrfFile {
         )
     }
 
+    /// Decodes one stripe into a [`ColumnarBatch`] (the flat fill path).
+    ///
+    /// # Errors
+    ///
+    /// Same error conditions as [`DwrfFile::read_stripe`].
+    pub fn read_stripe_columnar(&self, schema: &Schema, index: usize) -> Result<ColumnarBatch> {
+        self.check_schema(schema)?;
+        let footer = self
+            .stripes
+            .get(index)
+            .ok_or(StorageError::StripeOutOfRange {
+                index,
+                stripes: self.stripes.len(),
+            })?;
+        decode_stripe_columnar(
+            schema,
+            &self.body[footer.offset..footer.offset + footer.length],
+        )
+    }
+
     /// Decodes every stripe, returning all rows in file order.
     ///
     /// # Errors
     ///
     /// Same error conditions as [`DwrfFile::read_stripe`].
     pub fn read_all(&self, schema: &Schema) -> Result<Vec<Sample>> {
+        Ok(self.read_all_columnar(schema)?.into_samples())
+    }
+
+    /// Decodes every stripe into one concatenated [`ColumnarBatch`], in file
+    /// order, without materializing any row-wise samples.
+    ///
+    /// # Errors
+    ///
+    /// Same error conditions as [`DwrfFile::read_stripe`].
+    pub fn read_all_columnar(&self, schema: &Schema) -> Result<ColumnarBatch> {
         self.check_schema(schema)?;
-        let mut out = Vec::with_capacity(self.row_count());
+        let mut out = ColumnarBatch::with_capacity(
+            schema.dense_count(),
+            schema.sparse_count(),
+            self.row_count(),
+        );
         for i in 0..self.stripes.len() {
-            out.extend(self.read_stripe(schema, i)?);
+            let stripe = self.read_stripe_columnar(schema, i)?;
+            out.append(&stripe).map_err(|err| StorageError::Corrupt {
+                reason: err.to_string(),
+            })?;
         }
         Ok(out)
     }
@@ -251,6 +288,18 @@ mod tests {
         assert_eq!(stats.len(), file.stripe_count());
         assert_eq!(file.read_all(&schema).unwrap(), samples);
         assert_eq!(file.read_stripe(&schema, 0).unwrap(), samples[..32]);
+        // The columnar read path sees the same rows without per-row allocs.
+        let columnar = file.read_all_columnar(&schema).unwrap();
+        assert_eq!(columnar.len(), samples.len());
+        assert_eq!(columnar.to_samples(), samples);
+        assert_eq!(
+            file.read_stripe_columnar(&schema, 1).unwrap().to_samples(),
+            samples[32..64.min(samples.len())]
+        );
+        assert!(matches!(
+            file.read_stripe_columnar(&schema, 999),
+            Err(StorageError::StripeOutOfRange { .. })
+        ));
         assert!(matches!(
             file.read_stripe(&schema, 999),
             Err(StorageError::StripeOutOfRange { .. })

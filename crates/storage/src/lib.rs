@@ -32,7 +32,7 @@ pub mod tectonic;
 
 pub use error::StorageError;
 pub use file::{DwrfFile, DwrfWriter};
-pub use stripe::{decode_stripe, encode_stripe, StripeStats};
+pub use stripe::{decode_stripe, decode_stripe_columnar, encode_stripe, StripeStats};
 pub use table::{StorageReport, StoredPartition, TableStore};
 pub use tectonic::{BlobStats, TectonicSim};
 

@@ -3,7 +3,7 @@
 
 use crate::{Result, StorageError};
 use recd_codec::{delta, varint, Compressor};
-use recd_data::{RequestId, Sample, Schema, SessionId, Timestamp};
+use recd_data::{ColumnarBatch, Sample, Schema, SparseColumn};
 use serde::{Deserialize, Serialize};
 
 /// Byte accounting for one encoded stripe.
@@ -86,12 +86,19 @@ pub fn encode_stripe(schema: &Schema, samples: &[Sample]) -> (Vec<u8>, StripeSta
     (compressed, stats)
 }
 
-/// Decodes a stripe produced by [`encode_stripe`].
+/// Decodes a stripe produced by [`encode_stripe`] straight into a
+/// [`ColumnarBatch`] — the zero-copy fill path.
+///
+/// The stripe layout is already columnar, so every decoded stream lands in a
+/// flat buffer without materializing per-row `Vec`s: header columns move in
+/// as decoded, dense values are strided into one row-major buffer, and each
+/// sparse feature's value stream is *moved* (not copied) into its
+/// [`SparseColumn`] with offsets prefix-summed from the lengths stream.
 ///
 /// # Errors
 ///
 /// Returns a [`StorageError`] if decompression or any column decode fails.
-pub fn decode_stripe(schema: &Schema, block: &[u8]) -> Result<Vec<Sample>> {
+pub fn decode_stripe_columnar(schema: &Schema, block: &[u8]) -> Result<ColumnarBatch> {
     let buf = Compressor::Lz.decompress(block)?;
     let mut cursor = 0usize;
 
@@ -127,25 +134,26 @@ pub fn decode_stripe(schema: &Schema, block: &[u8]) -> Result<Vec<Sample>> {
         cursor += 4;
     }
 
-    let mut dense: Vec<Vec<f32>> = vec![Vec::with_capacity(schema.dense_count()); rows];
-    for _ in 0..schema.dense_count() {
-        for row in dense.iter_mut().take(rows) {
+    let dense_cols = schema.dense_count();
+    let mut dense = vec![0.0f32; rows * dense_cols];
+    for col in 0..dense_cols {
+        for row in 0..rows {
             if cursor + 4 > buf.len() {
                 return Err(StorageError::Corrupt {
                     reason: "dense column truncated".to_string(),
                 });
             }
-            row.push(f32::from_le_bytes([
+            dense[row * dense_cols + col] = f32::from_le_bytes([
                 buf[cursor],
                 buf[cursor + 1],
                 buf[cursor + 2],
                 buf[cursor + 3],
-            ]));
+            ]);
             cursor += 4;
         }
     }
 
-    let mut sparse: Vec<Vec<Vec<u64>>> = vec![Vec::with_capacity(schema.sparse_count()); rows];
+    let mut sparse = Vec::with_capacity(schema.sparse_count());
     for _ in schema.sparse_features() {
         let (lengths, used) = varint::decode_u64_slice(&buf[cursor..])?;
         cursor += used;
@@ -156,34 +164,33 @@ pub fn decode_stripe(schema: &Schema, block: &[u8]) -> Result<Vec<Sample>> {
                 reason: "sparse lengths column length mismatch".to_string(),
             });
         }
-        if lengths.iter().map(|&l| l as usize).sum::<usize>() != values.len() {
-            return Err(StorageError::Corrupt {
+        let column =
+            SparseColumn::from_lengths(values, &lengths).map_err(|_| StorageError::Corrupt {
                 reason: "sparse values column length mismatch".to_string(),
-            });
-        }
-        let mut offset = 0usize;
-        for (row, &len) in lengths.iter().enumerate() {
-            let len = len as usize;
-            sparse[row].push(values[offset..offset + len].to_vec());
-            offset += len;
-        }
+            })?;
+        sparse.push(column);
     }
 
-    let mut samples = Vec::with_capacity(rows);
-    for row in 0..rows {
-        samples.push(
-            Sample::builder(
-                SessionId::new(sessions[row]),
-                RequestId::new(requests[row]),
-                Timestamp::from_millis(timestamps[row]),
-            )
-            .label(labels[row])
-            .dense(std::mem::take(&mut dense[row]))
-            .sparse(std::mem::take(&mut sparse[row]))
-            .build(),
-        );
-    }
-    Ok(samples)
+    ColumnarBatch::from_parts(
+        sessions, requests, timestamps, labels, dense, dense_cols, sparse,
+    )
+    .map_err(|err| StorageError::Corrupt {
+        reason: err.to_string(),
+    })
+}
+
+/// Decodes a stripe produced by [`encode_stripe`] into row-wise samples.
+///
+/// This is a compatibility wrapper over [`decode_stripe_columnar`]: the
+/// columnar decode runs first (flat buffers only) and rows are materialized
+/// at the end, so even the row-wise path no longer builds intermediate
+/// vec-of-vec columns.
+///
+/// # Errors
+///
+/// Returns a [`StorageError`] if decompression or any column decode fails.
+pub fn decode_stripe(schema: &Schema, block: &[u8]) -> Result<Vec<Sample>> {
+    Ok(decode_stripe_columnar(schema, block)?.into_samples())
 }
 
 #[cfg(test)]
@@ -207,6 +214,35 @@ mod tests {
         assert!(stats.encoded_bytes >= stats.compressed_bytes);
         let decoded = decode_stripe(&schema, &block).unwrap();
         assert_eq!(decoded, stripe_rows);
+    }
+
+    #[test]
+    fn columnar_and_row_wise_decodes_agree() {
+        let (schema, samples) = partition();
+        let stripe_rows = &samples[..128.min(samples.len())];
+        let (block, _) = encode_stripe(&schema, stripe_rows);
+        let columnar = decode_stripe_columnar(&schema, &block).unwrap();
+        assert_eq!(columnar.len(), stripe_rows.len());
+        assert_eq!(columnar.dense_cols(), schema.dense_count());
+        assert_eq!(columnar.sparse_cols(), schema.sparse_count());
+        assert_eq!(columnar.to_samples(), stripe_rows);
+        // The columnar view reads individual rows without materializing them.
+        for (i, sample) in stripe_rows.iter().enumerate() {
+            assert_eq!(columnar.session_id(i), sample.session_id);
+            assert_eq!(columnar.labels()[i], sample.label);
+            for (f, list) in sample.sparse.iter().enumerate() {
+                assert_eq!(columnar.sparse_row(f, i), list.as_slice());
+            }
+        }
+    }
+
+    #[test]
+    fn corrupted_blocks_are_columnar_errors_too() {
+        let (schema, samples) = partition();
+        let (block, _) = encode_stripe(&schema, &samples[..16]);
+        for cut in [0, 1, block.len() / 2, block.len().saturating_sub(1)] {
+            assert!(decode_stripe_columnar(&schema, &block[..cut]).is_err());
+        }
     }
 
     #[test]

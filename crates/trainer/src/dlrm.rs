@@ -197,14 +197,14 @@ impl Dlrm {
     }
 
     /// Pools one feature for every row of the batch, honoring the execution
-    /// mode. Returns `(per-row pooled vectors, stats update)`.
+    /// mode. Returns the per-row pooled vectors as one flat matrix.
     fn pool_feature(
         &mut self,
         feature: FeatureId,
         batch: &ConvertedBatch,
         mode: ExecutionMode,
         stats: &mut ForwardStats,
-    ) -> Vec<Vec<f32>> {
+    ) -> PooledRows {
         let dim = self.config.embedding_dim;
         let kind = *self.pooling.get(&feature).unwrap_or(&PoolingKind::Sum);
         let table = self
@@ -229,15 +229,24 @@ impl Dlrm {
                     pool_rows(table, kind, &expanded, dim, stats)
                 }
                 ExecutionMode::Deduplicated => {
-                    // Process each slot once, then broadcast (O5 + O7).
+                    // Process each slot once, then broadcast (O5 + O7). The
+                    // expansion is an offset-based slice copy through the
+                    // inverse lookup — no per-row Vec is cloned.
                     let per_slot = pool_rows(table, kind, slot_tensor, dim, stats);
-                    ikjt.expand_per_slot(&per_slot)
-                        .expect("slot count matches pooled outputs")
+                    PooledRows {
+                        data: ikjt
+                            .expand_per_slot_concat(&per_slot.data, dim)
+                            .expect("slot count matches pooled outputs"),
+                        dim,
+                    }
                 }
             };
         }
         // Feature absent from the batch: pool to zeros.
-        vec![vec![0.0; dim]; batch.batch_size]
+        PooledRows {
+            data: vec![0.0; batch.batch_size * dim],
+            dim,
+        }
     }
 
     /// Forward pass over a converted batch, returning per-row click
@@ -281,7 +290,7 @@ impl Dlrm {
             .iter()
             .map(|&(f, _)| f)
             .collect();
-        let mut pooled_per_feature: Vec<Vec<Vec<f32>>> = Vec::with_capacity(features.len());
+        let mut pooled_per_feature: Vec<PooledRows> = Vec::with_capacity(features.len());
         for &feature in &features {
             pooled_per_feature.push(self.pool_feature(feature, batch, mode, &mut stats));
         }
@@ -290,12 +299,12 @@ impl Dlrm {
         let mut probs = Vec::with_capacity(batch_size);
         let mut top_acts = Vec::with_capacity(batch_size);
         let mut interaction_inputs = Vec::with_capacity(batch_size);
-        for row in 0..batch_size {
-            let bottom_out = bottom_acts[row].last().expect("bottom output").clone();
+        for (row, bottom_act) in bottom_acts.iter().enumerate() {
+            let bottom_out = bottom_act.last().expect("bottom output").clone();
             let mut vectors: Vec<&[f32]> = Vec::with_capacity(features.len() + 1);
             vectors.push(&bottom_out);
             for pooled in &pooled_per_feature {
-                vectors.push(&pooled[row]);
+                vectors.push(pooled.row(row));
             }
             let interaction = pairwise_dot_interaction(&vectors, dim);
             stats.mlp_flops += (vectors.len() * vectors.len() / 2) as u64 * dim as u64;
@@ -305,7 +314,10 @@ impl Dlrm {
             top_acts.push(acts);
             interaction_inputs.push(InteractionInput {
                 bottom_out,
-                pooled: pooled_per_feature.iter().map(|p| p[row].clone()).collect(),
+                pooled: pooled_per_feature
+                    .iter()
+                    .map(|p| p.row(row).to_vec())
+                    .collect(),
             });
         }
         stats.mlp_flops += self.top.flops() * batch_size as u64;
@@ -414,6 +426,20 @@ fn row_ids(batch: &ConvertedBatch, feature: FeatureId, row: usize) -> Vec<u64> {
     Vec::new()
 }
 
+/// Pooled vectors for a run of rows (or slots), stored as one flat
+/// `[rows * dim]` matrix instead of a `Vec` per row.
+struct PooledRows {
+    data: Vec<f32>,
+    dim: usize,
+}
+
+impl PooledRows {
+    /// Borrows the pooled vector of row `i`.
+    fn row(&self, i: usize) -> &[f32] {
+        &self.data[i * self.dim..(i + 1) * self.dim]
+    }
+}
+
 /// Pools every row of a jagged tensor through one embedding table.
 fn pool_rows(
     table: &mut EmbeddingTable,
@@ -421,8 +447,8 @@ fn pool_rows(
     tensor: &JaggedTensor<u64>,
     dim: usize,
     stats: &mut ForwardStats,
-) -> Vec<Vec<f32>> {
-    let mut out = Vec::with_capacity(tensor.row_count());
+) -> PooledRows {
+    let mut out = Vec::with_capacity(tensor.row_count() * dim);
     for row in tensor.iter() {
         stats.emb_lookups += row.len() as u64;
         stats.activation_values += row.len() * dim;
@@ -440,9 +466,9 @@ fn pool_rows(
             }
         };
         stats.pooled_rows += 1;
-        out.push(pooled);
+        out.extend_from_slice(&pooled);
     }
-    out
+    PooledRows { data: out, dim }
 }
 
 /// DLRM pairwise-dot interaction: concatenates the first vector with the dot

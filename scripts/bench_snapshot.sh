@@ -1,0 +1,72 @@
+#!/usr/bin/env bash
+# Regenerates BENCH_pipeline.json: runs the convert-path criterion benches
+# (the offline criterion shim prints one mean per benchmark) and parses the
+# output into a JSON snapshot, so the repo's performance trajectory has a
+# commit-anchored record. Run from anywhere inside the repo:
+#
+#   scripts/bench_snapshot.sh
+#
+# The snapshot includes derived speedups for the columnar-vs-rowwise pairs
+# the README's Performance section quotes.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+out=BENCH_pipeline.json
+raw=$(mktemp)
+trap 'rm -f "$raw"' EXIT
+
+echo "running convert-path benches (this takes a minute)..." >&2
+cargo bench -p recd-bench --bench columnar --bench dedup_conversion 2>/dev/null \
+  | grep 'time:' > "$raw"
+
+# Normalizes one shim output line to "name mean_ns [throughput...]".
+normalize() {
+  awk '{
+    name = $1
+    v = 0; u = ""; thrpt = ""
+    for (i = 2; i <= NF; i++) {
+      if ($i == "time:")  { v = $(i + 1); u = $(i + 2) }
+      if ($i == "thrpt:") { thrpt = $(i + 1) " " $(i + 2) }
+    }
+    mult = 1
+    if (u == "s")  mult = 1e9
+    if (u == "ms") mult = 1e6
+    if (u == "µs") mult = 1e3
+    printf "%s %.1f %s\n", name, v * mult, thrpt
+  }' "$raw"
+}
+
+mean_ns() {
+  normalize | awk -v n="$1" '$1 == n { print $2 }' | head -1
+}
+
+ratio() {
+  awk -v a="$1" -v b="$2" 'BEGIN { if (b > 0) printf "%.2f", a / b; else printf "0" }'
+}
+
+convert_row=$(mean_ns "datagen_convert_512/rowwise")
+convert_col=$(mean_ns "datagen_convert_512/columnar")
+fill_row=$(mean_ns "pipeline_fill_convert/rowwise")
+fill_col=$(mean_ns "pipeline_fill_convert/columnar")
+
+{
+  echo '{'
+  echo '  "schema_version": 1,'
+  echo "  \"generated_utc\": \"$(date -u +%Y-%m-%dT%H:%M:%SZ)\","
+  echo "  \"git_rev\": \"$(git rev-parse --short HEAD 2>/dev/null || echo unknown)\","
+  echo '  "command": "scripts/bench_snapshot.sh (cargo bench -p recd-bench --bench columnar --bench dedup_conversion)",'
+  echo '  "derived": {'
+  echo "    \"datagen_convert_512_speedup_columnar_vs_rowwise\": $(ratio "$convert_row" "$convert_col"),"
+  echo "    \"pipeline_fill_convert_speedup_columnar_vs_rowwise\": $(ratio "$fill_row" "$fill_col")"
+  echo '  },'
+  echo '  "benches": ['
+  normalize | awk '{
+    line = sprintf("    {\"name\": \"%s\", \"mean_ns\": %s", $1, $2)
+    if (NF >= 4) line = line sprintf(", \"throughput\": \"%s %s\"", $3, $4)
+    print line "},"
+  }' | sed '$ s/},$/}/'
+  echo '  ]'
+  echo '}'
+} > "$out"
+
+echo "wrote $out" >&2

@@ -4,11 +4,51 @@ use proptest::collection::vec;
 use proptest::prelude::*;
 use recd::codec::{delta, dict, rle, varint, Compressor};
 use recd::core::{
-    jagged_index_select, InverseKeyedJaggedTensor, JaggedTensor, KeyedJaggedTensor, PartialIkjt,
+    jagged_index_select, DataLoaderConfig, FeatureConverter, InverseKeyedJaggedTensor,
+    JaggedTensor, KeyedJaggedTensor, PartialIkjt,
 };
-use recd::data::{FeatureId, RequestId, Sample, SessionId, Timestamp};
+use recd::data::{ColumnarBatch, FeatureId, RequestId, Sample, SampleBatch, SessionId, Timestamp};
 use recd::etl::cluster_by_session;
-use recd::storage::{decode_stripe, encode_stripe};
+use recd::storage::{decode_stripe, decode_stripe_columnar, encode_stripe};
+
+/// One drawn duplication tuple: `(session, f0, f1)`.
+type DupTuple = (u64, Vec<u64>, Vec<u64>);
+
+/// Strategy for a batch of samples with a controlled duplication profile:
+/// `dup_factor` consecutive rows share each drawn feature tuple, so low
+/// factors exercise the all-distinct path and high factors the
+/// mostly-duplicate path. Each drawn tuple is `(session, f0, f1)` with `f0`
+/// wide (up to 10 ids) and `f1` narrow (up to 3 ids).
+fn dup_batch_strategy() -> impl Strategy<Value = (usize, Vec<DupTuple>)> {
+    (1usize..6).prop_flat_map(|dup_factor| {
+        (
+            dup_factor..=dup_factor,
+            vec((0u64..8, vec(0u64..40, 0..10), vec(0u64..40, 0..3)), 1..20),
+        )
+    })
+}
+
+/// Expands a drawn duplication profile into concrete samples.
+fn dup_samples(dup_factor: usize, tuples: &[DupTuple]) -> Vec<Sample> {
+    let mut samples = Vec::with_capacity(dup_factor * tuples.len());
+    for (i, (session, f0, f1)) in tuples.iter().enumerate() {
+        for r in 0..dup_factor {
+            let request = (i * dup_factor + r) as u64;
+            samples.push(
+                Sample::builder(
+                    SessionId::new(*session),
+                    RequestId::new(request),
+                    Timestamp::from_millis(request * 3),
+                )
+                .label((request % 2) as f32)
+                .dense(vec![request as f32, *session as f32])
+                .sparse(vec![f0.clone(), f1.clone()])
+                .build(),
+            );
+        }
+    }
+    samples
+}
 
 /// Strategy for a batch of rows for one feature: ids drawn from a small
 /// alphabet so duplicates are common, with empty rows allowed.
@@ -94,6 +134,76 @@ proptest! {
         let (decoded, _) = dict::decode(&dict::encode(&values)).unwrap();
         prop_assert_eq!(&decoded, &values);
         prop_assert_eq!(Compressor::Lz.decompress(&Compressor::Lz.compress(&bytes)).unwrap(), bytes);
+    }
+
+    /// Columnar decode ⇄ row-wise decode equivalence: for any
+    /// schema-conforming stripe, `decode_stripe_columnar` sees exactly the
+    /// rows `decode_stripe` sees, and the columnar batch round trips
+    /// losslessly through row-wise samples.
+    #[test]
+    fn columnar_decode_matches_row_wise_decode(
+        (dup_factor, tuples) in dup_batch_strategy()
+    ) {
+        let schema = recd::data::Schema::builder()
+            .dense("d0")
+            .dense("d1")
+            .dedup_groups(1)
+            .sparse_with("f0", recd::data::FeatureClass::User, 4.0, 0.9, 1 << 20, 64,
+                Some(recd::data::DedupGroupId::new(0)))
+            .sparse("f1", recd::data::FeatureClass::Item, 2.0, 0.1, 1 << 20)
+            .build()
+            .unwrap();
+        let samples = dup_samples(dup_factor, &tuples);
+        let (block, _) = encode_stripe(&schema, &samples);
+
+        let row_wise = decode_stripe(&schema, &block).unwrap();
+        let columnar = decode_stripe_columnar(&schema, &block).unwrap();
+        prop_assert_eq!(columnar.len(), row_wise.len());
+        prop_assert_eq!(columnar.to_samples(), row_wise.clone());
+        prop_assert_eq!(row_wise, samples.clone());
+        // The columnar form agrees with direct conversion from samples.
+        prop_assert_eq!(
+            columnar,
+            ColumnarBatch::from_samples(&samples, schema.dense_count(), schema.sparse_count())
+        );
+    }
+
+    /// `dedup_from_columnar` ⇄ `dedup_from_batch` produce identical IKJTs —
+    /// same slots, same inverse lookup, same tensors — across random
+    /// dup-factor distributions, and the full columnar conversion is
+    /// value-identical to the row-wise conversion.
+    #[test]
+    fn columnar_dedup_and_convert_match_row_wise(
+        (dup_factor, tuples) in dup_batch_strategy()
+    ) {
+        let samples = dup_samples(dup_factor, &tuples);
+        let batch: SampleBatch = samples.iter().cloned().collect();
+        let columnar = ColumnarBatch::from_samples(&samples, 2, 2);
+
+        for group in [vec![FeatureId::new(0)], vec![FeatureId::new(0), FeatureId::new(1)]] {
+            let from_batch = InverseKeyedJaggedTensor::dedup_from_batch(&batch, &group).unwrap();
+            let from_columnar =
+                InverseKeyedJaggedTensor::dedup_from_columnar(&columnar, &group).unwrap();
+            prop_assert_eq!(&from_batch, &from_columnar);
+            prop_assert!(from_columnar.check_invariants().is_ok());
+            // Duplicated tuples must actually share slots.
+            prop_assert!(from_columnar.slot_count() <= tuples.len().max(1));
+            prop_assert_eq!(from_batch.to_kjt().unwrap(), from_columnar.to_kjt().unwrap());
+        }
+
+        let config = DataLoaderConfig::new()
+            .with_kjt_features([FeatureId::new(1)])
+            .with_dedup_group([FeatureId::new(0)])
+            .with_dense_features(2);
+        let converter = FeatureConverter::new(config);
+        prop_assert_eq!(
+            converter.convert(&batch).unwrap(),
+            converter.convert_columnar(&columnar).unwrap()
+        );
+        prop_assert_eq!(
+            converter.convert_baseline(&batch).unwrap(),
+            converter.convert_columnar_baseline(&columnar).unwrap()
+        );
     }
 
     /// Stripe encoding round trips arbitrary (schema-conforming) samples, and
