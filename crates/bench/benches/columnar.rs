@@ -10,6 +10,7 @@ use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criteri
 use recd_bench::BenchFixture;
 use recd_core::{DataLoaderConfig, FeatureConverter, InverseKeyedJaggedTensor};
 use recd_data::{ColumnarBatch, FeatureId, RequestId, Sample, SampleBatch, SessionId, Timestamp};
+use recd_reader::PreprocessPipeline;
 use recd_storage::{decode_stripe, decode_stripe_columnar, encode_stripe};
 
 const BATCH: usize = 512;
@@ -210,11 +211,45 @@ fn bench_fill_convert_datagen(c: &mut Criterion) {
     group.finish();
 }
 
+/// Process phase (O4) on the default datagen workload: the flat in-place
+/// transform path vs the row-wise allocate-per-apply reference, over both a
+/// baseline (KJT-only) batch and a deduplicated (IKJT) batch. The
+/// `rowwise/baseline` ÷ `flat/baseline` ratio is the headline
+/// `process_speedup_flat_vs_rowwise` metric in `BENCH_pipeline.json`.
+fn bench_preprocess(c: &mut Criterion) {
+    let fixture = BenchFixture::new(80);
+    let baseline = fixture.baseline_batch(BATCH);
+    let dedup = fixture.dedup_batch(BATCH);
+    let pipeline = PreprocessPipeline::standard(1 << 20, 64);
+
+    let mut group = c.benchmark_group("preprocess");
+    group.sample_size(20);
+    for (name, batch) in [("baseline", &baseline), ("dedup", &dedup)] {
+        group.throughput(Throughput::Elements(batch.stored_sparse_values() as u64));
+        group.bench_with_input(BenchmarkId::new("rowwise", name), batch, |b, batch| {
+            b.iter_batched(
+                || batch.clone(),
+                |mut batch| pipeline.apply_rowwise(black_box(&mut batch)),
+                criterion::BatchSize::LargeInput,
+            )
+        });
+        group.bench_with_input(BenchmarkId::new("flat", name), batch, |b, batch| {
+            b.iter_batched(
+                || batch.clone(),
+                |mut batch| pipeline.apply(black_box(&mut batch)),
+                criterion::BatchSize::LargeInput,
+            )
+        });
+    }
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_convert_scenarios,
     bench_dedup_scenarios,
     bench_convert_datagen,
-    bench_fill_convert_datagen
+    bench_fill_convert_datagen,
+    bench_preprocess
 );
 criterion_main!(benches);

@@ -36,8 +36,23 @@ pub fn encode(values: &[u64]) -> Vec<u8> {
 ///
 /// Returns a [`CodecError`](crate::CodecError) if the stream is truncated.
 pub fn decode(input: &[u8]) -> Result<(Vec<u64>, usize)> {
+    let mut values = Vec::new();
+    let cursor = decode_into(input, &mut values)?;
+    Ok((values, cursor))
+}
+
+/// Decodes a stream produced by [`encode`] into a caller-provided buffer,
+/// clearing it first, and returns the number of bytes consumed — the
+/// allocation-free variant of [`decode`] for callers that recycle buffers
+/// across streams.
+///
+/// # Errors
+///
+/// Returns a [`CodecError`](crate::CodecError) if the stream is truncated.
+pub fn decode_into(input: &[u8], values: &mut Vec<u64>) -> Result<usize> {
     let (len, mut cursor) = varint::decode_u64(input)?;
-    let mut values = Vec::with_capacity(len as usize);
+    values.clear();
+    values.reserve(len as usize);
     let mut prev: u64 = 0;
     for i in 0..len {
         if i == 0 {
@@ -51,7 +66,7 @@ pub fn decode(input: &[u8]) -> Result<(Vec<u64>, usize)> {
         }
         values.push(prev);
     }
-    Ok((values, cursor))
+    Ok(cursor)
 }
 
 #[cfg(test)]

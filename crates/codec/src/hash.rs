@@ -84,7 +84,7 @@ impl Default for Hasher64 {
 
 /// SplitMix64-style finalizer: guarantees every input bit affects every
 /// output bit.
-fn finalize(mut x: u64) -> u64 {
+const fn finalize(mut x: u64) -> u64 {
     x ^= x >> 30;
     x = x.wrapping_mul(0xbf58_476d_1ce4_e5b9);
     x ^= x >> 27;
@@ -93,6 +93,25 @@ fn finalize(mut x: u64) -> u64 {
     x
 }
 
+/// FNV-1a over the little-endian bytes of one `u64`, starting from `state` —
+/// the const-evaluable core of [`Hasher64::write_u64`].
+const fn fnv_write_u64(mut state: u64, value: u64) -> u64 {
+    let bytes = value.to_le_bytes();
+    let mut i = 0;
+    while i < 8 {
+        state ^= bytes[i] as u64;
+        state = state.wrapping_mul(FNV_PRIME);
+        i += 1;
+    }
+    state
+}
+
+/// The hash state shared by every single-id digest: the FNV basis after the
+/// length prefix `1u64` has been mixed in. Precomputing it lets
+/// [`hash_id`] skip half of the byte mixing that
+/// `hash_ids(&[id])` would redo on every call.
+const SINGLE_ID_PREFIX: u64 = fnv_write_u64(FNV_OFFSET, 1);
+
 /// Hashes a byte slice to a 64-bit digest.
 pub fn hash_bytes(bytes: &[u8]) -> u64 {
     let mut h = Hasher64::new();
@@ -100,11 +119,23 @@ pub fn hash_bytes(bytes: &[u8]) -> u64 {
     h.finish()
 }
 
+/// Hashes a single id to the exact digest `hash_ids(&[id])` produces, with
+/// no slice round-trip and the length prefix folded into a precomputed
+/// constant — the fast path for per-value transforms such as hash
+/// bucketization.
+pub const fn hash_id(id: u64) -> u64 {
+    finalize(fnv_write_u64(SINGLE_ID_PREFIX, id))
+}
+
 /// Hashes a slice of ids (an id-list feature value) to a 64-bit digest.
 ///
 /// The length is mixed in first so that `[1, 2]` and `[1, 2, 0]`-style
-/// prefix collisions cannot hash equal by accident.
+/// prefix collisions cannot hash equal by accident. Single-id slices
+/// delegate to [`hash_id`], so the two entry points always agree.
 pub fn hash_ids(ids: &[u64]) -> u64 {
+    if let [id] = ids {
+        return hash_id(*id);
+    }
     let mut h = Hasher64::new();
     h.write_u64(ids.len() as u64);
     for &id in ids {
@@ -130,6 +161,23 @@ mod tests {
     fn length_is_mixed_into_id_hash() {
         assert_ne!(hash_ids(&[]), hash_ids(&[0]));
         assert_ne!(hash_ids(&[1, 2]), hash_ids(&[1, 2, 0]));
+    }
+
+    #[test]
+    fn hash_id_matches_slice_digest() {
+        // `hash_id` must be bit-identical to the streaming hasher fed a
+        // one-element slice, for any id — otherwise bucketization digests
+        // would drift between the row-wise and flat transform paths.
+        for id in [0u64, 1, 42, 1 << 20, u32::MAX as u64, u64::MAX] {
+            let mut h = Hasher64::new();
+            h.write_u64(1);
+            h.write_u64(id);
+            assert_eq!(hash_id(id), h.finish());
+            assert_eq!(hash_id(id), hash_ids(&[id]));
+        }
+        // Const evaluation works too.
+        const DIGEST: u64 = hash_id(7);
+        assert_eq!(DIGEST, hash_ids(&[7]));
     }
 
     #[test]

@@ -50,7 +50,7 @@ use std::error::Error;
 use std::fmt;
 
 pub use dict::Dictionary;
-pub use hash::{hash_bytes, hash_ids, Hasher64};
+pub use hash::{hash_bytes, hash_id, hash_ids, Hasher64};
 
 /// Errors produced when decoding or decompressing malformed input.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -142,6 +142,24 @@ impl Compressor {
         match self {
             Compressor::None => Ok(data.to_vec()),
             Compressor::Lz => lz::decompress(data),
+        }
+    }
+
+    /// Decompresses a block into a caller-provided buffer, clearing it
+    /// first — the allocation-free variant of [`Compressor::decompress`]
+    /// for callers that recycle a scratch buffer across blocks.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`CodecError`] if the block is truncated or corrupted.
+    pub fn decompress_into(self, data: &[u8], out: &mut Vec<u8>) -> Result<()> {
+        match self {
+            Compressor::None => {
+                out.clear();
+                out.extend_from_slice(data);
+                Ok(())
+            }
+            Compressor::Lz => lz::decompress_into(data, out),
         }
     }
 }

@@ -99,9 +99,24 @@ pub fn compress(data: &[u8]) -> Vec<u8> {
 /// data before the start of the output, or the declared length does not match
 /// the decoded content.
 pub fn decompress(data: &[u8]) -> Result<Vec<u8>> {
+    let mut out = Vec::new();
+    decompress_into(data, &mut out)?;
+    Ok(out)
+}
+
+/// Decompresses a block produced by [`compress`] into a caller-provided
+/// buffer, clearing it first — the allocation-free variant of
+/// [`decompress`] for callers that recycle a scratch buffer across blocks.
+/// On error the buffer contents are unspecified.
+///
+/// # Errors
+///
+/// Same error conditions as [`decompress`].
+pub fn decompress_into(data: &[u8], out: &mut Vec<u8>) -> Result<()> {
     let (expected_len, mut cursor) = varint::decode_u64(data)?;
     let expected_len = expected_len as usize;
-    let mut out: Vec<u8> = Vec::with_capacity(expected_len);
+    out.clear();
+    out.reserve(expected_len);
 
     while out.len() < expected_len {
         let (literal_len, used) = varint::decode_u64(&data[cursor..])?;
@@ -149,7 +164,7 @@ pub fn decompress(data: &[u8]) -> Result<Vec<u8>> {
             actual: out.len(),
         });
     }
-    Ok(out)
+    Ok(())
 }
 
 #[cfg(test)]

@@ -92,14 +92,29 @@ pub fn encode_u64_slice(values: &[u64]) -> Vec<u8> {
 ///
 /// Returns a [`CodecError`] if the stream is truncated or malformed.
 pub fn decode_u64_slice(input: &[u8]) -> Result<(Vec<u64>, usize)> {
+    let mut values = Vec::new();
+    let cursor = decode_u64_slice_into(input, &mut values)?;
+    Ok((values, cursor))
+}
+
+/// Decodes a slice previously produced by [`encode_u64_slice`] into a
+/// caller-provided buffer, clearing it first, and returns the number of
+/// bytes consumed — the allocation-free variant of [`decode_u64_slice`] for
+/// callers that recycle buffers across streams.
+///
+/// # Errors
+///
+/// Returns a [`CodecError`] if the stream is truncated or malformed.
+pub fn decode_u64_slice_into(input: &[u8], values: &mut Vec<u64>) -> Result<usize> {
     let (len, mut cursor) = decode_u64(input)?;
-    let mut values = Vec::with_capacity(len as usize);
+    values.clear();
+    values.reserve(len as usize);
     for _ in 0..len {
         let (v, used) = decode_u64(&input[cursor..])?;
         values.push(v);
         cursor += used;
     }
-    Ok((values, cursor))
+    Ok(cursor)
 }
 
 #[cfg(test)]

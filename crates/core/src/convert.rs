@@ -111,7 +111,11 @@ impl DataLoaderConfig {
 
 /// The output of feature conversion for one batch: dense features, labels,
 /// the KJT of non-deduplicated features, and one IKJT per dedup group.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+///
+/// The `Default` value is an empty zero-row batch — the shell a buffer pool
+/// hands to [`FeatureConverter::convert_columnar_into`], which overwrites
+/// every field while reusing the underlying allocations.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
 pub struct ConvertedBatch {
     /// Number of samples in the batch.
     pub batch_size: usize,
@@ -199,12 +203,19 @@ impl ConvertedBatch {
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct FeatureConverter {
     config: DataLoaderConfig,
+    /// Every configured sparse feature, cached once so the baseline
+    /// conversion paths don't re-collect the list per batch.
+    all_features: Vec<FeatureId>,
 }
 
 impl FeatureConverter {
     /// Creates a converter for the given configuration.
     pub fn new(config: DataLoaderConfig) -> Self {
-        Self { config }
+        let all_features = config.all_sparse_features().collect();
+        Self {
+            config,
+            all_features,
+        }
     }
 
     /// Borrows the configuration.
@@ -246,10 +257,9 @@ impl FeatureConverter {
     ///
     /// Same error conditions as [`FeatureConverter::convert`].
     pub fn convert_baseline(&self, batch: &SampleBatch) -> Result<ConvertedBatch> {
-        let all: Vec<FeatureId> = self.config.all_sparse_features().collect();
         let labels = batch.iter().map(|s| s.label).collect();
         let dense = DenseMatrix::from_batch(batch, self.config.dense_features);
-        let kjt = KeyedJaggedTensor::from_batch(batch, &all)?;
+        let kjt = KeyedJaggedTensor::from_batch(batch, &self.all_features)?;
         Ok(ConvertedBatch {
             batch_size: batch.len(),
             labels,
@@ -269,23 +279,43 @@ impl FeatureConverter {
     ///
     /// Same error conditions as [`FeatureConverter::convert`].
     pub fn convert_columnar(&self, batch: &ColumnarBatch) -> Result<ConvertedBatch> {
+        let mut out = ConvertedBatch::default();
+        self.convert_columnar_into(batch, &mut crate::DedupScratch::default(), &mut out)?;
+        Ok(out)
+    }
+
+    /// Converts one columnar batch into a caller-provided (typically
+    /// recycled) [`ConvertedBatch`], reusing its label, dense, KJT, and
+    /// IKJT buffers — the buffer-reusing variant of
+    /// [`FeatureConverter::convert_columnar`] that the streaming compute
+    /// workers run with a long-lived [`DedupScratch`](crate::DedupScratch).
+    /// The result is value-identical to [`FeatureConverter::convert_columnar`]
+    /// regardless of what the shell previously held.
+    ///
+    /// # Errors
+    ///
+    /// Same error conditions as [`FeatureConverter::convert`]; on error the
+    /// shell's contents are unspecified.
+    pub fn convert_columnar_into(
+        &self,
+        batch: &ColumnarBatch,
+        scratch: &mut crate::DedupScratch,
+        out: &mut ConvertedBatch,
+    ) -> Result<()> {
         self.config.validate()?;
-        let labels = batch.labels().to_vec();
-        let dense = DenseMatrix::from_columnar(batch, self.config.dense_features);
-        let kjt = KeyedJaggedTensor::from_columnar(batch, &self.config.kjt_features)?;
-        let ikjts = self
-            .config
-            .dedup_groups
-            .iter()
-            .map(|group| InverseKeyedJaggedTensor::dedup_from_columnar(batch, group))
-            .collect::<Result<Vec<_>>>()?;
-        Ok(ConvertedBatch {
-            batch_size: batch.len(),
-            labels,
-            dense,
-            kjt,
-            ikjts,
-        })
+        out.batch_size = batch.len();
+        out.labels.clear();
+        out.labels.extend_from_slice(batch.labels());
+        out.dense
+            .assign_from_columnar(batch, self.config.dense_features);
+        out.kjt
+            .assign_from_columnar(batch, &self.config.kjt_features)?;
+        out.ikjts
+            .resize_with(self.config.dedup_groups.len(), Default::default);
+        for (group, ikjt) in self.config.dedup_groups.iter().zip(&mut out.ikjts) {
+            InverseKeyedJaggedTensor::dedup_from_columnar_into(batch, group, scratch, ikjt)?;
+        }
+        Ok(())
     }
 
     /// Converts a columnar batch without any deduplication — the flat
@@ -295,17 +325,32 @@ impl FeatureConverter {
     ///
     /// Same error conditions as [`FeatureConverter::convert`].
     pub fn convert_columnar_baseline(&self, batch: &ColumnarBatch) -> Result<ConvertedBatch> {
-        let all: Vec<FeatureId> = self.config.all_sparse_features().collect();
-        let labels = batch.labels().to_vec();
-        let dense = DenseMatrix::from_columnar(batch, self.config.dense_features);
-        let kjt = KeyedJaggedTensor::from_columnar(batch, &all)?;
-        Ok(ConvertedBatch {
-            batch_size: batch.len(),
-            labels,
-            dense,
-            kjt,
-            ikjts: Vec::new(),
-        })
+        let mut out = ConvertedBatch::default();
+        self.convert_columnar_baseline_into(batch, &mut out)?;
+        Ok(out)
+    }
+
+    /// Converts a columnar batch without deduplication into a recycled
+    /// shell — the buffer-reusing variant of
+    /// [`FeatureConverter::convert_columnar_baseline`].
+    ///
+    /// # Errors
+    ///
+    /// Same error conditions as [`FeatureConverter::convert`]; on error the
+    /// shell's contents are unspecified.
+    pub fn convert_columnar_baseline_into(
+        &self,
+        batch: &ColumnarBatch,
+        out: &mut ConvertedBatch,
+    ) -> Result<()> {
+        out.batch_size = batch.len();
+        out.labels.clear();
+        out.labels.extend_from_slice(batch.labels());
+        out.dense
+            .assign_from_columnar(batch, self.config.dense_features);
+        out.kjt.assign_from_columnar(batch, &self.all_features)?;
+        out.ikjts.clear();
+        Ok(())
     }
 }
 

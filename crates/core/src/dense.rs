@@ -58,20 +58,29 @@ impl DenseMatrix {
     /// this is a single flat buffer copy; otherwise rows are zero-padded or
     /// truncated like [`DenseMatrix::from_batch`].
     pub fn from_columnar(batch: &ColumnarBatch, cols: usize) -> Self {
+        let mut m = Self::default();
+        m.assign_from_columnar(batch, cols);
+        m
+    }
+
+    /// Refills the matrix from a columnar batch, reusing its existing
+    /// buffer — the allocation-free counterpart of
+    /// [`DenseMatrix::from_columnar`] for recycled
+    /// [`ConvertedBatch`](crate::ConvertedBatch) shells.
+    pub fn assign_from_columnar(&mut self, batch: &ColumnarBatch, cols: usize) {
+        self.rows = batch.len();
+        self.cols = cols;
+        self.data.clear();
         if batch.dense_cols() == cols {
-            return Self {
-                data: batch.dense_values().to_vec(),
-                rows: batch.len(),
-                cols,
-            };
+            self.data.extend_from_slice(batch.dense_values());
+            return;
         }
-        let mut m = Self::zeros(batch.len(), cols);
+        self.data.resize(batch.len() * cols, 0.0);
         for i in 0..batch.len() {
             let row = batch.dense_row(i);
             let n = row.len().min(cols);
-            m.data[i * cols..i * cols + n].copy_from_slice(&row[..n]);
+            self.data[i * cols..i * cols + n].copy_from_slice(&row[..n]);
         }
-        m
     }
 
     /// Number of rows.

@@ -12,7 +12,20 @@ use serde::{Deserialize, Serialize};
 /// Sentinel marking an unoccupied [`DedupTable`] bucket.
 const EMPTY_SLOT: usize = usize::MAX;
 
-/// A flat open-addressing `(digest, slot)` table sized once per batch.
+/// Reusable scratch buffers for batch deduplication: the per-row hashers
+/// and digests plus the open-addressing table's storage. A compute worker
+/// holds one `DedupScratch` for its whole lifetime, so steady-state
+/// deduplication allocates nothing beyond buffer growth.
+#[derive(Debug, Default, Clone)]
+pub struct DedupScratch {
+    hashers: Vec<Hasher64>,
+    digests: Vec<u64>,
+    table_digests: Vec<u64>,
+    table_slots: Vec<usize>,
+}
+
+/// A flat open-addressing `(digest, slot)` table sized once per batch, over
+/// storage borrowed from a [`DedupScratch`].
 ///
 /// This replaces the previous `HashMap<u64, Vec<usize>>` candidate index: no
 /// per-digest `Vec` is ever allocated, probing is a linear scan over one
@@ -20,19 +33,24 @@ const EMPTY_SLOT: usize = usize::MAX;
 /// up front it never rehashes. Digest collisions are harmless: every
 /// candidate is confirmed with a full row-equality check, and a failed check
 /// simply continues the probe.
-struct DedupTable {
-    digests: Vec<u64>,
-    slots: Vec<usize>,
+struct DedupTable<'a> {
+    digests: &'a mut [u64],
+    slots: &'a mut [usize],
     mask: usize,
 }
 
-impl DedupTable {
-    /// Creates a table with room for `rows` insertions at ≤50% load.
-    fn for_rows(rows: usize) -> Self {
+impl<'a> DedupTable<'a> {
+    /// Resets the borrowed scratch storage with room for `rows` insertions
+    /// at ≤50% load.
+    fn for_rows(digests: &'a mut Vec<u64>, slots: &'a mut Vec<usize>, rows: usize) -> Self {
         let capacity = rows.saturating_mul(2).next_power_of_two().max(8);
+        digests.clear();
+        digests.resize(capacity, 0);
+        slots.clear();
+        slots.resize(capacity, EMPTY_SLOT);
         Self {
-            digests: vec![0; capacity],
-            slots: vec![EMPTY_SLOT; capacity],
+            digests,
+            slots,
             mask: capacity - 1,
         }
     }
@@ -93,7 +111,7 @@ impl DedupTable {
 /// assert_eq!(ikjt.to_kjt()?, kjt); // lossless
 /// # Ok::<(), recd_core::CoreError>(())
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
 pub struct InverseKeyedJaggedTensor {
     keys: Vec<FeatureId>,
     tensors: Vec<JaggedTensor<u64>>,
@@ -166,6 +184,44 @@ impl InverseKeyedJaggedTensor {
         }))
     }
 
+    /// Deduplicates a feature group off a columnar batch into a
+    /// caller-provided (typically recycled) IKJT, reusing its slot-tensor
+    /// and inverse-lookup buffers — the buffer-reusing variant of
+    /// [`InverseKeyedJaggedTensor::dedup_from_columnar`] that the streaming
+    /// compute workers run with a long-lived [`DedupScratch`].
+    ///
+    /// # Errors
+    ///
+    /// Same error conditions as
+    /// [`InverseKeyedJaggedTensor::dedup_from_columnar`]; on error `out` is
+    /// untouched.
+    pub fn dedup_from_columnar_into(
+        batch: &ColumnarBatch,
+        group: &[FeatureId],
+        scratch: &mut DedupScratch,
+        out: &mut Self,
+    ) -> Result<()> {
+        // Validate up front so the row view can index the column slice
+        // directly — no per-batch Vec of column refs.
+        for &key in group {
+            if key.index() >= batch.sparse_cols() {
+                return Err(CoreError::MissingSparseFeature {
+                    feature: key,
+                    available: batch.sparse_cols(),
+                });
+            }
+        }
+        let columns = batch.sparse_columns();
+        Self::dedup_core_into(
+            group,
+            batch.len(),
+            |fi, row| columns[group[fi].index()].row(row),
+            scratch,
+            out,
+        );
+        Ok(())
+    }
+
     /// Core dedup routine over per-feature row views.
     fn dedup_rows(
         group: &[FeatureId],
@@ -175,8 +231,27 @@ impl InverseKeyedJaggedTensor {
         Self::dedup_core(group, batch_size, |fi, row| per_feature[fi].row(row))
     }
 
+    /// One-shot wrapper over [`InverseKeyedJaggedTensor::dedup_core_into`]
+    /// with throwaway scratch and output.
+    fn dedup_core<'a>(
+        group: &[FeatureId],
+        batch_size: usize,
+        row_view: impl Fn(usize, usize) -> &'a [u64],
+    ) -> Self {
+        let mut out = Self::default();
+        Self::dedup_core_into(
+            group,
+            batch_size,
+            row_view,
+            &mut DedupScratch::default(),
+            &mut out,
+        );
+        out
+    }
+
     /// Precomputes one digest per row over the whole feature group, then
-    /// assigns slots through a flat [`DedupTable`].
+    /// assigns slots through a flat [`DedupTable`], writing the result into
+    /// `out` whose buffers (slot tensors, inverse lookup) are reused.
     ///
     /// Digests are accumulated feature-major (one sequential sweep per
     /// feature over its contiguous values) and memoized across the group, so
@@ -185,12 +260,22 @@ impl InverseKeyedJaggedTensor {
     /// identical to the old row-major loop (group order, length then
     /// values), so digests — and therefore slot assignment order — are
     /// unchanged.
-    fn dedup_core<'a>(
+    fn dedup_core_into<'a>(
         group: &[FeatureId],
         batch_size: usize,
         row_view: impl Fn(usize, usize) -> &'a [u64],
-    ) -> Self {
-        let mut hashers = vec![Hasher64::new(); batch_size];
+        scratch: &mut DedupScratch,
+        out: &mut Self,
+    ) {
+        let DedupScratch {
+            hashers,
+            digests,
+            table_digests,
+            table_slots,
+        } = scratch;
+
+        hashers.clear();
+        hashers.resize(batch_size, Hasher64::new());
         for fi in 0..group.len() {
             for (row, hasher) in hashers.iter_mut().enumerate() {
                 let values = row_view(fi, row);
@@ -200,13 +285,27 @@ impl InverseKeyedJaggedTensor {
                 }
             }
         }
+        digests.clear();
+        digests.extend(hashers.iter().map(Hasher64::finish));
 
-        let digests: Vec<u64> = hashers.iter().map(Hasher64::finish).collect();
+        let Self {
+            keys,
+            tensors: slot_tensors,
+            inverse_lookup,
+            batch_size: out_batch_size,
+        } = out;
+        keys.clear();
+        keys.extend_from_slice(group);
+        slot_tensors.truncate(group.len());
+        for tensor in slot_tensors.iter_mut() {
+            tensor.clear();
+        }
+        slot_tensors.resize_with(group.len(), JaggedTensor::new);
+        inverse_lookup.clear();
+        inverse_lookup.reserve(batch_size);
+        *out_batch_size = batch_size;
 
-        let mut slot_tensors: Vec<JaggedTensor<u64>> =
-            group.iter().map(|_| JaggedTensor::new()).collect();
-        let mut inverse_lookup = Vec::with_capacity(batch_size);
-        let mut table = DedupTable::for_rows(batch_size);
+        let mut table = DedupTable::for_rows(table_digests, table_slots, batch_size);
 
         for (row, &digest) in digests.iter().enumerate() {
             let next_slot = slot_tensors
@@ -225,13 +324,6 @@ impl InverseKeyedJaggedTensor {
                     inverse_lookup.push(next_slot);
                 }
             }
-        }
-
-        Self {
-            keys: group.to_vec(),
-            tensors: slot_tensors,
-            inverse_lookup,
-            batch_size,
         }
     }
 
@@ -335,6 +427,17 @@ impl InverseKeyedJaggedTensor {
     /// Iterates over `(feature, deduplicated tensor)` pairs.
     pub fn iter(&self) -> impl Iterator<Item = (FeatureId, &JaggedTensor<u64>)> {
         self.keys.iter().copied().zip(self.tensors.iter())
+    }
+
+    /// Iterates over `(feature, deduplicated tensor)` pairs with mutable
+    /// tensor access — the view the O4 wrapper writes through to transform
+    /// each feature once per slot.
+    ///
+    /// The caller must preserve each tensor's row (slot) count so the shared
+    /// `inverse_lookup` stays valid; every shipped transform does, since
+    /// preprocessing maps rows to rows.
+    pub fn iter_mut(&mut self) -> impl Iterator<Item = (FeatureId, &mut JaggedTensor<u64>)> {
+        self.keys.iter().copied().zip(self.tensors.iter_mut())
     }
 
     /// The logical (pre-deduplication) value for `key` at batch row `row`.

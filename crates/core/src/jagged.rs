@@ -24,10 +24,19 @@ use serde::{Deserialize, Serialize};
 /// assert_eq!(jt.row(2), &[7, 8, 9]);
 /// assert_eq!(jt.lengths(), vec![2, 0, 3]);
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct JaggedTensor<T = u64> {
     values: Vec<T>,
     offsets: Vec<usize>,
+}
+
+/// The default tensor is a valid empty tensor (zero rows) — important for
+/// `std::mem::take`-style buffer stealing, which must leave a tensor every
+/// accessor can safely touch.
+impl<T> Default for JaggedTensor<T> {
+    fn default() -> Self {
+        Self::new()
+    }
 }
 
 impl<T> JaggedTensor<T> {
@@ -47,26 +56,7 @@ impl<T> JaggedTensor<T> {
     /// does not start at zero, is decreasing, or does not end at
     /// `values.len()`.
     pub fn from_parts(values: Vec<T>, offsets: Vec<usize>) -> Result<Self> {
-        if offsets.is_empty() {
-            return Err(CoreError::InvalidOffsets {
-                reason: "offsets must contain at least one entry",
-            });
-        }
-        if offsets[0] != 0 {
-            return Err(CoreError::InvalidOffsets {
-                reason: "offsets must start at zero",
-            });
-        }
-        if offsets.windows(2).any(|w| w[0] > w[1]) {
-            return Err(CoreError::InvalidOffsets {
-                reason: "offsets must be non-decreasing",
-            });
-        }
-        if *offsets.last().expect("non-empty") != values.len() {
-            return Err(CoreError::InvalidOffsets {
-                reason: "offsets must end at the values length",
-            });
-        }
+        validate_offsets(&offsets, values.len())?;
         Ok(Self { values, offsets })
     }
 
@@ -146,9 +136,58 @@ impl<T> JaggedTensor<T> {
         &self.values
     }
 
+    /// Mutably borrows the flat value buffer — the view value-preserving
+    /// in-place transforms (e.g. hash bucketization) write through. The
+    /// length cannot change through this view, so the offsets invariants
+    /// are safe.
+    pub fn values_mut(&mut self) -> &mut [T] {
+        &mut self.values
+    }
+
     /// Borrows the offsets slice (`row_count() + 1` entries).
     pub fn offsets(&self) -> &[usize] {
         &self.offsets
+    }
+
+    /// Removes every row, keeping buffer capacity for reuse.
+    pub fn clear(&mut self) {
+        self.values.clear();
+        self.offsets.clear();
+        self.offsets.push(0);
+    }
+
+    /// Hands the `(values, offsets)` buffers to `edit` for in-place
+    /// mutation, then re-validates the jagged invariants — the entry point
+    /// for flat in-place transforms, with zero allocation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidOffsets`] if the closure leaves the
+    /// buffers violating the invariants; the tensor then holds exactly what
+    /// the closure produced and must not be read until refilled.
+    pub fn edit_flat(&mut self, edit: impl FnOnce(&mut Vec<T>, &mut Vec<usize>)) -> Result<()> {
+        edit(&mut self.values, &mut self.offsets);
+        validate_offsets(&self.offsets, self.values.len())
+    }
+
+    /// Refills the tensor from flat slices, reusing its existing buffers —
+    /// the allocation-free counterpart of building a fresh tensor with
+    /// [`JaggedTensor::from_parts`] from copies.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidOffsets`] under the same conditions as
+    /// [`JaggedTensor::from_parts`].
+    pub fn assign_flat(&mut self, values: &[T], offsets: &[usize]) -> Result<()>
+    where
+        T: Clone,
+    {
+        validate_offsets(offsets, values.len())?;
+        self.values.clear();
+        self.values.extend_from_slice(values);
+        self.offsets.clear();
+        self.offsets.extend_from_slice(offsets);
+        Ok(())
     }
 
     /// Returns the per-row lengths.
@@ -202,6 +241,33 @@ impl JaggedTensor<f32> {
     pub fn payload_bytes(&self) -> usize {
         self.values.len() * 4 + self.offsets.len() * 8
     }
+}
+
+/// Validates a jagged offsets slice against a value-buffer length — the
+/// invariant shared by [`JaggedTensor::from_parts`] and
+/// [`JaggedTensor::assign_flat`].
+fn validate_offsets(offsets: &[usize], value_len: usize) -> Result<()> {
+    if offsets.is_empty() {
+        return Err(CoreError::InvalidOffsets {
+            reason: "offsets must contain at least one entry",
+        });
+    }
+    if offsets[0] != 0 {
+        return Err(CoreError::InvalidOffsets {
+            reason: "offsets must start at zero",
+        });
+    }
+    if offsets.windows(2).any(|w| w[0] > w[1]) {
+        return Err(CoreError::InvalidOffsets {
+            reason: "offsets must be non-decreasing",
+        });
+    }
+    if *offsets.last().expect("non-empty") != value_len {
+        return Err(CoreError::InvalidOffsets {
+            reason: "offsets must end at the values length",
+        });
+    }
+    Ok(())
 }
 
 /// Iterator over the rows of a [`JaggedTensor`], produced by

@@ -176,6 +176,49 @@ impl KeyedJaggedTensor {
         self.keys.iter().copied().zip(self.tensors.iter())
     }
 
+    /// Iterates over `(feature, tensor)` pairs with mutable tensor access —
+    /// the view in-place preprocessing transforms write through.
+    ///
+    /// The caller must preserve each tensor's row count (the KJT's
+    /// batch-size invariant); every shipped transform does, since
+    /// preprocessing maps rows to rows.
+    pub fn iter_mut(&mut self) -> impl Iterator<Item = (FeatureId, &mut JaggedTensor<u64>)> {
+        self.keys.iter().copied().zip(self.tensors.iter_mut())
+    }
+
+    /// Refills the KJT from a columnar batch, reusing the existing tensor
+    /// buffers when the feature list is unchanged (the steady-state case of
+    /// a recycled [`ConvertedBatch`](crate::ConvertedBatch) shell) and
+    /// rebuilding from scratch otherwise.
+    ///
+    /// # Errors
+    ///
+    /// Same error conditions as [`KeyedJaggedTensor::from_columnar`].
+    pub fn assign_from_columnar(
+        &mut self,
+        batch: &ColumnarBatch,
+        features: &[FeatureId],
+    ) -> Result<()> {
+        if self.keys != features {
+            *self = Self::from_columnar(batch, features)?;
+            return Ok(());
+        }
+        self.batch_size = batch.len();
+        for (&feature, tensor) in features.iter().zip(&mut self.tensors) {
+            let column =
+                batch
+                    .sparse_column(feature.index())
+                    .ok_or(CoreError::MissingSparseFeature {
+                        feature,
+                        available: batch.sparse_cols(),
+                    })?;
+            tensor
+                .assign_flat(column.values(), column.offsets())
+                .expect("a valid sparse column is a valid jagged tensor");
+        }
+        Ok(())
+    }
+
     /// Total number of sparse values across all features.
     pub fn value_count(&self) -> usize {
         self.tensors.iter().map(JaggedTensor::value_count).sum()

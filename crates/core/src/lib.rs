@@ -74,7 +74,7 @@ pub use convert::{ConvertedBatch, DataLoaderConfig, FeatureConverter};
 pub use dedupe_factor::{DedupeModel, FeatureDedupeEstimate};
 pub use dense::DenseMatrix;
 pub use error::CoreError;
-pub use ikjt::InverseKeyedJaggedTensor;
+pub use ikjt::{DedupScratch, InverseKeyedJaggedTensor};
 pub use jagged::JaggedTensor;
 pub use kjt::KeyedJaggedTensor;
 pub use partial::PartialIkjt;

@@ -89,22 +89,9 @@ impl SparseColumn {
     /// empty, does not start at zero, is decreasing, or does not end at
     /// `values.len()`.
     pub fn from_parts(values: Vec<u64>, offsets: Vec<usize>) -> Result<Self, DataError> {
-        if offsets.first() != Some(&0) {
-            return Err(DataError::ColumnarInvariant {
-                reason: "sparse offsets must start at zero".to_string(),
-            });
-        }
-        if offsets.windows(2).any(|w| w[0] > w[1]) {
-            return Err(DataError::ColumnarInvariant {
-                reason: "sparse offsets must be non-decreasing".to_string(),
-            });
-        }
-        if *offsets.last().expect("checked non-empty") != values.len() {
-            return Err(DataError::ColumnarInvariant {
-                reason: "sparse offsets must end at the value buffer length".to_string(),
-            });
-        }
-        Ok(Self { values, offsets })
+        let column = Self { values, offsets };
+        column.check_invariants()?;
+        Ok(column)
     }
 
     /// Number of rows.
@@ -157,6 +144,48 @@ impl SparseColumn {
         self.values.extend_from_slice(&other.values);
         self.offsets
             .extend(other.offsets[1..].iter().map(|&o| base + o));
+    }
+
+    /// Removes every row, keeping the buffer capacity for reuse.
+    pub fn clear(&mut self) {
+        self.values.clear();
+        self.offsets.clear();
+        self.offsets.push(0);
+    }
+
+    /// Mutable access to the raw `(values, offsets)` buffers, for decoders
+    /// that refill a recycled column in place.
+    ///
+    /// The caller must restore the jagged invariants (offsets start at zero,
+    /// are non-decreasing, and end at the value count) before the column is
+    /// read again; [`ColumnarBatch::check_invariants`] validates them.
+    pub fn parts_mut(&mut self) -> (&mut Vec<u64>, &mut Vec<usize>) {
+        (&mut self.values, &mut self.offsets)
+    }
+
+    /// Validates the jagged invariants, as [`SparseColumn::from_parts`]
+    /// does on construction.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DataError::ColumnarInvariant`] describing the violation.
+    pub fn check_invariants(&self) -> Result<(), DataError> {
+        if self.offsets.first() != Some(&0) {
+            return Err(DataError::ColumnarInvariant {
+                reason: "sparse offsets must start at zero".to_string(),
+            });
+        }
+        if self.offsets.windows(2).any(|w| w[0] > w[1]) {
+            return Err(DataError::ColumnarInvariant {
+                reason: "sparse offsets must be non-decreasing".to_string(),
+            });
+        }
+        if *self.offsets.last().expect("checked non-empty") != self.values.len() {
+            return Err(DataError::ColumnarInvariant {
+                reason: "sparse offsets must end at the value buffer length".to_string(),
+            });
+        }
+        Ok(())
     }
 }
 
@@ -222,36 +251,7 @@ impl ColumnarBatch {
         dense_cols: usize,
         sparse: Vec<SparseColumn>,
     ) -> Result<Self, DataError> {
-        let rows = labels.len();
-        if sessions.len() != rows || requests.len() != rows || timestamps.len() != rows {
-            return Err(DataError::ColumnarInvariant {
-                reason: format!(
-                    "header columns disagree on row count ({}/{}/{} vs {rows} labels)",
-                    sessions.len(),
-                    requests.len(),
-                    timestamps.len()
-                ),
-            });
-        }
-        if dense.len() != rows * dense_cols {
-            return Err(DataError::ColumnarInvariant {
-                reason: format!(
-                    "dense buffer holds {} values but {rows} rows x {dense_cols} cols were declared",
-                    dense.len()
-                ),
-            });
-        }
-        for (i, col) in sparse.iter().enumerate() {
-            if col.row_count() != rows {
-                return Err(DataError::ColumnarInvariant {
-                    reason: format!(
-                        "sparse column {i} has {} rows but the batch has {rows}",
-                        col.row_count()
-                    ),
-                });
-            }
-        }
-        Ok(Self {
+        let batch = Self {
             sessions,
             requests,
             timestamps,
@@ -259,7 +259,9 @@ impl ColumnarBatch {
             dense,
             dense_cols,
             sparse,
-        })
+        };
+        batch.check_invariants()?;
+        Ok(batch)
     }
 
     /// Converts row-wise samples into columnar form. Samples with fewer than
@@ -386,6 +388,91 @@ impl ColumnarBatch {
         self.len() * HEADER + self.dense.len() * 4 + self.sparse_value_count() * 8
     }
 
+    /// Removes every row, keeping all buffer capacity and the column shape —
+    /// the reset a recycled batch gets before it is refilled.
+    pub fn clear(&mut self) {
+        self.sessions.clear();
+        self.requests.clear();
+        self.timestamps.clear();
+        self.labels.clear();
+        self.dense.clear();
+        for col in &mut self.sparse {
+            col.clear();
+        }
+    }
+
+    /// Clears the batch and adjusts it to the given column shape, reusing
+    /// existing buffers where the shape already matches.
+    pub fn reset(&mut self, dense_cols: usize, sparse_cols: usize) {
+        self.clear();
+        self.dense_cols = dense_cols;
+        self.sparse.resize_with(sparse_cols, SparseColumn::new);
+    }
+
+    /// Mutable views of every column buffer, for decoders that refill a
+    /// recycled batch in place.
+    ///
+    /// The caller must leave every column at one common row count (and every
+    /// sparse column with valid offsets) before the batch is read again;
+    /// [`ColumnarBatch::check_invariants`] validates exactly that.
+    pub fn columns_mut(&mut self) -> ColumnsMut<'_> {
+        ColumnsMut {
+            sessions: &mut self.sessions,
+            requests: &mut self.requests,
+            timestamps: &mut self.timestamps,
+            labels: &mut self.labels,
+            dense: &mut self.dense,
+            dense_cols: self.dense_cols,
+            sparse: &mut self.sparse,
+        }
+    }
+
+    /// Validates that every column agrees on the row count and every sparse
+    /// column satisfies its jagged invariants — the same checks
+    /// [`ColumnarBatch::from_parts`] performs on construction.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DataError::ColumnarInvariant`] describing the first
+    /// violation.
+    pub fn check_invariants(&self) -> Result<(), DataError> {
+        let rows = self.labels.len();
+        if self.sessions.len() != rows
+            || self.requests.len() != rows
+            || self.timestamps.len() != rows
+        {
+            return Err(DataError::ColumnarInvariant {
+                reason: format!(
+                    "header columns disagree on row count ({}/{}/{} vs {rows} labels)",
+                    self.sessions.len(),
+                    self.requests.len(),
+                    self.timestamps.len()
+                ),
+            });
+        }
+        if self.dense.len() != rows * self.dense_cols {
+            return Err(DataError::ColumnarInvariant {
+                reason: format!(
+                    "dense buffer holds {} values but {rows} rows x {} cols were declared",
+                    self.dense.len(),
+                    self.dense_cols
+                ),
+            });
+        }
+        for (i, col) in self.sparse.iter().enumerate() {
+            col.check_invariants()?;
+            if col.row_count() != rows {
+                return Err(DataError::ColumnarInvariant {
+                    reason: format!(
+                        "sparse column {i} has {} rows but the batch has {rows}",
+                        col.row_count()
+                    ),
+                });
+            }
+        }
+        Ok(())
+    }
+
     /// Appends every row of `other`.
     ///
     /// # Errors
@@ -482,6 +569,26 @@ impl ColumnarBatch {
     pub fn into_samples(self) -> Vec<Sample> {
         self.to_samples()
     }
+}
+
+/// Mutable views of a [`ColumnarBatch`]'s column buffers, produced by
+/// [`ColumnarBatch::columns_mut`] for in-place decoders.
+#[derive(Debug)]
+pub struct ColumnsMut<'a> {
+    /// Session-id column.
+    pub sessions: &'a mut Vec<u64>,
+    /// Request-id column.
+    pub requests: &'a mut Vec<u64>,
+    /// Timestamp column (milliseconds).
+    pub timestamps: &'a mut Vec<u64>,
+    /// Label column.
+    pub labels: &'a mut Vec<f32>,
+    /// Flat row-major dense buffer (`rows * dense_cols` values).
+    pub dense: &'a mut Vec<f32>,
+    /// Declared dense width the refilled buffer must honor.
+    pub dense_cols: usize,
+    /// Sparse columns in schema order.
+    pub sparse: &'a mut [SparseColumn],
 }
 
 #[cfg(test)]

@@ -41,7 +41,7 @@ pub mod sample;
 pub mod schema;
 
 pub use batch::SampleBatch;
-pub use columnar::{ColumnarBatch, SparseColumn};
+pub use columnar::{ColumnarBatch, ColumnsMut, SparseColumn};
 pub use error::DataError;
 pub use ids::{FeatureId, RequestId, SessionId, ShardId, Timestamp, UserId};
 pub use log::{EventLog, FeatureLog, LogRecord};

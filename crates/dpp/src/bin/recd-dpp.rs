@@ -220,6 +220,13 @@ fn main() {
                 convert * 100.0,
                 process * 100.0
             );
+            println!(
+                "batch pool: {:.1}% reuse ({} hits / {} misses), converted-shell pool: {} hits",
+                r.batch_pool.reuse_rate() * 100.0,
+                r.batch_pool.hits,
+                r.batch_pool.misses,
+                r.converted_pool.hits,
+            );
         }
         Err(err) => {
             eprintln!("recd-dpp: {err}");

@@ -36,10 +36,12 @@
 
 pub mod channel;
 pub mod metrics;
+pub mod pool;
 pub mod service;
 
 pub use channel::{bounded, Receiver, SendError, Sender};
 pub use metrics::{DppReport, DppSnapshot, ServiceCounters};
+pub use pool::{BatchPool, PoolStats, Reclaim};
 pub use service::{
     DppConfig, DppError, DppHandle, DppOutput, DppService, ShardPolicy, SnapshotSource,
 };

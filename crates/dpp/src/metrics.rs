@@ -1,5 +1,6 @@
 //! Live counters and final reports for the streaming service.
 
+use crate::pool::PoolStats;
 use recd_reader::ReaderMetrics;
 use serde::{Deserialize, Serialize};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -94,6 +95,14 @@ pub struct DppSnapshot {
     pub work_queue_depth: usize,
     /// Current depth of the output queue.
     pub output_queue_depth: usize,
+    /// Columnar-batch pool counters: fill decode targets, router
+    /// accumulators, and coalesced work chunks all draw from and recycle
+    /// into this pool.
+    pub batch_pool: PoolStats,
+    /// Converted-batch shell pool counters: compute workers draw shells
+    /// from it and consumers recycle them back through
+    /// [`DppHandle::converted_pool`](crate::DppHandle::converted_pool).
+    pub converted_pool: PoolStats,
     /// Stage errors so far.
     pub errors: u64,
 }
@@ -130,6 +139,12 @@ pub struct DppReport {
     pub peak_work_queue_depth: usize,
     /// High-water mark of the output queue.
     pub peak_output_queue_depth: usize,
+    /// Final columnar-batch pool counters; at steady state the reuse rate
+    /// approaches 1.0 and the misses count the warmup population.
+    pub batch_pool: PoolStats,
+    /// Final converted-batch shell pool counters (hits require a consumer
+    /// recycling shells back during the run).
+    pub converted_pool: PoolStats,
     /// Combined per-phase CPU/byte accounting across all workers.
     pub reader_metrics: ReaderMetrics,
 }

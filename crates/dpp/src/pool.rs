@@ -1,0 +1,188 @@
+//! A swap-buffer arena for batch shells: finished stages recycle their
+//! buffers back instead of dropping them, so steady-state batches flow
+//! fill → router → compute → sink without allocating.
+//!
+//! The pool is deliberately dumb — a bounded `Mutex<Vec<T>>` shelf plus
+//! hit/miss counters — because its contract is simple: [`BatchPool::acquire`]
+//! pops a reclaimed shell when one is available (a *hit*) and falls back to
+//! the caller's constructor otherwise (a *miss*); [`BatchPool::recycle`]
+//! reclaims a shell and shelves it unless the pool is full (a *discard*,
+//! which bounds pool memory at teardown spikes). At steady state every
+//! in-flight buffer came off the shelf, so the hit rate converges toward
+//! 1.0 and misses measure exactly the warmup population.
+
+use recd_core::ConvertedBatch;
+use recd_data::ColumnarBatch;
+use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// A shell that can be reclaimed into a reusable state when it returns to a
+/// [`BatchPool`].
+pub trait Reclaim {
+    /// Resets the shell for reuse, keeping its buffer capacity.
+    fn reclaim(&mut self);
+}
+
+impl Reclaim for ColumnarBatch {
+    /// Clears all rows; column shape and buffer capacity survive, which is
+    /// what the next fill or accumulate pass reuses.
+    fn reclaim(&mut self) {
+        self.clear();
+    }
+}
+
+impl Reclaim for ConvertedBatch {
+    /// Intentionally keeps the previous contents: every conversion-into
+    /// entry point overwrites all fields, and leaving the tensors warm is
+    /// precisely what lets a refill reuse their buffers (matching feature
+    /// keys short-circuit to flat buffer copies).
+    fn reclaim(&mut self) {}
+}
+
+/// Point-in-time counters of one pool, reported in
+/// [`DppReport`](crate::DppReport) and [`DppSnapshot`](crate::DppSnapshot).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct PoolStats {
+    /// Acquires served from the shelf (no allocation).
+    pub hits: u64,
+    /// Acquires that fell back to constructing a fresh shell.
+    pub misses: u64,
+    /// Shells returned to the shelf.
+    pub recycled: u64,
+    /// Shells dropped because the shelf was full.
+    pub discarded: u64,
+}
+
+impl PoolStats {
+    /// Fraction of acquires served without allocation, in `[0, 1]`.
+    /// Returns 0 when nothing was acquired.
+    pub fn reuse_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// A bounded shelf of reusable batch shells with hit/miss accounting.
+#[derive(Debug)]
+pub struct BatchPool<T> {
+    shelf: Mutex<Vec<T>>,
+    capacity: usize,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    recycled: AtomicU64,
+    discarded: AtomicU64,
+}
+
+impl<T: Reclaim> BatchPool<T> {
+    /// Creates a pool shelving at most `capacity` idle shells.
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            shelf: Mutex::new(Vec::with_capacity(capacity.min(64))),
+            capacity: capacity.max(1),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            recycled: AtomicU64::new(0),
+            discarded: AtomicU64::new(0),
+        }
+    }
+
+    /// Takes a recycled shell off the shelf, or constructs a fresh one with
+    /// `fresh` when the shelf is empty.
+    pub fn acquire(&self, fresh: impl FnOnce() -> T) -> T {
+        let recycled = self.shelf.lock().expect("pool lock").pop();
+        match recycled {
+            Some(shell) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                shell
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                fresh()
+            }
+        }
+    }
+
+    /// Reclaims a shell and shelves it for the next acquire; drops it if the
+    /// shelf is full.
+    pub fn recycle(&self, mut shell: T) {
+        shell.reclaim();
+        let mut shelf = self.shelf.lock().expect("pool lock");
+        if shelf.len() < self.capacity {
+            shelf.push(shell);
+            self.recycled.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.discarded.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Number of idle shells currently shelved.
+    pub fn idle(&self) -> usize {
+        self.shelf.lock().expect("pool lock").len()
+    }
+
+    /// Snapshot of the pool counters.
+    pub fn stats(&self) -> PoolStats {
+        PoolStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            recycled: self.recycled.load(Ordering::Relaxed),
+            discarded: self.discarded.load(Ordering::Relaxed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn acquire_miss_then_recycle_then_hit() {
+        let pool: BatchPool<ColumnarBatch> = BatchPool::new(4);
+        let mut batch = pool.acquire(|| ColumnarBatch::new(1, 2));
+        assert_eq!(pool.stats().misses, 1);
+        batch.push_sample(
+            &recd_data::Sample::builder(
+                recd_data::SessionId::new(1),
+                recd_data::RequestId::new(1),
+                recd_data::Timestamp::from_millis(1),
+            )
+            .dense(vec![1.0])
+            .sparse(vec![vec![1], vec![2, 3]])
+            .build(),
+        );
+        pool.recycle(batch);
+        assert_eq!(pool.idle(), 1);
+
+        let recycled = pool.acquire(|| ColumnarBatch::new(1, 2));
+        let stats = pool.stats();
+        assert_eq!(stats.hits, 1);
+        assert_eq!(stats.recycled, 1);
+        // Reclaimed: no rows, shape preserved.
+        assert!(recycled.is_empty());
+        assert_eq!(recycled.dense_cols(), 1);
+        assert_eq!(recycled.sparse_cols(), 2);
+        assert_eq!(stats.reuse_rate(), 0.5);
+    }
+
+    #[test]
+    fn full_shelf_discards() {
+        let pool: BatchPool<ColumnarBatch> = BatchPool::new(1);
+        pool.recycle(ColumnarBatch::new(0, 0));
+        pool.recycle(ColumnarBatch::new(0, 0));
+        let stats = pool.stats();
+        assert_eq!(stats.recycled, 1);
+        assert_eq!(stats.discarded, 1);
+        assert_eq!(pool.idle(), 1);
+    }
+
+    #[test]
+    fn empty_pool_stats() {
+        let stats = PoolStats::default();
+        assert_eq!(stats.reuse_rate(), 0.0);
+    }
+}

@@ -30,12 +30,13 @@
 
 use crate::channel::{bounded, Gauge, Sender};
 use crate::metrics::{DppReport, DppSnapshot, ServiceCounters};
+use crate::pool::BatchPool;
 use recd_core::ConvertedBatch;
 use recd_data::{ColumnarBatch, Schema};
 use recd_reader::{
-    fill_file_columnar, PhaseEngine, PreprocessPipeline, ReaderConfig, ReaderMetrics,
+    fill_file_columnar_into, PhaseEngine, PreprocessPipeline, ReaderConfig, ReaderMetrics,
 };
-use recd_storage::{StoredPartition, TableStore};
+use recd_storage::{FileReadScratch, StoredPartition, TableStore};
 use std::collections::BTreeMap;
 use std::sync::atomic::Ordering;
 use std::sync::{Arc, Mutex};
@@ -222,6 +223,21 @@ impl DppService {
         let phase_metrics = Arc::new(Mutex::new(ReaderMetrics::default()));
         let errors = Arc::new(Mutex::new(Vec::new()));
 
+        // The swap-buffer arena: every ColumnarBatch in flight — decoded
+        // files, shard accumulators, coalesced work chunks — is drawn from
+        // and recycled into this one pool, so steady-state batches allocate
+        // nothing. Capacity covers the maximum in-flight population (both
+        // queues plus every stage's working set) with headroom, so recycles
+        // are only discarded during teardown spikes.
+        let batch_pool: Arc<BatchPool<ColumnarBatch>> = Arc::new(BatchPool::new(
+            config.queue_depth * 2 + config.shards + config.fill_workers + config.compute_workers,
+        ));
+        // Converted-batch shells flow compute → sink → consumer; the
+        // consumer recycles them back through DppHandle::converted_pool.
+        let converted_pool: Arc<BatchPool<ConvertedBatch>> = Arc::new(BatchPool::new(
+            config.queue_depth * 2 + config.compute_workers,
+        ));
+
         let (input_tx, input_rx) = bounded::<FileTask>(config.queue_depth);
         let (filled_tx, filled_rx) = bounded::<FilledFile>(config.queue_depth);
         let (work_tx, work_rx) = bounded::<WorkItem>(config.queue_depth);
@@ -236,6 +252,8 @@ impl DppService {
             filled_gauge: filled_rx.gauge(),
             work_gauge: work_rx.gauge(),
             out_gauge: out_rx.gauge(),
+            batch_pool: Arc::clone(&batch_pool),
+            converted_pool: Arc::clone(&converted_pool),
         };
 
         let mut fill_threads = Vec::new();
@@ -247,14 +265,30 @@ impl DppService {
             let counters = Arc::clone(&counters);
             let phase_metrics = Arc::clone(&phase_metrics);
             let errors = Arc::clone(&errors);
+            let batch_pool = Arc::clone(&batch_pool);
             fill_threads.push(
                 std::thread::Builder::new()
                     .name(format!("dpp-fill-{worker}"))
                     .spawn(move || {
                         let mut local = ReaderMetrics::default();
+                        // Long-lived decode scratch: decompression buffer,
+                        // lengths stream, stripe staging batch.
+                        let mut scratch = FileReadScratch::default();
+                        let fresh =
+                            || ColumnarBatch::new(schema.dense_count(), schema.sparse_count());
                         while let Some(task) = input_rx.recv() {
-                            match fill_file_columnar(&store, &schema, &task.path, &mut local) {
-                                Ok(rows) => {
+                            // Decode into a pool-recycled batch; misses only
+                            // occur while the pipeline's population warms up.
+                            let mut rows = batch_pool.acquire(fresh);
+                            match fill_file_columnar_into(
+                                &store,
+                                &schema,
+                                &task.path,
+                                &mut scratch,
+                                &mut rows,
+                                &mut local,
+                            ) {
+                                Ok(()) => {
                                     counters.files_filled.fetch_add(1, Ordering::Relaxed);
                                     // A failed send means the run is being torn
                                     // down; exit quietly.
@@ -276,14 +310,14 @@ impl DppService {
                                         .push(format!("fill {}: {err}", task.path));
                                     // The router skips missing seqs via the
                                     // tombstone below so ordering survives
-                                    // fill failures.
+                                    // fill failures. A failed decode leaves
+                                    // the batch unspecified; reset it to an
+                                    // empty tombstone of the right shape.
+                                    rows.reset(schema.dense_count(), schema.sparse_count());
                                     if filled_tx
                                         .send(FilledFile {
                                             seq: task.seq,
-                                            rows: ColumnarBatch::new(
-                                                schema.dense_count(),
-                                                schema.sparse_count(),
-                                            ),
+                                            rows,
                                         })
                                         .is_err()
                                     {
@@ -304,13 +338,20 @@ impl DppService {
             let config_snapshot = (config.policy, config.shards, config.reader.batch_size);
             let shape = (schema.dense_count(), schema.sparse_count());
             let counters = Arc::clone(&counters);
+            let batch_pool = Arc::clone(&batch_pool);
             std::thread::Builder::new()
                 .name("dpp-router".to_string())
                 .spawn(move || {
                     let (policy, shards, batch_size) = config_snapshot;
                     let (dense_cols, sparse_cols) = shape;
-                    let fresh =
-                        || ColumnarBatch::with_capacity(dense_cols, sparse_cols, batch_size);
+                    // Accumulators come off the pool: at steady state a
+                    // shard's next buffer is a batch some compute worker
+                    // just finished with.
+                    let fresh = || {
+                        batch_pool.acquire(|| {
+                            ColumnarBatch::with_capacity(dense_cols, sparse_cols, batch_size)
+                        })
+                    };
                     let mut pending: BTreeMap<u64, ColumnarBatch> = BTreeMap::new();
                     let mut next_seq = 0u64;
                     // Shard accumulators are columnar too: routing a row is a
@@ -358,6 +399,10 @@ impl DppService {
                                     }
                                 }
                             }
+                            // The decoded file's rows have all been copied
+                            // into accumulators; its buffers go back to the
+                            // fill workers.
+                            batch_pool.recycle(rows);
                         }
                     }
                     // End of stream: flush partial accumulators in shard order.
@@ -374,18 +419,28 @@ impl DppService {
         for worker in 0..config.compute_workers {
             let work_rx = work_rx.clone();
             let out_tx = out_tx.clone();
-            let engine = PhaseEngine::new(config.reader.clone(), (config.pipeline_factory)());
+            let mut engine = PhaseEngine::new(config.reader.clone(), (config.pipeline_factory)());
             let counters = Arc::clone(&counters);
             let phase_metrics = Arc::clone(&phase_metrics);
             let errors = Arc::clone(&errors);
+            let batch_pool = Arc::clone(&batch_pool);
+            let converted_pool = Arc::clone(&converted_pool);
             compute_threads.push(
                 std::thread::Builder::new()
                     .name(format!("dpp-compute-{worker}"))
                     .spawn(move || {
                         let mut local = ReaderMetrics::default();
                         while let Some(item) = work_rx.recv() {
-                            match engine.run_batch_columnar(&item.rows, &mut local) {
-                                Ok(batch) => {
+                            // Convert into a shell from the converted pool
+                            // (hits require a consumer recycling shells),
+                            // then hand the drained columnar chunk straight
+                            // back to the fill workers.
+                            let mut batch = converted_pool.acquire(ConvertedBatch::default);
+                            let outcome =
+                                engine.run_batch_columnar_into(&item.rows, &mut batch, &mut local);
+                            batch_pool.recycle(item.rows);
+                            match outcome {
+                                Ok(()) => {
                                     counters.batches_out.fetch_add(1, Ordering::Relaxed);
                                     counters
                                         .samples_out
@@ -420,6 +475,11 @@ impl DppService {
                                         .lock()
                                         .expect("error list lock")
                                         .push(format!("convert shard {}: {err}", item.shard));
+                                    // The shell's contents are unspecified
+                                    // after a failed convert, but every
+                                    // refill overwrites them — keep the
+                                    // warm buffers in the loop.
+                                    converted_pool.recycle(batch);
                                 }
                             }
                         }
@@ -468,6 +528,8 @@ pub struct SnapshotSource {
     filled_gauge: Gauge<FilledFile>,
     work_gauge: Gauge<WorkItem>,
     out_gauge: Gauge<OutBatch>,
+    batch_pool: Arc<BatchPool<ColumnarBatch>>,
+    converted_pool: Arc<BatchPool<ConvertedBatch>>,
 }
 
 impl SnapshotSource {
@@ -492,6 +554,8 @@ impl SnapshotSource {
             filled_queue_depth: self.filled_gauge.len(),
             work_queue_depth: self.work_gauge.len(),
             output_queue_depth: self.out_gauge.len(),
+            batch_pool: self.batch_pool.stats(),
+            converted_pool: self.converted_pool.stats(),
             errors: self.counters.errors.load(Ordering::Relaxed),
         }
     }
@@ -550,6 +614,14 @@ impl DppHandle {
         self.gauges.clone()
     }
 
+    /// The converted-batch shell pool. A consumer that is done with an
+    /// emitted [`ConvertedBatch`] recycles it here; compute workers then
+    /// refill the shell's tensors in place instead of allocating, closing
+    /// the compute → sink → consumer → compute buffer loop.
+    pub fn converted_pool(&self) -> Arc<BatchPool<ConvertedBatch>> {
+        Arc::clone(&self.gauges.converted_pool)
+    }
+
     /// Gracefully shuts down: closes the input, lets every stage drain, joins
     /// all workers, and returns the resequenced batches plus the final
     /// report.
@@ -598,6 +670,8 @@ impl DppHandle {
             peak_filled_queue_depth: self.gauges.filled_gauge.peak_depth(),
             peak_work_queue_depth: self.gauges.work_gauge.peak_depth(),
             peak_output_queue_depth: self.gauges.out_gauge.peak_depth(),
+            batch_pool: self.gauges.batch_pool.stats(),
+            converted_pool: self.gauges.converted_pool.stats(),
             reader_metrics,
         };
 

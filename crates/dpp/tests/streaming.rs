@@ -121,7 +121,16 @@ fn session_affine_sharding_preserves_dedup_factor() {
 struct SlowIdentity;
 
 impl SparseTransform for SlowIdentity {
-    fn apply(&self, tensor: &JaggedTensor<u64>) -> JaggedTensor<u64> {
+    fn apply_flat(
+        &self,
+        _values: &mut Vec<u64>,
+        _offsets: &mut Vec<usize>,
+        _scratch: &mut recd_reader::TransformScratch,
+    ) {
+        std::thread::sleep(std::time::Duration::from_micros(500));
+    }
+
+    fn apply_rowwise(&self, tensor: &JaggedTensor<u64>) -> JaggedTensor<u64> {
         std::thread::sleep(std::time::Duration::from_micros(500));
         tensor.clone()
     }
@@ -159,6 +168,83 @@ fn finish_drains_all_in_flight_work_under_backpressure() {
         output.report.peak_work_queue_depth, 2,
         "work queue must fill to its capacity under a slow compute stage"
     );
+}
+
+/// The batch pool closes the fill → router → compute → fill buffer loop:
+/// over a many-file run, almost every acquire is served by a recycled
+/// buffer — misses count only the warmup population — and the output is
+/// still byte-deterministic.
+#[test]
+fn batch_pool_recycles_buffers_at_steady_state() {
+    let f = fixture(true);
+    // Misses can occur for every concurrently live shell before the first
+    // recycles land (worst case ≈ 2*queue_depth + shards + workers ≈ 14
+    // here), so the run must be long enough that the 10% miss budget
+    // comfortably exceeds that population regardless of scheduling.
+    let rounds = 24;
+    let config = DppConfig::new(reader_config(&f.schema, 32))
+        .with_fill_workers(2)
+        .with_compute_workers(2)
+        .with_shards(2)
+        .with_queue_depth(4)
+        .with_pipeline_factory(|| PreprocessPipeline::standard(1 << 20, 64));
+    let mut handle = DppService::start(config, Arc::clone(&f.store), f.schema.clone());
+    for _ in 0..rounds {
+        handle.submit_partition(&f.partition);
+    }
+    let output = handle.finish().expect("clean run");
+
+    let pool = output.report.batch_pool;
+    let acquires = pool.hits + pool.misses;
+    // Every file decode, shard accumulator, and emitted chunk acquires once.
+    assert!(
+        acquires as usize >= rounds * f.partition.files.len(),
+        "fills alone should acquire at least once per file"
+    );
+    assert!(
+        pool.reuse_rate() > 0.9,
+        "steady-state buffer reuse must exceed 90% (got {:.1}% over {acquires} acquires)",
+        pool.reuse_rate() * 100.0
+    );
+    assert_eq!(output.report.samples, rounds * f.rows);
+}
+
+/// A consumer that hands finished `ConvertedBatch` shells back through
+/// `converted_pool()` closes the compute → sink → consumer → compute loop:
+/// later batches are built into recycled shells (pool hits) and remain
+/// value-identical to a run with no recycling at all.
+#[test]
+fn converted_shells_recycle_through_the_consumer_loop() {
+    let f = fixture(true);
+    let run = |recycle: bool| {
+        let config = DppConfig::new(reader_config(&f.schema, 32))
+            .with_compute_workers(2)
+            .with_shards(2)
+            .with_pipeline_factory(|| PreprocessPipeline::standard(1 << 20, 64));
+        let mut handle = DppService::start(config, Arc::clone(&f.store), f.schema.clone());
+        let pool = handle.converted_pool();
+        for round in 0..4 {
+            handle.submit_partition(&f.partition);
+            if recycle && round > 0 {
+                // Simulate a trainer returning shells mid-run: dirty
+                // batches of a *different* prior shape must still refill
+                // correctly.
+                pool.recycle(recd_core::ConvertedBatch::default());
+            }
+        }
+        handle.finish().expect("clean run")
+    };
+    let recycled = run(true);
+    let fresh = run(false);
+    assert_eq!(
+        recycled.batches, fresh.batches,
+        "recycling must not change output"
+    );
+    assert!(
+        recycled.report.converted_pool.hits > 0,
+        "recycled shells must be reused by compute workers"
+    );
+    assert_eq!(fresh.report.converted_pool.hits, 0);
 }
 
 /// Fill errors don't wedge the pipeline: the run drains, reports the error,

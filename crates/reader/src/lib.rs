@@ -28,9 +28,10 @@ pub mod tier;
 pub mod transforms;
 
 pub use metrics::{PhaseMetrics, ReaderCostModel, ReaderMetrics};
-pub use phases::{fill_file, fill_file_columnar, PhaseEngine};
+pub use phases::{fill_file, fill_file_columnar, fill_file_columnar_into, PhaseEngine};
 pub use reader::{ReaderConfig, ReaderNode, ReaderOutput};
 pub use tier::{ReaderTier, TierReport};
 pub use transforms::{
-    DenseNormalize, HashBucketize, PreprocessPipeline, SparseTransform, TruncateList,
+    DenseNormalize, HashBucketize, PreprocessPipeline, PreprocessStats, SparseTransform,
+    TransformScratch, TruncateList,
 };

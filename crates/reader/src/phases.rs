@@ -4,10 +4,10 @@
 
 use crate::metrics::ReaderMetrics;
 use crate::reader::ReaderConfig;
-use crate::transforms::PreprocessPipeline;
-use recd_core::{ConvertedBatch, FeatureConverter};
+use crate::transforms::{PreprocessPipeline, TransformScratch};
+use recd_core::{ConvertedBatch, DedupScratch, FeatureConverter};
 use recd_data::{ColumnarBatch, Sample, SampleBatch, Schema};
-use recd_storage::{DwrfFile, TableStore};
+use recd_storage::{DwrfFile, FileReadScratch, TableStore};
 use std::time::Instant;
 
 /// Fill phase over a single file: fetch the blob, decompress and decode its
@@ -47,23 +47,55 @@ pub fn fill_file_columnar(
     path: &str,
     metrics: &mut ReaderMetrics,
 ) -> recd_storage::Result<ColumnarBatch> {
+    let mut out = ColumnarBatch::new(schema.dense_count(), schema.sparse_count());
+    fill_file_columnar_into(
+        store,
+        schema,
+        path,
+        &mut FileReadScratch::default(),
+        &mut out,
+        metrics,
+    )?;
+    Ok(out)
+}
+
+/// Columnar fill into a caller-provided (typically pool-recycled) batch —
+/// the buffer-reusing variant of [`fill_file_columnar`] the streaming fill
+/// workers run: with a long-lived [`FileReadScratch`] and a recycled batch,
+/// steady-state fill decodes with no heap allocation beyond the fetched
+/// blob itself. On error the batch contents are unspecified.
+///
+/// # Errors
+///
+/// Propagates storage errors for missing or corrupt files.
+pub fn fill_file_columnar_into(
+    store: &TableStore,
+    schema: &Schema,
+    path: &str,
+    scratch: &mut FileReadScratch,
+    out: &mut ColumnarBatch,
+    metrics: &mut ReaderMetrics,
+) -> recd_storage::Result<()> {
     let start = Instant::now();
     let blob = store.blob_store().get(path)?;
     let bytes_read = blob.len();
     let file = DwrfFile::from_blob(&blob)?;
-    let rows = file.read_all_columnar(schema)?;
-    metrics.fill.record(start.elapsed(), bytes_read, rows.len());
-    Ok(rows)
+    file.read_all_columnar_into(schema, scratch, out)?;
+    metrics.fill.record(start.elapsed(), bytes_read, out.len());
+    Ok(())
 }
 
 /// The convert + process engine of one reader or streaming worker: owns the
-/// feature converter (O3) and the preprocessing pipeline (O4), both of which
-/// are stateless across batches, so an engine can run forever.
+/// feature converter (O3), the preprocessing pipeline (O4), and the scratch
+/// buffers both phases reuse across batches, so an engine can run forever
+/// without steady-state allocation.
 #[derive(Debug)]
 pub struct PhaseEngine {
     config: ReaderConfig,
     converter: FeatureConverter,
     pipeline: PreprocessPipeline,
+    transform_scratch: TransformScratch,
+    dedup_scratch: DedupScratch,
 }
 
 impl PhaseEngine {
@@ -75,6 +107,8 @@ impl PhaseEngine {
             config,
             converter,
             pipeline,
+            transform_scratch: TransformScratch::default(),
+            dedup_scratch: DedupScratch::default(),
         }
     }
 
@@ -117,8 +151,10 @@ impl PhaseEngine {
         metrics: &mut ReaderMetrics,
     ) -> recd_storage::Result<ColumnarBatch> {
         let mut rows = ColumnarBatch::new(schema.dense_count(), schema.sparse_count());
+        let mut file_rows = ColumnarBatch::new(schema.dense_count(), schema.sparse_count());
+        let mut scratch = FileReadScratch::default();
         for path in files {
-            let file_rows = fill_file_columnar(store, schema, path, metrics)?;
+            fill_file_columnar_into(store, schema, path, &mut scratch, &mut file_rows, metrics)?;
             rows.append(&file_rows)
                 .expect("files of one schema share a column shape");
         }
@@ -141,26 +177,17 @@ impl PhaseEngine {
         } else {
             self.converter.convert_baseline(batch)?
         };
-        // `items` counts the values hashed for duplicate detection (zero on
-        // the baseline path); `bytes` is the tensor payload materialized.
-        let hashed_values: usize = converted
-            .ikjts
-            .iter()
-            .map(|ikjt| ikjt.original_value_count())
-            .sum();
-        metrics.convert.record(
-            start.elapsed(),
-            converted.sparse_payload_bytes(),
-            hashed_values,
-        );
+        Self::record_convert(&converted, start, metrics);
         Ok(converted)
     }
 
     /// Process phase: run the preprocessing pipeline over the converted
-    /// tensors.
-    pub fn process(&self, batch: &mut ConvertedBatch, metrics: &mut ReaderMetrics) {
+    /// tensors, flat and in place, reusing the engine's scratch buffers.
+    pub fn process(&mut self, batch: &mut ConvertedBatch, metrics: &mut ReaderMetrics) {
         let start = Instant::now();
-        let stats = self.pipeline.apply(batch);
+        let stats = self
+            .pipeline
+            .apply_with_scratch(batch, &mut self.transform_scratch);
         metrics.process.record(
             start.elapsed(),
             batch.sparse_payload_bytes(),
@@ -185,6 +212,40 @@ impl PhaseEngine {
         } else {
             self.converter.convert_columnar_baseline(batch)?
         };
+        Self::record_convert(&converted, start, metrics);
+        Ok(converted)
+    }
+
+    /// Columnar convert into a caller-provided (typically pool-recycled)
+    /// shell, reusing both the shell's buffers and the engine's dedup
+    /// scratch — the steady-state-allocation-free variant of
+    /// [`PhaseEngine::convert_columnar`], with identical output.
+    ///
+    /// # Errors
+    ///
+    /// Propagates conversion errors; on error the shell's contents are
+    /// unspecified.
+    pub fn convert_columnar_into(
+        &mut self,
+        batch: &ColumnarBatch,
+        out: &mut ConvertedBatch,
+        metrics: &mut ReaderMetrics,
+    ) -> recd_core::Result<()> {
+        let start = Instant::now();
+        if self.config.dedup_enabled {
+            self.converter
+                .convert_columnar_into(batch, &mut self.dedup_scratch, out)?;
+        } else {
+            self.converter.convert_columnar_baseline_into(batch, out)?;
+        }
+        Self::record_convert(out, start, metrics);
+        Ok(())
+    }
+
+    /// Shared convert-phase accounting: `items` counts the values hashed for
+    /// duplicate detection (zero on the baseline path); `bytes` is the
+    /// tensor payload materialized.
+    fn record_convert(converted: &ConvertedBatch, start: Instant, metrics: &mut ReaderMetrics) {
         let hashed_values: usize = converted
             .ikjts
             .iter()
@@ -195,7 +256,6 @@ impl PhaseEngine {
             converted.sparse_payload_bytes(),
             hashed_values,
         );
-        Ok(converted)
     }
 
     /// Runs convert + process over one coalesced chunk of row-wise samples
@@ -207,13 +267,14 @@ impl PhaseEngine {
     ///
     /// Propagates conversion errors.
     pub fn run_batch(
-        &self,
+        &mut self,
         rows: Vec<Sample>,
         metrics: &mut ReaderMetrics,
     ) -> recd_core::Result<ConvertedBatch> {
         let sample_batch = SampleBatch::new(rows);
-        let converted = self.convert(&sample_batch, metrics)?;
-        Ok(self.finish_batch(converted, metrics))
+        let mut converted = self.convert(&sample_batch, metrics)?;
+        self.finish_batch(&mut converted, metrics);
+        Ok(converted)
     }
 
     /// Runs convert + process over one coalesced columnar chunk — the unit
@@ -224,25 +285,42 @@ impl PhaseEngine {
     ///
     /// Propagates conversion errors.
     pub fn run_batch_columnar(
-        &self,
+        &mut self,
         rows: &ColumnarBatch,
         metrics: &mut ReaderMetrics,
     ) -> recd_core::Result<ConvertedBatch> {
-        let converted = self.convert_columnar(rows, metrics)?;
-        Ok(self.finish_batch(converted, metrics))
+        let mut converted = self.convert_columnar(rows, metrics)?;
+        self.finish_batch(&mut converted, metrics);
+        Ok(converted)
     }
 
-    /// Shared tail of both `run_batch` flavors: the process phase plus the
-    /// batch-level accounting.
-    fn finish_batch(
-        &self,
-        mut converted: ConvertedBatch,
+    /// Runs convert + process into a recycled shell — the fully
+    /// buffer-reusing unit of compute work: converted tensors land in the
+    /// shell's buffers and the flat process phase edits them in place, so a
+    /// steady-state batch allocates nothing. Output is value-identical to
+    /// [`PhaseEngine::run_batch_columnar`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates conversion errors; on error the shell's contents are
+    /// unspecified.
+    pub fn run_batch_columnar_into(
+        &mut self,
+        rows: &ColumnarBatch,
+        out: &mut ConvertedBatch,
         metrics: &mut ReaderMetrics,
-    ) -> ConvertedBatch {
-        self.process(&mut converted, metrics);
+    ) -> recd_core::Result<()> {
+        self.convert_columnar_into(rows, out, metrics)?;
+        self.finish_batch(out, metrics);
+        Ok(())
+    }
+
+    /// Shared tail of the `run_batch` flavors: the process phase plus the
+    /// batch-level accounting.
+    fn finish_batch(&mut self, converted: &mut ConvertedBatch, metrics: &mut ReaderMetrics) {
+        self.process(converted, metrics);
         metrics.samples += converted.batch_size;
         metrics.batches += 1;
         metrics.egress_bytes += converted.sparse_payload_bytes() + converted.dense.payload_bytes();
-        converted
     }
 }

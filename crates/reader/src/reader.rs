@@ -98,8 +98,8 @@ impl ReaderNode {
     }
 
     /// Process phase: run the preprocessing pipeline over the converted
-    /// tensors.
-    pub fn process(&self, batch: &mut ConvertedBatch, metrics: &mut ReaderMetrics) {
+    /// tensors (in place, reusing the engine's scratch).
+    pub fn process(&mut self, batch: &mut ConvertedBatch, metrics: &mut ReaderMetrics) {
         self.engine.process(batch, metrics)
     }
 
@@ -110,7 +110,7 @@ impl ReaderNode {
     ///
     /// Propagates storage and conversion errors.
     pub fn read_partition(
-        &self,
+        &mut self,
         store: &TableStore,
         schema: &Schema,
         partition: &StoredPartition,
@@ -125,7 +125,7 @@ impl ReaderNode {
     ///
     /// Propagates storage and conversion errors.
     pub fn read_files(
-        &self,
+        &mut self,
         store: &TableStore,
         schema: &Schema,
         files: &[String],
@@ -186,7 +186,7 @@ mod tests {
     #[test]
     fn reader_round_trips_all_samples_into_batches() {
         let s = setup(true);
-        let reader = ReaderNode::new(
+        let mut reader = ReaderNode::new(
             ReaderConfig::new(64, dataloader(&s.schema)),
             PreprocessPipeline::new(),
         );
@@ -210,11 +210,11 @@ mod tests {
     #[test]
     fn dedup_reader_sends_fewer_bytes_than_baseline_on_clustered_data() {
         let s = setup(true);
-        let recd = ReaderNode::new(
+        let mut recd = ReaderNode::new(
             ReaderConfig::new(128, dataloader(&s.schema)),
             PreprocessPipeline::standard(1 << 20, 64),
         );
-        let baseline = ReaderNode::new(
+        let mut baseline = ReaderNode::new(
             ReaderConfig::new(128, dataloader(&s.schema)).without_dedup(),
             PreprocessPipeline::standard(1 << 20, 64),
         );
@@ -271,7 +271,7 @@ mod tests {
     #[test]
     fn missing_file_surfaces_as_error() {
         let s = setup(true);
-        let reader = ReaderNode::new(
+        let mut reader = ReaderNode::new(
             ReaderConfig::new(64, dataloader(&s.schema)),
             PreprocessPipeline::new(),
         );

@@ -1,6 +1,9 @@
 //! The DWRF-like file: a sequence of compressed stripes plus a footer.
 
-use crate::stripe::{decode_stripe, decode_stripe_columnar, encode_stripe, StripeStats};
+use crate::stripe::{
+    decode_stripe, decode_stripe_columnar, decode_stripe_columnar_into, encode_stripe,
+    DecodeScratch, StripeStats,
+};
 use crate::{Result, StorageError};
 use recd_codec::{varint, Hasher64};
 use recd_data::{ColumnarBatch, Sample, Schema};
@@ -26,6 +29,15 @@ pub struct StripeFooter {
     pub length: usize,
     /// Number of rows in the stripe.
     pub rows: usize,
+}
+
+/// Reusable scratch for [`DwrfFile::read_all_columnar_into`]: the per-stripe
+/// staging batch plus the stripe decoder's own scratch, both reused across
+/// stripes and files. A fill worker holds one for its whole lifetime.
+#[derive(Debug, Default)]
+pub struct FileReadScratch {
+    stripe: ColumnarBatch,
+    decode: DecodeScratch,
 }
 
 /// An in-memory DWRF-like file: stripes plus footer.
@@ -115,19 +127,46 @@ impl DwrfFile {
     ///
     /// Same error conditions as [`DwrfFile::read_stripe`].
     pub fn read_all_columnar(&self, schema: &Schema) -> Result<ColumnarBatch> {
-        self.check_schema(schema)?;
         let mut out = ColumnarBatch::with_capacity(
             schema.dense_count(),
             schema.sparse_count(),
             self.row_count(),
         );
-        for i in 0..self.stripes.len() {
-            let stripe = self.read_stripe_columnar(schema, i)?;
-            out.append(&stripe).map_err(|err| StorageError::Corrupt {
-                reason: err.to_string(),
-            })?;
-        }
+        self.read_all_columnar_into(schema, &mut FileReadScratch::default(), &mut out)?;
         Ok(out)
+    }
+
+    /// Decodes every stripe into a caller-provided (typically recycled)
+    /// batch, clearing it first — the buffer-reusing variant of
+    /// [`DwrfFile::read_all_columnar`]. With a long-lived
+    /// [`FileReadScratch`] and a pooled output batch, a steady-state file
+    /// read performs no heap allocation beyond buffer growth. On error the
+    /// batch contents are unspecified.
+    ///
+    /// # Errors
+    ///
+    /// Same error conditions as [`DwrfFile::read_stripe`].
+    pub fn read_all_columnar_into(
+        &self,
+        schema: &Schema,
+        scratch: &mut FileReadScratch,
+        out: &mut ColumnarBatch,
+    ) -> Result<()> {
+        self.check_schema(schema)?;
+        out.reset(schema.dense_count(), schema.sparse_count());
+        for footer in &self.stripes {
+            decode_stripe_columnar_into(
+                schema,
+                &self.body[footer.offset..footer.offset + footer.length],
+                &mut scratch.decode,
+                &mut scratch.stripe,
+            )?;
+            out.append(&scratch.stripe)
+                .map_err(|err| StorageError::Corrupt {
+                    reason: err.to_string(),
+                })?;
+        }
+        Ok(())
     }
 
     fn check_schema(&self, schema: &Schema) -> Result<()> {

@@ -31,8 +31,11 @@ pub mod table;
 pub mod tectonic;
 
 pub use error::StorageError;
-pub use file::{DwrfFile, DwrfWriter};
-pub use stripe::{decode_stripe, decode_stripe_columnar, encode_stripe, StripeStats};
+pub use file::{DwrfFile, DwrfWriter, FileReadScratch};
+pub use stripe::{
+    decode_stripe, decode_stripe_columnar, decode_stripe_columnar_into, encode_stripe,
+    DecodeScratch, StripeStats,
+};
 pub use table::{StorageReport, StoredPartition, TableStore};
 pub use tectonic::{BlobStats, TectonicSim};
 

@@ -3,7 +3,7 @@
 
 use crate::{Result, StorageError};
 use recd_codec::{delta, varint, Compressor};
-use recd_data::{ColumnarBatch, Sample, Schema, SparseColumn};
+use recd_data::{ColumnarBatch, Sample, Schema};
 use serde::{Deserialize, Serialize};
 
 /// Byte accounting for one encoded stripe.
@@ -86,46 +86,82 @@ pub fn encode_stripe(schema: &Schema, samples: &[Sample]) -> (Vec<u8>, StripeSta
     (compressed, stats)
 }
 
+/// Reusable scratch buffers for the in-place stripe decoders: the
+/// decompressed block and the per-feature lengths stream. A fill worker
+/// holds one `DecodeScratch` for its whole lifetime, so steady-state decode
+/// allocates nothing beyond buffer growth.
+#[derive(Debug, Default)]
+pub struct DecodeScratch {
+    buf: Vec<u8>,
+    lengths: Vec<u64>,
+}
+
 /// Decodes a stripe produced by [`encode_stripe`] straight into a
 /// [`ColumnarBatch`] — the zero-copy fill path.
 ///
 /// The stripe layout is already columnar, so every decoded stream lands in a
 /// flat buffer without materializing per-row `Vec`s: header columns move in
 /// as decoded, dense values are strided into one row-major buffer, and each
-/// sparse feature's value stream is *moved* (not copied) into its
+/// sparse feature's value stream decodes directly into its
 /// [`SparseColumn`] with offsets prefix-summed from the lengths stream.
 ///
 /// # Errors
 ///
 /// Returns a [`StorageError`] if decompression or any column decode fails.
 pub fn decode_stripe_columnar(schema: &Schema, block: &[u8]) -> Result<ColumnarBatch> {
-    let buf = Compressor::Lz.decompress(block)?;
+    let mut out = ColumnarBatch::new(schema.dense_count(), schema.sparse_count());
+    decode_stripe_columnar_into(schema, block, &mut DecodeScratch::default(), &mut out)?;
+    Ok(out)
+}
+
+/// Decodes a stripe into a caller-provided (typically recycled) batch,
+/// clearing it first — the buffer-reusing variant of
+/// [`decode_stripe_columnar`] that the streaming fill workers run: with a
+/// long-lived [`DecodeScratch`] and a pooled batch, a steady-state decode
+/// performs no heap allocation at all. On error the batch contents are
+/// unspecified (a recycled batch is cleared before reuse anyway).
+///
+/// # Errors
+///
+/// Returns a [`StorageError`] if decompression or any column decode fails.
+pub fn decode_stripe_columnar_into(
+    schema: &Schema,
+    block: &[u8],
+    scratch: &mut DecodeScratch,
+    out: &mut ColumnarBatch,
+) -> Result<()> {
+    let dense_cols = schema.dense_count();
+    out.reset(dense_cols, schema.sparse_count());
+    Compressor::Lz.decompress_into(block, &mut scratch.buf)?;
+    let buf = scratch.buf.as_slice();
     let mut cursor = 0usize;
 
     let (rows, used) = varint::decode_u64(&buf[cursor..])?;
     cursor += used;
     let rows = rows as usize;
 
-    let (sessions, used) = delta::decode(&buf[cursor..])?;
-    cursor += used;
-    let (requests, used) = delta::decode(&buf[cursor..])?;
-    cursor += used;
-    let (timestamps, used) = delta::decode(&buf[cursor..])?;
-    cursor += used;
-    if sessions.len() != rows || requests.len() != rows || timestamps.len() != rows {
+    let columns = out.columns_mut();
+
+    cursor += delta::decode_into(&buf[cursor..], columns.sessions)?;
+    cursor += delta::decode_into(&buf[cursor..], columns.requests)?;
+    cursor += delta::decode_into(&buf[cursor..], columns.timestamps)?;
+    if columns.sessions.len() != rows
+        || columns.requests.len() != rows
+        || columns.timestamps.len() != rows
+    {
         return Err(StorageError::Corrupt {
             reason: "header column length mismatch".to_string(),
         });
     }
 
-    let mut labels = Vec::with_capacity(rows);
+    columns.labels.reserve(rows);
     for _ in 0..rows {
         if cursor + 4 > buf.len() {
             return Err(StorageError::Corrupt {
                 reason: "label column truncated".to_string(),
             });
         }
-        labels.push(f32::from_le_bytes([
+        columns.labels.push(f32::from_le_bytes([
             buf[cursor],
             buf[cursor + 1],
             buf[cursor + 2],
@@ -134,8 +170,7 @@ pub fn decode_stripe_columnar(schema: &Schema, block: &[u8]) -> Result<ColumnarB
         cursor += 4;
     }
 
-    let dense_cols = schema.dense_count();
-    let mut dense = vec![0.0f32; rows * dense_cols];
+    columns.dense.resize(rows * dense_cols, 0.0);
     for col in 0..dense_cols {
         for row in 0..rows {
             if cursor + 4 > buf.len() {
@@ -143,7 +178,7 @@ pub fn decode_stripe_columnar(schema: &Schema, block: &[u8]) -> Result<ColumnarB
                     reason: "dense column truncated".to_string(),
                 });
             }
-            dense[row * dense_cols + col] = f32::from_le_bytes([
+            columns.dense[row * dense_cols + col] = f32::from_le_bytes([
                 buf[cursor],
                 buf[cursor + 1],
                 buf[cursor + 2],
@@ -153,28 +188,31 @@ pub fn decode_stripe_columnar(schema: &Schema, block: &[u8]) -> Result<ColumnarB
         }
     }
 
-    let mut sparse = Vec::with_capacity(schema.sparse_count());
-    for _ in schema.sparse_features() {
-        let (lengths, used) = varint::decode_u64_slice(&buf[cursor..])?;
-        cursor += used;
-        let (values, used) = varint::decode_u64_slice(&buf[cursor..])?;
-        cursor += used;
-        if lengths.len() != rows {
+    for column in columns.sparse.iter_mut() {
+        cursor += varint::decode_u64_slice_into(&buf[cursor..], &mut scratch.lengths)?;
+        let (values, offsets) = column.parts_mut();
+        cursor += varint::decode_u64_slice_into(&buf[cursor..], values)?;
+        if scratch.lengths.len() != rows {
             return Err(StorageError::Corrupt {
                 reason: "sparse lengths column length mismatch".to_string(),
             });
         }
-        let column =
-            SparseColumn::from_lengths(values, &lengths).map_err(|_| StorageError::Corrupt {
+        offsets.clear();
+        offsets.reserve(rows + 1);
+        offsets.push(0);
+        let mut total = 0usize;
+        for &len in &scratch.lengths {
+            total += len as usize;
+            offsets.push(total);
+        }
+        if total != values.len() {
+            return Err(StorageError::Corrupt {
                 reason: "sparse values column length mismatch".to_string(),
-            })?;
-        sparse.push(column);
+            });
+        }
     }
 
-    ColumnarBatch::from_parts(
-        sessions, requests, timestamps, labels, dense, dense_cols, sparse,
-    )
-    .map_err(|err| StorageError::Corrupt {
+    out.check_invariants().map_err(|err| StorageError::Corrupt {
         reason: err.to_string(),
     })
 }

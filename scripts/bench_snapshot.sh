@@ -48,6 +48,10 @@ convert_row=$(mean_ns "datagen_convert_512/rowwise")
 convert_col=$(mean_ns "datagen_convert_512/columnar")
 fill_row=$(mean_ns "pipeline_fill_convert/rowwise")
 fill_col=$(mean_ns "pipeline_fill_convert/columnar")
+proc_row=$(mean_ns "preprocess/rowwise/baseline")
+proc_flat=$(mean_ns "preprocess/flat/baseline")
+proc_row_dedup=$(mean_ns "preprocess/rowwise/dedup")
+proc_flat_dedup=$(mean_ns "preprocess/flat/dedup")
 
 {
   echo '{'
@@ -57,7 +61,9 @@ fill_col=$(mean_ns "pipeline_fill_convert/columnar")
   echo '  "command": "scripts/bench_snapshot.sh (cargo bench -p recd-bench --bench columnar --bench dedup_conversion)",'
   echo '  "derived": {'
   echo "    \"datagen_convert_512_speedup_columnar_vs_rowwise\": $(ratio "$convert_row" "$convert_col"),"
-  echo "    \"pipeline_fill_convert_speedup_columnar_vs_rowwise\": $(ratio "$fill_row" "$fill_col")"
+  echo "    \"pipeline_fill_convert_speedup_columnar_vs_rowwise\": $(ratio "$fill_row" "$fill_col"),"
+  echo "    \"process_speedup_flat_vs_rowwise\": $(ratio "$proc_row" "$proc_flat"),"
+  echo "    \"process_speedup_flat_vs_rowwise_dedup\": $(ratio "$proc_row_dedup" "$proc_flat_dedup")"
   echo '  },'
   echo '  "benches": ['
   normalize | awk '{

@@ -144,16 +144,30 @@ fn human_nanos(nanos: f64) -> String {
     }
 }
 
+/// True when the bench binary was invoked with `--test` (criterion's smoke
+/// mode: execute every benchmark once, skip the timing budget). CI uses it
+/// to exercise benches on every push without paying for measurement.
+fn test_mode() -> bool {
+    use std::sync::OnceLock;
+    static TEST_MODE: OnceLock<bool> = OnceLock::new();
+    *TEST_MODE.get_or_init(|| std::env::args().any(|a| a == "--test"))
+}
+
 fn run_one(
     full_name: &str,
     samples: u64,
     throughput: Option<Throughput>,
     f: impl FnOnce(&mut Bencher<'_>),
 ) {
+    let (samples, budget) = if test_mode() {
+        (1, Duration::ZERO)
+    } else {
+        (samples, Duration::from_millis(100))
+    };
     let mut result = None;
     let mut bencher = Bencher {
         samples: samples.max(1),
-        budget: Duration::from_millis(100),
+        budget,
         result: &mut result,
     };
     f(&mut bencher);

@@ -9,6 +9,7 @@ use recd::core::{
 };
 use recd::data::{ColumnarBatch, FeatureId, RequestId, Sample, SampleBatch, SessionId, Timestamp};
 use recd::etl::cluster_by_session;
+use recd::reader::{HashBucketize, PreprocessPipeline, SparseTransform, TruncateList};
 use recd::storage::{decode_stripe, decode_stripe_columnar, encode_stripe};
 
 /// One drawn duplication tuple: `(session, f0, f1)`.
@@ -204,6 +205,75 @@ proptest! {
             converter.convert_baseline(&batch).unwrap(),
             converter.convert_columnar_baseline(&columnar).unwrap()
         );
+    }
+
+    /// Flat in-place transforms ⇄ old row-wise transforms: for any jagged
+    /// tensor and any transform parameters, editing the `(values, offsets)`
+    /// buffers in place produces exactly the tensor the allocate-per-apply
+    /// reference builds.
+    #[test]
+    fn flat_transforms_match_rowwise_oracle(
+        rows in rows_strategy(),
+        buckets in 1u64..1_000_000,
+        max_len in 0usize..16,
+    ) {
+        let tensor = recd::core::JaggedTensor::from_lists(&rows);
+        let transforms: Vec<Box<dyn SparseTransform>> = vec![
+            Box::new(HashBucketize { buckets }),
+            Box::new(TruncateList { max_len }),
+        ];
+        for t in &transforms {
+            let expected = t.apply_rowwise(&tensor);
+            let (mut values, mut offsets) = tensor.clone().into_parts();
+            t.apply_flat(&mut values, &mut offsets, &mut recd::reader::TransformScratch::default());
+            let flat = recd::core::JaggedTensor::from_parts(values, offsets).unwrap();
+            prop_assert_eq!(flat, expected);
+        }
+    }
+
+    /// The whole flat pipeline ⇄ the row-wise pipeline over converted
+    /// batches (dedup and baseline): identical tensors, identical work
+    /// accounting — and O4 (per-slot) preprocessing stays logically equal to
+    /// baseline (per-row) preprocessing after the rewrite.
+    #[test]
+    fn flat_pipeline_matches_rowwise_and_o4_stays_logically_equal(
+        (dup_factor, tuples) in dup_batch_strategy(),
+        buckets in 1u64..1_000_000,
+        max_len in 1usize..12,
+    ) {
+        let samples = dup_samples(dup_factor, &tuples);
+        let batch: SampleBatch = samples.iter().cloned().collect();
+        let dedup_config = DataLoaderConfig::new()
+            .with_kjt_features([FeatureId::new(1)])
+            .with_dedup_group([FeatureId::new(0)])
+            .with_dense_features(2);
+        let pipeline = PreprocessPipeline::standard(buckets, max_len);
+
+        let converter = FeatureConverter::new(dedup_config);
+        let mut flat = converter.convert(&batch).unwrap();
+        let mut rowwise = flat.clone();
+        let flat_stats = pipeline.apply(&mut flat);
+        let rowwise_stats = pipeline.apply_rowwise(&mut rowwise);
+        prop_assert_eq!(flat_stats, rowwise_stats);
+        prop_assert_eq!(&flat, &rowwise);
+
+        // O4 ⇄ baseline logical equality: transforming once per slot and
+        // expanding equals transforming every row of the baseline KJT.
+        let mut baseline = converter.convert_baseline(&batch).unwrap();
+        let baseline_stats = pipeline.apply(&mut baseline);
+        prop_assert_eq!(flat_stats.logical_values, baseline_stats.logical_values);
+        prop_assert!(flat_stats.values_processed <= baseline_stats.values_processed);
+        let expanded = flat.ikjts[0].to_kjt().unwrap();
+        prop_assert_eq!(
+            expanded.feature(FeatureId::new(0)).unwrap(),
+            baseline.kjt.feature(FeatureId::new(0)).unwrap()
+        );
+        prop_assert_eq!(
+            flat.kjt.feature(FeatureId::new(1)).unwrap(),
+            baseline.kjt.feature(FeatureId::new(1)).unwrap()
+        );
+        // Dense normalization is shared, so the matrices agree exactly.
+        prop_assert_eq!(&flat.dense, &baseline.dense);
     }
 
     /// Stripe encoding round trips arbitrary (schema-conforming) samples, and
