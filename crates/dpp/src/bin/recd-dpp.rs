@@ -5,12 +5,14 @@
 //! ```text
 //! recd-dpp [--preset tiny|small] [--sessions N] [--batch-size N]
 //!          [--fill-workers N] [--workers N] [--shards N] [--queue-depth N]
-//!          [--policy session|file|row] [--quiet]
+//!          [--policy session|file|row] [--trainers N]
+//!          [--assign pinned|least|rr] [--min-workers N] [--max-workers N]
+//!          [--quiet]
 //! ```
 
 use recd_core::DataLoaderConfig;
 use recd_datagen::{DatasetGenerator, WorkloadConfig, WorkloadPreset};
-use recd_dpp::{DppConfig, DppService, ShardPolicy};
+use recd_dpp::{DppConfig, DppService, ScalerConfig, ShardPolicy, TrainerAssignPolicy};
 use recd_etl::cluster_by_session;
 use recd_reader::{PreprocessPipeline, ReaderConfig};
 use recd_storage::{TableStore, TectonicSim};
@@ -27,6 +29,10 @@ struct Args {
     shards: usize,
     queue_depth: usize,
     policy: ShardPolicy,
+    trainers: usize,
+    assign: TrainerAssignPolicy,
+    min_workers: Option<usize>,
+    max_workers: Option<usize>,
     quiet: bool,
 }
 
@@ -40,6 +46,10 @@ fn parse_args() -> Result<Args, String> {
         shards: 4,
         queue_depth: 8,
         policy: ShardPolicy::SessionAffine,
+        trainers: 0,
+        assign: TrainerAssignPolicy::ShardPinned,
+        min_workers: None,
+        max_workers: None,
         quiet: false,
     };
     let mut it = std::env::args().skip(1);
@@ -93,6 +103,35 @@ fn parse_args() -> Result<Args, String> {
                     other => return Err(format!("unknown policy '{other}' (session|file|row)")),
                 }
             }
+            "--trainers" => {
+                args.trainers = value("--trainers")?
+                    .parse()
+                    .map_err(|e| format!("--trainers: {e}"))?
+            }
+            "--assign" => {
+                args.assign = match value("--assign")?.as_str() {
+                    "pinned" => TrainerAssignPolicy::ShardPinned,
+                    "least" => TrainerAssignPolicy::LeastLoaded,
+                    "rr" => TrainerAssignPolicy::RoundRobin,
+                    other => {
+                        return Err(format!("unknown assign policy '{other}' (pinned|least|rr)"))
+                    }
+                }
+            }
+            "--min-workers" => {
+                args.min_workers = Some(
+                    value("--min-workers")?
+                        .parse()
+                        .map_err(|e| format!("--min-workers: {e}"))?,
+                )
+            }
+            "--max-workers" => {
+                args.max_workers = Some(
+                    value("--max-workers")?
+                        .parse()
+                        .map_err(|e| format!("--max-workers: {e}"))?,
+                )
+            }
             "--quiet" => args.quiet = true,
             "--help" | "-h" => {
                 println!(
@@ -105,6 +144,10 @@ fn parse_args() -> Result<Args, String> {
                      \n  --shards N               shard lanes (default 4)\
                      \n  --queue-depth N          backpressure window per queue (default 8)\
                      \n  --policy session|file|row  sharding policy (default session)\
+                     \n  --trainers N             fan out to N simulated trainers (default 0 = collect)\
+                     \n  --assign pinned|least|rr trainer lane assignment (default pinned)\
+                     \n  --min-workers N          enable dynamic scaling: pool lower bound\
+                     \n  --max-workers N          enable dynamic scaling: pool upper bound\
                      \n  --quiet                  suppress live snapshots"
                 );
                 std::process::exit(0);
@@ -142,7 +185,7 @@ fn main() {
     );
 
     // Service topology.
-    let config = DppConfig::new(ReaderConfig::new(
+    let mut config = DppConfig::new(ReaderConfig::new(
         args.batch_size,
         DataLoaderConfig::from_schema(&partition.schema),
     ))
@@ -152,6 +195,20 @@ fn main() {
     .with_queue_depth(args.queue_depth)
     .with_policy(args.policy)
     .with_pipeline_factory(|| PreprocessPipeline::standard(1 << 20, 64));
+    if args.trainers > 0 {
+        config = config
+            .with_trainers(args.trainers)
+            .with_assign_policy(args.assign);
+    }
+    if args.min_workers.is_some() || args.max_workers.is_some() {
+        let min = args.min_workers.unwrap_or(1);
+        let max = args
+            .max_workers
+            .unwrap_or_else(|| min.max(args.fill_workers).max(args.compute_workers));
+        config = config.with_scaling(
+            ScalerConfig::bounds(min, max).with_tick_period(Duration::from_millis(20)),
+        );
+    }
     println!(
         "service: {} fill + {} compute workers, {} shards, policy {}, queue depth {}",
         args.fill_workers,
@@ -160,8 +217,46 @@ fn main() {
         args.policy.name(),
         args.queue_depth
     );
+    if args.trainers > 0 {
+        println!(
+            "fan-out: {} trainers, assign policy {}",
+            args.trainers,
+            args.assign.name()
+        );
+    }
+    if let Some(scaling) = &config.scaling {
+        println!(
+            "scaling: workers elastic in [{}, {}], watermarks {:.0}%/{:.0}%, every {:?}",
+            scaling.min_fill,
+            scaling.max_fill,
+            scaling.high_watermark * 100.0,
+            scaling.low_watermark * 100.0,
+            scaling.tick_period
+        );
+    }
 
     let mut handle = DppService::start(config, Arc::clone(&store), partition.schema.clone());
+
+    // Simulated trainers: each consumes its own lane as fast as it can and
+    // recycles the shells so compute workers refill warm buffers.
+    let converted_pool = handle.converted_pool();
+    let trainer_threads: Vec<_> = handle
+        .take_trainers()
+        .into_iter()
+        .map(|trainer| {
+            let pool = Arc::clone(&converted_pool);
+            std::thread::spawn(move || {
+                let mut batches = 0u64;
+                let mut samples = 0u64;
+                while let Some(item) = trainer.recv() {
+                    batches += 1;
+                    samples += item.batch.batch_size as u64;
+                    pool.recycle(item.batch);
+                }
+                (trainer.id(), batches, samples)
+            })
+        })
+        .collect();
 
     // Live metrics monitor (the service's own snapshot API).
     let done = Arc::new(AtomicBool::new(false));
@@ -174,8 +269,13 @@ fn main() {
             while !done.load(Ordering::Relaxed) {
                 std::thread::sleep(Duration::from_millis(100));
                 let s = snapshot_source.snapshot();
+                let lanes: Vec<String> = s
+                    .trainers
+                    .iter()
+                    .map(|t| t.queue_depth.to_string())
+                    .collect();
                 println!(
-                    "  [{:6.2}s] {:>8} samples  {:>9.0} samples/s  dedup {:>5.2}x  queues fill={} route={} work={} out={}",
+                    "  [{:6.2}s] {:>8} samples  {:>9.0} samples/s  dedup {:>5.2}x  queues fill={} route={} work={} out={}  workers {}f/{}c{}",
                     s.elapsed_seconds,
                     s.samples_out,
                     s.samples_per_second,
@@ -184,6 +284,13 @@ fn main() {
                     s.filled_queue_depth,
                     s.work_queue_depth,
                     s.output_queue_depth,
+                    s.fill_workers_live,
+                    s.compute_workers_live,
+                    if lanes.is_empty() {
+                        String::new()
+                    } else {
+                        format!("  lanes [{}]", lanes.join(","))
+                    },
                 );
             }
         }))
@@ -194,6 +301,10 @@ fn main() {
     done.store(true, Ordering::Relaxed);
     if let Some(monitor) = monitor {
         monitor.join().expect("monitor thread");
+    }
+    for thread in trainer_threads {
+        let (trainer, batches, samples) = thread.join().expect("trainer thread");
+        println!("trainer {trainer}: consumed {batches} batches / {samples} samples");
     }
 
     match result {
@@ -227,6 +338,29 @@ fn main() {
                 r.batch_pool.misses,
                 r.converted_pool.hits,
             );
+            for lane in &r.trainers {
+                println!(
+                    "trainer {}: delivered {} batches / {} samples, peak lane depth {}",
+                    lane.trainer,
+                    lane.delivered_batches,
+                    lane.delivered_samples,
+                    lane.peak_queue_depth
+                );
+            }
+            if !r.scale_events.is_empty() {
+                println!(
+                    "scaling: peak {} fill / {} compute workers, {} events:",
+                    r.peak_fill_workers,
+                    r.peak_compute_workers,
+                    r.scale_events.len()
+                );
+                for event in &r.scale_events {
+                    println!(
+                        "  [{:6.2}s] {} {} -> {} (queue depth {})",
+                        event.at_seconds, event.pool, event.from, event.to, event.queue_depth
+                    );
+                }
+            }
         }
         Err(err) => {
             eprintln!("recd-dpp: {err}");

@@ -14,6 +14,7 @@
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
 
 struct Shared<T> {
     queue: Mutex<VecDeque<T>>,
@@ -22,6 +23,9 @@ struct Shared<T> {
     capacity: usize,
     senders: AtomicUsize,
     receivers: AtomicUsize,
+    /// Mirror of `queue.len()`, maintained while the queue lock is held, so
+    /// gauges read depths without contending on the hot-path mutex.
+    depth: AtomicUsize,
     peak_depth: AtomicUsize,
 }
 
@@ -40,6 +44,17 @@ pub struct Receiver<T> {
 #[derive(Debug, PartialEq, Eq)]
 pub struct SendError<T>(pub T);
 
+/// Outcome of [`Receiver::recv_timeout`].
+#[derive(Debug, PartialEq, Eq)]
+pub enum RecvTimeout<T> {
+    /// An item arrived (or was already queued).
+    Item(T),
+    /// The wait elapsed with the queue still empty and senders still alive.
+    Timeout,
+    /// Every sender is gone and the queue has drained: end of stream.
+    Disconnected,
+}
+
 /// Creates a bounded channel with the given capacity (minimum 1).
 pub fn bounded<T>(capacity: usize) -> (Sender<T>, Receiver<T>) {
     let shared = Arc::new(Shared {
@@ -49,6 +64,7 @@ pub fn bounded<T>(capacity: usize) -> (Sender<T>, Receiver<T>) {
         capacity: capacity.max(1),
         senders: AtomicUsize::new(1),
         receivers: AtomicUsize::new(1),
+        depth: AtomicUsize::new(0),
         peak_depth: AtomicUsize::new(0),
     });
     (
@@ -60,16 +76,23 @@ pub fn bounded<T>(capacity: usize) -> (Sender<T>, Receiver<T>) {
 }
 
 impl<T> Shared<T> {
+    /// Publishes the queue depth after a push or pop. Must be called while
+    /// the queue lock is still held so the depth mirror and the queue can
+    /// never disagree, and the peak is updated with a single `fetch_max` —
+    /// the earlier load-then-store scheme left a window where two concurrent
+    /// senders could both read a stale peak and the larger depth lost the
+    /// race, under-reporting the high-water mark.
     fn note_depth(&self, depth: usize) {
-        self.peak_depth.fetch_max(depth, Ordering::Relaxed);
+        self.depth.store(depth, Ordering::Release);
+        self.peak_depth.fetch_max(depth, Ordering::AcqRel);
     }
 
     fn depth(&self) -> usize {
-        self.queue.lock().expect("channel lock poisoned").len()
+        self.depth.load(Ordering::Acquire)
     }
 
     fn peak(&self) -> usize {
-        self.peak_depth.load(Ordering::Relaxed)
+        self.peak_depth.load(Ordering::Acquire)
     }
 }
 
@@ -133,6 +156,13 @@ impl<T> Sender<T> {
         self.shared.peak()
     }
 
+    /// Whether every receiver is gone, i.e. any send would fail. Lets a
+    /// dispatcher distinguish "lane full" from "lane abandoned" without
+    /// consuming the item in a failed send.
+    pub fn is_closed(&self) -> bool {
+        self.shared.receivers.load(Ordering::Acquire) == 0
+    }
+
     /// A passive depth gauge on this channel (see [`Gauge`]).
     pub fn gauge(&self) -> Gauge<T> {
         Gauge {
@@ -149,6 +179,7 @@ impl<T> Receiver<T> {
         let mut queue = shared.queue.lock().expect("channel lock poisoned");
         loop {
             if let Some(item) = queue.pop_front() {
+                shared.note_depth(queue.len());
                 drop(queue);
                 shared.not_full.notify_one();
                 return Some(item);
@@ -157,6 +188,52 @@ impl<T> Receiver<T> {
                 return None;
             }
             queue = shared.not_empty.wait(queue).expect("channel lock poisoned");
+        }
+    }
+
+    /// Receives the next item without blocking. Returns [`None`] when the
+    /// queue is currently empty, whether or not senders remain.
+    pub fn try_recv(&self) -> Option<T> {
+        let shared = &self.shared;
+        let mut queue = shared.queue.lock().expect("channel lock poisoned");
+        let item = queue.pop_front()?;
+        shared.note_depth(queue.len());
+        drop(queue);
+        shared.not_full.notify_one();
+        Some(item)
+    }
+
+    /// Receives the next item, blocking at most `timeout`. Distinguishes an
+    /// empty-but-alive channel ([`RecvTimeout::Timeout`]) from end of stream
+    /// ([`RecvTimeout::Disconnected`]) so pollers — dynamically scaled
+    /// workers checking for retirement, the fan-out sink retrying parked
+    /// batches — can wake periodically without spinning.
+    pub fn recv_timeout(&self, timeout: Duration) -> RecvTimeout<T> {
+        let shared = &self.shared;
+        let deadline = std::time::Instant::now() + timeout;
+        let mut queue = shared.queue.lock().expect("channel lock poisoned");
+        loop {
+            if let Some(item) = queue.pop_front() {
+                shared.note_depth(queue.len());
+                drop(queue);
+                shared.not_full.notify_one();
+                return RecvTimeout::Item(item);
+            }
+            if shared.senders.load(Ordering::Acquire) == 0 {
+                return RecvTimeout::Disconnected;
+            }
+            let now = std::time::Instant::now();
+            let Some(remaining) = deadline
+                .checked_duration_since(now)
+                .filter(|d| !d.is_zero())
+            else {
+                return RecvTimeout::Timeout;
+            };
+            let (guard, _timed_out) = shared
+                .not_empty
+                .wait_timeout(queue, remaining)
+                .expect("channel lock poisoned");
+            queue = guard;
         }
     }
 
@@ -336,6 +413,43 @@ mod tests {
         assert_eq!(tx.send(2), Err(SendError(2)));
         assert_eq!(gauge.peak_depth(), 1);
         assert!(!gauge.is_empty());
+    }
+
+    #[test]
+    fn try_recv_and_recv_timeout_cover_all_outcomes() {
+        let (tx, rx) = bounded(2);
+        assert_eq!(rx.try_recv(), None);
+        assert_eq!(
+            rx.recv_timeout(Duration::from_millis(1)),
+            RecvTimeout::Timeout
+        );
+        tx.send(7).unwrap();
+        assert_eq!(rx.try_recv(), Some(7));
+        tx.send(8).unwrap();
+        assert_eq!(
+            rx.recv_timeout(Duration::from_millis(100)),
+            RecvTimeout::Item(8)
+        );
+        drop(tx);
+        assert_eq!(
+            rx.recv_timeout(Duration::from_millis(1)),
+            RecvTimeout::<i32>::Disconnected
+        );
+    }
+
+    #[test]
+    fn depth_gauge_tracks_pushes_and_pops() {
+        let (tx, rx) = bounded(4);
+        let gauge = rx.gauge();
+        tx.send(1).unwrap();
+        tx.send(2).unwrap();
+        assert_eq!(gauge.len(), 2);
+        assert_eq!(rx.recv(), Some(1));
+        assert_eq!(gauge.len(), 1);
+        assert_eq!(rx.try_recv(), Some(2));
+        assert_eq!(gauge.len(), 0);
+        assert!(gauge.is_empty());
+        assert_eq!(gauge.peak_depth(), 2);
     }
 
     #[test]

@@ -26,10 +26,31 @@
 //! queue-depth metrics; [`DppHandle::finish`] drains and joins everything
 //! for a graceful shutdown.
 //!
+//! On top of that pipeline this crate provides the two elastic pieces of
+//! the paper's deployment story:
+//!
+//! * **Multi-trainer fan-out** ([`DppConfig::with_trainers`]): the sink
+//!   becomes a dispatch stage that resequences batches per shard and streams
+//!   them onto N bounded per-trainer lanes under a
+//!   [`TrainerAssignPolicy`]. Each [`TrainerHandle`] is an independent pull
+//!   endpoint with its own backpressure gauge and consumption counters, so
+//!   one slow trainer throttles its lane — not the whole service — until
+//!   the bounded spillover is exhausted. [`DppHandle::flush_partition`]
+//!   injects a barrier that guarantees partition boundaries are fully
+//!   delivered before it returns.
+//! * **Dynamic worker scaling** ([`DppConfig::with_scaling`]): a controller
+//!   thread samples queue-depth gauges on a [`ScaleClock`] and grows or
+//!   shrinks the fill and compute pools between configured bounds, recording
+//!   every resize as a [`ScaleEvent`]. Batch pools shrink along with the
+//!   worker population. Because routing is single-threaded and
+//!   order-restored, scaling never changes the emitted batches.
+//!
 //! Under [`ShardPolicy::FileRoundRobin`] with `shards == readers`, the
 //! service's concatenated output is **identical** to the one-shot
 //! [`recd_reader::ReaderTier`] over the same files — the integration tests
-//! assert this sample for sample.
+//! assert this sample for sample, and the fan-out tests assert the
+//! multiset union across trainer lanes matches the single-sink baseline for
+//! every assignment policy.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -37,11 +58,17 @@
 pub mod channel;
 pub mod metrics;
 pub mod pool;
+pub mod scaler;
 pub mod service;
+pub mod sink;
 
-pub use channel::{bounded, Receiver, SendError, Sender};
-pub use metrics::{DppReport, DppSnapshot, ServiceCounters};
+pub use channel::{bounded, Receiver, RecvTimeout, SendError, Sender};
+pub use metrics::{
+    DppReport, DppSnapshot, ServiceCounters, TrainerLaneReport, TrainerLaneSnapshot,
+};
 pub use pool::{BatchPool, PoolStats, Reclaim};
+pub use scaler::{ManualClock, ScaleClock, ScaleEvent, ScalerConfig, WallClock};
 pub use service::{
     DppConfig, DppError, DppHandle, DppOutput, DppService, ShardPolicy, SnapshotSource,
 };
+pub use sink::{TrainerAssignPolicy, TrainerBatch, TrainerHandle};

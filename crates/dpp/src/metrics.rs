@@ -1,6 +1,7 @@
 //! Live counters and final reports for the streaming service.
 
 use crate::pool::PoolStats;
+use crate::scaler::ScaleEvent;
 use recd_reader::ReaderMetrics;
 use serde::{Deserialize, Serialize};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -67,9 +68,46 @@ impl ServiceCounters {
     }
 }
 
+/// A point-in-time view of one trainer lane.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TrainerLaneSnapshot {
+    /// The trainer's id (lane index).
+    pub trainer: usize,
+    /// Batches delivered but not yet pulled — this trainer's backpressure
+    /// gauge.
+    pub queue_depth: usize,
+    /// Batches the sink has pushed onto the lane so far.
+    pub delivered_batches: u64,
+    /// Samples the sink has pushed onto the lane so far.
+    pub delivered_samples: u64,
+    /// Batches the trainer has pulled so far.
+    pub consumed_batches: u64,
+}
+
+/// Final accounting of one trainer lane, reported in [`DppReport`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TrainerLaneReport {
+    /// The trainer's id (lane index).
+    pub trainer: usize,
+    /// Batches delivered onto the lane.
+    pub delivered_batches: u64,
+    /// Samples delivered onto the lane.
+    pub delivered_samples: u64,
+    /// Batches the trainer pulled.
+    pub consumed_batches: u64,
+    /// Samples the trainer pulled.
+    pub consumed_samples: u64,
+    /// Batches discarded because the trainer dropped its handle mid-run.
+    pub dropped_batches: u64,
+    /// High-water mark of the lane depth — a persistently high peak marks
+    /// the slow trainer.
+    pub peak_queue_depth: usize,
+}
+
 /// A point-in-time view of the running service: throughput, progress, queue
-/// depths. Taken with [`DppHandle::snapshot`](crate::DppHandle::snapshot).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+/// depths, elastic pool sizes, and per-trainer lane state. Taken with
+/// [`DppHandle::snapshot`](crate::DppHandle::snapshot).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct DppSnapshot {
     /// Seconds since the service started.
     pub elapsed_seconds: f64,
@@ -95,6 +133,16 @@ pub struct DppSnapshot {
     pub work_queue_depth: usize,
     /// Current depth of the output queue.
     pub output_queue_depth: usize,
+    /// Fill workers currently live (changes under dynamic scaling).
+    pub fill_workers_live: usize,
+    /// Compute workers currently live (changes under dynamic scaling).
+    pub compute_workers_live: usize,
+    /// Pool-grow events so far.
+    pub scale_ups: u64,
+    /// Pool-shrink events so far.
+    pub scale_downs: u64,
+    /// Per-trainer lane state (empty outside fan-out mode).
+    pub trainers: Vec<TrainerLaneSnapshot>,
     /// Columnar-batch pool counters: fill decode targets, router
     /// accumulators, and coalesced work chunks all draw from and recycle
     /// into this pool.
@@ -111,14 +159,21 @@ pub struct DppSnapshot {
 /// [`DppHandle::finish`](crate::DppHandle::finish).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct DppReport {
-    /// Fill workers used.
+    /// Fill workers configured at start.
     pub fill_workers: usize,
-    /// Convert/process workers used.
+    /// Convert/process workers configured at start.
     pub compute_workers: usize,
+    /// High-water mark of live fill workers (exceeds `fill_workers` when
+    /// dynamic scaling grew the pool).
+    pub peak_fill_workers: usize,
+    /// High-water mark of live compute workers.
+    pub peak_compute_workers: usize,
     /// Shard lanes used.
     pub shards: usize,
     /// Sharding policy name.
     pub policy: String,
+    /// Trainer lane assignment policy name (fan-out mode).
+    pub assign_policy: String,
     /// Wall-clock seconds from service start to drain.
     pub wall_seconds: f64,
     /// Samples emitted.
@@ -139,6 +194,11 @@ pub struct DppReport {
     pub peak_work_queue_depth: usize,
     /// High-water mark of the output queue.
     pub peak_output_queue_depth: usize,
+    /// Per-trainer delivery/consumption accounting (empty outside fan-out
+    /// mode).
+    pub trainers: Vec<TrainerLaneReport>,
+    /// Every pool resize the scaling controller performed, in order.
+    pub scale_events: Vec<ScaleEvent>,
     /// Final columnar-batch pool counters; at steady state the reuse rate
     /// approaches 1.0 and the misses count the warmup population.
     pub batch_pool: PoolStats,

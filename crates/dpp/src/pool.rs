@@ -14,7 +14,7 @@
 use recd_core::ConvertedBatch;
 use recd_data::ColumnarBatch;
 use serde::{Deserialize, Serialize};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Mutex;
 
 /// A shell that can be reclaimed into a reusable state when it returns to a
@@ -52,6 +52,11 @@ pub struct PoolStats {
     pub recycled: u64,
     /// Shells dropped because the shelf was full.
     pub discarded: u64,
+    /// Idle shells dropped by [`BatchPool::set_capacity`] when dynamic
+    /// scaling reduced the in-flight population the pool needs to cover.
+    pub trimmed: u64,
+    /// Shelf capacity at snapshot time (shrinks on dynamic scale-down).
+    pub capacity: usize,
 }
 
 impl PoolStats {
@@ -71,11 +76,12 @@ impl PoolStats {
 #[derive(Debug)]
 pub struct BatchPool<T> {
     shelf: Mutex<Vec<T>>,
-    capacity: usize,
+    capacity: AtomicUsize,
     hits: AtomicU64,
     misses: AtomicU64,
     recycled: AtomicU64,
     discarded: AtomicU64,
+    trimmed: AtomicU64,
 }
 
 impl<T: Reclaim> BatchPool<T> {
@@ -83,12 +89,40 @@ impl<T: Reclaim> BatchPool<T> {
     pub fn new(capacity: usize) -> Self {
         Self {
             shelf: Mutex::new(Vec::with_capacity(capacity.min(64))),
-            capacity: capacity.max(1),
+            capacity: AtomicUsize::new(capacity.max(1)),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             recycled: AtomicU64::new(0),
             discarded: AtomicU64::new(0),
+            trimmed: AtomicU64::new(0),
         }
+    }
+
+    /// Current shelf capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity.load(Ordering::Acquire)
+    }
+
+    /// Resizes the shelf capacity, dropping idle shells that no longer fit.
+    /// Called on every dynamic worker resize: a scale-down shrinks the shelf
+    /// so memory nothing will ever reuse isn't pinned, and a later scale-up
+    /// restores it so the larger in-flight population pools again instead of
+    /// allocating per batch.
+    pub fn set_capacity(&self, capacity: usize) {
+        let capacity = capacity.max(1);
+        self.capacity.store(capacity, Ordering::Release);
+        let mut dropped = Vec::new();
+        {
+            let mut shelf = self.shelf.lock().expect("pool lock");
+            while shelf.len() > capacity {
+                // Collect under the lock, drop outside it: shells can own
+                // large buffers and their destructors shouldn't stall
+                // concurrent acquires.
+                dropped.push(shelf.pop().expect("len checked"));
+            }
+        }
+        self.trimmed
+            .fetch_add(dropped.len() as u64, Ordering::Relaxed);
     }
 
     /// Takes a recycled shell off the shelf, or constructs a fresh one with
@@ -111,8 +145,9 @@ impl<T: Reclaim> BatchPool<T> {
     /// shelf is full.
     pub fn recycle(&self, mut shell: T) {
         shell.reclaim();
+        let capacity = self.capacity.load(Ordering::Acquire);
         let mut shelf = self.shelf.lock().expect("pool lock");
-        if shelf.len() < self.capacity {
+        if shelf.len() < capacity {
             shelf.push(shell);
             self.recycled.fetch_add(1, Ordering::Relaxed);
         } else {
@@ -132,6 +167,8 @@ impl<T: Reclaim> BatchPool<T> {
             misses: self.misses.load(Ordering::Relaxed),
             recycled: self.recycled.load(Ordering::Relaxed),
             discarded: self.discarded.load(Ordering::Relaxed),
+            trimmed: self.trimmed.load(Ordering::Relaxed),
+            capacity: self.capacity(),
         }
     }
 }
@@ -184,5 +221,27 @@ mod tests {
     fn empty_pool_stats() {
         let stats = PoolStats::default();
         assert_eq!(stats.reuse_rate(), 0.0);
+    }
+
+    #[test]
+    fn set_capacity_trims_idle_shells_and_caps_future_recycles() {
+        let pool: BatchPool<ColumnarBatch> = BatchPool::new(4);
+        for _ in 0..4 {
+            pool.recycle(ColumnarBatch::new(0, 0));
+        }
+        assert_eq!(pool.idle(), 4);
+        pool.set_capacity(2);
+        assert_eq!(pool.capacity(), 2);
+        assert_eq!(pool.idle(), 2);
+        assert_eq!(pool.stats().trimmed, 2);
+        // The reduced capacity governs recycles from now on.
+        pool.recycle(ColumnarBatch::new(0, 0));
+        assert_eq!(pool.idle(), 2);
+        assert_eq!(pool.stats().discarded, 1);
+        // A later scale-up restores the headroom: recycles shelve again.
+        pool.set_capacity(4);
+        assert_eq!(pool.capacity(), 4);
+        pool.recycle(ColumnarBatch::new(0, 0));
+        assert_eq!(pool.idle(), 3);
     }
 }

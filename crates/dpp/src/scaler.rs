@@ -1,0 +1,545 @@
+//! Queue-depth-driven dynamic worker scaling: a controller thread samples
+//! the pipeline's backpressure gauges on a clock and grows or shrinks the
+//! fill and compute pools between configured bounds.
+//!
+//! The control signal is *sustained* pressure, not instantaneous depth: a
+//! queue must sit at or above the high watermark for
+//! [`ScalerConfig::sustain_ticks`] consecutive samples before a worker is
+//! added, and at or below the low watermark equally long before one is
+//! retired. Retirement is cooperative — workers poll a retire counter
+//! between (and after) work items, so a scale-down never preempts an
+//! in-flight decode or conversion, and because routing is single-threaded
+//! and order-restored, **scaling never changes the emitted batches**, only
+//! the wall-clock it takes to emit them.
+//!
+//! Time is abstracted behind [`ScaleClock`] so the controller is fully
+//! deterministic under test: the production [`WallClock`] ticks on a period,
+//! while [`ManualClock::step`] grants exactly one evaluation and returns
+//! only after the controller finished it.
+
+use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// The scaling controller's notion of time. `wait_tick` blocks until the
+/// next evaluation should run; `shutdown` releases any waiter permanently.
+pub trait ScaleClock: Send + Sync {
+    /// Blocks until the next tick. Returns `false` once the clock has been
+    /// shut down (the controller then exits).
+    fn wait_tick(&self) -> bool;
+
+    /// Permanently wakes every waiter; subsequent `wait_tick` calls return
+    /// `false` immediately.
+    fn shutdown(&self);
+
+    /// Seconds elapsed on this clock, used to timestamp scale events.
+    fn now_seconds(&self) -> f64;
+}
+
+/// The production clock: one tick per fixed wall-clock period.
+#[derive(Debug)]
+pub struct WallClock {
+    period: Duration,
+    started: Instant,
+    stop: Mutex<bool>,
+    cond: Condvar,
+}
+
+impl WallClock {
+    /// Creates a clock ticking every `period`.
+    pub fn new(period: Duration) -> Self {
+        Self {
+            period: period.max(Duration::from_millis(1)),
+            started: Instant::now(),
+            stop: Mutex::new(false),
+            cond: Condvar::new(),
+        }
+    }
+}
+
+impl ScaleClock for WallClock {
+    fn wait_tick(&self) -> bool {
+        let deadline = Instant::now() + self.period;
+        let mut stopped = self.stop.lock().expect("clock lock");
+        loop {
+            if *stopped {
+                return false;
+            }
+            let now = Instant::now();
+            let Some(remaining) = deadline
+                .checked_duration_since(now)
+                .filter(|d| !d.is_zero())
+            else {
+                return true;
+            };
+            let (guard, _) = self
+                .cond
+                .wait_timeout(stopped, remaining)
+                .expect("clock lock");
+            stopped = guard;
+        }
+    }
+
+    fn shutdown(&self) {
+        *self.stop.lock().expect("clock lock") = true;
+        self.cond.notify_all();
+    }
+
+    fn now_seconds(&self) -> f64 {
+        self.started.elapsed().as_secs_f64()
+    }
+}
+
+/// A test clock that never advances on its own. Each [`ManualClock::step`]
+/// grants the controller exactly one evaluation and blocks until that
+/// evaluation has finished, making scaling decisions fully deterministic:
+/// the test, not the scheduler, decides when pressure is sampled.
+#[derive(Debug, Default)]
+pub struct ManualClock {
+    state: Mutex<ManualState>,
+    cond: Condvar,
+}
+
+#[derive(Debug, Default)]
+struct ManualState {
+    granted: u64,
+    consumed: u64,
+    evaluated: u64,
+    shutdown: bool,
+}
+
+impl ManualClock {
+    /// Creates a paused clock.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Grants one tick and blocks until the controller has fully evaluated
+    /// it. Returns `false` if the clock was shut down before the evaluation
+    /// completed (e.g. the service finished).
+    pub fn step(&self) -> bool {
+        let mut state = self.state.lock().expect("manual clock lock");
+        state.granted += 1;
+        let target = state.granted;
+        self.cond.notify_all();
+        while state.evaluated < target && !state.shutdown {
+            state = self.cond.wait(state).expect("manual clock lock");
+        }
+        state.evaluated >= target
+    }
+
+    /// Ticks evaluated so far.
+    pub fn evaluations(&self) -> u64 {
+        self.state.lock().expect("manual clock lock").evaluated
+    }
+}
+
+impl ScaleClock for ManualClock {
+    fn wait_tick(&self) -> bool {
+        let mut state = self.state.lock().expect("manual clock lock");
+        // Entering the wait means the work since the previous tick is done.
+        state.evaluated = state.consumed;
+        self.cond.notify_all();
+        while state.granted == state.consumed && !state.shutdown {
+            state = self.cond.wait(state).expect("manual clock lock");
+        }
+        if state.shutdown {
+            return false;
+        }
+        state.consumed += 1;
+        true
+    }
+
+    fn shutdown(&self) {
+        let mut state = self.state.lock().expect("manual clock lock");
+        state.shutdown = true;
+        self.cond.notify_all();
+    }
+
+    fn now_seconds(&self) -> f64 {
+        self.state.lock().expect("manual clock lock").consumed as f64
+    }
+}
+
+/// Dynamic-scaling configuration: pool bounds, pressure watermarks, and the
+/// sampling cadence.
+#[derive(Clone)]
+pub struct ScalerConfig {
+    /// Fill pool lower bound (never retired below this).
+    pub min_fill: usize,
+    /// Fill pool upper bound (never grown above this).
+    pub max_fill: usize,
+    /// Compute pool lower bound.
+    pub min_compute: usize,
+    /// Compute pool upper bound.
+    pub max_compute: usize,
+    /// Queue-depth fraction (of the queue capacity) at or above which a pool
+    /// is considered under pressure.
+    pub high_watermark: f64,
+    /// Queue-depth fraction at or below which a pool is considered idle.
+    pub low_watermark: f64,
+    /// Consecutive pressured (or idle) ticks required before scaling acts.
+    pub sustain_ticks: u32,
+    /// Wall-clock sampling period (ignored when a custom clock is
+    /// installed).
+    pub tick_period: Duration,
+    /// Clock override for deterministic tests; `None` uses a [`WallClock`]
+    /// ticking every `tick_period`.
+    pub clock: Option<Arc<dyn ScaleClock>>,
+}
+
+impl ScalerConfig {
+    /// Creates a scaling policy with the same `[min, max]` worker bounds for
+    /// the fill and compute pools and default watermarks: pressure at ≥ 3/4
+    /// of a queue's capacity, idle at ≤ 1/8, acting after 3 sustained ticks,
+    /// sampling every 20ms.
+    pub fn bounds(min_workers: usize, max_workers: usize) -> Self {
+        let min = min_workers.max(1);
+        let max = max_workers.max(min);
+        Self {
+            min_fill: min,
+            max_fill: max,
+            min_compute: min,
+            max_compute: max,
+            high_watermark: 0.75,
+            low_watermark: 0.125,
+            sustain_ticks: 3,
+            tick_period: Duration::from_millis(20),
+            clock: None,
+        }
+    }
+
+    /// Overrides the fill pool bounds.
+    #[must_use]
+    pub fn with_fill_bounds(mut self, min: usize, max: usize) -> Self {
+        self.min_fill = min.max(1);
+        self.max_fill = max.max(self.min_fill);
+        self
+    }
+
+    /// Overrides the compute pool bounds.
+    #[must_use]
+    pub fn with_compute_bounds(mut self, min: usize, max: usize) -> Self {
+        self.min_compute = min.max(1);
+        self.max_compute = max.max(self.min_compute);
+        self
+    }
+
+    /// Overrides the pressure watermarks (fractions of queue capacity).
+    #[must_use]
+    pub fn with_watermarks(mut self, high: f64, low: f64) -> Self {
+        self.high_watermark = high.clamp(0.0, 1.0);
+        self.low_watermark = low.clamp(0.0, self.high_watermark);
+        self
+    }
+
+    /// Overrides how many consecutive ticks of pressure (or idleness) are
+    /// required before the controller acts.
+    #[must_use]
+    pub fn with_sustain_ticks(mut self, ticks: u32) -> Self {
+        self.sustain_ticks = ticks.max(1);
+        self
+    }
+
+    /// Overrides the wall-clock sampling period.
+    #[must_use]
+    pub fn with_tick_period(mut self, period: Duration) -> Self {
+        self.tick_period = period;
+        self
+    }
+
+    /// Installs a custom clock (e.g. a [`ManualClock`] in tests).
+    #[must_use]
+    pub fn with_clock(mut self, clock: Arc<dyn ScaleClock>) -> Self {
+        self.clock = Some(clock);
+        self
+    }
+}
+
+impl std::fmt::Debug for ScalerConfig {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ScalerConfig")
+            .field("min_fill", &self.min_fill)
+            .field("max_fill", &self.max_fill)
+            .field("min_compute", &self.min_compute)
+            .field("max_compute", &self.max_compute)
+            .field("high_watermark", &self.high_watermark)
+            .field("low_watermark", &self.low_watermark)
+            .field("sustain_ticks", &self.sustain_ticks)
+            .field("tick_period", &self.tick_period)
+            .field("custom_clock", &self.clock.is_some())
+            .finish()
+    }
+}
+
+/// One recorded pool resize.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScaleEvent {
+    /// Clock seconds when the decision was made.
+    pub at_seconds: f64,
+    /// `"fill"` or `"compute"`.
+    pub pool: String,
+    /// Worker count before the event.
+    pub from: usize,
+    /// Worker count the event moves toward.
+    pub to: usize,
+    /// The queue depth that triggered the decision.
+    pub queue_depth: usize,
+}
+
+impl ScaleEvent {
+    /// Whether this event grew the pool.
+    pub fn is_grow(&self) -> bool {
+        self.to > self.from
+    }
+}
+
+/// Shared bookkeeping of one elastic worker pool: the live count, pending
+/// cooperative retirements, and every spawned thread's join handle.
+#[derive(Debug, Default)]
+pub(crate) struct PoolGovernor {
+    live: AtomicUsize,
+    retiring: AtomicUsize,
+    spawned_total: AtomicUsize,
+    peak_live: AtomicUsize,
+    handles: Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl PoolGovernor {
+    pub(crate) fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a newly spawned worker.
+    pub(crate) fn adopt(&self, handle: JoinHandle<()>) {
+        let live = self.live.fetch_add(1, Ordering::AcqRel) + 1;
+        self.peak_live.fetch_max(live, Ordering::AcqRel);
+        self.handles.lock().expect("governor lock").push(handle);
+    }
+
+    /// Reserves the next worker id (used for thread names).
+    pub(crate) fn next_worker_id(&self) -> usize {
+        self.spawned_total.fetch_add(1, Ordering::AcqRel)
+    }
+
+    /// Currently live workers.
+    pub(crate) fn live(&self) -> usize {
+        self.live.load(Ordering::Acquire)
+    }
+
+    /// High-water mark of live workers.
+    pub(crate) fn peak_live(&self) -> usize {
+        self.peak_live.load(Ordering::Acquire)
+    }
+
+    /// Live workers minus pending retirements — the count the pool is
+    /// converging toward.
+    pub(crate) fn target(&self) -> usize {
+        self.live
+            .load(Ordering::Acquire)
+            .saturating_sub(self.retiring.load(Ordering::Acquire))
+    }
+
+    /// Asks one worker to retire at its next poll.
+    pub(crate) fn request_retire(&self) {
+        self.retiring.fetch_add(1, Ordering::AcqRel);
+    }
+
+    /// Called by workers between items: claims a pending retirement, if any.
+    /// A `true` return means "this worker must exit now".
+    pub(crate) fn try_retire(&self) -> bool {
+        loop {
+            let pending = self.retiring.load(Ordering::Acquire);
+            if pending == 0 {
+                return false;
+            }
+            if self
+                .retiring
+                .compare_exchange(pending, pending - 1, Ordering::AcqRel, Ordering::Acquire)
+                .is_ok()
+            {
+                self.live.fetch_sub(1, Ordering::AcqRel);
+                return true;
+            }
+        }
+    }
+
+    /// Called by workers exiting for any non-retirement reason (end of
+    /// stream) so the live gauge stays truthful during drain.
+    pub(crate) fn note_exit(&self) {
+        self.live.fetch_sub(1, Ordering::AcqRel);
+    }
+
+    /// Takes every join handle accumulated so far (initial and dynamically
+    /// spawned workers alike).
+    pub(crate) fn take_handles(&self) -> Vec<JoinHandle<()>> {
+        std::mem::take(&mut *self.handles.lock().expect("governor lock"))
+    }
+}
+
+/// Everything the controller thread needs to steer one pool.
+pub(crate) struct PoolControls {
+    pub(crate) name: &'static str,
+    pub(crate) governor: Arc<PoolGovernor>,
+    pub(crate) min: usize,
+    pub(crate) max: usize,
+    /// Reads the depth of the queue feeding this pool.
+    pub(crate) queue_probe: Box<dyn Fn() -> usize + Send>,
+    /// Capacity of that queue (the watermark base).
+    pub(crate) queue_capacity: usize,
+    /// Spawns one more worker into the pool.
+    pub(crate) spawn: Box<dyn Fn() -> JoinHandle<()> + Send>,
+}
+
+pub(crate) struct ControllerParams {
+    pub(crate) config: ScalerConfig,
+    pub(crate) clock: Arc<dyn ScaleClock>,
+    pub(crate) fill: PoolControls,
+    pub(crate) compute: PoolControls,
+    pub(crate) events: Arc<Mutex<Vec<ScaleEvent>>>,
+    /// Invoked after any resize (grow or shrink) with the pools' new target
+    /// sizes, so the service keeps its batch pools sized to the live
+    /// in-flight population — smaller after a shrink, restored after a
+    /// grow.
+    pub(crate) on_resize: Box<dyn Fn(usize, usize) + Send>,
+}
+
+/// Per-pool sustained-pressure state.
+#[derive(Default)]
+struct Pressure {
+    above: u32,
+    below: u32,
+}
+
+/// Spawns the scaling controller thread.
+pub(crate) fn spawn_controller(params: ControllerParams) -> JoinHandle<()> {
+    std::thread::Builder::new()
+        .name("dpp-scaler".to_string())
+        .spawn(move || {
+            let ControllerParams {
+                config,
+                clock,
+                fill,
+                compute,
+                events,
+                on_resize,
+            } = params;
+            let mut fill_pressure = Pressure::default();
+            let mut compute_pressure = Pressure::default();
+            while clock.wait_tick() {
+                let mut resized = false;
+                resized |= evaluate(&config, &*clock, &fill, &mut fill_pressure, &events);
+                resized |= evaluate(&config, &*clock, &compute, &mut compute_pressure, &events);
+                if resized {
+                    on_resize(fill.governor.target(), compute.governor.target());
+                }
+            }
+        })
+        .expect("spawn scaling controller")
+}
+
+/// One pool's scaling decision for one tick. Returns `true` when the pool
+/// was resized in either direction.
+fn evaluate(
+    config: &ScalerConfig,
+    clock: &dyn ScaleClock,
+    pool: &PoolControls,
+    pressure: &mut Pressure,
+    events: &Arc<Mutex<Vec<ScaleEvent>>>,
+) -> bool {
+    let depth = (pool.queue_probe)();
+    let capacity = pool.queue_capacity.max(1);
+    let high = ((config.high_watermark * capacity as f64).ceil() as usize).max(1);
+    let low = (config.low_watermark * capacity as f64).floor() as usize;
+    if depth >= high {
+        pressure.above += 1;
+        pressure.below = 0;
+    } else if depth <= low {
+        pressure.below += 1;
+        pressure.above = 0;
+    } else {
+        pressure.above = 0;
+        pressure.below = 0;
+    }
+
+    let target = pool.governor.target();
+    if pressure.above >= config.sustain_ticks && target < pool.max {
+        pool.governor.adopt((pool.spawn)());
+        events.lock().expect("scale events lock").push(ScaleEvent {
+            at_seconds: clock.now_seconds(),
+            pool: pool.name.to_string(),
+            from: target,
+            to: target + 1,
+            queue_depth: depth,
+        });
+        pressure.above = 0;
+        return false;
+    }
+    if pressure.below >= config.sustain_ticks && target > pool.min {
+        pool.governor.request_retire();
+        events.lock().expect("scale events lock").push(ScaleEvent {
+            at_seconds: clock.now_seconds(),
+            pool: pool.name.to_string(),
+            from: target,
+            to: target - 1,
+            queue_depth: depth,
+        });
+        pressure.below = 0;
+        return true;
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn manual_clock_grants_exactly_one_evaluation_per_step() {
+        let clock = Arc::new(ManualClock::new());
+        let worker_clock = Arc::clone(&clock);
+        let evaluated = Arc::new(AtomicUsize::new(0));
+        let seen = Arc::clone(&evaluated);
+        let controller = std::thread::spawn(move || {
+            while worker_clock.wait_tick() {
+                seen.fetch_add(1, Ordering::SeqCst);
+            }
+        });
+        assert!(clock.step());
+        assert_eq!(evaluated.load(Ordering::SeqCst), 1);
+        assert!(clock.step());
+        assert_eq!(evaluated.load(Ordering::SeqCst), 2);
+        clock.shutdown();
+        controller.join().unwrap();
+        assert!(!clock.step(), "steps after shutdown must not hang");
+    }
+
+    #[test]
+    fn wall_clock_ticks_until_shutdown() {
+        let clock = WallClock::new(Duration::from_millis(1));
+        assert!(clock.wait_tick());
+        clock.shutdown();
+        assert!(!clock.wait_tick());
+        assert!(clock.now_seconds() >= 0.0);
+    }
+
+    #[test]
+    fn governor_retirement_bookkeeping() {
+        let governor = PoolGovernor::new();
+        governor.adopt(std::thread::spawn(|| {}));
+        governor.adopt(std::thread::spawn(|| {}));
+        assert_eq!(governor.live(), 2);
+        assert_eq!(governor.peak_live(), 2);
+        assert!(!governor.try_retire(), "no retirement requested yet");
+        governor.request_retire();
+        assert_eq!(governor.target(), 1);
+        assert!(governor.try_retire());
+        assert!(!governor.try_retire(), "request must be claimed once");
+        assert_eq!(governor.live(), 1);
+        for handle in governor.take_handles() {
+            handle.join().unwrap();
+        }
+    }
+}

@@ -1,11 +1,11 @@
 //! The streaming DPP service: a pipeline of fill workers, a deterministic
-//! sharding router, and a pool of convert/process workers, connected by
-//! bounded channels.
+//! sharding router, a pool of convert/process workers, and a fan-out sink,
+//! connected by bounded channels.
 //!
 //! ```text
-//!                    ┌─ fill worker ─┐          ┌─ compute worker ─┐
-//! submit_file ──▶ [input] ─ fill ─ [filled] ─ router ─ [work] ─ O3+O4 ─ [out] ─ sink
-//!                    └─ fill worker ─┘   (reorder + shard + coalesce)    (resequence)
+//!                    ┌─ fill worker ─┐          ┌─ compute worker ─┐        ┌─▶ trainer 0
+//! submit_file ──▶ [input] ─ fill ─ [filled] ─ router ─ [work] ─ O3+O4 ─ [out] ─ sink ─▶ trainer 1
+//!                    └─ fill worker ─┘   (reorder + shard + coalesce)  (resequence+assign) └─▶ trainer N
 //! ```
 //!
 //! * Every inter-stage payload is a flat [`ColumnarBatch`] — the service
@@ -17,20 +17,33 @@
 //!   each shard's rows into `batch_size` chunks. Because routing is
 //!   single-threaded and order-restored, batch composition is a pure
 //!   function of the submitted file sequence — output does not depend on
-//!   worker counts or scheduling.
+//!   worker counts, scheduling, or dynamic scaling.
 //! * **Compute workers** run the shared [`PhaseEngine`] (IKJT conversion O3,
 //!   deduplicated preprocessing O4) over coalesced chunks concurrently.
-//! * The **sink** resequences finished batches per shard so the concatenated
-//!   output is deterministic.
+//! * The **sink** resequences finished batches per shard and either collects
+//!   them (the default) or, with [`DppConfig::with_trainers`], streams them
+//!   onto N bounded per-trainer lanes with per-trainer flow control (see
+//!   [`crate::sink`]).
 //!
 //! Every queue is bounded: a slow stage blocks its upstream all the way back
 //! to `submit_file`, which is the service's backpressure contract over
-//! *in-flight* work. The sink itself collects finished batches until
-//! [`DppHandle::finish`] (see its docs for the memory implication).
+//! *in-flight* work. With [`DppConfig::with_scaling`], a controller thread
+//! additionally grows and shrinks the fill and compute pools from sustained
+//! queue-depth pressure (see [`crate::scaler`]).
 
-use crate::channel::{bounded, Gauge, Sender};
-use crate::metrics::{DppReport, DppSnapshot, ServiceCounters};
+use crate::channel::{bounded, Gauge, Receiver, RecvTimeout, Sender};
+use crate::metrics::{
+    DppReport, DppSnapshot, ServiceCounters, TrainerLaneReport, TrainerLaneSnapshot,
+};
 use crate::pool::BatchPool;
+use crate::scaler::{
+    spawn_controller, ControllerParams, PoolControls, PoolGovernor, ScaleClock, ScaleEvent,
+    ScalerConfig, WallClock,
+};
+use crate::sink::{
+    run_sink, BarrierState, LaneSender, LaneShared, OutBatch, SinkInput, SinkParams,
+    TrainerAssignPolicy, TrainerBatch, TrainerHandle,
+};
 use recd_core::ConvertedBatch;
 use recd_data::{ColumnarBatch, Schema};
 use recd_reader::{
@@ -41,6 +54,10 @@ use std::collections::BTreeMap;
 use std::sync::atomic::Ordering;
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// How often blocked workers wake to check for cooperative retirement.
+const WORKER_POLL: Duration = Duration::from_millis(2);
 
 /// How the router assigns incoming rows to shard lanes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -79,9 +96,9 @@ pub struct DppConfig {
     /// Batch assembly and dataloader configuration (shared with the batch
     /// reader tier).
     pub reader: ReaderConfig,
-    /// Concurrent fill (decode) workers.
+    /// Initial concurrent fill (decode) workers.
     pub fill_workers: usize,
-    /// Concurrent convert/process workers.
+    /// Initial concurrent convert/process workers.
     pub compute_workers: usize,
     /// Shard lanes rows are routed into.
     pub shards: usize,
@@ -89,6 +106,17 @@ pub struct DppConfig {
     pub queue_depth: usize,
     /// Row sharding policy.
     pub policy: ShardPolicy,
+    /// Trainer endpoints fed by the fan-out sink. `0` (the default) keeps
+    /// the legacy collect-everything sink that returns batches from
+    /// [`DppHandle::finish`].
+    pub trainers: usize,
+    /// How delivered batches are assigned to trainer lanes.
+    pub assign_policy: TrainerAssignPolicy,
+    /// Capacity of each per-trainer lane (that trainer's backpressure
+    /// window).
+    pub trainer_queue_depth: usize,
+    /// Dynamic worker scaling policy; `None` keeps the pools fixed.
+    pub scaling: Option<ScalerConfig>,
     /// Builds each compute worker's preprocessing pipeline (pipelines hold
     /// boxed transforms and are not `Clone`).
     pub pipeline_factory: fn() -> PreprocessPipeline,
@@ -97,8 +125,8 @@ pub struct DppConfig {
 impl DppConfig {
     /// Creates a configuration with production-flavored defaults: 2 fill
     /// workers, 2 compute workers, one shard per compute worker,
-    /// session-affine routing, and a backpressure window of 8 items per
-    /// queue.
+    /// session-affine routing, a backpressure window of 8 items per queue,
+    /// the collect sink, and no dynamic scaling.
     pub fn new(reader: ReaderConfig) -> Self {
         Self {
             reader,
@@ -107,6 +135,10 @@ impl DppConfig {
             shards: 2,
             queue_depth: 8,
             policy: ShardPolicy::SessionAffine,
+            trainers: 0,
+            assign_policy: TrainerAssignPolicy::ShardPinned,
+            trainer_queue_depth: 8,
+            scaling: None,
             pipeline_factory: PreprocessPipeline::new,
         }
     }
@@ -146,6 +178,38 @@ impl DppConfig {
         self
     }
 
+    /// Switches the sink into fan-out mode with `trainers` (minimum 1)
+    /// bounded per-trainer lanes; pull batches through the
+    /// [`TrainerHandle`]s returned by [`DppHandle::take_trainers`].
+    #[must_use]
+    pub fn with_trainers(mut self, trainers: usize) -> Self {
+        self.trainers = trainers.max(1);
+        self
+    }
+
+    /// Sets the trainer lane assignment policy (fan-out mode only).
+    #[must_use]
+    pub fn with_assign_policy(mut self, policy: TrainerAssignPolicy) -> Self {
+        self.assign_policy = policy;
+        self
+    }
+
+    /// Sets each trainer lane's capacity (minimum 1).
+    #[must_use]
+    pub fn with_trainer_queue_depth(mut self, depth: usize) -> Self {
+        self.trainer_queue_depth = depth.max(1);
+        self
+    }
+
+    /// Enables queue-depth-driven dynamic worker scaling. The initial
+    /// `fill_workers` / `compute_workers` counts are clamped into the
+    /// policy's bounds at start.
+    #[must_use]
+    pub fn with_scaling(mut self, scaling: ScalerConfig) -> Self {
+        self.scaling = Some(scaling);
+        self
+    }
+
     /// Sets the preprocessing pipeline factory.
     #[must_use]
     pub fn with_pipeline_factory(mut self, factory: fn() -> PreprocessPipeline) -> Self {
@@ -154,14 +218,22 @@ impl DppConfig {
     }
 }
 
-struct FileTask {
-    seq: u64,
-    path: String,
+/// One unit of fill work: a file to decode, or a partition barrier passing
+/// through. Both carry a position in the submission sequence, which is the
+/// service's ordering authority.
+enum FillTask {
+    File { seq: u64, path: String },
+    Barrier { seq: u64, id: u64 },
+}
+
+enum FilledPayload {
+    Rows(ColumnarBatch),
+    Barrier(u64),
 }
 
 struct FilledFile {
     seq: u64,
-    rows: ColumnarBatch,
+    payload: FilledPayload,
 }
 
 struct WorkItem {
@@ -170,16 +242,11 @@ struct WorkItem {
     rows: ColumnarBatch,
 }
 
-struct OutBatch {
-    shard: usize,
-    seq: u64,
-    batch: ConvertedBatch,
-}
-
 /// Everything a finished service run produced.
 #[derive(Debug)]
 pub struct DppOutput {
-    /// Emitted batches in deterministic (shard, sequence) order.
+    /// Emitted batches in deterministic (shard, sequence) order. Empty in
+    /// fan-out mode — there the batches went to the trainer lanes instead.
     pub batches: Vec<ConvertedBatch>,
     /// Final accounting.
     pub report: DppReport,
@@ -209,6 +276,308 @@ impl std::fmt::Display for DppError {
 
 impl std::error::Error for DppError {}
 
+/// Shared context of every fill worker, initial or dynamically spawned.
+struct FillCtx {
+    input_rx: Receiver<FillTask>,
+    filled_tx: Sender<FilledFile>,
+    store: Arc<TableStore>,
+    schema: Schema,
+    counters: Arc<ServiceCounters>,
+    phase_metrics: Arc<Mutex<ReaderMetrics>>,
+    errors: Arc<Mutex<Vec<String>>>,
+    batch_pool: Arc<BatchPool<ColumnarBatch>>,
+    governor: Arc<PoolGovernor>,
+}
+
+fn fill_worker_loop(ctx: &FillCtx) {
+    let mut local = ReaderMetrics::default();
+    // Long-lived decode scratch: decompression buffer, lengths stream,
+    // stripe staging batch.
+    let mut scratch = FileReadScratch::default();
+    let mut retired = false;
+    loop {
+        match ctx.input_rx.recv_timeout(WORKER_POLL) {
+            RecvTimeout::Item(FillTask::File { seq, path }) => {
+                // Decode into a pool-recycled batch; misses only occur while
+                // the pipeline's population warms up.
+                let mut rows = ctx.batch_pool.acquire(|| {
+                    ColumnarBatch::new(ctx.schema.dense_count(), ctx.schema.sparse_count())
+                });
+                match fill_file_columnar_into(
+                    &ctx.store,
+                    &ctx.schema,
+                    &path,
+                    &mut scratch,
+                    &mut rows,
+                    &mut local,
+                ) {
+                    Ok(()) => {
+                        ctx.counters.files_filled.fetch_add(1, Ordering::Relaxed);
+                    }
+                    Err(err) => {
+                        ctx.counters.errors.fetch_add(1, Ordering::Relaxed);
+                        ctx.errors
+                            .lock()
+                            .expect("error list lock")
+                            .push(format!("fill {path}: {err}"));
+                        // The router skips empty row sets, so ordering
+                        // survives fill failures: reset the batch to an
+                        // empty tombstone of the right shape.
+                        rows.reset(ctx.schema.dense_count(), ctx.schema.sparse_count());
+                    }
+                }
+                // A failed send means the run is being torn down; exit
+                // quietly.
+                if ctx
+                    .filled_tx
+                    .send(FilledFile {
+                        seq,
+                        payload: FilledPayload::Rows(rows),
+                    })
+                    .is_err()
+                {
+                    break;
+                }
+            }
+            RecvTimeout::Item(FillTask::Barrier { seq, id }) => {
+                // Barriers don't decode anything — they only need to occupy
+                // their position in the restored submission order.
+                if ctx
+                    .filled_tx
+                    .send(FilledFile {
+                        seq,
+                        payload: FilledPayload::Barrier(id),
+                    })
+                    .is_err()
+                {
+                    break;
+                }
+            }
+            RecvTimeout::Timeout => {}
+            RecvTimeout::Disconnected => break,
+        }
+        if ctx.governor.try_retire() {
+            retired = true;
+            break;
+        }
+    }
+    if !retired {
+        ctx.governor.note_exit();
+    }
+    *ctx.phase_metrics.lock().expect("phase metrics lock") += local;
+}
+
+/// Shared context of every compute worker.
+struct ComputeCtx {
+    work_rx: Receiver<WorkItem>,
+    out_tx: Sender<SinkInput>,
+    reader: ReaderConfig,
+    pipeline_factory: fn() -> PreprocessPipeline,
+    counters: Arc<ServiceCounters>,
+    phase_metrics: Arc<Mutex<ReaderMetrics>>,
+    errors: Arc<Mutex<Vec<String>>>,
+    batch_pool: Arc<BatchPool<ColumnarBatch>>,
+    converted_pool: Arc<BatchPool<ConvertedBatch>>,
+    governor: Arc<PoolGovernor>,
+}
+
+fn compute_worker_loop(ctx: &ComputeCtx) {
+    let mut engine = PhaseEngine::new(ctx.reader.clone(), (ctx.pipeline_factory)());
+    let mut local = ReaderMetrics::default();
+    let mut retired = false;
+    loop {
+        match ctx.work_rx.recv_timeout(WORKER_POLL) {
+            RecvTimeout::Item(item) => {
+                // Convert into a shell from the converted pool (hits require
+                // a consumer recycling shells), then hand the drained
+                // columnar chunk straight back to the fill workers.
+                let mut batch = ctx.converted_pool.acquire(ConvertedBatch::default);
+                let outcome = engine.run_batch_columnar_into(&item.rows, &mut batch, &mut local);
+                ctx.batch_pool.recycle(item.rows);
+                match outcome {
+                    Ok(()) => {
+                        ctx.counters.batches_out.fetch_add(1, Ordering::Relaxed);
+                        ctx.counters
+                            .samples_out
+                            .fetch_add(batch.batch_size as u64, Ordering::Relaxed);
+                        ctx.counters.egress_bytes.fetch_add(
+                            (batch.sparse_payload_bytes() + batch.dense.payload_bytes()) as u64,
+                            Ordering::Relaxed,
+                        );
+                        ctx.counters
+                            .logical_sparse_values
+                            .fetch_add(batch.logical_sparse_values() as u64, Ordering::Relaxed);
+                        ctx.counters
+                            .stored_sparse_values
+                            .fetch_add(batch.stored_sparse_values() as u64, Ordering::Relaxed);
+                        if ctx
+                            .out_tx
+                            .send(SinkInput::Batch(OutBatch {
+                                shard: item.shard,
+                                seq: item.seq,
+                                batch,
+                            }))
+                            .is_err()
+                        {
+                            break;
+                        }
+                    }
+                    Err(err) => {
+                        ctx.counters.errors.fetch_add(1, Ordering::Relaxed);
+                        ctx.errors
+                            .lock()
+                            .expect("error list lock")
+                            .push(format!("convert shard {}: {err}", item.shard));
+                        // The shell's contents are unspecified after a
+                        // failed convert, but every refill overwrites them —
+                        // keep the warm buffers in the loop.
+                        ctx.converted_pool.recycle(batch);
+                        // The sequence slot must still be accounted: the
+                        // sink's resequencer would otherwise wait on the
+                        // hole forever, stalling the shard's whole tail and
+                        // any barrier cut past it.
+                        if ctx
+                            .out_tx
+                            .send(SinkInput::Skip {
+                                shard: item.shard,
+                                seq: item.seq,
+                            })
+                            .is_err()
+                        {
+                            break;
+                        }
+                    }
+                }
+            }
+            RecvTimeout::Timeout => {}
+            RecvTimeout::Disconnected => break,
+        }
+        if ctx.governor.try_retire() {
+            retired = true;
+            break;
+        }
+    }
+    if !retired {
+        ctx.governor.note_exit();
+    }
+    *ctx.phase_metrics.lock().expect("phase metrics lock") += local;
+}
+
+struct RouterCtx {
+    filled_rx: Receiver<FilledFile>,
+    work_tx: Sender<WorkItem>,
+    out_tx: Sender<SinkInput>,
+    policy: ShardPolicy,
+    shards: usize,
+    batch_size: usize,
+    dense_cols: usize,
+    sparse_cols: usize,
+    counters: Arc<ServiceCounters>,
+    batch_pool: Arc<BatchPool<ColumnarBatch>>,
+    phase_metrics: Arc<Mutex<ReaderMetrics>>,
+}
+
+fn router_loop(ctx: RouterCtx) {
+    // Accumulators come off the pool: at steady state a shard's next buffer
+    // is a batch some compute worker just finished with.
+    let fresh = || {
+        ctx.batch_pool.acquire(|| {
+            ColumnarBatch::with_capacity(ctx.dense_cols, ctx.sparse_cols, ctx.batch_size)
+        })
+    };
+    let mut pending: BTreeMap<u64, FilledPayload> = BTreeMap::new();
+    let mut next_seq = 0u64;
+    // FileRoundRobin counts *files*, not submission seqs: barriers occupy a
+    // seq but must not shift the file → shard rotation.
+    let mut files_routed = 0u64;
+    // Shard accumulators are columnar too: routing a row is a handful of
+    // flat-buffer appends, not a Sample move, and the buffers amortize
+    // across batches.
+    let mut accumulators: Vec<ColumnarBatch> = (0..ctx.shards).map(|_| fresh()).collect();
+    let mut shard_seqs = vec![0u64; ctx.shards];
+    let mut row_rr = 0usize;
+    let mut local = ReaderMetrics::default();
+    let emit = |shard: usize, rows: ColumnarBatch, shard_seqs: &mut Vec<u64>| -> bool {
+        let seq = shard_seqs[shard];
+        shard_seqs[shard] += 1;
+        ctx.work_tx.send(WorkItem { shard, seq, rows }).is_ok()
+    };
+    'stream: while let Some(filled) = ctx.filled_rx.recv() {
+        pending.insert(filled.seq, filled.payload);
+        // Drain the contiguous prefix in submission order.
+        while let Some(payload) = pending.remove(&next_seq) {
+            next_seq += 1;
+            match payload {
+                FilledPayload::Rows(rows) => {
+                    let file_idx = files_routed;
+                    files_routed += 1;
+                    ctx.counters
+                        .rows_routed
+                        .fetch_add(rows.len() as u64, Ordering::Relaxed);
+                    for row in 0..rows.len() {
+                        let shard = match ctx.policy {
+                            ShardPolicy::FileRoundRobin => (file_idx % ctx.shards as u64) as usize,
+                            ShardPolicy::SessionAffine => {
+                                (recd_codec::hash_ids(&[rows.session_id(row).raw()])
+                                    % ctx.shards as u64) as usize
+                            }
+                            ShardPolicy::RowRoundRobin => {
+                                row_rr = (row_rr + 1) % ctx.shards;
+                                row_rr
+                            }
+                        };
+                        accumulators[shard].push_row_from(&rows, row);
+                        if accumulators[shard].len() >= ctx.batch_size {
+                            let full = std::mem::replace(&mut accumulators[shard], fresh());
+                            if !emit(shard, full, &mut shard_seqs) {
+                                break 'stream;
+                            }
+                        }
+                    }
+                    // The decoded file's rows have all been copied into
+                    // accumulators; its buffers go back to the fill workers.
+                    ctx.batch_pool.recycle(rows);
+                }
+                FilledPayload::Barrier(id) => {
+                    // Partition boundary: everything submitted before the
+                    // barrier must be emitted, so partial accumulators flush
+                    // as short batches (full ones were emitted eagerly).
+                    for (shard, accumulator) in accumulators.iter_mut().enumerate() {
+                        if !accumulator.is_empty() {
+                            let partial = std::mem::replace(accumulator, fresh());
+                            local.flushed_partial_batches += 1;
+                            if !emit(shard, partial, &mut shard_seqs) {
+                                break 'stream;
+                            }
+                        }
+                    }
+                    local.barrier_flushes += 1;
+                    // The cuts tell the sink exactly which per-shard
+                    // sequence prefix precedes this barrier; arrival order
+                    // at the sink is irrelevant.
+                    if ctx
+                        .out_tx
+                        .send(SinkInput::Barrier {
+                            id,
+                            cuts: shard_seqs.clone(),
+                        })
+                        .is_err()
+                    {
+                        break 'stream;
+                    }
+                }
+            }
+        }
+    }
+    // End of stream: flush partial accumulators in shard order.
+    for (shard, rows) in accumulators.into_iter().enumerate() {
+        if !rows.is_empty() && !emit(shard, rows, &mut shard_seqs) {
+            break;
+        }
+    }
+    *ctx.phase_metrics.lock().expect("phase metrics lock") += local;
+}
+
 /// The long-running streaming preprocessing service. [`DppService::start`]
 /// spawns the worker topology and returns a [`DppHandle`] for feeding it.
 #[derive(Debug)]
@@ -217,47 +586,77 @@ pub struct DppService;
 impl DppService {
     /// Starts the service over a table store. Work arrives via
     /// [`DppHandle::submit_file`]; results and metrics come back through
-    /// [`DppHandle::finish`].
+    /// [`DppHandle::finish`] (and, in fan-out mode, through the
+    /// [`TrainerHandle`]s from [`DppHandle::take_trainers`]).
     pub fn start(config: DppConfig, store: Arc<TableStore>, schema: Schema) -> DppHandle {
         let counters = Arc::new(ServiceCounters::default());
         let phase_metrics = Arc::new(Mutex::new(ReaderMetrics::default()));
         let errors = Arc::new(Mutex::new(Vec::new()));
+        let barriers = Arc::new(BarrierState::default());
+        let scale_events: Arc<Mutex<Vec<ScaleEvent>>> = Arc::new(Mutex::new(Vec::new()));
+
+        // Worker counts start clamped into the scaling bounds (when bounds
+        // exist); the pools size for the maximum population they may grow to.
+        let (initial_fill, initial_compute, max_fill, max_compute) = match &config.scaling {
+            Some(s) => (
+                config.fill_workers.clamp(s.min_fill, s.max_fill),
+                config.compute_workers.clamp(s.min_compute, s.max_compute),
+                s.max_fill,
+                s.max_compute,
+            ),
+            None => (
+                config.fill_workers,
+                config.compute_workers,
+                config.fill_workers,
+                config.compute_workers,
+            ),
+        };
 
         // The swap-buffer arena: every ColumnarBatch in flight — decoded
         // files, shard accumulators, coalesced work chunks — is drawn from
         // and recycled into this one pool, so steady-state batches allocate
         // nothing. Capacity covers the maximum in-flight population (both
-        // queues plus every stage's working set) with headroom, so recycles
-        // are only discarded during teardown spikes.
+        // queues plus every stage's working set) with headroom; dynamic
+        // scale-downs shrink it again.
         let batch_pool: Arc<BatchPool<ColumnarBatch>> = Arc::new(BatchPool::new(
-            config.queue_depth * 2 + config.shards + config.fill_workers + config.compute_workers,
+            config.queue_depth * 2 + config.shards + max_fill + max_compute,
         ));
         // Converted-batch shells flow compute → sink → consumer; the
         // consumer recycles them back through DppHandle::converted_pool.
-        let converted_pool: Arc<BatchPool<ConvertedBatch>> = Arc::new(BatchPool::new(
-            config.queue_depth * 2 + config.compute_workers,
-        ));
+        let converted_pool: Arc<BatchPool<ConvertedBatch>> =
+            Arc::new(BatchPool::new(config.queue_depth * 2 + max_compute));
 
-        let (input_tx, input_rx) = bounded::<FileTask>(config.queue_depth);
+        let (input_tx, input_rx) = bounded::<FillTask>(config.queue_depth);
         let (filled_tx, filled_rx) = bounded::<FilledFile>(config.queue_depth);
         let (work_tx, work_rx) = bounded::<WorkItem>(config.queue_depth);
-        let (out_tx, out_rx) = bounded::<OutBatch>(config.queue_depth);
+        let (out_tx, out_rx) = bounded::<SinkInput>(config.queue_depth);
 
-        // Passive gauges for live snapshots: they read depths without
-        // participating in the channels' disconnect bookkeeping, so failure
-        // detection (e.g. after a worker panic) is unaffected by monitoring.
-        let gauges = SnapshotSource {
-            counters: Arc::clone(&counters),
-            input_gauge: input_rx.gauge(),
-            filled_gauge: filled_rx.gauge(),
-            work_gauge: work_rx.gauge(),
-            out_gauge: out_rx.gauge(),
-            batch_pool: Arc::clone(&batch_pool),
-            converted_pool: Arc::clone(&converted_pool),
-        };
+        let input_gauge = input_rx.gauge();
+        let filled_gauge = filled_rx.gauge();
+        let work_gauge = work_rx.gauge();
+        let out_gauge = out_rx.gauge();
 
-        let mut fill_threads = Vec::new();
-        for worker in 0..config.fill_workers {
+        let fill_gov = Arc::new(PoolGovernor::new());
+        let compute_gov = Arc::new(PoolGovernor::new());
+
+        // Trainer lanes (fan-out mode).
+        let mut lanes = Vec::new();
+        let mut trainer_handles = Vec::new();
+        let mut lane_shared = Vec::new();
+        let mut lane_gauges = Vec::new();
+        for trainer in 0..config.trainers {
+            let (tx, rx) = bounded::<TrainerBatch>(config.trainer_queue_depth);
+            let shared = Arc::new(LaneShared::default());
+            lane_gauges.push(rx.gauge());
+            trainer_handles.push(TrainerHandle::new(trainer, rx, Arc::clone(&shared)));
+            lane_shared.push(Arc::clone(&shared));
+            lanes.push(LaneSender { tx, shared });
+        }
+
+        // Worker spawners: one closure per pool, usable both for the initial
+        // population and by the scaling controller. Each call clones its
+        // captured channel ends for the new thread.
+        let spawn_fill: Box<dyn Fn() -> JoinHandle<()> + Send> = {
             let input_rx = input_rx.clone();
             let filled_tx = filled_tx.clone();
             let store = Arc::clone(&store);
@@ -266,254 +665,196 @@ impl DppService {
             let phase_metrics = Arc::clone(&phase_metrics);
             let errors = Arc::clone(&errors);
             let batch_pool = Arc::clone(&batch_pool);
-            fill_threads.push(
+            let governor = Arc::clone(&fill_gov);
+            Box::new(move || {
+                let worker = governor.next_worker_id();
+                let ctx = FillCtx {
+                    input_rx: input_rx.clone(),
+                    filled_tx: filled_tx.clone(),
+                    store: Arc::clone(&store),
+                    schema: schema.clone(),
+                    counters: Arc::clone(&counters),
+                    phase_metrics: Arc::clone(&phase_metrics),
+                    errors: Arc::clone(&errors),
+                    batch_pool: Arc::clone(&batch_pool),
+                    governor: Arc::clone(&governor),
+                };
                 std::thread::Builder::new()
                     .name(format!("dpp-fill-{worker}"))
-                    .spawn(move || {
-                        let mut local = ReaderMetrics::default();
-                        // Long-lived decode scratch: decompression buffer,
-                        // lengths stream, stripe staging batch.
-                        let mut scratch = FileReadScratch::default();
-                        let fresh =
-                            || ColumnarBatch::new(schema.dense_count(), schema.sparse_count());
-                        while let Some(task) = input_rx.recv() {
-                            // Decode into a pool-recycled batch; misses only
-                            // occur while the pipeline's population warms up.
-                            let mut rows = batch_pool.acquire(fresh);
-                            match fill_file_columnar_into(
-                                &store,
-                                &schema,
-                                &task.path,
-                                &mut scratch,
-                                &mut rows,
-                                &mut local,
-                            ) {
-                                Ok(()) => {
-                                    counters.files_filled.fetch_add(1, Ordering::Relaxed);
-                                    // A failed send means the run is being torn
-                                    // down; exit quietly.
-                                    if filled_tx
-                                        .send(FilledFile {
-                                            seq: task.seq,
-                                            rows,
-                                        })
-                                        .is_err()
-                                    {
-                                        break;
-                                    }
-                                }
-                                Err(err) => {
-                                    counters.errors.fetch_add(1, Ordering::Relaxed);
-                                    errors
-                                        .lock()
-                                        .expect("error list lock")
-                                        .push(format!("fill {}: {err}", task.path));
-                                    // The router skips missing seqs via the
-                                    // tombstone below so ordering survives
-                                    // fill failures. A failed decode leaves
-                                    // the batch unspecified; reset it to an
-                                    // empty tombstone of the right shape.
-                                    rows.reset(schema.dense_count(), schema.sparse_count());
-                                    if filled_tx
-                                        .send(FilledFile {
-                                            seq: task.seq,
-                                            rows,
-                                        })
-                                        .is_err()
-                                    {
-                                        break;
-                                    }
-                                }
-                            }
-                        }
-                        *phase_metrics.lock().expect("phase metrics lock") += local;
-                    })
-                    .expect("spawn fill worker"),
-            );
-        }
-        drop(input_rx);
-        drop(filled_tx);
-
-        let router = {
-            let config_snapshot = (config.policy, config.shards, config.reader.batch_size);
-            let shape = (schema.dense_count(), schema.sparse_count());
-            let counters = Arc::clone(&counters);
-            let batch_pool = Arc::clone(&batch_pool);
-            std::thread::Builder::new()
-                .name("dpp-router".to_string())
-                .spawn(move || {
-                    let (policy, shards, batch_size) = config_snapshot;
-                    let (dense_cols, sparse_cols) = shape;
-                    // Accumulators come off the pool: at steady state a
-                    // shard's next buffer is a batch some compute worker
-                    // just finished with.
-                    let fresh = || {
-                        batch_pool.acquire(|| {
-                            ColumnarBatch::with_capacity(dense_cols, sparse_cols, batch_size)
-                        })
-                    };
-                    let mut pending: BTreeMap<u64, ColumnarBatch> = BTreeMap::new();
-                    let mut next_seq = 0u64;
-                    // Shard accumulators are columnar too: routing a row is a
-                    // handful of flat-buffer appends, not a Sample move, and
-                    // the buffers amortize across batches.
-                    let mut accumulators: Vec<ColumnarBatch> =
-                        (0..shards).map(|_| fresh()).collect();
-                    let mut shard_seqs = vec![0u64; shards];
-                    let mut row_rr = 0usize;
-                    let emit =
-                        |shard: usize, rows: ColumnarBatch, shard_seqs: &mut Vec<u64>| -> bool {
-                            let seq = shard_seqs[shard];
-                            shard_seqs[shard] += 1;
-                            work_tx.send(WorkItem { shard, seq, rows }).is_ok()
-                        };
-                    'stream: while let Some(filled) = filled_rx.recv() {
-                        pending.insert(filled.seq, filled.rows);
-                        // Drain the contiguous prefix in submission order.
-                        while let Some(rows) = pending.remove(&next_seq) {
-                            let file_seq = next_seq;
-                            next_seq += 1;
-                            counters
-                                .rows_routed
-                                .fetch_add(rows.len() as u64, Ordering::Relaxed);
-                            for row in 0..rows.len() {
-                                let shard = match policy {
-                                    ShardPolicy::FileRoundRobin => {
-                                        (file_seq % shards as u64) as usize
-                                    }
-                                    ShardPolicy::SessionAffine => {
-                                        (recd_codec::hash_ids(&[rows.session_id(row).raw()])
-                                            % shards as u64)
-                                            as usize
-                                    }
-                                    ShardPolicy::RowRoundRobin => {
-                                        row_rr = (row_rr + 1) % shards;
-                                        row_rr
-                                    }
-                                };
-                                accumulators[shard].push_row_from(&rows, row);
-                                if accumulators[shard].len() >= batch_size {
-                                    let full = std::mem::replace(&mut accumulators[shard], fresh());
-                                    if !emit(shard, full, &mut shard_seqs) {
-                                        break 'stream;
-                                    }
-                                }
-                            }
-                            // The decoded file's rows have all been copied
-                            // into accumulators; its buffers go back to the
-                            // fill workers.
-                            batch_pool.recycle(rows);
-                        }
-                    }
-                    // End of stream: flush partial accumulators in shard order.
-                    for (shard, rows) in accumulators.into_iter().enumerate() {
-                        if !rows.is_empty() && !emit(shard, rows, &mut shard_seqs) {
-                            break;
-                        }
-                    }
-                })
-                .expect("spawn router")
+                    .spawn(move || fill_worker_loop(&ctx))
+                    .expect("spawn fill worker")
+            })
         };
-
-        let mut compute_threads = Vec::new();
-        for worker in 0..config.compute_workers {
+        let spawn_compute: Box<dyn Fn() -> JoinHandle<()> + Send> = {
             let work_rx = work_rx.clone();
             let out_tx = out_tx.clone();
-            let mut engine = PhaseEngine::new(config.reader.clone(), (config.pipeline_factory)());
+            let reader = config.reader.clone();
+            let pipeline_factory = config.pipeline_factory;
             let counters = Arc::clone(&counters);
             let phase_metrics = Arc::clone(&phase_metrics);
             let errors = Arc::clone(&errors);
             let batch_pool = Arc::clone(&batch_pool);
             let converted_pool = Arc::clone(&converted_pool);
-            compute_threads.push(
+            let governor = Arc::clone(&compute_gov);
+            Box::new(move || {
+                let worker = governor.next_worker_id();
+                let ctx = ComputeCtx {
+                    work_rx: work_rx.clone(),
+                    out_tx: out_tx.clone(),
+                    reader: reader.clone(),
+                    pipeline_factory,
+                    counters: Arc::clone(&counters),
+                    phase_metrics: Arc::clone(&phase_metrics),
+                    errors: Arc::clone(&errors),
+                    batch_pool: Arc::clone(&batch_pool),
+                    converted_pool: Arc::clone(&converted_pool),
+                    governor: Arc::clone(&governor),
+                };
                 std::thread::Builder::new()
                     .name(format!("dpp-compute-{worker}"))
-                    .spawn(move || {
-                        let mut local = ReaderMetrics::default();
-                        while let Some(item) = work_rx.recv() {
-                            // Convert into a shell from the converted pool
-                            // (hits require a consumer recycling shells),
-                            // then hand the drained columnar chunk straight
-                            // back to the fill workers.
-                            let mut batch = converted_pool.acquire(ConvertedBatch::default);
-                            let outcome =
-                                engine.run_batch_columnar_into(&item.rows, &mut batch, &mut local);
-                            batch_pool.recycle(item.rows);
-                            match outcome {
-                                Ok(()) => {
-                                    counters.batches_out.fetch_add(1, Ordering::Relaxed);
-                                    counters
-                                        .samples_out
-                                        .fetch_add(batch.batch_size as u64, Ordering::Relaxed);
-                                    counters.egress_bytes.fetch_add(
-                                        (batch.sparse_payload_bytes() + batch.dense.payload_bytes())
-                                            as u64,
-                                        Ordering::Relaxed,
-                                    );
-                                    counters.logical_sparse_values.fetch_add(
-                                        batch.logical_sparse_values() as u64,
-                                        Ordering::Relaxed,
-                                    );
-                                    counters.stored_sparse_values.fetch_add(
-                                        batch.stored_sparse_values() as u64,
-                                        Ordering::Relaxed,
-                                    );
-                                    if out_tx
-                                        .send(OutBatch {
-                                            shard: item.shard,
-                                            seq: item.seq,
-                                            batch,
-                                        })
-                                        .is_err()
-                                    {
-                                        break;
-                                    }
-                                }
-                                Err(err) => {
-                                    counters.errors.fetch_add(1, Ordering::Relaxed);
-                                    errors
-                                        .lock()
-                                        .expect("error list lock")
-                                        .push(format!("convert shard {}: {err}", item.shard));
-                                    // The shell's contents are unspecified
-                                    // after a failed convert, but every
-                                    // refill overwrites them — keep the
-                                    // warm buffers in the loop.
-                                    converted_pool.recycle(batch);
-                                }
-                            }
-                        }
-                        *phase_metrics.lock().expect("phase metrics lock") += local;
-                    })
-                    .expect("spawn compute worker"),
-            );
-        }
-        drop(work_rx);
-        drop(out_tx);
-
-        let sink = std::thread::Builder::new()
-            .name("dpp-sink".to_string())
-            .spawn(move || {
-                let mut collected: BTreeMap<(usize, u64), ConvertedBatch> = BTreeMap::new();
-                while let Some(out) = out_rx.recv() {
-                    collected.insert((out.shard, out.seq), out.batch);
-                }
-                collected
+                    .spawn(move || compute_worker_loop(&ctx))
+                    .expect("spawn compute worker")
             })
-            .expect("spawn sink");
+        };
+
+        for _ in 0..initial_fill {
+            fill_gov.adopt(spawn_fill());
+        }
+        for _ in 0..initial_compute {
+            compute_gov.adopt(spawn_compute());
+        }
+
+        let router = {
+            let ctx = RouterCtx {
+                filled_rx,
+                work_tx,
+                out_tx: out_tx.clone(),
+                policy: config.policy,
+                shards: config.shards,
+                batch_size: config.reader.batch_size,
+                dense_cols: schema.dense_count(),
+                sparse_cols: schema.sparse_count(),
+                counters: Arc::clone(&counters),
+                batch_pool: Arc::clone(&batch_pool),
+                phase_metrics: Arc::clone(&phase_metrics),
+            };
+            std::thread::Builder::new()
+                .name("dpp-router".to_string())
+                .spawn(move || router_loop(ctx))
+                .expect("spawn router")
+        };
+
+        let sink = {
+            let params = SinkParams {
+                out_rx,
+                shards: config.shards,
+                lanes,
+                policy: config.assign_policy,
+                // The spillover lets healthy trainers keep receiving while
+                // one lane is full; once it overflows the sink blocks and
+                // ordinary backpressure takes over.
+                park_capacity: config.trainer_queue_depth * config.trainers.max(1),
+                barriers: Arc::clone(&barriers),
+                converted_pool: Arc::clone(&converted_pool),
+            };
+            std::thread::Builder::new()
+                .name("dpp-sink".to_string())
+                .spawn(move || run_sink(params))
+                .expect("spawn sink")
+        };
+
+        // The scaling controller takes ownership of the spawners; without
+        // scaling they are dropped here, releasing their channel clones.
+        let controller = match config.scaling.clone() {
+            Some(scaling) => {
+                let clock: Arc<dyn ScaleClock> = scaling
+                    .clock
+                    .clone()
+                    .unwrap_or_else(|| Arc::new(WallClock::new(scaling.tick_period)));
+                let resize_batch = Arc::clone(&batch_pool);
+                let resize_converted = Arc::clone(&converted_pool);
+                let queue_depth = config.queue_depth;
+                let shards = config.shards;
+                let params = ControllerParams {
+                    config: scaling.clone(),
+                    clock: Arc::clone(&clock),
+                    fill: PoolControls {
+                        name: "fill",
+                        governor: Arc::clone(&fill_gov),
+                        min: scaling.min_fill,
+                        max: scaling.max_fill,
+                        queue_probe: {
+                            let gauge = input_gauge.clone();
+                            Box::new(move || gauge.len())
+                        },
+                        queue_capacity: config.queue_depth,
+                        spawn: spawn_fill,
+                    },
+                    compute: PoolControls {
+                        name: "compute",
+                        governor: Arc::clone(&compute_gov),
+                        min: scaling.min_compute,
+                        max: scaling.max_compute,
+                        queue_probe: {
+                            let gauge = work_gauge.clone();
+                            Box::new(move || gauge.len())
+                        },
+                        queue_capacity: config.queue_depth,
+                        spawn: spawn_compute,
+                    },
+                    events: Arc::clone(&scale_events),
+                    on_resize: Box::new(move |fill_target, compute_target| {
+                        resize_batch
+                            .set_capacity(queue_depth * 2 + shards + fill_target + compute_target);
+                        resize_converted.set_capacity(queue_depth * 2 + compute_target);
+                    }),
+                };
+                Some((clock, spawn_controller(params)))
+            }
+            None => None,
+        };
+        drop(input_rx);
+
+        // Passive gauges for live snapshots: they read depths without
+        // participating in the channels' disconnect bookkeeping, so failure
+        // detection (e.g. after a worker panic) is unaffected by monitoring.
+        let gauges = SnapshotSource {
+            counters: Arc::clone(&counters),
+            input_gauge,
+            filled_gauge,
+            work_gauge,
+            out_gauge,
+            batch_pool: Arc::clone(&batch_pool),
+            converted_pool: Arc::clone(&converted_pool),
+            fill_gov: Arc::clone(&fill_gov),
+            compute_gov: Arc::clone(&compute_gov),
+            scale_events: Arc::clone(&scale_events),
+            lanes: lane_shared
+                .iter()
+                .cloned()
+                .zip(lane_gauges.iter().cloned())
+                .collect(),
+        };
 
         DppHandle {
             config,
             input: input_tx,
             next_file_seq: 0,
+            next_barrier_id: 0,
+            barriers,
             counters,
             phase_metrics,
             errors,
             gauges,
-            fill_threads,
+            trainers: trainer_handles,
+            fill_gov,
+            compute_gov,
+            scale_events,
+            lane_shared,
+            lane_gauges,
             router,
-            compute_threads,
             sink,
+            controller,
         }
     }
 }
@@ -524,19 +865,29 @@ impl DppService {
 #[derive(Clone)]
 pub struct SnapshotSource {
     counters: Arc<ServiceCounters>,
-    input_gauge: Gauge<FileTask>,
+    input_gauge: Gauge<FillTask>,
     filled_gauge: Gauge<FilledFile>,
     work_gauge: Gauge<WorkItem>,
-    out_gauge: Gauge<OutBatch>,
+    out_gauge: Gauge<SinkInput>,
     batch_pool: Arc<BatchPool<ColumnarBatch>>,
     converted_pool: Arc<BatchPool<ConvertedBatch>>,
+    fill_gov: Arc<PoolGovernor>,
+    compute_gov: Arc<PoolGovernor>,
+    scale_events: Arc<Mutex<Vec<ScaleEvent>>>,
+    lanes: Vec<(Arc<LaneShared>, Gauge<TrainerBatch>)>,
 }
 
 impl SnapshotSource {
-    /// Takes a live snapshot of throughput, progress, and queue depths.
+    /// Takes a live snapshot of throughput, progress, queue depths, worker
+    /// pool sizes, and per-trainer lane state.
     pub fn snapshot(&self) -> DppSnapshot {
         let elapsed = self.counters.elapsed_seconds();
         let samples = self.counters.samples_out.load(Ordering::Relaxed);
+        let (scale_ups, scale_downs) = {
+            let events = self.scale_events.lock().expect("scale events lock");
+            let ups = events.iter().filter(|e| e.is_grow()).count() as u64;
+            (ups, events.len() as u64 - ups)
+        };
         DppSnapshot {
             elapsed_seconds: elapsed,
             files_submitted: self.counters.files_submitted.load(Ordering::Relaxed),
@@ -554,6 +905,22 @@ impl SnapshotSource {
             filled_queue_depth: self.filled_gauge.len(),
             work_queue_depth: self.work_gauge.len(),
             output_queue_depth: self.out_gauge.len(),
+            fill_workers_live: self.fill_gov.live(),
+            compute_workers_live: self.compute_gov.live(),
+            scale_ups,
+            scale_downs,
+            trainers: self
+                .lanes
+                .iter()
+                .enumerate()
+                .map(|(trainer, (shared, gauge))| TrainerLaneSnapshot {
+                    trainer,
+                    queue_depth: gauge.len(),
+                    delivered_batches: shared.delivered_batches(),
+                    delivered_samples: shared.delivered_samples(),
+                    consumed_batches: shared.consumed_batches(),
+                })
+                .collect(),
             batch_pool: self.batch_pool.stats(),
             converted_pool: self.converted_pool.stats(),
             errors: self.counters.errors.load(Ordering::Relaxed),
@@ -564,16 +931,23 @@ impl SnapshotSource {
 /// The feeding/monitoring handle of a running [`DppService`].
 pub struct DppHandle {
     config: DppConfig,
-    input: Sender<FileTask>,
+    input: Sender<FillTask>,
     next_file_seq: u64,
+    next_barrier_id: u64,
+    barriers: Arc<BarrierState>,
     counters: Arc<ServiceCounters>,
     phase_metrics: Arc<Mutex<ReaderMetrics>>,
     errors: Arc<Mutex<Vec<String>>>,
     gauges: SnapshotSource,
-    fill_threads: Vec<JoinHandle<()>>,
+    trainers: Vec<TrainerHandle>,
+    fill_gov: Arc<PoolGovernor>,
+    compute_gov: Arc<PoolGovernor>,
+    scale_events: Arc<Mutex<Vec<ScaleEvent>>>,
+    lane_shared: Vec<Arc<LaneShared>>,
+    lane_gauges: Vec<Gauge<TrainerBatch>>,
     router: JoinHandle<()>,
-    compute_threads: Vec<JoinHandle<()>>,
     sink: JoinHandle<BTreeMap<(usize, u64), ConvertedBatch>>,
+    controller: Option<(Arc<dyn ScaleClock>, JoinHandle<()>)>,
 }
 
 impl DppHandle {
@@ -583,7 +957,7 @@ impl DppHandle {
     /// File submission order is the service's ordering authority: batch
     /// composition is a pure function of it (never of worker scheduling).
     pub fn submit_file(&mut self, path: impl Into<String>) {
-        let task = FileTask {
+        let task = FillTask::File {
             seq: self.next_file_seq,
             path: path.into(),
         };
@@ -601,6 +975,39 @@ impl DppHandle {
         for file in &partition.files {
             self.submit_file(file.clone());
         }
+    }
+
+    /// Injects a partition barrier and blocks until **every batch from
+    /// previously submitted files has been delivered** — pushed onto its
+    /// trainer lane in fan-out mode, collected by the sink otherwise. Shard
+    /// accumulators holding fewer than `batch_size` rows flush as short
+    /// batches, so a partition boundary never strands rows in the pipeline.
+    ///
+    /// While a flush waits, trainers must keep consuming (a full lane cannot
+    /// accept the flushed batches); the spillover buffer absorbs moderate
+    /// lag. Flushing an idle service returns immediately. Returns `false`
+    /// only if the service tore down before the barrier resolved.
+    pub fn flush_partition(&mut self) -> bool {
+        self.next_barrier_id += 1;
+        let id = self.next_barrier_id;
+        let task = FillTask::Barrier {
+            seq: self.next_file_seq,
+            id,
+        };
+        self.next_file_seq += 1;
+        if self.input.send(task).is_err() {
+            return false;
+        }
+        self.barriers.wait(id)
+    }
+
+    /// Takes the per-trainer pull endpoints (fan-out mode; empty when the
+    /// service was not configured with [`DppConfig::with_trainers`]). Hand
+    /// each one to its trainer thread; dropping a handle marks that trainer
+    /// dead and its batches are counted as dropped rather than wedging the
+    /// service.
+    pub fn take_trainers(&mut self) -> Vec<TrainerHandle> {
+        std::mem::take(&mut self.trainers)
     }
 
     /// Takes a live snapshot of throughput, progress, and queue depths.
@@ -623,59 +1030,112 @@ impl DppHandle {
     }
 
     /// Gracefully shuts down: closes the input, lets every stage drain, joins
-    /// all workers, and returns the resequenced batches plus the final
+    /// all workers (including the scaling controller and any dynamically
+    /// spawned workers), and returns the collected batches plus the final
     /// report.
     ///
-    /// Note on memory: the sink *collects* — the bounded queues cap
-    /// in-flight work between stages, but the finished batches accumulate
-    /// until this call returns, so a run must fit its output in memory. A
-    /// trainer-facing consumer API that streams batches out with per-shard
-    /// flow control is the planned next step (see ROADMAP "Open items").
+    /// In fan-out mode the sink streams instead of collecting, so
+    /// [`DppOutput::batches`] comes back empty and the drain completes once
+    /// the trainer lanes have accepted everything — keep consuming from the
+    /// [`TrainerHandle`]s (or drop them) while this call runs. In collect
+    /// mode the finished batches accumulate until this call returns, so a
+    /// run must fit its output in memory.
     ///
     /// # Errors
     ///
     /// Returns [`DppError`] (still carrying the report) if any fill or
     /// conversion failed during the run.
     pub fn finish(self) -> Result<DppOutput, DppError> {
+        let DppHandle {
+            config,
+            input,
+            counters,
+            phase_metrics,
+            errors,
+            gauges,
+            trainers,
+            fill_gov,
+            compute_gov,
+            scale_events,
+            lane_shared,
+            lane_gauges,
+            router,
+            sink,
+            controller,
+            barriers: _,
+            next_file_seq: _,
+            next_barrier_id: _,
+        } = self;
+        // The controller owns clones of the inter-stage channel ends (inside
+        // its spawners); it must exit before downstream stages can observe
+        // end-of-stream.
+        if let Some((clock, controller)) = controller {
+            clock.shutdown();
+            controller
+                .join()
+                .expect("scaling controller must not panic");
+        }
         // Closing the input cascades end-of-stream through every stage.
-        drop(self.input);
-        for handle in self.fill_threads {
+        drop(input);
+        // Untaken trainer handles would leave lanes forever unconsumed;
+        // dropping them lets the sink account those batches as dropped
+        // instead of blocking the drain.
+        drop(trainers);
+        for handle in fill_gov.take_handles() {
             handle.join().expect("fill worker must not panic");
         }
-        self.router.join().expect("router must not panic");
-        for handle in self.compute_threads {
+        router.join().expect("router must not panic");
+        for handle in compute_gov.take_handles() {
             handle.join().expect("compute worker must not panic");
         }
-        let collected = self.sink.join().expect("sink must not panic");
+        let collected = sink.join().expect("sink must not panic");
 
-        let wall_seconds = self.counters.elapsed_seconds();
-        let samples = self.counters.samples_out.load(Ordering::Relaxed) as usize;
-        let reader_metrics = *self.phase_metrics.lock().expect("phase metrics lock");
+        let wall_seconds = counters.elapsed_seconds();
+        let samples = counters.samples_out.load(Ordering::Relaxed) as usize;
+        let reader_metrics = *phase_metrics.lock().expect("phase metrics lock");
         let report = DppReport {
-            fill_workers: self.config.fill_workers,
-            compute_workers: self.config.compute_workers,
-            shards: self.config.shards,
-            policy: self.config.policy.name().to_string(),
+            fill_workers: config.fill_workers,
+            compute_workers: config.compute_workers,
+            peak_fill_workers: fill_gov.peak_live(),
+            peak_compute_workers: compute_gov.peak_live(),
+            shards: config.shards,
+            policy: config.policy.name().to_string(),
+            assign_policy: config.assign_policy.name().to_string(),
             wall_seconds,
             samples,
-            batches: collected.len(),
+            batches: counters.batches_out.load(Ordering::Relaxed) as usize,
             samples_per_second: if wall_seconds > 0.0 {
                 samples as f64 / wall_seconds
             } else {
                 0.0
             },
-            egress_bytes: self.counters.egress_bytes.load(Ordering::Relaxed) as usize,
-            dedupe_factor: self.counters.dedupe_factor(),
-            peak_input_queue_depth: self.gauges.input_gauge.peak_depth(),
-            peak_filled_queue_depth: self.gauges.filled_gauge.peak_depth(),
-            peak_work_queue_depth: self.gauges.work_gauge.peak_depth(),
-            peak_output_queue_depth: self.gauges.out_gauge.peak_depth(),
-            batch_pool: self.gauges.batch_pool.stats(),
-            converted_pool: self.gauges.converted_pool.stats(),
+            egress_bytes: counters.egress_bytes.load(Ordering::Relaxed) as usize,
+            dedupe_factor: counters.dedupe_factor(),
+            peak_input_queue_depth: gauges.input_gauge.peak_depth(),
+            peak_filled_queue_depth: gauges.filled_gauge.peak_depth(),
+            peak_work_queue_depth: gauges.work_gauge.peak_depth(),
+            peak_output_queue_depth: gauges.out_gauge.peak_depth(),
+            trainers: lane_shared
+                .iter()
+                .zip(&lane_gauges)
+                .enumerate()
+                .map(|(trainer, (shared, gauge))| TrainerLaneReport {
+                    trainer,
+                    delivered_batches: shared.delivered_batches(),
+                    delivered_samples: shared.delivered_samples(),
+                    consumed_batches: shared.consumed_batches(),
+                    consumed_samples: shared.consumed_samples(),
+                    dropped_batches: shared.dropped_batches(),
+                    peak_queue_depth: gauge.peak_depth(),
+                })
+                .collect(),
+            scale_events: scale_events.lock().expect("scale events lock").clone(),
+            batch_pool: gauges.batch_pool.stats(),
+            converted_pool: gauges.converted_pool.stats(),
             reader_metrics,
         };
 
-        let errors = std::mem::take(&mut *self.errors.lock().expect("error list lock"));
+        let errors = std::mem::take(&mut *errors.lock().expect("error list lock"));
         let output = DppOutput {
             batches: collected.into_values().collect(),
             report,

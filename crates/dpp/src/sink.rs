@@ -1,0 +1,576 @@
+//! The fan-out dispatch stage: resequences finished batches per shard and
+//! streams them onto N bounded per-trainer channels, so many trainers feed
+//! from one preprocessing tier — the paper's DPP deployment shape.
+//!
+//! ```text
+//!                                    ┌─▶ [lane 0] ─▶ TrainerHandle 0
+//! compute ─ [out] ─ resequence ─ assign ─▶ [lane 1] ─▶ TrainerHandle 1
+//!                                    └─▶ [lane N] ─▶ TrainerHandle N
+//! ```
+//!
+//! Flow control is **per trainer**: every lane is its own bounded channel
+//! with its own depth gauge and delivered/consumed counters. When one
+//! trainer stalls, its lane fills and batches destined for it park in a
+//! bounded spillover buffer while other trainers keep receiving; only once
+//! the spillover is exhausted does the sink block, which then backpressures
+//! the whole pipeline the usual way (out queue → compute → router → fill →
+//! [`DppHandle::submit_file`](crate::DppHandle::submit_file)).
+//!
+//! The sink is also where partition barriers resolve: the router stamps each
+//! [`flush_partition`](crate::DppHandle::flush_partition) barrier with
+//! per-shard sequence cuts, and the sink completes the barrier once every
+//! batch below the cut has been pushed onto its trainer lane.
+
+use crate::channel::{Receiver, RecvTimeout, Sender};
+use recd_core::ConvertedBatch;
+use std::collections::{BTreeMap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
+
+/// How delivered batches are assigned to trainer lanes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TrainerAssignPolicy {
+    /// `trainer = shard % trainers`: every shard's batches always land on
+    /// the same trainer, so a trainer sees a stable slice of the session
+    /// space (and the in-batch dedup locality that comes with it). This is
+    /// the deterministic default.
+    ShardPinned,
+    /// Each batch goes to the lane with the smallest backlog (queue depth
+    /// plus parked batches; ties pick the lowest trainer id). Routes around
+    /// slow trainers at the cost of shard affinity.
+    LeastLoaded,
+    /// Batches rotate over lanes in dispatch order — the uniform baseline.
+    RoundRobin,
+}
+
+impl TrainerAssignPolicy {
+    /// Stable name used in reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            TrainerAssignPolicy::ShardPinned => "shard_pinned",
+            TrainerAssignPolicy::LeastLoaded => "least_loaded",
+            TrainerAssignPolicy::RoundRobin => "round_robin",
+        }
+    }
+}
+
+/// One delivered unit of trainer input: the preprocessed batch plus its
+/// provenance (which shard lane produced it, and its per-shard sequence
+/// number — `(shard, seq)` totally orders a shard's stream).
+#[derive(Debug)]
+pub struct TrainerBatch {
+    /// The trainer lane this batch was assigned to.
+    pub trainer: usize,
+    /// The shard that coalesced the batch.
+    pub shard: usize,
+    /// Per-shard emission sequence number.
+    pub seq: u64,
+    /// The preprocessed batch.
+    pub batch: ConvertedBatch,
+}
+
+/// Per-lane counters shared between the sink (delivery side) and the
+/// [`TrainerHandle`] (consumption side).
+#[derive(Debug, Default)]
+pub(crate) struct LaneShared {
+    delivered_batches: AtomicU64,
+    delivered_samples: AtomicU64,
+    consumed_batches: AtomicU64,
+    consumed_samples: AtomicU64,
+    dropped_batches: AtomicU64,
+}
+
+impl LaneShared {
+    pub(crate) fn delivered_batches(&self) -> u64 {
+        self.delivered_batches.load(Ordering::Acquire)
+    }
+
+    pub(crate) fn delivered_samples(&self) -> u64 {
+        self.delivered_samples.load(Ordering::Acquire)
+    }
+
+    pub(crate) fn consumed_batches(&self) -> u64 {
+        self.consumed_batches.load(Ordering::Acquire)
+    }
+
+    pub(crate) fn consumed_samples(&self) -> u64 {
+        self.consumed_samples.load(Ordering::Acquire)
+    }
+
+    pub(crate) fn dropped_batches(&self) -> u64 {
+        self.dropped_batches.load(Ordering::Acquire)
+    }
+}
+
+/// A trainer's pull endpoint: a bounded, backpressured stream of
+/// preprocessed batches with its own consumption accounting. One handle per
+/// configured trainer, obtained from
+/// [`DppHandle::take_trainers`](crate::DppHandle::take_trainers).
+pub struct TrainerHandle {
+    id: usize,
+    rx: Receiver<TrainerBatch>,
+    shared: Arc<LaneShared>,
+}
+
+impl TrainerHandle {
+    pub(crate) fn new(id: usize, rx: Receiver<TrainerBatch>, shared: Arc<LaneShared>) -> Self {
+        Self { id, rx, shared }
+    }
+
+    /// This trainer's id (its lane index).
+    pub fn id(&self) -> usize {
+        self.id
+    }
+
+    /// Pulls the next batch, blocking while the lane is empty. Returns
+    /// [`None`] once the service has shut down and the lane has drained.
+    pub fn recv(&self) -> Option<TrainerBatch> {
+        let item = self.rx.recv()?;
+        self.note_consumed(&item);
+        Some(item)
+    }
+
+    /// Pulls the next batch without blocking; [`None`] means the lane is
+    /// currently empty (the stream may still be live).
+    pub fn try_recv(&self) -> Option<TrainerBatch> {
+        let item = self.rx.try_recv()?;
+        self.note_consumed(&item);
+        Some(item)
+    }
+
+    /// Pulls every remaining batch until the service shuts down, blocking as
+    /// needed — the "consume to the end" loop as one call.
+    pub fn drain(&self) -> Vec<TrainerBatch> {
+        let mut out = Vec::new();
+        while let Some(item) = self.recv() {
+            out.push(item);
+        }
+        out
+    }
+
+    /// Current lane depth: batches delivered but not yet pulled. This is the
+    /// trainer's backpressure gauge — a persistently full lane means this
+    /// trainer is the slow consumer.
+    pub fn queue_depth(&self) -> usize {
+        self.rx.len()
+    }
+
+    /// High-water mark of the lane depth.
+    pub fn peak_queue_depth(&self) -> usize {
+        self.rx.peak_depth()
+    }
+
+    /// Batches the sink has pushed onto this lane so far.
+    pub fn delivered_batches(&self) -> u64 {
+        self.shared.delivered_batches()
+    }
+
+    /// Batches this handle has pulled so far.
+    pub fn consumed_batches(&self) -> u64 {
+        self.shared.consumed_batches()
+    }
+
+    /// Samples this handle has pulled so far.
+    pub fn consumed_samples(&self) -> u64 {
+        self.shared.consumed_samples()
+    }
+
+    fn note_consumed(&self, item: &TrainerBatch) {
+        self.shared.consumed_batches.fetch_add(1, Ordering::AcqRel);
+        self.shared
+            .consumed_samples
+            .fetch_add(item.batch.batch_size as u64, Ordering::AcqRel);
+    }
+}
+
+impl std::fmt::Debug for TrainerHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TrainerHandle")
+            .field("id", &self.id)
+            .field("queue_depth", &self.queue_depth())
+            .finish()
+    }
+}
+
+/// Tracks which [`flush_partition`](crate::DppHandle::flush_partition)
+/// barriers have fully delivered. Barrier ids are issued monotonically by
+/// the handle; the sink completes them in order.
+#[derive(Debug, Default)]
+pub(crate) struct BarrierState {
+    inner: Mutex<BarrierInner>,
+    cond: Condvar,
+}
+
+#[derive(Debug, Default)]
+struct BarrierInner {
+    completed: u64,
+    closed: bool,
+}
+
+impl BarrierState {
+    /// Marks `id` (and every smaller id) complete and wakes waiters.
+    pub(crate) fn complete(&self, id: u64) {
+        let mut inner = self.inner.lock().expect("barrier lock");
+        inner.completed = inner.completed.max(id);
+        self.cond.notify_all();
+    }
+
+    /// Marks the stream finished: no further barrier can complete, so every
+    /// waiter unblocks (receiving `false` unless its barrier already
+    /// completed).
+    pub(crate) fn close(&self) {
+        let mut inner = self.inner.lock().expect("barrier lock");
+        inner.closed = true;
+        self.cond.notify_all();
+    }
+
+    /// Blocks until barrier `id` completes. Returns `false` if the sink shut
+    /// down first.
+    pub(crate) fn wait(&self, id: u64) -> bool {
+        let mut inner = self.inner.lock().expect("barrier lock");
+        while inner.completed < id && !inner.closed {
+            inner = self.cond.wait(inner).expect("barrier lock");
+        }
+        inner.completed >= id
+    }
+}
+
+/// A finished batch leaving a compute worker, tagged with its shard lane and
+/// per-shard sequence number.
+pub(crate) struct OutBatch {
+    pub(crate) shard: usize,
+    pub(crate) seq: u64,
+    pub(crate) batch: ConvertedBatch,
+}
+
+/// Everything that flows into the sink.
+pub(crate) enum SinkInput {
+    /// A finished batch from a compute worker.
+    Batch(OutBatch),
+    /// A compute worker failed to convert `(shard, seq)`: nothing to
+    /// deliver, but the sequence slot must still be accounted — otherwise
+    /// the resequencer would wait on the hole forever, wedging every later
+    /// batch of that shard and any barrier cut past it.
+    Skip { shard: usize, seq: u64 },
+    /// A partition barrier from the router: `cuts[shard]` is the shard's
+    /// sequence length at the barrier, i.e. every `(shard, seq)` with
+    /// `seq < cuts[shard]` was submitted before the barrier.
+    Barrier { id: u64, cuts: Vec<u64> },
+}
+
+/// The sink's sending half of one trainer lane.
+pub(crate) struct LaneSender {
+    pub(crate) tx: Sender<TrainerBatch>,
+    pub(crate) shared: Arc<LaneShared>,
+}
+
+pub(crate) struct SinkParams {
+    pub(crate) out_rx: Receiver<SinkInput>,
+    pub(crate) shards: usize,
+    /// Empty means collect mode: the legacy single sink that accumulates
+    /// every batch for [`DppHandle::finish`](crate::DppHandle::finish).
+    pub(crate) lanes: Vec<LaneSender>,
+    pub(crate) policy: TrainerAssignPolicy,
+    /// Total parked batches allowed across all lanes before the sink blocks.
+    pub(crate) park_capacity: usize,
+    pub(crate) barriers: Arc<BarrierState>,
+    /// Shell pool for batches that can't be delivered (dead trainer lane):
+    /// their buffers go back into the compute loop instead of being dropped.
+    pub(crate) converted_pool: Arc<crate::pool::BatchPool<ConvertedBatch>>,
+}
+
+/// How often the sink retries parked batches while new input is quiet.
+const PARK_RETRY: Duration = Duration::from_micros(200);
+
+/// The sink stage body. Returns the collected batches (empty in fan-out
+/// mode) keyed by `(shard, seq)` so iteration order is deterministic.
+pub(crate) fn run_sink(params: SinkParams) -> BTreeMap<(usize, u64), ConvertedBatch> {
+    let SinkParams {
+        out_rx,
+        shards,
+        lanes,
+        policy,
+        park_capacity,
+        barriers,
+        converted_pool,
+    } = params;
+
+    let mut collected: BTreeMap<(usize, u64), ConvertedBatch> = BTreeMap::new();
+    // Out-of-order arrivals wait here until their shard's cursor reaches
+    // them (`None` marks a failed conversion's sequence slot, which is
+    // accounted but delivers nothing); bounded in practice by the in-flight
+    // population of the upstream queues.
+    let mut reorder: BTreeMap<(usize, u64), Option<ConvertedBatch>> = BTreeMap::new();
+    let mut next_seq = vec![0u64; shards];
+    let mut pending_barriers: VecDeque<(u64, Vec<u64>)> = VecDeque::new();
+    let mut dispatcher = Dispatcher {
+        parked: (0..lanes.len()).map(|_| VecDeque::new()).collect(),
+        lanes,
+        parked_total: 0,
+        park_capacity,
+        rr: 0,
+        converted_pool,
+    };
+
+    loop {
+        // While batches are parked, poll with a short timeout so a consuming
+        // trainer frees lane space even when no new batch arrives.
+        let input = if dispatcher.parked_total > 0 {
+            match out_rx.recv_timeout(PARK_RETRY) {
+                RecvTimeout::Item(input) => Some(input),
+                RecvTimeout::Timeout => None,
+                RecvTimeout::Disconnected => break,
+            }
+        } else {
+            match out_rx.recv() {
+                Some(input) => Some(input),
+                None => break,
+            }
+        };
+        match input {
+            Some(SinkInput::Batch(out)) => {
+                reorder.insert((out.shard, out.seq), Some(out.batch));
+            }
+            Some(SinkInput::Skip { shard, seq }) => {
+                reorder.insert((shard, seq), None);
+            }
+            Some(SinkInput::Barrier { id, cuts }) => pending_barriers.push_back((id, cuts)),
+            None => {}
+        }
+        dispatcher.retry_parked();
+        advance(
+            &mut reorder,
+            &mut next_seq,
+            policy,
+            &mut dispatcher,
+            &mut collected,
+        );
+        complete_barriers(&mut pending_barriers, &next_seq, &mut dispatcher, &barriers);
+    }
+
+    // End of stream: every producer is gone, so whatever remains in the
+    // reorder buffer is a contiguous tail — deliver it, force parked batches
+    // out (blocking; trainers draining their lanes unblock us), and resolve
+    // any outstanding barriers.
+    advance(
+        &mut reorder,
+        &mut next_seq,
+        policy,
+        &mut dispatcher,
+        &mut collected,
+    );
+    debug_assert!(reorder.is_empty(), "sink must drain every emitted batch");
+    dispatcher.flush_parked_blocking();
+    while let Some((id, _)) = pending_barriers.pop_front() {
+        barriers.complete(id);
+    }
+    barriers.close();
+    collected
+}
+
+/// The fan-out delivery state: trainer lanes, the bounded per-lane spillover
+/// of batches whose lane was full, and the round-robin cursor.
+struct Dispatcher {
+    lanes: Vec<LaneSender>,
+    parked: Vec<VecDeque<TrainerBatch>>,
+    parked_total: usize,
+    park_capacity: usize,
+    rr: usize,
+    converted_pool: Arc<crate::pool::BatchPool<ConvertedBatch>>,
+}
+
+impl Dispatcher {
+    /// The live (not dropped-handle) lane with the smallest backlog (queued
+    /// plus parked); ties pick the lowest trainer id. A lane whose trainer
+    /// is gone never wins — otherwise a dead trainer's frozen empty lane
+    /// would absorb (and drop) the entire stream while live trainers
+    /// starve. Falls back to lane 0 when every trainer is gone.
+    fn least_loaded(&self) -> usize {
+        let mut best = 0usize;
+        let mut best_load = usize::MAX;
+        for (t, lane) in self.lanes.iter().enumerate() {
+            if lane.tx.is_closed() {
+                continue;
+            }
+            let load = lane.tx.len() + self.parked[t].len();
+            if load < best_load {
+                best = t;
+                best_load = load;
+            }
+        }
+        best
+    }
+
+    /// A batch destined for a dead lane is accounted and its shell recycled
+    /// back into the compute loop.
+    fn drop_for_dead_lane(&self, trainer: usize, batch: ConvertedBatch) {
+        self.lanes[trainer]
+            .shared
+            .dropped_batches
+            .fetch_add(1, Ordering::AcqRel);
+        self.converted_pool.recycle(batch);
+    }
+
+    /// Pushes one batch onto its lane, parking it when the lane is full.
+    /// When the spillover exceeds `park_capacity`, blocks on the most
+    /// backed-up lane until space frees — that block is what ultimately
+    /// backpressures the whole pipeline behind a universally slow consumer.
+    fn dispatch(&mut self, trainer: usize, item: TrainerBatch) {
+        if self.lanes[trainer].tx.is_closed() {
+            // The trainer dropped its handle: don't wedge the service,
+            // account the loss instead.
+            self.drop_for_dead_lane(trainer, item.batch);
+            return;
+        }
+        let samples = item.batch.batch_size as u64;
+        // Lane order is per-trainer FIFO: never overtake an already-parked
+        // batch.
+        if self.parked[trainer].is_empty() {
+            match self.lanes[trainer].tx.try_send(item) {
+                Ok(()) => {
+                    note_delivered(&self.lanes[trainer], 1, samples);
+                    return;
+                }
+                Err(crate::channel::SendError(item)) => {
+                    self.parked[trainer].push_back(item);
+                    self.parked_total += 1;
+                }
+            }
+        } else {
+            self.parked[trainer].push_back(item);
+            self.parked_total += 1;
+        }
+        while self.parked_total > self.park_capacity {
+            let worst = (0..self.lanes.len())
+                .max_by_key(|&t| self.parked[t].len())
+                .expect("at least one lane when parked");
+            let Some(item) = self.parked[worst].pop_front() else {
+                break;
+            };
+            self.parked_total -= 1;
+            self.send_blocking(worst, item);
+        }
+    }
+
+    /// Retries parked batches front-first on every sink iteration.
+    fn retry_parked(&mut self) {
+        for t in 0..self.lanes.len() {
+            while let Some(item) = self.parked[t].pop_front() {
+                let samples = item.batch.batch_size as u64;
+                if self.lanes[t].tx.is_closed() {
+                    self.parked_total -= 1;
+                    self.drop_for_dead_lane(t, item.batch);
+                    continue;
+                }
+                match self.lanes[t].tx.try_send(item) {
+                    Ok(()) => {
+                        note_delivered(&self.lanes[t], 1, samples);
+                        self.parked_total -= 1;
+                    }
+                    Err(crate::channel::SendError(item)) => {
+                        self.parked[t].push_front(item);
+                        break;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Blocking-delivers one batch (used for spillover overflow and final
+    /// drain). A disconnected lane counts the batch as dropped.
+    fn send_blocking(&self, trainer: usize, item: TrainerBatch) {
+        let samples = item.batch.batch_size as u64;
+        match self.lanes[trainer].tx.send(item) {
+            Ok(()) => note_delivered(&self.lanes[trainer], 1, samples),
+            Err(crate::channel::SendError(item)) => self.drop_for_dead_lane(trainer, item.batch),
+        }
+    }
+
+    /// Forces every parked batch out with blocking sends.
+    fn flush_parked_blocking(&mut self) {
+        for t in 0..self.lanes.len() {
+            while let Some(item) = self.parked[t].pop_front() {
+                self.parked_total -= 1;
+                self.send_blocking(t, item);
+            }
+        }
+    }
+}
+
+fn note_delivered(lane: &LaneSender, batches: u64, samples: u64) {
+    lane.shared
+        .delivered_batches
+        .fetch_add(batches, Ordering::AcqRel);
+    lane.shared
+        .delivered_samples
+        .fetch_add(samples, Ordering::AcqRel);
+}
+
+/// Delivers every batch whose shard cursor has reached it; a `None` slot (a
+/// failed conversion) just advances the cursor.
+fn advance(
+    reorder: &mut BTreeMap<(usize, u64), Option<ConvertedBatch>>,
+    next_seq: &mut [u64],
+    policy: TrainerAssignPolicy,
+    dispatcher: &mut Dispatcher,
+    collected: &mut BTreeMap<(usize, u64), ConvertedBatch>,
+) {
+    for (shard, cursor) in next_seq.iter_mut().enumerate() {
+        while let Some(slot) = reorder.remove(&(shard, *cursor)) {
+            let seq = *cursor;
+            *cursor += 1;
+            let Some(batch) = slot else {
+                continue;
+            };
+            if dispatcher.lanes.is_empty() {
+                collected.insert((shard, seq), batch);
+                continue;
+            }
+            let trainer = match policy {
+                TrainerAssignPolicy::ShardPinned => shard % dispatcher.lanes.len(),
+                TrainerAssignPolicy::RoundRobin => {
+                    let t = dispatcher.rr % dispatcher.lanes.len();
+                    dispatcher.rr += 1;
+                    t
+                }
+                TrainerAssignPolicy::LeastLoaded => dispatcher.least_loaded(),
+            };
+            let item = TrainerBatch {
+                trainer,
+                shard,
+                seq,
+                batch,
+            };
+            dispatcher.dispatch(trainer, item);
+        }
+    }
+}
+
+/// Completes every pending barrier whose per-shard cuts the delivery cursors
+/// have reached. Completion requires the pre-barrier batches to actually sit
+/// in trainer lanes, so any still-parked batch is forced out first.
+fn complete_barriers(
+    pending: &mut VecDeque<(u64, Vec<u64>)>,
+    next_seq: &[u64],
+    dispatcher: &mut Dispatcher,
+    barriers: &BarrierState,
+) {
+    while let Some((id, cuts)) = pending.front() {
+        let reached = cuts
+            .iter()
+            .enumerate()
+            .all(|(shard, cut)| next_seq[shard] >= *cut);
+        if !reached {
+            return;
+        }
+        // The cursors passed every pre-barrier batch, but some may have been
+        // parked rather than delivered; they must reach their lanes before
+        // the flush caller is released.
+        if dispatcher.parked_total > 0 {
+            dispatcher.flush_parked_blocking();
+        }
+        barriers.complete(*id);
+        pending.pop_front();
+    }
+}

@@ -1,0 +1,145 @@
+//! Stress tests for the channel's depth/peak gauges under concurrent
+//! senders: the peak high-water mark must never under-report a depth any
+//! observer witnessed (the old load-then-store scheme could lose the larger
+//! of two racing updates), must never exceed capacity, and the depth mirror
+//! must agree with the queue when everything drains.
+
+use recd_dpp::{bounded, RecvTimeout};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+#[test]
+fn peak_depth_never_under_reports_under_concurrent_senders() {
+    // Several rounds to shake out scheduling-dependent interleavings.
+    for round in 0..8 {
+        let capacity = 8;
+        let senders = 4;
+        let per_sender = 500u64;
+        let (tx, rx) = bounded::<u64>(capacity);
+        let gauge = rx.gauge();
+
+        // A passive observer hammers the lock-free depth gauge and records
+        // the largest depth it ever witnessed.
+        let done = Arc::new(AtomicBool::new(false));
+        let witnessed = Arc::new(AtomicUsize::new(0));
+        let observer = {
+            let gauge = rx.gauge();
+            let done = Arc::clone(&done);
+            let witnessed = Arc::clone(&witnessed);
+            std::thread::spawn(move || {
+                while !done.load(Ordering::Acquire) {
+                    witnessed.fetch_max(gauge.len(), Ordering::AcqRel);
+                }
+            })
+        };
+
+        let producers: Vec<_> = (0..senders)
+            .map(|s| {
+                let tx = tx.clone();
+                std::thread::spawn(move || {
+                    for i in 0..per_sender {
+                        tx.send(s as u64 * per_sender + i).unwrap();
+                    }
+                })
+            })
+            .collect();
+        drop(tx);
+
+        let mut received = Vec::with_capacity((senders as usize) * per_sender as usize);
+        while let Some(v) = rx.recv() {
+            received.push(v);
+            if received.len() % 97 == 0 {
+                // Let the queue refill so the peak is actually exercised.
+                std::thread::yield_now();
+            }
+        }
+        for p in producers {
+            p.join().unwrap();
+        }
+        done.store(true, Ordering::Release);
+        observer.join().unwrap();
+
+        // Conservation: every item exactly once.
+        received.sort_unstable();
+        let expected: Vec<u64> = (0..senders as u64 * per_sender).collect();
+        assert_eq!(
+            received, expected,
+            "round {round}: items lost or duplicated"
+        );
+
+        // The gauge contracts under concurrency.
+        let peak = gauge.peak_depth();
+        let seen = witnessed.load(Ordering::Acquire);
+        assert!(
+            peak >= seen,
+            "round {round}: peak {peak} under-reports a witnessed depth {seen}"
+        );
+        assert!(
+            peak <= capacity,
+            "round {round}: peak {peak} exceeds capacity {capacity}"
+        );
+        assert_eq!(
+            gauge.len(),
+            0,
+            "round {round}: drained channel must read empty"
+        );
+    }
+}
+
+#[test]
+fn saturating_sends_drive_the_peak_exactly_to_capacity() {
+    let capacity = 4;
+    let (tx, rx) = bounded::<u32>(capacity);
+    // Fill to the brim without a consumer: the peak must be exact, not a
+    // lost-update approximation.
+    for i in 0..capacity as u32 {
+        tx.try_send(i).unwrap();
+    }
+    assert!(tx.try_send(99).is_err(), "channel must be full");
+    assert_eq!(tx.peak_depth(), capacity);
+    assert_eq!(tx.len(), capacity);
+    // Draining moves depth down but never the peak.
+    while rx.try_recv().is_some() {}
+    assert_eq!(rx.len(), 0);
+    assert_eq!(rx.peak_depth(), capacity);
+}
+
+#[test]
+fn blocked_senders_under_saturation_preserve_fifo_and_peak_bounds() {
+    let capacity = 2;
+    let senders = 6;
+    let (tx, rx) = bounded::<usize>(capacity);
+    let producers: Vec<_> = (0..senders)
+        .map(|s| {
+            let tx = tx.clone();
+            std::thread::spawn(move || {
+                // Every sender pushes several items into a tiny queue, so
+                // most sends block at the capacity wall.
+                for i in 0..50 {
+                    tx.send(s * 50 + i).unwrap();
+                }
+            })
+        })
+        .collect();
+    drop(tx);
+
+    // Consume slowly enough that the wall is hit constantly.
+    let mut count = 0usize;
+    loop {
+        match rx.recv_timeout(Duration::from_secs(5)) {
+            RecvTimeout::Item(_) => count += 1,
+            RecvTimeout::Timeout => panic!("producers stalled"),
+            RecvTimeout::Disconnected => break,
+        }
+    }
+    for p in producers {
+        p.join().unwrap();
+    }
+    assert_eq!(count, senders * 50);
+    assert_eq!(
+        rx.peak_depth(),
+        capacity,
+        "sustained saturation must pin the peak at capacity"
+    );
+}

@@ -1,0 +1,266 @@
+//! Fan-out sink determinism tests: for every [`TrainerAssignPolicy`] the
+//! multiset union of batches across all trainer endpoints must be
+//! byte-identical to the single-sink baseline, `ShardPinned` must never
+//! split one shard across trainers, and per-trainer flow control must keep
+//! lanes bounded while routing around a stalled trainer.
+
+use recd_core::{ConvertedBatch, DataLoaderConfig};
+use recd_datagen::{DatasetGenerator, WorkloadConfig, WorkloadPreset};
+use recd_dpp::{DppConfig, DppService, ShardPolicy, TrainerAssignPolicy, TrainerBatch};
+use recd_etl::cluster_by_session;
+use recd_reader::{PreprocessPipeline, ReaderConfig};
+use recd_storage::{StoredPartition, TableStore, TectonicSim};
+use std::sync::Arc;
+
+struct Fixture {
+    schema: recd_data::Schema,
+    store: Arc<TableStore>,
+    partition: StoredPartition,
+    rows: usize,
+}
+
+fn fixture() -> Fixture {
+    let generator = DatasetGenerator::new(WorkloadConfig::preset(WorkloadPreset::Tiny));
+    let partition = generator.generate_partition();
+    let samples = cluster_by_session(&partition.samples);
+    // Small stripes so the partition spans many files and the pipeline
+    // actually streams.
+    let store = Arc::new(TableStore::new(TectonicSim::new(4), 16, 1));
+    let (stored, _) = store.land_partition(&partition.schema, "t", 0, &samples);
+    assert!(stored.files.len() >= 4, "fixture must span several files");
+    Fixture {
+        schema: partition.schema,
+        store,
+        partition: stored,
+        rows: samples.len(),
+    }
+}
+
+fn config(f: &Fixture) -> DppConfig {
+    DppConfig::new(ReaderConfig::new(
+        64,
+        DataLoaderConfig::from_schema(&f.schema),
+    ))
+    .with_policy(ShardPolicy::SessionAffine)
+    .with_shards(4)
+    .with_fill_workers(2)
+    .with_compute_workers(2)
+    .with_pipeline_factory(|| PreprocessPipeline::standard(1 << 20, 64))
+}
+
+/// Single-sink baseline: collect mode returns batches in `(shard, seq)`
+/// order, which is the canonical ordering the fan-out union is compared
+/// against.
+fn baseline(f: &Fixture, rounds: usize) -> Vec<ConvertedBatch> {
+    let mut handle = DppService::start(config(f), Arc::clone(&f.store), f.schema.clone());
+    for _ in 0..rounds {
+        handle.submit_partition(&f.partition);
+    }
+    handle.finish().expect("clean baseline run").batches
+}
+
+/// Runs a fan-out service with one draining consumer thread per trainer and
+/// returns every delivered batch (with provenance) plus the run report.
+fn run_fan_out(
+    f: &Fixture,
+    trainers: usize,
+    policy: TrainerAssignPolicy,
+    rounds: usize,
+) -> (Vec<Vec<TrainerBatch>>, recd_dpp::DppReport) {
+    let config = config(f).with_trainers(trainers).with_assign_policy(policy);
+    let mut handle = DppService::start(config, Arc::clone(&f.store), f.schema.clone());
+    let consumers: Vec<_> = handle
+        .take_trainers()
+        .into_iter()
+        .map(|trainer| std::thread::spawn(move || trainer.drain()))
+        .collect();
+    for _ in 0..rounds {
+        handle.submit_partition(&f.partition);
+    }
+    let report = handle.finish().expect("clean fan-out run").report;
+    let per_trainer: Vec<Vec<TrainerBatch>> = consumers
+        .into_iter()
+        .map(|c| c.join().expect("trainer consumer"))
+        .collect();
+    (per_trainer, report)
+}
+
+/// The acceptance criterion: under every assignment policy, the union of
+/// batches across 4 trainer endpoints — re-sorted into the canonical
+/// `(shard, seq)` order — is byte-identical to the single-sink baseline.
+#[test]
+fn fan_out_union_is_byte_identical_to_single_sink_for_every_policy() {
+    let f = fixture();
+    let expected = baseline(&f, 2);
+    assert!(expected.len() >= 8, "baseline must produce several batches");
+
+    for policy in [
+        TrainerAssignPolicy::ShardPinned,
+        TrainerAssignPolicy::LeastLoaded,
+        TrainerAssignPolicy::RoundRobin,
+    ] {
+        let (per_trainer, report) = run_fan_out(&f, 4, policy, 2);
+        assert_eq!(report.assign_policy, policy.name());
+
+        let mut union: Vec<TrainerBatch> = per_trainer.into_iter().flatten().collect();
+        assert_eq!(
+            union.len(),
+            expected.len(),
+            "{}: union batch count must match the baseline",
+            policy.name()
+        );
+        // Each shard's stream must arrive gap-free: seqs 0..n per shard.
+        union.sort_by_key(|t| (t.shard, t.seq));
+        let mut next = vec![0u64; report.shards];
+        for item in &union {
+            assert_eq!(
+                item.seq,
+                next[item.shard],
+                "{}: shard {} stream has a gap or duplicate",
+                policy.name(),
+                item.shard
+            );
+            next[item.shard] += 1;
+        }
+        // Canonical order restored, the union must be byte-identical.
+        for (i, (got, want)) in union.iter().zip(&expected).enumerate() {
+            assert_eq!(
+                &got.batch,
+                want,
+                "{}: batch {i} diverged from the single-sink baseline",
+                policy.name()
+            );
+        }
+        // Delivery accounting agrees with the payload.
+        let delivered: u64 = report.trainers.iter().map(|t| t.delivered_samples).sum();
+        assert_eq!(delivered as usize, 2 * f.rows);
+        assert!(report.trainers.iter().all(|t| t.dropped_batches == 0));
+    }
+}
+
+/// `ShardPinned` must never deliver one shard's rows to two trainers, and
+/// the pinning must be the documented `shard % trainers` map.
+#[test]
+fn shard_pinned_never_splits_a_shard_across_trainers() {
+    let f = fixture();
+    let trainers = 3;
+    let (per_trainer, report) = run_fan_out(&f, trainers, TrainerAssignPolicy::ShardPinned, 2);
+    assert_eq!(report.shards, 4);
+    let mut shard_owner: Vec<Option<usize>> = vec![None; report.shards];
+    for (trainer, batches) in per_trainer.iter().enumerate() {
+        for item in batches {
+            assert_eq!(item.trainer, trainer, "lane must stamp its own id");
+            assert_eq!(
+                item.shard % trainers,
+                trainer,
+                "shard {} must be pinned to trainer {}",
+                item.shard,
+                item.shard % trainers
+            );
+            match shard_owner[item.shard] {
+                None => shard_owner[item.shard] = Some(trainer),
+                Some(owner) => assert_eq!(
+                    owner, trainer,
+                    "shard {} delivered to two trainers",
+                    item.shard
+                ),
+            }
+        }
+    }
+    assert!(
+        shard_owner.iter().filter(|o| o.is_some()).count() >= 2,
+        "fixture must exercise several shards"
+    );
+}
+
+/// Per-trainer flow control: lanes stay bounded, and with `LeastLoaded` a
+/// trainer that refuses to consume until the end only absorbs its bounded
+/// backlog (lane capacity plus spillover) while the healthy trainers keep
+/// streaming the rest.
+#[test]
+fn stalled_trainer_keeps_its_lane_bounded_without_wedging_the_service() {
+    let f = fixture();
+    let lane_depth = 2;
+    let config = config(&f)
+        .with_trainers(3)
+        .with_assign_policy(TrainerAssignPolicy::LeastLoaded)
+        .with_trainer_queue_depth(lane_depth);
+    let mut handle = DppService::start(config, Arc::clone(&f.store), f.schema.clone());
+    let mut trainers = handle.take_trainers();
+    let stalled = trainers.remove(0);
+    let healthy: Vec<_> = trainers
+        .into_iter()
+        .map(|trainer| std::thread::spawn(move || trainer.drain().len()))
+        .collect();
+    // The stalled trainer consumes nothing until the submission phase is
+    // over: it blocks on a signal the main thread sends before finish().
+    let (release_tx, release_rx) = std::sync::mpsc::channel::<()>();
+    let stalled_thread = std::thread::spawn(move || {
+        release_rx.recv().expect("release signal");
+        let drained = stalled.drain();
+        (drained.len(), stalled.peak_queue_depth())
+    });
+    let rounds = 6;
+    for _ in 0..rounds {
+        handle.submit_partition(&f.partition);
+    }
+    release_tx.send(()).expect("stalled trainer alive");
+    let report = handle.finish().expect("clean run");
+    let healthy_batches: usize = healthy.into_iter().map(|c| c.join().unwrap()).sum();
+    let (stalled_batches, stalled_peak) = stalled_thread.join().unwrap();
+
+    let total = report.report.batches;
+    assert_eq!(stalled_batches + healthy_batches, total, "nothing lost");
+    assert!(
+        stalled_peak <= lane_depth,
+        "stalled lane must stay within its bounded capacity"
+    );
+    // LeastLoaded steers around the full lane: the stalled trainer receives
+    // at most its lane capacity plus the shared spillover, far below an even
+    // split of a long run.
+    assert!(
+        total > 12,
+        "run must be long enough to make the imbalance meaningful"
+    );
+    assert!(
+        stalled_batches < total / 2,
+        "a non-consuming trainer must not receive an even share \
+         (stalled {stalled_batches} of {total})"
+    );
+    let lanes = &report.report.trainers;
+    assert!(lanes.iter().all(|l| l.peak_queue_depth <= lane_depth));
+    assert_eq!(
+        lanes.iter().map(|l| l.consumed_batches).sum::<u64>() as usize,
+        total
+    );
+}
+
+/// A trainer that drops its handle outright must not attract traffic under
+/// `LeastLoaded`: its frozen-empty lane would otherwise win every
+/// lowest-load tie and swallow the whole stream while live trainers starve.
+#[test]
+fn least_loaded_routes_around_a_dead_trainer() {
+    let f = fixture();
+    let config = config(&f)
+        .with_trainers(2)
+        .with_assign_policy(TrainerAssignPolicy::LeastLoaded);
+    let mut handle = DppService::start(config, Arc::clone(&f.store), f.schema.clone());
+    let mut trainers = handle.take_trainers();
+    let survivor = trainers.pop().expect("two trainers");
+    drop(trainers); // trainer 0 dies before the run starts
+    let consumer = std::thread::spawn(move || survivor.drain().len());
+    for _ in 0..3 {
+        handle.submit_partition(&f.partition);
+    }
+    let report = handle.finish().expect("clean run").report;
+    let consumed = consumer.join().unwrap();
+    assert_eq!(
+        consumed, report.batches,
+        "the live trainer must receive the entire stream"
+    );
+    assert_eq!(
+        report.trainers[0].dropped_batches, 0,
+        "nothing should be routed to (and dropped at) the dead lane"
+    );
+    assert_eq!(report.trainers[1].consumed_batches as usize, report.batches);
+}

@@ -68,6 +68,7 @@ pub struct PipelineRunner {
     config: RecdConfig,
     readers: usize,
     streaming_workers: Option<usize>,
+    streaming_trainers: usize,
 }
 
 impl PipelineRunner {
@@ -78,6 +79,7 @@ impl PipelineRunner {
             config,
             readers: 2,
             streaming_workers: None,
+            streaming_trainers: 0,
         }
     }
 
@@ -94,6 +96,20 @@ impl PipelineRunner {
     #[must_use]
     pub fn with_streaming(mut self, compute_workers: usize) -> Self {
         self.streaming_workers = Some(compute_workers.max(1));
+        self
+    }
+
+    /// In streaming mode, fans preprocessed batches out to `trainers`
+    /// simulated trainer endpoints (shard-pinned assignment), each consuming
+    /// its own bounded lane concurrently. The per-trainer delivery and
+    /// consumption accounting lands in
+    /// [`DppReport::trainers`](recd_dpp::DppReport) inside
+    /// [`PipelineReport::streaming`]. Passing `0` keeps the collect sink
+    /// (the default); no effect unless [`PipelineRunner::with_streaming`] is
+    /// also set.
+    #[must_use]
+    pub fn with_streaming_trainers(mut self, trainers: usize) -> Self {
+        self.streaming_trainers = trainers;
         self
     }
 
@@ -185,23 +201,37 @@ impl PipelineRunner {
         // landed partitions and record its wall-clock throughput. (After the
         // read_bytes capture so the one-shot accounting stays untouched.)
         let streaming = self.streaming_workers.map(|workers| {
-            let dpp_config = DppConfig::new(reader_config.clone())
+            let mut dpp_config = DppConfig::new(reader_config.clone())
                 .with_policy(ShardPolicy::SessionAffine)
                 .with_shards(workers)
                 .with_compute_workers(workers)
                 .with_fill_workers(2);
+            if self.streaming_trainers > 0 {
+                dpp_config = dpp_config.with_trainers(self.streaming_trainers);
+            }
             let mut handle = DppService::start(
                 dpp_config,
                 std::sync::Arc::new(table_store.clone()),
                 schema.clone(),
             );
+            // Simulated trainers: each drains its own lane concurrently so
+            // per-trainer flow control (not the runner) paces delivery.
+            let consumers: Vec<_> = handle
+                .take_trainers()
+                .into_iter()
+                .map(|trainer| std::thread::spawn(move || trainer.drain().len()))
+                .collect();
             for stored in &stored_partitions {
                 handle.submit_partition(stored);
             }
-            handle
+            let report = handle
                 .finish()
                 .expect("streaming over freshly-landed partitions succeeds")
-                .report
+                .report;
+            for consumer in consumers {
+                consumer.join().expect("trainer consumer thread");
+            }
+            report
         });
 
         // 6. Trainer cost model (O5–O7) over the produced batches.
@@ -372,6 +402,32 @@ mod tests {
 
         let without = PipelineRunner::new(small_spec(), RecdConfig::full()).run(128);
         assert!(without.report.streaming.is_none());
+    }
+
+    #[test]
+    fn streaming_fan_out_reports_per_trainer_sections() {
+        let artifacts = PipelineRunner::new(small_spec(), RecdConfig::full())
+            .with_streaming(2)
+            .with_streaming_trainers(3)
+            .run(128);
+        let report = artifacts.report;
+        let streaming = report.streaming.expect("streaming report requested");
+        assert_eq!(
+            streaming.trainers.len(),
+            3,
+            "one report section per trainer"
+        );
+        assert_eq!(streaming.assign_policy, "shard_pinned");
+        // Every emitted sample was delivered to (and consumed by) exactly
+        // one trainer.
+        let delivered: u64 = streaming.trainers.iter().map(|t| t.delivered_samples).sum();
+        let consumed: u64 = streaming.trainers.iter().map(|t| t.consumed_samples).sum();
+        assert_eq!(delivered as usize, report.samples);
+        assert_eq!(consumed, delivered, "trainers drained everything");
+        assert!(streaming
+            .trainers
+            .iter()
+            .all(|t| t.dropped_batches == 0 && t.consumed_batches == t.delivered_batches));
     }
 
     #[test]

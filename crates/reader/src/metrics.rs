@@ -55,6 +55,14 @@ pub struct ReaderMetrics {
     pub batches: usize,
     /// Bytes sent from this reader to trainers (preprocessed tensor payload).
     pub egress_bytes: usize,
+    /// Partition-boundary barriers that crossed the phase pipeline (each
+    /// [`flush_partition`](../recd_dpp/struct.DppHandle.html) call injects
+    /// one).
+    pub barrier_flushes: usize,
+    /// Short batches emitted because a barrier cut a shard accumulator
+    /// before it reached the configured batch size. High values mean flushes
+    /// arrive faster than shards fill, shrinking the average batch.
+    pub flushed_partial_batches: usize,
 }
 
 impl ReaderMetrics {
@@ -105,6 +113,8 @@ impl AddAssign for ReaderMetrics {
         self.samples += rhs.samples;
         self.batches += rhs.batches;
         self.egress_bytes += rhs.egress_bytes;
+        self.barrier_flushes += rhs.barrier_flushes;
+        self.flushed_partial_batches += rhs.flushed_partial_batches;
     }
 }
 

@@ -5,6 +5,7 @@ use crate::{Result, StorageError};
 use parking_lot::RwLock;
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -35,7 +36,10 @@ struct Inner {
 pub struct TectonicSim {
     inner: Arc<RwLock<Inner>>,
     nodes: usize,
-    get_latency: Duration,
+    /// Simulated per-fetch latency in nanoseconds, shared across clones so a
+    /// test or experiment can throttle and un-throttle a store that readers
+    /// are already fetching from.
+    get_latency_nanos: Arc<AtomicU64>,
 }
 
 impl TectonicSim {
@@ -52,7 +56,7 @@ impl TectonicSim {
                 ..Inner::default()
             })),
             nodes,
-            get_latency: Duration::ZERO,
+            get_latency_nanos: Arc::new(AtomicU64::new(0)),
         }
     }
 
@@ -61,9 +65,25 @@ impl TectonicSim {
     /// waits on an RPC. Concurrent fetchers overlap their waits, so this
     /// makes fill-parallelism effects observable even on a single core.
     #[must_use]
-    pub fn with_get_latency(mut self, latency: Duration) -> Self {
-        self.get_latency = latency;
+    pub fn with_get_latency(self, latency: Duration) -> Self {
+        self.set_get_latency(latency);
         self
+    }
+
+    /// Changes the simulated fetch latency of a live store. The setting is
+    /// shared across clones, so injecting (and later clearing) storage
+    /// pressure mid-run is one call — the lever the dynamic-scaling tests
+    /// pull to make fill workers fall behind and then catch up.
+    pub fn set_get_latency(&self, latency: Duration) {
+        self.get_latency_nanos.store(
+            latency.as_nanos().min(u64::MAX as u128) as u64,
+            Ordering::Release,
+        );
+    }
+
+    /// The currently simulated per-fetch latency.
+    pub fn get_latency(&self) -> Duration {
+        Duration::from_nanos(self.get_latency_nanos.load(Ordering::Acquire))
     }
 
     /// Number of storage nodes.
@@ -101,8 +121,9 @@ impl TectonicSim {
             inner.read_bytes += blob.len();
             blob
         };
-        if !self.get_latency.is_zero() {
-            std::thread::sleep(self.get_latency);
+        let latency = self.get_latency();
+        if !latency.is_zero() {
+            std::thread::sleep(latency);
         }
         Ok(blob)
     }
@@ -199,5 +220,19 @@ mod tests {
     #[should_panic(expected = "at least one node")]
     fn zero_nodes_panics() {
         TectonicSim::new(0);
+    }
+
+    #[test]
+    fn get_latency_is_shared_across_clones_and_adjustable() {
+        let store = TectonicSim::new(1).with_get_latency(Duration::from_millis(3));
+        let clone = store.clone();
+        assert_eq!(clone.get_latency(), Duration::from_millis(3));
+        // Throttle changes propagate to clones already handed out.
+        clone.set_get_latency(Duration::ZERO);
+        assert_eq!(store.get_latency(), Duration::ZERO);
+        store.put("a", vec![1]);
+        let start = std::time::Instant::now();
+        store.get("a").unwrap();
+        assert!(start.elapsed() < Duration::from_millis(100));
     }
 }
