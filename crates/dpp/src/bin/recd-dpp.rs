@@ -7,14 +7,25 @@
 //!          [--fill-workers N] [--workers N] [--shards N] [--queue-depth N]
 //!          [--policy session|file|row] [--trainers N]
 //!          [--assign pinned|least|rr] [--min-workers N] [--max-workers N]
+//!          [--tail] [--tail-rate N] [--tail-jitter-ms N]
+//!          [--tail-late-frac F] [--tail-late-ms N] [--tail-window-ms N]
+//!          [--tail-seal-rows N] [--tail-seed N]
 //!          [--quiet]
 //! ```
+//!
+//! By default the dataset is batch-landed up front and submitted whole. With
+//! `--tail` the CLI instead runs the *continuous* pipeline: a jittered,
+//! optionally straggling [`LogTail`] over the raw log stream feeds the
+//! streaming ETL stage (incremental join → per-session clustering → hourly
+//! seals), and every sealed partition lands and is handed to the running
+//! service via `DppHandle::ingest_partition` the moment it appears.
 
 use recd_core::DataLoaderConfig;
 use recd_datagen::{DatasetGenerator, WorkloadConfig, WorkloadPreset};
 use recd_dpp::{DppConfig, DppService, ScalerConfig, ShardPolicy, TrainerAssignPolicy};
-use recd_etl::cluster_by_session;
+use recd_etl::{cluster_by_session, EtlService, EtlStreamConfig, ManualClock, TableLayout};
 use recd_reader::{PreprocessPipeline, ReaderConfig};
+use recd_scribe::{LogTail, TailConfig};
 use recd_storage::{TableStore, TectonicSim};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
@@ -33,6 +44,14 @@ struct Args {
     assign: TrainerAssignPolicy,
     min_workers: Option<usize>,
     max_workers: Option<usize>,
+    tail: bool,
+    tail_rate_ms: u64,
+    tail_jitter_ms: u64,
+    tail_late_frac: f64,
+    tail_late_ms: u64,
+    tail_window_ms: u64,
+    tail_seal_rows: Option<usize>,
+    tail_seed: u64,
     quiet: bool,
 }
 
@@ -50,6 +69,14 @@ fn parse_args() -> Result<Args, String> {
         assign: TrainerAssignPolicy::ShardPinned,
         min_workers: None,
         max_workers: None,
+        tail: false,
+        tail_rate_ms: 60_000,
+        tail_jitter_ms: 2_000,
+        tail_late_frac: 0.0,
+        tail_late_ms: 60_000,
+        tail_window_ms: 30_000,
+        tail_seal_rows: None,
+        tail_seed: 0,
         quiet: false,
     };
     let mut it = std::env::args().skip(1);
@@ -132,6 +159,44 @@ fn parse_args() -> Result<Args, String> {
                         .map_err(|e| format!("--max-workers: {e}"))?,
                 )
             }
+            "--tail" => args.tail = true,
+            "--tail-rate" => {
+                args.tail_rate_ms = value("--tail-rate")?
+                    .parse()
+                    .map_err(|e| format!("--tail-rate: {e}"))?
+            }
+            "--tail-jitter-ms" => {
+                args.tail_jitter_ms = value("--tail-jitter-ms")?
+                    .parse()
+                    .map_err(|e| format!("--tail-jitter-ms: {e}"))?
+            }
+            "--tail-late-frac" => {
+                args.tail_late_frac = value("--tail-late-frac")?
+                    .parse()
+                    .map_err(|e| format!("--tail-late-frac: {e}"))?
+            }
+            "--tail-late-ms" => {
+                args.tail_late_ms = value("--tail-late-ms")?
+                    .parse()
+                    .map_err(|e| format!("--tail-late-ms: {e}"))?
+            }
+            "--tail-window-ms" => {
+                args.tail_window_ms = value("--tail-window-ms")?
+                    .parse()
+                    .map_err(|e| format!("--tail-window-ms: {e}"))?
+            }
+            "--tail-seal-rows" => {
+                args.tail_seal_rows = Some(
+                    value("--tail-seal-rows")?
+                        .parse()
+                        .map_err(|e| format!("--tail-seal-rows: {e}"))?,
+                )
+            }
+            "--tail-seed" => {
+                args.tail_seed = value("--tail-seed")?
+                    .parse()
+                    .map_err(|e| format!("--tail-seed: {e}"))?
+            }
             "--quiet" => args.quiet = true,
             "--help" | "-h" => {
                 println!(
@@ -148,6 +213,16 @@ fn parse_args() -> Result<Args, String> {
                      \n  --assign pinned|least|rr trainer lane assignment (default pinned)\
                      \n  --min-workers N          enable dynamic scaling: pool lower bound\
                      \n  --max-workers N          enable dynamic scaling: pool upper bound\
+                     \n  --tail                   continuous mode: tail the raw log stream through\
+                     \n                           the streaming ETL (join/cluster/seal/land) and\
+                     \n                           ingest partitions as they land\
+                     \n  --tail-rate N            simulated ms of log time per pump step (default 60000)\
+                     \n  --tail-jitter-ms N       arrival jitter bound (default 2000)\
+                     \n  --tail-late-frac F       fraction of straggling records (default 0)\
+                     \n  --tail-late-ms N         extra straggler delay (default 60000)\
+                     \n  --tail-window-ms N       ETL out-of-order window (default 30000)\
+                     \n  --tail-seal-rows N       seal an open hour early at N rows\
+                     \n  --tail-seed N            arrival-process seed (default 0)\
                      \n  --quiet                  suppress live snapshots"
                 );
                 std::process::exit(0);
@@ -167,27 +242,45 @@ fn main() {
         }
     };
 
-    // Dataset: generate, cluster by session (O2), land into the table store.
+    // Dataset. Batch mode: generate, cluster by session (O2), land into the
+    // table store up front. Tail mode: keep the raw log stream — the
+    // streaming ETL stage will join, cluster, and land it incrementally.
     let mut workload = WorkloadConfig::preset(args.preset);
     if let Some(sessions) = args.sessions {
         workload = workload.with_sessions(sessions);
     }
     let generator = DatasetGenerator::new(workload);
-    let partition = generator.generate_partition();
-    let clustered = cluster_by_session(&partition.samples);
     let store = Arc::new(TableStore::new(TectonicSim::new(8), 64, 2));
-    let (stored, storage_report) = store.land_partition(&partition.schema, "cli", 0, &clustered);
-    println!(
-        "dataset: {} samples in {} files ({} stored bytes)",
-        clustered.len(),
-        stored.files.len(),
-        storage_report.stored_bytes
-    );
+    let (schema, stored, tail_records) = if args.tail {
+        let (records, partition) = generator.generate_logs();
+        println!(
+            "dataset: tailing {} raw log records ({} samples once joined), jitter {}ms, {:.0}% stragglers (+{}ms), seed {}",
+            records.len(),
+            partition.len(),
+            args.tail_jitter_ms,
+            args.tail_late_frac * 100.0,
+            args.tail_late_ms,
+            args.tail_seed,
+        );
+        (partition.schema, None, Some(records))
+    } else {
+        let partition = generator.generate_partition();
+        let clustered = cluster_by_session(&partition.samples);
+        let (stored, storage_report) =
+            store.land_partition(&partition.schema, "cli", 0, &clustered);
+        println!(
+            "dataset: {} samples in {} files ({} stored bytes)",
+            clustered.len(),
+            stored.files.len(),
+            storage_report.stored_bytes
+        );
+        (partition.schema, Some(stored), None)
+    };
 
     // Service topology.
     let mut config = DppConfig::new(ReaderConfig::new(
         args.batch_size,
-        DataLoaderConfig::from_schema(&partition.schema),
+        DataLoaderConfig::from_schema(&schema),
     ))
     .with_fill_workers(args.fill_workers)
     .with_compute_workers(args.compute_workers)
@@ -235,7 +328,35 @@ fn main() {
         );
     }
 
-    let mut handle = DppService::start(config, Arc::clone(&store), partition.schema.clone());
+    let mut handle = DppService::start(config, Arc::clone(&store), schema.clone());
+
+    // Continuous mode: the streaming ETL service that feeds the handle.
+    let mut etl = tail_records.map(|records| {
+        let tail = LogTail::new(
+            records,
+            &TailConfig::default()
+                .with_jitter_ms(args.tail_jitter_ms)
+                .with_lateness(args.tail_late_frac, args.tail_late_ms)
+                .with_seed(args.tail_seed),
+        );
+        let mut etl_config = EtlStreamConfig::new(TableLayout::ClusteredBySession)
+            .with_window_ms(args.tail_window_ms);
+        if let Some(rows) = args.tail_seal_rows {
+            etl_config = etl_config.with_size_watermark(rows);
+        }
+        println!(
+            "continuous: window {}ms, grace {}ms, {}, {}ms of log time per pump",
+            etl_config.window_ms,
+            etl_config.seal_grace_ms,
+            args.tail_seal_rows
+                .map_or("hour-boundary seals only".to_string(), |rows| format!(
+                    "size watermark {rows} rows"
+                )),
+            args.tail_rate_ms,
+        );
+        EtlService::new(tail, etl_config, Arc::clone(&store), schema.clone(), "tail")
+    });
+    let etl_gauges = etl.as_ref().map(|service| service.gauges());
 
     // Simulated trainers: each consumes its own lane as fast as it can and
     // recycles the shells so compute workers refill warm buffers.
@@ -265,6 +386,7 @@ fn main() {
     } else {
         let done = Arc::clone(&done);
         let snapshot_source = handle.snapshot_source();
+        let etl_gauges = etl_gauges.clone();
         Some(std::thread::spawn(move || {
             while !done.load(Ordering::Relaxed) {
                 std::thread::sleep(Duration::from_millis(100));
@@ -274,8 +396,18 @@ fn main() {
                     .iter()
                     .map(|t| t.queue_depth.to_string())
                     .collect();
+                let etl_part = etl_gauges.as_ref().map_or(String::new(), |g| {
+                    format!(
+                        "  etl lag={:.0}s open={}h/{}s sealed={} late={}",
+                        g.tail_lag_ms.load(Ordering::Relaxed) as f64 / 1_000.0,
+                        g.open_hours.load(Ordering::Relaxed),
+                        g.open_sessions.load(Ordering::Relaxed),
+                        g.sealed_partitions.load(Ordering::Relaxed),
+                        g.late_drops.load(Ordering::Relaxed),
+                    )
+                });
                 println!(
-                    "  [{:6.2}s] {:>8} samples  {:>9.0} samples/s  dedup {:>5.2}x  queues fill={} route={} work={} out={}  workers {}f/{}c{}",
+                    "  [{:6.2}s] {:>8} samples  {:>9.0} samples/s  dedup {:>5.2}x  queues fill={} route={} work={} out={}  workers {}f/{}c{}{}",
                     s.elapsed_seconds,
                     s.samples_out,
                     s.samples_per_second,
@@ -291,12 +423,34 @@ fn main() {
                     } else {
                         format!("  lanes [{}]", lanes.join(","))
                     },
+                    etl_part,
                 );
             }
         }))
     };
 
-    handle.submit_partition(&stored);
+    // Feed the service: batch mode submits the pre-landed table whole;
+    // continuous mode pumps the tail clock, landing and ingesting each
+    // sealed partition as it appears.
+    let etl_output = match (etl.take(), stored) {
+        (Some(mut service), _) => {
+            let mut clock = ManualClock::new();
+            let mut sink = |landed: &recd_storage::StoredPartition,
+                            _sealed: &recd_etl::TablePartition| {
+                handle.ingest_partition(landed);
+            };
+            while !service.tail_drained() {
+                let now = clock.advance(args.tail_rate_ms.max(1));
+                service.pump(now, &mut sink);
+            }
+            Some(service.finish(&mut sink))
+        }
+        (None, Some(stored)) => {
+            handle.submit_partition(&stored);
+            None
+        }
+        (None, None) => unreachable!("batch mode always pre-lands a partition"),
+    };
     let result = handle.finish();
     done.store(true, Ordering::Relaxed);
     if let Some(monitor) = monitor {
@@ -307,6 +461,30 @@ fn main() {
         println!("trainer {trainer}: consumed {batches} batches / {samples} samples");
     }
 
+    if let Some(out) = &etl_output {
+        let r = &out.report;
+        let c = r.etl.counters;
+        println!(
+            "\netl: {} records tailed -> {} joined samples, {} late drops, {} duplicates, {} orphans",
+            c.records,
+            c.joined_samples,
+            c.late_drops,
+            c.duplicates,
+            c.orphaned_features + c.orphaned_events,
+        );
+        println!(
+            "etl: {} partitions sealed ({} hour / {} size / {} finish), {} landed ({} stored bytes, {:.2}x compression), peak tail lag {:.0}s",
+            c.sealed_partitions,
+            c.hour_seals,
+            c.size_seals,
+            c.finish_seals,
+            r.landed_partitions,
+            r.storage.stored_bytes,
+            r.storage.compression_ratio(),
+            r.peak_tail_lag_ms as f64 / 1_000.0,
+        );
+    }
+
     match result {
         Ok(output) => {
             let r = &output.report;
@@ -314,6 +492,12 @@ fn main() {
                 "\ndone in {:.3}s: {} batches, {} samples, {:.0} samples/s",
                 r.wall_seconds, r.batches, r.samples, r.samples_per_second
             );
+            if r.partitions_ingested > 0 {
+                println!(
+                    "partitions ingested as they landed: {}",
+                    r.partitions_ingested
+                );
+            }
             println!(
                 "dedup factor {:.2}x, egress {} bytes, peak queue depths: input={} filled={} work={} out={}",
                 r.dedupe_factor,

@@ -14,6 +14,10 @@ use std::time::Instant;
 pub struct ServiceCounters {
     /// Files accepted into the fill queue.
     pub files_submitted: AtomicU64,
+    /// Landed partitions handed to the service via
+    /// [`DppHandle::ingest_partition`](crate::DppHandle::ingest_partition)
+    /// (the continuous-ETL feed path).
+    pub partitions_ingested: AtomicU64,
     /// Files fully decoded by fill workers.
     pub files_filled: AtomicU64,
     /// Rows routed to shard accumulators.
@@ -37,6 +41,7 @@ impl Default for ServiceCounters {
     fn default() -> Self {
         Self {
             files_submitted: AtomicU64::new(0),
+            partitions_ingested: AtomicU64::new(0),
             files_filled: AtomicU64::new(0),
             rows_routed: AtomicU64::new(0),
             batches_out: AtomicU64::new(0),
@@ -113,6 +118,8 @@ pub struct DppSnapshot {
     pub elapsed_seconds: f64,
     /// Files accepted so far.
     pub files_submitted: u64,
+    /// Landed partitions ingested so far (continuous-ETL feed path).
+    pub partitions_ingested: u64,
     /// Files decoded so far.
     pub files_filled: u64,
     /// Rows routed to shards so far.
@@ -176,6 +183,10 @@ pub struct DppReport {
     pub assign_policy: String,
     /// Wall-clock seconds from service start to drain.
     pub wall_seconds: f64,
+    /// Landed partitions ingested through
+    /// [`DppHandle::ingest_partition`](crate::DppHandle::ingest_partition)
+    /// (zero outside the continuous-ETL feed path).
+    pub partitions_ingested: u64,
     /// Samples emitted.
     pub samples: usize,
     /// Batches emitted.

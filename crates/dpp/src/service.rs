@@ -891,6 +891,7 @@ impl SnapshotSource {
         DppSnapshot {
             elapsed_seconds: elapsed,
             files_submitted: self.counters.files_submitted.load(Ordering::Relaxed),
+            partitions_ingested: self.counters.partitions_ingested.load(Ordering::Relaxed),
             files_filled: self.counters.files_filled.load(Ordering::Relaxed),
             rows_routed: self.counters.rows_routed.load(Ordering::Relaxed),
             batches_out: self.counters.batches_out.load(Ordering::Relaxed),
@@ -975,6 +976,19 @@ impl DppHandle {
         for file in &partition.files {
             self.submit_file(file.clone());
         }
+    }
+
+    /// Ingests one freshly landed partition — the continuous-ETL feed path:
+    /// a streaming ETL stage seals and lands a [`StoredPartition`], then
+    /// hands it straight to the running service instead of accumulating a
+    /// pre-built table. Equivalent to [`DppHandle::submit_partition`] plus
+    /// partition accounting in [`DppSnapshot`] / [`DppReport`]; the same
+    /// backpressure contract applies (blocks while the fill queue is full).
+    pub fn ingest_partition(&mut self, partition: &StoredPartition) {
+        self.counters
+            .partitions_ingested
+            .fetch_add(1, Ordering::Relaxed);
+        self.submit_partition(partition);
     }
 
     /// Injects a partition barrier and blocks until **every batch from
@@ -1102,6 +1116,7 @@ impl DppHandle {
             policy: config.policy.name().to_string(),
             assign_policy: config.assign_policy.name().to_string(),
             wall_seconds,
+            partitions_ingested: counters.partitions_ingested.load(Ordering::Relaxed),
             samples,
             batches: counters.batches_out.load(Ordering::Relaxed) as usize,
             samples_per_second: if wall_seconds > 0.0 {

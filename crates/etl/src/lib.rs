@@ -13,6 +13,12 @@
 //! * [`downsample`] implements the §7 discussion: per-sample downsampling
 //!   (the status quo) versus per-session downsampling, which preserves the
 //!   samples-per-session statistic that every RecD benefit scales with.
+//! * [`stream`] is the *continuous* counterpart of [`EtlJob`]: an
+//!   incremental join with a bounded out-of-order window and
+//!   watermark-driven eviction, rolling per-session clustering buffers that
+//!   seal hourly [`TablePartition`]s, and a service loop ([`EtlService`])
+//!   that tails a Scribe log, lands sealed partitions through the storage
+//!   writer, and hands them to a running `recd-dpp` service.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -20,10 +26,15 @@
 pub mod downsample;
 pub mod join;
 pub mod partition;
+pub mod stream;
 
 pub use downsample::{downsample, DownsamplePolicy};
 pub use join::{join_logs, JoinOutput};
 pub use partition::{cluster_by_session, interleave_by_time, HourlyPartitioner, TablePartition};
+pub use stream::{
+    EtlCounters, EtlGauges, EtlReport, EtlService, EtlServiceOutput, EtlServiceReport, EtlSnapshot,
+    EtlStream, EtlStreamConfig, ManualClock, SealReason, SealedPartition,
+};
 
 use recd_data::{LogRecord, Schema};
 

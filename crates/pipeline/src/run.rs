@@ -5,9 +5,9 @@ use recd_core::{ConvertedBatch, DataLoaderConfig};
 use recd_data::Schema;
 use recd_datagen::DatasetGenerator;
 use recd_dpp::{DppConfig, DppReport, DppService, ShardPolicy};
-use recd_etl::{EtlJob, TableLayout};
+use recd_etl::{EtlJob, EtlService, EtlServiceReport, EtlStreamConfig, ManualClock, TableLayout};
 use recd_reader::{PreprocessPipeline, ReaderConfig, ReaderTier, TierReport};
-use recd_scribe::{ScribeCluster, ScribeConfig, ScribeReport, ShardKeyPolicy};
+use recd_scribe::{LogTail, ScribeCluster, ScribeConfig, ScribeReport, ShardKeyPolicy, TailConfig};
 use recd_storage::{StorageReport, TableStore, TectonicSim};
 use recd_trainer::{
     ClusterSpec, DlrmConfig, IterationCost, MemoryReport, TrainerOptimizations, WorkStats,
@@ -45,6 +45,22 @@ pub struct PipelineReport {
     /// peaks), present when the runner was configured with
     /// [`PipelineRunner::with_streaming`].
     pub streaming: Option<DppReport>,
+    /// Continuous-pipeline accounting (log tail → streaming ETL → land →
+    /// `recd-dpp` ingest), present when the runner was configured with
+    /// [`PipelineRunner::with_continuous`].
+    pub continuous: Option<ContinuousReport>,
+}
+
+/// Accounting of one continuous (tail-fed) pipeline run: the streaming ETL
+/// stage's join/seal/land report plus the `recd-dpp` service report of the
+/// run that consumed its landed partitions as they appeared.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ContinuousReport {
+    /// Streaming ETL accounting (join, watermark, seals, landing).
+    pub etl: EtlServiceReport,
+    /// The consuming `recd-dpp` service's accounting
+    /// (`partitions_ingested` counts the hand-offs).
+    pub dpp: DppReport,
 }
 
 /// The report plus the artifacts downstream experiments reuse.
@@ -69,6 +85,7 @@ pub struct PipelineRunner {
     readers: usize,
     streaming_workers: Option<usize>,
     streaming_trainers: usize,
+    continuous_workers: Option<usize>,
 }
 
 impl PipelineRunner {
@@ -80,6 +97,7 @@ impl PipelineRunner {
             readers: 2,
             streaming_workers: None,
             streaming_trainers: 0,
+            continuous_workers: None,
         }
     }
 
@@ -110,6 +128,19 @@ impl PipelineRunner {
     #[must_use]
     pub fn with_streaming_trainers(mut self, trainers: usize) -> Self {
         self.streaming_trainers = trainers;
+        self
+    }
+
+    /// Additionally drives the *continuous* pipeline over the same log
+    /// stream: a jittered [`LogTail`] of the Scribe drain feeds a streaming
+    /// [`EtlService`] (incremental join → per-session clustering → hourly
+    /// seal → land), and every landed partition is handed straight to a
+    /// running `recd-dpp` service via
+    /// [`ingest_partition`](recd_dpp::DppHandle::ingest_partition). The
+    /// combined accounting lands in [`PipelineReport::continuous`].
+    #[must_use]
+    pub fn with_continuous(mut self, compute_workers: usize) -> Self {
+        self.continuous_workers = Some(compute_workers.max(1));
         self
     }
 
@@ -234,6 +265,46 @@ impl PipelineRunner {
             report
         });
 
+        // 5c. Optional continuous mode: tail the same drained log stream
+        // through the streaming ETL service (incremental join, watermarked
+        // hourly seals, landing) and hand every landed partition straight to
+        // a running recd-dpp service.
+        let continuous = self.continuous_workers.map(|workers| {
+            let tail = LogTail::new(
+                drained.clone(),
+                &TailConfig::default()
+                    .with_jitter_ms(2_000)
+                    .with_seed(spec.sized_workload().seed),
+            );
+            let continuous_store = std::sync::Arc::new(TableStore::new(TectonicSim::new(8), 64, 4));
+            let etl = EtlService::new(
+                tail,
+                EtlStreamConfig::new(layout).with_window_ms(10_000),
+                std::sync::Arc::clone(&continuous_store),
+                schema.clone(),
+                spec.preset.name(),
+            );
+            let dpp_config = DppConfig::new(reader_config.clone())
+                .with_policy(ShardPolicy::SessionAffine)
+                .with_shards(workers)
+                .with_compute_workers(workers)
+                .with_fill_workers(2);
+            let mut handle = DppService::start(dpp_config, continuous_store, schema.clone());
+            // Pump the tail in one-minute simulated steps; every sealed
+            // partition lands and is ingested the moment it appears.
+            let output = etl.run(ManualClock::new(), 60_000, &mut |stored, _| {
+                handle.ingest_partition(stored);
+            });
+            let dpp = handle
+                .finish()
+                .expect("continuous run over freshly-landed partitions succeeds")
+                .report;
+            ContinuousReport {
+                etl: output.report,
+                dpp,
+            }
+        });
+
         // 6. Trainer cost model (O5–O7) over the produced batches.
         let model = DlrmConfig::from_schema(&schema, spec.embedding_dim, spec.sequence_pooling);
         let opts = TrainerOptimizations {
@@ -260,6 +331,7 @@ impl PipelineRunner {
             read_bytes,
             egress_bytes,
             streaming,
+            continuous,
         };
 
         PipelineArtifacts {
@@ -272,12 +344,7 @@ impl PipelineRunner {
 }
 
 fn merge_storage(total: &mut StorageReport, part: &StorageReport) {
-    total.files += part.files;
-    total.stripes += part.stripes;
-    total.rows += part.rows;
-    total.raw_bytes += part.raw_bytes;
-    total.encoded_bytes += part.encoded_bytes;
-    total.stored_bytes += part.stored_bytes;
+    total.absorb(part);
 }
 
 /// Averages the trainer cost model over the full-size batches of a run.
@@ -428,6 +495,41 @@ mod tests {
             .trainers
             .iter()
             .all(|t| t.dropped_batches == 0 && t.consumed_batches == t.delivered_batches));
+    }
+
+    #[test]
+    fn continuous_mode_matches_the_batch_pipeline() {
+        let artifacts = PipelineRunner::new(small_spec(), RecdConfig::full())
+            .with_continuous(2)
+            .run(128);
+        let report = artifacts.report;
+        let continuous = report.continuous.expect("continuous report requested");
+
+        // The tail-fed ETL joined every record (the window covers the
+        // tail's jitter) and sealed the same rows the batch path landed.
+        let c = continuous.etl.etl.counters;
+        assert_eq!(c.late_drops, 0);
+        assert_eq!(c.orphaned_features, 0);
+        assert_eq!(c.orphaned_events, 0);
+        assert_eq!(c.sealed_rows as usize, report.samples);
+        assert!(continuous.etl.landed_partitions > 0);
+        assert_eq!(continuous.etl.storage.rows, report.storage.rows);
+        assert_eq!(
+            continuous.etl.storage.stored_bytes,
+            report.storage.stored_bytes
+        );
+
+        // Every landed partition was handed to the running dpp service, and
+        // the trainer-side sample count equals the batch pipeline's.
+        assert_eq!(
+            continuous.dpp.partitions_ingested,
+            continuous.etl.landed_partitions
+        );
+        assert_eq!(continuous.dpp.samples, report.samples);
+        assert!(continuous.dpp.dedupe_factor > 1.0);
+
+        let without = PipelineRunner::new(small_spec(), RecdConfig::full()).run(128);
+        assert!(without.report.continuous.is_none());
     }
 
     #[test]

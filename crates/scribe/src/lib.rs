@@ -16,6 +16,10 @@
 //! [`ScribeCluster`] implements exactly that: pluggable [`ShardKeyPolicy`],
 //! per-shard buffering, real block compression via `recd-codec`, and byte
 //! accounting in [`ScribeReport`].
+//!
+//! For the *continuous* pipeline, [`LogTail`] turns a log stream into a
+//! replayable arrival process (seeded jitter and stragglers) that the
+//! streaming ETL stage tails instead of reading a finished batch.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -24,4 +28,4 @@ pub mod cluster;
 pub mod wire;
 
 pub use cluster::{ScribeCluster, ScribeConfig, ScribeReport, ShardKeyPolicy, ShardStats};
-pub use wire::{decode_record, encode_record, WireError};
+pub use wire::{decode_record, encode_record, LogTail, TailConfig, TailEvent, WireError};

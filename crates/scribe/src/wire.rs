@@ -1,6 +1,9 @@
 //! Binary wire encoding for raw log records, so shard buffers hold realistic
-//! byte streams for the block compressor to work on.
+//! byte streams for the block compressor to work on — plus [`LogTail`], the
+//! replayable arrival simulation the continuous ETL stage tails.
 
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 use recd_codec::varint;
 use recd_data::{EventLog, FeatureLog, LogRecord, RequestId, SessionId, Timestamp};
 use std::error::Error;
@@ -161,6 +164,175 @@ pub fn decode_all(input: &[u8]) -> Result<Vec<LogRecord>, WireError> {
     Ok(records)
 }
 
+/// Arrival-process knobs of a [`LogTail`].
+///
+/// Log records do not reach the tailing ETL stage in timestamp order: every
+/// record's *arrival time* is its timestamp plus a uniformly drawn network
+/// jitter, and a configurable fraction of records straggle by an extra
+/// delay (a retrying inference host, a slow Scribe shard). The whole
+/// process is a pure function of `seed`, so a tail can be replayed —
+/// byte-for-byte — as many times as a test harness wants.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TailConfig {
+    /// Uniform arrival jitter: each record arrives within
+    /// `[ts, ts + jitter_ms]`.
+    pub jitter_ms: u64,
+    /// Fraction of records (0.0–1.0) that straggle late.
+    pub late_fraction: f64,
+    /// Extra arrival delay added to straggling records, beyond the jitter.
+    pub late_extra_ms: u64,
+    /// Seed of the arrival process.
+    pub seed: u64,
+}
+
+impl Default for TailConfig {
+    fn default() -> Self {
+        Self {
+            jitter_ms: 2_000,
+            late_fraction: 0.0,
+            late_extra_ms: 60_000,
+            seed: 0,
+        }
+    }
+}
+
+impl TailConfig {
+    /// A perfectly punctual tail: every record arrives exactly at its
+    /// timestamp, in timestamp order.
+    pub fn punctual() -> Self {
+        Self {
+            jitter_ms: 0,
+            late_fraction: 0.0,
+            late_extra_ms: 0,
+            seed: 0,
+        }
+    }
+
+    /// Sets the uniform jitter bound.
+    #[must_use]
+    pub fn with_jitter_ms(mut self, jitter_ms: u64) -> Self {
+        self.jitter_ms = jitter_ms;
+        self
+    }
+
+    /// Sets the straggler fraction (clamped to `[0, 1]`) and extra delay.
+    #[must_use]
+    pub fn with_lateness(mut self, fraction: f64, extra_ms: u64) -> Self {
+        self.late_fraction = fraction.clamp(0.0, 1.0);
+        self.late_extra_ms = extra_ms;
+        self
+    }
+
+    /// Sets the seed of the arrival process.
+    #[must_use]
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+}
+
+/// One record together with the simulated wall-clock time it reaches the
+/// tailing consumer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TailEvent {
+    /// Simulated arrival time (ms).
+    pub arrival_ms: u64,
+    /// The record that arrived.
+    pub record: LogRecord,
+}
+
+/// A replayable tail over a log stream: the continuous-ETL analog of
+/// `tail -f` on a Scribe category.
+///
+/// Construction assigns every record a deterministic arrival time from the
+/// [`TailConfig`] and orders the stream by arrival. Consumers either
+/// [`poll`](LogTail::poll) everything that has arrived by a simulated clock
+/// value, or pull one event at a time with [`next_event`](LogTail::next_event).
+/// [`rewind`](LogTail::rewind) restarts the identical stream, which is what
+/// makes deterministic end-to-end replay tests possible.
+#[derive(Debug, Clone)]
+pub struct LogTail {
+    events: Vec<TailEvent>,
+    cursor: usize,
+}
+
+impl LogTail {
+    /// Builds a tail over `records` with the given arrival process.
+    pub fn new(records: Vec<LogRecord>, config: &TailConfig) -> Self {
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let mut events: Vec<TailEvent> = records
+            .into_iter()
+            .map(|record| {
+                let mut arrival_ms = record.timestamp().as_millis();
+                if config.jitter_ms > 0 {
+                    arrival_ms += rng.gen_range(0..=config.jitter_ms);
+                }
+                if config.late_fraction > 0.0 && rng.gen_bool(config.late_fraction) {
+                    arrival_ms += config.late_extra_ms;
+                }
+                TailEvent { arrival_ms, record }
+            })
+            .collect();
+        // Stable: records with equal arrival keep their input order, so the
+        // tail is a pure function of (records, config).
+        events.sort_by_key(|e| e.arrival_ms);
+        Self { events, cursor: 0 }
+    }
+
+    /// Returns every event with `arrival_ms <= now_ms` that has not been
+    /// consumed yet, advancing the cursor past them.
+    pub fn poll(&mut self, now_ms: u64) -> &[TailEvent] {
+        let start = self.cursor;
+        while self.cursor < self.events.len() && self.events[self.cursor].arrival_ms <= now_ms {
+            self.cursor += 1;
+        }
+        &self.events[start..self.cursor]
+    }
+
+    /// Pulls the next event regardless of clock, or `None` once drained.
+    pub fn next_event(&mut self) -> Option<&TailEvent> {
+        let event = self.events.get(self.cursor)?;
+        self.cursor += 1;
+        Some(event)
+    }
+
+    /// Arrival time of the next unconsumed event, or `None` once drained.
+    pub fn next_arrival_ms(&self) -> Option<u64> {
+        self.events.get(self.cursor).map(|e| e.arrival_ms)
+    }
+
+    /// Arrival time of the final event (0 for an empty tail).
+    pub fn end_ms(&self) -> u64 {
+        self.events.last().map_or(0, |e| e.arrival_ms)
+    }
+
+    /// Events not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.events.len() - self.cursor
+    }
+
+    /// Total events in the tail.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Returns true if the tail holds no events at all.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Returns true once every event has been consumed.
+    pub fn is_drained(&self) -> bool {
+        self.cursor == self.events.len()
+    }
+
+    /// Rewinds to the start: the next consumption replays the identical
+    /// arrival sequence.
+    pub fn rewind(&mut self) {
+        self.cursor = 0;
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -204,6 +376,72 @@ mod tests {
         let records = decode_all(&buf).unwrap();
         assert_eq!(records.len(), 3);
         assert_eq!(records[1], event_record());
+    }
+
+    fn numbered_records(n: u64) -> Vec<LogRecord> {
+        (0..n)
+            .map(|i| {
+                LogRecord::Event(EventLog {
+                    request_id: RequestId::new(i),
+                    session_id: SessionId::new(i / 4),
+                    timestamp: Timestamp::from_millis(i * 1_000),
+                    label: 0.0,
+                })
+            })
+            .collect()
+    }
+
+    #[test]
+    fn punctual_tail_preserves_timestamp_order() {
+        let mut tail = LogTail::new(numbered_records(10), &TailConfig::punctual());
+        assert_eq!(tail.len(), 10);
+        assert!(!tail.is_empty());
+        let polled = tail.poll(4_000);
+        assert_eq!(polled.len(), 5);
+        assert!(polled
+            .windows(2)
+            .all(|w| w[0].arrival_ms <= w[1].arrival_ms));
+        assert_eq!(tail.remaining(), 5);
+        tail.poll(u64::MAX);
+        assert!(tail.is_drained());
+    }
+
+    #[test]
+    fn jittered_tail_is_replayable_and_bounded() {
+        let config = TailConfig::default().with_jitter_ms(5_000).with_seed(42);
+        let records = numbered_records(50);
+        let mut a = LogTail::new(records.clone(), &config);
+        let mut b = LogTail::new(records, &config);
+        let mut pulled = 0usize;
+        while let (Some(x), Some(y)) = (a.next_event().cloned(), b.next_event()) {
+            assert_eq!(&x, y, "same seed must replay the same arrivals");
+            let ts = x.record.timestamp().as_millis();
+            assert!(x.arrival_ms >= ts && x.arrival_ms <= ts + 5_000);
+            pulled += 1;
+        }
+        assert_eq!(pulled, 50);
+        // Rewind replays the identical stream.
+        let first = a.events.clone();
+        a.rewind();
+        assert_eq!(a.remaining(), 50);
+        assert_eq!(a.next_arrival_ms(), Some(first[0].arrival_ms));
+    }
+
+    #[test]
+    fn stragglers_arrive_with_the_extra_delay() {
+        let config = TailConfig::punctual()
+            .with_lateness(0.3, 100_000)
+            .with_seed(7);
+        let tail = LogTail::new(numbered_records(200), &config);
+        let late = tail
+            .events
+            .iter()
+            .filter(|e| e.arrival_ms >= e.record.timestamp().as_millis() + 100_000)
+            .count();
+        assert!(late > 20 && late < 120, "~30% stragglers, got {late}");
+        // A different seed produces a different straggler set.
+        let other = LogTail::new(numbered_records(200), &config.with_seed(8));
+        assert_ne!(tail.events, other.events);
     }
 
     #[test]

@@ -25,6 +25,16 @@ pub struct StorageReport {
 }
 
 impl StorageReport {
+    /// Accumulates another report into this one (multi-partition runs).
+    pub fn absorb(&mut self, other: &StorageReport) {
+        self.files += other.files;
+        self.stripes += other.stripes;
+        self.rows += other.rows;
+        self.raw_bytes += other.raw_bytes;
+        self.encoded_bytes += other.encoded_bytes;
+        self.stored_bytes += other.stored_bytes;
+    }
+
     /// Compression ratio: logical payload bytes over stored bytes.
     pub fn compression_ratio(&self) -> f64 {
         if self.stored_bytes == 0 {

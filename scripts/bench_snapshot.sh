@@ -15,8 +15,8 @@ out=BENCH_pipeline.json
 raw=$(mktemp)
 trap 'rm -f "$raw"' EXIT
 
-echo "running convert-path + fan-out benches (this takes a minute)..." >&2
-cargo bench -p recd-bench --bench columnar --bench dedup_conversion --bench fanout 2>/dev/null \
+echo "running convert-path + fan-out + continuous-etl benches (this takes a minute)..." >&2
+cargo bench -p recd-bench --bench columnar --bench dedup_conversion --bench fanout --bench etl_stream 2>/dev/null \
   | grep 'time:' > "$raw"
 
 # Normalizes one shim output line to "name mean_ns [throughput...]".
@@ -55,20 +55,24 @@ proc_flat_dedup=$(mean_ns "preprocess/flat/dedup")
 fanout_1=$(mean_ns "dpp_fanout/trainers_1")
 fanout_4=$(mean_ns "dpp_fanout/trainers_4")
 scaleup=$(mean_ns "dpp_scaleup/first_grow")
+tail_to_trainer=$(mean_ns "etl_stream/tail_to_trainer")
+seal_to_ingest=$(mean_ns "etl_stream/seal_to_ingest")
 
 {
   echo '{'
   echo '  "schema_version": 1,'
   echo "  \"generated_utc\": \"$(date -u +%Y-%m-%dT%H:%M:%SZ)\","
   echo "  \"git_rev\": \"$(git rev-parse --short HEAD 2>/dev/null || echo unknown)\","
-  echo '  "command": "scripts/bench_snapshot.sh (cargo bench -p recd-bench --bench columnar --bench dedup_conversion --bench fanout)",'
+  echo '  "command": "scripts/bench_snapshot.sh (cargo bench -p recd-bench --bench columnar --bench dedup_conversion --bench fanout --bench etl_stream)",'
   echo '  "derived": {'
   echo "    \"datagen_convert_512_speedup_columnar_vs_rowwise\": $(ratio "$convert_row" "$convert_col"),"
   echo "    \"pipeline_fill_convert_speedup_columnar_vs_rowwise\": $(ratio "$fill_row" "$fill_col"),"
   echo "    \"process_speedup_flat_vs_rowwise\": $(ratio "$proc_row" "$proc_flat"),"
   echo "    \"process_speedup_flat_vs_rowwise_dedup\": $(ratio "$proc_row_dedup" "$proc_flat_dedup"),"
   echo "    \"dpp_fanout_speedup_trainers4_vs_1\": $(ratio "$fanout_1" "$fanout_4"),"
-  echo "    \"dpp_scaleup_first_grow_ms\": $(awk -v ns="$scaleup" 'BEGIN { printf "%.2f", ns / 1e6 }')"
+  echo "    \"dpp_scaleup_first_grow_ms\": $(awk -v ns="$scaleup" 'BEGIN { printf "%.2f", ns / 1e6 }'),"
+  echo "    \"etl_stream_tail_to_trainer_ms\": $(awk -v ns="$tail_to_trainer" 'BEGIN { printf "%.2f", ns / 1e6 }'),"
+  echo "    \"etl_stream_seal_to_ingest_ms\": $(awk -v ns="$seal_to_ingest" 'BEGIN { printf "%.2f", ns / 1e6 }')"
   echo '  },'
   echo '  "benches": ['
   normalize | awk '{
