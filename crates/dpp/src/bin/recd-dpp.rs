@@ -10,6 +10,7 @@
 //!          [--tail] [--tail-rate N] [--tail-jitter-ms N]
 //!          [--tail-late-frac F] [--tail-late-ms N] [--tail-window-ms N]
 //!          [--tail-seal-rows N] [--tail-seed N]
+//!          [--metrics-port N] [--scrape-once]
 //!          [--quiet]
 //! ```
 //!
@@ -19,11 +20,22 @@
 //! streaming ETL stage (incremental join → per-session clustering → hourly
 //! seals), and every sealed partition lands and is handed to the running
 //! service via `DppHandle::ingest_partition` the moment it appears.
+//!
+//! Either way, every tier registers into one [`MetricsRegistry`]: the live
+//! monitor renders its snapshot line *from the gathered families* (one
+//! formatting path for batch and tail mode), `--metrics-port` additionally
+//! serves them at `GET /metrics` in the Prometheus text exposition format
+//! (port `0` picks an ephemeral one), and a [`MetricsAggregator`] polls the
+//! registry in the background to print a derived-rates report at the end.
 
 use recd_core::DataLoaderConfig;
 use recd_datagen::{DatasetGenerator, WorkloadConfig, WorkloadPreset};
 use recd_dpp::{DppConfig, DppService, ScalerConfig, ShardPolicy, TrainerAssignPolicy};
 use recd_etl::{cluster_by_session, EtlService, EtlStreamConfig, ManualClock, TableLayout};
+use recd_obs::{
+    sample_value, AggregatorConfig, Collector, MetricFamily, MetricsAggregator, MetricsRegistry,
+    MetricsServer, SampleValue, ScaleClock, WallClock,
+};
 use recd_reader::{PreprocessPipeline, ReaderConfig};
 use recd_scribe::{LogTail, TailConfig};
 use recd_storage::{TableStore, TectonicSim};
@@ -52,6 +64,8 @@ struct Args {
     tail_window_ms: u64,
     tail_seal_rows: Option<usize>,
     tail_seed: u64,
+    metrics_port: Option<u16>,
+    scrape_once: bool,
     quiet: bool,
 }
 
@@ -77,6 +91,8 @@ fn parse_args() -> Result<Args, String> {
         tail_window_ms: 30_000,
         tail_seal_rows: None,
         tail_seed: 0,
+        metrics_port: None,
+        scrape_once: false,
         quiet: false,
     };
     let mut it = std::env::args().skip(1);
@@ -197,6 +213,14 @@ fn parse_args() -> Result<Args, String> {
                     .parse()
                     .map_err(|e| format!("--tail-seed: {e}"))?
             }
+            "--metrics-port" => {
+                args.metrics_port = Some(
+                    value("--metrics-port")?
+                        .parse()
+                        .map_err(|e| format!("--metrics-port: {e}"))?,
+                )
+            }
+            "--scrape-once" => args.scrape_once = true,
             "--quiet" => args.quiet = true,
             "--help" | "-h" => {
                 println!(
@@ -223,6 +247,10 @@ fn parse_args() -> Result<Args, String> {
                      \n  --tail-window-ms N       ETL out-of-order window (default 30000)\
                      \n  --tail-seal-rows N       seal an open hour early at N rows\
                      \n  --tail-seed N            arrival-process seed (default 0)\
+                     \n  --metrics-port N         serve GET /metrics (Prometheus text format) on\
+                     \n                           127.0.0.1:N while running (0 = ephemeral port)\
+                     \n  --scrape-once            self-scrape /metrics once before shutdown and\
+                     \n                           print the exposition (requires --metrics-port)\
                      \n  --quiet                  suppress live snapshots"
                 );
                 std::process::exit(0);
@@ -230,7 +258,64 @@ fn parse_args() -> Result<Args, String> {
             other => return Err(format!("unknown flag '{other}' (try --help)")),
         }
     }
+    if args.scrape_once && args.metrics_port.is_none() {
+        return Err("--scrape-once requires --metrics-port".to_string());
+    }
     Ok(args)
+}
+
+/// Renders one live-monitor line from gathered metric families — the single
+/// formatting path for batch and tail mode. The ETL fragment appears exactly
+/// when the ETL tier is registered (its families are present), so the line
+/// shape is decided by the registry contents, not by a mode flag.
+fn live_line(families: &[MetricFamily]) -> String {
+    let v =
+        |name: &str, labels: &[(&str, &str)]| sample_value(families, name, labels).unwrap_or(0.0);
+    let lanes: Vec<String> = families
+        .iter()
+        .find(|f| f.name == "recd_dpp_trainer_queue_depth")
+        .map(|family| {
+            family
+                .samples
+                .iter()
+                .filter_map(|s| match s.value {
+                    SampleValue::Scalar(depth) => Some(format!("{}", depth as u64)),
+                    SampleValue::Histogram(_) => None,
+                })
+                .collect()
+        })
+        .unwrap_or_default();
+    let etl_part = if families.iter().any(|f| f.name == "recd_etl_tail_lag_ms") {
+        format!(
+            "  etl lag={:.0}s open={}h/{}s sealed={} late={}",
+            v("recd_etl_tail_lag_ms", &[]) / 1_000.0,
+            v("recd_etl_open_hours", &[]) as u64,
+            v("recd_etl_open_sessions", &[]) as u64,
+            v("recd_etl_sealed_partitions_total", &[]) as u64,
+            v("recd_etl_late_drops_total", &[]) as u64,
+        )
+    } else {
+        String::new()
+    };
+    format!(
+        "  [{:6.2}s] {:>8} samples  {:>9.0} samples/s  dedup {:>5.2}x  queues fill={} route={} work={} out={}  workers {}f/{}c{}{}",
+        v("recd_dpp_uptime_seconds", &[]),
+        v("recd_dpp_samples_out_total", &[]) as u64,
+        v("recd_dpp_samples_per_second", &[]),
+        v("recd_dpp_dedupe_factor", &[]),
+        v("recd_dpp_queue_depth", &[("queue", "input")]) as u64,
+        v("recd_dpp_queue_depth", &[("queue", "filled")]) as u64,
+        v("recd_dpp_queue_depth", &[("queue", "work")]) as u64,
+        v("recd_dpp_queue_depth", &[("queue", "output")]) as u64,
+        v("recd_dpp_workers_live", &[("pool", "fill")]) as u64,
+        v("recd_dpp_workers_live", &[("pool", "compute")]) as u64,
+        if lanes.is_empty() {
+            String::new()
+        } else {
+            format!("  lanes [{}]", lanes.join(","))
+        },
+        etl_part,
+    )
 }
 
 fn main() {
@@ -330,6 +415,13 @@ fn main() {
 
     let mut handle = DppService::start(config, Arc::clone(&store), schema.clone());
 
+    // The observability plane: every tier registers into one registry. The
+    // live monitor, the /metrics endpoint, and the aggregator all read the
+    // same gathered families.
+    let registry = Arc::new(MetricsRegistry::new());
+    registry.register(Arc::new(handle.snapshot_source()) as Arc<dyn Collector>);
+    registry.register(Arc::new(store.blob_store().clone()) as Arc<dyn Collector>);
+
     // Continuous mode: the streaming ETL service that feeds the handle.
     let mut etl = tail_records.map(|records| {
         let tail = LogTail::new(
@@ -356,7 +448,27 @@ fn main() {
         );
         EtlService::new(tail, etl_config, Arc::clone(&store), schema.clone(), "tail")
     });
-    let etl_gauges = etl.as_ref().map(|service| service.gauges());
+    if let Some(service) = &etl {
+        registry.register(service.gauges() as Arc<dyn Collector>);
+    }
+
+    // Exposition endpoint and background aggregator.
+    let server = args.metrics_port.map(|port| {
+        let server = MetricsServer::start(Arc::clone(&registry), port)
+            .unwrap_or_else(|err| panic!("recd-dpp: bind metrics port {port}: {err}"));
+        println!("metrics: serving http://{}/metrics", server.local_addr());
+        server
+    });
+    let aggregator = Arc::new(MetricsAggregator::new(
+        Arc::clone(&registry),
+        AggregatorConfig::default(),
+    ));
+    // Bracket the run with explicit polls so even runs shorter than the
+    // polling period produce a rate window in the final report.
+    let run_started = std::time::Instant::now();
+    aggregator.poll_at(0.0);
+    let aggregator_handle = aggregator
+        .spawn(Arc::new(WallClock::new(Duration::from_millis(100))) as Arc<dyn ScaleClock>);
 
     // Simulated trainers: each consumes its own lane as fast as it can and
     // recycles the shells so compute workers refill warm buffers.
@@ -379,52 +491,19 @@ fn main() {
         })
         .collect();
 
-    // Live metrics monitor (the service's own snapshot API).
+    // Live metrics monitor: gathers the registry and renders the shared
+    // `live_line` formatting path — identical output pipeline in batch and
+    // tail mode.
     let done = Arc::new(AtomicBool::new(false));
     let monitor = if args.quiet {
         None
     } else {
         let done = Arc::clone(&done);
-        let snapshot_source = handle.snapshot_source();
-        let etl_gauges = etl_gauges.clone();
+        let registry = Arc::clone(&registry);
         Some(std::thread::spawn(move || {
             while !done.load(Ordering::Relaxed) {
                 std::thread::sleep(Duration::from_millis(100));
-                let s = snapshot_source.snapshot();
-                let lanes: Vec<String> = s
-                    .trainers
-                    .iter()
-                    .map(|t| t.queue_depth.to_string())
-                    .collect();
-                let etl_part = etl_gauges.as_ref().map_or(String::new(), |g| {
-                    format!(
-                        "  etl lag={:.0}s open={}h/{}s sealed={} late={}",
-                        g.tail_lag_ms.load(Ordering::Relaxed) as f64 / 1_000.0,
-                        g.open_hours.load(Ordering::Relaxed),
-                        g.open_sessions.load(Ordering::Relaxed),
-                        g.sealed_partitions.load(Ordering::Relaxed),
-                        g.late_drops.load(Ordering::Relaxed),
-                    )
-                });
-                println!(
-                    "  [{:6.2}s] {:>8} samples  {:>9.0} samples/s  dedup {:>5.2}x  queues fill={} route={} work={} out={}  workers {}f/{}c{}{}",
-                    s.elapsed_seconds,
-                    s.samples_out,
-                    s.samples_per_second,
-                    s.dedupe_factor,
-                    s.input_queue_depth,
-                    s.filled_queue_depth,
-                    s.work_queue_depth,
-                    s.output_queue_depth,
-                    s.fill_workers_live,
-                    s.compute_workers_live,
-                    if lanes.is_empty() {
-                        String::new()
-                    } else {
-                        format!("  lanes [{}]", lanes.join(","))
-                    },
-                    etl_part,
-                );
+                println!("{}", live_line(&registry.gather()));
             }
         }))
     };
@@ -456,6 +535,8 @@ fn main() {
     if let Some(monitor) = monitor {
         monitor.join().expect("monitor thread");
     }
+    aggregator_handle.stop();
+    aggregator.poll_at(run_started.elapsed().as_secs_f64());
     for thread in trainer_threads {
         let (trainer, batches, samples) = thread.join().expect("trainer thread");
         println!("trainer {trainer}: consumed {batches} batches / {samples} samples");
@@ -550,5 +631,28 @@ fn main() {
             eprintln!("recd-dpp: {err}");
             std::process::exit(1);
         }
+    }
+
+    if !args.quiet {
+        println!("\n{}", aggregator.report());
+    }
+    if args.scrape_once {
+        let addr = server
+            .as_ref()
+            .expect("--scrape-once requires --metrics-port")
+            .local_addr();
+        match recd_obs::scrape(addr) {
+            Ok(body) => {
+                println!("\nscrape of http://{addr}/metrics ({} bytes):", body.len());
+                print!("{body}");
+            }
+            Err(err) => {
+                eprintln!("recd-dpp: scrape failed: {err}");
+                std::process::exit(1);
+            }
+        }
+    }
+    if let Some(server) = server {
+        server.shutdown();
     }
 }

@@ -57,6 +57,7 @@
 
 pub mod channel;
 pub mod metrics;
+pub mod obs;
 pub mod pool;
 pub mod scaler;
 pub mod service;

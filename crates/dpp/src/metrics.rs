@@ -128,6 +128,8 @@ pub struct DppSnapshot {
     pub batches_out: u64,
     /// Samples emitted so far.
     pub samples_out: u64,
+    /// Preprocessed tensor bytes sent toward trainers so far.
+    pub egress_bytes: u64,
     /// Emitted samples per wall-clock second since start.
     pub samples_per_second: f64,
     /// Average in-batch dedup factor of emitted batches.

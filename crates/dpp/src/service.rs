@@ -834,6 +834,7 @@ impl DppService {
                 .cloned()
                 .zip(lane_gauges.iter().cloned())
                 .collect(),
+            phase_metrics: Arc::clone(&phase_metrics),
         };
 
         DppHandle {
@@ -875,9 +876,16 @@ pub struct SnapshotSource {
     compute_gov: Arc<PoolGovernor>,
     scale_events: Arc<Mutex<Vec<ScaleEvent>>>,
     lanes: Vec<(Arc<LaneShared>, Gauge<TrainerBatch>)>,
+    phase_metrics: Arc<Mutex<ReaderMetrics>>,
 }
 
 impl SnapshotSource {
+    /// A copy of the combined per-phase reader accounting across all
+    /// workers, as of now.
+    pub fn reader_metrics(&self) -> ReaderMetrics {
+        *self.phase_metrics.lock().expect("phase metrics lock")
+    }
+
     /// Takes a live snapshot of throughput, progress, queue depths, worker
     /// pool sizes, and per-trainer lane state.
     pub fn snapshot(&self) -> DppSnapshot {
@@ -896,6 +904,7 @@ impl SnapshotSource {
             rows_routed: self.counters.rows_routed.load(Ordering::Relaxed),
             batches_out: self.counters.batches_out.load(Ordering::Relaxed),
             samples_out: samples,
+            egress_bytes: self.counters.egress_bytes.load(Ordering::Relaxed),
             samples_per_second: if elapsed > 0.0 {
                 samples as f64 / elapsed
             } else {

@@ -528,6 +528,90 @@ pub struct EtlGauges {
     pub tail_remaining: AtomicU64,
 }
 
+impl recd_obs::Collector for EtlGauges {
+    fn collect(&self, out: &mut recd_obs::MetricsBuf) {
+        let load = |a: &AtomicU64| a.load(Ordering::Relaxed) as f64;
+        out.counter(
+            "recd_etl_records_tailed_total",
+            "Tail events consumed from the log stream.",
+            &[],
+            load(&self.records_tailed),
+        );
+        out.counter(
+            "recd_etl_joined_samples_total",
+            "Samples produced by the streaming join.",
+            &[],
+            load(&self.joined_samples),
+        );
+        out.counter(
+            "recd_etl_late_drops_total",
+            "Late records dropped past the watermark.",
+            &[],
+            load(&self.late_drops),
+        );
+        out.counter(
+            "recd_etl_duplicates_total",
+            "Duplicate records dropped by the join.",
+            &[],
+            load(&self.duplicates),
+        );
+        out.counter(
+            "recd_etl_orphaned_total",
+            "Orphaned join halves evicted unmatched.",
+            &[],
+            load(&self.orphaned),
+        );
+        out.gauge(
+            "recd_etl_open_hours",
+            "Hourly partitions currently accumulating rows.",
+            &[],
+            load(&self.open_hours),
+        );
+        out.gauge(
+            "recd_etl_open_sessions",
+            "Session clustering buffers currently open.",
+            &[],
+            load(&self.open_sessions),
+        );
+        out.gauge(
+            "recd_etl_buffered_rows",
+            "Rows buffered in open hours, not yet sealed.",
+            &[],
+            load(&self.buffered_rows),
+        );
+        out.counter(
+            "recd_etl_sealed_partitions_total",
+            "Hourly partitions sealed by the watermark.",
+            &[],
+            load(&self.sealed_partitions),
+        );
+        out.counter(
+            "recd_etl_landed_partitions_total",
+            "Sealed partitions landed into the table store.",
+            &[],
+            load(&self.landed_partitions),
+        );
+        out.gauge(
+            "recd_etl_watermark_ms",
+            "Current event-time watermark in milliseconds.",
+            &[],
+            load(&self.watermark_ms),
+        );
+        out.gauge(
+            "recd_etl_tail_lag_ms",
+            "How far the sealed frontier trails the tail clock (ms).",
+            &[],
+            load(&self.tail_lag_ms),
+        );
+        out.gauge(
+            "recd_etl_tail_remaining",
+            "Tail events not yet arrived from the log stream.",
+            &[],
+            load(&self.tail_remaining),
+        );
+    }
+}
+
 /// Final accounting of one [`EtlService`] run.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct EtlServiceReport {

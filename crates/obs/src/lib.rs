@@ -1,0 +1,39 @@
+//! # recd-obs
+//!
+//! The observability plane of the reproduction: a dependency-free (pure
+//! `std`) metrics layer every tier plugs into.
+//!
+//! * [`MetricsRegistry`] holds [`Collector`]s — one per tier — that map the
+//!   tiers' existing snapshot structs (`DppSnapshot`, `EtlGauges`,
+//!   `ReaderMetrics`, trainer lane gauges, blob-store counters) into labeled
+//!   counter/gauge/histogram samples on each scrape.
+//! * [`MetricsServer`] exposes the registry at `GET /metrics` in the
+//!   Prometheus text exposition format (HELP/TYPE lines, label escaping,
+//!   deterministic family ordering) on a plain [`std::net::TcpListener`],
+//!   because the workspace is offline and ships no HTTP crate.
+//! * [`MetricsAggregator`] polls the registry on a [`ScaleClock`], keeps a
+//!   bounded ring of time-series points per metric, derives rates
+//!   (records/sec end-to-end, tail-lag trend, pool hit ratio), and renders a
+//!   one-shot text report — the single pane of glass a future multi-host
+//!   control plane will scrape per host.
+//!
+//! The clock abstraction ([`ScaleClock`], [`WallClock`], [`ManualClock`])
+//! lives here and is shared with the `recd-dpp` scaling controller: the
+//! production clock ticks on a period, while [`ManualClock::step`] grants
+//! exactly one evaluation for deterministic tests.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod aggregator;
+pub mod clock;
+pub mod registry;
+pub mod server;
+
+pub use aggregator::{AggregatorConfig, AggregatorHandle, DerivedMetrics, MetricsAggregator};
+pub use clock::{ManualClock, ScaleClock, WallClock};
+pub use registry::{
+    render_families, sample_value, Collector, Histogram, HistogramSnapshot, MetricFamily,
+    MetricKind, MetricsBuf, MetricsRegistry, Sample, SampleValue,
+};
+pub use server::{scrape, MetricsServer};

@@ -1,0 +1,263 @@
+//! A minimal HTTP/1.1 server exposing a [`MetricsRegistry`] at
+//! `GET /metrics`, built on [`std::net::TcpListener`] because the offline
+//! workspace ships no HTTP crate. Requests are served serially — a metrics
+//! endpoint is scraped by one collector at a time, and a slow scrape must
+//! never spawn unbounded threads inside the data plane.
+
+use crate::registry::{Collector, Histogram, MetricsBuf, MetricsRegistry};
+use std::io::{Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Self-instrumentation the server registers into the registry it serves:
+/// scrape counts and a latency histogram, so the observability plane reports
+/// on itself like any other tier.
+#[derive(Debug)]
+struct ScrapeStats {
+    scrapes: AtomicU64,
+    not_found: AtomicU64,
+    latency: Histogram,
+}
+
+impl Default for ScrapeStats {
+    fn default() -> Self {
+        Self {
+            scrapes: AtomicU64::new(0),
+            not_found: AtomicU64::new(0),
+            latency: Histogram::new(&[0.0005, 0.001, 0.005, 0.01, 0.05, 0.1, 0.5]),
+        }
+    }
+}
+
+impl Collector for ScrapeStats {
+    fn collect(&self, out: &mut MetricsBuf) {
+        out.counter(
+            "recd_obs_scrapes_total",
+            "Successful /metrics scrapes served.",
+            &[],
+            self.scrapes.load(Ordering::Relaxed) as f64,
+        );
+        out.counter(
+            "recd_obs_http_not_found_total",
+            "Requests for paths other than /metrics.",
+            &[],
+            self.not_found.load(Ordering::Relaxed) as f64,
+        );
+        out.histogram(
+            "recd_obs_scrape_duration_seconds",
+            "Wall time to gather and render one scrape.",
+            &[],
+            self.latency.snapshot(),
+        );
+    }
+}
+
+/// The exposition endpoint: binds a local TCP port (`0` picks an ephemeral
+/// one), serves `GET /metrics` from a background thread, and shuts down
+/// cleanly on [`MetricsServer::shutdown`] or drop.
+pub struct MetricsServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    thread: Option<JoinHandle<()>>,
+}
+
+impl MetricsServer {
+    /// Binds `127.0.0.1:port` and starts serving the registry. Port `0`
+    /// binds an ephemeral port; read the actual one from
+    /// [`MetricsServer::local_addr`].
+    ///
+    /// # Errors
+    ///
+    /// Returns the bind error if the port is unavailable.
+    pub fn start(registry: Arc<MetricsRegistry>, port: u16) -> std::io::Result<Self> {
+        let listener = TcpListener::bind(("127.0.0.1", port))?;
+        let addr = listener.local_addr()?;
+        let stats = Arc::new(ScrapeStats::default());
+        registry.register(Arc::clone(&stats) as Arc<dyn Collector>);
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop_flag = Arc::clone(&stop);
+        let thread = std::thread::Builder::new()
+            .name("obs-metrics-server".to_string())
+            .spawn(move || {
+                for connection in listener.incoming() {
+                    if stop_flag.load(Ordering::Acquire) {
+                        break;
+                    }
+                    if let Ok(stream) = connection {
+                        // One bad client must not take the endpoint down.
+                        let _ = serve_one(stream, &registry, &stats);
+                    }
+                }
+            })
+            .expect("spawn metrics server");
+        Ok(Self {
+            addr,
+            stop,
+            thread: Some(thread),
+        })
+    }
+
+    /// The bound address (resolves port `0` to the actual ephemeral port).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops the accept loop and joins the server thread.
+    pub fn shutdown(mut self) {
+        self.stop_and_join();
+    }
+
+    fn stop_and_join(&mut self) {
+        let Some(thread) = self.thread.take() else {
+            return;
+        };
+        self.stop.store(true, Ordering::Release);
+        // Wake the blocking accept with one last connection.
+        let _ = TcpStream::connect(self.addr);
+        let _ = thread.join();
+    }
+}
+
+impl Drop for MetricsServer {
+    fn drop(&mut self) {
+        self.stop_and_join();
+    }
+}
+
+/// Reads one request head (up to a small bound), answers it, closes.
+fn serve_one(
+    mut stream: TcpStream,
+    registry: &MetricsRegistry,
+    stats: &ScrapeStats,
+) -> std::io::Result<()> {
+    stream.set_read_timeout(Some(Duration::from_millis(500)))?;
+    stream.set_write_timeout(Some(Duration::from_millis(500)))?;
+    let mut head = Vec::with_capacity(512);
+    let mut chunk = [0u8; 512];
+    loop {
+        let n = stream.read(&mut chunk)?;
+        if n == 0 {
+            break;
+        }
+        head.extend_from_slice(&chunk[..n]);
+        if head.windows(4).any(|w| w == b"\r\n\r\n") || head.len() > 4096 {
+            break;
+        }
+    }
+    let request = String::from_utf8_lossy(&head);
+    let mut parts = request.lines().next().unwrap_or("").split_whitespace();
+    let method = parts.next().unwrap_or("");
+    let path = parts.next().unwrap_or("");
+    let response = if method == "GET" && (path == "/metrics" || path.starts_with("/metrics?")) {
+        let started = Instant::now();
+        let body = registry.render();
+        stats.latency.observe(started.elapsed().as_secs_f64());
+        stats.scrapes.fetch_add(1, Ordering::Relaxed);
+        format!(
+            "HTTP/1.1 200 OK\r\nContent-Type: text/plain; version=0.0.4; charset=utf-8\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{}",
+            body.len(),
+            body
+        )
+    } else {
+        stats.not_found.fetch_add(1, Ordering::Relaxed);
+        let body = "not found; try /metrics\n";
+        format!(
+            "HTTP/1.1 404 Not Found\r\nContent-Type: text/plain; charset=utf-8\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{}",
+            body.len(),
+            body
+        )
+    };
+    stream.write_all(response.as_bytes())?;
+    stream.flush()?;
+    let _ = stream.shutdown(Shutdown::Both);
+    Ok(())
+}
+
+/// Scrapes a metrics endpoint over a fresh [`TcpStream`] and returns the
+/// response body. Test and CLI helper — a production scraper would be a real
+/// Prometheus.
+///
+/// # Errors
+///
+/// Returns connection errors, or `InvalidData` if the response is not a
+/// `200` with a well-formed head.
+pub fn scrape(addr: SocketAddr) -> std::io::Result<String> {
+    let mut stream = TcpStream::connect(addr)?;
+    stream.set_read_timeout(Some(Duration::from_secs(5)))?;
+    write!(
+        stream,
+        "GET /metrics HTTP/1.1\r\nHost: {addr}\r\nConnection: close\r\n\r\n"
+    )?;
+    let mut response = String::new();
+    stream.read_to_string(&mut response)?;
+    let Some((head, body)) = response.split_once("\r\n\r\n") else {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            "malformed HTTP response",
+        ));
+    };
+    if !head.starts_with("HTTP/1.1 200") {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            format!("scrape failed: {}", head.lines().next().unwrap_or("")),
+        ));
+    }
+    Ok(body.to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct One;
+    impl Collector for One {
+        fn collect(&self, out: &mut MetricsBuf) {
+            out.gauge("one", "the number one", &[], 1.0);
+        }
+    }
+
+    #[test]
+    fn serves_metrics_and_self_instrumentation() {
+        let registry = Arc::new(MetricsRegistry::new());
+        registry.register(Arc::new(One));
+        let server = MetricsServer::start(Arc::clone(&registry), 0).expect("bind ephemeral");
+        let addr = server.local_addr();
+
+        let body = scrape(addr).expect("first scrape");
+        assert!(body.contains("# TYPE one gauge\none 1\n"));
+        // The second scrape sees the first one's self-instrumentation.
+        let body = scrape(addr).expect("second scrape");
+        assert!(body.contains("recd_obs_scrapes_total 1\n"));
+        assert!(body.contains("recd_obs_scrape_duration_seconds_bucket"));
+        server.shutdown();
+    }
+
+    #[test]
+    fn unknown_path_is_404_and_counted() {
+        let registry = Arc::new(MetricsRegistry::new());
+        let server = MetricsServer::start(Arc::clone(&registry), 0).expect("bind ephemeral");
+        let addr = server.local_addr();
+        let mut stream = TcpStream::connect(addr).unwrap();
+        write!(stream, "GET /nope HTTP/1.1\r\nHost: x\r\n\r\n").unwrap();
+        let mut response = String::new();
+        stream.read_to_string(&mut response).unwrap();
+        assert!(response.starts_with("HTTP/1.1 404"));
+        let body = scrape(addr).expect("scrape after 404");
+        assert!(body.contains("recd_obs_http_not_found_total 1\n"));
+        server.shutdown();
+    }
+
+    #[test]
+    fn shutdown_joins_cleanly_and_port_is_released() {
+        let registry = Arc::new(MetricsRegistry::new());
+        let server = MetricsServer::start(registry, 0).expect("bind");
+        let addr = server.local_addr();
+        server.shutdown();
+        // The listener is gone: a fresh bind to the same port succeeds.
+        let rebound = TcpListener::bind(addr);
+        assert!(rebound.is_ok());
+    }
+}

@@ -31,4 +31,4 @@ pub mod experiments;
 pub mod run;
 
 pub use config::{RecdConfig, RmPreset, RmSpec};
-pub use run::{ContinuousReport, PipelineReport, PipelineRunner};
+pub use run::{ContinuousDerived, ContinuousReport, PipelineReport, PipelineRunner};

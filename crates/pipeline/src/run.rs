@@ -6,6 +6,7 @@ use recd_data::Schema;
 use recd_datagen::DatasetGenerator;
 use recd_dpp::{DppConfig, DppReport, DppService, ShardPolicy};
 use recd_etl::{EtlJob, EtlService, EtlServiceReport, EtlStreamConfig, ManualClock, TableLayout};
+use recd_obs::{AggregatorConfig, MetricsAggregator, MetricsRegistry};
 use recd_reader::{PreprocessPipeline, ReaderConfig, ReaderTier, TierReport};
 use recd_scribe::{LogTail, ScribeCluster, ScribeConfig, ScribeReport, ShardKeyPolicy, TailConfig};
 use recd_storage::{StorageReport, TableStore, TectonicSim};
@@ -61,6 +62,27 @@ pub struct ContinuousReport {
     /// The consuming `recd-dpp` service's accounting
     /// (`partitions_ingested` counts the hand-offs).
     pub dpp: DppReport,
+    /// Derived metrics captured by the observability plane's aggregator,
+    /// which polled the cross-tier registry between pump steps.
+    pub derived: ContinuousDerived,
+}
+
+/// A serializable mirror of the aggregator's
+/// [`DerivedMetrics`](recd_obs::DerivedMetrics) plus how many time series
+/// were tracked (`recd-obs` is dependency-free, so the serde projection
+/// lives here).
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct ContinuousDerived {
+    /// Samples emitted toward trainers per wall-clock second over the
+    /// aggregation window.
+    pub records_per_second: Option<f64>,
+    /// Trend of the ETL tail lag in ms per second of wall time; negative
+    /// means the streaming ETL is catching up.
+    pub tail_lag_trend_ms_per_s: Option<f64>,
+    /// Batch-pool hit ratio at the end of the run.
+    pub pool_hit_ratio: Option<f64>,
+    /// Distinct time series retained by the aggregator.
+    pub series_tracked: usize,
 }
 
 /// The report plus the artifacts downstream experiments reuse.
@@ -277,7 +299,7 @@ impl PipelineRunner {
                     .with_seed(spec.sized_workload().seed),
             );
             let continuous_store = std::sync::Arc::new(TableStore::new(TectonicSim::new(8), 64, 4));
-            let etl = EtlService::new(
+            let mut etl = EtlService::new(
                 tail,
                 EtlStreamConfig::new(layout).with_window_ms(10_000),
                 std::sync::Arc::clone(&continuous_store),
@@ -289,19 +311,52 @@ impl PipelineRunner {
                 .with_shards(workers)
                 .with_compute_workers(workers)
                 .with_fill_workers(2);
-            let mut handle = DppService::start(dpp_config, continuous_store, schema.clone());
+            let mut handle = DppService::start(
+                dpp_config,
+                std::sync::Arc::clone(&continuous_store),
+                schema.clone(),
+            );
+
+            // The observability plane over the continuous run: the ETL
+            // gauges, the dpp service snapshot, and the blob store register
+            // into one registry, and the aggregator samples it after every
+            // pump step (time axis = wall clock, so rates are real).
+            let registry = std::sync::Arc::new(MetricsRegistry::new());
+            registry.register(std::sync::Arc::new(handle.snapshot_source()));
+            registry.register(etl.gauges());
+            registry.register(std::sync::Arc::new(continuous_store.blob_store().clone()));
+            let aggregator = MetricsAggregator::new(registry, AggregatorConfig::default());
+            let started = std::time::Instant::now();
+            aggregator.poll_at(0.0);
+
             // Pump the tail in one-minute simulated steps; every sealed
             // partition lands and is ingested the moment it appears.
-            let output = etl.run(ManualClock::new(), 60_000, &mut |stored, _| {
+            let mut clock = ManualClock::new();
+            let mut sink = |stored: &recd_storage::StoredPartition,
+                            _sealed: &recd_etl::TablePartition| {
                 handle.ingest_partition(stored);
-            });
+            };
+            while !etl.tail_drained() {
+                let now = clock.advance(60_000);
+                etl.pump(now, &mut sink);
+                aggregator.poll_at(started.elapsed().as_secs_f64());
+            }
+            let output = etl.finish(&mut sink);
             let dpp = handle
                 .finish()
                 .expect("continuous run over freshly-landed partitions succeeds")
                 .report;
+            aggregator.poll_at(started.elapsed().as_secs_f64());
+            let derived = aggregator.derived();
             ContinuousReport {
                 etl: output.report,
                 dpp,
+                derived: ContinuousDerived {
+                    records_per_second: derived.records_per_second,
+                    tail_lag_trend_ms_per_s: derived.tail_lag_trend_ms_per_s,
+                    pool_hit_ratio: derived.pool_hit_ratio,
+                    series_tracked: aggregator.series_count(),
+                },
             }
         });
 

@@ -118,6 +118,70 @@ impl AddAssign for ReaderMetrics {
     }
 }
 
+impl ReaderMetrics {
+    /// Projects the per-phase accounting into `recd_reader_*` metric
+    /// families. Holders of a metrics mutex (e.g. the streaming service's
+    /// combined phase metrics) call this from their own
+    /// [`Collector`](recd_obs::Collector) implementation.
+    pub fn collect_into(&self, out: &mut recd_obs::MetricsBuf) {
+        for (phase, m) in [
+            ("fill", &self.fill),
+            ("convert", &self.convert),
+            ("process", &self.process),
+        ] {
+            let labels = [("phase", phase)];
+            out.counter(
+                "recd_reader_phase_cpu_seconds_total",
+                "CPU seconds spent in each reader phase.",
+                &labels,
+                m.cpu_seconds(),
+            );
+            out.counter(
+                "recd_reader_phase_bytes_total",
+                "Bytes touched by each reader phase.",
+                &labels,
+                m.bytes as f64,
+            );
+            out.counter(
+                "recd_reader_phase_items_total",
+                "Work items handled by each reader phase.",
+                &labels,
+                m.items as f64,
+            );
+        }
+        out.counter(
+            "recd_reader_samples_total",
+            "Samples produced by the reader tier.",
+            &[],
+            self.samples as f64,
+        );
+        out.counter(
+            "recd_reader_batches_total",
+            "Batches produced by the reader tier.",
+            &[],
+            self.batches as f64,
+        );
+        out.counter(
+            "recd_reader_egress_bytes_total",
+            "Preprocessed tensor bytes sent toward trainers.",
+            &[],
+            self.egress_bytes as f64,
+        );
+        out.counter(
+            "recd_reader_barrier_flushes_total",
+            "Partition-boundary barriers that crossed the phase pipeline.",
+            &[],
+            self.barrier_flushes as f64,
+        );
+        out.counter(
+            "recd_reader_flushed_partial_batches_total",
+            "Short batches emitted because a barrier cut a shard accumulator.",
+            &[],
+            self.flushed_partial_batches as f64,
+        );
+    }
+}
+
 /// Modeled per-phase reader CPU time derived from the work counters.
 ///
 /// The production readers the paper profiles spend most of their fill time in

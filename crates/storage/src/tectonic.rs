@@ -20,6 +20,10 @@ pub struct BlobStats {
     pub read_ops: usize,
     /// Total bytes served by get operations.
     pub read_bytes: usize,
+    /// Number of put operations accepted (write IOPS).
+    pub put_ops: usize,
+    /// Total bytes accepted by put operations.
+    pub put_bytes: usize,
 }
 
 #[derive(Debug, Default)]
@@ -28,6 +32,8 @@ struct Inner {
     node_bytes: Vec<usize>,
     read_ops: usize,
     read_bytes: usize,
+    put_ops: usize,
+    put_bytes: usize,
 }
 
 /// The blob store. Cloning is cheap and clones share state, so a reader tier
@@ -100,6 +106,8 @@ impl TectonicSim {
             inner.node_bytes[node] = inner.node_bytes[node].saturating_sub(old.len());
         }
         inner.node_bytes[node] += len;
+        inner.put_ops += 1;
+        inner.put_bytes += len;
     }
 
     /// Fetches a blob, counting the read.
@@ -149,6 +157,8 @@ impl TectonicSim {
             stored_bytes: inner.blobs.values().map(|b| b.len()).sum(),
             read_ops: inner.read_ops,
             read_bytes: inner.read_bytes,
+            put_ops: inner.put_ops,
+            put_bytes: inner.put_bytes,
         }
     }
 
@@ -163,6 +173,54 @@ impl TectonicSim {
         let mut inner = self.inner.write();
         inner.read_ops = 0;
         inner.read_bytes = 0;
+    }
+}
+
+impl recd_obs::Collector for TectonicSim {
+    fn collect(&self, out: &mut recd_obs::MetricsBuf) {
+        let stats = self.stats();
+        out.counter(
+            "recd_storage_get_ops_total",
+            "Blob-store get operations served (read IOPS).",
+            &[],
+            stats.read_ops as f64,
+        );
+        out.counter(
+            "recd_storage_get_bytes_total",
+            "Bytes served by blob-store get operations.",
+            &[],
+            stats.read_bytes as f64,
+        );
+        out.counter(
+            "recd_storage_put_ops_total",
+            "Blob-store put operations accepted (write IOPS).",
+            &[],
+            stats.put_ops as f64,
+        );
+        out.counter(
+            "recd_storage_put_bytes_total",
+            "Bytes accepted by blob-store put operations.",
+            &[],
+            stats.put_bytes as f64,
+        );
+        out.gauge(
+            "recd_storage_blobs",
+            "Blobs currently stored.",
+            &[],
+            stats.blobs as f64,
+        );
+        out.gauge(
+            "recd_storage_stored_bytes",
+            "Total bytes currently stored across all nodes.",
+            &[],
+            stats.stored_bytes as f64,
+        );
+        out.gauge(
+            "recd_storage_nodes",
+            "Storage nodes backing the simulated blob store.",
+            &[],
+            self.node_count() as f64,
+        );
     }
 }
 
@@ -190,6 +248,8 @@ mod tests {
         assert_eq!(stats.stored_bytes, 104);
         assert_eq!(stats.read_ops, 1);
         assert_eq!(stats.read_bytes, 3);
+        assert_eq!(stats.put_ops, 3);
+        assert_eq!(stats.put_bytes, 104);
         assert_eq!(store.node_bytes().iter().sum::<usize>(), 104);
     }
 
@@ -214,6 +274,34 @@ mod tests {
         });
         handle.join().unwrap();
         assert_eq!(store.get("from-thread").unwrap().len(), 7);
+        // Ops performed through the clone are visible on the original.
+        let stats = store.stats();
+        assert_eq!(stats.put_ops, 1);
+        assert_eq!(stats.put_bytes, 7);
+        assert_eq!(stats.read_ops, 1);
+    }
+
+    #[test]
+    fn collector_exports_get_put_counters() {
+        use recd_obs::{sample_value, Collector, MetricsBuf};
+        let store = TectonicSim::new(2);
+        store.put("a", vec![0; 10]);
+        store.get("a").unwrap();
+        let mut buf = MetricsBuf::new();
+        store.collect(&mut buf);
+        let families = buf.into_families();
+        assert_eq!(
+            sample_value(&families, "recd_storage_put_bytes_total", &[]),
+            Some(10.0)
+        );
+        assert_eq!(
+            sample_value(&families, "recd_storage_get_ops_total", &[]),
+            Some(1.0)
+        );
+        assert_eq!(
+            sample_value(&families, "recd_storage_nodes", &[]),
+            Some(2.0)
+        );
     }
 
     #[test]

@@ -7,17 +7,36 @@
 #   scripts/bench_snapshot.sh
 #
 # The snapshot includes derived speedups for the columnar-vs-rowwise pairs
-# the README's Performance section quotes.
+# the README's Performance section quotes. Override the output path with
+# BENCH_SNAPSHOT_OUT (the regression gate writes fresh snapshots to a temp
+# file this way). The script fails loudly — nonzero exit, message on stderr —
+# when the bench binaries are missing or produce no parseable timings, so a
+# broken bench run can never silently write an empty snapshot.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-out=BENCH_pipeline.json
+out=${BENCH_SNAPSHOT_OUT:-BENCH_pipeline.json}
 raw=$(mktemp)
-trap 'rm -f "$raw"' EXIT
+bench_log=$(mktemp)
+trap 'rm -f "$raw" "$bench_log"' EXIT
+
+if ! command -v cargo >/dev/null 2>&1; then
+  echo "bench_snapshot: cargo not found on PATH" >&2
+  exit 1
+fi
 
 echo "running convert-path + fan-out + continuous-etl benches (this takes a minute)..." >&2
-cargo bench -p recd-bench --bench columnar --bench dedup_conversion --bench fanout --bench etl_stream 2>/dev/null \
-  | grep 'time:' > "$raw"
+if ! cargo bench -p recd-bench --bench columnar --bench dedup_conversion --bench fanout --bench etl_stream >"$bench_log" 2>&1; then
+  echo "bench_snapshot: cargo bench failed; last lines of its output:" >&2
+  tail -20 "$bench_log" >&2
+  exit 1
+fi
+grep 'time:' "$bench_log" > "$raw" || true
+if ! [ -s "$raw" ]; then
+  echo "bench_snapshot: no 'time:' lines in the bench output — bench binaries missing or output format changed" >&2
+  tail -20 "$bench_log" >&2
+  exit 1
+fi
 
 # Normalizes one shim output line to "name mean_ns [throughput...]".
 normalize() {
@@ -36,8 +55,16 @@ normalize() {
   }' "$raw"
 }
 
+# Prints the mean for one benchmark name; fails the script if it is absent,
+# so a renamed bench cannot silently turn a derived ratio into zero.
 mean_ns() {
-  normalize | awk -v n="$1" '$1 == n { print $2 }' | head -1
+  local got
+  got=$(normalize | awk -v n="$1" '$1 == n { print $2 }' | head -1)
+  if [ -z "$got" ]; then
+    echo "bench_snapshot: benchmark '$1' missing from the bench output" >&2
+    exit 1
+  fi
+  echo "$got"
 }
 
 ratio() {
@@ -58,11 +85,18 @@ scaleup=$(mean_ns "dpp_scaleup/first_grow")
 tail_to_trainer=$(mean_ns "etl_stream/tail_to_trainer")
 seal_to_ingest=$(mean_ns "etl_stream/seal_to_ingest")
 
+git_rev=$(git rev-parse --short HEAD 2>/dev/null || echo unknown)
+git_dirty=false
+if ! git diff --quiet HEAD -- 2>/dev/null; then
+  git_dirty=true
+fi
+
 {
   echo '{'
   echo '  "schema_version": 1,'
   echo "  \"generated_utc\": \"$(date -u +%Y-%m-%dT%H:%M:%SZ)\","
-  echo "  \"git_rev\": \"$(git rev-parse --short HEAD 2>/dev/null || echo unknown)\","
+  echo "  \"git_rev\": \"$git_rev\","
+  echo "  \"git_dirty\": $git_dirty,"
   echo '  "command": "scripts/bench_snapshot.sh (cargo bench -p recd-bench --bench columnar --bench dedup_conversion --bench fanout --bench etl_stream)",'
   echo '  "derived": {'
   echo "    \"datagen_convert_512_speedup_columnar_vs_rowwise\": $(ratio "$convert_row" "$convert_col"),"
@@ -84,4 +118,4 @@ seal_to_ingest=$(mean_ns "etl_stream/seal_to_ingest")
   echo '}'
 } > "$out"
 
-echo "wrote $out" >&2
+echo "wrote $out (rev $git_rev, dirty=$git_dirty)" >&2

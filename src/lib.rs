@@ -19,6 +19,7 @@
 //! | [`storage`] | `recd-storage` | DWRF-like columnar files + Tectonic-like blob store |
 //! | [`reader`] | `recd-reader` | fill/convert/process reader tier (O3, O4) |
 //! | [`dpp`] | `recd-dpp` | streaming DPP service: sharded, backpressured, multi-worker preprocessing |
+//! | [`obs`] | `recd-obs` | observability plane: metrics registry, Prometheus exposition endpoint, cross-tier aggregator |
 //! | [`trainer`] | `recd-trainer` | executable DLRM + hybrid-parallel cost model (O5–O7) |
 //! | [`pipeline`] | `recd-pipeline` | end-to-end runner, RM presets, experiment drivers |
 //!
@@ -51,6 +52,7 @@ pub use recd_data as data;
 pub use recd_datagen as datagen;
 pub use recd_dpp as dpp;
 pub use recd_etl as etl;
+pub use recd_obs as obs;
 pub use recd_pipeline as pipeline;
 pub use recd_reader as reader;
 pub use recd_scribe as scribe;
