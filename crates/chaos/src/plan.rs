@@ -1,0 +1,370 @@
+//! Fault plans: typed, clock-driven schedules of injected faults.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// One typed fault the chaos engine knows how to inject.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FaultKind {
+    /// Stall trainer `lane` for `ms` of wall time: the lane stops consuming,
+    /// backpressure builds, then consumption resumes.
+    StallTrainer {
+        /// Trainer lane index.
+        lane: usize,
+        /// Stall duration in milliseconds.
+        ms: u64,
+    },
+    /// Kill trainer `lane`: its handle is drained and dropped, never to
+    /// return. Surviving lanes must absorb the load without stranding
+    /// batches.
+    KillTrainer {
+        /// Trainer lane index.
+        lane: usize,
+    },
+    /// Brown out the blob store: multiply its simulated per-fetch latency by
+    /// `factor` for `ms` of pipeline-clock time, then restore it.
+    SlowStorage {
+        /// Latency multiplier over the pre-fault base latency.
+        factor: u32,
+        /// Brown-out duration in pipeline-clock milliseconds.
+        ms: u64,
+    },
+    /// Fail the next `count` blob-store gets with a transient error.
+    FailGet {
+        /// Number of get operations to fail.
+        count: u64,
+    },
+    /// Fail the next `count` fallible blob-store puts with a transient error.
+    FailPut {
+        /// Number of put operations to fail.
+        count: u64,
+    },
+    /// Crash the ETL pump: the service's in-memory state is discarded and
+    /// rebuilt from the most recent checkpoint, replaying the log tail from
+    /// the checkpointed cursor.
+    CrashEtlPump,
+}
+
+impl FaultKind {
+    /// Stable snake_case name, used as the `kind` label on
+    /// `recd_chaos_faults_total`.
+    pub fn name(&self) -> &'static str {
+        match self {
+            FaultKind::StallTrainer { .. } => "stall_trainer",
+            FaultKind::KillTrainer { .. } => "kill_trainer",
+            FaultKind::SlowStorage { .. } => "slow_storage",
+            FaultKind::FailGet { .. } => "fail_get",
+            FaultKind::FailPut { .. } => "fail_put",
+            FaultKind::CrashEtlPump => "crash_etl_pump",
+        }
+    }
+
+    /// All kind names, in a stable order (drives zero-initialised counter
+    /// export so every series exists before its first fault fires).
+    pub fn all_names() -> &'static [&'static str] {
+        &[
+            "stall_trainer",
+            "kill_trainer",
+            "slow_storage",
+            "fail_get",
+            "fail_put",
+            "crash_etl_pump",
+        ]
+    }
+}
+
+impl fmt::Display for FaultKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FaultKind::StallTrainer { lane, ms } => write!(f, "stall-trainer:{lane}:{ms}"),
+            FaultKind::KillTrainer { lane } => write!(f, "kill-trainer:{lane}"),
+            FaultKind::SlowStorage { factor, ms } => write!(f, "slow-storage:{factor}:{ms}"),
+            FaultKind::FailGet { count } => write!(f, "fail-get:{count}"),
+            FaultKind::FailPut { count } => write!(f, "fail-put:{count}"),
+            FaultKind::CrashEtlPump => write!(f, "crash-pump"),
+        }
+    }
+}
+
+/// A fault bound to the pipeline-clock instant at which it fires.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ScheduledFault {
+    /// Pipeline-clock time (ms) at which the fault fires.
+    pub at_ms: u64,
+    /// What fires.
+    pub kind: FaultKind,
+}
+
+impl fmt::Display for ScheduledFault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.at_ms, self.kind)
+    }
+}
+
+/// A seeded, clock-driven schedule of typed faults.
+///
+/// The grammar accepted by [`FaultPlan::parse`] (and emitted by `Display`)
+/// is semicolon-separated `at_ms:kind[:args]` entries:
+///
+/// ```text
+/// 1800000:kill-trainer:1;3600000:slow-storage:8:600000;5400000:fail-get:5;7200000:crash-pump
+/// ```
+///
+/// | entry                        | fault                                     |
+/// |------------------------------|-------------------------------------------|
+/// | `T:stall-trainer:LANE:MS`    | [`FaultKind::StallTrainer`]               |
+/// | `T:kill-trainer:LANE`        | [`FaultKind::KillTrainer`]                |
+/// | `T:slow-storage:FACTOR:MS`   | [`FaultKind::SlowStorage`]                |
+/// | `T:fail-get:COUNT`           | [`FaultKind::FailGet`]                    |
+/// | `T:fail-put:COUNT`           | [`FaultKind::FailPut`]                    |
+/// | `T:crash-pump`               | [`FaultKind::CrashEtlPump`]               |
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct FaultPlan {
+    /// Seed the plan was generated from (0 for hand-written plans); recorded
+    /// in the [`ChaosReport`](crate::ChaosReport) so runs are reproducible.
+    pub seed: u64,
+    faults: Vec<ScheduledFault>,
+}
+
+impl FaultPlan {
+    /// An empty plan.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a fault at `at_ms`. Faults may be pushed in any order; the
+    /// injector fires them in schedule order (ties fire in push order).
+    #[must_use]
+    pub fn with_fault(mut self, at_ms: u64, kind: FaultKind) -> Self {
+        self.faults.push(ScheduledFault { at_ms, kind });
+        self
+    }
+
+    /// Number of scheduled faults.
+    pub fn len(&self) -> usize {
+        self.faults.len()
+    }
+
+    /// Whether the plan schedules nothing.
+    pub fn is_empty(&self) -> bool {
+        self.faults.is_empty()
+    }
+
+    /// The schedule, in push order.
+    pub fn faults(&self) -> &[ScheduledFault] {
+        &self.faults
+    }
+
+    /// The schedule sorted by fire time (stable, so same-instant faults keep
+    /// push order) — the order the injector executes.
+    pub fn sorted(&self) -> Vec<ScheduledFault> {
+        let mut faults = self.faults.clone();
+        faults.sort_by_key(|f| f.at_ms);
+        faults
+    }
+
+    /// Generates a deterministic plan from a seed: a storage brown-out, a
+    /// burst of transient get failures, a trainer kill (when `lanes > 1` —
+    /// killing the only lane would strand every batch by construction), a
+    /// trainer stall, and a pump crash-restart, scattered across the middle
+    /// of `[0, horizon_ms)`. The same `(seed, horizon_ms, lanes)` always
+    /// yields the same plan — the property the chaos convergence tests and
+    /// the CI smoke step rely on.
+    pub fn seeded(seed: u64, horizon_ms: u64, lanes: usize) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xC4A0_5EED);
+        let span = horizon_ms.max(10);
+        // Fire inside the middle 80% so every fault lands while the pipeline
+        // is actually moving data.
+        let at = |rng: &mut StdRng| rng.gen_range(span / 10..span.saturating_sub(span / 10));
+        let mut plan = Self {
+            seed,
+            faults: Vec::new(),
+        };
+        plan.faults.push(ScheduledFault {
+            at_ms: at(&mut rng),
+            kind: FaultKind::SlowStorage {
+                factor: rng.gen_range(4u32..16),
+                ms: span / rng.gen_range(8u64..16),
+            },
+        });
+        plan.faults.push(ScheduledFault {
+            at_ms: at(&mut rng),
+            kind: FaultKind::FailGet {
+                count: rng.gen_range(2u64..8),
+            },
+        });
+        plan.faults.push(ScheduledFault {
+            at_ms: at(&mut rng),
+            kind: FaultKind::FailPut {
+                count: rng.gen_range(1u64..4),
+            },
+        });
+        if lanes > 1 {
+            plan.faults.push(ScheduledFault {
+                at_ms: at(&mut rng),
+                kind: FaultKind::KillTrainer {
+                    lane: rng.gen_range(0..lanes),
+                },
+            });
+            plan.faults.push(ScheduledFault {
+                at_ms: at(&mut rng),
+                kind: FaultKind::StallTrainer {
+                    lane: rng.gen_range(0..lanes),
+                    ms: rng.gen_range(5u64..25),
+                },
+            });
+        }
+        plan.faults.push(ScheduledFault {
+            at_ms: at(&mut rng),
+            kind: FaultKind::CrashEtlPump,
+        });
+        plan
+    }
+
+    /// Parses the `--chaos-plan` grammar (see the type docs).
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable message naming the offending entry.
+    pub fn parse(spec: &str) -> Result<Self, String> {
+        let mut plan = Self::new();
+        for entry in spec.split(';') {
+            let entry = entry.trim();
+            if entry.is_empty() {
+                continue;
+            }
+            let parts: Vec<&str> = entry.split(':').collect();
+            let parse_u64 = |field: &str, what: &str| -> Result<u64, String> {
+                field
+                    .parse()
+                    .map_err(|e| format!("`{entry}`: bad {what}: {e}"))
+            };
+            if parts.len() < 2 {
+                return Err(format!("`{entry}`: expected `at_ms:kind[:args]`"));
+            }
+            let at_ms = parse_u64(parts[0], "fire time")?;
+            let kind = match (parts[1], parts.len()) {
+                ("stall-trainer", 4) => FaultKind::StallTrainer {
+                    lane: parse_u64(parts[2], "lane")? as usize,
+                    ms: parse_u64(parts[3], "stall ms")?,
+                },
+                ("kill-trainer", 3) => FaultKind::KillTrainer {
+                    lane: parse_u64(parts[2], "lane")? as usize,
+                },
+                ("slow-storage", 4) => FaultKind::SlowStorage {
+                    factor: parse_u64(parts[2], "factor")? as u32,
+                    ms: parse_u64(parts[3], "duration ms")?,
+                },
+                ("fail-get", 3) => FaultKind::FailGet {
+                    count: parse_u64(parts[2], "count")?,
+                },
+                ("fail-put", 3) => FaultKind::FailPut {
+                    count: parse_u64(parts[2], "count")?,
+                },
+                ("crash-pump", 2) => FaultKind::CrashEtlPump,
+                (kind, _) => {
+                    return Err(format!(
+                        "`{entry}`: unknown fault `{kind}` or wrong arity \
+                         (stall-trainer:LANE:MS | kill-trainer:LANE | \
+                         slow-storage:FACTOR:MS | fail-get:COUNT | \
+                         fail-put:COUNT | crash-pump)"
+                    ))
+                }
+            };
+            plan.faults.push(ScheduledFault { at_ms, kind });
+        }
+        Ok(plan)
+    }
+}
+
+impl fmt::Display for FaultPlan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut first = true;
+        for fault in &self.faults {
+            if !first {
+                write!(f, ";")?;
+            }
+            write!(f, "{fault}")?;
+            first = false;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grammar_round_trips_through_display() {
+        let spec = "1000:stall-trainer:2:50;2000:kill-trainer:1;3000:slow-storage:8:600;\
+                    4000:fail-get:5;5000:fail-put:2;6000:crash-pump";
+        let plan = FaultPlan::parse(spec).unwrap();
+        assert_eq!(plan.len(), 6);
+        assert_eq!(plan.to_string(), spec);
+        assert_eq!(FaultPlan::parse(&plan.to_string()).unwrap(), plan);
+    }
+
+    #[test]
+    fn parse_rejects_malformed_entries() {
+        for bad in [
+            "oops",
+            "1000:warp-core-breach",
+            "1000:kill-trainer",
+            "1000:kill-trainer:one",
+            "x:crash-pump",
+            "1000:slow-storage:8",
+        ] {
+            assert!(FaultPlan::parse(bad).is_err(), "`{bad}` should not parse");
+        }
+        // Empty entries and surrounding whitespace are tolerated.
+        let plan = FaultPlan::parse(" 5:crash-pump ; ;").unwrap();
+        assert_eq!(plan.len(), 1);
+    }
+
+    #[test]
+    fn seeded_plans_are_deterministic_and_seed_sensitive() {
+        let a = FaultPlan::seeded(7, 3_600_000, 4);
+        let b = FaultPlan::seeded(7, 3_600_000, 4);
+        let c = FaultPlan::seeded(8, 3_600_000, 4);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert!(a.len() >= 4);
+        assert!(a
+            .faults()
+            .iter()
+            .any(|f| matches!(f.kind, FaultKind::CrashEtlPump)));
+        assert!(a
+            .faults()
+            .iter()
+            .any(|f| matches!(f.kind, FaultKind::KillTrainer { .. })));
+        let horizon = 3_600_000u64;
+        assert!(a
+            .faults()
+            .iter()
+            .all(|f| f.at_ms >= horizon / 10 && f.at_ms < horizon - horizon / 10));
+    }
+
+    #[test]
+    fn seeded_single_lane_plan_never_kills_the_only_trainer() {
+        let plan = FaultPlan::seeded(3, 1_000_000, 1);
+        assert!(plan.faults().iter().all(|f| !matches!(
+            f.kind,
+            FaultKind::KillTrainer { .. } | FaultKind::StallTrainer { .. }
+        )));
+    }
+
+    #[test]
+    fn sorted_is_stable_for_simultaneous_faults() {
+        let plan = FaultPlan::new()
+            .with_fault(500, FaultKind::FailGet { count: 1 })
+            .with_fault(100, FaultKind::CrashEtlPump)
+            .with_fault(500, FaultKind::FailPut { count: 2 });
+        let sorted = plan.sorted();
+        assert_eq!(sorted[0].kind, FaultKind::CrashEtlPump);
+        assert_eq!(sorted[1].kind, FaultKind::FailGet { count: 1 });
+        assert_eq!(sorted[2].kind, FaultKind::FailPut { count: 2 });
+    }
+}

@@ -1,0 +1,172 @@
+//! Bounded retry with exponential backoff for storage-facing paths.
+
+use crate::inject::ChaosCounters;
+use serde::{Deserialize, Serialize};
+use std::time::Duration;
+
+/// Exponential-backoff retry policy with a bounded attempt budget.
+///
+/// Storage-facing paths (reader fill workers, ETL landing) wrap their blob
+/// operations in [`run`](Self::run) so transient injected faults degrade to a
+/// short backoff instead of erroring out, while genuine failures (missing
+/// blob, corrupt stripe) surface immediately.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RetryPolicy {
+    /// Maximum retries after the first attempt (total attempts = this + 1).
+    pub max_retries: u32,
+    /// Backoff before the first retry; doubles per retry.
+    pub base_backoff: Duration,
+    /// Ceiling on any single backoff sleep.
+    pub max_backoff: Duration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        Self::storage_default()
+    }
+}
+
+impl RetryPolicy {
+    /// The default budget for simulated blob-store paths: 8 retries starting
+    /// at 500µs, capped at 20ms per sleep — generous enough to outlast any
+    /// seeded fail-next-N burst, small enough that tests stay fast.
+    pub const fn storage_default() -> Self {
+        Self {
+            max_retries: 8,
+            base_backoff: Duration::from_micros(500),
+            max_backoff: Duration::from_millis(20),
+        }
+    }
+
+    /// The backoff slept after failed attempt number `attempt` (0-based):
+    /// `base * 2^attempt`, capped at `max_backoff`.
+    pub fn backoff(&self, attempt: u32) -> Duration {
+        let factor = 1u32.checked_shl(attempt).unwrap_or(u32::MAX);
+        self.base_backoff
+            .saturating_mul(factor)
+            .min(self.max_backoff)
+    }
+
+    /// Runs `op`, retrying transient failures (per `transient`) with
+    /// exponential backoff until the budget is spent. Non-transient errors
+    /// and budget exhaustion return the last error. Retry and backoff totals
+    /// are recorded into `counters` when provided.
+    ///
+    /// # Errors
+    ///
+    /// Returns the final error when `op` never succeeds.
+    pub fn run<T, E>(
+        &self,
+        counters: Option<&ChaosCounters>,
+        transient: impl Fn(&E) -> bool,
+        mut op: impl FnMut() -> Result<T, E>,
+    ) -> Result<T, E> {
+        let mut attempt = 0u32;
+        loop {
+            match op() {
+                Ok(value) => return Ok(value),
+                Err(err) if transient(&err) && attempt < self.max_retries => {
+                    let backoff = self.backoff(attempt);
+                    if let Some(counters) = counters {
+                        counters.note_retry(backoff);
+                    }
+                    std::thread::sleep(backoff);
+                    attempt += 1;
+                }
+                Err(err) => {
+                    if transient(&err) {
+                        if let Some(counters) = counters {
+                            counters.note_retry_exhausted();
+                        }
+                    }
+                    return Err(err);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_doubles_and_caps() {
+        let policy = RetryPolicy {
+            max_retries: 10,
+            base_backoff: Duration::from_millis(1),
+            max_backoff: Duration::from_millis(6),
+        };
+        assert_eq!(policy.backoff(0), Duration::from_millis(1));
+        assert_eq!(policy.backoff(1), Duration::from_millis(2));
+        assert_eq!(policy.backoff(2), Duration::from_millis(4));
+        assert_eq!(policy.backoff(3), Duration::from_millis(6));
+        assert_eq!(policy.backoff(31), Duration::from_millis(6));
+        assert_eq!(policy.backoff(32), Duration::from_millis(6));
+    }
+
+    #[test]
+    fn retries_transient_failures_until_success() {
+        let policy = RetryPolicy {
+            max_retries: 5,
+            base_backoff: Duration::from_micros(10),
+            max_backoff: Duration::from_micros(50),
+        };
+        let counters = ChaosCounters::new();
+        let mut failures_left = 3;
+        let result: Result<u32, &str> = policy.run(
+            Some(&counters),
+            |_| true,
+            || {
+                if failures_left > 0 {
+                    failures_left -= 1;
+                    Err("transient")
+                } else {
+                    Ok(99)
+                }
+            },
+        );
+        assert_eq!(result, Ok(99));
+        assert_eq!(counters.retries(), 3);
+    }
+
+    #[test]
+    fn budget_exhaustion_returns_the_error_and_counts() {
+        let policy = RetryPolicy {
+            max_retries: 2,
+            base_backoff: Duration::from_micros(10),
+            max_backoff: Duration::from_micros(20),
+        };
+        let counters = ChaosCounters::new();
+        let mut attempts = 0u32;
+        let result: Result<(), &str> = policy.run(
+            Some(&counters),
+            |_| true,
+            || {
+                attempts += 1;
+                Err("still down")
+            },
+        );
+        assert_eq!(result, Err("still down"));
+        assert_eq!(attempts, 3, "first try + 2 retries");
+        assert_eq!(counters.retries(), 2);
+        let report = counters.report(0, 0, &recd_storage::TectonicSim::new(1));
+        assert_eq!(report.retry_exhausted, 1);
+    }
+
+    #[test]
+    fn non_transient_errors_are_not_retried() {
+        let policy = RetryPolicy::storage_default();
+        let mut attempts = 0u32;
+        let result: Result<(), &str> = policy.run(
+            None,
+            |e| *e == "transient",
+            || {
+                attempts += 1;
+                Err("fatal")
+            },
+        );
+        assert_eq!(result, Err("fatal"));
+        assert_eq!(attempts, 1);
+    }
+}

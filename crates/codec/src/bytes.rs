@@ -1,0 +1,330 @@
+//! Flat little-endian byte-stream framing for checkpoint persistence.
+//!
+//! The chaos/checkpoint subsystem needs a real wire format for
+//! `PipelineCheckpoint`-style state (the in-tree `serde` shim is derive-only
+//! marker traits), so this module provides the minimal primitive layer every
+//! tier's checkpoint codec builds on: fixed-width little-endian scalars and
+//! length-prefixed strings/sequences over a growable buffer, with a matching
+//! bounds-checked reader that fails with [`CodecError::UnexpectedEof`] on
+//! truncated input instead of panicking.
+//!
+//! The format is deliberately boring — no varints, no compression — because a
+//! checkpoint round-trip must be byte-exact and trivially auditable; blobs
+//! that want to be small can wrap the result in [`crate::Compressor::Lz`]
+//! afterwards.
+
+use crate::{CodecError, Result};
+
+/// Append-only little-endian writer backing checkpoint encoders.
+#[derive(Debug, Default, Clone)]
+pub struct ByteWriter {
+    buf: Vec<u8>,
+}
+
+impl ByteWriter {
+    /// Creates an empty writer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Consumes the writer and returns the encoded bytes.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Number of bytes written so far.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether nothing has been written yet.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Appends a `u8`.
+    pub fn put_u8(&mut self, value: u8) {
+        self.buf.push(value);
+    }
+
+    /// Appends a `u32` in little-endian order.
+    pub fn put_u32(&mut self, value: u32) {
+        self.buf.extend_from_slice(&value.to_le_bytes());
+    }
+
+    /// Appends a `u64` in little-endian order.
+    pub fn put_u64(&mut self, value: u64) {
+        self.buf.extend_from_slice(&value.to_le_bytes());
+    }
+
+    /// Appends a `usize` as a `u64` (checkpoints must be portable across
+    /// pointer widths).
+    pub fn put_usize(&mut self, value: usize) {
+        self.put_u64(value as u64);
+    }
+
+    /// Appends an `f32` as its little-endian bit pattern (byte-exact for
+    /// NaN payloads too).
+    pub fn put_f32(&mut self, value: f32) {
+        self.buf.extend_from_slice(&value.to_bits().to_le_bytes());
+    }
+
+    /// Appends an `f64` as its little-endian bit pattern.
+    pub fn put_f64(&mut self, value: f64) {
+        self.buf.extend_from_slice(&value.to_bits().to_le_bytes());
+    }
+
+    /// Appends a `bool` as a single byte.
+    pub fn put_bool(&mut self, value: bool) {
+        self.put_u8(u8::from(value));
+    }
+
+    /// Appends a length-prefixed UTF-8 string.
+    pub fn put_str(&mut self, value: &str) {
+        self.put_usize(value.len());
+        self.buf.extend_from_slice(value.as_bytes());
+    }
+
+    /// Appends length-prefixed raw bytes.
+    pub fn put_bytes(&mut self, value: &[u8]) {
+        self.put_usize(value.len());
+        self.buf.extend_from_slice(value);
+    }
+
+    /// Appends a length-prefixed slice of `u64`s.
+    pub fn put_u64_slice(&mut self, values: &[u64]) {
+        self.put_usize(values.len());
+        for &value in values {
+            self.put_u64(value);
+        }
+    }
+
+    /// Appends a length-prefixed slice of `f32`s.
+    pub fn put_f32_slice(&mut self, values: &[f32]) {
+        self.put_usize(values.len());
+        for &value in values {
+            self.put_f32(value);
+        }
+    }
+}
+
+/// Bounds-checked little-endian reader over a checkpoint byte slice.
+#[derive(Debug, Clone)]
+pub struct ByteReader<'a> {
+    data: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> ByteReader<'a> {
+    /// Creates a reader at the start of `data`.
+    pub fn new(data: &'a [u8]) -> Self {
+        Self { data, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.data.len() - self.pos
+    }
+
+    /// Whether every byte has been consumed — decoders assert this to catch
+    /// trailing garbage.
+    pub fn is_exhausted(&self) -> bool {
+        self.remaining() == 0
+    }
+
+    fn take(&mut self, len: usize, context: &'static str) -> Result<&'a [u8]> {
+        if self.remaining() < len {
+            return Err(CodecError::UnexpectedEof { context });
+        }
+        let slice = &self.data[self.pos..self.pos + len];
+        self.pos += len;
+        Ok(slice)
+    }
+
+    /// Reads a `u8`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CodecError::UnexpectedEof`] if the input is exhausted.
+    pub fn get_u8(&mut self) -> Result<u8> {
+        Ok(self.take(1, "u8")?[0])
+    }
+
+    /// Reads a little-endian `u32`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CodecError::UnexpectedEof`] if the input is truncated.
+    pub fn get_u32(&mut self) -> Result<u32> {
+        let bytes = self.take(4, "u32")?;
+        Ok(u32::from_le_bytes(bytes.try_into().expect("4 bytes")))
+    }
+
+    /// Reads a little-endian `u64`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CodecError::UnexpectedEof`] if the input is truncated.
+    pub fn get_u64(&mut self) -> Result<u64> {
+        let bytes = self.take(8, "u64")?;
+        Ok(u64::from_le_bytes(bytes.try_into().expect("8 bytes")))
+    }
+
+    /// Reads a `usize` encoded as a `u64`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CodecError::UnexpectedEof`] if the input is truncated, or
+    /// [`CodecError::LengthMismatch`] if the value does not fit in `usize`.
+    pub fn get_usize(&mut self) -> Result<usize> {
+        let value = self.get_u64()?;
+        usize::try_from(value).map_err(|_| CodecError::LengthMismatch {
+            expected: usize::MAX,
+            actual: 0,
+        })
+    }
+
+    /// Reads an `f32` from its bit pattern.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CodecError::UnexpectedEof`] if the input is truncated.
+    pub fn get_f32(&mut self) -> Result<f32> {
+        let bytes = self.take(4, "f32")?;
+        Ok(f32::from_bits(u32::from_le_bytes(
+            bytes.try_into().expect("4 bytes"),
+        )))
+    }
+
+    /// Reads an `f64` from its bit pattern.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CodecError::UnexpectedEof`] if the input is truncated.
+    pub fn get_f64(&mut self) -> Result<f64> {
+        let bytes = self.take(8, "f64")?;
+        Ok(f64::from_bits(u64::from_le_bytes(
+            bytes.try_into().expect("8 bytes"),
+        )))
+    }
+
+    /// Reads a `bool` byte (any non-zero value is `true`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CodecError::UnexpectedEof`] if the input is exhausted.
+    pub fn get_bool(&mut self) -> Result<bool> {
+        Ok(self.get_u8()? != 0)
+    }
+
+    /// Reads a length-prefixed UTF-8 string.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CodecError::UnexpectedEof`] if the input is truncated, or
+    /// [`CodecError::LengthMismatch`] if the bytes are not valid UTF-8.
+    pub fn get_str(&mut self) -> Result<String> {
+        let len = self.get_usize()?;
+        let bytes = self.take(len, "string payload")?;
+        String::from_utf8(bytes.to_vec()).map_err(|e| CodecError::LengthMismatch {
+            expected: len,
+            actual: e.utf8_error().valid_up_to(),
+        })
+    }
+
+    /// Reads length-prefixed raw bytes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CodecError::UnexpectedEof`] if the input is truncated.
+    pub fn get_bytes(&mut self) -> Result<Vec<u8>> {
+        let len = self.get_usize()?;
+        Ok(self.take(len, "byte payload")?.to_vec())
+    }
+
+    /// Reads a length-prefixed slice of `u64`s.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CodecError::UnexpectedEof`] if the input is truncated.
+    pub fn get_u64_slice(&mut self) -> Result<Vec<u64>> {
+        let len = self.get_usize()?;
+        let mut values = Vec::with_capacity(len.min(self.remaining() / 8 + 1));
+        for _ in 0..len {
+            values.push(self.get_u64()?);
+        }
+        Ok(values)
+    }
+
+    /// Reads a length-prefixed slice of `f32`s.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CodecError::UnexpectedEof`] if the input is truncated.
+    pub fn get_f32_slice(&mut self) -> Result<Vec<f32>> {
+        let len = self.get_usize()?;
+        let mut values = Vec::with_capacity(len.min(self.remaining() / 4 + 1));
+        for _ in 0..len {
+            values.push(self.get_f32()?);
+        }
+        Ok(values)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_every_primitive() {
+        let mut w = ByteWriter::new();
+        w.put_u8(7);
+        w.put_u32(0xDEAD_BEEF);
+        w.put_u64(u64::MAX - 1);
+        w.put_usize(42);
+        w.put_f32(-0.5);
+        w.put_f64(std::f64::consts::PI);
+        w.put_bool(true);
+        w.put_str("hour-0003");
+        w.put_bytes(&[1, 2, 3]);
+        w.put_u64_slice(&[9, 8, 7]);
+        w.put_f32_slice(&[1.25, -2.5]);
+        let bytes = w.into_bytes();
+
+        let mut r = ByteReader::new(&bytes);
+        assert_eq!(r.get_u8().unwrap(), 7);
+        assert_eq!(r.get_u32().unwrap(), 0xDEAD_BEEF);
+        assert_eq!(r.get_u64().unwrap(), u64::MAX - 1);
+        assert_eq!(r.get_usize().unwrap(), 42);
+        assert_eq!(r.get_f32().unwrap(), -0.5);
+        assert_eq!(r.get_f64().unwrap(), std::f64::consts::PI);
+        assert!(r.get_bool().unwrap());
+        assert_eq!(r.get_str().unwrap(), "hour-0003");
+        assert_eq!(r.get_bytes().unwrap(), vec![1, 2, 3]);
+        assert_eq!(r.get_u64_slice().unwrap(), vec![9, 8, 7]);
+        assert_eq!(r.get_f32_slice().unwrap(), vec![1.25, -2.5]);
+        assert!(r.is_exhausted());
+    }
+
+    #[test]
+    fn nan_bit_patterns_survive() {
+        let weird = f32::from_bits(0x7FC0_1234);
+        let mut w = ByteWriter::new();
+        w.put_f32(weird);
+        let bytes = w.into_bytes();
+        let mut r = ByteReader::new(&bytes);
+        assert_eq!(r.get_f32().unwrap().to_bits(), weird.to_bits());
+    }
+
+    #[test]
+    fn truncated_input_errors_instead_of_panicking() {
+        let mut w = ByteWriter::new();
+        w.put_u64(123);
+        let bytes = w.into_bytes();
+        let mut r = ByteReader::new(&bytes[..5]);
+        assert!(matches!(r.get_u64(), Err(CodecError::UnexpectedEof { .. })));
+        let mut r = ByteReader::new(&bytes);
+        r.get_u64().unwrap();
+        assert!(matches!(r.get_str(), Err(CodecError::UnexpectedEof { .. })));
+    }
+}

@@ -28,9 +28,13 @@
 //! (port `0` picks an ephemeral one), and a [`MetricsAggregator`] polls the
 //! registry in the background to print a derived-rates report at the end.
 
-use recd_core::DataLoaderConfig;
+use recd_chaos::{FaultAction, FaultInjector, FaultPlan, RetryPolicy};
+use recd_core::{ConvertedBatch, DataLoaderConfig};
 use recd_datagen::{DatasetGenerator, WorkloadConfig, WorkloadPreset};
-use recd_dpp::{DppConfig, DppService, ScalerConfig, ShardPolicy, TrainerAssignPolicy};
+use recd_dpp::{
+    BatchPool, DppConfig, DppService, RecvTimeout, ScalerConfig, ShardPolicy, TrainerAssignPolicy,
+    TrainerHandle,
+};
 use recd_etl::{cluster_by_session, EtlService, EtlStreamConfig, ManualClock, TableLayout};
 use recd_obs::{
     sample_value, AggregatorConfig, Collector, MetricFamily, MetricsAggregator, MetricsRegistry,
@@ -64,6 +68,8 @@ struct Args {
     tail_window_ms: u64,
     tail_seal_rows: Option<usize>,
     tail_seed: u64,
+    chaos_seed: Option<u64>,
+    chaos_plan: Option<String>,
     metrics_port: Option<u16>,
     scrape_once: bool,
     quiet: bool,
@@ -91,6 +97,8 @@ fn parse_args() -> Result<Args, String> {
         tail_window_ms: 30_000,
         tail_seal_rows: None,
         tail_seed: 0,
+        chaos_seed: None,
+        chaos_plan: None,
         metrics_port: None,
         scrape_once: false,
         quiet: false,
@@ -213,6 +221,14 @@ fn parse_args() -> Result<Args, String> {
                     .parse()
                     .map_err(|e| format!("--tail-seed: {e}"))?
             }
+            "--chaos-seed" => {
+                args.chaos_seed = Some(
+                    value("--chaos-seed")?
+                        .parse()
+                        .map_err(|e| format!("--chaos-seed: {e}"))?,
+                )
+            }
+            "--chaos-plan" => args.chaos_plan = Some(value("--chaos-plan")?),
             "--metrics-port" => {
                 args.metrics_port = Some(
                     value("--metrics-port")?
@@ -247,6 +263,15 @@ fn parse_args() -> Result<Args, String> {
                      \n  --tail-window-ms N       ETL out-of-order window (default 30000)\
                      \n  --tail-seal-rows N       seal an open hour early at N rows\
                      \n  --tail-seed N            arrival-process seed (default 0)\
+                     \n  --chaos-seed N           run a seeded fault plan against the continuous\
+                     \n                           pipeline (requires --tail): storage brown-out,\
+                     \n                           transient get/put failures, trainer kill+stall\
+                     \n                           (when --trainers > 1), ETL pump crash-restart\
+                     \n  --chaos-plan SPEC        run an explicit fault plan (requires --tail);\
+                     \n                           semicolon-separated at_ms:kind[:args] entries:\
+                     \n                           stall-trainer:LANE:MS | kill-trainer:LANE |\
+                     \n                           slow-storage:FACTOR:MS | fail-get:COUNT |\
+                     \n                           fail-put:COUNT | crash-pump\
                      \n  --metrics-port N         serve GET /metrics (Prometheus text format) on\
                      \n                           127.0.0.1:N while running (0 = ephemeral port)\
                      \n  --scrape-once            self-scrape /metrics once before shutdown and\
@@ -260,6 +285,15 @@ fn parse_args() -> Result<Args, String> {
     }
     if args.scrape_once && args.metrics_port.is_none() {
         return Err("--scrape-once requires --metrics-port".to_string());
+    }
+    if (args.chaos_seed.is_some() || args.chaos_plan.is_some()) && !args.tail {
+        return Err(
+            "--chaos-seed/--chaos-plan require --tail (faults drive the continuous pipeline)"
+                .to_string(),
+        );
+    }
+    if args.chaos_seed.is_some() && args.chaos_plan.is_some() {
+        return Err("--chaos-seed and --chaos-plan are mutually exclusive".to_string());
     }
     Ok(args)
 }
@@ -318,6 +352,75 @@ fn live_line(families: &[MetricFamily]) -> String {
     )
 }
 
+/// A control command for a simulated trainer-lane consumer.
+enum LaneCmd {
+    /// Stop consuming for the given duration (backpressure builds).
+    Stall(Duration),
+    /// Drain whatever is queued, drop the handle (tombstoning the lane),
+    /// acknowledge, and exit.
+    Kill(std::sync::mpsc::Sender<()>),
+}
+
+/// One simulated trainer: a consumer thread pulling its lane with a short
+/// timeout so chaos commands interleave with consumption. Returns
+/// `(trainer id, batches, samples)` on exit.
+struct TrainerLane {
+    cmd: std::sync::mpsc::Sender<LaneCmd>,
+    join: std::thread::JoinHandle<(usize, u64, u64)>,
+}
+
+impl TrainerLane {
+    fn spawn(trainer: TrainerHandle, pool: Arc<BatchPool<ConvertedBatch>>) -> Self {
+        let (cmd, cmd_rx) = std::sync::mpsc::channel::<LaneCmd>();
+        let join = std::thread::spawn(move || {
+            let id = trainer.id();
+            let mut batches = 0u64;
+            let mut samples = 0u64;
+            loop {
+                match cmd_rx.try_recv() {
+                    Ok(LaneCmd::Stall(pause)) => std::thread::sleep(pause),
+                    Ok(LaneCmd::Kill(ack)) => {
+                        while let Some(item) = trainer.try_recv() {
+                            batches += 1;
+                            samples += item.batch.batch_size as u64;
+                            pool.recycle(item.batch);
+                        }
+                        drop(trainer);
+                        let _ = ack.send(());
+                        return (id, batches, samples);
+                    }
+                    Err(_) => {}
+                }
+                match trainer.recv_timeout(Duration::from_millis(1)) {
+                    RecvTimeout::Item(item) => {
+                        batches += 1;
+                        samples += item.batch.batch_size as u64;
+                        pool.recycle(item.batch);
+                    }
+                    RecvTimeout::Timeout => {}
+                    RecvTimeout::Disconnected => return (id, batches, samples),
+                }
+            }
+        });
+        Self { cmd, join }
+    }
+
+    /// Pauses consumption for `ms` of wall time (asynchronous).
+    fn stall(&self, ms: u64) {
+        let _ = self.cmd.send(LaneCmd::Stall(Duration::from_millis(ms)));
+    }
+
+    /// Kills the lane and waits for the consumer to acknowledge the drop —
+    /// called only at pump boundaries, when the sink is quiescent, so no
+    /// delivery races the teardown.
+    fn kill(self) -> std::thread::JoinHandle<(usize, u64, u64)> {
+        let (ack, ack_rx) = std::sync::mpsc::channel();
+        let _ = self.cmd.send(LaneCmd::Kill(ack));
+        let _ = ack_rx.recv();
+        self.join
+    }
+}
+
 fn main() {
     let args = match parse_args() {
         Ok(args) => args,
@@ -362,6 +465,42 @@ fn main() {
         (partition.schema, Some(stored), None)
     };
 
+    // Chaos engine: a seeded or explicit fault plan executed against the
+    // continuous pipeline's live knobs. Storage faults apply directly through
+    // the shared TectonicSim; trainer/pump faults surface as actions the
+    // pump loop applies at barrier boundaries.
+    let mut chaos = args
+        .chaos_plan
+        .as_deref()
+        .map(|spec| {
+            FaultPlan::parse(spec).unwrap_or_else(|message| {
+                eprintln!("recd-dpp: --chaos-plan: {message}");
+                std::process::exit(2);
+            })
+        })
+        .or_else(|| {
+            args.chaos_seed.map(|seed| {
+                // Faults fire inside the middle 80% of the log's time span,
+                // while the pipeline is actually moving data.
+                let horizon = tail_records
+                    .as_ref()
+                    .and_then(|records| records.iter().map(|r| r.timestamp().as_millis()).max())
+                    .unwrap_or(0);
+                FaultPlan::seeded(seed, horizon, args.trainers)
+            })
+        })
+        .map(|plan| {
+            println!(
+                "chaos: {} faults scheduled (seed {}): {plan}",
+                plan.len(),
+                plan.seed
+            );
+            FaultInjector::new(&plan, store.blob_store().clone())
+        });
+    let chaos_retry = chaos
+        .as_ref()
+        .map(|injector| (RetryPolicy::storage_default(), injector.counters()));
+
     // Service topology.
     let mut config = DppConfig::new(ReaderConfig::new(
         args.batch_size,
@@ -377,6 +516,9 @@ fn main() {
         config = config
             .with_trainers(args.trainers)
             .with_assign_policy(args.assign);
+    }
+    if let Some((policy, counters)) = &chaos_retry {
+        config = config.with_chaos_retry(*policy, Arc::clone(counters));
     }
     if args.min_workers.is_some() || args.max_workers.is_some() {
         let min = args.min_workers.unwrap_or(1);
@@ -422,20 +564,25 @@ fn main() {
     registry.register(Arc::new(handle.snapshot_source()) as Arc<dyn Collector>);
     registry.register(Arc::new(store.blob_store().clone()) as Arc<dyn Collector>);
 
-    // Continuous mode: the streaming ETL service that feeds the handle.
+    // Continuous mode: the streaming ETL service that feeds the handle. The
+    // tail and stream configs are hoisted out of the closure because a
+    // chaos-injected pump crash rebuilds the service from them (plus the
+    // latest checkpoint and a replay copy of the raw records).
+    let tail_config = TailConfig::default()
+        .with_jitter_ms(args.tail_jitter_ms)
+        .with_lateness(args.tail_late_frac, args.tail_late_ms)
+        .with_seed(args.tail_seed);
+    let mut etl_config =
+        EtlStreamConfig::new(TableLayout::ClusteredBySession).with_window_ms(args.tail_window_ms);
+    if let Some(rows) = args.tail_seal_rows {
+        etl_config = etl_config.with_size_watermark(rows);
+    }
+    let replay_records = if chaos.is_some() {
+        tail_records.clone()
+    } else {
+        None
+    };
     let mut etl = tail_records.map(|records| {
-        let tail = LogTail::new(
-            records,
-            &TailConfig::default()
-                .with_jitter_ms(args.tail_jitter_ms)
-                .with_lateness(args.tail_late_frac, args.tail_late_ms)
-                .with_seed(args.tail_seed),
-        );
-        let mut etl_config = EtlStreamConfig::new(TableLayout::ClusteredBySession)
-            .with_window_ms(args.tail_window_ms);
-        if let Some(rows) = args.tail_seal_rows {
-            etl_config = etl_config.with_size_watermark(rows);
-        }
         println!(
             "continuous: window {}ms, grace {}ms, {}, {}ms of log time per pump",
             etl_config.window_ms,
@@ -446,10 +593,23 @@ fn main() {
                 )),
             args.tail_rate_ms,
         );
-        EtlService::new(tail, etl_config, Arc::clone(&store), schema.clone(), "tail")
+        let mut service = EtlService::new(
+            LogTail::new(records, &tail_config),
+            etl_config,
+            Arc::clone(&store),
+            schema.clone(),
+            "tail",
+        );
+        if let Some((policy, counters)) = &chaos_retry {
+            service = service.with_chaos_retry(*policy, Arc::clone(counters));
+        }
+        service
     });
     if let Some(service) = &etl {
         registry.register(service.gauges() as Arc<dyn Collector>);
+    }
+    if let Some(injector) = &chaos {
+        registry.register(injector.counters() as Arc<dyn Collector>);
     }
 
     // Exposition endpoint and background aggregator.
@@ -471,25 +631,17 @@ fn main() {
         .spawn(Arc::new(WallClock::new(Duration::from_millis(100))) as Arc<dyn ScaleClock>);
 
     // Simulated trainers: each consumes its own lane as fast as it can and
-    // recycles the shells so compute workers refill warm buffers.
+    // recycles the shells so compute workers refill warm buffers. The lane
+    // harness doubles as the chaos engine's substrate: a stall pauses
+    // consumption (backpressure builds), a kill drains + drops the handle
+    // (the lane tombstones and live traffic re-routes to survivors).
     let converted_pool = handle.converted_pool();
-    let trainer_threads: Vec<_> = handle
+    let mut lanes: Vec<Option<TrainerLane>> = handle
         .take_trainers()
         .into_iter()
-        .map(|trainer| {
-            let pool = Arc::clone(&converted_pool);
-            std::thread::spawn(move || {
-                let mut batches = 0u64;
-                let mut samples = 0u64;
-                while let Some(item) = trainer.recv() {
-                    batches += 1;
-                    samples += item.batch.batch_size as u64;
-                    pool.recycle(item.batch);
-                }
-                (trainer.id(), batches, samples)
-            })
-        })
+        .map(|trainer| Some(TrainerLane::spawn(trainer, Arc::clone(&converted_pool))))
         .collect();
+    let mut killed: Vec<std::thread::JoinHandle<(usize, u64, u64)>> = Vec::new();
 
     // Live metrics monitor: gathers the registry and renders the shared
     // `live_line` formatting path — identical output pipeline in batch and
@@ -514,13 +666,60 @@ fn main() {
     let etl_output = match (etl.take(), stored) {
         (Some(mut service), _) => {
             let mut clock = ManualClock::new();
+            // The exactly-once anchor: a checkpoint taken at every pump
+            // boundary (sealed queue drained, landing record consistent). A
+            // crash rewinds the tail to this cursor; replayed partitions
+            // re-land idempotently and the running DPP service dedups the
+            // re-offers, so the trainer feed never double-counts.
+            let mut checkpoint = service.checkpoint();
             let mut sink = |landed: &recd_storage::StoredPartition,
                             _sealed: &recd_etl::TablePartition| {
                 handle.ingest_partition(landed);
             };
             while !service.tail_drained() {
                 let now = clock.advance(args.tail_rate_ms.max(1));
+                if let Some(injector) = chaos.as_mut() {
+                    // Actions apply at the top of the iteration — the
+                    // previous pump's deliveries are done, so kills and
+                    // crashes never race an in-flight hand-off.
+                    for action in injector.poll(now) {
+                        match action {
+                            FaultAction::StallTrainer { lane, ms } => {
+                                if let Some(Some(lane)) = lanes.get(lane) {
+                                    lane.stall(ms);
+                                }
+                            }
+                            FaultAction::KillTrainer { lane } => {
+                                if let Some(slot) = lanes.get_mut(lane) {
+                                    if let Some(lane) = slot.take() {
+                                        killed.push(lane.kill());
+                                    }
+                                }
+                            }
+                            FaultAction::CrashEtlPump => {
+                                let (policy, counters) =
+                                    chaos_retry.as_ref().expect("chaos retry wired");
+                                counters.note_pump_crash();
+                                let records = replay_records
+                                    .clone()
+                                    .expect("chaos keeps a replay copy of the tail");
+                                let recovery_started = std::time::Instant::now();
+                                service = EtlService::resume_from(
+                                    LogTail::new(records, &tail_config),
+                                    etl_config,
+                                    Arc::clone(&store),
+                                    schema.clone(),
+                                    "tail",
+                                    checkpoint.clone(),
+                                )
+                                .with_chaos_retry(*policy, Arc::clone(counters));
+                                counters.note_resume(recovery_started.elapsed());
+                            }
+                        }
+                    }
+                }
                 service.pump(now, &mut sink);
+                checkpoint = service.checkpoint();
             }
             Some(service.finish(&mut sink))
         }
@@ -537,8 +736,14 @@ fn main() {
     }
     aggregator_handle.stop();
     aggregator.poll_at(run_started.elapsed().as_secs_f64());
-    for thread in trainer_threads {
+    for thread in killed {
         let (trainer, batches, samples) = thread.join().expect("trainer thread");
+        println!(
+            "trainer {trainer}: consumed {batches} batches / {samples} samples (killed by chaos)"
+        );
+    }
+    for lane in lanes.into_iter().flatten() {
+        let (trainer, batches, samples) = lane.join.join().expect("trainer thread");
         println!("trainer {trainer}: consumed {batches} batches / {samples} samples");
     }
 
@@ -633,6 +838,31 @@ fn main() {
         }
     }
 
+    if let Some(injector) = chaos.as_mut() {
+        let report = injector.finish();
+        println!(
+            "\nchaos: {}/{} faults fired (seed {}), {} injected get + {} put failures absorbed by \
+             {} retries ({} exhausted, {:.2}ms backoff), {} pump crashes / {} resumes ({:.2}ms recovery)",
+            report.faults_fired,
+            report.planned_faults,
+            report.seed,
+            report.injected_get_failures,
+            report.injected_put_failures,
+            report.retries,
+            report.retry_exhausted,
+            report.backoff_ms,
+            report.pump_crashes,
+            report.resumes,
+            report.recovery_ms,
+        );
+    }
+    // Machine-parseable sustained end-to-end throughput over the whole run —
+    // scripts/bench_snapshot.sh lifts this line into BENCH_pipeline.json.
+    if args.tail {
+        if let Some(rate) = aggregator.derived().records_per_second {
+            println!("derived continuous_records_per_second {rate:.1}");
+        }
+    }
     if !args.quiet {
         println!("\n{}", aggregator.report());
     }

@@ -56,6 +56,7 @@
 #![warn(missing_docs)]
 
 pub mod channel;
+pub mod checkpoint;
 pub mod metrics;
 pub mod obs;
 pub mod pool;
@@ -64,6 +65,7 @@ pub mod service;
 pub mod sink;
 
 pub use channel::{bounded, Receiver, RecvTimeout, SendError, Sender};
+pub use checkpoint::DppCheckpoint;
 pub use metrics::{
     DppReport, DppSnapshot, ServiceCounters, TrainerLaneReport, TrainerLaneSnapshot,
 };

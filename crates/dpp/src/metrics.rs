@@ -18,6 +18,10 @@ pub struct ServiceCounters {
     /// [`DppHandle::ingest_partition`](crate::DppHandle::ingest_partition)
     /// (the continuous-ETL feed path).
     pub partitions_ingested: AtomicU64,
+    /// Partitions offered again after already being ingested — skipped
+    /// rather than re-fed, which is what makes a crash-replayed feed
+    /// exactly-once from the service's point of view.
+    pub duplicate_ingests: AtomicU64,
     /// Files fully decoded by fill workers.
     pub files_filled: AtomicU64,
     /// Rows routed to shard accumulators.
@@ -42,6 +46,7 @@ impl Default for ServiceCounters {
         Self {
             files_submitted: AtomicU64::new(0),
             partitions_ingested: AtomicU64::new(0),
+            duplicate_ingests: AtomicU64::new(0),
             files_filled: AtomicU64::new(0),
             rows_routed: AtomicU64::new(0),
             batches_out: AtomicU64::new(0),
@@ -120,6 +125,8 @@ pub struct DppSnapshot {
     pub files_submitted: u64,
     /// Landed partitions ingested so far (continuous-ETL feed path).
     pub partitions_ingested: u64,
+    /// Already-ingested partitions offered again and skipped (replay dedup).
+    pub duplicate_ingests: u64,
     /// Files decoded so far.
     pub files_filled: u64,
     /// Rows routed to shards so far.
@@ -189,6 +196,9 @@ pub struct DppReport {
     /// [`DppHandle::ingest_partition`](crate::DppHandle::ingest_partition)
     /// (zero outside the continuous-ETL feed path).
     pub partitions_ingested: u64,
+    /// Already-ingested partitions offered again and skipped — nonzero after
+    /// a crash-replay resume, and exactly the replay overlap size.
+    pub duplicate_ingests: u64,
     /// Samples emitted.
     pub samples: usize,
     /// Batches emitted.

@@ -98,6 +98,12 @@ pub fn collect_snapshot(snap: &DppSnapshot, out: &mut MetricsBuf) {
         snap.partitions_ingested as f64,
     );
     out.counter(
+        "recd_dpp_duplicate_ingests_total",
+        "Already-ingested partitions offered again and skipped (replay dedup).",
+        &[],
+        snap.duplicate_ingests as f64,
+    );
+    out.counter(
         "recd_dpp_files_filled_total",
         "Files fully decoded by fill workers.",
         &[],
@@ -193,6 +199,18 @@ pub fn collect_snapshot(snap: &DppSnapshot, out: &mut MetricsBuf) {
 impl Collector for SnapshotSource {
     fn collect(&self, out: &mut MetricsBuf) {
         collect_snapshot(&self.snapshot(), out);
+        out.histogram(
+            "recd_dpp_convert_latency_seconds",
+            "Per-batch IKJT conversion latency across compute workers.",
+            &[],
+            self.convert_latency(),
+        );
+        out.histogram(
+            "recd_dpp_process_latency_seconds",
+            "Per-batch preprocessing latency across compute workers.",
+            &[],
+            self.process_latency(),
+        );
         self.reader_metrics().collect_into(out);
     }
 }
@@ -207,6 +225,7 @@ mod tests {
             elapsed_seconds: 2.0,
             files_submitted: 8,
             partitions_ingested: 3,
+            duplicate_ingests: 1,
             files_filled: 7,
             rows_routed: 1_000,
             batches_out: 40,

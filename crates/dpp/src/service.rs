@@ -32,6 +32,7 @@
 //! queue-depth pressure (see [`crate::scaler`]).
 
 use crate::channel::{bounded, Gauge, Receiver, RecvTimeout, Sender};
+use crate::checkpoint::DppCheckpoint;
 use crate::metrics::{
     DppReport, DppSnapshot, ServiceCounters, TrainerLaneReport, TrainerLaneSnapshot,
 };
@@ -44,13 +45,15 @@ use crate::sink::{
     run_sink, BarrierState, LaneSender, LaneShared, OutBatch, SinkInput, SinkParams,
     TrainerAssignPolicy, TrainerBatch, TrainerHandle,
 };
+use recd_chaos::{ChaosCounters, RetryPolicy};
 use recd_core::ConvertedBatch;
 use recd_data::{ColumnarBatch, Schema};
+use recd_obs::{Histogram, HistogramSnapshot};
 use recd_reader::{
     fill_file_columnar_into, PhaseEngine, PreprocessPipeline, ReaderConfig, ReaderMetrics,
 };
-use recd_storage::{FileReadScratch, StoredPartition, TableStore};
-use std::collections::BTreeMap;
+use recd_storage::{FileReadScratch, StorageError, StoredPartition, TableStore};
+use std::collections::{BTreeMap, HashSet};
 use std::sync::atomic::Ordering;
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
@@ -58,6 +61,13 @@ use std::time::Duration;
 
 /// How often blocked workers wake to check for cooperative retirement.
 const WORKER_POLL: Duration = Duration::from_millis(2);
+
+/// Bucket bounds (seconds) of the per-batch convert/process latency
+/// histograms — exponential-ish from 10µs to 250ms, which brackets a
+/// coalesced batch's compute cost across every workload preset.
+const LATENCY_BOUNDS: &[f64] = &[
+    1e-5, 2.5e-5, 5e-5, 1e-4, 2.5e-4, 5e-4, 1e-3, 2.5e-3, 5e-3, 1e-2, 2.5e-2, 5e-2, 1e-1, 2.5e-1,
+];
 
 /// How the router assigns incoming rows to shard lanes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -117,6 +127,12 @@ pub struct DppConfig {
     pub trainer_queue_depth: usize,
     /// Dynamic worker scaling policy; `None` keeps the pools fixed.
     pub scaling: Option<ScalerConfig>,
+    /// Bounded-retry policy for storage-facing fill reads, with the chaos
+    /// counters retries are accounted into. `None` (the default) surfaces
+    /// every storage error immediately, as before; set it when running under
+    /// fault injection so transient injected get-failures degrade to a short
+    /// backoff instead of dropping the file's rows.
+    pub chaos_retry: Option<(RetryPolicy, Arc<ChaosCounters>)>,
     /// Builds each compute worker's preprocessing pipeline (pipelines hold
     /// boxed transforms and are not `Clone`).
     pub pipeline_factory: fn() -> PreprocessPipeline,
@@ -139,6 +155,7 @@ impl DppConfig {
             assign_policy: TrainerAssignPolicy::ShardPinned,
             trainer_queue_depth: 8,
             scaling: None,
+            chaos_retry: None,
             pipeline_factory: PreprocessPipeline::new,
         }
     }
@@ -207,6 +224,14 @@ impl DppConfig {
     #[must_use]
     pub fn with_scaling(mut self, scaling: ScalerConfig) -> Self {
         self.scaling = Some(scaling);
+        self
+    }
+
+    /// Enables bounded-retry with exponential backoff on storage-facing
+    /// fill reads, accounting retries into `counters`.
+    #[must_use]
+    pub fn with_chaos_retry(mut self, policy: RetryPolicy, counters: Arc<ChaosCounters>) -> Self {
+        self.chaos_retry = Some((policy, counters));
         self
     }
 
@@ -287,6 +312,7 @@ struct FillCtx {
     errors: Arc<Mutex<Vec<String>>>,
     batch_pool: Arc<BatchPool<ColumnarBatch>>,
     governor: Arc<PoolGovernor>,
+    chaos_retry: Option<(RetryPolicy, Arc<ChaosCounters>)>,
 }
 
 fn fill_worker_loop(ctx: &FillCtx) {
@@ -303,14 +329,28 @@ fn fill_worker_loop(ctx: &FillCtx) {
                 let mut rows = ctx.batch_pool.acquire(|| {
                     ColumnarBatch::new(ctx.schema.dense_count(), ctx.schema.sparse_count())
                 });
-                match fill_file_columnar_into(
-                    &ctx.store,
-                    &ctx.schema,
-                    &path,
-                    &mut scratch,
-                    &mut rows,
-                    &mut local,
-                ) {
+                // A failed attempt may leave the batch partially decoded, so
+                // every attempt starts from an empty shell of the right
+                // shape; under chaos retry, transient injected faults then
+                // degrade to a short backoff instead of losing the file.
+                let mut attempt = || {
+                    rows.reset(ctx.schema.dense_count(), ctx.schema.sparse_count());
+                    fill_file_columnar_into(
+                        &ctx.store,
+                        &ctx.schema,
+                        &path,
+                        &mut scratch,
+                        &mut rows,
+                        &mut local,
+                    )
+                };
+                let outcome = match &ctx.chaos_retry {
+                    Some((policy, chaos)) => {
+                        policy.run(Some(chaos), StorageError::is_transient, attempt)
+                    }
+                    None => attempt(),
+                };
+                match outcome {
                     Ok(()) => {
                         ctx.counters.files_filled.fetch_add(1, Ordering::Relaxed);
                     }
@@ -379,6 +419,8 @@ struct ComputeCtx {
     batch_pool: Arc<BatchPool<ColumnarBatch>>,
     converted_pool: Arc<BatchPool<ConvertedBatch>>,
     governor: Arc<PoolGovernor>,
+    convert_hist: Arc<Histogram>,
+    process_hist: Arc<Histogram>,
 }
 
 fn compute_worker_loop(ctx: &ComputeCtx) {
@@ -392,7 +434,16 @@ fn compute_worker_loop(ctx: &ComputeCtx) {
                 // a consumer recycling shells), then hand the drained
                 // columnar chunk straight back to the fill workers.
                 let mut batch = ctx.converted_pool.acquire(ConvertedBatch::default);
+                // Per-batch phase latency = the engine's own phase-CPU delta
+                // around this one batch, so the histograms see exactly what
+                // the aggregate PhaseMetrics see, bucketed.
+                let convert_before = local.convert.cpu_nanos;
+                let process_before = local.process.cpu_nanos;
                 let outcome = engine.run_batch_columnar_into(&item.rows, &mut batch, &mut local);
+                ctx.convert_hist
+                    .observe((local.convert.cpu_nanos - convert_before) as f64 / 1e9);
+                ctx.process_hist
+                    .observe((local.process.cpu_nanos - process_before) as f64 / 1e9);
                 ctx.batch_pool.recycle(item.rows);
                 match outcome {
                     Ok(()) => {
@@ -475,6 +526,10 @@ struct RouterCtx {
     counters: Arc<ServiceCounters>,
     batch_pool: Arc<BatchPool<ColumnarBatch>>,
     phase_metrics: Arc<Mutex<ReaderMetrics>>,
+    /// Files routed by previous incarnations of this service (a resumed
+    /// run); seeds the file → shard rotation so FileRoundRobin placement is
+    /// a function of the *cumulative* submission order across a crash.
+    files_routed_base: u64,
 }
 
 fn router_loop(ctx: RouterCtx) {
@@ -489,7 +544,7 @@ fn router_loop(ctx: RouterCtx) {
     let mut next_seq = 0u64;
     // FileRoundRobin counts *files*, not submission seqs: barriers occupy a
     // seq but must not shift the file → shard rotation.
-    let mut files_routed = 0u64;
+    let mut files_routed = ctx.files_routed_base;
     // Shard accumulators are columnar too: routing a row is a handful of
     // flat-buffer appends, not a Sample move, and the buffers amortize
     // across batches.
@@ -589,7 +644,43 @@ impl DppService {
     /// [`DppHandle::finish`] (and, in fan-out mode, through the
     /// [`TrainerHandle`]s from [`DppHandle::take_trainers`]).
     pub fn start(config: DppConfig, store: Arc<TableStore>, schema: Schema) -> DppHandle {
+        Self::start_with(config, store, schema, DppCheckpoint::default())
+    }
+
+    /// Starts the service continuing from a [`DppCheckpoint`] taken at a
+    /// barrier boundary by a previous incarnation: the file → shard rotation,
+    /// barrier-id sequence, ingest counters, and — crucially — the
+    /// already-ingested partition dedup set all pick up where the crashed
+    /// instance stopped. Re-offering a partition the checkpoint already
+    /// covers is a no-op, so an at-least-once upstream replay feeds the
+    /// trainers each partition exactly once.
+    pub fn resume(
+        config: DppConfig,
+        store: Arc<TableStore>,
+        schema: Schema,
+        checkpoint: DppCheckpoint,
+    ) -> DppHandle {
+        Self::start_with(config, store, schema, checkpoint)
+    }
+
+    fn start_with(
+        config: DppConfig,
+        store: Arc<TableStore>,
+        schema: Schema,
+        checkpoint: DppCheckpoint,
+    ) -> DppHandle {
         let counters = Arc::new(ServiceCounters::default());
+        // Cumulative feed counters continue across the crash so dashboards
+        // and reports see one logical run.
+        counters
+            .files_submitted
+            .store(checkpoint.files_routed, Ordering::Relaxed);
+        counters
+            .partitions_ingested
+            .store(checkpoint.partitions_ingested, Ordering::Relaxed);
+        counters
+            .duplicate_ingests
+            .store(checkpoint.duplicate_ingests, Ordering::Relaxed);
         let phase_metrics = Arc::new(Mutex::new(ReaderMetrics::default()));
         let errors = Arc::new(Mutex::new(Vec::new()));
         let barriers = Arc::new(BarrierState::default());
@@ -639,6 +730,12 @@ impl DppService {
         let fill_gov = Arc::new(PoolGovernor::new());
         let compute_gov = Arc::new(PoolGovernor::new());
 
+        // Per-batch compute-phase latency distributions, shared by every
+        // compute worker (including dynamically spawned ones) and read by
+        // the observability plane.
+        let convert_hist = Arc::new(Histogram::new(LATENCY_BOUNDS));
+        let process_hist = Arc::new(Histogram::new(LATENCY_BOUNDS));
+
         // Trainer lanes (fan-out mode).
         let mut lanes = Vec::new();
         let mut trainer_handles = Vec::new();
@@ -666,6 +763,7 @@ impl DppService {
             let errors = Arc::clone(&errors);
             let batch_pool = Arc::clone(&batch_pool);
             let governor = Arc::clone(&fill_gov);
+            let chaos_retry = config.chaos_retry.clone();
             Box::new(move || {
                 let worker = governor.next_worker_id();
                 let ctx = FillCtx {
@@ -678,6 +776,7 @@ impl DppService {
                     errors: Arc::clone(&errors),
                     batch_pool: Arc::clone(&batch_pool),
                     governor: Arc::clone(&governor),
+                    chaos_retry: chaos_retry.clone(),
                 };
                 std::thread::Builder::new()
                     .name(format!("dpp-fill-{worker}"))
@@ -696,6 +795,8 @@ impl DppService {
             let batch_pool = Arc::clone(&batch_pool);
             let converted_pool = Arc::clone(&converted_pool);
             let governor = Arc::clone(&compute_gov);
+            let convert_hist = Arc::clone(&convert_hist);
+            let process_hist = Arc::clone(&process_hist);
             Box::new(move || {
                 let worker = governor.next_worker_id();
                 let ctx = ComputeCtx {
@@ -709,6 +810,8 @@ impl DppService {
                     batch_pool: Arc::clone(&batch_pool),
                     converted_pool: Arc::clone(&converted_pool),
                     governor: Arc::clone(&governor),
+                    convert_hist: Arc::clone(&convert_hist),
+                    process_hist: Arc::clone(&process_hist),
                 };
                 std::thread::Builder::new()
                     .name(format!("dpp-compute-{worker}"))
@@ -737,6 +840,7 @@ impl DppService {
                 counters: Arc::clone(&counters),
                 batch_pool: Arc::clone(&batch_pool),
                 phase_metrics: Arc::clone(&phase_metrics),
+                files_routed_base: checkpoint.files_routed,
             };
             std::thread::Builder::new()
                 .name("dpp-router".to_string())
@@ -835,13 +939,16 @@ impl DppService {
                 .zip(lane_gauges.iter().cloned())
                 .collect(),
             phase_metrics: Arc::clone(&phase_metrics),
+            convert_hist,
+            process_hist,
         };
 
         DppHandle {
             config,
             input: input_tx,
             next_file_seq: 0,
-            next_barrier_id: 0,
+            next_barrier_id: checkpoint.next_barrier_id,
+            ingested: checkpoint.ingested.into_iter().collect(),
             barriers,
             counters,
             phase_metrics,
@@ -877,6 +984,8 @@ pub struct SnapshotSource {
     scale_events: Arc<Mutex<Vec<ScaleEvent>>>,
     lanes: Vec<(Arc<LaneShared>, Gauge<TrainerBatch>)>,
     phase_metrics: Arc<Mutex<ReaderMetrics>>,
+    convert_hist: Arc<Histogram>,
+    process_hist: Arc<Histogram>,
 }
 
 impl SnapshotSource {
@@ -884,6 +993,18 @@ impl SnapshotSource {
     /// workers, as of now.
     pub fn reader_metrics(&self) -> ReaderMetrics {
         *self.phase_metrics.lock().expect("phase metrics lock")
+    }
+
+    /// Distribution of per-batch IKJT conversion latency (seconds) across
+    /// all compute workers so far.
+    pub fn convert_latency(&self) -> HistogramSnapshot {
+        self.convert_hist.snapshot()
+    }
+
+    /// Distribution of per-batch preprocessing latency (seconds) across all
+    /// compute workers so far.
+    pub fn process_latency(&self) -> HistogramSnapshot {
+        self.process_hist.snapshot()
     }
 
     /// Takes a live snapshot of throughput, progress, queue depths, worker
@@ -900,6 +1021,7 @@ impl SnapshotSource {
             elapsed_seconds: elapsed,
             files_submitted: self.counters.files_submitted.load(Ordering::Relaxed),
             partitions_ingested: self.counters.partitions_ingested.load(Ordering::Relaxed),
+            duplicate_ingests: self.counters.duplicate_ingests.load(Ordering::Relaxed),
             files_filled: self.counters.files_filled.load(Ordering::Relaxed),
             rows_routed: self.counters.rows_routed.load(Ordering::Relaxed),
             batches_out: self.counters.batches_out.load(Ordering::Relaxed),
@@ -944,6 +1066,9 @@ pub struct DppHandle {
     input: Sender<FillTask>,
     next_file_seq: u64,
     next_barrier_id: u64,
+    /// Blob-store prefixes of every partition ingested so far — the replay
+    /// dedup set (see [`DppHandle::ingest_partition`]).
+    ingested: HashSet<String>,
     barriers: Arc<BarrierState>,
     counters: Arc<ServiceCounters>,
     phase_metrics: Arc<Mutex<ReaderMetrics>>,
@@ -993,11 +1118,43 @@ impl DppHandle {
     /// pre-built table. Equivalent to [`DppHandle::submit_partition`] plus
     /// partition accounting in [`DppSnapshot`] / [`DppReport`]; the same
     /// backpressure contract applies (blocks while the fill queue is full).
-    pub fn ingest_partition(&mut self, partition: &StoredPartition) {
+    ///
+    /// Ingestion is **idempotent**: each partition (keyed by its blob-store
+    /// prefix) is consumed at most once per logical run, including across a
+    /// checkpoint/resume. A replayed duplicate is skipped, counted in
+    /// `duplicate_ingests`, and returns `false` — which is how an
+    /// at-least-once upstream replay composes to an exactly-once feed.
+    pub fn ingest_partition(&mut self, partition: &StoredPartition) -> bool {
+        let key = StoredPartition::prefix(&partition.table, partition.hour);
+        if !self.ingested.insert(key) {
+            self.counters
+                .duplicate_ingests
+                .fetch_add(1, Ordering::Relaxed);
+            return false;
+        }
         self.counters
             .partitions_ingested
             .fetch_add(1, Ordering::Relaxed);
         self.submit_partition(partition);
+        true
+    }
+
+    /// Captures a [`DppCheckpoint`] of the feed state. Only meaningful right
+    /// after a successful [`flush_partition`](Self::flush_partition) — at a
+    /// barrier boundary every submitted row has been delivered, so the
+    /// service's durable state reduces to these counters plus the ingest
+    /// dedup set. Hand the checkpoint to [`DppService::resume`] to continue
+    /// after a crash.
+    pub fn checkpoint(&self) -> DppCheckpoint {
+        let mut ingested: Vec<String> = self.ingested.iter().cloned().collect();
+        ingested.sort_unstable();
+        DppCheckpoint {
+            files_routed: self.counters.files_submitted.load(Ordering::Relaxed),
+            partitions_ingested: self.counters.partitions_ingested.load(Ordering::Relaxed),
+            duplicate_ingests: self.counters.duplicate_ingests.load(Ordering::Relaxed),
+            next_barrier_id: self.next_barrier_id,
+            ingested,
+        }
     }
 
     /// Injects a partition barrier and blocks until **every batch from
@@ -1088,6 +1245,7 @@ impl DppHandle {
             barriers: _,
             next_file_seq: _,
             next_barrier_id: _,
+            ingested: _,
         } = self;
         // The controller owns clones of the inter-stage channel ends (inside
         // its spawners); it must exit before downstream stages can observe
@@ -1126,6 +1284,7 @@ impl DppHandle {
             assign_policy: config.assign_policy.name().to_string(),
             wall_seconds,
             partitions_ingested: counters.partitions_ingested.load(Ordering::Relaxed),
+            duplicate_ingests: counters.duplicate_ingests.load(Ordering::Relaxed),
             samples,
             batches: counters.batches_out.load(Ordering::Relaxed) as usize,
             samples_per_second: if wall_seconds > 0.0 {

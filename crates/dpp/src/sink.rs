@@ -24,7 +24,7 @@
 use crate::channel::{Receiver, RecvTimeout, Sender};
 use recd_core::ConvertedBatch;
 use std::collections::{BTreeMap, VecDeque};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::Duration;
 
@@ -79,9 +79,22 @@ pub(crate) struct LaneShared {
     consumed_batches: AtomicU64,
     consumed_samples: AtomicU64,
     dropped_batches: AtomicU64,
+    /// Tombstone set the instant the trainer's handle drops. The channel's
+    /// own `is_closed` flips only after the receiver half is torn down, so a
+    /// dispatch racing the drop can still observe an open channel; the
+    /// tombstone is written first and closes that window.
+    dead: AtomicBool,
 }
 
 impl LaneShared {
+    pub(crate) fn mark_dead(&self) {
+        self.dead.store(true, Ordering::Release);
+    }
+
+    pub(crate) fn is_dead(&self) -> bool {
+        self.dead.load(Ordering::Acquire)
+    }
+
     pub(crate) fn delivered_batches(&self) -> u64 {
         self.delivered_batches.load(Ordering::Acquire)
     }
@@ -139,6 +152,19 @@ impl TrainerHandle {
         Some(item)
     }
 
+    /// Pulls the next batch, waiting at most `timeout` — the building block
+    /// for consumer loops that must interleave consumption with control
+    /// signals (the chaos harness's stall/kill commands).
+    pub fn recv_timeout(&self, timeout: std::time::Duration) -> RecvTimeout<TrainerBatch> {
+        match self.rx.recv_timeout(timeout) {
+            RecvTimeout::Item(item) => {
+                self.note_consumed(&item);
+                RecvTimeout::Item(item)
+            }
+            other => other,
+        }
+    }
+
     /// Pulls every remaining batch until the service shuts down, blocking as
     /// needed — the "consume to the end" loop as one call.
     pub fn drain(&self) -> Vec<TrainerBatch> {
@@ -181,6 +207,14 @@ impl TrainerHandle {
         self.shared
             .consumed_samples
             .fetch_add(item.batch.batch_size as u64, Ordering::AcqRel);
+    }
+}
+
+impl Drop for TrainerHandle {
+    fn drop(&mut self) {
+        // Tombstone before the channel half goes away, so the sink never
+        // routes new batches at a lane whose consumer is mid-teardown.
+        self.shared.mark_dead();
     }
 }
 
@@ -310,6 +344,7 @@ pub(crate) fn run_sink(params: SinkParams) -> BTreeMap<(usize, u64), ConvertedBa
         parked_total: 0,
         park_capacity,
         rr: 0,
+        policy,
         converted_pool,
     };
 
@@ -377,34 +412,62 @@ struct Dispatcher {
     parked_total: usize,
     park_capacity: usize,
     rr: usize,
+    policy: TrainerAssignPolicy,
     converted_pool: Arc<crate::pool::BatchPool<ConvertedBatch>>,
 }
 
 impl Dispatcher {
+    /// A lane is dead once its trainer dropped the handle. The tombstone is
+    /// authoritative (written inside the handle's `Drop` before the channel
+    /// half disconnects); `is_closed` is kept as a second signal for lanes
+    /// torn down through other paths.
+    fn lane_dead(&self, trainer: usize) -> bool {
+        self.lanes[trainer].shared.is_dead() || self.lanes[trainer].tx.is_closed()
+    }
+
     /// The live (not dropped-handle) lane with the smallest backlog (queued
     /// plus parked); ties pick the lowest trainer id. A lane whose trainer
     /// is gone never wins — otherwise a dead trainer's frozen empty lane
     /// would absorb (and drop) the entire stream while live trainers
-    /// starve. Falls back to lane 0 when every trainer is gone.
-    fn least_loaded(&self) -> usize {
-        let mut best = 0usize;
+    /// starve. [`None`] when every trainer is gone.
+    fn least_loaded_live(&self) -> Option<usize> {
+        let mut best = None;
         let mut best_load = usize::MAX;
         for (t, lane) in self.lanes.iter().enumerate() {
-            if lane.tx.is_closed() {
+            if self.lane_dead(t) {
                 continue;
             }
             let load = lane.tx.len() + self.parked[t].len();
             if load < best_load {
-                best = t;
+                best = Some(t);
                 best_load = load;
             }
         }
         best
     }
 
+    /// [`least_loaded_live`](Self::least_loaded_live) with the historical
+    /// lane-0 fallback for the all-dead case (the dispatch path then drops
+    /// and accounts the batch against lane 0).
+    fn least_loaded(&self) -> usize {
+        self.least_loaded_live().unwrap_or(0)
+    }
+
+    /// Where a batch aimed at dead lane `trainer` should go instead:
+    /// shard-pinned placement is a determinism contract (a shard's stream
+    /// must never migrate), so it drops; the load-balancing policies
+    /// re-route to the least-loaded live lane.
+    fn reroute_target(&self, trainer: usize) -> Option<usize> {
+        if self.policy == TrainerAssignPolicy::ShardPinned {
+            return None;
+        }
+        self.least_loaded_live().filter(|&t| t != trainer)
+    }
+
     /// A batch destined for a dead lane is accounted and its shell recycled
     /// back into the compute loop.
     fn drop_for_dead_lane(&self, trainer: usize, batch: ConvertedBatch) {
+        self.lanes[trainer].shared.mark_dead();
         self.lanes[trainer]
             .shared
             .dropped_batches
@@ -416,13 +479,25 @@ impl Dispatcher {
     /// When the spillover exceeds `park_capacity`, blocks on the most
     /// backed-up lane until space frees — that block is what ultimately
     /// backpressures the whole pipeline behind a universally slow consumer.
-    fn dispatch(&mut self, trainer: usize, item: TrainerBatch) {
-        if self.lanes[trainer].tx.is_closed() {
-            // The trainer dropped its handle: don't wedge the service,
-            // account the loss instead.
-            self.drop_for_dead_lane(trainer, item.batch);
-            return;
-        }
+    fn dispatch(&mut self, trainer: usize, mut item: TrainerBatch) {
+        let trainer = if self.lane_dead(trainer) {
+            match self.reroute_target(trainer) {
+                // The trainer died under a load-balancing policy: the batch
+                // survives on another live lane instead of being lost.
+                Some(target) => {
+                    item.trainer = target;
+                    target
+                }
+                None => {
+                    // Shard-pinned, or no live lane left: don't wedge the
+                    // service, account the loss instead.
+                    self.drop_for_dead_lane(trainer, item.batch);
+                    return;
+                }
+            }
+        } else {
+            trainer
+        };
         let samples = item.batch.batch_size as u64;
         // Lane order is per-trainer FIFO: never overtake an already-parked
         // batch.
@@ -453,14 +528,22 @@ impl Dispatcher {
         }
     }
 
-    /// Retries parked batches front-first on every sink iteration.
+    /// Retries parked batches front-first on every sink iteration. Batches
+    /// parked against a lane that died meanwhile re-route (or drop under
+    /// shard pinning) instead of sitting there forever.
     fn retry_parked(&mut self) {
         for t in 0..self.lanes.len() {
-            while let Some(item) = self.parked[t].pop_front() {
+            while let Some(mut item) = self.parked[t].pop_front() {
                 let samples = item.batch.batch_size as u64;
-                if self.lanes[t].tx.is_closed() {
+                if self.lane_dead(t) {
                     self.parked_total -= 1;
-                    self.drop_for_dead_lane(t, item.batch);
+                    match self.reroute_target(t) {
+                        Some(target) => {
+                            item.trainer = target;
+                            self.dispatch(target, item);
+                        }
+                        None => self.drop_for_dead_lane(t, item.batch),
+                    }
                     continue;
                 }
                 match self.lanes[t].tx.try_send(item) {
@@ -478,12 +561,24 @@ impl Dispatcher {
     }
 
     /// Blocking-delivers one batch (used for spillover overflow and final
-    /// drain). A disconnected lane counts the batch as dropped.
-    fn send_blocking(&self, trainer: usize, item: TrainerBatch) {
+    /// drain). A lane that disconnects mid-send re-routes the batch to a
+    /// live lane (load-balancing policies) or counts it as dropped
+    /// (shard-pinned / all lanes dead). The live set only shrinks, so the
+    /// re-route recursion is bounded.
+    fn send_blocking(&mut self, trainer: usize, item: TrainerBatch) {
         let samples = item.batch.batch_size as u64;
         match self.lanes[trainer].tx.send(item) {
             Ok(()) => note_delivered(&self.lanes[trainer], 1, samples),
-            Err(crate::channel::SendError(item)) => self.drop_for_dead_lane(trainer, item.batch),
+            Err(crate::channel::SendError(mut item)) => {
+                self.lanes[trainer].shared.mark_dead();
+                match self.reroute_target(trainer) {
+                    Some(target) => {
+                        item.trainer = target;
+                        self.send_blocking(target, item);
+                    }
+                    None => self.drop_for_dead_lane(trainer, item.batch),
+                }
+            }
         }
     }
 

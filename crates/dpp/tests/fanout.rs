@@ -235,6 +235,79 @@ fn stalled_trainer_keeps_its_lane_bounded_without_wedging_the_service() {
     );
 }
 
+/// Killing a trainer mid-run under a load-balancing policy must lose no
+/// batches: the victim's already-delivered batches are drained before the
+/// handle drops, and everything subsequently aimed at the dead lane
+/// re-routes to the survivor — the cross-lane union stays byte-identical to
+/// the single-sink baseline.
+#[test]
+fn mid_run_trainer_kill_reroutes_instead_of_dropping() {
+    let f = fixture();
+    // The baseline must share the run's flush schedule: a barrier flushes
+    // partial shard accumulators as short batches, so batch boundaries are a
+    // function of (submission order, barrier placement).
+    let expected = {
+        let mut handle = DppService::start(config(&f), Arc::clone(&f.store), f.schema.clone());
+        handle.submit_partition(&f.partition);
+        assert!(handle.flush_partition(), "baseline barrier must resolve");
+        handle.submit_partition(&f.partition);
+        handle.submit_partition(&f.partition);
+        handle.finish().expect("clean baseline run").batches
+    };
+    for policy in [
+        TrainerAssignPolicy::LeastLoaded,
+        TrainerAssignPolicy::RoundRobin,
+    ] {
+        let config = config(&f).with_trainers(2).with_assign_policy(policy);
+        let mut handle = DppService::start(config, Arc::clone(&f.store), f.schema.clone());
+        let mut trainers = handle.take_trainers();
+        let survivor = trainers.pop().expect("two trainers");
+        let victim = trainers.pop().expect("two trainers");
+
+        // Phase 1: one full partition, barrier-delivered into the lanes.
+        handle.submit_partition(&f.partition);
+        assert!(handle.flush_partition(), "barrier must resolve");
+
+        // Kill: drain what the victim's lane already holds (those batches
+        // count as consumed), then drop the handle. The tombstone lands
+        // before the channel closes, so the sink never targets the lane
+        // again.
+        let mut union: Vec<TrainerBatch> = Vec::new();
+        while let Some(item) = victim.try_recv() {
+            union.push(item);
+        }
+        drop(victim);
+
+        // Phase 2: everything else must flow to the survivor.
+        let consumer = std::thread::spawn(move || survivor.drain());
+        handle.submit_partition(&f.partition);
+        handle.submit_partition(&f.partition);
+        let report = handle.finish().expect("clean run").report;
+        union.extend(consumer.join().expect("survivor consumer"));
+
+        assert_eq!(
+            union.len(),
+            expected.len(),
+            "{}: no batch may be lost to the killed trainer",
+            policy.name()
+        );
+        assert!(
+            report.trainers.iter().all(|t| t.dropped_batches == 0),
+            "{}: every batch must re-route, not drop",
+            policy.name()
+        );
+        union.sort_by_key(|t| (t.shard, t.seq));
+        for (i, (got, want)) in union.iter().zip(&expected).enumerate() {
+            assert_eq!(
+                &got.batch,
+                want,
+                "{}: batch {i} diverged from the single-sink baseline",
+                policy.name()
+            );
+        }
+    }
+}
+
 /// A trainer that drops its handle outright must not attract traffic under
 /// `LeastLoaded`: its frozen-empty lane would otherwise win every
 /// lowest-load tie and swallow the whole stream while live trainers starve.

@@ -23,11 +23,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod checkpoint;
 pub mod downsample;
 pub mod join;
 pub mod partition;
 pub mod stream;
 
+pub use checkpoint::{CheckpointError, EtlCheckpoint, EtlStreamState};
 pub use downsample::{downsample, DownsamplePolicy};
 pub use join::{join_logs, JoinOutput};
 pub use partition::{cluster_by_session, interleave_by_time, HourlyPartitioner, TablePartition};

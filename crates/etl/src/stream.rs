@@ -48,11 +48,13 @@
 //! deterministic replay tests in `tests/stream.rs` assert this down to the
 //! landed DWRF file bytes.
 
+use crate::checkpoint::{EtlCheckpoint, EtlStreamState};
 use crate::partition::TablePartition;
 use crate::TableLayout;
+use recd_chaos::{ChaosCounters, RetryPolicy};
 use recd_data::{EventLog, FeatureLog, LogRecord, Sample, Schema, Timestamp};
 use recd_scribe::LogTail;
-use recd_storage::{StorageReport, StoredPartition, TableStore};
+use recd_storage::{StorageError, StorageReport, StoredPartition, TableStore};
 use serde::{Deserialize, Serialize};
 use std::cmp::Reverse;
 use std::collections::{BTreeMap, BinaryHeap, HashMap, VecDeque};
@@ -369,6 +371,83 @@ impl EtlStream {
         }
     }
 
+    /// Captures the stream's complete state as a serializable
+    /// [`EtlStreamState`]. Non-destructive; pair with
+    /// [`EtlStream::restore`] to rebuild an equivalent stream — the restored
+    /// copy behaves identically record-for-record, which the checkpoint
+    /// tests assert.
+    pub fn checkpoint(&self) -> EtlStreamState {
+        fn sorted_pairs<V: Clone>(map: &HashMap<u64, V>) -> Vec<(u64, V)> {
+            let mut pairs: Vec<_> = map.iter().map(|(&k, v)| (k, v.clone())).collect();
+            pairs.sort_by_key(|(k, _)| *k);
+            pairs
+        }
+        fn sorted_heap(heap: &BinaryHeap<Reverse<(u64, u64)>>) -> Vec<(u64, u64)> {
+            let mut entries: Vec<_> = heap.iter().map(|&Reverse(pair)| pair).collect();
+            entries.sort_unstable();
+            entries
+        }
+        let mut joined: Vec<_> = self.joined.iter().map(|(&k, &v)| (k, v)).collect();
+        joined.sort_unstable();
+        let open_hours = self
+            .open_hours
+            .iter()
+            .map(|(&hour, open)| {
+                let mut sessions: Vec<_> = open
+                    .sessions
+                    .iter()
+                    .map(|(&session, buf)| (session, buf.rows.clone()))
+                    .collect();
+                sessions.sort_by_key(|(session, _)| *session);
+                (hour, sessions)
+            })
+            .collect();
+        EtlStreamState {
+            pending_features: sorted_pairs(&self.pending_features),
+            pending_events: sorted_pairs(&self.pending_events),
+            joined,
+            feature_expiry: sorted_heap(&self.feature_expiry),
+            event_expiry: sorted_heap(&self.event_expiry),
+            joined_expiry: sorted_heap(&self.joined_expiry),
+            open_hours,
+            sealed: self.sealed.iter().cloned().collect(),
+            buffered_rows: self.buffered_rows as u64,
+            max_ts: self.max_ts,
+            watermark: self.watermark,
+            counters: self.counters,
+        }
+    }
+
+    /// Rebuilds a stream from a checkpointed [`EtlStreamState`]. The restored
+    /// stream is behaviorally identical to the one that produced the state:
+    /// same joins, same evictions, same seals, same counters.
+    pub fn restore(config: EtlStreamConfig, state: EtlStreamState) -> Self {
+        let mut open_hours: BTreeMap<u64, OpenHour> = BTreeMap::new();
+        for (hour, sessions) in state.open_hours {
+            let mut open = OpenHour::default();
+            for (session, rows) in sessions {
+                open.rows += rows.len();
+                open.sessions.insert(session, SessionBuf { rows });
+            }
+            open_hours.insert(hour, open);
+        }
+        Self {
+            config,
+            pending_features: state.pending_features.into_iter().collect(),
+            pending_events: state.pending_events.into_iter().collect(),
+            joined: state.joined.into_iter().collect(),
+            feature_expiry: state.feature_expiry.into_iter().map(Reverse).collect(),
+            event_expiry: state.event_expiry.into_iter().map(Reverse).collect(),
+            joined_expiry: state.joined_expiry.into_iter().map(Reverse).collect(),
+            open_hours,
+            sealed: state.sealed.into(),
+            buffered_rows: state.buffered_rows as usize,
+            max_ts: state.max_ts,
+            watermark: state.watermark,
+            counters: state.counters,
+        }
+    }
+
     fn join(&mut self, feature: FeatureLog, event: &EventLog) {
         let request = feature.request_id.raw();
         let ts = feature.timestamp.as_millis();
@@ -651,6 +730,10 @@ pub struct EtlService {
     storage: StorageReport,
     gauges: Arc<EtlGauges>,
     peak_tail_lag_ms: u64,
+    /// When set, partitions land through the fallible
+    /// [`TableStore::try_land_partition`] path wrapped in this retry policy,
+    /// so injected transient storage faults degrade to a short backoff.
+    chaos: Option<(RetryPolicy, Arc<ChaosCounters>)>,
 }
 
 impl EtlService {
@@ -673,6 +756,72 @@ impl EtlService {
             storage: StorageReport::default(),
             gauges: Arc::new(EtlGauges::default()),
             peak_tail_lag_ms: 0,
+            chaos: None,
+        }
+    }
+
+    /// Rebuilds a mid-stream service from an [`EtlCheckpoint`]. `tail` must
+    /// be built from the *same* records and [`TailConfig`] as the original
+    /// run (the tail is a pure function of both); it is rewound to the
+    /// checkpoint's cursor, so pumping resumes exactly where the
+    /// checkpointed service stopped. Because sealed-partition landing is
+    /// idempotent (deterministic bytes at deterministic paths), the resumed
+    /// run's landed output is byte-identical to an uninterrupted run.
+    ///
+    /// [`TailConfig`]: recd_scribe::TailConfig
+    pub fn resume_from(
+        mut tail: LogTail,
+        config: EtlStreamConfig,
+        store: Arc<TableStore>,
+        schema: Schema,
+        table: impl Into<String>,
+        checkpoint: EtlCheckpoint,
+    ) -> Self {
+        tail.rewind_to(checkpoint.tail_cursor);
+        Self {
+            tail,
+            stream: EtlStream::restore(config, checkpoint.stream),
+            store,
+            schema,
+            table: table.into(),
+            hour_seal_counts: checkpoint.hour_seal_counts.into_iter().collect(),
+            landed: checkpoint.landed,
+            storage: checkpoint.storage,
+            gauges: Arc::new(EtlGauges::default()),
+            peak_tail_lag_ms: checkpoint.peak_tail_lag_ms,
+            chaos: None,
+        }
+    }
+
+    /// Routes partition landing through the fallible storage path with the
+    /// given bounded-retry policy, recording retries and backoff into
+    /// `counters`. Without this, landing uses the infallible path and never
+    /// consumes injected fault budgets.
+    #[must_use]
+    pub fn with_chaos_retry(mut self, policy: RetryPolicy, counters: Arc<ChaosCounters>) -> Self {
+        self.chaos = Some((policy, counters));
+        self
+    }
+
+    /// Captures the service's complete state — tail cursor, stream state,
+    /// and landing record — at a pump boundary. The sealed queue is drained
+    /// by every pump, so the snapshot's in-flight window is empty and a
+    /// [`EtlService::resume_from`] replay converges to the uninterrupted
+    /// run's exact output.
+    pub fn checkpoint(&self) -> EtlCheckpoint {
+        let mut hour_seal_counts: Vec<_> = self
+            .hour_seal_counts
+            .iter()
+            .map(|(&h, &c)| (h, c))
+            .collect();
+        hour_seal_counts.sort_unstable();
+        EtlCheckpoint {
+            tail_cursor: self.tail.cursor(),
+            stream: self.stream.checkpoint(),
+            hour_seal_counts,
+            landed: self.landed.clone(),
+            storage: self.storage.clone(),
+            peak_tail_lag_ms: self.peak_tail_lag_ms,
         }
     }
 
@@ -768,9 +917,27 @@ impl EtlService {
                 format!("{}-r{}", self.table, seal_idx)
             };
             *seal_idx += 1;
-            let (stored, report) =
-                self.store
-                    .land_partition(&self.schema, &table, hour, &sealed.partition.samples);
+            let samples = &sealed.partition.samples;
+            let (stored, report) = match &self.chaos {
+                Some((policy, counters)) => policy
+                    .run(Some(counters), StorageError::is_transient, || {
+                        self.store
+                            .try_land_partition(&self.schema, &table, hour, samples)
+                    })
+                    .unwrap_or_else(|_| {
+                        // Retry budget exhausted: fall through to the
+                        // infallible landing path (fault budgets never apply
+                        // to `put`) so a sealed partition cannot be lost.
+                        // The exhaustion is already counted. Landing is
+                        // idempotent either way — deterministic bytes at
+                        // deterministic paths.
+                        self.store
+                            .land_partition(&self.schema, &table, hour, samples)
+                    }),
+                None => self
+                    .store
+                    .land_partition(&self.schema, &table, hour, samples),
+            };
             self.storage.absorb(&report);
             sink(&stored, &sealed.partition);
             self.landed.push(stored);

@@ -591,3 +591,95 @@ fn flush_partition_races_in_flight_seals_and_drains() {
     assert_eq!(delivered, c.joined_samples);
     assert!(report.trainers.iter().all(|t| t.dropped_batches == 0));
 }
+
+/// Tentpole: crash-restarting the ETL pump mid-stream (mid-hour, rows still
+/// buffered in open sessions) and resuming from the serialized checkpoint
+/// lands exactly what an uninterrupted run lands — same sealed partitions,
+/// same landed handles, same report, same blob bytes.
+#[test]
+fn crash_restart_mid_hour_resumes_byte_identically() {
+    let seed = 4242u64;
+    for layout in [TableLayout::TimeOrdered, TableLayout::ClusteredBySession] {
+        let generator =
+            DatasetGenerator::new(WorkloadConfig::preset(WorkloadPreset::Tiny).with_seed(seed));
+        let (records, _) = generator.generate_logs();
+        let schema = generator.schema().clone();
+        let tail_config = TailConfig::default()
+            .with_jitter_ms(2_000)
+            .with_seed(seed ^ 0x5EED);
+
+        // Uninterrupted reference run.
+        let ref_store = fresh_store();
+        let (sealed_ref, landed_ref, output_ref) = run_stream(
+            records.clone(),
+            layout,
+            &tail_config,
+            10_000,
+            777,
+            Arc::clone(&ref_store),
+            schema.clone(),
+        );
+
+        // Crashy run, same cadence: checkpoint after every pump, crash
+        // partway through by dropping the service (all in-memory join and
+        // clustering state is lost), then resume from the checkpoint bytes
+        // over the same (surviving) blob store.
+        let store = fresh_store();
+        let config = EtlStreamConfig::new(layout).with_window_ms(10_000);
+        let tail = LogTail::new(records.clone(), &tail_config);
+        let crash_at = tail.end_ms() / 2;
+        let mut service = EtlService::new(tail, config, Arc::clone(&store), schema.clone(), "t");
+        let mut sealed = Vec::new();
+        let mut landed = Vec::new();
+        let mut clock = ManualClock::new();
+        let mut checkpoint_bytes = service.checkpoint().to_bytes();
+        while clock.now_ms() < crash_at && !service.tail_drained() {
+            let now = clock.advance(777);
+            service.pump(
+                now,
+                &mut |stored: &StoredPartition, partition: &TablePartition| {
+                    landed.push(stored.clone());
+                    sealed.push(partition.clone());
+                },
+            );
+            checkpoint_bytes = service.checkpoint().to_bytes();
+        }
+        assert!(!service.tail_drained(), "crash point must be mid-stream");
+        drop(service);
+
+        let checkpoint =
+            recd_etl::EtlCheckpoint::from_bytes(&checkpoint_bytes).expect("checkpoint decodes");
+        let tail = LogTail::new(records, &tail_config);
+        let mut service =
+            EtlService::resume_from(tail, config, Arc::clone(&store), schema, "t", checkpoint);
+        assert!(
+            service.snapshot().buffered_rows > 0,
+            "crash must land mid-hour with rows buffered in open sessions"
+        );
+        while !service.tail_drained() {
+            let now = clock.advance(777);
+            service.pump(
+                now,
+                &mut |stored: &StoredPartition, partition: &TablePartition| {
+                    landed.push(stored.clone());
+                    sealed.push(partition.clone());
+                },
+            );
+        }
+        let output = service.finish(
+            &mut |stored: &StoredPartition, partition: &TablePartition| {
+                landed.push(stored.clone());
+                sealed.push(partition.clone());
+            },
+        );
+
+        assert_eq!(sealed, sealed_ref, "layout {layout:?}");
+        assert_eq!(landed, landed_ref, "layout {layout:?}");
+        assert_eq!(output.report, output_ref.report, "layout {layout:?}");
+        assert_eq!(
+            blob_bytes(&store, &landed),
+            blob_bytes(&ref_store, &landed_ref),
+            "landed DWRF bytes diverged after crash/resume at layout {layout:?}"
+        );
+    }
+}

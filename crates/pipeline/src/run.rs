@@ -1,10 +1,15 @@
 //! The end-to-end pipeline runner.
 
+use crate::checkpoint::PipelineCheckpoint;
 use crate::config::{RecdConfig, RmSpec};
+use recd_chaos::{ChaosReport, FaultAction, FaultInjector, FaultPlan, RetryPolicy};
 use recd_core::{ConvertedBatch, DataLoaderConfig};
-use recd_data::Schema;
+use recd_data::{LogRecord, Schema};
 use recd_datagen::DatasetGenerator;
-use recd_dpp::{DppConfig, DppReport, DppService, ShardPolicy};
+use recd_dpp::{
+    DppConfig, DppReport, DppService, RecvTimeout, ShardPolicy, TrainerAssignPolicy, TrainerBatch,
+    TrainerHandle,
+};
 use recd_etl::{EtlJob, EtlService, EtlServiceReport, EtlStreamConfig, ManualClock, TableLayout};
 use recd_obs::{AggregatorConfig, MetricsAggregator, MetricsRegistry};
 use recd_reader::{PreprocessPipeline, ReaderConfig, ReaderTier, TierReport};
@@ -14,6 +19,8 @@ use recd_trainer::{
     ClusterSpec, DlrmConfig, IterationCost, MemoryReport, TrainerOptimizations, WorkStats,
 };
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
+use std::time::Duration;
 
 /// Everything measured by one end-to-end pipeline run.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -50,6 +57,10 @@ pub struct PipelineReport {
     /// `recd-dpp` ingest), present when the runner was configured with
     /// [`PipelineRunner::with_continuous`].
     pub continuous: Option<ContinuousReport>,
+    /// Chaos-engine accounting (faults fired, retries, backoff, pump
+    /// crash/recovery), present when the runner was configured with
+    /// [`PipelineRunner::with_chaos`].
+    pub chaos: Option<ChaosReport>,
 }
 
 /// Accounting of one continuous (tail-fed) pipeline run: the streaming ETL
@@ -96,6 +107,13 @@ pub struct PipelineArtifacts {
     pub model: DlrmConfig,
     /// The run's measurements.
     pub report: PipelineReport,
+    /// Every batch the continuous fan-out lanes delivered, as collected by
+    /// the simulated trainer consumers. Empty unless the runner was
+    /// configured with both [`PipelineRunner::with_continuous`] (or
+    /// [`PipelineRunner::with_chaos`]) and
+    /// [`PipelineRunner::with_continuous_trainers`]. The chaos convergence
+    /// tests compare these unions across faulted and fault-free runs.
+    pub continuous_batches: Vec<TrainerBatch>,
 }
 
 /// Runs one RM workload through the full pipeline under a given
@@ -108,6 +126,8 @@ pub struct PipelineRunner {
     streaming_workers: Option<usize>,
     streaming_trainers: usize,
     continuous_workers: Option<usize>,
+    continuous_trainers: usize,
+    chaos: Option<FaultPlan>,
 }
 
 impl PipelineRunner {
@@ -120,6 +140,8 @@ impl PipelineRunner {
             streaming_workers: None,
             streaming_trainers: 0,
             continuous_workers: None,
+            continuous_trainers: 0,
+            chaos: None,
         }
     }
 
@@ -163,6 +185,40 @@ impl PipelineRunner {
     #[must_use]
     pub fn with_continuous(mut self, compute_workers: usize) -> Self {
         self.continuous_workers = Some(compute_workers.max(1));
+        self
+    }
+
+    /// In continuous mode, fans preprocessed batches out to `trainers`
+    /// simulated trainer lanes, each drained by its own consumer thread.
+    /// Lanes are assigned least-loaded (not shard-pinned) so a killed lane's
+    /// traffic re-routes to the survivors instead of being dropped — the
+    /// behavior the chaos engine's `kill-trainer` fault exercises. Passing
+    /// `0` keeps the collect sink (the default).
+    #[must_use]
+    pub fn with_continuous_trainers(mut self, trainers: usize) -> Self {
+        self.continuous_trainers = trainers;
+        self
+    }
+
+    /// Runs the continuous pipeline under the given chaos [`FaultPlan`]:
+    /// storage faults apply directly to the continuous blob store, trainer
+    /// stall/kill faults apply to the fan-out lanes, and `crash-pump` tears
+    /// the ETL service down and resumes it from the latest
+    /// [`PipelineCheckpoint`] — replayed partitions are absorbed by the DPP
+    /// service's ingest dedup, so the trainer-batch union stays byte-
+    /// identical to a fault-free run. Implies continuous mode (with two
+    /// compute workers unless [`PipelineRunner::with_continuous`] overrides
+    /// it); the run's chaos accounting lands in [`PipelineReport::chaos`].
+    ///
+    /// An *empty* plan is the canonical fault-free reference: it runs the
+    /// identical barrier/checkpoint schedule with no faults, which is what
+    /// the convergence tests compare against.
+    #[must_use]
+    pub fn with_chaos(mut self, plan: FaultPlan) -> Self {
+        if self.continuous_workers.is_none() {
+            self.continuous_workers = Some(2);
+        }
+        self.chaos = Some(plan);
         self
     }
 
@@ -290,74 +346,16 @@ impl PipelineRunner {
         // 5c. Optional continuous mode: tail the same drained log stream
         // through the streaming ETL service (incremental join, watermarked
         // hourly seals, landing) and hand every landed partition straight to
-        // a running recd-dpp service.
+        // a running recd-dpp service — under the chaos engine when a fault
+        // plan was configured.
+        let mut chaos_report = None;
+        let mut continuous_batches = Vec::new();
         let continuous = self.continuous_workers.map(|workers| {
-            let tail = LogTail::new(
-                drained.clone(),
-                &TailConfig::default()
-                    .with_jitter_ms(2_000)
-                    .with_seed(spec.sized_workload().seed),
-            );
-            let continuous_store = std::sync::Arc::new(TableStore::new(TectonicSim::new(8), 64, 4));
-            let mut etl = EtlService::new(
-                tail,
-                EtlStreamConfig::new(layout).with_window_ms(10_000),
-                std::sync::Arc::clone(&continuous_store),
-                schema.clone(),
-                spec.preset.name(),
-            );
-            let dpp_config = DppConfig::new(reader_config.clone())
-                .with_policy(ShardPolicy::SessionAffine)
-                .with_shards(workers)
-                .with_compute_workers(workers)
-                .with_fill_workers(2);
-            let mut handle = DppService::start(
-                dpp_config,
-                std::sync::Arc::clone(&continuous_store),
-                schema.clone(),
-            );
-
-            // The observability plane over the continuous run: the ETL
-            // gauges, the dpp service snapshot, and the blob store register
-            // into one registry, and the aggregator samples it after every
-            // pump step (time axis = wall clock, so rates are real).
-            let registry = std::sync::Arc::new(MetricsRegistry::new());
-            registry.register(std::sync::Arc::new(handle.snapshot_source()));
-            registry.register(etl.gauges());
-            registry.register(std::sync::Arc::new(continuous_store.blob_store().clone()));
-            let aggregator = MetricsAggregator::new(registry, AggregatorConfig::default());
-            let started = std::time::Instant::now();
-            aggregator.poll_at(0.0);
-
-            // Pump the tail in one-minute simulated steps; every sealed
-            // partition lands and is ingested the moment it appears.
-            let mut clock = ManualClock::new();
-            let mut sink = |stored: &recd_storage::StoredPartition,
-                            _sealed: &recd_etl::TablePartition| {
-                handle.ingest_partition(stored);
-            };
-            while !etl.tail_drained() {
-                let now = clock.advance(60_000);
-                etl.pump(now, &mut sink);
-                aggregator.poll_at(started.elapsed().as_secs_f64());
-            }
-            let output = etl.finish(&mut sink);
-            let dpp = handle
-                .finish()
-                .expect("continuous run over freshly-landed partitions succeeds")
-                .report;
-            aggregator.poll_at(started.elapsed().as_secs_f64());
-            let derived = aggregator.derived();
-            ContinuousReport {
-                etl: output.report,
-                dpp,
-                derived: ContinuousDerived {
-                    records_per_second: derived.records_per_second,
-                    tail_lag_trend_ms_per_s: derived.tail_lag_trend_ms_per_s,
-                    pool_hit_ratio: derived.pool_hit_ratio,
-                    series_tracked: aggregator.series_count(),
-                },
-            }
+            let (report, chaos, batches) =
+                self.run_continuous(workers, &drained, layout, &schema, &reader_config);
+            chaos_report = chaos;
+            continuous_batches = batches;
+            report
         });
 
         // 6. Trainer cost model (O5–O7) over the produced batches.
@@ -387,6 +385,7 @@ impl PipelineRunner {
             egress_bytes,
             streaming,
             continuous,
+            chaos: chaos_report,
         };
 
         PipelineArtifacts {
@@ -394,7 +393,269 @@ impl PipelineRunner {
             batches,
             model,
             report,
+            continuous_batches,
         }
+    }
+
+    /// Drives the continuous tier: a jittered [`LogTail`] of the Scribe
+    /// drain feeds a streaming [`EtlService`] whose landed partitions are
+    /// ingested by a running `recd-dpp` service, pumped on a shared manual
+    /// clock in one-minute steps.
+    ///
+    /// With a chaos plan configured the loop additionally (a) polls a
+    /// [`FaultInjector`] on the same clock before every pump, (b) resolves a
+    /// partition barrier after every pump so batch boundaries are a pure
+    /// function of the landing schedule, (c) takes a [`PipelineCheckpoint`]
+    /// at a fixed barrier cadence, and (d) on `crash-pump` discards the ETL
+    /// service and resumes it from the latest checkpoint — the rewound tail
+    /// replays at-least-once, and the DPP ingest dedup makes the trainer
+    /// feed exactly-once.
+    fn run_continuous(
+        &self,
+        workers: usize,
+        drained: &[LogRecord],
+        layout: TableLayout,
+        schema: &Schema,
+        reader_config: &ReaderConfig,
+    ) -> (ContinuousReport, Option<ChaosReport>, Vec<TrainerBatch>) {
+        let spec = &self.spec;
+        let table = spec.preset.name();
+        let tail_config = TailConfig::default()
+            .with_jitter_ms(2_000)
+            .with_seed(spec.sized_workload().seed);
+        let stream_config = EtlStreamConfig::new(layout).with_window_ms(10_000);
+        let store = Arc::new(TableStore::new(TectonicSim::new(8), 64, 4));
+
+        // Chaos plumbing: the injector owns the storage knobs; the shared
+        // counters feed both retry paths and the recd_chaos_* export.
+        let mut injector = self
+            .chaos
+            .as_ref()
+            .map(|plan| FaultInjector::new(plan, store.blob_store().clone()));
+        let chaos_retry = injector
+            .as_ref()
+            .map(|inj| (RetryPolicy::storage_default(), inj.counters()));
+
+        let mut etl = EtlService::new(
+            LogTail::new(drained.to_vec(), &tail_config),
+            stream_config,
+            Arc::clone(&store),
+            schema.clone(),
+            table,
+        );
+        let mut dpp_config = DppConfig::new(reader_config.clone())
+            .with_policy(ShardPolicy::SessionAffine)
+            .with_shards(workers)
+            .with_compute_workers(workers)
+            .with_fill_workers(2);
+        if self.continuous_trainers > 0 {
+            dpp_config = dpp_config
+                .with_trainers(self.continuous_trainers)
+                .with_assign_policy(TrainerAssignPolicy::LeastLoaded);
+        }
+        if let Some((policy, counters)) = &chaos_retry {
+            etl = etl.with_chaos_retry(*policy, Arc::clone(counters));
+            dpp_config = dpp_config.with_chaos_retry(*policy, Arc::clone(counters));
+        }
+        let mut handle = DppService::start(dpp_config, Arc::clone(&store), schema.clone());
+
+        // Simulated trainer lanes: each is drained by a consumer thread that
+        // interleaves consumption with the chaos harness's stall/kill
+        // commands.
+        let mut lanes: Vec<Option<Lane>> = handle
+            .take_trainers()
+            .into_iter()
+            .map(|trainer| Some(Lane::spawn(trainer)))
+            .collect();
+        let mut killed = Vec::new();
+
+        // The observability plane over the continuous run: the ETL gauges,
+        // the dpp service snapshot, the blob store, and (under chaos) the
+        // chaos counters register into one registry, and the aggregator
+        // samples it after every pump step (time axis = wall clock, so rates
+        // are real).
+        let registry = Arc::new(MetricsRegistry::new());
+        registry.register(Arc::new(handle.snapshot_source()));
+        registry.register(etl.gauges());
+        registry.register(Arc::new(store.blob_store().clone()));
+        if let Some((_, counters)) = &chaos_retry {
+            let counters: Arc<dyn recd_obs::Collector> = Arc::clone(counters) as _;
+            registry.register(counters);
+        }
+        let aggregator = MetricsAggregator::new(registry, AggregatorConfig::default());
+        let started = std::time::Instant::now();
+        aggregator.poll_at(0.0);
+
+        // Pump the tail in one-minute simulated steps; every sealed
+        // partition lands and is ingested the moment it appears. Under
+        // chaos, every pump ends in a partition barrier and every
+        // CHECKPOINT_EVERY_PUMPS-th barrier snapshots the pipeline — a
+        // crash between checkpoints therefore genuinely replays tail
+        // events, which is what the dedup path must absorb.
+        const CHECKPOINT_EVERY_PUMPS: u64 = 4;
+        let mut clock = ManualClock::new();
+        let mut checkpoint = PipelineCheckpoint {
+            etl: etl.checkpoint(),
+            dpp: handle.checkpoint(),
+        };
+        let mut pumps = 0u64;
+        while !etl.tail_drained() {
+            let now = clock.advance(60_000);
+            if let Some(inj) = injector.as_mut() {
+                for action in inj.poll(now) {
+                    match action {
+                        FaultAction::StallTrainer { lane, ms } => {
+                            if let Some(Some(lane)) = lanes.get(lane) {
+                                lane.stall(ms);
+                            }
+                        }
+                        FaultAction::KillTrainer { lane } => {
+                            if let Some(slot) = lanes.get_mut(lane) {
+                                if let Some(lane) = slot.take() {
+                                    killed.push(lane.kill());
+                                }
+                            }
+                        }
+                        FaultAction::CrashEtlPump => {
+                            let (policy, counters) =
+                                chaos_retry.as_ref().expect("injector implies chaos");
+                            counters.note_pump_crash();
+                            let recovery_started = std::time::Instant::now();
+                            // The in-memory service dies; the rewound tail
+                            // replays everything since the last checkpoint.
+                            // Re-landed partitions are idempotent and the
+                            // DPP ingest dedup skips the re-offers. (The
+                            // registry keeps the dead service's gauges — a
+                            // second registration would duplicate series.)
+                            etl = EtlService::resume_from(
+                                LogTail::new(drained.to_vec(), &tail_config),
+                                stream_config,
+                                Arc::clone(&store),
+                                schema.clone(),
+                                table,
+                                checkpoint.etl.clone(),
+                            )
+                            .with_chaos_retry(*policy, Arc::clone(counters));
+                            counters.note_resume(recovery_started.elapsed());
+                        }
+                    }
+                }
+            }
+            etl.pump(
+                now,
+                &mut |stored: &recd_storage::StoredPartition,
+                      _sealed: &recd_etl::TablePartition| {
+                    handle.ingest_partition(stored);
+                },
+            );
+            pumps += 1;
+            if self.chaos.is_some() {
+                assert!(handle.flush_partition(), "pump barrier must resolve");
+                if pumps.is_multiple_of(CHECKPOINT_EVERY_PUMPS) {
+                    checkpoint = PipelineCheckpoint {
+                        etl: etl.checkpoint(),
+                        dpp: handle.checkpoint(),
+                    };
+                }
+            }
+            aggregator.poll_at(started.elapsed().as_secs_f64());
+        }
+        let output =
+            etl.finish(&mut |stored: &recd_storage::StoredPartition,
+                             _sealed: &recd_etl::TablePartition| {
+                handle.ingest_partition(stored);
+            });
+        if self.chaos.is_some() {
+            assert!(handle.flush_partition(), "final barrier must resolve");
+        }
+        let dpp = handle
+            .finish()
+            .expect("continuous run over freshly-landed partitions succeeds")
+            .report;
+        // Surviving lanes drain to end-of-stream once the service shuts
+        // down; killed lanes already returned their collected batches.
+        let mut batches: Vec<TrainerBatch> = Vec::new();
+        for join in killed {
+            batches.extend(join.join().expect("killed lane consumer"));
+        }
+        for lane in lanes.into_iter().flatten() {
+            batches.extend(lane.join.join().expect("lane consumer"));
+        }
+        aggregator.poll_at(started.elapsed().as_secs_f64());
+        let derived = aggregator.derived();
+        let chaos = injector.as_mut().map(|inj| inj.finish());
+        let report = ContinuousReport {
+            etl: output.report,
+            dpp,
+            derived: ContinuousDerived {
+                records_per_second: derived.records_per_second,
+                tail_lag_trend_ms_per_s: derived.tail_lag_trend_ms_per_s,
+                pool_hit_ratio: derived.pool_hit_ratio,
+                series_tracked: aggregator.series_count(),
+            },
+        };
+        (report, chaos, batches)
+    }
+}
+
+/// A control command for a simulated trainer-lane consumer.
+enum LaneCmd {
+    /// Stop consuming for the given duration (backpressure builds).
+    Stall(Duration),
+    /// Drain whatever is queued, drop the handle (tombstoning the lane),
+    /// acknowledge, and exit.
+    Kill(std::sync::mpsc::Sender<()>),
+}
+
+/// One simulated trainer: a consumer thread pulling its lane with a short
+/// timeout so chaos commands interleave with consumption.
+struct Lane {
+    cmd: std::sync::mpsc::Sender<LaneCmd>,
+    join: std::thread::JoinHandle<Vec<TrainerBatch>>,
+}
+
+impl Lane {
+    fn spawn(trainer: TrainerHandle) -> Self {
+        let (cmd, cmd_rx) = std::sync::mpsc::channel::<LaneCmd>();
+        let join = std::thread::spawn(move || {
+            let mut got = Vec::new();
+            loop {
+                match cmd_rx.try_recv() {
+                    Ok(LaneCmd::Stall(pause)) => std::thread::sleep(pause),
+                    Ok(LaneCmd::Kill(ack)) => {
+                        while let Some(item) = trainer.try_recv() {
+                            got.push(item);
+                        }
+                        drop(trainer);
+                        let _ = ack.send(());
+                        return got;
+                    }
+                    Err(_) => {}
+                }
+                match trainer.recv_timeout(Duration::from_millis(1)) {
+                    RecvTimeout::Item(item) => got.push(item),
+                    RecvTimeout::Timeout => {}
+                    RecvTimeout::Disconnected => return got,
+                }
+            }
+        });
+        Self { cmd, join }
+    }
+
+    /// Pauses consumption for `ms` of wall time (asynchronous).
+    fn stall(&self, ms: u64) {
+        let _ = self.cmd.send(LaneCmd::Stall(Duration::from_millis(ms)));
+    }
+
+    /// Kills the lane and waits for the consumer to acknowledge the drop —
+    /// called only at pump boundaries, when the sink is quiescent, so no
+    /// delivery races the teardown. Returns the join handle holding the
+    /// batches consumed before death.
+    fn kill(self) -> std::thread::JoinHandle<Vec<TrainerBatch>> {
+        let (ack, ack_rx) = std::sync::mpsc::channel();
+        let _ = self.cmd.send(LaneCmd::Kill(ack));
+        let _ = ack_rx.recv();
+        self.join
     }
 }
 

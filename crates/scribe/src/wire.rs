@@ -331,6 +331,31 @@ impl LogTail {
     pub fn rewind(&mut self) {
         self.cursor = 0;
     }
+
+    /// The replay cursor: number of events already consumed. Recorded in
+    /// pipeline checkpoints so a crash-restarted pump can resume the arrival
+    /// sequence exactly where the checkpoint left it.
+    pub fn cursor(&self) -> usize {
+        self.cursor
+    }
+
+    /// Rewinds (or fast-forwards) to an absolute cursor position previously
+    /// obtained from [`cursor`](Self::cursor). Because the arrival sequence
+    /// is a pure function of `(records, TailConfig)`, a freshly rebuilt tail
+    /// sought to a checkpointed cursor replays the identical remainder.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cursor` exceeds the event count — that checkpoint could not
+    /// have come from this tail.
+    pub fn rewind_to(&mut self, cursor: usize) {
+        assert!(
+            cursor <= self.events.len(),
+            "cursor {cursor} out of range ({} events)",
+            self.events.len()
+        );
+        self.cursor = cursor;
+    }
 }
 
 #[cfg(test)]
@@ -425,6 +450,39 @@ mod tests {
         a.rewind();
         assert_eq!(a.remaining(), 50);
         assert_eq!(a.next_arrival_ms(), Some(first[0].arrival_ms));
+    }
+
+    #[test]
+    fn rewind_to_resumes_a_rebuilt_tail_mid_stream() {
+        let config = TailConfig::default().with_jitter_ms(3_000).with_seed(11);
+        let records = numbered_records(30);
+        let mut original = LogTail::new(records.clone(), &config);
+        let mut consumed = Vec::new();
+        for _ in 0..12 {
+            consumed.push(original.next_event().cloned().unwrap());
+        }
+        let checkpointed = original.cursor();
+        assert_eq!(checkpointed, 12);
+
+        // A crash-restarted pump rebuilds the tail from the same inputs and
+        // seeks to the checkpointed cursor: the remainder replays exactly.
+        let mut resumed = LogTail::new(records, &config);
+        resumed.rewind_to(checkpointed);
+        assert_eq!(resumed.remaining(), original.remaining());
+        while let Some(expected) = original.next_event().cloned() {
+            assert_eq!(resumed.next_event(), Some(&expected));
+        }
+        assert!(resumed.is_drained());
+        // Seeking to the very end is allowed; past it is a logic error.
+        resumed.rewind_to(30);
+        assert!(resumed.is_drained());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn rewind_past_the_end_panics() {
+        let mut tail = LogTail::new(numbered_records(3), &TailConfig::punctual());
+        tail.rewind_to(7);
     }
 
     #[test]

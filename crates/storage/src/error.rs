@@ -34,6 +34,23 @@ pub enum StorageError {
         /// Number of stripes in the file.
         stripes: usize,
     },
+    /// A transient fault injected by the chaos engine (see
+    /// [`TectonicSim::fail_next_gets`](crate::TectonicSim::fail_next_gets)).
+    /// Always retryable: the underlying blob (if any) is intact.
+    Injected {
+        /// The operation that was failed (`"get"` or `"put"`).
+        op: &'static str,
+        /// The path the operation targeted.
+        path: String,
+    },
+}
+
+impl StorageError {
+    /// Whether the error is a transient injected fault that a bounded-retry
+    /// policy should retry rather than surface.
+    pub fn is_transient(&self) -> bool {
+        matches!(self, StorageError::Injected { .. })
+    }
 }
 
 impl fmt::Display for StorageError {
@@ -48,6 +65,9 @@ impl fmt::Display for StorageError {
             ),
             StorageError::StripeOutOfRange { index, stripes } => {
                 write!(f, "stripe {index} out of range ({stripes} stripes)")
+            }
+            StorageError::Injected { op, path } => {
+                write!(f, "injected transient {op} fault on `{path}`")
             }
         }
     }

@@ -128,6 +128,52 @@ impl TableStore {
         )
     }
 
+    /// Fallible variant of [`land_partition`](Self::land_partition) for
+    /// chaos-aware callers: each file is written through
+    /// [`TectonicSim::try_put`], so armed transient put faults surface as
+    /// errors instead of being bypassed. Landing is idempotent — files are
+    /// content-deterministic and keyed by path — so a caller may simply retry
+    /// the whole partition after a transient failure; already-written files
+    /// are overwritten with identical bytes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StorageError::Injected`](crate::StorageError::Injected) when
+    /// a transient put fault fires mid-landing.
+    pub fn try_land_partition(
+        &self,
+        schema: &Schema,
+        table: &str,
+        hour: u64,
+        samples: &[Sample],
+    ) -> Result<(StoredPartition, StorageReport)> {
+        let rows_per_file = self.rows_per_stripe * self.stripes_per_file;
+        let mut report = StorageReport::default();
+        let mut files = Vec::new();
+
+        for (file_idx, chunk) in samples.chunks(rows_per_file.max(1)).enumerate() {
+            let mut writer = DwrfWriter::new(schema, self.rows_per_stripe);
+            writer.write(chunk);
+            let (file, stats) = writer.finish();
+            accumulate(&mut report, &file, &stats);
+            let path = format!(
+                "{}file-{file_idx:05}.dwrf",
+                StoredPartition::prefix(table, hour)
+            );
+            self.store.try_put(&path, &file.to_blob())?;
+            files.push(path);
+        }
+
+        Ok((
+            StoredPartition {
+                table: table.to_string(),
+                hour,
+                files,
+            },
+            report,
+        ))
+    }
+
     /// Reads every row of a stored partition back, in file/stripe order.
     ///
     /// # Errors

@@ -24,6 +24,31 @@ pub struct BlobStats {
     pub put_ops: usize,
     /// Total bytes accepted by put operations.
     pub put_bytes: usize,
+    /// Number of get operations failed by injected transient faults.
+    pub injected_get_failures: usize,
+    /// Number of put operations failed by injected transient faults.
+    pub injected_put_failures: usize,
+}
+
+/// Shared fault-injection knobs: armed fail-next-N budgets plus cumulative
+/// accounting, shared across clones exactly like the latency knob so a chaos
+/// engine can fault a store that readers are already fetching from.
+#[derive(Debug, Default)]
+struct FaultState {
+    fail_gets: AtomicU64,
+    fail_puts: AtomicU64,
+    injected_get_failures: AtomicU64,
+    injected_put_failures: AtomicU64,
+}
+
+impl FaultState {
+    /// Consumes one unit of an armed fault budget; returns `true` when a
+    /// fault should fire.
+    fn consume(budget: &AtomicU64) -> bool {
+        budget
+            .fetch_update(Ordering::AcqRel, Ordering::Acquire, |n| n.checked_sub(1))
+            .is_ok()
+    }
 }
 
 #[derive(Debug, Default)]
@@ -46,6 +71,8 @@ pub struct TectonicSim {
     /// test or experiment can throttle and un-throttle a store that readers
     /// are already fetching from.
     get_latency_nanos: Arc<AtomicU64>,
+    /// Armed transient-fault budgets, shared across clones.
+    faults: Arc<FaultState>,
 }
 
 impl TectonicSim {
@@ -63,7 +90,37 @@ impl TectonicSim {
             })),
             nodes,
             get_latency_nanos: Arc::new(AtomicU64::new(0)),
+            faults: Arc::new(FaultState::default()),
         }
+    }
+
+    /// Arms the next `count` [`get`](Self::get) calls (across all clones) to
+    /// fail with a transient [`StorageError::Injected`] before touching the
+    /// store. Budgets accumulate; each faulted call consumes one unit.
+    pub fn fail_next_gets(&self, count: u64) {
+        self.faults.fail_gets.fetch_add(count, Ordering::AcqRel);
+    }
+
+    /// Arms the next `count` [`try_put`](Self::try_put) calls to fail with a
+    /// transient [`StorageError::Injected`]. Infallible [`put`](Self::put)
+    /// calls are never faulted, so a budget cannot wedge callers that have no
+    /// retry path.
+    pub fn fail_next_puts(&self, count: u64) {
+        self.faults.fail_puts.fetch_add(count, Ordering::AcqRel);
+    }
+
+    /// Clears any armed fault budgets (cumulative failure counters are kept).
+    pub fn clear_faults(&self) {
+        self.faults.fail_gets.store(0, Ordering::Release);
+        self.faults.fail_puts.store(0, Ordering::Release);
+    }
+
+    /// Total `(get, put)` operations failed by injected faults so far.
+    pub fn injected_failures(&self) -> (u64, u64) {
+        (
+            self.faults.injected_get_failures.load(Ordering::Acquire),
+            self.faults.injected_put_failures.load(Ordering::Acquire),
+        )
     }
 
     /// Simulates per-fetch network latency: every [`get`](Self::get) sleeps
@@ -97,6 +154,28 @@ impl TectonicSim {
         self.nodes
     }
 
+    /// Stores a blob under `path` like [`put`](Self::put), but subject to
+    /// injected transient faults: if a [`fail_next_puts`](Self::fail_next_puts)
+    /// budget is armed, the call consumes one unit and fails without touching
+    /// the store. The storage-facing retry paths (ETL landing) call this.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StorageError::Injected`] when an armed fault fires.
+    pub fn try_put(&self, path: &str, bytes: &[u8]) -> Result<()> {
+        if FaultState::consume(&self.faults.fail_puts) {
+            self.faults
+                .injected_put_failures
+                .fetch_add(1, Ordering::AcqRel);
+            return Err(StorageError::Injected {
+                op: "put",
+                path: path.to_string(),
+            });
+        }
+        self.put(path, bytes.to_vec());
+        Ok(())
+    }
+
     /// Stores a blob under `path`, replacing any previous blob at that path.
     pub fn put(&self, path: &str, bytes: Vec<u8>) {
         let node = (recd_codec::hash_bytes(path.as_bytes()) % self.nodes as u64) as usize;
@@ -114,8 +193,19 @@ impl TectonicSim {
     ///
     /// # Errors
     ///
-    /// Returns [`StorageError::NotFound`] if no blob exists at `path`.
+    /// Returns [`StorageError::NotFound`] if no blob exists at `path`, or
+    /// [`StorageError::Injected`] when an armed transient fault fires (the
+    /// blob is intact; the caller should retry).
     pub fn get(&self, path: &str) -> Result<Arc<Vec<u8>>> {
+        if FaultState::consume(&self.faults.fail_gets) {
+            self.faults
+                .injected_get_failures
+                .fetch_add(1, Ordering::AcqRel);
+            return Err(StorageError::Injected {
+                op: "get",
+                path: path.to_string(),
+            });
+        }
         let blob = {
             let mut inner = self.inner.write();
             let blob = inner
@@ -159,6 +249,10 @@ impl TectonicSim {
             read_bytes: inner.read_bytes,
             put_ops: inner.put_ops,
             put_bytes: inner.put_bytes,
+            injected_get_failures: self.faults.injected_get_failures.load(Ordering::Acquire)
+                as usize,
+            injected_put_failures: self.faults.injected_put_failures.load(Ordering::Acquire)
+                as usize,
         }
     }
 
@@ -220,6 +314,18 @@ impl recd_obs::Collector for TectonicSim {
             "Storage nodes backing the simulated blob store.",
             &[],
             self.node_count() as f64,
+        );
+        out.counter(
+            "recd_storage_injected_failures_total",
+            "Operations failed by chaos-injected transient faults.",
+            &[("op", "get")],
+            stats.injected_get_failures as f64,
+        );
+        out.counter(
+            "recd_storage_injected_failures_total",
+            "Operations failed by chaos-injected transient faults.",
+            &[("op", "put")],
+            stats.injected_put_failures as f64,
         );
     }
 }
@@ -308,6 +414,80 @@ mod tests {
     #[should_panic(expected = "at least one node")]
     fn zero_nodes_panics() {
         TectonicSim::new(0);
+    }
+
+    #[test]
+    fn injected_get_faults_fire_exactly_n_times_and_are_shared() {
+        let store = TectonicSim::new(2);
+        store.put("a", vec![1, 2]);
+        let clone = store.clone();
+        clone.fail_next_gets(2);
+        assert!(matches!(
+            store.get("a"),
+            Err(StorageError::Injected { op: "get", .. })
+        ));
+        assert!(store.get("a").unwrap_err().is_transient());
+        // Budget exhausted: the blob is intact and reads succeed again.
+        assert_eq!(store.get("a").unwrap().as_slice(), &[1, 2]);
+        assert_eq!(store.injected_failures(), (2, 0));
+        assert_eq!(store.stats().injected_get_failures, 2);
+    }
+
+    #[test]
+    fn injected_put_faults_spare_the_infallible_path() {
+        let store = TectonicSim::new(1);
+        store.fail_next_puts(1);
+        // The infallible path never consumes a fault budget.
+        store.put("safe", vec![9]);
+        assert!(matches!(
+            store.try_put("blocked", &[1]),
+            Err(StorageError::Injected { op: "put", .. })
+        ));
+        assert!(store.get("blocked").is_err());
+        // Retry succeeds once the budget is spent.
+        store.try_put("blocked", &[1]).unwrap();
+        assert_eq!(store.get("blocked").unwrap().as_slice(), &[1]);
+        assert_eq!(store.injected_failures(), (0, 1));
+    }
+
+    #[test]
+    fn clear_faults_disarms_pending_budgets() {
+        let store = TectonicSim::new(1);
+        store.put("a", vec![1]);
+        store.fail_next_gets(10);
+        store.fail_next_puts(10);
+        store.clear_faults();
+        assert!(store.get("a").is_ok());
+        assert!(store.try_put("b", &[2]).is_ok());
+        assert_eq!(store.injected_failures(), (0, 0));
+    }
+
+    #[test]
+    fn collector_exports_injected_failure_counters() {
+        use recd_obs::{sample_value, Collector, MetricsBuf};
+        let store = TectonicSim::new(1);
+        store.put("a", vec![1]);
+        store.fail_next_gets(1);
+        let _ = store.get("a");
+        let mut buf = MetricsBuf::new();
+        store.collect(&mut buf);
+        let families = buf.into_families();
+        assert_eq!(
+            sample_value(
+                &families,
+                "recd_storage_injected_failures_total",
+                &[("op", "get")]
+            ),
+            Some(1.0)
+        );
+        assert_eq!(
+            sample_value(
+                &families,
+                "recd_storage_injected_failures_total",
+                &[("op", "put")]
+            ),
+            Some(0.0)
+        );
     }
 
     #[test]

@@ -71,6 +71,19 @@ ratio() {
   awk -v a="$1" -v b="$2" 'BEGIN { if (b > 0) printf "%.2f", a / b; else printf "0" }'
 }
 
+# Sustained end-to-end throughput of the continuous pipeline (tail -> ETL ->
+# DPP -> trainer fan-out), lifted from the CLI's machine-parseable derived
+# line. Guarded by the gate as higher-is-better.
+echo "running continuous end-to-end throughput probe..." >&2
+continuous_rps=$(cargo run --release -q -p recd-dpp --bin recd-dpp -- \
+  --tail --trainers 2 --assign least --quiet 2>>"$bench_log" \
+  | awk '/^derived continuous_records_per_second / { print $3 }')
+if [ -z "$continuous_rps" ]; then
+  echo "bench_snapshot: continuous probe printed no 'derived continuous_records_per_second' line" >&2
+  tail -20 "$bench_log" >&2
+  exit 1
+fi
+
 convert_row=$(mean_ns "datagen_convert_512/rowwise")
 convert_col=$(mean_ns "datagen_convert_512/columnar")
 fill_row=$(mean_ns "pipeline_fill_convert/rowwise")
@@ -106,7 +119,8 @@ fi
   echo "    \"dpp_fanout_speedup_trainers4_vs_1\": $(ratio "$fanout_1" "$fanout_4"),"
   echo "    \"dpp_scaleup_first_grow_ms\": $(awk -v ns="$scaleup" 'BEGIN { printf "%.2f", ns / 1e6 }'),"
   echo "    \"etl_stream_tail_to_trainer_ms\": $(awk -v ns="$tail_to_trainer" 'BEGIN { printf "%.2f", ns / 1e6 }'),"
-  echo "    \"etl_stream_seal_to_ingest_ms\": $(awk -v ns="$seal_to_ingest" 'BEGIN { printf "%.2f", ns / 1e6 }')"
+  echo "    \"etl_stream_seal_to_ingest_ms\": $(awk -v ns="$seal_to_ingest" 'BEGIN { printf "%.2f", ns / 1e6 }'),"
+  echo "    \"continuous_records_per_second\": $continuous_rps"
   echo '  },'
   echo '  "benches": ['
   normalize | awk '{
