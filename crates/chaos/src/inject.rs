@@ -28,6 +28,24 @@ pub enum FaultAction {
     /// Discard the ETL pump's in-memory state and resume from the latest
     /// checkpoint.
     CrashEtlPump,
+    /// Tear down DPP host `host` and stop its heartbeats.
+    KillHost {
+        /// Fleet host index.
+        host: usize,
+    },
+    /// Suppress host `host`'s heartbeats (and queue its submissions) for
+    /// `ms` of pipeline-clock time.
+    PartitionHost {
+        /// Fleet host index.
+        host: usize,
+        /// Partition duration in pipeline-clock milliseconds.
+        ms: u64,
+    },
+    /// Restart dead host `host` from the coordinator's last checkpoint.
+    RejoinHost {
+        /// Fleet host index.
+        host: usize,
+    },
 }
 
 /// Shared chaos accounting: fault firings by kind, retry/backoff totals from
@@ -35,7 +53,7 @@ pub enum FaultAction {
 /// through the `recd-obs` Collector plane as `recd_chaos_*`.
 #[derive(Debug, Default)]
 pub struct ChaosCounters {
-    fired: [AtomicU64; 6],
+    fired: [AtomicU64; 9],
     retries: AtomicU64,
     retry_exhausted: AtomicU64,
     backoff_nanos: AtomicU64,
@@ -285,6 +303,15 @@ impl FaultInjector {
                     actions.push(FaultAction::KillTrainer { lane });
                 }
                 FaultKind::CrashEtlPump => actions.push(FaultAction::CrashEtlPump),
+                FaultKind::KillHost { host } => {
+                    actions.push(FaultAction::KillHost { host });
+                }
+                FaultKind::PartitionHost { host, ms } => {
+                    actions.push(FaultAction::PartitionHost { host, ms });
+                }
+                FaultKind::RejoinHost { host } => {
+                    actions.push(FaultAction::RejoinHost { host });
+                }
             }
         }
         actions
@@ -353,6 +380,28 @@ mod tests {
         assert!(injector.done());
         // A later poll fires nothing further.
         assert!(injector.poll(2_000).is_empty());
+    }
+
+    #[test]
+    fn host_faults_surface_as_actions_in_order() {
+        let store = TectonicSim::new(1);
+        let plan = FaultPlan::new()
+            .with_fault(300, FaultKind::RejoinHost { host: 1 })
+            .with_fault(100, FaultKind::KillHost { host: 1 })
+            .with_fault(200, FaultKind::PartitionHost { host: 0, ms: 50 });
+        let mut injector = FaultInjector::new(&plan, store);
+        let actions = injector.poll(1_000);
+        assert_eq!(
+            actions,
+            vec![
+                FaultAction::KillHost { host: 1 },
+                FaultAction::PartitionHost { host: 0, ms: 50 },
+                FaultAction::RejoinHost { host: 1 },
+            ]
+        );
+        let report = injector.finish();
+        assert_eq!(report.faults_fired, 3);
+        assert_eq!(report.faults_by_kind.len(), 3);
     }
 
     #[test]

@@ -4,8 +4,9 @@
 //! RecD pipeline.
 //!
 //! The paper's production setting is hostile: trainers stall and die, storage
-//! browns out, and the ETL pump restarts mid-hour — yet training must resume
-//! without losing or double-delivering a sample. This crate supplies the
+//! browns out, DPP hosts crash or partition from the control plane, and the
+//! ETL pump restarts mid-hour — yet training must resume without losing or
+//! double-delivering a sample. This crate supplies the
 //! *schedule* side of that story; the checkpoint/resume side lives with each
 //! tier (`EtlService::checkpoint`/`resume_from`, `DppService::resume`), and
 //! the deterministic replay harness is the oracle that any fault schedule

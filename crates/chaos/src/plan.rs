@@ -45,6 +45,31 @@ pub enum FaultKind {
     /// rebuilt from the most recent checkpoint, replaying the log tail from
     /// the checkpointed cursor.
     CrashEtlPump,
+    /// Kill DPP host `host`: its service tears down and its heartbeats stop.
+    /// The fleet coordinator must detect the death via heartbeat timeout and
+    /// re-place the host's shards with bounded replay.
+    KillHost {
+        /// Fleet host index.
+        host: usize,
+    },
+    /// Partition DPP host `host` from the control plane for `ms` of
+    /// pipeline-clock time: the host keeps computing but its heartbeats are
+    /// suppressed and new submissions to it queue. Healing before the
+    /// detection window elapses is a flap; healing after is a zombie whose
+    /// late deliveries the fleet must deduplicate.
+    PartitionHost {
+        /// Fleet host index.
+        host: usize,
+        /// Partition duration in pipeline-clock milliseconds.
+        ms: u64,
+    },
+    /// Rejoin previously dead host `host`: a fresh service resumes from the
+    /// coordinator's last checkpoint for that slot and becomes eligible for
+    /// rebalanced shards.
+    RejoinHost {
+        /// Fleet host index.
+        host: usize,
+    },
 }
 
 impl FaultKind {
@@ -58,6 +83,9 @@ impl FaultKind {
             FaultKind::FailGet { .. } => "fail_get",
             FaultKind::FailPut { .. } => "fail_put",
             FaultKind::CrashEtlPump => "crash_etl_pump",
+            FaultKind::KillHost { .. } => "kill_host",
+            FaultKind::PartitionHost { .. } => "partition_host",
+            FaultKind::RejoinHost { .. } => "rejoin_host",
         }
     }
 
@@ -71,6 +99,9 @@ impl FaultKind {
             "fail_get",
             "fail_put",
             "crash_etl_pump",
+            "kill_host",
+            "partition_host",
+            "rejoin_host",
         ]
     }
 }
@@ -84,6 +115,9 @@ impl fmt::Display for FaultKind {
             FaultKind::FailGet { count } => write!(f, "fail-get:{count}"),
             FaultKind::FailPut { count } => write!(f, "fail-put:{count}"),
             FaultKind::CrashEtlPump => write!(f, "crash-pump"),
+            FaultKind::KillHost { host } => write!(f, "kill-host:{host}"),
+            FaultKind::PartitionHost { host, ms } => write!(f, "partition-host:{host}:{ms}"),
+            FaultKind::RejoinHost { host } => write!(f, "rejoin-host:{host}"),
         }
     }
 }
@@ -120,6 +154,13 @@ impl fmt::Display for ScheduledFault {
 /// | `T:fail-get:COUNT`           | [`FaultKind::FailGet`]                    |
 /// | `T:fail-put:COUNT`           | [`FaultKind::FailPut`]                    |
 /// | `T:crash-pump`               | [`FaultKind::CrashEtlPump`]               |
+/// | `T:kill-host:HOST`           | [`FaultKind::KillHost`]                   |
+/// | `T:partition-host:HOST:MS`   | [`FaultKind::PartitionHost`]              |
+/// | `T:rejoin-host:HOST`         | [`FaultKind::RejoinHost`]                 |
+///
+/// Duplicate entries — the same `at_ms` with the same fault kind — are
+/// rejected loudly: a plan that schedules the "same" fault twice at one
+/// instant is almost always a typo, and last-wins silence would hide it.
 #[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
 pub struct FaultPlan {
     /// Seed the plan was generated from (0 for hand-written plans); recorded
@@ -223,6 +264,129 @@ impl FaultPlan {
         plan
     }
 
+    /// Generates a deterministic plan that deliberately fires **concurrent**
+    /// faults: a storage brown-out, a transient get burst, and a put burst
+    /// all at one instant, and — with more than one lane — a trainer stall
+    /// sharing a second instant with a pump crash. [`FaultPlan::seeded`]
+    /// scatters one fault of each kind and therefore never overlaps them;
+    /// this mode exists so fault *interaction* (not just each fault in
+    /// isolation) is exercised. Deterministic in `(seed, horizon_ms, lanes)`.
+    pub fn seeded_overlapping(seed: u64, horizon_ms: u64, lanes: usize) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x07E2_14AF);
+        let span = horizon_ms.max(10);
+        let at = |rng: &mut StdRng| rng.gen_range(span / 10..span.saturating_sub(span / 10));
+        let mut plan = Self {
+            seed,
+            faults: Vec::new(),
+        };
+        // First concurrent cluster: every storage-level fault at one instant.
+        let burst_at = at(&mut rng);
+        plan.faults.push(ScheduledFault {
+            at_ms: burst_at,
+            kind: FaultKind::SlowStorage {
+                factor: rng.gen_range(4u32..16),
+                ms: span / rng.gen_range(8u64..16),
+            },
+        });
+        plan.faults.push(ScheduledFault {
+            at_ms: burst_at,
+            kind: FaultKind::FailGet {
+                count: rng.gen_range(2u64..8),
+            },
+        });
+        plan.faults.push(ScheduledFault {
+            at_ms: burst_at,
+            kind: FaultKind::FailPut {
+                count: rng.gen_range(1u64..4),
+            },
+        });
+        // Second concurrent cluster: a consumer-side stall racing a pump
+        // crash-restart.
+        let clash_at = at(&mut rng);
+        if lanes > 1 {
+            plan.faults.push(ScheduledFault {
+                at_ms: clash_at,
+                kind: FaultKind::StallTrainer {
+                    lane: rng.gen_range(0..lanes),
+                    ms: rng.gen_range(5u64..25),
+                },
+            });
+        }
+        plan.faults.push(ScheduledFault {
+            at_ms: clash_at,
+            kind: FaultKind::CrashEtlPump,
+        });
+        plan
+    }
+
+    /// Generates a deterministic host-level plan for an M-host fleet: one
+    /// host is killed and later rejoined, another is partitioned from the
+    /// control plane, with a storage brown-out, a transient get burst, and —
+    /// with more than one lane — a trainer stall riding along. The kill
+    /// always precedes the rejoin by at least a fifth of the horizon so the
+    /// death has time to be detected between them. Falls back to
+    /// [`FaultPlan::seeded`] when `hosts < 2` (killing the only host would
+    /// strand the stream by construction). Deterministic in
+    /// `(seed, horizon_ms, lanes, hosts)`.
+    pub fn seeded_fleet(seed: u64, horizon_ms: u64, lanes: usize, hosts: usize) -> Self {
+        if hosts < 2 {
+            return Self::seeded(seed, horizon_ms, lanes);
+        }
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xF1EE_7C4A);
+        let span = horizon_ms.max(100);
+        let mut plan = Self {
+            seed,
+            faults: Vec::new(),
+        };
+        // The killed and partitioned hosts are distinct, so at least one
+        // host stays reachable throughout.
+        let killed = rng.gen_range(0..hosts);
+        let partitioned = (killed + 1 + rng.gen_range(0..hosts - 1)) % hosts;
+        let kill_at = rng.gen_range(span / 5..(2 * span) / 5);
+        let rejoin_at = rng.gen_range((3 * span) / 5..(4 * span) / 5);
+        plan.faults.push(ScheduledFault {
+            at_ms: kill_at,
+            kind: FaultKind::KillHost { host: killed },
+        });
+        plan.faults.push(ScheduledFault {
+            at_ms: rng.gen_range(span / 4..span / 2),
+            kind: FaultKind::PartitionHost {
+                host: partitioned,
+                ms: span / rng.gen_range(6u64..12),
+            },
+        });
+        plan.faults.push(ScheduledFault {
+            at_ms: rejoin_at,
+            kind: FaultKind::RejoinHost { host: killed },
+        });
+        plan.faults.push(ScheduledFault {
+            at_ms: rng.gen_range(span / 10..(9 * span) / 10),
+            kind: FaultKind::SlowStorage {
+                factor: rng.gen_range(4u32..12),
+                ms: span / rng.gen_range(8u64..16),
+            },
+        });
+        plan.faults.push(ScheduledFault {
+            at_ms: rng.gen_range(span / 10..(9 * span) / 10),
+            kind: FaultKind::FailGet {
+                count: rng.gen_range(2u64..6),
+            },
+        });
+        if lanes > 1 {
+            // No kill-trainer here: fleet lanes are pinned stable slices of
+            // the shard space, so killing one would drop its shards' batches
+            // by construction. A stall only delays.
+            plan.faults.push(ScheduledFault {
+                at_ms: rng.gen_range(span / 10..(9 * span) / 10),
+                kind: FaultKind::StallTrainer {
+                    lane: rng.gen_range(0..lanes),
+                    ms: rng.gen_range(5u64..25),
+                },
+            });
+        }
+        plan
+    }
+
     /// Parses the `--chaos-plan` grammar (see the type docs).
     ///
     /// # Errors
@@ -230,6 +394,7 @@ impl FaultPlan {
     /// Returns a human-readable message naming the offending entry.
     pub fn parse(spec: &str) -> Result<Self, String> {
         let mut plan = Self::new();
+        let mut seen: std::collections::HashSet<(u64, &'static str)> = Default::default();
         for entry in spec.split(';') {
             let entry = entry.trim();
             if entry.is_empty() {
@@ -264,15 +429,34 @@ impl FaultPlan {
                     count: parse_u64(parts[2], "count")?,
                 },
                 ("crash-pump", 2) => FaultKind::CrashEtlPump,
+                ("kill-host", 3) => FaultKind::KillHost {
+                    host: parse_u64(parts[2], "host")? as usize,
+                },
+                ("partition-host", 4) => FaultKind::PartitionHost {
+                    host: parse_u64(parts[2], "host")? as usize,
+                    ms: parse_u64(parts[3], "partition ms")?,
+                },
+                ("rejoin-host", 3) => FaultKind::RejoinHost {
+                    host: parse_u64(parts[2], "host")? as usize,
+                },
                 (kind, _) => {
                     return Err(format!(
                         "`{entry}`: unknown fault `{kind}` or wrong arity \
                          (stall-trainer:LANE:MS | kill-trainer:LANE | \
                          slow-storage:FACTOR:MS | fail-get:COUNT | \
-                         fail-put:COUNT | crash-pump)"
+                         fail-put:COUNT | crash-pump | kill-host:HOST | \
+                         partition-host:HOST:MS | rejoin-host:HOST)"
                     ))
                 }
             };
+            if !seen.insert((at_ms, kind.name())) {
+                return Err(format!(
+                    "`{entry}`: duplicate `{at_ms}:{}` — an entry with the same \
+                     fire time and fault kind was already scheduled; duplicates \
+                     are rejected instead of silently overwriting",
+                    kind.name()
+                ));
+            }
             plan.faults.push(ScheduledFault { at_ms, kind });
         }
         Ok(plan)
@@ -300,9 +484,10 @@ mod tests {
     #[test]
     fn grammar_round_trips_through_display() {
         let spec = "1000:stall-trainer:2:50;2000:kill-trainer:1;3000:slow-storage:8:600;\
-                    4000:fail-get:5;5000:fail-put:2;6000:crash-pump";
+                    4000:fail-get:5;5000:fail-put:2;6000:crash-pump;\
+                    7000:kill-host:1;8000:partition-host:2:4000;9000:rejoin-host:1";
         let plan = FaultPlan::parse(spec).unwrap();
-        assert_eq!(plan.len(), 6);
+        assert_eq!(plan.len(), 9);
         assert_eq!(plan.to_string(), spec);
         assert_eq!(FaultPlan::parse(&plan.to_string()).unwrap(), plan);
     }
@@ -316,12 +501,107 @@ mod tests {
             "1000:kill-trainer:one",
             "x:crash-pump",
             "1000:slow-storage:8",
+            "1000:kill-host",
+            "1000:partition-host:2",
+            "1000:rejoin-host:0:9",
         ] {
             assert!(FaultPlan::parse(bad).is_err(), "`{bad}` should not parse");
         }
         // Empty entries and surrounding whitespace are tolerated.
         let plan = FaultPlan::parse(" 5:crash-pump ; ;").unwrap();
         assert_eq!(plan.len(), 1);
+    }
+
+    #[test]
+    fn parse_rejects_duplicate_at_ms_kind_entries_loudly() {
+        let err = FaultPlan::parse("1000:crash-pump;1000:crash-pump").unwrap_err();
+        assert!(
+            err.contains("duplicate"),
+            "error must name the problem: {err}"
+        );
+        assert!(
+            err.contains("1000:crash_etl_pump"),
+            "error names the entry: {err}"
+        );
+        // Same kind with different *arguments* at the same instant is still a
+        // duplicate (the kind name collides)...
+        assert!(FaultPlan::parse("500:fail-get:2;500:fail-get:7").is_err());
+        // ...but the same instant with different kinds is a legal overlap,
+        // and the same kind at different instants is a legal repeat.
+        assert!(FaultPlan::parse("500:fail-get:2;500:fail-put:2").is_ok());
+        assert!(FaultPlan::parse("500:crash-pump;900:crash-pump").is_ok());
+    }
+
+    #[test]
+    fn seeded_overlapping_schedules_concurrent_faults() {
+        let a = FaultPlan::seeded_overlapping(7, 3_600_000, 3);
+        assert_eq!(a, FaultPlan::seeded_overlapping(7, 3_600_000, 3));
+        assert_ne!(a, FaultPlan::seeded_overlapping(8, 3_600_000, 3));
+        // At least one instant carries two or more distinct faults — the
+        // property plain `seeded` never has.
+        let mut by_instant = std::collections::HashMap::new();
+        for f in a.faults() {
+            *by_instant.entry(f.at_ms).or_insert(0usize) += 1;
+        }
+        assert!(
+            by_instant.values().any(|&n| n >= 2),
+            "overlap mode must fire concurrent faults: {a}"
+        );
+        let plain = FaultPlan::seeded(7, 3_600_000, 3);
+        let mut plain_instants = std::collections::HashSet::new();
+        assert!(
+            plain
+                .faults()
+                .iter()
+                .all(|f| plain_instants.insert(f.at_ms)),
+            "plain seeded plans scatter; if this starts overlapping, \
+             seeded_overlapping is no longer the distinguishing mode"
+        );
+    }
+
+    #[test]
+    fn seeded_fleet_plans_kill_then_rejoin_with_margin() {
+        for seed in [1u64, 7, 42] {
+            let plan = FaultPlan::seeded_fleet(seed, 3_600_000, 2, 4);
+            assert_eq!(plan, FaultPlan::seeded_fleet(seed, 3_600_000, 2, 4));
+            let kill = plan
+                .faults()
+                .iter()
+                .find(|f| matches!(f.kind, FaultKind::KillHost { .. }))
+                .expect("fleet plan kills a host");
+            let rejoin = plan
+                .faults()
+                .iter()
+                .find(|f| matches!(f.kind, FaultKind::RejoinHost { .. }))
+                .expect("fleet plan rejoins the killed host");
+            let FaultKind::KillHost { host: killed } = kill.kind else {
+                unreachable!()
+            };
+            assert!(matches!(rejoin.kind, FaultKind::RejoinHost { host } if host == killed));
+            assert!(
+                rejoin.at_ms >= kill.at_ms + 3_600_000 / 5,
+                "rejoin must trail the kill by a detection margin"
+            );
+            let FaultKind::PartitionHost { host: parted, .. } = plan
+                .faults()
+                .iter()
+                .find(|f| matches!(f.kind, FaultKind::PartitionHost { .. }))
+                .expect("fleet plan partitions a host")
+                .kind
+            else {
+                unreachable!()
+            };
+            assert_ne!(parted, killed, "kill and partition target distinct hosts");
+            assert!(plan
+                .faults()
+                .iter()
+                .all(|f| !matches!(f.kind, FaultKind::KillTrainer { .. })));
+        }
+        // Degenerate fleets fall back to the host-free plan.
+        assert_eq!(
+            FaultPlan::seeded_fleet(7, 3_600_000, 2, 1),
+            FaultPlan::seeded(7, 3_600_000, 2)
+        );
     }
 
     #[test]

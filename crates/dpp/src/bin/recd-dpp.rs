@@ -10,9 +10,18 @@
 //!          [--tail] [--tail-rate N] [--tail-jitter-ms N]
 //!          [--tail-late-frac F] [--tail-late-ms N] [--tail-window-ms N]
 //!          [--tail-seal-rows N] [--tail-seed N]
+//!          [--hosts M] [--heartbeat-ms N] [--rebalance on|off]
+//!          [--chaos-seed N | --chaos-plan SPEC]
 //!          [--metrics-port N] [--scrape-once]
 //!          [--quiet]
 //! ```
+//!
+//! With `--hosts M` (requires `--tail`) the DPP tier is disaggregated over
+//! `M` simulated hosts behind the fault-tolerant control plane: the
+//! coordinator owns the file → shard placement, heartbeats every host on
+//! the pump clock, heals `kill-host`/`partition-host`/`rejoin-host` chaos
+//! faults with bounded replay, and federates every host's metrics registry
+//! into the shared `/metrics` endpoint under `host="h<i>"` labels.
 //!
 //! By default the dataset is batch-landed up front and submitted whole. With
 //! `--tail` the CLI instead runs the *continuous* pipeline: a jittered,
@@ -28,17 +37,20 @@
 //! (port `0` picks an ephemeral one), and a [`MetricsAggregator`] polls the
 //! registry in the background to print a derived-rates report at the end.
 
-use recd_chaos::{FaultAction, FaultInjector, FaultPlan, RetryPolicy};
+use recd_chaos::ChaosReport;
+use recd_chaos::{FaultAction, FaultInjector, FaultKind, FaultPlan, RetryPolicy};
 use recd_core::{ConvertedBatch, DataLoaderConfig};
 use recd_datagen::{DatasetGenerator, WorkloadConfig, WorkloadPreset};
 use recd_dpp::{
-    BatchPool, DppConfig, DppService, RecvTimeout, ScalerConfig, ShardPolicy, TrainerAssignPolicy,
-    TrainerHandle,
+    BatchPool, DppConfig, DppFleet, DppReport, DppService, FleetConfig, RecvTimeout, ScalerConfig,
+    ShardPolicy, TrainerAssignPolicy, TrainerHandle,
 };
-use recd_etl::{cluster_by_session, EtlService, EtlStreamConfig, ManualClock, TableLayout};
+use recd_etl::{
+    cluster_by_session, EtlService, EtlServiceReport, EtlStreamConfig, ManualClock, TableLayout,
+};
 use recd_obs::{
     sample_value, AggregatorConfig, Collector, MetricFamily, MetricsAggregator, MetricsRegistry,
-    MetricsServer, SampleValue, ScaleClock, WallClock,
+    MetricsServer, RegistryFederation, SampleValue, ScaleClock, WallClock,
 };
 use recd_reader::{PreprocessPipeline, ReaderConfig};
 use recd_scribe::{LogTail, TailConfig};
@@ -68,6 +80,9 @@ struct Args {
     tail_window_ms: u64,
     tail_seal_rows: Option<usize>,
     tail_seed: u64,
+    hosts: usize,
+    heartbeat_ms: u64,
+    rebalance: bool,
     chaos_seed: Option<u64>,
     chaos_plan: Option<String>,
     metrics_port: Option<u16>,
@@ -97,6 +112,9 @@ fn parse_args() -> Result<Args, String> {
         tail_window_ms: 30_000,
         tail_seal_rows: None,
         tail_seed: 0,
+        hosts: 0,
+        heartbeat_ms: 120_000,
+        rebalance: true,
         chaos_seed: None,
         chaos_plan: None,
         metrics_port: None,
@@ -221,6 +239,23 @@ fn parse_args() -> Result<Args, String> {
                     .parse()
                     .map_err(|e| format!("--tail-seed: {e}"))?
             }
+            "--hosts" => {
+                args.hosts = value("--hosts")?
+                    .parse()
+                    .map_err(|e| format!("--hosts: {e}"))?
+            }
+            "--heartbeat-ms" => {
+                args.heartbeat_ms = value("--heartbeat-ms")?
+                    .parse()
+                    .map_err(|e| format!("--heartbeat-ms: {e}"))?
+            }
+            "--rebalance" => {
+                args.rebalance = match value("--rebalance")?.as_str() {
+                    "on" => true,
+                    "off" => false,
+                    other => return Err(format!("unknown rebalance mode '{other}' (on|off)")),
+                }
+            }
             "--chaos-seed" => {
                 args.chaos_seed = Some(
                     value("--chaos-seed")?
@@ -263,6 +298,13 @@ fn parse_args() -> Result<Args, String> {
                      \n  --tail-window-ms N       ETL out-of-order window (default 30000)\
                      \n  --tail-seal-rows N       seal an open hour early at N rows\
                      \n  --tail-seed N            arrival-process seed (default 0)\
+                     \n  --hosts M                disaggregate the DPP tier over M simulated hosts\
+                     \n                           behind the fault-tolerant control plane (requires\
+                     \n                           --tail; default 0 = single in-process service)\
+                     \n  --heartbeat-ms N         fleet heartbeat timeout: a host silent strictly\
+                     \n                           longer than this is declared dead (default 120000)\
+                     \n  --rebalance on|off       work-stealing shard rebalance at every barrier\
+                     \n                           (default on)\
                      \n  --chaos-seed N           run a seeded fault plan against the continuous\
                      \n                           pipeline (requires --tail): storage brown-out,\
                      \n                           transient get/put failures, trainer kill+stall\
@@ -271,7 +313,9 @@ fn parse_args() -> Result<Args, String> {
                      \n                           semicolon-separated at_ms:kind[:args] entries:\
                      \n                           stall-trainer:LANE:MS | kill-trainer:LANE |\
                      \n                           slow-storage:FACTOR:MS | fail-get:COUNT |\
-                     \n                           fail-put:COUNT | crash-pump\
+                     \n                           fail-put:COUNT | crash-pump | kill-host:HOST |\
+                     \n                           partition-host:HOST:MS | rejoin-host:HOST\
+                     \n                           (host faults require --hosts > 1)\
                      \n  --metrics-port N         serve GET /metrics (Prometheus text format) on\
                      \n                           127.0.0.1:N while running (0 = ephemeral port)\
                      \n  --scrape-once            self-scrape /metrics once before shutdown and\
@@ -295,7 +339,41 @@ fn parse_args() -> Result<Args, String> {
     if args.chaos_seed.is_some() && args.chaos_plan.is_some() {
         return Err("--chaos-seed and --chaos-plan are mutually exclusive".to_string());
     }
+    if args.hosts > 0 && !args.tail {
+        return Err(
+            "--hosts requires --tail (the fleet's heartbeats ride the continuous pump clock)"
+                .to_string(),
+        );
+    }
     Ok(args)
+}
+
+/// Rejects fault plans that name fleet hosts this invocation does not have.
+/// A host fault in single-service mode would be a silent no-op, and an
+/// out-of-range host index can never fire — both are operator error, so both
+/// exit 2 up front instead of quietly running a faultless plan.
+fn validate_host_faults(plan: &FaultPlan, hosts: usize) {
+    for fault in plan.faults() {
+        let target = match fault.kind {
+            FaultKind::KillHost { host }
+            | FaultKind::PartitionHost { host, .. }
+            | FaultKind::RejoinHost { host } => host,
+            _ => continue,
+        };
+        if hosts < 2 {
+            eprintln!(
+                "recd-dpp: --chaos-plan: `{fault}` is a host fault; host faults require --hosts > 1"
+            );
+            std::process::exit(2);
+        }
+        if target >= hosts {
+            eprintln!(
+                "recd-dpp: --chaos-plan: `{fault}` names host {target}, but --hosts {hosts} \
+                 only has hosts 0..{hosts}"
+            );
+            std::process::exit(2);
+        }
+    }
 }
 
 /// Renders one live-monitor line from gathered metric families — the single
@@ -331,8 +409,19 @@ fn live_line(families: &[MetricFamily]) -> String {
     } else {
         String::new()
     };
+    let fleet_part = if families.iter().any(|f| f.name == "recd_fleet_hosts_live") {
+        format!(
+            "  fleet {}/{} live fwd={} dup={}",
+            v("recd_fleet_hosts_live", &[]) as u64,
+            v("recd_fleet_hosts_total", &[]) as u64,
+            v("recd_fleet_forwarded_batches_total", &[]) as u64,
+            v("recd_fleet_duplicate_batches_dropped_total", &[]) as u64,
+        )
+    } else {
+        String::new()
+    };
     format!(
-        "  [{:6.2}s] {:>8} samples  {:>9.0} samples/s  dedup {:>5.2}x  queues fill={} route={} work={} out={}  workers {}f/{}c{}{}",
+        "  [{:6.2}s] {:>8} samples  {:>9.0} samples/s  dedup {:>5.2}x  queues fill={} route={} work={} out={}  workers {}f/{}c{}{}{}",
         v("recd_dpp_uptime_seconds", &[]),
         v("recd_dpp_samples_out_total", &[]) as u64,
         v("recd_dpp_samples_per_second", &[]),
@@ -349,6 +438,7 @@ fn live_line(families: &[MetricFamily]) -> String {
             format!("  lanes [{}]", lanes.join(","))
         },
         etl_part,
+        fleet_part,
     )
 }
 
@@ -370,7 +460,10 @@ struct TrainerLane {
 }
 
 impl TrainerLane {
-    fn spawn(trainer: TrainerHandle, pool: Arc<BatchPool<ConvertedBatch>>) -> Self {
+    /// `pool` is the converted-shell pool batches recycle into; fleet lanes
+    /// pass `None` (their batches come from many hosts' pools, so shells are
+    /// simply dropped).
+    fn spawn(trainer: TrainerHandle, pool: Option<Arc<BatchPool<ConvertedBatch>>>) -> Self {
         let (cmd, cmd_rx) = std::sync::mpsc::channel::<LaneCmd>();
         let join = std::thread::spawn(move || {
             let id = trainer.id();
@@ -383,7 +476,9 @@ impl TrainerLane {
                         while let Some(item) = trainer.try_recv() {
                             batches += 1;
                             samples += item.batch.batch_size as u64;
-                            pool.recycle(item.batch);
+                            if let Some(pool) = &pool {
+                                pool.recycle(item.batch);
+                            }
                         }
                         drop(trainer);
                         let _ = ack.send(());
@@ -395,7 +490,9 @@ impl TrainerLane {
                     RecvTimeout::Item(item) => {
                         batches += 1;
                         samples += item.batch.batch_size as u64;
-                        pool.recycle(item.batch);
+                        if let Some(pool) = &pool {
+                            pool.recycle(item.batch);
+                        }
                     }
                     RecvTimeout::Timeout => {}
                     RecvTimeout::Disconnected => return (id, batches, samples),
@@ -429,6 +526,10 @@ fn main() {
             std::process::exit(2);
         }
     };
+    if args.hosts > 0 {
+        run_fleet(args);
+        return;
+    }
 
     // Dataset. Batch mode: generate, cluster by session (O2), land into the
     // table store up front. Tail mode: keep the raw log stream — the
@@ -473,10 +574,12 @@ fn main() {
         .chaos_plan
         .as_deref()
         .map(|spec| {
-            FaultPlan::parse(spec).unwrap_or_else(|message| {
+            let plan = FaultPlan::parse(spec).unwrap_or_else(|message| {
                 eprintln!("recd-dpp: --chaos-plan: {message}");
                 std::process::exit(2);
-            })
+            });
+            validate_host_faults(&plan, args.hosts);
+            plan
         })
         .or_else(|| {
             args.chaos_seed.map(|seed| {
@@ -639,7 +742,12 @@ fn main() {
     let mut lanes: Vec<Option<TrainerLane>> = handle
         .take_trainers()
         .into_iter()
-        .map(|trainer| Some(TrainerLane::spawn(trainer, Arc::clone(&converted_pool))))
+        .map(|trainer| {
+            Some(TrainerLane::spawn(
+                trainer,
+                Some(Arc::clone(&converted_pool)),
+            ))
+        })
         .collect();
     let mut killed: Vec<std::thread::JoinHandle<(usize, u64, u64)>> = Vec::new();
 
@@ -696,6 +804,12 @@ fn main() {
                                     }
                                 }
                             }
+                            // Host-level faults need a fleet; the
+                            // single-service path has no hosts to kill.
+                            // `run_fleet` handles them when --hosts > 0.
+                            FaultAction::KillHost { .. }
+                            | FaultAction::PartitionHost { .. }
+                            | FaultAction::RejoinHost { .. } => {}
                             FaultAction::CrashEtlPump => {
                                 let (policy, counters) =
                                     chaos_retry.as_ref().expect("chaos retry wired");
@@ -748,90 +862,11 @@ fn main() {
     }
 
     if let Some(out) = &etl_output {
-        let r = &out.report;
-        let c = r.etl.counters;
-        println!(
-            "\netl: {} records tailed -> {} joined samples, {} late drops, {} duplicates, {} orphans",
-            c.records,
-            c.joined_samples,
-            c.late_drops,
-            c.duplicates,
-            c.orphaned_features + c.orphaned_events,
-        );
-        println!(
-            "etl: {} partitions sealed ({} hour / {} size / {} finish), {} landed ({} stored bytes, {:.2}x compression), peak tail lag {:.0}s",
-            c.sealed_partitions,
-            c.hour_seals,
-            c.size_seals,
-            c.finish_seals,
-            r.landed_partitions,
-            r.storage.stored_bytes,
-            r.storage.compression_ratio(),
-            r.peak_tail_lag_ms as f64 / 1_000.0,
-        );
+        print_etl_summary(&out.report);
     }
 
     match result {
-        Ok(output) => {
-            let r = &output.report;
-            println!(
-                "\ndone in {:.3}s: {} batches, {} samples, {:.0} samples/s",
-                r.wall_seconds, r.batches, r.samples, r.samples_per_second
-            );
-            if r.partitions_ingested > 0 {
-                println!(
-                    "partitions ingested as they landed: {}",
-                    r.partitions_ingested
-                );
-            }
-            println!(
-                "dedup factor {:.2}x, egress {} bytes, peak queue depths: input={} filled={} work={} out={}",
-                r.dedupe_factor,
-                r.egress_bytes,
-                r.peak_input_queue_depth,
-                r.peak_filled_queue_depth,
-                r.peak_work_queue_depth,
-                r.peak_output_queue_depth,
-            );
-            let m = &r.reader_metrics;
-            let (fill, convert, process) = m.phase_fractions();
-            println!(
-                "phase CPU split: fill {:.0}% / convert {:.0}% / process {:.0}%",
-                fill * 100.0,
-                convert * 100.0,
-                process * 100.0
-            );
-            println!(
-                "batch pool: {:.1}% reuse ({} hits / {} misses), converted-shell pool: {} hits",
-                r.batch_pool.reuse_rate() * 100.0,
-                r.batch_pool.hits,
-                r.batch_pool.misses,
-                r.converted_pool.hits,
-            );
-            for lane in &r.trainers {
-                println!(
-                    "trainer {}: delivered {} batches / {} samples, peak lane depth {}",
-                    lane.trainer,
-                    lane.delivered_batches,
-                    lane.delivered_samples,
-                    lane.peak_queue_depth
-                );
-            }
-            if !r.scale_events.is_empty() {
-                println!(
-                    "scaling: peak {} fill / {} compute workers, {} events:",
-                    r.peak_fill_workers,
-                    r.peak_compute_workers,
-                    r.scale_events.len()
-                );
-                for event in &r.scale_events {
-                    println!(
-                        "  [{:6.2}s] {} {} -> {} (queue depth {})",
-                        event.at_seconds, event.pool, event.from, event.to, event.queue_depth
-                    );
-                }
-            }
-        }
+        Ok(output) => print_dpp_report(&output.report),
         Err(err) => {
             eprintln!("recd-dpp: {err}");
             std::process::exit(1);
@@ -839,22 +874,7 @@ fn main() {
     }
 
     if let Some(injector) = chaos.as_mut() {
-        let report = injector.finish();
-        println!(
-            "\nchaos: {}/{} faults fired (seed {}), {} injected get + {} put failures absorbed by \
-             {} retries ({} exhausted, {:.2}ms backoff), {} pump crashes / {} resumes ({:.2}ms recovery)",
-            report.faults_fired,
-            report.planned_faults,
-            report.seed,
-            report.injected_get_failures,
-            report.injected_put_failures,
-            report.retries,
-            report.retry_exhausted,
-            report.backoff_ms,
-            report.pump_crashes,
-            report.resumes,
-            report.recovery_ms,
-        );
+        print_chaos_summary(&injector.finish());
     }
     // Machine-parseable sustained end-to-end throughput over the whole run —
     // scripts/bench_snapshot.sh lifts this line into BENCH_pipeline.json.
@@ -885,4 +905,444 @@ fn main() {
     if let Some(server) = server {
         server.shutdown();
     }
+}
+
+/// Continuous mode over a disaggregated fleet: the same tail → streaming-ETL
+/// → land schedule as single-service `--tail`, but every landed partition is
+/// ingested by a [`DppFleet`] of `--hosts` simulated hosts behind the
+/// fault-tolerant control plane. Host faults (`kill-host`,
+/// `partition-host`, `rejoin-host`) route to the coordinator; every pump
+/// ends in a fleet-wide barrier so batch composition stays a pure function
+/// of the landing schedule; the per-host registries federate into the
+/// shared metrics endpoint under `host="h<i>"` labels.
+fn run_fleet(args: Args) {
+    let mut workload = WorkloadConfig::preset(args.preset);
+    if let Some(sessions) = args.sessions {
+        workload = workload.with_sessions(sessions);
+    }
+    let generator = DatasetGenerator::new(workload);
+    let store = Arc::new(TableStore::new(TectonicSim::new(8), 64, 2));
+    let (records, partition) = generator.generate_logs();
+    println!(
+        "dataset: tailing {} raw log records ({} samples once joined) into a {}-host fleet, jitter {}ms, seed {}",
+        records.len(),
+        partition.len(),
+        args.hosts,
+        args.tail_jitter_ms,
+        args.tail_seed,
+    );
+    let schema = partition.schema;
+
+    // Chaos engine: seeded plans use the fleet variant (host death, control-
+    // plane partition, rejoin) on top of the storage faults.
+    let mut chaos = args
+        .chaos_plan
+        .as_deref()
+        .map(|spec| {
+            let plan = FaultPlan::parse(spec).unwrap_or_else(|message| {
+                eprintln!("recd-dpp: --chaos-plan: {message}");
+                std::process::exit(2);
+            });
+            validate_host_faults(&plan, args.hosts);
+            plan
+        })
+        .or_else(|| {
+            args.chaos_seed.map(|seed| {
+                let horizon = records
+                    .iter()
+                    .map(|r| r.timestamp().as_millis())
+                    .max()
+                    .unwrap_or(0);
+                FaultPlan::seeded_fleet(seed, horizon, args.trainers, args.hosts)
+            })
+        })
+        .map(|plan| {
+            println!(
+                "chaos: {} faults scheduled (seed {}): {plan}",
+                plan.len(),
+                plan.seed
+            );
+            FaultInjector::new(&plan, store.blob_store().clone())
+        });
+    let chaos_retry = chaos
+        .as_ref()
+        .map(|injector| (RetryPolicy::storage_default(), injector.counters()));
+
+    // Host template: every host runs the full shard set; the coordinator
+    // routes each file to the host owning its shard.
+    let mut host_config = DppConfig::new(ReaderConfig::new(
+        args.batch_size,
+        DataLoaderConfig::from_schema(&schema),
+    ))
+    .with_fill_workers(args.fill_workers)
+    .with_compute_workers(args.compute_workers)
+    .with_shards(args.shards)
+    .with_queue_depth(args.queue_depth)
+    .with_policy(args.policy)
+    .with_pipeline_factory(|| PreprocessPipeline::standard(1 << 20, 64));
+    if let Some((policy, counters)) = &chaos_retry {
+        host_config = host_config.with_chaos_retry(*policy, Arc::clone(counters));
+    }
+    if args.min_workers.is_some() || args.max_workers.is_some() {
+        let min = args.min_workers.unwrap_or(1);
+        let max = args
+            .max_workers
+            .unwrap_or_else(|| min.max(args.fill_workers).max(args.compute_workers));
+        host_config = host_config.with_scaling(
+            ScalerConfig::bounds(min, max).with_tick_period(Duration::from_millis(20)),
+        );
+    }
+    let fleet_config = FleetConfig::new(host_config)
+        .with_hosts(args.hosts)
+        .with_trainers(args.trainers.max(1))
+        .with_trainer_queue_depth(args.queue_depth)
+        .with_heartbeat_timeout_ms(args.heartbeat_ms)
+        .with_rebalance(args.rebalance);
+    println!(
+        "fleet: {} hosts x ({} fill + {} compute workers, {} shards each), {} trainer lanes, heartbeat timeout {}ms, rebalance {}",
+        args.hosts,
+        args.fill_workers,
+        args.compute_workers,
+        args.shards,
+        args.trainers.max(1),
+        args.heartbeat_ms,
+        if args.rebalance { "on" } else { "off" },
+    );
+    let mut fleet = DppFleet::start(fleet_config, Arc::clone(&store), schema.clone());
+
+    // The observability plane: every host registry federates under its
+    // `host="h<i>"` label next to the coordinator's recd_fleet_* counters.
+    let registry = Arc::new(MetricsRegistry::new());
+    let federation = Arc::new(RegistryFederation::new());
+    for (label, member) in fleet.host_registries() {
+        federation.set_member(label, member);
+    }
+    registry.register(federation as Arc<dyn Collector>);
+    registry.register(fleet.counters() as Arc<dyn Collector>);
+    registry.register(Arc::new(store.blob_store().clone()) as Arc<dyn Collector>);
+
+    let tail_config = TailConfig::default()
+        .with_jitter_ms(args.tail_jitter_ms)
+        .with_lateness(args.tail_late_frac, args.tail_late_ms)
+        .with_seed(args.tail_seed);
+    let mut etl_config =
+        EtlStreamConfig::new(TableLayout::ClusteredBySession).with_window_ms(args.tail_window_ms);
+    if let Some(rows) = args.tail_seal_rows {
+        etl_config = etl_config.with_size_watermark(rows);
+    }
+    let replay_records = if chaos.is_some() {
+        Some(records.clone())
+    } else {
+        None
+    };
+    let mut etl = EtlService::new(
+        LogTail::new(records, &tail_config),
+        etl_config,
+        Arc::clone(&store),
+        schema.clone(),
+        "tail",
+    );
+    if let Some((policy, counters)) = &chaos_retry {
+        etl = etl.with_chaos_retry(*policy, Arc::clone(counters));
+    }
+    registry.register(etl.gauges() as Arc<dyn Collector>);
+    if let Some(injector) = &chaos {
+        registry.register(injector.counters() as Arc<dyn Collector>);
+    }
+
+    let server = args.metrics_port.map(|port| {
+        let server = MetricsServer::start(Arc::clone(&registry), port)
+            .unwrap_or_else(|err| panic!("recd-dpp: bind metrics port {port}: {err}"));
+        println!("metrics: serving http://{}/metrics", server.local_addr());
+        server
+    });
+    let aggregator = Arc::new(MetricsAggregator::new(
+        Arc::clone(&registry),
+        AggregatorConfig::default(),
+    ));
+    let run_started = std::time::Instant::now();
+    aggregator.poll_at(0.0);
+    let aggregator_handle = aggregator
+        .spawn(Arc::new(WallClock::new(Duration::from_millis(100))) as Arc<dyn ScaleClock>);
+
+    let mut lanes: Vec<Option<TrainerLane>> = fleet
+        .take_trainers()
+        .into_iter()
+        .map(|trainer| Some(TrainerLane::spawn(trainer, None)))
+        .collect();
+    let mut killed: Vec<std::thread::JoinHandle<(usize, u64, u64)>> = Vec::new();
+
+    let done = Arc::new(AtomicBool::new(false));
+    let monitor = if args.quiet {
+        None
+    } else {
+        let done = Arc::clone(&done);
+        let registry = Arc::clone(&registry);
+        Some(std::thread::spawn(move || {
+            while !done.load(Ordering::Relaxed) {
+                std::thread::sleep(Duration::from_millis(100));
+                println!("{}", live_line(&registry.gather()));
+            }
+        }))
+    };
+
+    // Pump the tail; every pump ticks the coordinator (heartbeats, death
+    // detection, partition healing), applies due faults, lands sealed
+    // partitions into the fleet, and ends in a fleet-wide barrier.
+    let mut clock = ManualClock::new();
+    let mut checkpoint = etl.checkpoint();
+    while !etl.tail_drained() {
+        let now = clock.advance(args.tail_rate_ms.max(1));
+        fleet.tick(now);
+        if let Some(injector) = chaos.as_mut() {
+            for action in injector.poll(now) {
+                match action {
+                    FaultAction::StallTrainer { lane, ms } => {
+                        if let Some(Some(lane)) = lanes.get(lane) {
+                            lane.stall(ms);
+                        }
+                    }
+                    FaultAction::KillTrainer { lane } => {
+                        if let Some(slot) = lanes.get_mut(lane) {
+                            if let Some(lane) = slot.take() {
+                                killed.push(lane.kill());
+                            }
+                        }
+                    }
+                    FaultAction::KillHost { host } => {
+                        println!("chaos: [{now}ms] kill-host h{host}");
+                        fleet.kill_host(host);
+                    }
+                    FaultAction::PartitionHost { host, ms } => {
+                        println!("chaos: [{now}ms] partition-host h{host} for {ms}ms");
+                        fleet.partition_host(host, ms);
+                    }
+                    FaultAction::RejoinHost { host } => {
+                        println!("chaos: [{now}ms] rejoin-host h{host}");
+                        fleet.rejoin_host(host);
+                    }
+                    FaultAction::CrashEtlPump => {
+                        let (policy, counters) = chaos_retry.as_ref().expect("chaos retry wired");
+                        counters.note_pump_crash();
+                        let records = replay_records
+                            .clone()
+                            .expect("chaos keeps a replay copy of the tail");
+                        let recovery_started = std::time::Instant::now();
+                        etl = EtlService::resume_from(
+                            LogTail::new(records, &tail_config),
+                            etl_config,
+                            Arc::clone(&store),
+                            schema.clone(),
+                            "tail",
+                            checkpoint.clone(),
+                        )
+                        .with_chaos_retry(*policy, Arc::clone(counters));
+                        counters.note_resume(recovery_started.elapsed());
+                    }
+                }
+            }
+        }
+        etl.pump(
+            now,
+            &mut |landed: &recd_storage::StoredPartition, _sealed: &recd_etl::TablePartition| {
+                fleet.ingest_partition(landed);
+            },
+        );
+        checkpoint = etl.checkpoint();
+        assert!(fleet.flush_partition(), "fleet pump barrier must resolve");
+    }
+    let etl_output =
+        etl.finish(&mut |landed: &recd_storage::StoredPartition,
+                         _sealed: &recd_etl::TablePartition| {
+            fleet.ingest_partition(landed);
+        });
+    assert!(fleet.flush_partition(), "final fleet barrier must resolve");
+    let output = fleet.finish();
+
+    done.store(true, Ordering::Relaxed);
+    if let Some(monitor) = monitor {
+        monitor.join().expect("monitor thread");
+    }
+    aggregator_handle.stop();
+    aggregator.poll_at(run_started.elapsed().as_secs_f64());
+    for thread in killed {
+        let (trainer, batches, samples) = thread.join().expect("trainer thread");
+        println!(
+            "trainer {trainer}: consumed {batches} batches / {samples} samples (killed by chaos)"
+        );
+    }
+    for lane in lanes.into_iter().flatten() {
+        let (trainer, batches, samples) = lane.join.join().expect("trainer thread");
+        println!("trainer {trainer}: consumed {batches} batches / {samples} samples");
+    }
+
+    print_etl_summary(&etl_output.report);
+
+    if !output.errors.is_empty() {
+        for error in &output.errors {
+            eprintln!("recd-dpp: {error}");
+        }
+        std::process::exit(1);
+    }
+    let fr = &output.report;
+    println!(
+        "\nfleet: {}/{} hosts live at finish, {} heartbeats, {} deaths detected ({} kills / {} partitions / {} rejoins, {} flaps)",
+        fr.hosts_live_at_finish,
+        fr.hosts,
+        fr.heartbeats,
+        fr.deaths_detected,
+        fr.kills,
+        fr.partitions,
+        fr.rejoins,
+        fr.flaps,
+    );
+    println!(
+        "fleet: {} barriers, {} shard replacements, {} rebalance moves ({:.3}ms), {} files replayed, {} duplicate batches dropped",
+        fr.barriers,
+        fr.shard_replacements,
+        fr.rebalance_moves,
+        fr.rebalance_ms,
+        fr.replayed_files,
+        fr.duplicate_batches_dropped,
+    );
+    for (host, report) in &output.host_reports {
+        println!(
+            "fleet: host h{host} processed {} batches / {} samples this incarnation",
+            report.batches, report.samples
+        );
+    }
+    print_dpp_report(&output.dpp);
+
+    if let Some(injector) = chaos.as_mut() {
+        print_chaos_summary(&injector.finish());
+    }
+    // Machine-parseable lines — scripts/bench_snapshot.sh lifts these into
+    // BENCH_pipeline.json.
+    if let Some(rate) = aggregator.derived().records_per_second {
+        println!("derived continuous_records_per_second {rate:.1}");
+    }
+    println!("derived fleet_rebalance_ms {:.3}", fr.rebalance_ms);
+    if !args.quiet {
+        println!("\n{}", aggregator.report());
+    }
+    if args.scrape_once {
+        let addr = server
+            .as_ref()
+            .expect("--scrape-once requires --metrics-port")
+            .local_addr();
+        match recd_obs::scrape(addr) {
+            Ok(body) => {
+                println!("\nscrape of http://{addr}/metrics ({} bytes):", body.len());
+                print!("{body}");
+            }
+            Err(err) => {
+                eprintln!("recd-dpp: scrape failed: {err}");
+                std::process::exit(1);
+            }
+        }
+    }
+    if let Some(server) = server {
+        server.shutdown();
+    }
+}
+
+/// The streaming-ETL half of a continuous run, as two summary lines.
+fn print_etl_summary(r: &EtlServiceReport) {
+    let c = r.etl.counters;
+    println!(
+        "\netl: {} records tailed -> {} joined samples, {} late drops, {} duplicates, {} orphans",
+        c.records,
+        c.joined_samples,
+        c.late_drops,
+        c.duplicates,
+        c.orphaned_features + c.orphaned_events,
+    );
+    println!(
+        "etl: {} partitions sealed ({} hour / {} size / {} finish), {} landed ({} stored bytes, {:.2}x compression), peak tail lag {:.0}s",
+        c.sealed_partitions,
+        c.hour_seals,
+        c.size_seals,
+        c.finish_seals,
+        r.landed_partitions,
+        r.storage.stored_bytes,
+        r.storage.compression_ratio(),
+        r.peak_tail_lag_ms as f64 / 1_000.0,
+    );
+}
+
+/// The service (or fleet-aggregate) report, as the final summary block.
+fn print_dpp_report(r: &DppReport) {
+    println!(
+        "\ndone in {:.3}s: {} batches, {} samples, {:.0} samples/s",
+        r.wall_seconds, r.batches, r.samples, r.samples_per_second
+    );
+    if r.partitions_ingested > 0 {
+        println!(
+            "partitions ingested as they landed: {}",
+            r.partitions_ingested
+        );
+    }
+    println!(
+        "dedup factor {:.2}x, egress {} bytes, peak queue depths: input={} filled={} work={} out={}",
+        r.dedupe_factor,
+        r.egress_bytes,
+        r.peak_input_queue_depth,
+        r.peak_filled_queue_depth,
+        r.peak_work_queue_depth,
+        r.peak_output_queue_depth,
+    );
+    let m = &r.reader_metrics;
+    let (fill, convert, process) = m.phase_fractions();
+    println!(
+        "phase CPU split: fill {:.0}% / convert {:.0}% / process {:.0}%",
+        fill * 100.0,
+        convert * 100.0,
+        process * 100.0
+    );
+    println!(
+        "batch pool: {:.1}% reuse ({} hits / {} misses), converted-shell pool: {} hits",
+        r.batch_pool.reuse_rate() * 100.0,
+        r.batch_pool.hits,
+        r.batch_pool.misses,
+        r.converted_pool.hits,
+    );
+    for lane in &r.trainers {
+        println!(
+            "trainer {}: delivered {} batches / {} samples, peak lane depth {}",
+            lane.trainer, lane.delivered_batches, lane.delivered_samples, lane.peak_queue_depth
+        );
+    }
+    if !r.scale_events.is_empty() {
+        println!(
+            "scaling: peak {} fill / {} compute workers, {} events:",
+            r.peak_fill_workers,
+            r.peak_compute_workers,
+            r.scale_events.len()
+        );
+        for event in &r.scale_events {
+            println!(
+                "  [{:6.2}s] {} {} -> {} (queue depth {})",
+                event.at_seconds, event.pool, event.from, event.to, event.queue_depth
+            );
+        }
+    }
+}
+
+/// The chaos engine's final accounting line.
+fn print_chaos_summary(report: &ChaosReport) {
+    println!(
+        "\nchaos: {}/{} faults fired (seed {}), {} injected get + {} put failures absorbed by \
+         {} retries ({} exhausted, {:.2}ms backoff), {} pump crashes / {} resumes ({:.2}ms recovery)",
+        report.faults_fired,
+        report.planned_faults,
+        report.seed,
+        report.injected_get_failures,
+        report.injected_put_failures,
+        report.retries,
+        report.retry_exhausted,
+        report.backoff_ms,
+        report.pump_crashes,
+        report.resumes,
+        report.recovery_ms,
+    );
 }

@@ -1,0 +1,750 @@
+//! The fleet coordinator: global shard→host placement, heartbeat-based
+//! failure detection, bounded replay, rejoin, and work-stealing rebalance.
+
+use super::host::{start_host, FleetShared, HostRuntime};
+use super::obs::{FleetCounters, HostProbe};
+use super::{FleetConfig, FleetOutput, FleetReport};
+use crate::channel::{bounded, Gauge};
+use crate::checkpoint::DppCheckpoint;
+use crate::metrics::{DppReport, TrainerLaneReport};
+use crate::sink::{LaneSender, LaneShared, TrainerBatch, TrainerHandle};
+use recd_data::Schema;
+use recd_obs::MetricsRegistry;
+use recd_storage::{StoredPartition, TableStore};
+use std::collections::HashSet;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// How long the barrier quiesce sleeps between collector-progress checks.
+const QUIESCE_POLL: Duration = Duration::from_micros(200);
+
+/// Whether a host is *actually* reachable — ground truth the coordinator
+/// only observes indirectly through heartbeats and barrier rounds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Reach {
+    Up,
+    /// Unreachable until the coordinator clock passes `until_ms`; the host
+    /// process keeps running (and becomes a zombie if declared dead).
+    Partitioned {
+        until_ms: u64,
+    },
+    /// Killed: the process is gone.
+    Down,
+}
+
+/// One host slot: the (possibly absent) running incarnation plus the
+/// coordinator's bookkeeping about it.
+struct HostSlot {
+    runtime: Option<HostRuntime>,
+    /// Coordinator belief: a dead host receives no traffic and its shards
+    /// live elsewhere until `rejoin-host`.
+    live: bool,
+    reachable: Reach,
+    last_beat_ms: u64,
+    /// Files addressed to this host while it was unreachable, flushed in
+    /// order if the partition heals before detection.
+    pending: Vec<(usize, String)>,
+    /// The coordinator's last barrier checkpoint for this host — what a
+    /// rejoining incarnation resumes from.
+    checkpoint: DppCheckpoint,
+    registry: Arc<MetricsRegistry>,
+    probe: Arc<HostProbe>,
+}
+
+/// Starts [`FleetHandle`]s.
+#[derive(Debug)]
+pub struct DppFleet;
+
+impl DppFleet {
+    /// Starts `config.hosts` host services over one shared table store and
+    /// returns the coordinator handle. Every host runs the full global shard
+    /// set; shard `s` initially lives on host `s % hosts`.
+    pub fn start(config: FleetConfig, store: Arc<TableStore>, schema: Schema) -> FleetHandle {
+        assert!(config.hosts >= 1, "a fleet needs at least one host");
+        let shards = config.host.shards.max(1);
+        let counters = Arc::new(FleetCounters::new(config.hosts));
+
+        let mut lanes = Vec::new();
+        let mut trainers = Vec::new();
+        let mut lane_shared = Vec::new();
+        let mut lane_gauges = Vec::new();
+        for trainer in 0..config.trainers.max(1) {
+            let (tx, rx) = bounded::<TrainerBatch>(config.trainer_queue_depth.max(1));
+            let shared = Arc::new(LaneShared::default());
+            lane_gauges.push(rx.gauge());
+            trainers.push(TrainerHandle::new(trainer, rx, Arc::clone(&shared)));
+            lane_shared.push(Arc::clone(&shared));
+            lanes.push(LaneSender { tx, shared });
+        }
+        let shared = Arc::new(FleetShared {
+            delivered_through: Mutex::new(vec![0u64; shards]),
+            lanes,
+        });
+
+        let mut slots = Vec::new();
+        for host in 0..config.hosts {
+            let runtime = start_host(
+                host,
+                &config,
+                shards,
+                &store,
+                &schema,
+                DppCheckpoint::default(),
+                &shared,
+                &counters,
+            );
+            let probe = Arc::new(HostProbe::default());
+            probe.set(runtime.handle.snapshot_source());
+            let registry = Arc::new(MetricsRegistry::new());
+            registry.register(Arc::clone(&probe) as Arc<dyn recd_obs::Collector>);
+            slots.push(HostSlot {
+                runtime: Some(runtime),
+                live: true,
+                reachable: Reach::Up,
+                last_beat_ms: 0,
+                pending: Vec::new(),
+                checkpoint: DppCheckpoint::default(),
+                registry,
+                probe,
+            });
+        }
+
+        let hosts = config.hosts;
+        let handle = FleetHandle {
+            config,
+            shards,
+            store,
+            schema,
+            counters,
+            shared,
+            slots,
+            placement: (0..shards).map(|s| s % hosts).collect(),
+            cuts: vec![0u64; shards],
+            interval_files: vec![Vec::new(); shards],
+            ingested: HashSet::new(),
+            partitions_ingested: 0,
+            duplicate_ingests: 0,
+            next_file_idx: 0,
+            now_ms: 0,
+            trainers,
+            lane_shared,
+            lane_gauges,
+            rebalance_requests: Arc::new(AtomicBool::new(false)),
+            reapers: Vec::new(),
+            started: Instant::now(),
+        };
+        handle.refresh_owned_gauges();
+        handle
+    }
+}
+
+/// A cloneable control endpoint for a running fleet — currently carries the
+/// on-demand rebalance request, which the coordinator applies at the next
+/// barrier (the only point where every in-flight batch is accounted).
+#[derive(Debug, Clone)]
+pub struct FleetController {
+    rebalance: Arc<AtomicBool>,
+}
+
+impl FleetController {
+    /// Asks the coordinator to run one work-stealing rebalance at the next
+    /// [`FleetHandle::flush_partition`] barrier. Safe to call from any
+    /// thread, including while a barrier is in flight — the request is
+    /// consumed by whichever barrier observes it first.
+    pub fn request_rebalance(&self) {
+        self.rebalance.store(true, Ordering::Release);
+    }
+}
+
+/// The feeding/monitoring handle of a running [`DppFleet`]. Single-threaded
+/// like [`DppHandle`](crate::DppHandle): submissions, ticks, faults, and
+/// barriers all happen from the coordinator's thread.
+pub struct FleetHandle {
+    config: FleetConfig,
+    shards: usize,
+    store: Arc<TableStore>,
+    schema: Schema,
+    counters: Arc<FleetCounters>,
+    shared: Arc<FleetShared>,
+    slots: Vec<HostSlot>,
+    /// `placement[s]` = host that currently owns shard `s`.
+    placement: Vec<usize>,
+    /// Per-shard global seq cut at the last barrier.
+    cuts: Vec<u64>,
+    /// Per-shard files submitted since the last barrier — the bounded
+    /// replay log.
+    interval_files: Vec<Vec<String>>,
+    ingested: HashSet<String>,
+    partitions_ingested: u64,
+    duplicate_ingests: u64,
+    next_file_idx: u64,
+    now_ms: u64,
+    trainers: Vec<TrainerHandle>,
+    lane_shared: Vec<Arc<LaneShared>>,
+    lane_gauges: Vec<Gauge<TrainerBatch>>,
+    rebalance_requests: Arc<AtomicBool>,
+    /// Joiners for torn-down incarnations' `finish()` calls.
+    reapers: Vec<JoinHandle<()>>,
+    started: Instant,
+}
+
+impl FleetHandle {
+    /// Submits one stored file. The coordinator owns the global placement:
+    /// file `i` of the submission sequence belongs to shard `i % S`
+    /// regardless of which host serves it, which is what keeps batch
+    /// composition independent of fleet topology and failures.
+    pub fn submit_file(&mut self, path: impl Into<String>) {
+        let path = path.into();
+        let shard = (self.next_file_idx % self.shards as u64) as usize;
+        self.next_file_idx += 1;
+        self.interval_files[shard].push(path.clone());
+        self.route(shard, path);
+    }
+
+    /// Submits every file of a stored partition, in order.
+    pub fn submit_partition(&mut self, partition: &StoredPartition) {
+        for file in &partition.files {
+            self.submit_file(file.clone());
+        }
+    }
+
+    /// Ingests one freshly landed partition exactly once (fleet-level dedup
+    /// by blob-store prefix, same contract as
+    /// [`DppHandle::ingest_partition`](crate::DppHandle::ingest_partition)).
+    pub fn ingest_partition(&mut self, partition: &StoredPartition) -> bool {
+        let key = StoredPartition::prefix(&partition.table, partition.hour);
+        if !self.ingested.insert(key) {
+            self.duplicate_ingests += 1;
+            return false;
+        }
+        self.partitions_ingested += 1;
+        self.submit_partition(partition);
+        true
+    }
+
+    fn route(&mut self, shard: usize, path: String) {
+        let host = self.placement[shard];
+        let slot = &mut self.slots[host];
+        if slot.live && slot.reachable == Reach::Up {
+            slot.runtime
+                .as_mut()
+                .expect("a live, reachable host has a runtime")
+                .handle
+                .submit_file_to_shard(path, shard);
+        } else {
+            // Unreachable (or killed-but-undetected): the file waits here
+            // until the partition heals or detection replays the interval.
+            slot.pending.push((shard, path));
+        }
+    }
+
+    /// Advances the coordinator clock: heals expired partitions, stamps a
+    /// heartbeat for every reachable live host, and declares dead any live
+    /// host whose last beat is *strictly* older than the timeout (a beat
+    /// exactly at the boundary keeps the host alive).
+    pub fn tick(&mut self, now_ms: u64) {
+        self.now_ms = self.now_ms.max(now_ms);
+        let now = self.now_ms;
+        self.counters.set_now(now);
+        for host in 0..self.slots.len() {
+            let Reach::Partitioned { until_ms } = self.slots[host].reachable else {
+                continue;
+            };
+            if now < until_ms {
+                continue;
+            }
+            if self.slots[host].live {
+                // Healed before anyone noticed: a flap. Flush what queued.
+                self.slots[host].reachable = Reach::Up;
+                self.counters.note_flap();
+                self.counters.set_host_up(host, true);
+                let pending = std::mem::take(&mut self.slots[host].pending);
+                for (shard, path) in pending {
+                    self.slots[host]
+                        .runtime
+                        .as_mut()
+                        .expect("a flapping host kept its runtime")
+                        .handle
+                        .submit_file_to_shard(path, shard);
+                }
+            } else {
+                // The partition outlived detection: the incarnation is a
+                // zombie whose late work the watermark already absorbed.
+                self.slots[host].reachable = Reach::Up;
+                self.teardown_runtime(host);
+            }
+        }
+        for host in 0..self.slots.len() {
+            let slot = &mut self.slots[host];
+            if slot.live && slot.reachable == Reach::Up {
+                slot.last_beat_ms = now;
+                self.counters.note_heartbeat(host, now);
+            }
+        }
+        for host in 0..self.slots.len() {
+            if self.slots[host].live
+                && now.saturating_sub(self.slots[host].last_beat_ms)
+                    > self.config.heartbeat_timeout_ms
+            {
+                self.declare_dead(host);
+            }
+        }
+    }
+
+    /// Applies a `kill-host` fault: the host process dies *now*; the
+    /// coordinator only finds out when heartbeats go stale (or a barrier
+    /// round fails).
+    pub fn kill_host(&mut self, host: usize) {
+        let host = host % self.slots.len();
+        self.counters.note_kill();
+        self.counters.set_host_up(host, false);
+        self.slots[host].reachable = Reach::Down;
+        self.teardown_runtime(host);
+    }
+
+    /// Applies a `partition-host` fault: the host stays up but is
+    /// unreachable for `ms` of coordinator-clock time. Overlapping
+    /// partitions extend the outage.
+    pub fn partition_host(&mut self, host: usize, ms: u64) {
+        let host = host % self.slots.len();
+        let slot = &mut self.slots[host];
+        if slot.reachable == Reach::Down {
+            return;
+        }
+        let until = self.now_ms.saturating_add(ms.max(1));
+        slot.reachable = match slot.reachable {
+            Reach::Partitioned { until_ms } => Reach::Partitioned {
+                until_ms: until_ms.max(until),
+            },
+            _ => Reach::Partitioned { until_ms: until },
+        };
+        self.counters.note_partition();
+        self.counters.set_host_up(host, false);
+    }
+
+    /// Applies a `rejoin-host` fault: restarts the host as a fresh
+    /// incarnation resumed from the coordinator's last checkpoint for it.
+    /// The rejoined host owns no shards until the next rebalance steals some
+    /// back. A host that is still up and reachable is left alone; a host
+    /// that is down but not yet *declared* dead is declared first (the
+    /// restart is itself proof the old incarnation is gone).
+    pub fn rejoin_host(&mut self, host: usize) {
+        let host = host % self.slots.len();
+        if self.slots[host].live && self.slots[host].reachable == Reach::Up {
+            return;
+        }
+        if self.slots[host].live {
+            self.declare_dead(host);
+        }
+        self.teardown_runtime(host);
+        let runtime = start_host(
+            host,
+            &self.config,
+            self.shards,
+            &self.store,
+            &self.schema,
+            self.slots[host].checkpoint.clone(),
+            &self.shared,
+            &self.counters,
+        );
+        self.slots[host].probe.set(runtime.handle.snapshot_source());
+        self.slots[host].runtime = Some(runtime);
+        self.slots[host].live = true;
+        self.slots[host].reachable = Reach::Up;
+        self.slots[host].last_beat_ms = self.now_ms;
+        self.counters.note_rejoin();
+        self.counters.note_heartbeat(host, self.now_ms);
+        self.counters.set_host_up(host, true);
+        self.counters.set_hosts_live(self.live_count());
+        self.refresh_owned_gauges();
+    }
+
+    /// Fleet-wide partition barrier. A barrier is a contact round: any live
+    /// host that cannot be reached fails it and is declared dead on the
+    /// spot. Every live host then flushes, the coordinator quiesces the
+    /// collectors, advances the per-shard seq cuts, snapshots per-host
+    /// checkpoints, truncates the replay log, and (if configured or
+    /// requested) rebalances shard ownership.
+    ///
+    /// Like [`DppHandle::flush_partition`](crate::DppHandle::flush_partition),
+    /// fleet trainers must keep consuming while this runs. Returns `false`
+    /// if a host service tore down before its barrier resolved.
+    pub fn flush_partition(&mut self) -> bool {
+        for host in 0..self.slots.len() {
+            if self.slots[host].live && self.slots[host].reachable != Reach::Up {
+                self.declare_dead(host);
+            }
+        }
+        for host in 0..self.slots.len() {
+            if self.slots[host].live {
+                let flushed = self.slots[host]
+                    .runtime
+                    .as_mut()
+                    .expect("live host has a runtime")
+                    .handle
+                    .flush_partition();
+                if !flushed {
+                    return false;
+                }
+            }
+        }
+        // Quiesce: every batch the host sinks pushed is either forwarded or
+        // deduped before the cut is taken.
+        for slot in &self.slots {
+            if !slot.live {
+                continue;
+            }
+            let runtime = slot.runtime.as_ref().expect("live host has a runtime");
+            loop {
+                let delivered = runtime
+                    .handle
+                    .snapshot()
+                    .trainers
+                    .first()
+                    .map(|lane| lane.delivered_batches)
+                    .unwrap_or(0);
+                if runtime.collector.processed.load(Ordering::Acquire) >= delivered {
+                    break;
+                }
+                std::thread::sleep(QUIESCE_POLL);
+            }
+        }
+        self.cuts = self
+            .shared
+            .delivered_through
+            .lock()
+            .expect("watermark lock")
+            .clone();
+        for slot in &mut self.slots {
+            if let (true, Some(runtime)) = (slot.live, slot.runtime.as_ref()) {
+                slot.checkpoint = runtime.handle.checkpoint();
+            }
+        }
+        for files in &mut self.interval_files {
+            files.clear();
+        }
+        self.counters.note_barrier();
+        if self.config.rebalance || self.rebalance_requests.swap(false, Ordering::AcqRel) {
+            self.rebalance();
+        }
+        true
+    }
+
+    /// Declares `host` dead: clears its queued traffic, re-places each of
+    /// its shards on the least-loaded live host, and replays the current
+    /// interval's files for those shards. A killed host's runtime is
+    /// reaped; a partitioned host keeps running as a zombie whose late
+    /// deliveries the watermark dedups.
+    fn declare_dead(&mut self, host: usize) {
+        self.slots[host].live = false;
+        self.slots[host].pending.clear();
+        self.counters.note_death();
+        self.counters.set_hosts_live(self.live_count());
+        if self.slots[host].reachable == Reach::Down {
+            self.teardown_runtime(host);
+        }
+        let owned: Vec<usize> = (0..self.shards)
+            .filter(|&s| self.placement[s] == host)
+            .collect();
+        for shard in owned {
+            let target = self
+                .least_loaded_live()
+                .expect("at least one live host must remain to inherit shards");
+            self.place_shard(shard, target, true);
+            self.counters.note_replacement();
+        }
+        self.refresh_owned_gauges();
+    }
+
+    /// The live host owning the fewest shards (ties pick the lowest id).
+    fn least_loaded_live(&self) -> Option<usize> {
+        (0..self.slots.len())
+            .filter(|&h| self.slots[h].live)
+            .min_by_key(|&h| (self.owned_count(h), h))
+    }
+
+    fn owned_count(&self, host: usize) -> usize {
+        self.placement
+            .iter()
+            .filter(|&&owner| owner == host)
+            .count()
+    }
+
+    fn live_count(&self) -> usize {
+        self.slots.iter().filter(|slot| slot.live).count()
+    }
+
+    /// Moves shard ownership to `target`, rebasing the target collector's
+    /// sequence mapping so its next host-local emission of the shard lands
+    /// exactly at the global cut. With `replay` the current interval's files
+    /// are re-submitted (death recovery); without it the interval is empty
+    /// (barrier-time rebalance) and the rebase alone suffices.
+    fn place_shard(&mut self, shard: usize, target: usize, replay: bool) {
+        self.placement[shard] = target;
+        {
+            let collector = &self.slots[target]
+                .runtime
+                .as_ref()
+                .expect("placement target is live")
+                .collector;
+            let seen = collector.local_seen.lock().expect("local_seen lock")[shard];
+            let base = self.cuts[shard]
+                .checked_sub(seen)
+                .expect("rebase underflow: a host saw more of a shard than the global cut");
+            collector.bases.lock().expect("bases lock")[shard] = base;
+        }
+        if replay {
+            let files = self.interval_files[shard].clone();
+            for path in files {
+                self.counters.note_replayed_file();
+                self.slots[target]
+                    .runtime
+                    .as_mut()
+                    .expect("placement target is live")
+                    .handle
+                    .submit_file_to_shard(path, shard);
+            }
+        }
+    }
+
+    /// Work-stealing rebalance at a (quiesced) barrier: while ownership
+    /// counts across live hosts differ by more than one, move the
+    /// highest-numbered shard from the most- to the least-loaded host.
+    /// Deterministic: ties pick the lowest host id on both sides.
+    fn rebalance(&mut self) {
+        let clock = Instant::now();
+        let mut moves = 0u64;
+        loop {
+            let live: Vec<usize> = (0..self.slots.len())
+                .filter(|&h| self.slots[h].live)
+                .collect();
+            if live.len() < 2 {
+                break;
+            }
+            let &donor = live
+                .iter()
+                .max_by_key(|&&h| (self.owned_count(h), std::cmp::Reverse(h)))
+                .expect("live set is non-empty");
+            let &taker = live
+                .iter()
+                .min_by_key(|&&h| (self.owned_count(h), h))
+                .expect("live set is non-empty");
+            if self.owned_count(donor) <= self.owned_count(taker) + 1 {
+                break;
+            }
+            let shard = (0..self.shards)
+                .rev()
+                .find(|&s| self.placement[s] == donor)
+                .expect("donor owns at least one shard");
+            self.place_shard(shard, taker, false);
+            moves += 1;
+        }
+        self.counters.note_rebalance(moves, clock.elapsed());
+        self.refresh_owned_gauges();
+    }
+
+    fn refresh_owned_gauges(&self) {
+        for host in 0..self.slots.len() {
+            self.counters.set_shards_owned(host, self.owned_count(host));
+        }
+    }
+
+    /// Stops a host incarnation without waiting for its drain: the collector
+    /// is hard-stopped and the service's `finish()` runs on a reaper thread
+    /// (joined at fleet finish), because a plain drop would leak the
+    /// scaling-controller thread.
+    fn teardown_runtime(&mut self, host: usize) {
+        if let Some(runtime) = self.slots[host].runtime.take() {
+            let HostRuntime { handle, collector } = runtime;
+            collector.stop_and_join();
+            self.reapers.push(std::thread::spawn(move || {
+                let _ = handle.finish();
+            }));
+        }
+    }
+
+    /// Takes the fleet-level per-trainer pull endpoints (lane `t` carries
+    /// every shard with `shard % trainers == t`, the shard-pinned rule).
+    pub fn take_trainers(&mut self) -> Vec<TrainerHandle> {
+        std::mem::take(&mut self.trainers)
+    }
+
+    /// The fleet's control-plane counters (also a `recd_fleet_*`
+    /// [`Collector`](recd_obs::Collector) — register it on a scrape
+    /// registry).
+    pub fn counters(&self) -> Arc<FleetCounters> {
+        Arc::clone(&self.counters)
+    }
+
+    /// A cloneable controller for cross-thread control requests.
+    pub fn controller(&self) -> FleetController {
+        FleetController {
+            rebalance: Arc::clone(&self.rebalance_requests),
+        }
+    }
+
+    /// Per-host metric registries, labelled `h0..hM-1` — each scrapes that
+    /// host's live `recd_dpp_*` families across incarnations. Feed these to
+    /// a federation/aggregator with the label as the `host` tag.
+    pub fn host_registries(&self) -> Vec<(String, Arc<MetricsRegistry>)> {
+        self.slots
+            .iter()
+            .enumerate()
+            .map(|(host, slot)| (format!("h{host}"), Arc::clone(&slot.registry)))
+            .collect()
+    }
+
+    /// Hosts the coordinator currently believes live.
+    pub fn hosts_live(&self) -> usize {
+        self.live_count()
+    }
+
+    /// Current shard → host placement.
+    pub fn placement(&self) -> &[usize] {
+        &self.placement
+    }
+
+    /// Global shard count.
+    pub fn shards(&self) -> usize {
+        self.shards
+    }
+
+    /// Gracefully shuts the fleet down: finishes every running incarnation
+    /// (collectors drain their host lanes to the end), joins the reapers of
+    /// earlier teardowns, and aggregates the accounting. Fleet trainers must
+    /// keep consuming (or be dropped) while this runs; their lanes
+    /// disconnect when this returns.
+    pub fn finish(mut self) -> FleetOutput {
+        let mut host_reports = Vec::new();
+        let mut errors = Vec::new();
+        for host in 0..self.slots.len() {
+            if let Some(runtime) = self.slots[host].runtime.take() {
+                let HostRuntime { handle, collector } = runtime;
+                match handle.finish() {
+                    Ok(output) => host_reports.push((host, output.report)),
+                    Err(err) => {
+                        errors.extend(err.errors.iter().map(|e| format!("host h{host}: {e}")));
+                        host_reports.push((host, err.output.report));
+                    }
+                }
+                collector.join_after_drain();
+            }
+        }
+        for reaper in self.reapers.drain(..) {
+            let _ = reaper.join();
+        }
+        let report = FleetReport {
+            hosts: self.config.hosts,
+            shards: self.shards,
+            hosts_live_at_finish: self.live_count(),
+            heartbeats: self.counters.heartbeats(),
+            deaths_detected: self.counters.deaths_detected(),
+            kills: self.counters.kills(),
+            partitions: self.counters.partitions(),
+            rejoins: self.counters.rejoins(),
+            flaps: self.counters.flaps(),
+            barriers: self.counters.barriers(),
+            shard_replacements: self.counters.shard_replacements(),
+            rebalance_moves: self.counters.rebalance_moves(),
+            rebalance_ms: self.counters.rebalance_ms(),
+            replayed_files: self.counters.replayed_files(),
+            duplicate_batches_dropped: self.counters.duplicate_batches_dropped(),
+            forwarded_batches: self.counters.forwarded_batches(),
+            forwarded_samples: self.counters.forwarded_samples(),
+        };
+        let dpp = self.aggregate_report(&host_reports);
+        FleetOutput {
+            report,
+            dpp,
+            host_reports,
+            errors,
+        }
+    }
+
+    /// Projects the fleet into the single-service report shape:
+    /// samples/batches/trainer lanes count unique forwarded work; worker,
+    /// queue, pool, and reader fields aggregate over the host incarnations
+    /// still running at finish.
+    fn aggregate_report(&self, host_reports: &[(usize, DppReport)]) -> DppReport {
+        let wall_seconds = self.started.elapsed().as_secs_f64();
+        let samples = self.counters.forwarded_samples() as usize;
+        let batches = self.counters.forwarded_batches() as usize;
+        let mut batch_pool = crate::pool::PoolStats::default();
+        let mut converted_pool = crate::pool::PoolStats::default();
+        let mut reader_metrics = recd_reader::ReaderMetrics::default();
+        let mut scale_events = Vec::new();
+        let mut egress_bytes = 0usize;
+        let mut dedupe_weighted = 0.0f64;
+        let mut dedupe_samples = 0usize;
+        for (_, report) in host_reports {
+            for (total, part) in [
+                (&mut batch_pool, &report.batch_pool),
+                (&mut converted_pool, &report.converted_pool),
+            ] {
+                total.hits += part.hits;
+                total.misses += part.misses;
+                total.recycled += part.recycled;
+                total.discarded += part.discarded;
+                total.trimmed += part.trimmed;
+                total.capacity += part.capacity;
+            }
+            reader_metrics += report.reader_metrics;
+            scale_events.extend(report.scale_events.iter().cloned());
+            egress_bytes += report.egress_bytes;
+            dedupe_weighted += report.dedupe_factor * report.samples as f64;
+            dedupe_samples += report.samples;
+        }
+        let max_of =
+            |f: fn(&DppReport) -> usize| host_reports.iter().map(|(_, r)| f(r)).max().unwrap_or(0);
+        DppReport {
+            fill_workers: self.config.host.fill_workers,
+            compute_workers: self.config.host.compute_workers,
+            peak_fill_workers: max_of(|r| r.peak_fill_workers),
+            peak_compute_workers: max_of(|r| r.peak_compute_workers),
+            shards: self.shards,
+            policy: "fleet_round_robin".to_string(),
+            assign_policy: "shard_pinned".to_string(),
+            wall_seconds,
+            partitions_ingested: self.partitions_ingested,
+            duplicate_ingests: self.duplicate_ingests,
+            samples,
+            batches,
+            samples_per_second: if wall_seconds > 0.0 {
+                samples as f64 / wall_seconds
+            } else {
+                0.0
+            },
+            egress_bytes,
+            dedupe_factor: if dedupe_samples > 0 {
+                dedupe_weighted / dedupe_samples as f64
+            } else {
+                1.0
+            },
+            peak_input_queue_depth: max_of(|r| r.peak_input_queue_depth),
+            peak_filled_queue_depth: max_of(|r| r.peak_filled_queue_depth),
+            peak_work_queue_depth: max_of(|r| r.peak_work_queue_depth),
+            peak_output_queue_depth: max_of(|r| r.peak_output_queue_depth),
+            trainers: self
+                .lane_shared
+                .iter()
+                .zip(&self.lane_gauges)
+                .enumerate()
+                .map(|(trainer, (shared, gauge))| TrainerLaneReport {
+                    trainer,
+                    delivered_batches: shared.delivered_batches(),
+                    delivered_samples: shared.delivered_samples(),
+                    consumed_batches: shared.consumed_batches(),
+                    consumed_samples: shared.consumed_samples(),
+                    dropped_batches: shared.dropped_batches(),
+                    peak_queue_depth: gauge.peak_depth(),
+                })
+                .collect(),
+            scale_events,
+            batch_pool,
+            converted_pool,
+            reader_metrics,
+        }
+    }
+}

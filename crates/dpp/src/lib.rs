@@ -57,6 +57,7 @@
 
 pub mod channel;
 pub mod checkpoint;
+pub mod fleet;
 pub mod metrics;
 pub mod obs;
 pub mod pool;
@@ -66,6 +67,9 @@ pub mod sink;
 
 pub use channel::{bounded, Receiver, RecvTimeout, SendError, Sender};
 pub use checkpoint::DppCheckpoint;
+pub use fleet::{
+    DppFleet, FleetConfig, FleetController, FleetCounters, FleetHandle, FleetOutput, FleetReport,
+};
 pub use metrics::{
     DppReport, DppSnapshot, ServiceCounters, TrainerLaneReport, TrainerLaneSnapshot,
 };

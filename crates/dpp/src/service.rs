@@ -247,12 +247,25 @@ impl DppConfig {
 /// through. Both carry a position in the submission sequence, which is the
 /// service's ordering authority.
 enum FillTask {
-    File { seq: u64, path: String },
-    Barrier { seq: u64, id: u64 },
+    File {
+        seq: u64,
+        path: String,
+        /// `Some(shard)` pins every row of this file to that shard,
+        /// bypassing the [`ShardPolicy`] — the fleet coordinator's explicit
+        /// global placement. `None` keeps policy routing.
+        shard: Option<usize>,
+    },
+    Barrier {
+        seq: u64,
+        id: u64,
+    },
 }
 
 enum FilledPayload {
-    Rows(ColumnarBatch),
+    Rows {
+        rows: ColumnarBatch,
+        shard: Option<usize>,
+    },
     Barrier(u64),
 }
 
@@ -323,7 +336,7 @@ fn fill_worker_loop(ctx: &FillCtx) {
     let mut retired = false;
     loop {
         match ctx.input_rx.recv_timeout(WORKER_POLL) {
-            RecvTimeout::Item(FillTask::File { seq, path }) => {
+            RecvTimeout::Item(FillTask::File { seq, path, shard }) => {
                 // Decode into a pool-recycled batch; misses only occur while
                 // the pipeline's population warms up.
                 let mut rows = ctx.batch_pool.acquire(|| {
@@ -372,7 +385,7 @@ fn fill_worker_loop(ctx: &FillCtx) {
                     .filled_tx
                     .send(FilledFile {
                         seq,
-                        payload: FilledPayload::Rows(rows),
+                        payload: FilledPayload::Rows { rows, shard },
                     })
                     .is_err()
                 {
@@ -563,23 +576,36 @@ fn router_loop(ctx: RouterCtx) {
         while let Some(payload) = pending.remove(&next_seq) {
             next_seq += 1;
             match payload {
-                FilledPayload::Rows(rows) => {
+                FilledPayload::Rows {
+                    rows,
+                    shard: pinned,
+                } => {
                     let file_idx = files_routed;
                     files_routed += 1;
                     ctx.counters
                         .rows_routed
                         .fetch_add(rows.len() as u64, Ordering::Relaxed);
                     for row in 0..rows.len() {
-                        let shard = match ctx.policy {
-                            ShardPolicy::FileRoundRobin => (file_idx % ctx.shards as u64) as usize,
-                            ShardPolicy::SessionAffine => {
-                                (recd_codec::hash_ids(&[rows.session_id(row).raw()])
-                                    % ctx.shards as u64) as usize
-                            }
-                            ShardPolicy::RowRoundRobin => {
-                                row_rr = (row_rr + 1) % ctx.shards;
-                                row_rr
-                            }
+                        let shard = match pinned {
+                            // An explicit placement (the fleet coordinator's
+                            // file-granular global sharding) overrides the
+                            // policy; the file still occupies its rotation
+                            // slot so mixed usage stays deterministic.
+                            Some(s) => s.min(ctx.shards - 1),
+                            None => match ctx.policy {
+                                ShardPolicy::FileRoundRobin => {
+                                    (file_idx % ctx.shards as u64) as usize
+                                }
+                                ShardPolicy::SessionAffine => {
+                                    (recd_codec::hash_ids(&[rows.session_id(row).raw()])
+                                        % ctx.shards as u64)
+                                        as usize
+                                }
+                                ShardPolicy::RowRoundRobin => {
+                                    row_rr = (row_rr + 1) % ctx.shards;
+                                    row_rr
+                                }
+                            },
                         };
                         accumulators[shard].push_row_from(&rows, row);
                         if accumulators[shard].len() >= ctx.batch_size {
@@ -1092,9 +1118,31 @@ impl DppHandle {
     /// File submission order is the service's ordering authority: batch
     /// composition is a pure function of it (never of worker scheduling).
     pub fn submit_file(&mut self, path: impl Into<String>) {
+        self.submit_with_shard(path.into(), None);
+    }
+
+    /// Submits one stored file with every row pinned to `shard`, bypassing
+    /// the [`ShardPolicy`]. This is the fleet coordinator's feed path: the
+    /// coordinator owns the *global* file → shard placement and each host
+    /// only ever sees explicit assignments, so batch composition is a pure
+    /// function of the coordinator's submission order — independent of which
+    /// host (or how many hosts) the shard currently lives on.
+    ///
+    /// `shard` must be within this service's shard range.
+    pub fn submit_file_to_shard(&mut self, path: impl Into<String>, shard: usize) {
+        assert!(
+            shard < self.config.shards,
+            "shard {shard} out of range for a {}-shard service",
+            self.config.shards
+        );
+        self.submit_with_shard(path.into(), Some(shard));
+    }
+
+    fn submit_with_shard(&mut self, path: String, shard: Option<usize>) {
         let task = FillTask::File {
             seq: self.next_file_seq,
-            path: path.into(),
+            path,
+            shard,
         };
         self.next_file_seq += 1;
         self.counters

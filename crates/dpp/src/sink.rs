@@ -114,6 +114,19 @@ impl LaneShared {
     pub(crate) fn dropped_batches(&self) -> u64 {
         self.dropped_batches.load(Ordering::Acquire)
     }
+
+    /// Accounts batches pushed onto this lane. Used by the sink's dispatcher
+    /// and by the fleet collectors, which deliver onto fleet-level lanes
+    /// without going through a sink.
+    pub(crate) fn note_delivery(&self, batches: u64, samples: u64) {
+        self.delivered_batches.fetch_add(batches, Ordering::AcqRel);
+        self.delivered_samples.fetch_add(samples, Ordering::AcqRel);
+    }
+
+    /// Accounts one batch that could not be delivered (dead lane).
+    pub(crate) fn note_dropped(&self) {
+        self.dropped_batches.fetch_add(1, Ordering::AcqRel);
+    }
 }
 
 /// A trainer's pull endpoint: a bounded, backpressured stream of
@@ -468,10 +481,7 @@ impl Dispatcher {
     /// back into the compute loop.
     fn drop_for_dead_lane(&self, trainer: usize, batch: ConvertedBatch) {
         self.lanes[trainer].shared.mark_dead();
-        self.lanes[trainer]
-            .shared
-            .dropped_batches
-            .fetch_add(1, Ordering::AcqRel);
+        self.lanes[trainer].shared.note_dropped();
         self.converted_pool.recycle(batch);
     }
 
@@ -594,12 +604,7 @@ impl Dispatcher {
 }
 
 fn note_delivered(lane: &LaneSender, batches: u64, samples: u64) {
-    lane.shared
-        .delivered_batches
-        .fetch_add(batches, Ordering::AcqRel);
-    lane.shared
-        .delivered_samples
-        .fetch_add(samples, Ordering::AcqRel);
+    lane.shared.note_delivery(batches, samples);
 }
 
 /// Delivers every batch whose shard cursor has reached it; a `None` slot (a

@@ -191,6 +191,32 @@ impl MetricsAggregator {
         Some(series.get(key)?.points.back()?.1)
     }
 
+    /// Sum of [`rate`](Self::rate) across every series of one family —
+    /// the bare `family` key plus every labelled `family{...}` variant.
+    /// Equals `rate(family)` for a single unlabelled series, and sums the
+    /// per-host series a [`RegistryFederation`](crate::RegistryFederation)
+    /// contributes, so fleet-wide throughput is one number regardless of
+    /// how many hosts the samples came from. `None` while no series of the
+    /// family has two points yet.
+    pub fn family_rate(&self, family: &str) -> Option<f64> {
+        let series = self.series.lock().expect("aggregator lock");
+        let prefix = format!("{family}{{");
+        let mut total = None;
+        for (key, s) in series.iter() {
+            if key != family && !key.starts_with(&prefix) {
+                continue;
+            }
+            let (Some(&(t0, v0)), Some(&(t1, v1))) = (s.points.front(), s.points.back()) else {
+                continue;
+            };
+            if s.points.len() < 2 || t1 <= t0 {
+                continue;
+            }
+            *total.get_or_insert(0.0) += (v1 - v0) / (t1 - t0);
+        }
+        total
+    }
+
     /// Computes the operator-facing derived metrics from the rings plus one
     /// fresh gather (for the point-in-time ratios).
     pub fn derived(&self) -> DerivedMetrics {
@@ -210,8 +236,11 @@ impl MetricsAggregator {
             _ => None,
         };
         DerivedMetrics {
-            records_per_second: self.rate("recd_dpp_samples_out_total"),
-            tail_lag_trend_ms_per_s: self.rate("recd_etl_tail_lag_ms"),
+            // Family-summed so a federated fleet (per-host `host="h<i>"`
+            // series) derives fleet-wide throughput; identical to the plain
+            // series rate when the family has one unlabelled series.
+            records_per_second: self.family_rate("recd_dpp_samples_out_total"),
+            tail_lag_trend_ms_per_s: self.family_rate("recd_etl_tail_lag_ms"),
             pool_hit_ratio,
         }
     }
@@ -372,6 +401,52 @@ mod tests {
         aggregator.poll_at(2.0);
         assert!(aggregator.rate("recd_dpp_samples_out_total").is_some());
         assert!(aggregator.series_count() >= 4);
+    }
+
+    /// Two federated hosts advancing at different speeds: the family rate is
+    /// their sum, while per-series rates stay individually addressable.
+    struct FederatedPair {
+        polls: AtomicU64,
+    }
+
+    impl Collector for FederatedPair {
+        fn collect(&self, out: &mut MetricsBuf) {
+            let n = self.polls.fetch_add(1, Ordering::Relaxed);
+            out.counter(
+                "recd_dpp_samples_out_total",
+                "samples",
+                &[("host", "h0")],
+                (n * 30) as f64,
+            );
+            out.counter(
+                "recd_dpp_samples_out_total",
+                "samples",
+                &[("host", "h1")],
+                (n * 70) as f64,
+            );
+        }
+    }
+
+    #[test]
+    fn family_rate_sums_per_host_series() {
+        let registry = Arc::new(MetricsRegistry::new());
+        registry.register(Arc::new(FederatedPair {
+            polls: AtomicU64::new(0),
+        }));
+        let aggregator = MetricsAggregator::new(registry, AggregatorConfig::default());
+        assert_eq!(aggregator.family_rate("recd_dpp_samples_out_total"), None);
+        aggregator.poll_at(1.0);
+        aggregator.poll_at(2.0);
+        // 30/s + 70/s across the host-labelled series.
+        let rate = aggregator
+            .family_rate("recd_dpp_samples_out_total")
+            .expect("two polls");
+        assert!((rate - 100.0).abs() < 1e-9, "family rate {rate}");
+        // derived() reports the same fleet-wide number.
+        let derived = aggregator.derived();
+        assert!((derived.records_per_second.expect("rate") - 100.0).abs() < 1e-9);
+        // The unlabelled key matches nothing: only exact/prefixed keys sum.
+        assert_eq!(aggregator.rate("recd_dpp_samples_out_total"), None);
     }
 
     #[test]

@@ -27,11 +27,13 @@
 
 pub mod aggregator;
 pub mod clock;
+pub mod federation;
 pub mod registry;
 pub mod server;
 
 pub use aggregator::{AggregatorConfig, AggregatorHandle, DerivedMetrics, MetricsAggregator};
 pub use clock::{ManualClock, ScaleClock, WallClock};
+pub use federation::RegistryFederation;
 pub use registry::{
     render_families, sample_value, Collector, Histogram, HistogramSnapshot, MetricFamily,
     MetricKind, MetricsBuf, MetricsRegistry, Sample, SampleValue,

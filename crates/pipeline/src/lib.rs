@@ -18,6 +18,10 @@
 //!   production models.
 //! * [`PipelineRunner`] runs one configuration end to end and produces a
 //!   [`PipelineReport`] with storage, reader, and trainer measurements.
+//!   `with_continuous` swaps the batch reader for the streaming tail → ETL →
+//!   DPP pipeline, and `with_hosts` disaggregates that DPP tier over a
+//!   multi-host fleet with a fault-tolerant control plane
+//!   (`ContinuousReport::fleet` carries the accounting).
 //! * [`experiments`] packages the paper's evaluation: Figures 3, 4, 7, 8, 9,
 //!   10 and Tables 2, 3, 4, plus the Scribe compression study, the
 //!   single-node study, the DedupeFactor sweep, and the accuracy-neutrality

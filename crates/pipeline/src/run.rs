@@ -7,11 +7,11 @@ use recd_core::{ConvertedBatch, DataLoaderConfig};
 use recd_data::{LogRecord, Schema};
 use recd_datagen::DatasetGenerator;
 use recd_dpp::{
-    DppConfig, DppReport, DppService, RecvTimeout, ShardPolicy, TrainerAssignPolicy, TrainerBatch,
-    TrainerHandle,
+    DppConfig, DppFleet, DppReport, DppService, FleetConfig, FleetReport, RecvTimeout, ShardPolicy,
+    TrainerAssignPolicy, TrainerBatch, TrainerHandle,
 };
 use recd_etl::{EtlJob, EtlService, EtlServiceReport, EtlStreamConfig, ManualClock, TableLayout};
-use recd_obs::{AggregatorConfig, MetricsAggregator, MetricsRegistry};
+use recd_obs::{AggregatorConfig, MetricsAggregator, MetricsRegistry, RegistryFederation};
 use recd_reader::{PreprocessPipeline, ReaderConfig, ReaderTier, TierReport};
 use recd_scribe::{LogTail, ScribeCluster, ScribeConfig, ScribeReport, ShardKeyPolicy, TailConfig};
 use recd_storage::{StorageReport, TableStore, TectonicSim};
@@ -71,8 +71,15 @@ pub struct ContinuousReport {
     /// Streaming ETL accounting (join, watermark, seals, landing).
     pub etl: EtlServiceReport,
     /// The consuming `recd-dpp` service's accounting
-    /// (`partitions_ingested` counts the hand-offs).
+    /// (`partitions_ingested` counts the hand-offs). In fleet mode this is
+    /// the fleet-level aggregate: `samples`/`batches` count unique forwarded
+    /// work, pool/queue/reader fields aggregate over host incarnations.
     pub dpp: DppReport,
+    /// Fleet control-plane accounting (heartbeats, deaths, replay,
+    /// rebalance), present when the runner was configured with
+    /// [`PipelineRunner::with_hosts`].
+    #[serde(default)]
+    pub fleet: Option<FleetReport>,
     /// Derived metrics captured by the observability plane's aggregator,
     /// which polled the cross-tier registry between pump steps.
     pub derived: ContinuousDerived,
@@ -127,6 +134,7 @@ pub struct PipelineRunner {
     streaming_trainers: usize,
     continuous_workers: Option<usize>,
     continuous_trainers: usize,
+    hosts: usize,
     chaos: Option<FaultPlan>,
 }
 
@@ -141,6 +149,7 @@ impl PipelineRunner {
             streaming_trainers: 0,
             continuous_workers: None,
             continuous_trainers: 0,
+            hosts: 0,
             chaos: None,
         }
     }
@@ -197,6 +206,23 @@ impl PipelineRunner {
     #[must_use]
     pub fn with_continuous_trainers(mut self, trainers: usize) -> Self {
         self.continuous_trainers = trainers;
+        self
+    }
+
+    /// In continuous mode, runs the DPP tier as a *disaggregated fleet* of
+    /// `hosts` simulated preprocessing hosts behind the fault-tolerant
+    /// control plane ([`DppFleet`]): the coordinator owns the global
+    /// file → shard placement, heartbeats every host on the pump clock, and
+    /// heals `kill-host`/`partition-host`/`rejoin-host` chaos faults with
+    /// bounded replay from the per-pump barrier cuts. The global shard count
+    /// is fixed by the compute-worker count alone, so the union of trainer
+    /// batches is byte-identical for every fleet size and failure schedule.
+    /// Passing `0` (the default) keeps the original in-process single
+    /// service; the control-plane accounting lands in
+    /// [`ContinuousReport::fleet`].
+    #[must_use]
+    pub fn with_hosts(mut self, hosts: usize) -> Self {
+        self.hosts = hosts;
         self
     }
 
@@ -351,8 +377,11 @@ impl PipelineRunner {
         let mut chaos_report = None;
         let mut continuous_batches = Vec::new();
         let continuous = self.continuous_workers.map(|workers| {
-            let (report, chaos, batches) =
-                self.run_continuous(workers, &drained, layout, &schema, &reader_config);
+            let (report, chaos, batches) = if self.hosts > 0 {
+                self.run_continuous_fleet(workers, &drained, layout, &schema, &reader_config)
+            } else {
+                self.run_continuous(workers, &drained, layout, &schema, &reader_config)
+            };
             chaos_report = chaos;
             continuous_batches = batches;
             report
@@ -538,6 +567,12 @@ impl PipelineRunner {
                             .with_chaos_retry(*policy, Arc::clone(counters));
                             counters.note_resume(recovery_started.elapsed());
                         }
+                        // Host faults only mean something to the fleet loop
+                        // (`run_continuous_fleet`); a single-service plan
+                        // that schedules them has no host to act on.
+                        FaultAction::KillHost { .. }
+                        | FaultAction::PartitionHost { .. }
+                        | FaultAction::RejoinHost { .. } => {}
                     }
                 }
             }
@@ -587,6 +622,215 @@ impl PipelineRunner {
         let report = ContinuousReport {
             etl: output.report,
             dpp,
+            fleet: None,
+            derived: ContinuousDerived {
+                records_per_second: derived.records_per_second,
+                tail_lag_trend_ms_per_s: derived.tail_lag_trend_ms_per_s,
+                pool_hit_ratio: derived.pool_hit_ratio,
+                series_tracked: aggregator.series_count(),
+            },
+        };
+        (report, chaos, batches)
+    }
+
+    /// The fleet variant of [`run_continuous`](Self::run_continuous): the
+    /// same tail → streaming-ETL → land schedule, but every landed partition
+    /// is ingested by a [`DppFleet`] of `self.hosts` simulated hosts instead
+    /// of one in-process service.
+    ///
+    /// Differences from the single-service loop:
+    ///
+    /// * the coordinator is ticked on the pump clock (heartbeats, death
+    ///   detection, partition healing) before faults fire;
+    /// * host faults (`kill-host`, `partition-host`, `rejoin-host`) route to
+    ///   the coordinator instead of being ignored;
+    /// * every pump ends in a fleet-wide barrier *unconditionally* — the
+    ///   barrier schedule (and with it batch composition) must be a pure
+    ///   function of the landing schedule so fault-free and faulted runs of
+    ///   any fleet size stay byte-identical;
+    /// * the observability registry federates the per-host registries under
+    ///   `host="h<i>"` labels next to the fleet control-plane counters.
+    ///
+    /// The pipeline checkpoint's DPP half stays empty: the coordinator keeps
+    /// its own per-host checkpoints at every barrier, and a `crash-pump`
+    /// replay is absorbed by the fleet-level ingest dedup.
+    fn run_continuous_fleet(
+        &self,
+        workers: usize,
+        drained: &[LogRecord],
+        layout: TableLayout,
+        schema: &Schema,
+        reader_config: &ReaderConfig,
+    ) -> (ContinuousReport, Option<ChaosReport>, Vec<TrainerBatch>) {
+        let spec = &self.spec;
+        let table = spec.preset.name();
+        let tail_config = TailConfig::default()
+            .with_jitter_ms(2_000)
+            .with_seed(spec.sized_workload().seed);
+        let stream_config = EtlStreamConfig::new(layout).with_window_ms(10_000);
+        let store = Arc::new(TableStore::new(TectonicSim::new(8), 64, 4));
+
+        let mut injector = self
+            .chaos
+            .as_ref()
+            .map(|plan| FaultInjector::new(plan, store.blob_store().clone()));
+        let chaos_retry = injector
+            .as_ref()
+            .map(|inj| (RetryPolicy::storage_default(), inj.counters()));
+
+        let mut etl = EtlService::new(
+            LogTail::new(drained.to_vec(), &tail_config),
+            stream_config,
+            Arc::clone(&store),
+            schema.clone(),
+            table,
+        );
+        // Host template. The global shard count is fixed at 3× the compute
+        // workers *independently of the fleet size*, so the coordinator's
+        // file → shard placement — and therefore batch composition — is
+        // identical for every M; that is the byte-identity the fleet
+        // convergence tests assert. (The shard policy is irrelevant here:
+        // the coordinator routes every file with an explicit shard
+        // override.)
+        let mut host_config = DppConfig::new(reader_config.clone())
+            .with_policy(ShardPolicy::FileRoundRobin)
+            .with_shards(workers * 3)
+            .with_compute_workers(workers)
+            .with_fill_workers(2);
+        if let Some((policy, counters)) = &chaos_retry {
+            etl = etl.with_chaos_retry(*policy, Arc::clone(counters));
+            host_config = host_config.with_chaos_retry(*policy, Arc::clone(counters));
+        }
+        // The fleet always fans out to real lanes; without requested
+        // trainers a single lane is drained and discarded.
+        let fleet_config = FleetConfig::new(host_config)
+            .with_hosts(self.hosts)
+            .with_trainers(self.continuous_trainers.max(1));
+        let mut fleet = DppFleet::start(fleet_config, Arc::clone(&store), schema.clone());
+
+        let mut lanes: Vec<Option<Lane>> = fleet
+            .take_trainers()
+            .into_iter()
+            .map(|trainer| Some(Lane::spawn(trainer)))
+            .collect();
+        let mut killed = Vec::new();
+
+        // The fleet observability plane: every per-host registry federates
+        // under its `host="h<i>"` label next to the coordinator's
+        // recd_fleet_* counters, the ETL gauges, the blob store, and (under
+        // chaos) the chaos counters. Host registries are stable across
+        // incarnations — a rejoined host keeps its label.
+        let federation = Arc::new(RegistryFederation::new());
+        for (label, host_registry) in fleet.host_registries() {
+            federation.set_member(label, host_registry);
+        }
+        let registry = Arc::new(MetricsRegistry::new());
+        registry.register(federation as Arc<dyn recd_obs::Collector>);
+        registry.register(fleet.counters() as Arc<dyn recd_obs::Collector>);
+        registry.register(etl.gauges());
+        registry.register(Arc::new(store.blob_store().clone()));
+        if let Some((_, counters)) = &chaos_retry {
+            let counters: Arc<dyn recd_obs::Collector> = Arc::clone(counters) as _;
+            registry.register(counters);
+        }
+        let aggregator = MetricsAggregator::new(registry, AggregatorConfig::default());
+        let started = std::time::Instant::now();
+        aggregator.poll_at(0.0);
+
+        const CHECKPOINT_EVERY_PUMPS: u64 = 4;
+        let mut clock = ManualClock::new();
+        let mut checkpoint = PipelineCheckpoint {
+            etl: etl.checkpoint(),
+            ..PipelineCheckpoint::default()
+        };
+        let mut pumps = 0u64;
+        while !etl.tail_drained() {
+            let now = clock.advance(60_000);
+            fleet.tick(now);
+            if let Some(inj) = injector.as_mut() {
+                for action in inj.poll(now) {
+                    match action {
+                        FaultAction::StallTrainer { lane, ms } => {
+                            if let Some(Some(lane)) = lanes.get(lane) {
+                                lane.stall(ms);
+                            }
+                        }
+                        FaultAction::KillTrainer { lane } => {
+                            if let Some(slot) = lanes.get_mut(lane) {
+                                if let Some(lane) = slot.take() {
+                                    killed.push(lane.kill());
+                                }
+                            }
+                        }
+                        FaultAction::CrashEtlPump => {
+                            let (policy, counters) =
+                                chaos_retry.as_ref().expect("injector implies chaos");
+                            counters.note_pump_crash();
+                            let recovery_started = std::time::Instant::now();
+                            etl = EtlService::resume_from(
+                                LogTail::new(drained.to_vec(), &tail_config),
+                                stream_config,
+                                Arc::clone(&store),
+                                schema.clone(),
+                                table,
+                                checkpoint.etl.clone(),
+                            )
+                            .with_chaos_retry(*policy, Arc::clone(counters));
+                            counters.note_resume(recovery_started.elapsed());
+                        }
+                        FaultAction::KillHost { host } => fleet.kill_host(host),
+                        FaultAction::PartitionHost { host, ms } => fleet.partition_host(host, ms),
+                        FaultAction::RejoinHost { host } => fleet.rejoin_host(host),
+                    }
+                }
+            }
+            etl.pump(
+                now,
+                &mut |stored: &recd_storage::StoredPartition,
+                      _sealed: &recd_etl::TablePartition| {
+                    fleet.ingest_partition(stored);
+                },
+            );
+            pumps += 1;
+            assert!(fleet.flush_partition(), "fleet pump barrier must resolve");
+            if self.chaos.is_some() && pumps.is_multiple_of(CHECKPOINT_EVERY_PUMPS) {
+                checkpoint = PipelineCheckpoint {
+                    etl: etl.checkpoint(),
+                    ..PipelineCheckpoint::default()
+                };
+            }
+            aggregator.poll_at(started.elapsed().as_secs_f64());
+        }
+        let output =
+            etl.finish(&mut |stored: &recd_storage::StoredPartition,
+                             _sealed: &recd_etl::TablePartition| {
+                fleet.ingest_partition(stored);
+            });
+        assert!(fleet.flush_partition(), "final fleet barrier must resolve");
+        let fleet_output = fleet.finish();
+        assert!(
+            fleet_output.errors.is_empty(),
+            "fleet hosts errored: {:?}",
+            fleet_output.errors
+        );
+        let mut batches: Vec<TrainerBatch> = Vec::new();
+        for join in killed {
+            batches.extend(join.join().expect("killed lane consumer"));
+        }
+        for lane in lanes.into_iter().flatten() {
+            batches.extend(lane.join.join().expect("lane consumer"));
+        }
+        if self.continuous_trainers == 0 {
+            // The implicit single lane only existed to drain the fleet.
+            batches.clear();
+        }
+        aggregator.poll_at(started.elapsed().as_secs_f64());
+        let derived = aggregator.derived();
+        let chaos = injector.as_mut().map(|inj| inj.finish());
+        let report = ContinuousReport {
+            etl: output.report,
+            dpp: fleet_output.dpp,
+            fleet: Some(fleet_output.report),
             derived: ContinuousDerived {
                 records_per_second: derived.records_per_second,
                 tail_lag_trend_ms_per_s: derived.tail_lag_trend_ms_per_s,
@@ -843,6 +1087,10 @@ mod tests {
         );
         assert_eq!(continuous.dpp.samples, report.samples);
         assert!(continuous.dpp.dedupe_factor > 1.0);
+        assert!(
+            continuous.fleet.is_none(),
+            "single-service mode carries no fleet report"
+        );
 
         let without = PipelineRunner::new(small_spec(), RecdConfig::full()).run(128);
         assert!(without.report.continuous.is_none());

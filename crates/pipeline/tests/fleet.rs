@@ -1,0 +1,207 @@
+//! End-to-end fleet convergence: the continuous pipeline with its DPP tier
+//! disaggregated over M simulated hosts must deliver the **byte-identical
+//! trainer-batch union** for every fleet size and every host-failure
+//! schedule — kills, control-plane partitions, rejoins — with full
+//! control-plane accounting and zero dropped batches.
+//!
+//! The oracle is the same runner with a fleet of one: the coordinator's
+//! file → shard placement (and the per-pump barrier schedule) is a pure
+//! function of the landing schedule, independent of the host count, so any
+//! divergence is attributable to the control plane leaking into the payload
+//! path.
+
+use recd_chaos::FaultPlan;
+use recd_dpp::TrainerBatch;
+use recd_pipeline::{PipelineRunner, RecdConfig, RmPreset, RmSpec};
+
+const WORKERS: usize = 2;
+const TRAINERS: usize = 3;
+const BATCH: usize = 128;
+const HOSTS: usize = 4;
+/// The small workload's sessions all start inside hour zero, so one
+/// simulated hour bounds the window in which the pipeline is moving data.
+const HORIZON_MS: u64 = 3_600_000;
+
+fn small_spec() -> RmSpec {
+    RmPreset::Rm1.spec().scaled_down(60)
+}
+
+fn run_fleet(hosts: usize, plan: FaultPlan) -> recd_pipeline::run::PipelineArtifacts {
+    PipelineRunner::new(small_spec(), RecdConfig::full())
+        .with_continuous(WORKERS)
+        .with_continuous_trainers(TRAINERS)
+        .with_hosts(hosts)
+        .with_chaos(plan)
+        .run(BATCH)
+}
+
+/// Sorts a delivered union into its canonical (shard, seq) order.
+fn canonical(mut batches: Vec<TrainerBatch>) -> Vec<TrainerBatch> {
+    batches.sort_by_key(|b| (b.shard, b.seq));
+    batches
+}
+
+/// Asserts two canonical unions are byte-identical, including the
+/// shard-pinned lane assignment.
+fn assert_union_identical(reference: &[TrainerBatch], got: &[TrainerBatch], label: &str) {
+    assert_eq!(
+        got.len(),
+        reference.len(),
+        "{label}: delivered batch count diverged from the reference run"
+    );
+    for (i, (g, r)) in got.iter().zip(reference).enumerate() {
+        assert_eq!(
+            (g.shard, g.seq, g.trainer),
+            (r.shard, r.seq, r.trainer),
+            "{label}: batch {i} stream position diverged"
+        );
+        assert_eq!(
+            g.batch, r.batch,
+            "{label}: batch {i} payload diverged from the reference run"
+        );
+    }
+}
+
+fn assert_zero_drops(artifacts: &recd_pipeline::run::PipelineArtifacts, label: &str) {
+    let continuous = artifacts.report.continuous.as_ref().expect("continuous");
+    assert!(
+        continuous
+            .dpp
+            .trainers
+            .iter()
+            .all(|t| t.dropped_batches == 0),
+        "{label}: no fleet lane may drop a batch"
+    );
+    assert_eq!(
+        continuous.dpp.samples, artifacts.report.samples,
+        "{label}: exactly-once — trainer-side samples match the batch pipeline"
+    );
+}
+
+#[test]
+fn fleet_sizes_deliver_identical_unions() {
+    let mut one = run_fleet(1, FaultPlan::new());
+    let reference = canonical(std::mem::take(&mut one.continuous_batches));
+    assert!(
+        reference.len() >= 4,
+        "reference must deliver several batches, got {}",
+        reference.len()
+    );
+    assert_zero_drops(&one, "fleet of one");
+    let fleet_one = one
+        .report
+        .continuous
+        .as_ref()
+        .expect("continuous")
+        .fleet
+        .clone()
+        .expect("fleet report");
+    assert_eq!(fleet_one.hosts, 1);
+    assert_eq!(fleet_one.hosts_live_at_finish, 1);
+    assert_eq!(fleet_one.deaths_detected, 0);
+
+    let four = run_fleet(HOSTS, FaultPlan::new());
+    assert_zero_drops(&four, "fleet of four");
+    let continuous = four.report.continuous.as_ref().expect("continuous");
+    let fleet = continuous.fleet.clone().expect("fleet report");
+    assert_eq!(fleet.hosts, HOSTS);
+    assert_eq!(fleet.hosts_live_at_finish, HOSTS);
+    assert_eq!(fleet.deaths_detected, 0);
+    assert_eq!(fleet.kills + fleet.partitions + fleet.rejoins, 0);
+    assert!(fleet.barriers > 0, "every pump ends in a fleet barrier");
+    // Every pump ticks every live host once; the final barrier (after the
+    // tail drains) has no tick of its own.
+    assert!(
+        fleet.heartbeats >= (fleet.barriers - 1) * HOSTS as u64,
+        "every live host beats at least once per pump"
+    );
+    assert_eq!(fleet.forwarded_batches as usize, reference.len());
+    // The per-host registries federate into the aggregator's registry, so
+    // the fleet run tracks strictly more series than one host would emit.
+    assert!(continuous.derived.series_tracked > 0);
+
+    assert_union_identical(
+        &reference,
+        &canonical(four.continuous_batches),
+        "fleet of four",
+    );
+}
+
+#[test]
+fn seeded_host_failure_schedules_converge() {
+    let reference = canonical(run_fleet(HOSTS, FaultPlan::new()).continuous_batches);
+
+    for seed in [7u64, 23] {
+        let plan = FaultPlan::seeded_fleet(seed, HORIZON_MS, TRAINERS, HOSTS);
+        let planned = plan.len();
+        let artifacts = run_fleet(HOSTS, plan);
+        let label = format!("seed {seed}");
+
+        let chaos = artifacts.report.chaos.clone().expect("chaos report");
+        assert_eq!(chaos.seed, seed);
+        assert_eq!(
+            chaos.faults_fired, planned as u64,
+            "{label}: every scheduled fault fires inside the run window"
+        );
+
+        let continuous = artifacts.report.continuous.as_ref().expect("continuous");
+        let fleet = continuous.fleet.clone().expect("fleet report");
+        assert_eq!(fleet.kills, 1, "{label}");
+        assert_eq!(fleet.partitions, 1, "{label}");
+        assert_eq!(fleet.rejoins, 1, "{label}");
+        // Both the killed and the partitioned host are declared dead (the
+        // per-pump barrier acts as a contact round); only the killed one
+        // rejoins.
+        assert_eq!(fleet.deaths_detected, 2, "{label}");
+        assert_eq!(fleet.hosts_live_at_finish, HOSTS - 1, "{label}");
+        assert!(
+            fleet.shard_replacements > 0,
+            "{label}: a dead host's shards must be re-placed"
+        );
+        assert!(
+            fleet.rebalance_moves > 0,
+            "{label}: the rejoined host must steal shards back"
+        );
+        assert_zero_drops(&artifacts, &label);
+
+        assert_union_identical(&reference, &canonical(artifacts.continuous_batches), &label);
+    }
+}
+
+#[test]
+fn hand_written_host_fault_plan_heals_to_full_strength() {
+    let reference = canonical(run_fleet(HOSTS, FaultPlan::new()).continuous_batches);
+
+    // Kill one host, partition another past the heartbeat timeout, rejoin
+    // both: the fleet must finish at full strength with the identical union.
+    let plan = FaultPlan::parse(
+        "300000:kill-host:1;900000:partition-host:2:240000;\
+         2100000:rejoin-host:1;2400000:rejoin-host:2",
+    )
+    .expect("plan parses");
+    let planned = plan.len();
+    let artifacts = run_fleet(HOSTS, plan);
+
+    let chaos = artifacts.report.chaos.clone().expect("chaos report");
+    assert_eq!(chaos.faults_fired, planned as u64);
+
+    let continuous = artifacts.report.continuous.as_ref().expect("continuous");
+    let fleet = continuous.fleet.clone().expect("fleet report");
+    assert_eq!(fleet.kills, 1);
+    assert_eq!(fleet.partitions, 1);
+    assert_eq!(fleet.rejoins, 2);
+    assert_eq!(fleet.deaths_detected, 2);
+    assert_eq!(
+        fleet.hosts_live_at_finish, HOSTS,
+        "both rejoined hosts must be live at finish"
+    );
+    assert!(fleet.shard_replacements > 0);
+    assert!(fleet.rebalance_moves > 0);
+    assert_zero_drops(&artifacts, "heal plan");
+
+    assert_union_identical(
+        &reference,
+        &canonical(artifacts.continuous_batches),
+        "heal plan",
+    );
+}

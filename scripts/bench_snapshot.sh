@@ -84,6 +84,20 @@ if [ -z "$continuous_rps" ]; then
   exit 1
 fi
 
+# Control-plane cost of the multi-host fleet: wall-clock ms spent inside the
+# work-stealing shard rebalance across a seeded host-death + rejoin run,
+# lifted from the CLI's machine-parseable derived line. Guarded by the gate
+# as lower-is-better (the _ms suffix).
+echo "running fleet rebalance probe..." >&2
+fleet_rebalance_ms=$(cargo run --release -q -p recd-dpp --bin recd-dpp -- \
+  --tail --hosts 3 --trainers 2 --chaos-seed 7 --quiet 2>>"$bench_log" \
+  | awk '/^derived fleet_rebalance_ms / { print $3 }')
+if [ -z "$fleet_rebalance_ms" ]; then
+  echo "bench_snapshot: fleet probe printed no 'derived fleet_rebalance_ms' line" >&2
+  tail -20 "$bench_log" >&2
+  exit 1
+fi
+
 convert_row=$(mean_ns "datagen_convert_512/rowwise")
 convert_col=$(mean_ns "datagen_convert_512/columnar")
 fill_row=$(mean_ns "pipeline_fill_convert/rowwise")
@@ -120,7 +134,8 @@ fi
   echo "    \"dpp_scaleup_first_grow_ms\": $(awk -v ns="$scaleup" 'BEGIN { printf "%.2f", ns / 1e6 }'),"
   echo "    \"etl_stream_tail_to_trainer_ms\": $(awk -v ns="$tail_to_trainer" 'BEGIN { printf "%.2f", ns / 1e6 }'),"
   echo "    \"etl_stream_seal_to_ingest_ms\": $(awk -v ns="$seal_to_ingest" 'BEGIN { printf "%.2f", ns / 1e6 }'),"
-  echo "    \"continuous_records_per_second\": $continuous_rps"
+  echo "    \"continuous_records_per_second\": $continuous_rps,"
+  echo "    \"fleet_rebalance_ms\": $fleet_rebalance_ms"
   echo '  },'
   echo '  "benches": ['
   normalize | awk '{
