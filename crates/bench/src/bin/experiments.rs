@@ -4,7 +4,8 @@
 //!
 //! ```text
 //! experiments [all|fig3|fig4|scribe|fig7|fig8|fig9|fig10|table2|table3|table4|
-//!              single_node|dedupe_factor|accuracy] [--smoke]
+//!              single_node|dedupe_factor|accuracy|storage_balance|cache_sweep]
+//!             [--smoke]
 //! ```
 //!
 //! `--smoke` runs every experiment at a reduced scale (the size the
@@ -103,11 +104,21 @@ fn run_one(name: &str, scale: ExperimentScale) {
         println!();
         ran = true;
     }
+    if all || name == "storage_balance" {
+        print!("{}", experiments::storage_load_balance(scale).render());
+        println!();
+        ran = true;
+    }
+    if all || name == "cache_sweep" {
+        print!("{}", experiments::cache_size_sweep(scale).render());
+        println!();
+        ran = true;
+    }
 
     if !ran {
         eprintln!("unknown experiment `{name}`");
         eprintln!(
-            "known experiments: all fig3 fig4 scribe fig7 fig8 fig9 fig10 table2 table3 table4 single_node dedupe_factor accuracy"
+            "known experiments: all fig3 fig4 scribe fig7 fig8 fig9 fig10 table2 table3 table4 single_node dedupe_factor accuracy storage_balance cache_sweep"
         );
         std::process::exit(2);
     }

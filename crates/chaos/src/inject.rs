@@ -278,7 +278,7 @@ impl FaultInjector {
         let mut actions = Vec::new();
         if let Some(restore_at) = self.restore_at_ms {
             if now_ms >= restore_at {
-                self.store.set_get_latency(self.base_latency);
+                self.restore_brownout();
                 self.restore_at_ms = None;
             }
         }
@@ -288,10 +288,18 @@ impl FaultInjector {
             self.counters.note_fault(&fault.kind);
             match fault.kind {
                 FaultKind::SlowStorage { factor, ms } => {
-                    // A zero-latency store still browns out: the floor makes
-                    // the multiplier meaningful either way.
-                    let base = self.base_latency.max(Duration::from_micros(200));
-                    self.store.set_get_latency(base * factor);
+                    if self.store.queueing_enabled() {
+                        // Queue-modeled store: a brown-out is a service-rate
+                        // cut, so latency degrades with load instead of
+                        // jumping by a flat amount.
+                        self.store.set_rate_cut(f64::from(factor.max(1)));
+                    } else {
+                        // Flat-latency store: a zero-latency store still
+                        // browns out — the floor makes the multiplier
+                        // meaningful either way.
+                        let base = self.base_latency.max(Duration::from_micros(200));
+                        self.store.set_get_latency(base * factor);
+                    }
                     self.restore_at_ms = Some(now_ms.saturating_add(ms));
                 }
                 FaultKind::FailGet { count } => self.store.fail_next_gets(count),
@@ -321,9 +329,19 @@ impl FaultInjector {
     /// serializable report.
     pub fn finish(&mut self) -> ChaosReport {
         if self.restore_at_ms.take().is_some() {
-            self.store.set_get_latency(self.base_latency);
+            self.restore_brownout();
         }
         self.counters.report(self.seed, self.planned, &self.store)
+    }
+
+    /// Ends a brown-out on whichever model is active: rate cut back to
+    /// healthy on a queue-modeled store, base latency otherwise.
+    fn restore_brownout(&self) {
+        if self.store.queueing_enabled() {
+            self.store.set_rate_cut(1.0);
+        } else {
+            self.store.set_get_latency(self.base_latency);
+        }
     }
 }
 
@@ -419,6 +437,45 @@ mod tests {
         assert_eq!(store.get_latency(), Duration::from_millis(8));
         injector.finish();
         assert_eq!(store.get_latency(), Duration::from_millis(2));
+    }
+
+    #[test]
+    fn brownouts_on_queued_stores_cut_rates_not_latency() {
+        use recd_storage::NodeConfig;
+        let store = TectonicSim::new(2).with_node_config(NodeConfig::new(1e6, 1e9));
+        store.put("a", vec![1]);
+        let plan =
+            FaultPlan::new().with_fault(1_000, FaultKind::SlowStorage { factor: 8, ms: 500 });
+        let mut injector = FaultInjector::new(&plan, store.clone());
+        injector.poll(999);
+        assert_eq!(store.rate_cut(), 1.0);
+        injector.poll(1_000);
+        assert_eq!(store.rate_cut(), 8.0);
+        // The flat latency knob stays untouched on the queued model.
+        assert_eq!(store.get_latency(), Duration::ZERO);
+        injector.poll(1_499);
+        assert_eq!(store.rate_cut(), 8.0);
+        injector.poll(1_500);
+        assert_eq!(store.rate_cut(), 1.0);
+        assert!(injector.done());
+    }
+
+    #[test]
+    fn finish_restores_a_mid_brownout_rate_cut() {
+        use recd_storage::NodeConfig;
+        let store = TectonicSim::new(1).with_node_config(NodeConfig::new(1e6, 1e9));
+        let plan = FaultPlan::new().with_fault(
+            0,
+            FaultKind::SlowStorage {
+                factor: 4,
+                ms: 9999,
+            },
+        );
+        let mut injector = FaultInjector::new(&plan, store.clone());
+        injector.poll(0);
+        assert_eq!(store.rate_cut(), 4.0);
+        injector.finish();
+        assert_eq!(store.rate_cut(), 1.0);
     }
 
     #[test]

@@ -54,7 +54,7 @@ use recd_obs::{
 };
 use recd_reader::{PreprocessPipeline, ReaderConfig};
 use recd_scribe::{LogTail, TailConfig};
-use recd_storage::{TableStore, TectonicSim};
+use recd_storage::{NodeConfig, TableStore, TectonicSim};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
@@ -85,6 +85,9 @@ struct Args {
     rebalance: bool,
     chaos_seed: Option<u64>,
     chaos_plan: Option<String>,
+    storage_rate: f64,
+    storage_bw: f64,
+    cache_mb: usize,
     metrics_port: Option<u16>,
     scrape_once: bool,
     quiet: bool,
@@ -117,6 +120,9 @@ fn parse_args() -> Result<Args, String> {
         rebalance: true,
         chaos_seed: None,
         chaos_plan: None,
+        storage_rate: 0.0,
+        storage_bw: 256.0 * 1024.0 * 1024.0,
+        cache_mb: 0,
         metrics_port: None,
         scrape_once: false,
         quiet: false,
@@ -264,6 +270,21 @@ fn parse_args() -> Result<Args, String> {
                 )
             }
             "--chaos-plan" => args.chaos_plan = Some(value("--chaos-plan")?),
+            "--storage-rate" => {
+                args.storage_rate = value("--storage-rate")?
+                    .parse()
+                    .map_err(|e| format!("--storage-rate: {e}"))?
+            }
+            "--storage-bw" => {
+                args.storage_bw = value("--storage-bw")?
+                    .parse()
+                    .map_err(|e| format!("--storage-bw: {e}"))?
+            }
+            "--cache-mb" => {
+                args.cache_mb = value("--cache-mb")?
+                    .parse()
+                    .map_err(|e| format!("--cache-mb: {e}"))?
+            }
             "--metrics-port" => {
                 args.metrics_port = Some(
                     value("--metrics-port")?
@@ -316,6 +337,15 @@ fn parse_args() -> Result<Args, String> {
                      \n                           fail-put:COUNT | crash-pump | kill-host:HOST |\
                      \n                           partition-host:HOST:MS | rejoin-host:HOST\
                      \n                           (host faults require --hosts > 1)\
+                     \n  --storage-rate N         enable the per-node storage queue model: each of\
+                     \n                           the 8 simulated nodes services N ops/s, so blob\
+                     \n                           get/put latency emerges from queue depth and\
+                     \n                           transfer size (default 0 = flat-latency store)\
+                     \n  --storage-bw BYTES       per-node storage bandwidth in bytes/s (default\
+                     \n                           268435456 = 256 MiB/s; requires --storage-rate)\
+                     \n  --cache-mb N             enable an N-MiB LRU blob cache in front of the\
+                     \n                           storage nodes (default 0 = off); hits bypass the\
+                     \n                           node queues\
                      \n  --metrics-port N         serve GET /metrics (Prometheus text format) on\
                      \n                           127.0.0.1:N while running (0 = ephemeral port)\
                      \n  --scrape-once            self-scrape /metrics once before shutdown and\
@@ -339,6 +369,12 @@ fn parse_args() -> Result<Args, String> {
     if args.chaos_seed.is_some() && args.chaos_plan.is_some() {
         return Err("--chaos-seed and --chaos-plan are mutually exclusive".to_string());
     }
+    if !(args.storage_rate.is_finite() && args.storage_rate >= 0.0) {
+        return Err("--storage-rate must be a finite, non-negative ops/s figure".to_string());
+    }
+    if !(args.storage_bw.is_finite() && args.storage_bw > 0.0) {
+        return Err("--storage-bw must be a finite, positive bytes/s figure".to_string());
+    }
     if args.hosts > 0 && !args.tail {
         return Err(
             "--hosts requires --tail (the fleet's heartbeats ride the continuous pump clock)"
@@ -346,6 +382,38 @@ fn parse_args() -> Result<Args, String> {
         );
     }
     Ok(args)
+}
+
+/// Builds the blob store for this invocation: 8 simulated nodes, with the
+/// per-node queue model when `--storage-rate` is set and the LRU cache tier
+/// when `--cache-mb` is set.
+fn build_blob_store(args: &Args) -> TectonicSim {
+    let mut sim = TectonicSim::new(8);
+    if args.storage_rate > 0.0 {
+        sim = sim.with_node_config(NodeConfig::new(args.storage_rate, args.storage_bw));
+    }
+    if args.cache_mb > 0 {
+        sim = sim.with_cache(args.cache_mb * 1024 * 1024);
+    }
+    sim
+}
+
+/// Prints the machine-parseable storage derived lines for whichever storage
+/// tiers this invocation enabled; `scripts/bench_snapshot.sh` and the CI
+/// chaos smoke read them.
+fn print_storage_derived(sim: &TectonicSim) {
+    if sim.cache_enabled() {
+        println!(
+            "derived storage_cache_hit_ratio {:.4}",
+            sim.cache_stats().hit_ratio()
+        );
+    }
+    if sim.queueing_enabled() {
+        println!(
+            "derived storage_node_wait_ms {:.4}",
+            sim.mean_queue_wait().as_secs_f64() * 1e3
+        );
+    }
 }
 
 /// Rejects fault plans that name fleet hosts this invocation does not have.
@@ -539,7 +607,7 @@ fn main() {
         workload = workload.with_sessions(sessions);
     }
     let generator = DatasetGenerator::new(workload);
-    let store = Arc::new(TableStore::new(TectonicSim::new(8), 64, 2));
+    let store = Arc::new(TableStore::new(build_blob_store(&args), 64, 2));
     let (schema, stored, tail_records) = if args.tail {
         let (records, partition) = generator.generate_logs();
         println!(
@@ -883,6 +951,7 @@ fn main() {
             println!("derived continuous_records_per_second {rate:.1}");
         }
     }
+    print_storage_derived(store.blob_store());
     if !args.quiet {
         println!("\n{}", aggregator.report());
     }
@@ -921,7 +990,7 @@ fn run_fleet(args: Args) {
         workload = workload.with_sessions(sessions);
     }
     let generator = DatasetGenerator::new(workload);
-    let store = Arc::new(TableStore::new(TectonicSim::new(8), 64, 2));
+    let store = Arc::new(TableStore::new(build_blob_store(&args), 64, 2));
     let (records, partition) = generator.generate_logs();
     println!(
         "dataset: tailing {} raw log records ({} samples once joined) into a {}-host fleet, jitter {}ms, seed {}",
@@ -1222,6 +1291,7 @@ fn run_fleet(args: Args) {
         println!("derived continuous_records_per_second {rate:.1}");
     }
     println!("derived fleet_rebalance_ms {:.3}", fr.rebalance_ms);
+    print_storage_derived(store.blob_store());
     if !args.quiet {
         println!("\n{}", aggregator.report());
     }

@@ -919,21 +919,27 @@ impl EtlService {
             *seal_idx += 1;
             let samples = &sealed.partition.samples;
             let (stored, report) = match &self.chaos {
-                Some((policy, counters)) => policy
-                    .run(Some(counters), StorageError::is_transient, || {
+                Some((policy, counters)) => {
+                    // Serialize once; every backoff attempt re-tries only
+                    // the puts, sharing the prepared blobs instead of
+                    // re-encoding the partition.
+                    let prepared =
                         self.store
-                            .try_land_partition(&self.schema, &table, hour, samples)
-                    })
-                    .unwrap_or_else(|_| {
-                        // Retry budget exhausted: fall through to the
-                        // infallible landing path (fault budgets never apply
-                        // to `put`) so a sealed partition cannot be lost.
-                        // The exhaustion is already counted. Landing is
-                        // idempotent either way — deterministic bytes at
-                        // deterministic paths.
-                        self.store
-                            .land_partition(&self.schema, &table, hour, samples)
-                    }),
+                            .prepare_partition(&self.schema, &table, hour, samples);
+                    policy
+                        .run(Some(counters), StorageError::is_transient, || {
+                            self.store.try_store_prepared(&prepared)
+                        })
+                        .unwrap_or_else(|_| {
+                            // Retry budget exhausted: fall through to the
+                            // infallible landing path (fault budgets never
+                            // apply to `put`) so a sealed partition cannot be
+                            // lost. The exhaustion is already counted.
+                            // Landing is idempotent either way —
+                            // deterministic bytes at deterministic paths.
+                            self.store.store_prepared(&prepared)
+                        })
+                }
                 None => self
                     .store
                     .land_partition(&self.schema, &table, hour, samples),

@@ -128,6 +128,14 @@ impl MetricsAggregator {
                     kind,
                     points: VecDeque::with_capacity(self.ring_capacity.min(64)),
                 });
+                // A counter that went backwards was reset (a killed host
+                // rejoined with a fresh registry). Restart the window at the
+                // reset instead of deriving a negative rate from it.
+                if entry.kind == MetricKind::Counter
+                    && entry.points.back().is_some_and(|(_, last)| value < *last)
+                {
+                    entry.points.clear();
+                }
                 if entry.points.len() == self.ring_capacity {
                     entry.points.pop_front();
                 }
@@ -385,6 +393,60 @@ mod tests {
         assert!(report.contains("end_to_end_records_per_second: 100.0"));
         assert!(report.contains("catching up"));
         assert!(report.contains("recd_dpp_samples_out_total"));
+    }
+
+    /// A counter that climbs, resets to zero (a killed host rejoining with
+    /// a fresh registry), then climbs again.
+    #[derive(Default)]
+    struct ResettingTier {
+        polls: AtomicU64,
+    }
+
+    impl Collector for ResettingTier {
+        fn collect(&self, out: &mut MetricsBuf) {
+            let n = self.polls.fetch_add(1, Ordering::Relaxed);
+            // Polls 0..3 climb to 300, poll 3 resets to 0, then climbs.
+            let value = if n < 3 { n * 100 } else { (n - 3) * 40 };
+            out.counter("recd_dpp_samples_out_total", "samples", &[], value as f64);
+            out.gauge("recd_etl_tail_lag_ms", "lag", &[], 5.0);
+        }
+    }
+
+    #[test]
+    fn counter_reset_restarts_the_window_instead_of_going_negative() {
+        let registry = Arc::new(MetricsRegistry::new());
+        registry.register(Arc::new(ResettingTier::default()));
+        let aggregator =
+            MetricsAggregator::new(Arc::clone(&registry), AggregatorConfig { ring_capacity: 8 });
+
+        aggregator.poll_at(1.0); // 0
+        aggregator.poll_at(2.0); // 100
+        aggregator.poll_at(3.0); // 200
+        let before = aggregator.rate("recd_dpp_samples_out_total").unwrap();
+        assert!((before - 100.0).abs() < 1e-9, "pre-reset rate {before}");
+
+        // The reset poll drops to 0: without the monotonicity guard the
+        // window (0 .. 200) would derive a negative records/sec.
+        aggregator.poll_at(4.0); // reset -> 0
+        assert_eq!(aggregator.rate("recd_dpp_samples_out_total"), None);
+        assert_eq!(aggregator.points("recd_dpp_samples_out_total").len(), 1);
+
+        aggregator.poll_at(5.0); // 40
+        aggregator.poll_at(6.0); // 80
+        let after = aggregator.rate("recd_dpp_samples_out_total").unwrap();
+        assert!(
+            after > 0.0 && (after - 40.0).abs() < 1e-9,
+            "post-reset rate {after}"
+        );
+        assert!(
+            aggregator
+                .family_rate("recd_dpp_samples_out_total")
+                .unwrap()
+                > 0.0
+        );
+
+        // Gauges may legitimately descend; their window is never restarted.
+        assert_eq!(aggregator.points("recd_etl_tail_lag_ms").len(), 6);
     }
 
     #[test]

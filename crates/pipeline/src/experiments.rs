@@ -16,12 +16,15 @@ use recd_datagen::{
     characterize, CharacterizationReport, DatasetGenerator, WorkloadConfig, WorkloadPreset,
 };
 use recd_etl::cluster_by_session;
+use recd_obs::ManualClock;
 use recd_scribe::{ScribeCluster, ScribeConfig, ShardKeyPolicy};
+use recd_storage::{NodeConfig, PlacementPolicy, TableStore, TectonicSim};
 use recd_trainer::{
     Dlrm, DlrmConfig, ExecutionMode, IterationCost, PoolingKind, TrainerOptimizations, WorkStats,
 };
 use serde::{Deserialize, Serialize};
 use std::fmt::Write as _;
+use std::sync::Arc;
 
 /// How large the experiment workloads are.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
@@ -1127,6 +1130,238 @@ impl AccuracyReport {
 }
 
 // ---------------------------------------------------------------------------
+// Storage realism: load balance across placement policies + cache-size sweep.
+// ---------------------------------------------------------------------------
+
+/// One placement policy measured under the per-node queue model.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StorageBalanceRow {
+    /// Placement policy name.
+    pub policy: String,
+    /// Files landed (one blob each).
+    pub files: usize,
+    /// Max/mean stored bytes across nodes (1.0 = perfectly balanced).
+    pub byte_spread: f64,
+    /// Max/mean queue ops across nodes.
+    pub op_spread: f64,
+    /// Mean virtual-time queue wait per op, in milliseconds.
+    pub mean_wait_ms: f64,
+}
+
+/// Storage load-balance experiment: the same landed partition + read pass
+/// under each [`PlacementPolicy`], on a queue-enabled store.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StorageBalanceReport {
+    /// Storage nodes in the simulated cluster.
+    pub nodes: usize,
+    /// One row per placement policy.
+    pub rows: Vec<StorageBalanceRow>,
+}
+
+/// Lands one partition and reads every file back under each placement
+/// policy, with the per-node queue model active on a frozen clock so queue
+/// waits are pure virtual-time accounting (deterministic: every op enqueues
+/// at t=0, so waits depend only on per-node op counts and blob sizes, not
+/// on scheduler jitter).
+pub fn storage_load_balance(scale: ExperimentScale) -> StorageBalanceReport {
+    let nodes = 4;
+    let node = NodeConfig::new(10_000.0, 256.0 * 1024.0 * 1024.0);
+    let config = WorkloadConfig::preset(WorkloadPreset::Small).with_sessions(scale.sessions(160));
+    let partition = DatasetGenerator::new(config).generate_partition();
+
+    let policies = [
+        ("hash-path", PlacementPolicy::HashPath),
+        ("round-robin", PlacementPolicy::RoundRobin),
+        ("least-loaded", PlacementPolicy::LeastLoadedBytes),
+    ];
+    let mut rows = Vec::new();
+    for (name, policy) in policies {
+        let sim = TectonicSim::new(nodes)
+            .with_placement(policy)
+            .with_node_config(node)
+            .with_queue_clock(Arc::new(ManualClock::new()));
+        let store = TableStore::new(sim, 16, 1);
+        let (stored, report) =
+            store.land_partition(&partition.schema, "balance", 0, &partition.samples);
+        for path in &stored.files {
+            store
+                .blob_store()
+                .get(path)
+                .expect("landed blob must read back");
+        }
+        let stats = store.blob_store().node_stats();
+        let bytes: Vec<f64> = stats.iter().map(|n| n.stored_bytes as f64).collect();
+        let ops: Vec<f64> = stats.iter().map(|n| n.ops as f64).collect();
+        rows.push(StorageBalanceRow {
+            policy: name.to_string(),
+            files: report.files,
+            byte_spread: spread(&bytes),
+            op_spread: spread(&ops),
+            mean_wait_ms: store.blob_store().mean_queue_wait().as_secs_f64() * 1e3,
+        });
+    }
+    StorageBalanceReport { nodes, rows }
+}
+
+impl StorageBalanceReport {
+    /// The gated figure: mean queue wait under the default hash placement.
+    pub fn hash_wait_ms(&self) -> f64 {
+        self.rows
+            .iter()
+            .find(|r| r.policy == "hash-path")
+            .map_or(0.0, |r| r.mean_wait_ms)
+    }
+
+    /// Renders the per-policy table plus the derived line the bench
+    /// snapshot extracts.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "Storage load balance ({} nodes, per-node queue model, frozen clock):",
+            self.nodes
+        );
+        for row in &self.rows {
+            let _ = writeln!(
+                out,
+                "  {:<13} {:>4} files  byte-spread {:.2}x  op-spread {:.2}x  mean wait {:.3} ms",
+                row.policy, row.files, row.byte_spread, row.op_spread, row.mean_wait_ms
+            );
+        }
+        let _ = writeln!(
+            out,
+            "derived storage_load_balance_wait_ms {:.4}",
+            self.hash_wait_ms()
+        );
+        out
+    }
+}
+
+/// One cache capacity in the sweep.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CacheSweepRow {
+    /// Cache byte budget (0 = disabled).
+    pub capacity_bytes: usize,
+    /// Fraction of gets served from the cache.
+    pub hit_ratio: f64,
+    /// Entries evicted to stay within the budget.
+    pub evictions: u64,
+    /// Ops that reached the node queues (misses + puts).
+    pub queue_ops: u64,
+}
+
+/// Cache-size sweep: the same read workload against increasing cache
+/// capacities on a queue-enabled store.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CacheSweepReport {
+    /// Bytes landed in the blob store (the working set).
+    pub total_blob_bytes: usize,
+    /// Full scans of the partition per capacity.
+    pub passes: usize,
+    /// One row per capacity, smallest first.
+    pub rows: Vec<CacheSweepRow>,
+}
+
+/// Sweeps the blob-cache byte budget from disabled to twice the working
+/// set. The access pattern is `passes` sequential scans with a hot quarter
+/// of the files re-read twice on touch, so small caches capture only the
+/// intra-burst reuse while a working-set-sized cache also captures the
+/// cross-pass reuse. Deterministic: single-threaded, fixed access order.
+pub fn cache_size_sweep(scale: ExperimentScale) -> CacheSweepReport {
+    let node = NodeConfig::new(20_000.0, 256.0 * 1024.0 * 1024.0);
+    let config = WorkloadConfig::preset(WorkloadPreset::Small).with_sessions(scale.sessions(160));
+    let partition = DatasetGenerator::new(config).generate_partition();
+    let passes = 3;
+
+    let land = |capacity: usize| {
+        let sim = TectonicSim::new(4)
+            .with_node_config(node)
+            .with_cache(capacity);
+        let store = TableStore::new(sim, 16, 1);
+        let (stored, _) = store.land_partition(&partition.schema, "sweep", 0, &partition.samples);
+        (store, stored)
+    };
+
+    // Land once with the cache off to size the working set, then derive the
+    // sweep points from it.
+    let (probe, _) = land(0);
+    let total = probe.blob_store().stats().stored_bytes;
+    let capacities = [0, total / 8, total / 2, total * 2];
+
+    let mut rows = Vec::new();
+    let mut scratch = Vec::new();
+    for capacity in capacities {
+        let (store, stored) = land(capacity);
+        let blob = store.blob_store();
+        for _ in 0..passes {
+            for (i, path) in stored.files.iter().enumerate() {
+                blob.get_into(path, &mut scratch).expect("blob read");
+                if i % 4 == 0 {
+                    // Hot quarter: immediate re-reads (intra-burst reuse).
+                    blob.get_into(path, &mut scratch).expect("blob read");
+                    blob.get_into(path, &mut scratch).expect("blob read");
+                }
+            }
+        }
+        let cache = blob.cache_stats();
+        rows.push(CacheSweepRow {
+            capacity_bytes: capacity,
+            hit_ratio: cache.hit_ratio(),
+            evictions: cache.evictions,
+            queue_ops: blob.node_stats().iter().map(|n| n.ops).sum(),
+        });
+    }
+    CacheSweepReport {
+        total_blob_bytes: total,
+        passes,
+        rows,
+    }
+}
+
+impl CacheSweepReport {
+    /// The gated figure: hit ratio with a cache larger than the working set.
+    pub fn full_capacity_hit_ratio(&self) -> f64 {
+        self.rows.last().map_or(0.0, |r| r.hit_ratio)
+    }
+
+    /// Renders the sweep plus the derived line the bench snapshot extracts.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "Cache-size sweep (working set {} KiB, {} passes, hot quarter re-read):",
+            self.total_blob_bytes / 1024,
+            self.passes
+        );
+        for row in &self.rows {
+            let _ = writeln!(
+                out,
+                "  cache {:>8} KiB  hit ratio {:.3}  evictions {:>5}  node ops {:>6}",
+                row.capacity_bytes / 1024,
+                row.hit_ratio,
+                row.evictions,
+                row.queue_ops
+            );
+        }
+        let _ = writeln!(
+            out,
+            "derived storage_cache_hit_ratio {:.4}",
+            self.full_capacity_hit_ratio()
+        );
+        out
+    }
+}
+
+/// Max/mean of a non-empty slice (1.0 when the mean is zero).
+fn spread(values: &[f64]) -> f64 {
+    let mean = values.iter().sum::<f64>() / values.len() as f64;
+    if mean <= 0.0 {
+        return 1.0;
+    }
+    values.iter().cloned().fold(0.0, f64::max) / mean
+}
+
+// ---------------------------------------------------------------------------
 
 fn ratio(numerator: f64, denominator: f64) -> f64 {
     if denominator <= 0.0 {
@@ -1191,6 +1426,57 @@ mod tests {
         assert!(t3.rows[1].read_bytes < t3.rows[0].read_bytes);
         assert!(t3.rows[2].send_bytes < t3.rows[1].send_bytes);
         assert!(t3.render().contains("Table 3"));
+    }
+
+    #[test]
+    fn storage_balance_and_cache_sweep_experiments() {
+        let balance = storage_load_balance(ExperimentScale::Smoke);
+        assert_eq!(balance.rows.len(), 3);
+        for row in &balance.rows {
+            assert!(
+                row.files > 4,
+                "want a multi-file partition, got {}",
+                row.files
+            );
+            assert!(row.byte_spread >= 1.0);
+            assert!(row.op_spread >= 1.0);
+            assert!(row.mean_wait_ms > 0.0, "frozen clock must accumulate wait");
+        }
+        // Round-robin balances op counts by construction, so no policy can
+        // spread ops tighter; greedy least-loaded keeps bytes near-even.
+        let hash = &balance.rows[0];
+        let rr = &balance.rows[1];
+        let least = &balance.rows[2];
+        assert!(rr.op_spread <= hash.op_spread + 1e-9);
+        assert!(
+            least.byte_spread < 1.5,
+            "greedy placement drifted: {least:?}"
+        );
+        assert!(balance.render().contains("storage_load_balance_wait_ms"));
+
+        let sweep = cache_size_sweep(ExperimentScale::Smoke);
+        assert_eq!(sweep.rows.len(), 4);
+        assert_eq!(sweep.rows[0].hit_ratio, 0.0, "disabled cache cannot hit");
+        for pair in sweep.rows.windows(2) {
+            assert!(
+                pair[1].hit_ratio >= pair[0].hit_ratio - 1e-9,
+                "hit ratio regressed with more capacity: {pair:?}"
+            );
+            assert!(
+                pair[1].queue_ops <= pair[0].queue_ops,
+                "a larger cache must not add node traffic: {pair:?}"
+            );
+        }
+        assert!(
+            sweep.full_capacity_hit_ratio() > 0.6,
+            "working-set cache should absorb cross-pass reuse, got {}",
+            sweep.full_capacity_hit_ratio()
+        );
+        assert!(
+            sweep.rows.iter().any(|r| r.evictions > 0),
+            "undersized capacities should evict"
+        );
+        assert!(sweep.render().contains("storage_cache_hit_ratio"));
     }
 
     #[test]

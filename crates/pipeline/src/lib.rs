@@ -37,4 +37,6 @@ pub mod run;
 
 pub use checkpoint::PipelineCheckpoint;
 pub use config::{RecdConfig, RmPreset, RmSpec};
-pub use run::{ContinuousDerived, ContinuousReport, PipelineReport, PipelineRunner};
+pub use run::{
+    ContinuousDerived, ContinuousReport, PipelineReport, PipelineRunner, StorageSimConfig,
+};

@@ -14,7 +14,7 @@ use recd_etl::{EtlJob, EtlService, EtlServiceReport, EtlStreamConfig, ManualCloc
 use recd_obs::{AggregatorConfig, MetricsAggregator, MetricsRegistry, RegistryFederation};
 use recd_reader::{PreprocessPipeline, ReaderConfig, ReaderTier, TierReport};
 use recd_scribe::{LogTail, ScribeCluster, ScribeConfig, ScribeReport, ShardKeyPolicy, TailConfig};
-use recd_storage::{StorageReport, TableStore, TectonicSim};
+use recd_storage::{NodeConfig, StorageReport, TableStore, TectonicSim};
 use recd_trainer::{
     ClusterSpec, DlrmConfig, IterationCost, MemoryReport, TrainerOptimizations, WorkStats,
 };
@@ -123,6 +123,44 @@ pub struct PipelineArtifacts {
     pub continuous_batches: Vec<TrainerBatch>,
 }
 
+/// Storage-tier knobs for every blob store a run builds: node count, the
+/// optional per-node queue model, and the optional blob cache tier. The
+/// defaults reproduce the historical flat store (8 nodes, no queueing, no
+/// cache).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StorageSimConfig {
+    /// Storage nodes backing the simulated blob store.
+    pub nodes: usize,
+    /// Per-node service model; `None` keeps the flat-latency store.
+    pub node: Option<NodeConfig>,
+    /// Blob cache byte budget; `0` disables the cache tier.
+    pub cache_bytes: usize,
+}
+
+impl Default for StorageSimConfig {
+    fn default() -> Self {
+        Self {
+            nodes: 8,
+            node: None,
+            cache_bytes: 0,
+        }
+    }
+}
+
+impl StorageSimConfig {
+    /// Builds a blob store with these knobs applied.
+    pub fn build(&self) -> TectonicSim {
+        let mut store = TectonicSim::new(self.nodes.max(1));
+        if let Some(node) = self.node {
+            store = store.with_node_config(node);
+        }
+        if self.cache_bytes > 0 {
+            store = store.with_cache(self.cache_bytes);
+        }
+        store
+    }
+}
+
 /// Runs one RM workload through the full pipeline under a given
 /// [`RecdConfig`].
 #[derive(Debug, Clone)]
@@ -136,6 +174,7 @@ pub struct PipelineRunner {
     continuous_trainers: usize,
     hosts: usize,
     chaos: Option<FaultPlan>,
+    storage: StorageSimConfig,
 }
 
 impl PipelineRunner {
@@ -151,7 +190,16 @@ impl PipelineRunner {
             continuous_trainers: 0,
             hosts: 0,
             chaos: None,
+            storage: StorageSimConfig::default(),
         }
+    }
+
+    /// Overrides the storage-tier knobs (node queueing, cache) for every
+    /// blob store the run builds — batch, continuous, and fleet modes alike.
+    #[must_use]
+    pub fn with_storage(mut self, storage: StorageSimConfig) -> Self {
+        self.storage = storage;
+        self
     }
 
     /// Overrides the number of reader nodes.
@@ -289,7 +337,7 @@ impl PipelineRunner {
         let partitions = EtlJob::new(layout).run(&schema, &drained);
 
         // 4. Storage: land every partition as DWRF-like files in Tectonic.
-        let table_store = TableStore::new(TectonicSim::new(8), 64, 4);
+        let table_store = TableStore::new(self.storage.build(), 64, 4);
         let mut storage_report = StorageReport::default();
         let mut stored_partitions = Vec::new();
         for partition in &partitions {
@@ -453,7 +501,7 @@ impl PipelineRunner {
             .with_jitter_ms(2_000)
             .with_seed(spec.sized_workload().seed);
         let stream_config = EtlStreamConfig::new(layout).with_window_ms(10_000);
-        let store = Arc::new(TableStore::new(TectonicSim::new(8), 64, 4));
+        let store = Arc::new(TableStore::new(self.storage.build(), 64, 4));
 
         // Chaos plumbing: the injector owns the storage knobs; the shared
         // counters feed both retry paths and the recd_chaos_* export.
@@ -668,7 +716,7 @@ impl PipelineRunner {
             .with_jitter_ms(2_000)
             .with_seed(spec.sized_workload().seed);
         let stream_config = EtlStreamConfig::new(layout).with_window_ms(10_000);
-        let store = Arc::new(TableStore::new(TectonicSim::new(8), 64, 4));
+        let store = Arc::new(TableStore::new(self.storage.build(), 64, 4));
 
         let mut injector = self
             .chaos

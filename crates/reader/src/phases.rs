@@ -77,9 +77,10 @@ pub fn fill_file_columnar_into(
     metrics: &mut ReaderMetrics,
 ) -> recd_storage::Result<()> {
     let start = Instant::now();
-    let blob = store.blob_store().get(path)?;
-    let bytes_read = blob.len();
-    let file = DwrfFile::from_blob(&blob)?;
+    // Fetch into the scratch's recycled blob buffer — the last hot-path
+    // allocation the fill workers had left.
+    let bytes_read = store.blob_store().get_into(path, scratch.blob_buf())?;
+    let file = DwrfFile::from_blob(scratch.blob())?;
     file.read_all_columnar_into(schema, scratch, out)?;
     metrics.fill.record(start.elapsed(), bytes_read, out.len());
     Ok(())

@@ -33,11 +33,28 @@ pub struct StripeFooter {
 
 /// Reusable scratch for [`DwrfFile::read_all_columnar_into`]: the per-stripe
 /// staging batch plus the stripe decoder's own scratch, both reused across
-/// stripes and files. A fill worker holds one for its whole lifetime.
+/// stripes and files, and a blob buffer for
+/// [`TectonicSim::get_into`](crate::TectonicSim::get_into) so the fetched
+/// bytes recycle one allocation too. A fill worker holds one for its whole
+/// lifetime.
 #[derive(Debug, Default)]
 pub struct FileReadScratch {
     stripe: ColumnarBatch,
     decode: DecodeScratch,
+    blob: Vec<u8>,
+}
+
+impl FileReadScratch {
+    /// The recycled blob buffer, for fetching into via
+    /// [`TectonicSim::get_into`](crate::TectonicSim::get_into).
+    pub fn blob_buf(&mut self) -> &mut Vec<u8> {
+        &mut self.blob
+    }
+
+    /// The bytes of the most recent fetch into [`blob_buf`](Self::blob_buf).
+    pub fn blob(&self) -> &[u8] {
+        &self.blob
+    }
 }
 
 /// An in-memory DWRF-like file: stripes plus footer.

@@ -17,7 +17,8 @@
 //! * [`stripe`] — stripe encoding/decoding with [`StripeStats`] accounting.
 //! * [`file`] — the file writer/reader ([`DwrfWriter`], [`DwrfFile`]).
 //! * [`tectonic`] — the [`TectonicSim`] blob store with per-node byte and
-//!   IOPS accounting.
+//!   IOPS accounting, an optional per-node request-queue model
+//!   ([`NodeConfig`]), and an optional LRU blob cache tier.
 //! * [`table`] — landing a whole table partition as files
 //!   ([`TableStore`], [`StorageReport`]).
 
@@ -36,8 +37,8 @@ pub use stripe::{
     decode_stripe, decode_stripe_columnar, decode_stripe_columnar_into, encode_stripe,
     DecodeScratch, StripeStats,
 };
-pub use table::{StorageReport, StoredPartition, TableStore};
-pub use tectonic::{BlobStats, TectonicSim};
+pub use table::{PreparedPartition, StorageReport, StoredPartition, TableStore};
+pub use tectonic::{BlobStats, CacheStats, NodeConfig, NodeStats, PlacementPolicy, TectonicSim};
 
 /// A convenient result alias for fallible operations in this crate.
 pub type Result<T> = std::result::Result<T, StorageError>;

@@ -6,6 +6,7 @@ use crate::tectonic::TectonicSim;
 use crate::Result;
 use recd_data::{Sample, Schema};
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 
 /// Storage accounting for one landed partition.
 #[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
@@ -63,6 +64,28 @@ impl StoredPartition {
     }
 }
 
+/// A partition serialized into blobs but not yet stored: the output of
+/// [`TableStore::prepare_partition`]. Blobs are shared, so storing (or
+/// retrying) never copies the encoded bytes again.
+#[derive(Debug, Clone)]
+pub struct PreparedPartition {
+    stored: StoredPartition,
+    report: StorageReport,
+    blobs: Vec<Arc<Vec<u8>>>,
+}
+
+impl PreparedPartition {
+    /// The partition handle the stores will return.
+    pub fn stored(&self) -> &StoredPartition {
+        &self.stored
+    }
+
+    /// Storage accounting for the encoded files.
+    pub fn report(&self) -> &StorageReport {
+        &self.report
+    }
+}
+
 /// Writes and reads table partitions.
 #[derive(Debug, Clone)]
 pub struct TableStore {
@@ -92,18 +115,22 @@ impl TableStore {
         &self.store
     }
 
-    /// Lands one partition: rows are cut into files of
-    /// `rows_per_stripe * stripes_per_file` rows each, written in order.
-    pub fn land_partition(
+    /// Serializes one partition into blobs without storing anything: rows
+    /// are cut into files of `rows_per_stripe * stripes_per_file` rows each
+    /// and encoded once. The result can be stored (and re-stored on retry)
+    /// without re-encoding or re-allocating — the chaos retry path prepares
+    /// once and retries only the puts.
+    pub fn prepare_partition(
         &self,
         schema: &Schema,
         table: &str,
         hour: u64,
         samples: &[Sample],
-    ) -> (StoredPartition, StorageReport) {
+    ) -> PreparedPartition {
         let rows_per_file = self.rows_per_stripe * self.stripes_per_file;
         let mut report = StorageReport::default();
         let mut files = Vec::new();
+        let mut blobs = Vec::new();
 
         for (file_idx, chunk) in samples.chunks(rows_per_file.max(1)).enumerate() {
             let mut writer = DwrfWriter::new(schema, self.rows_per_stripe);
@@ -114,27 +141,68 @@ impl TableStore {
                 "{}file-{file_idx:05}.dwrf",
                 StoredPartition::prefix(table, hour)
             );
-            self.store.put(&path, file.to_blob());
+            blobs.push(Arc::new(file.to_blob()));
             files.push(path);
         }
 
-        (
-            StoredPartition {
+        PreparedPartition {
+            stored: StoredPartition {
                 table: table.to_string(),
                 hour,
                 files,
             },
             report,
-        )
+            blobs,
+        }
+    }
+
+    /// Stores a prepared partition through the infallible put path.
+    pub fn store_prepared(&self, prepared: &PreparedPartition) -> (StoredPartition, StorageReport) {
+        for (path, blob) in prepared.stored.files.iter().zip(&prepared.blobs) {
+            self.store.put_blob(path, Arc::clone(blob));
+        }
+        (prepared.stored.clone(), prepared.report.clone())
+    }
+
+    /// Stores a prepared partition through the fallible put path: each file
+    /// goes through [`TectonicSim::try_put_blob`], so armed transient put
+    /// faults surface as errors — and a retry re-attempts the puts without
+    /// copying a single blob byte. Landing is idempotent — files are
+    /// content-deterministic and keyed by path — so already-written files
+    /// are overwritten with identical bytes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StorageError::Injected`](crate::StorageError::Injected) when
+    /// a transient put fault fires mid-landing.
+    pub fn try_store_prepared(
+        &self,
+        prepared: &PreparedPartition,
+    ) -> Result<(StoredPartition, StorageReport)> {
+        for (path, blob) in prepared.stored.files.iter().zip(&prepared.blobs) {
+            self.store.try_put_blob(path, blob)?;
+        }
+        Ok((prepared.stored.clone(), prepared.report.clone()))
+    }
+
+    /// Lands one partition: rows are cut into files of
+    /// `rows_per_stripe * stripes_per_file` rows each, written in order.
+    pub fn land_partition(
+        &self,
+        schema: &Schema,
+        table: &str,
+        hour: u64,
+        samples: &[Sample],
+    ) -> (StoredPartition, StorageReport) {
+        let prepared = self.prepare_partition(schema, table, hour, samples);
+        self.store_prepared(&prepared)
     }
 
     /// Fallible variant of [`land_partition`](Self::land_partition) for
-    /// chaos-aware callers: each file is written through
-    /// [`TectonicSim::try_put`], so armed transient put faults surface as
-    /// errors instead of being bypassed. Landing is idempotent — files are
-    /// content-deterministic and keyed by path — so a caller may simply retry
-    /// the whole partition after a transient failure; already-written files
-    /// are overwritten with identical bytes.
+    /// chaos-aware callers. Retry loops should prefer
+    /// [`prepare_partition`](Self::prepare_partition) +
+    /// [`try_store_prepared`](Self::try_store_prepared) so attempts after the
+    /// first don't re-encode the partition.
     ///
     /// # Errors
     ///
@@ -147,31 +215,8 @@ impl TableStore {
         hour: u64,
         samples: &[Sample],
     ) -> Result<(StoredPartition, StorageReport)> {
-        let rows_per_file = self.rows_per_stripe * self.stripes_per_file;
-        let mut report = StorageReport::default();
-        let mut files = Vec::new();
-
-        for (file_idx, chunk) in samples.chunks(rows_per_file.max(1)).enumerate() {
-            let mut writer = DwrfWriter::new(schema, self.rows_per_stripe);
-            writer.write(chunk);
-            let (file, stats) = writer.finish();
-            accumulate(&mut report, &file, &stats);
-            let path = format!(
-                "{}file-{file_idx:05}.dwrf",
-                StoredPartition::prefix(table, hour)
-            );
-            self.store.try_put(&path, &file.to_blob())?;
-            files.push(path);
-        }
-
-        Ok((
-            StoredPartition {
-                table: table.to_string(),
-                hour,
-                files,
-            },
-            report,
-        ))
+        let prepared = self.prepare_partition(schema, table, hour, samples);
+        self.try_store_prepared(&prepared)
     }
 
     /// Reads every row of a stored partition back, in file/stripe order.
@@ -247,6 +292,26 @@ mod tests {
             recd.stored_bytes,
             baseline.stored_bytes
         );
+    }
+
+    #[test]
+    fn prepared_partition_retries_without_reencoding() {
+        let (schema, samples) = partition();
+        let store = TableStore::new(TectonicSim::new(2), 32, 2);
+        let prepared = store.prepare_partition(&schema, "t", 1, &samples[..128]);
+        assert_eq!(prepared.stored().files.len(), prepared.blobs.len());
+
+        // Fault the first attempt; the retry stores the same shared blobs.
+        store.blob_store().fail_next_puts(1);
+        assert!(store.try_store_prepared(&prepared).is_err());
+        let (stored, report) = store.try_store_prepared(&prepared).unwrap();
+        assert_eq!(&stored, prepared.stored());
+        assert_eq!(&report, prepared.report());
+        // The stored blobs are the prepared allocations, not copies.
+        let first = store.blob_store().get(&stored.files[0]).unwrap();
+        assert!(Arc::ptr_eq(&first, &prepared.blobs[0]));
+        let read_back = store.read_partition(&schema, &stored).unwrap();
+        assert_eq!(read_back, samples[..128]);
     }
 
     #[test]

@@ -8,8 +8,8 @@
 #   scripts/bench_gate.sh --fresh f.json  # gate a pre-generated snapshot
 #   scripts/bench_gate.sh --self-test     # no benches: verify the gate logic
 #
-# Direction awareness: keys containing "speedup" or "per_second" are
-# higher-is-better (a regression is a DROP), keys ending in "_ms" are
+# Direction awareness: keys containing "speedup", "per_second", or "ratio"
+# are higher-is-better (a regression is a DROP), keys ending in "_ms" are
 # lower-is-better (a regression is a RISE). Tolerance is relative; override the default 15%
 # with BENCH_GATE_TOLERANCE (e.g. 0.25 in noisy CI), and the baseline path
 # with BENCH_GATE_BASELINE.
@@ -82,7 +82,7 @@ compare_snapshots() {
     read -r verdict delta < <(awk -v k="$key" -v b="$base" -v f="$fresh_val" -v tol="$tolerance" '
       BEGIN {
         delta = (b != 0) ? (f - b) / b : 0
-        higher_better = (k ~ /speedup/ || k ~ /per_second/) ? 1 : 0
+        higher_better = (k ~ /speedup/ || k ~ /per_second/ || k ~ /ratio/) ? 1 : 0
         regressed = higher_better ? (delta < -tol) : (delta > tol)
         printf "%s %+.1f%%\n", regressed ? "REGRESSED" : "OK", delta * 100
       }')
@@ -105,10 +105,10 @@ if $self_test; then
   tmp=$(mktemp -d)
   trap 'rm -rf "$tmp"' EXIT
 
-  echo "self-test 1/4: baseline vs itself must pass"
+  echo "self-test 1/5: baseline vs itself must pass"
   compare_snapshots "$baseline" "$baseline" >/dev/null
 
-  echo "self-test 2/4: a speedup drop beyond tolerance must fail"
+  echo "self-test 2/5: a speedup drop beyond tolerance must fail"
   awk '{
     if ($0 ~ /process_speedup_flat_vs_rowwise"/) sub(/: [0-9.]+/, ": 0.10")
     print
@@ -118,7 +118,7 @@ if $self_test; then
     exit 1
   fi
 
-  echo "self-test 3/4: a latency rise beyond tolerance must fail"
+  echo "self-test 3/5: a latency rise beyond tolerance must fail"
   awk '{
     if ($0 ~ /etl_stream_tail_to_trainer_ms"/) sub(/: [0-9.]+/, ": 999.0")
     print
@@ -128,13 +128,23 @@ if $self_test; then
     exit 1
   fi
 
-  echo "self-test 4/4: an end-to-end throughput drop beyond tolerance must fail"
+  echo "self-test 4/5: an end-to-end throughput drop beyond tolerance must fail"
   awk '{
     if ($0 ~ /continuous_records_per_second"/) sub(/: [0-9.]+/, ": 1.0")
     print
   }' "$baseline" > "$tmp/throughput_drop.json"
   if compare_snapshots "$baseline" "$tmp/throughput_drop.json" >/dev/null 2>&1; then
     echo "bench_gate self-test FAILED: throughput drop not caught" >&2
+    exit 1
+  fi
+
+  echo "self-test 5/5: a cache hit-ratio drop beyond tolerance must fail"
+  awk '{
+    if ($0 ~ /storage_cache_hit_ratio"/) sub(/: [0-9.]+/, ": 0.01")
+    print
+  }' "$baseline" > "$tmp/ratio_drop.json"
+  if compare_snapshots "$baseline" "$tmp/ratio_drop.json" >/dev/null 2>&1; then
+    echo "bench_gate self-test FAILED: hit-ratio drop not caught" >&2
     exit 1
   fi
 

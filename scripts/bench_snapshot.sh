@@ -98,6 +98,23 @@ if [ -z "$fleet_rebalance_ms" ]; then
   exit 1
 fi
 
+# Storage-realism figures: the blob-cache hit ratio with a working-set-sized
+# cache (higher-is-better via the "ratio" suffix) and the mean per-op queue
+# wait under hash placement on a frozen clock (lower-is-better via "_ms").
+# Both come from deterministic experiment drivers — single-threaded, fixed
+# access order, virtual-time wait accounting — so the gate can hold them
+# tight.
+echo "running storage load-balance + cache-sweep probes..." >&2
+storage_derived=$(cargo run --release -q -p recd-bench --bin experiments -- \
+  storage_balance cache_sweep --smoke 2>>"$bench_log")
+storage_wait_ms=$(echo "$storage_derived" | awk '/^derived storage_load_balance_wait_ms / { print $3 }')
+cache_hit_ratio=$(echo "$storage_derived" | awk '/^derived storage_cache_hit_ratio / { print $3 }')
+if [ -z "$storage_wait_ms" ] || [ -z "$cache_hit_ratio" ]; then
+  echo "bench_snapshot: storage experiments printed no derived storage_* lines" >&2
+  tail -20 "$bench_log" >&2
+  exit 1
+fi
+
 convert_row=$(mean_ns "datagen_convert_512/rowwise")
 convert_col=$(mean_ns "datagen_convert_512/columnar")
 fill_row=$(mean_ns "pipeline_fill_convert/rowwise")
@@ -135,7 +152,9 @@ fi
   echo "    \"etl_stream_tail_to_trainer_ms\": $(awk -v ns="$tail_to_trainer" 'BEGIN { printf "%.2f", ns / 1e6 }'),"
   echo "    \"etl_stream_seal_to_ingest_ms\": $(awk -v ns="$seal_to_ingest" 'BEGIN { printf "%.2f", ns / 1e6 }'),"
   echo "    \"continuous_records_per_second\": $continuous_rps,"
-  echo "    \"fleet_rebalance_ms\": $fleet_rebalance_ms"
+  echo "    \"fleet_rebalance_ms\": $fleet_rebalance_ms,"
+  echo "    \"storage_load_balance_wait_ms\": $storage_wait_ms,"
+  echo "    \"storage_cache_hit_ratio\": $cache_hit_ratio"
   echo '  },'
   echo '  "benches": ['
   normalize | awk '{
