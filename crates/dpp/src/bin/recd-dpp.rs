@@ -7,6 +7,7 @@
 //!          [--fill-workers N] [--workers N] [--shards N] [--queue-depth N]
 //!          [--policy session|file|row] [--trainers N]
 //!          [--assign pinned|least|rr] [--min-workers N] [--max-workers N]
+//!          [--ctrl] [--ctrl-kp F] [--ctrl-ki F] [--ctrl-kd F]
 //!          [--tail] [--tail-rate N] [--tail-jitter-ms N]
 //!          [--tail-late-frac F] [--tail-late-ms N] [--tail-window-ms N]
 //!          [--tail-seal-rows N] [--tail-seed N]
@@ -42,8 +43,8 @@ use recd_chaos::{FaultAction, FaultInjector, FaultKind, FaultPlan, RetryPolicy};
 use recd_core::{ConvertedBatch, DataLoaderConfig};
 use recd_datagen::{DatasetGenerator, WorkloadConfig, WorkloadPreset};
 use recd_dpp::{
-    BatchPool, DppConfig, DppFleet, DppReport, DppService, FleetConfig, RecvTimeout, ScalerConfig,
-    ShardPolicy, TrainerAssignPolicy, TrainerHandle,
+    BatchPool, CtrlConfig, DppConfig, DppFleet, DppReport, DppService, FleetConfig, RecvTimeout,
+    ScalerConfig, ShardPolicy, TrainerAssignPolicy, TrainerHandle,
 };
 use recd_etl::{
     cluster_by_session, EtlService, EtlServiceReport, EtlStreamConfig, ManualClock, TableLayout,
@@ -72,6 +73,10 @@ struct Args {
     assign: TrainerAssignPolicy,
     min_workers: Option<usize>,
     max_workers: Option<usize>,
+    ctrl: bool,
+    ctrl_kp: Option<f64>,
+    ctrl_ki: Option<f64>,
+    ctrl_kd: Option<f64>,
     tail: bool,
     tail_rate_ms: u64,
     tail_jitter_ms: u64,
@@ -107,6 +112,10 @@ fn parse_args() -> Result<Args, String> {
         assign: TrainerAssignPolicy::ShardPinned,
         min_workers: None,
         max_workers: None,
+        ctrl: false,
+        ctrl_kp: None,
+        ctrl_ki: None,
+        ctrl_kd: None,
         tail: false,
         tail_rate_ms: 60_000,
         tail_jitter_ms: 2_000,
@@ -205,6 +214,28 @@ fn parse_args() -> Result<Args, String> {
                     value("--max-workers")?
                         .parse()
                         .map_err(|e| format!("--max-workers: {e}"))?,
+                )
+            }
+            "--ctrl" => args.ctrl = true,
+            "--ctrl-kp" => {
+                args.ctrl_kp = Some(
+                    value("--ctrl-kp")?
+                        .parse()
+                        .map_err(|e| format!("--ctrl-kp: {e}"))?,
+                )
+            }
+            "--ctrl-ki" => {
+                args.ctrl_ki = Some(
+                    value("--ctrl-ki")?
+                        .parse()
+                        .map_err(|e| format!("--ctrl-ki: {e}"))?,
+                )
+            }
+            "--ctrl-kd" => {
+                args.ctrl_kd = Some(
+                    value("--ctrl-kd")?
+                        .parse()
+                        .map_err(|e| format!("--ctrl-kd: {e}"))?,
                 )
             }
             "--tail" => args.tail = true,
@@ -309,6 +340,15 @@ fn parse_args() -> Result<Args, String> {
                      \n  --assign pinned|least|rr trainer lane assignment (default pinned)\
                      \n  --min-workers N          enable dynamic scaling: pool lower bound\
                      \n  --max-workers N          enable dynamic scaling: pool upper bound\
+                     \n  --ctrl                   close the control loop: a cross-tier PID\
+                     \n                           controller samples trainer lanes, DPP queues,\
+                     \n                           and ETL tail lag, resizes both worker pools,\
+                     \n                           and gates the ETL pump (replaces the watermark\
+                     \n                           scaler when both are enabled; exports the\
+                     \n                           recd_ctrl_* metric families)\
+                     \n  --ctrl-kp F              proportional gain (default 2.0; requires --ctrl)\
+                     \n  --ctrl-ki F              integral gain (default 1.0; requires --ctrl)\
+                     \n  --ctrl-kd F              derivative gain (default 0.0; requires --ctrl)\
                      \n  --tail                   continuous mode: tail the raw log stream through\
                      \n                           the streaming ETL (join/cluster/seal/land) and\
                      \n                           ingest partitions as they land\
@@ -359,6 +399,9 @@ fn parse_args() -> Result<Args, String> {
     }
     if args.scrape_once && args.metrics_port.is_none() {
         return Err("--scrape-once requires --metrics-port".to_string());
+    }
+    if (args.ctrl_kp.is_some() || args.ctrl_ki.is_some() || args.ctrl_kd.is_some()) && !args.ctrl {
+        return Err("--ctrl-kp/--ctrl-ki/--ctrl-kd require --ctrl".to_string());
     }
     if (args.chaos_seed.is_some() || args.chaos_plan.is_some()) && !args.tail {
         return Err(
@@ -700,45 +743,13 @@ fn main() {
             ScalerConfig::bounds(min, max).with_tick_period(Duration::from_millis(20)),
         );
     }
-    println!(
-        "service: {} fill + {} compute workers, {} shards, policy {}, queue depth {}",
-        args.fill_workers,
-        args.compute_workers,
-        args.shards,
-        args.policy.name(),
-        args.queue_depth
-    );
-    if args.trainers > 0 {
-        println!(
-            "fan-out: {} trainers, assign policy {}",
-            args.trainers,
-            args.assign.name()
-        );
-    }
-    if let Some(scaling) = &config.scaling {
-        println!(
-            "scaling: workers elastic in [{}, {}], watermarks {:.0}%/{:.0}%, every {:?}",
-            scaling.min_fill,
-            scaling.max_fill,
-            scaling.high_watermark * 100.0,
-            scaling.low_watermark * 100.0,
-            scaling.tick_period
-        );
-    }
-
-    let mut handle = DppService::start(config, Arc::clone(&store), schema.clone());
-
-    // The observability plane: every tier registers into one registry. The
-    // live monitor, the /metrics endpoint, and the aggregator all read the
-    // same gathered families.
-    let registry = Arc::new(MetricsRegistry::new());
-    registry.register(Arc::new(handle.snapshot_source()) as Arc<dyn Collector>);
-    registry.register(Arc::new(store.blob_store().clone()) as Arc<dyn Collector>);
 
     // Continuous mode: the streaming ETL service that feeds the handle. The
     // tail and stream configs are hoisted out of the closure because a
     // chaos-injected pump crash rebuilds the service from them (plus the
-    // latest checkpoint and a replay copy of the raw records).
+    // latest checkpoint and a replay copy of the raw records). Built before
+    // the DPP service so `--ctrl` can wire the tail-lag probe into the
+    // controller.
     let tail_config = TailConfig::default()
         .with_jitter_ms(args.tail_jitter_ms)
         .with_lateness(args.tail_late_frac, args.tail_late_ms)
@@ -776,6 +787,73 @@ fn main() {
         }
         service
     });
+
+    // The closed control loop: a cross-tier PID controller replaces the
+    // watermark scaler, samples every queue tier, and (in tail mode) reads
+    // the ETL gauges so tail lag can veto trainer backpressure.
+    if args.ctrl {
+        let min = args.min_workers.unwrap_or(1);
+        let max = args
+            .max_workers
+            .unwrap_or_else(|| min.max(args.fill_workers).max(args.compute_workers));
+        let kp = args.ctrl_kp.unwrap_or(2.0);
+        let ki = args.ctrl_ki.unwrap_or(1.0);
+        let kd = args.ctrl_kd.unwrap_or(0.0);
+        let mut ctrl = CtrlConfig::bounds(min, max)
+            .with_gains(kp, ki, kd)
+            .with_tick_period(Duration::from_millis(20));
+        if let Some(service) = &etl {
+            let gauges = service.gauges();
+            ctrl = ctrl
+                .with_tail_lag_probe(Arc::new(move || gauges.tail_lag_ms.load(Ordering::Relaxed)));
+        }
+        println!(
+            "control: PID kp={kp} ki={ki} kd={kd}, workers in [{min}, {max}], setpoint {:.2}, lane high {:.2}, lag escape {}ms",
+            ctrl.setpoint, ctrl.lane_high, ctrl.lag_high_ms
+        );
+        config = config.with_ctrl(ctrl);
+    }
+
+    println!(
+        "service: {} fill + {} compute workers, {} shards, policy {}, queue depth {}",
+        args.fill_workers,
+        args.compute_workers,
+        args.shards,
+        args.policy.name(),
+        args.queue_depth
+    );
+    if args.trainers > 0 {
+        println!(
+            "fan-out: {} trainers, assign policy {}",
+            args.trainers,
+            args.assign.name()
+        );
+    }
+    if let Some(scaling) = &config.scaling {
+        println!(
+            "scaling: workers elastic in [{}, {}], watermarks {:.0}%/{:.0}%, every {:?}",
+            scaling.min_fill,
+            scaling.max_fill,
+            scaling.high_watermark * 100.0,
+            scaling.low_watermark * 100.0,
+            scaling.tick_period
+        );
+    }
+
+    let mut handle = DppService::start(config, Arc::clone(&store), schema.clone());
+    // The pump gate (ctrl only): the controller's red/green light the pump
+    // loop consults before advancing the tail clock.
+    let pump_gate = handle.pump_gate();
+
+    // The observability plane: every tier registers into one registry. The
+    // live monitor, the /metrics endpoint, and the aggregator all read the
+    // same gathered families.
+    let registry = Arc::new(MetricsRegistry::new());
+    registry.register(Arc::new(handle.snapshot_source()) as Arc<dyn Collector>);
+    if let Some(ctrl) = handle.ctrl_shared() {
+        registry.register(ctrl as Arc<dyn Collector>);
+    }
+    registry.register(Arc::new(store.blob_store().clone()) as Arc<dyn Collector>);
     if let Some(service) = &etl {
         registry.register(service.gauges() as Arc<dyn Collector>);
     }
@@ -900,6 +978,16 @@ fn main() {
                         }
                     }
                 }
+                // The controller's backpressure signal: when trainer lanes
+                // are the bottleneck the gate goes red and the pump holds
+                // (bounded, so the tail-lag escape hatch or a draining lane
+                // always reopens it).
+                if let Some(gate) = &pump_gate {
+                    let waited = std::time::Instant::now();
+                    while !gate.pump_allowed() && waited.elapsed() < Duration::from_secs(2) {
+                        std::thread::sleep(Duration::from_millis(2));
+                    }
+                }
                 service.pump(now, &mut sink);
                 checkpoint = service.checkpoint();
             }
@@ -933,13 +1021,16 @@ fn main() {
         print_etl_summary(&out.report);
     }
 
-    match result {
-        Ok(output) => print_dpp_report(&output.report),
+    let report = match result {
+        Ok(output) => {
+            print_dpp_report(&output.report);
+            output.report
+        }
         Err(err) => {
             eprintln!("recd-dpp: {err}");
             std::process::exit(1);
         }
-    }
+    };
 
     if let Some(injector) = chaos.as_mut() {
         print_chaos_summary(&injector.finish());
@@ -950,6 +1041,12 @@ fn main() {
         if let Some(rate) = aggregator.derived().records_per_second {
             println!("derived continuous_records_per_second {rate:.1}");
         }
+        // Sustained end-to-end throughput: total delivered samples over the
+        // whole wall-clock run, the figure the bench gate tracks.
+        println!(
+            "derived pipeline_records_per_second {:.1}",
+            report.samples as f64 / run_started.elapsed().as_secs_f64().max(1e-9)
+        );
     }
     print_storage_derived(store.blob_store());
     if !args.quiet {
@@ -1061,6 +1158,55 @@ fn run_fleet(args: Args) {
             ScalerConfig::bounds(min, max).with_tick_period(Duration::from_millis(20)),
         );
     }
+
+    // The streaming ETL service feeding the fleet — built before the hosts
+    // so `--ctrl` can wire the shared tail-lag probe into every host's
+    // controller.
+    let tail_config = TailConfig::default()
+        .with_jitter_ms(args.tail_jitter_ms)
+        .with_lateness(args.tail_late_frac, args.tail_late_ms)
+        .with_seed(args.tail_seed);
+    let mut etl_config =
+        EtlStreamConfig::new(TableLayout::ClusteredBySession).with_window_ms(args.tail_window_ms);
+    if let Some(rows) = args.tail_seal_rows {
+        etl_config = etl_config.with_size_watermark(rows);
+    }
+    let replay_records = if chaos.is_some() {
+        Some(records.clone())
+    } else {
+        None
+    };
+    let mut etl = EtlService::new(
+        LogTail::new(records, &tail_config),
+        etl_config,
+        Arc::clone(&store),
+        schema.clone(),
+        "tail",
+    );
+    if let Some((policy, counters)) = &chaos_retry {
+        etl = etl.with_chaos_retry(*policy, Arc::clone(counters));
+    }
+
+    if args.ctrl {
+        let min = args.min_workers.unwrap_or(1);
+        let max = args
+            .max_workers
+            .unwrap_or_else(|| min.max(args.fill_workers).max(args.compute_workers));
+        let kp = args.ctrl_kp.unwrap_or(2.0);
+        let ki = args.ctrl_ki.unwrap_or(1.0);
+        let kd = args.ctrl_kd.unwrap_or(0.0);
+        let gauges = etl.gauges();
+        let ctrl = CtrlConfig::bounds(min, max)
+            .with_gains(kp, ki, kd)
+            .with_tick_period(Duration::from_millis(20))
+            .with_tail_lag_probe(Arc::new(move || gauges.tail_lag_ms.load(Ordering::Relaxed)));
+        println!(
+            "control: per-host PID kp={kp} ki={ki} kd={kd}, workers in [{min}, {max}], setpoint {:.2}, lane high {:.2}, lag escape {}ms",
+            ctrl.setpoint, ctrl.lane_high, ctrl.lag_high_ms
+        );
+        host_config = host_config.with_ctrl(ctrl);
+    }
+
     let fleet_config = FleetConfig::new(host_config)
         .with_hosts(args.hosts)
         .with_trainers(args.trainers.max(1))
@@ -1089,31 +1235,6 @@ fn run_fleet(args: Args) {
     registry.register(federation as Arc<dyn Collector>);
     registry.register(fleet.counters() as Arc<dyn Collector>);
     registry.register(Arc::new(store.blob_store().clone()) as Arc<dyn Collector>);
-
-    let tail_config = TailConfig::default()
-        .with_jitter_ms(args.tail_jitter_ms)
-        .with_lateness(args.tail_late_frac, args.tail_late_ms)
-        .with_seed(args.tail_seed);
-    let mut etl_config =
-        EtlStreamConfig::new(TableLayout::ClusteredBySession).with_window_ms(args.tail_window_ms);
-    if let Some(rows) = args.tail_seal_rows {
-        etl_config = etl_config.with_size_watermark(rows);
-    }
-    let replay_records = if chaos.is_some() {
-        Some(records.clone())
-    } else {
-        None
-    };
-    let mut etl = EtlService::new(
-        LogTail::new(records, &tail_config),
-        etl_config,
-        Arc::clone(&store),
-        schema.clone(),
-        "tail",
-    );
-    if let Some((policy, counters)) = &chaos_retry {
-        etl = etl.with_chaos_retry(*policy, Arc::clone(counters));
-    }
     registry.register(etl.gauges() as Arc<dyn Collector>);
     if let Some(injector) = &chaos {
         registry.register(injector.counters() as Arc<dyn Collector>);
@@ -1290,6 +1411,10 @@ fn run_fleet(args: Args) {
     if let Some(rate) = aggregator.derived().records_per_second {
         println!("derived continuous_records_per_second {rate:.1}");
     }
+    println!(
+        "derived pipeline_records_per_second {:.1}",
+        output.dpp.samples as f64 / run_started.elapsed().as_secs_f64().max(1e-9)
+    );
     println!("derived fleet_rebalance_ms {:.3}", fr.rebalance_ms);
     print_storage_derived(store.blob_store());
     if !args.quiet {
@@ -1380,6 +1505,17 @@ fn print_dpp_report(r: &DppReport) {
         println!(
             "trainer {}: delivered {} batches / {} samples, peak lane depth {}",
             lane.trainer, lane.delivered_batches, lane.delivered_samples, lane.peak_queue_depth
+        );
+    }
+    if let Some(ctrl) = &r.ctrl {
+        println!(
+            "control: {} ticks, {} actuations ({} grows / {} shrinks), {} pump pauses / {} resumes",
+            ctrl.ticks,
+            ctrl.actuations,
+            ctrl.grows,
+            ctrl.shrinks,
+            ctrl.pump_pauses,
+            ctrl.pump_resumes
         );
     }
     if !r.scale_events.is_empty() {

@@ -1,0 +1,780 @@
+//! The cross-tier PID control loop: one controller that closes the loop
+//! from the trainers all the way back to the ETL pump.
+//!
+//! The watermark scaler ([`crate::scaler`]) reads only the DPP input/work
+//! queues, so two end-to-end failure modes stay invisible to it: when the
+//! *trainers* are the bottleneck the pump keeps buffering at the DPP input
+//! queue (the work queue looks healthy — compute is blocked downstream, not
+//! starved upstream), and compute pools never scale *down* while lanes are
+//! full. This controller samples three tiers on the shared
+//! [`ScaleClock`] — DPP input/work queue fractions, trainer-lane depth
+//! fractions, and the ETL tail lag — and emits three coordinated
+//! actuations:
+//!
+//! 1. **a pump-rate signal**: [`PumpGate`] turns red while any trainer lane
+//!    sits above [`CtrlConfig::lane_high`], so the ETL service slows or
+//!    pauses pumping instead of buffering at the DPP input queue (with a
+//!    tail-lag escape hatch: a pump is never held back once the ETL has
+//!    fallen more than [`CtrlConfig::lag_high_ms`] behind the tail);
+//! 2. **grow/shrink targets** for the fill and compute pools driven by PID
+//!    error terms instead of watermark+sustain counters — including scaling
+//!    compute *down* when lanes are full, which the watermark heuristic can
+//!    never do because a blocked compute pool keeps its work queue drained;
+//! 3. **exported `recd_ctrl_*` metrics** (setpoint, per-pool error and
+//!    integral, actuation counters, pump-gate state) via the
+//!    [`recd_obs::Collector`] implementation on [`CtrlShared`].
+//!
+//! The controller is *conservative by construction*: it only changes when
+//! work happens (pump timing, worker population), never what the work is.
+//! Routing stays single-threaded and order-restored, so batch composition —
+//! and therefore every trainer-batch union — is byte-identical with the
+//! controller on, off, or tuned badly. The equivalence suite in
+//! `crates/pipeline/tests/control.rs` pins this.
+
+use crate::scaler::{PoolControls, ScaleClock, ScaleEvent};
+use recd_obs::{Collector, MetricsBuf};
+use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// A PID control signal crosses this magnitude before the controller acts,
+/// so the gains are expressed in "queue fractions per actuation".
+const ACTUATION_THRESHOLD: f64 = 1.0;
+
+/// The integral term is clamped to this magnitude so a long saturated phase
+/// cannot wind up an arbitrarily large backlog of future actuations.
+const INTEGRAL_CLAMP: f64 = 5.0;
+
+/// PID controller configuration: gains, setpoints, pool bounds, cadence.
+#[derive(Clone)]
+pub struct CtrlConfig {
+    /// Proportional gain on the queue-fraction error.
+    pub kp: f64,
+    /// Integral gain (per tick) on the accumulated error.
+    pub ki: f64,
+    /// Derivative gain on the per-tick error delta.
+    pub kd: f64,
+    /// Queue-fraction setpoint the pools steer toward (default 0.5: queues
+    /// half full — busy enough to batch well, slack enough to absorb jitter).
+    pub setpoint: f64,
+    /// Trainer-lane depth fraction at or above which lanes count as the
+    /// bottleneck: the pump gate turns red and the compute error term is
+    /// penalized toward shrink (default 0.75).
+    pub lane_high: f64,
+    /// ETL tail lag (ms of log time) above which the pump gate is forced
+    /// green regardless of lane pressure, so backpressure can never starve
+    /// the ETL into unbounded lag (default 300 000 ms).
+    pub lag_high_ms: u64,
+    /// Fill pool lower bound.
+    pub min_fill: usize,
+    /// Fill pool upper bound.
+    pub max_fill: usize,
+    /// Compute pool lower bound.
+    pub min_compute: usize,
+    /// Compute pool upper bound.
+    pub max_compute: usize,
+    /// Wall-clock sampling period (ignored when a custom clock is
+    /// installed).
+    pub tick_period: Duration,
+    /// Clock override for deterministic tests; `None` uses a
+    /// [`WallClock`](crate::scaler::WallClock) ticking every `tick_period`.
+    pub clock: Option<Arc<dyn ScaleClock>>,
+    /// Reads the ETL tail lag in ms of log time — the third tier's signal,
+    /// injected by whoever owns the `EtlService` (the continuous runner).
+    /// `None` means no ETL tier is attached and the lag escape hatch never
+    /// fires.
+    pub tail_lag_probe: Option<Arc<dyn Fn() -> u64 + Send + Sync>>,
+}
+
+impl CtrlConfig {
+    /// Creates a PID policy with the given worker bounds shared by both
+    /// pools and default gains `kp=2, ki=1, kd=0`: a saturated queue
+    /// (error 0.5) actuates immediately, a queue at 3/4 (error 0.25)
+    /// actuates on the second sustained tick — matching the watermark
+    /// scaler's reaction time while adding the integral memory and the
+    /// trainer/ETL signals it lacks.
+    pub fn bounds(min_workers: usize, max_workers: usize) -> Self {
+        let min = min_workers.max(1);
+        let max = max_workers.max(min);
+        Self {
+            kp: 2.0,
+            ki: 1.0,
+            kd: 0.0,
+            setpoint: 0.5,
+            lane_high: 0.75,
+            lag_high_ms: 300_000,
+            min_fill: min,
+            max_fill: max,
+            min_compute: min,
+            max_compute: max,
+            tick_period: Duration::from_millis(20),
+            clock: None,
+            tail_lag_probe: None,
+        }
+    }
+
+    /// Overrides the PID gains.
+    #[must_use]
+    pub fn with_gains(mut self, kp: f64, ki: f64, kd: f64) -> Self {
+        self.kp = kp;
+        self.ki = ki;
+        self.kd = kd;
+        self
+    }
+
+    /// Overrides the queue-fraction setpoint.
+    #[must_use]
+    pub fn with_setpoint(mut self, setpoint: f64) -> Self {
+        self.setpoint = setpoint.clamp(0.0, 1.0);
+        self
+    }
+
+    /// Overrides the trainer-lane bottleneck fraction.
+    #[must_use]
+    pub fn with_lane_high(mut self, lane_high: f64) -> Self {
+        self.lane_high = lane_high.clamp(0.0, 1.0);
+        self
+    }
+
+    /// Overrides the tail-lag escape hatch.
+    #[must_use]
+    pub fn with_lag_high_ms(mut self, lag_high_ms: u64) -> Self {
+        self.lag_high_ms = lag_high_ms;
+        self
+    }
+
+    /// Overrides the fill pool bounds.
+    #[must_use]
+    pub fn with_fill_bounds(mut self, min: usize, max: usize) -> Self {
+        self.min_fill = min.max(1);
+        self.max_fill = max.max(self.min_fill);
+        self
+    }
+
+    /// Overrides the compute pool bounds.
+    #[must_use]
+    pub fn with_compute_bounds(mut self, min: usize, max: usize) -> Self {
+        self.min_compute = min.max(1);
+        self.max_compute = max.max(self.min_compute);
+        self
+    }
+
+    /// Overrides the wall-clock sampling period.
+    #[must_use]
+    pub fn with_tick_period(mut self, period: Duration) -> Self {
+        self.tick_period = period;
+        self
+    }
+
+    /// Installs a custom clock (e.g. a
+    /// [`ManualClock`](crate::scaler::ManualClock) in tests).
+    #[must_use]
+    pub fn with_clock(mut self, clock: Arc<dyn ScaleClock>) -> Self {
+        self.clock = Some(clock);
+        self
+    }
+
+    /// Installs the ETL tail-lag probe (ms of log time behind the tail).
+    #[must_use]
+    pub fn with_tail_lag_probe(mut self, probe: Arc<dyn Fn() -> u64 + Send + Sync>) -> Self {
+        self.tail_lag_probe = Some(probe);
+        self
+    }
+}
+
+impl std::fmt::Debug for CtrlConfig {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CtrlConfig")
+            .field("kp", &self.kp)
+            .field("ki", &self.ki)
+            .field("kd", &self.kd)
+            .field("setpoint", &self.setpoint)
+            .field("lane_high", &self.lane_high)
+            .field("lag_high_ms", &self.lag_high_ms)
+            .field("min_fill", &self.min_fill)
+            .field("max_fill", &self.max_fill)
+            .field("min_compute", &self.min_compute)
+            .field("max_compute", &self.max_compute)
+            .field("tick_period", &self.tick_period)
+            .field("custom_clock", &self.clock.is_some())
+            .field("tail_lag_probe", &self.tail_lag_probe.is_some())
+            .finish()
+    }
+}
+
+/// Final-report accounting of one controller's run, carried in
+/// [`DppReport`](crate::metrics::DppReport).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct CtrlReport {
+    /// Controller evaluations.
+    pub ticks: u64,
+    /// Total actuations: pool resizes plus pump-gate transitions.
+    pub actuations: u64,
+    /// Pool grow actuations.
+    pub grows: u64,
+    /// Pool shrink actuations.
+    pub shrinks: u64,
+    /// Pump-gate red transitions (pauses).
+    pub pump_pauses: u64,
+    /// Pump-gate green transitions (resumes).
+    pub pump_resumes: u64,
+}
+
+/// The controller's shared live state: the pump gate flag the ETL side
+/// polls, plus every exported `recd_ctrl_*` quantity. Lives behind an `Arc`
+/// so the controller thread, the service handle, the runner's pump loop,
+/// and the metrics registry all see one instance.
+#[derive(Debug, Default)]
+pub struct CtrlShared {
+    setpoint_bits: AtomicU64,
+    fill_error_bits: AtomicU64,
+    fill_integral_bits: AtomicU64,
+    compute_error_bits: AtomicU64,
+    compute_integral_bits: AtomicU64,
+    ticks: AtomicU64,
+    actuations: AtomicU64,
+    grows: AtomicU64,
+    shrinks: AtomicU64,
+    pump_pauses: AtomicU64,
+    pump_resumes: AtomicU64,
+    pump_paused: AtomicBool,
+}
+
+fn store_f64(slot: &AtomicU64, value: f64) {
+    slot.store(value.to_bits(), Ordering::Relaxed);
+}
+
+fn load_f64(slot: &AtomicU64) -> f64 {
+    f64::from_bits(slot.load(Ordering::Relaxed))
+}
+
+impl CtrlShared {
+    /// Whether the controller currently holds the ETL pump back.
+    pub fn pump_paused(&self) -> bool {
+        self.pump_paused.load(Ordering::Acquire)
+    }
+
+    /// Total actuations so far (pool resizes + pump-gate transitions).
+    pub fn actuations(&self) -> u64 {
+        self.actuations.load(Ordering::Relaxed)
+    }
+
+    /// Snapshot for the final report.
+    pub fn report(&self) -> CtrlReport {
+        CtrlReport {
+            ticks: self.ticks.load(Ordering::Relaxed),
+            actuations: self.actuations.load(Ordering::Relaxed),
+            grows: self.grows.load(Ordering::Relaxed),
+            shrinks: self.shrinks.load(Ordering::Relaxed),
+            pump_pauses: self.pump_pauses.load(Ordering::Relaxed),
+            pump_resumes: self.pump_resumes.load(Ordering::Relaxed),
+        }
+    }
+}
+
+impl Collector for CtrlShared {
+    fn collect(&self, out: &mut MetricsBuf) {
+        out.gauge(
+            "recd_ctrl_setpoint",
+            "Queue-fraction setpoint the PID controller steers toward",
+            &[],
+            load_f64(&self.setpoint_bits),
+        );
+        out.gauge(
+            "recd_ctrl_error",
+            "Latest PID error term per pool (queue fraction minus setpoint)",
+            &[("pool", "fill")],
+            load_f64(&self.fill_error_bits),
+        );
+        out.gauge(
+            "recd_ctrl_error",
+            "Latest PID error term per pool (queue fraction minus setpoint)",
+            &[("pool", "compute")],
+            load_f64(&self.compute_error_bits),
+        );
+        out.gauge(
+            "recd_ctrl_integral",
+            "Accumulated (clamped) PID integral per pool",
+            &[("pool", "fill")],
+            load_f64(&self.fill_integral_bits),
+        );
+        out.gauge(
+            "recd_ctrl_integral",
+            "Accumulated (clamped) PID integral per pool",
+            &[("pool", "compute")],
+            load_f64(&self.compute_integral_bits),
+        );
+        out.counter(
+            "recd_ctrl_ticks_total",
+            "Controller evaluations",
+            &[],
+            self.ticks.load(Ordering::Relaxed) as f64,
+        );
+        out.counter(
+            "recd_ctrl_actuations_total",
+            "Total controller actuations (pool resizes plus pump-gate transitions)",
+            &[],
+            self.actuations.load(Ordering::Relaxed) as f64,
+        );
+        out.counter(
+            "recd_ctrl_pool_resizes_total",
+            "Pool resize actuations by direction",
+            &[("direction", "grow")],
+            self.grows.load(Ordering::Relaxed) as f64,
+        );
+        out.counter(
+            "recd_ctrl_pool_resizes_total",
+            "Pool resize actuations by direction",
+            &[("direction", "shrink")],
+            self.shrinks.load(Ordering::Relaxed) as f64,
+        );
+        out.counter(
+            "recd_ctrl_pump_pauses_total",
+            "Pump-gate red transitions",
+            &[],
+            self.pump_pauses.load(Ordering::Relaxed) as f64,
+        );
+        out.gauge(
+            "recd_ctrl_pump_paused",
+            "1 while the controller holds the ETL pump back, else 0",
+            &[],
+            if self.pump_paused() { 1.0 } else { 0.0 },
+        );
+    }
+}
+
+/// The pump-rate actuation endpoint: the ETL pump loop polls
+/// [`PumpGate::pump_allowed`] before each pump and backs off (bounded) while
+/// the gate is red. Cloneable and cheap — just an `Arc` view of the shared
+/// controller state.
+#[derive(Debug, Clone)]
+pub struct PumpGate {
+    shared: Arc<CtrlShared>,
+}
+
+impl PumpGate {
+    /// Creates the gate over the controller's shared state.
+    pub(crate) fn new(shared: Arc<CtrlShared>) -> Self {
+        Self { shared }
+    }
+
+    /// Whether the ETL pump should proceed now. A `false` is advisory — the
+    /// caller must bound its wait (the gate guarantees backpressure, the
+    /// caller guarantees liveness).
+    pub fn pump_allowed(&self) -> bool {
+        !self.shared.pump_paused()
+    }
+}
+
+/// Everything the PID controller thread needs.
+pub(crate) struct PidParams {
+    pub(crate) config: CtrlConfig,
+    pub(crate) clock: Arc<dyn ScaleClock>,
+    pub(crate) shared: Arc<CtrlShared>,
+    pub(crate) fill: PoolControls,
+    pub(crate) compute: PoolControls,
+    /// Reads `(max per-lane depth, per-lane capacity)` across trainer lanes;
+    /// `(0, 0)` when the service has no lanes.
+    pub(crate) lane_probe: Box<dyn Fn() -> (usize, usize) + Send>,
+    /// Reads the ETL tail lag in ms of log time; `None` when no ETL tier is
+    /// attached (batch mode), in which case the escape hatch never fires.
+    pub(crate) tail_lag_probe: Option<Box<dyn Fn() -> u64 + Send>>,
+    pub(crate) events: Arc<Mutex<Vec<ScaleEvent>>>,
+    /// Invoked after any resize with the pools' new target sizes (same
+    /// contract as the watermark controller's `on_resize`).
+    pub(crate) on_resize: Box<dyn Fn(usize, usize) + Send>,
+}
+
+/// One pool's PID state.
+#[derive(Default)]
+struct PidState {
+    integral: f64,
+    prev_error: f64,
+}
+
+impl PidState {
+    /// Advances the PID one tick and returns the control signal.
+    fn advance(&mut self, config: &CtrlConfig, error: f64) -> f64 {
+        self.integral = (self.integral + error).clamp(-INTEGRAL_CLAMP, INTEGRAL_CLAMP);
+        let derivative = error - self.prev_error;
+        self.prev_error = error;
+        config.kp * error + config.ki * self.integral + config.kd * derivative
+    }
+}
+
+/// Spawns the PID controller thread.
+pub(crate) fn spawn_pid_controller(params: PidParams) -> JoinHandle<()> {
+    std::thread::Builder::new()
+        .name("dpp-pid-ctrl".to_string())
+        .spawn(move || {
+            let PidParams {
+                config,
+                clock,
+                shared,
+                fill,
+                compute,
+                lane_probe,
+                tail_lag_probe,
+                events,
+                on_resize,
+            } = params;
+            store_f64(&shared.setpoint_bits, config.setpoint);
+            let mut fill_pid = PidState::default();
+            let mut compute_pid = PidState::default();
+            while clock.wait_tick() {
+                shared.ticks.fetch_add(1, Ordering::Relaxed);
+
+                // Sample all three tiers on this tick.
+                let input_depth = (fill.queue_probe)();
+                let work_depth = (compute.queue_probe)();
+                let input_frac = input_depth as f64 / fill.queue_capacity.max(1) as f64;
+                let work_frac = work_depth as f64 / compute.queue_capacity.max(1) as f64;
+                let (lane_depth, lane_capacity) = lane_probe();
+                let lane_frac = if lane_capacity == 0 {
+                    0.0
+                } else {
+                    lane_depth as f64 / lane_capacity as f64
+                };
+                let tail_lag_ms = tail_lag_probe.as_ref().map_or(0, |probe| probe());
+
+                // PID error terms. The compute error subtracts a lane
+                // penalty: full lanes mean compute output has nowhere to go,
+                // so more compute workers cannot help and existing ones
+                // should retire — the "scale compute *down* on full lanes"
+                // actuation the watermark heuristic cannot express.
+                let fill_error = input_frac - config.setpoint;
+                // The multiplier must dominate the largest possible queue
+                // error (0.5 at a saturated work queue): 4.0 makes fully
+                // saturated lanes (penalty 1.0) outweigh any queue pressure.
+                let lane_penalty = 4.0 * (lane_frac - config.lane_high).max(0.0);
+                let compute_error = work_frac - config.setpoint - lane_penalty;
+                store_f64(&shared.fill_error_bits, fill_error);
+                store_f64(&shared.compute_error_bits, compute_error);
+
+                let fill_control = fill_pid.advance(&config, fill_error);
+                let compute_control = compute_pid.advance(&config, compute_error);
+                store_f64(&shared.fill_integral_bits, fill_pid.integral);
+                store_f64(&shared.compute_integral_bits, compute_pid.integral);
+
+                let mut resized = false;
+                resized |= actuate_pool(
+                    &config,
+                    &*clock,
+                    &shared,
+                    &fill,
+                    &mut fill_pid,
+                    fill_control,
+                    input_depth,
+                    config.min_fill,
+                    config.max_fill,
+                    &events,
+                );
+                resized |= actuate_pool(
+                    &config,
+                    &*clock,
+                    &shared,
+                    &compute,
+                    &mut compute_pid,
+                    compute_control,
+                    work_depth,
+                    config.min_compute,
+                    config.max_compute,
+                    &events,
+                );
+                if resized {
+                    on_resize(fill.governor.target(), compute.governor.target());
+                }
+
+                // The pump-rate signal: hold the ETL pump while any trainer
+                // lane is the bottleneck — unless the ETL has already fallen
+                // `lag_high_ms` behind the tail, in which case catching up
+                // outranks lane backpressure.
+                let want_pause = lane_frac >= config.lane_high && tail_lag_ms <= config.lag_high_ms;
+                let was_paused = shared.pump_paused.swap(want_pause, Ordering::AcqRel);
+                if want_pause != was_paused {
+                    shared.actuations.fetch_add(1, Ordering::Relaxed);
+                    if want_pause {
+                        shared.pump_pauses.fetch_add(1, Ordering::Relaxed);
+                    } else {
+                        shared.pump_resumes.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            }
+            // Never leave the pump gated after shutdown.
+            shared.pump_paused.store(false, Ordering::Release);
+        })
+        .expect("spawn pid controller")
+}
+
+/// Applies one pool's control signal. Returns `true` on a resize.
+#[allow(clippy::too_many_arguments)]
+fn actuate_pool(
+    _config: &CtrlConfig,
+    clock: &dyn ScaleClock,
+    shared: &CtrlShared,
+    pool: &PoolControls,
+    pid: &mut PidState,
+    control: f64,
+    queue_depth: usize,
+    min: usize,
+    max: usize,
+    events: &Arc<Mutex<Vec<ScaleEvent>>>,
+) -> bool {
+    let target = pool.governor.target();
+    if control >= ACTUATION_THRESHOLD && target < max {
+        pool.governor.adopt((pool.spawn)());
+        events.lock().expect("scale events lock").push(ScaleEvent {
+            at_seconds: clock.now_seconds(),
+            pool: pool.name.to_string(),
+            from: target,
+            to: target + 1,
+            queue_depth,
+        });
+        shared.actuations.fetch_add(1, Ordering::Relaxed);
+        shared.grows.fetch_add(1, Ordering::Relaxed);
+        pid.integral = 0.0;
+        return true;
+    }
+    if control <= -ACTUATION_THRESHOLD && target > min {
+        pool.governor.request_retire();
+        events.lock().expect("scale events lock").push(ScaleEvent {
+            at_seconds: clock.now_seconds(),
+            pool: pool.name.to_string(),
+            from: target,
+            to: target - 1,
+            queue_depth,
+        });
+        shared.actuations.fetch_add(1, Ordering::Relaxed);
+        shared.shrinks.fetch_add(1, Ordering::Relaxed);
+        pid.integral = 0.0;
+        return true;
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scaler::{ManualClock, PoolGovernor};
+    use std::sync::atomic::AtomicUsize;
+
+    struct Harness {
+        clock: Arc<ManualClock>,
+        shared: Arc<CtrlShared>,
+        input_depth: Arc<AtomicUsize>,
+        work_depth: Arc<AtomicUsize>,
+        lane_depth: Arc<AtomicUsize>,
+        tail_lag: Arc<AtomicU64>,
+        fill_governor: Arc<PoolGovernor>,
+        compute_governor: Arc<PoolGovernor>,
+        events: Arc<Mutex<Vec<ScaleEvent>>>,
+        resizes: Arc<Mutex<Vec<(usize, usize)>>>,
+        thread: JoinHandle<()>,
+    }
+
+    /// Spawns a controller over fully synthetic probes: queue depths and
+    /// tail lag are atomics the test sets, lanes have capacity 8.
+    fn harness(config: CtrlConfig) -> Harness {
+        let clock = Arc::new(ManualClock::new());
+        let shared = Arc::new(CtrlShared::default());
+        let input_depth = Arc::new(AtomicUsize::new(0));
+        let work_depth = Arc::new(AtomicUsize::new(0));
+        let lane_depth = Arc::new(AtomicUsize::new(0));
+        let tail_lag = Arc::new(AtomicU64::new(0));
+        let fill_governor = Arc::new(PoolGovernor::new());
+        fill_governor.adopt(std::thread::spawn(|| {}));
+        let compute_governor = Arc::new(PoolGovernor::new());
+        compute_governor.adopt(std::thread::spawn(|| {}));
+        let events = Arc::new(Mutex::new(Vec::new()));
+        let resizes = Arc::new(Mutex::new(Vec::new()));
+
+        let probe = |depth: &Arc<AtomicUsize>| {
+            let depth = Arc::clone(depth);
+            Box::new(move || depth.load(Ordering::Relaxed)) as Box<dyn Fn() -> usize + Send>
+        };
+        let lanes = Arc::clone(&lane_depth);
+        let lag = Arc::clone(&tail_lag);
+        let resize_log = Arc::clone(&resizes);
+        let thread = spawn_pid_controller(PidParams {
+            config: config.with_clock(Arc::clone(&clock) as Arc<dyn ScaleClock>),
+            clock: Arc::clone(&clock) as Arc<dyn ScaleClock>,
+            shared: Arc::clone(&shared),
+            fill: PoolControls {
+                name: "fill",
+                governor: Arc::clone(&fill_governor),
+                min: 1,
+                max: 8,
+                queue_probe: probe(&input_depth),
+                queue_capacity: 8,
+                spawn: Box::new(|| std::thread::spawn(|| {})),
+            },
+            compute: PoolControls {
+                name: "compute",
+                governor: Arc::clone(&compute_governor),
+                min: 1,
+                max: 8,
+                queue_probe: probe(&work_depth),
+                queue_capacity: 8,
+                spawn: Box::new(|| std::thread::spawn(|| {})),
+            },
+            lane_probe: Box::new(move || (lanes.load(Ordering::Relaxed), 8)),
+            tail_lag_probe: Some(Box::new(move || lag.load(Ordering::Relaxed))),
+            events: Arc::clone(&events),
+            on_resize: Box::new(move |f, c| {
+                resize_log.lock().unwrap().push((f, c));
+            }),
+        });
+        Harness {
+            clock,
+            shared,
+            input_depth,
+            work_depth,
+            lane_depth,
+            tail_lag,
+            fill_governor,
+            compute_governor,
+            events,
+            resizes,
+            thread,
+        }
+    }
+
+    impl Harness {
+        fn finish(self) {
+            self.clock.shutdown();
+            self.thread.join().unwrap();
+            for handle in self.fill_governor.take_handles() {
+                handle.join().unwrap();
+            }
+            for handle in self.compute_governor.take_handles() {
+                handle.join().unwrap();
+            }
+        }
+    }
+
+    #[test]
+    fn saturated_input_queue_grows_fill_and_fires_on_resize() {
+        let h = harness(CtrlConfig::bounds(1, 8));
+        // input_frac 1.0 → error 0.5 → control = 2*0.5 + 1*0.5 = 1.5 ≥ 1.
+        h.input_depth.store(8, Ordering::Relaxed);
+        assert!(h.clock.step());
+        assert_eq!(h.fill_governor.target(), 2, "fill must grow on tick 1");
+        assert_eq!(h.shared.report().grows, 1);
+        assert!(
+            h.resizes.lock().unwrap().contains(&(2, 1)),
+            "on_resize must fire on a PID grow"
+        );
+        let events = h.events.lock().unwrap().clone();
+        assert_eq!(events.len(), 1);
+        assert!(events[0].is_grow());
+        assert_eq!(events[0].pool, "fill");
+        h.finish();
+    }
+
+    #[test]
+    fn idle_queues_shrink_pools_toward_min_but_never_below() {
+        let h = harness(CtrlConfig::bounds(1, 8));
+        // Grow fill to 3 first.
+        h.input_depth.store(8, Ordering::Relaxed);
+        assert!(h.clock.step());
+        assert!(h.clock.step());
+        assert_eq!(h.fill_governor.target(), 3);
+        // Now idle: error -0.5 per tick → shrink fires once the integral
+        // rebuilds past the threshold, and never below min = 1.
+        h.input_depth.store(0, Ordering::Relaxed);
+        for _ in 0..12 {
+            assert!(h.clock.step());
+        }
+        assert_eq!(h.fill_governor.target(), 1, "fill must shrink back to min");
+        let report = h.shared.report();
+        assert!(report.shrinks >= 2, "report {report:?}");
+        h.finish();
+    }
+
+    #[test]
+    fn full_lanes_pause_the_pump_and_shrink_compute() {
+        let h = harness(CtrlConfig::bounds(1, 8));
+        // Grow compute to 2 with a busy work queue and empty lanes.
+        h.work_depth.store(8, Ordering::Relaxed);
+        assert!(h.clock.step());
+        assert_eq!(h.compute_governor.target(), 2);
+        assert!(!h.shared.pump_paused());
+
+        // Lanes saturate: the pump gate turns red on the next tick, and the
+        // lane penalty drives the compute control negative even though the
+        // work queue is still full — the scale-down the watermark heuristic
+        // can never produce.
+        h.lane_depth.store(8, Ordering::Relaxed);
+        let gate = PumpGate::new(Arc::clone(&h.shared));
+        let mut paused_ticks = 0;
+        for _ in 0..8 {
+            assert!(h.clock.step());
+            if !gate.pump_allowed() {
+                paused_ticks += 1;
+            }
+        }
+        assert!(paused_ticks > 0, "full lanes must pause the pump");
+        assert_eq!(
+            h.compute_governor.target(),
+            1,
+            "full lanes must shrink compute back down"
+        );
+        let report = h.shared.report();
+        assert!(report.pump_pauses >= 1);
+        assert!(report.actuations >= 3, "report {report:?}");
+
+        // Lanes drain: the gate goes green again.
+        h.lane_depth.store(0, Ordering::Relaxed);
+        h.work_depth.store(0, Ordering::Relaxed);
+        assert!(h.clock.step());
+        assert!(gate.pump_allowed(), "drained lanes must release the pump");
+        assert!(h.shared.report().pump_resumes >= 1);
+        h.finish();
+    }
+
+    #[test]
+    fn tail_lag_escape_hatch_overrides_lane_backpressure() {
+        let h = harness(CtrlConfig::bounds(1, 8).with_lag_high_ms(1_000));
+        h.lane_depth.store(8, Ordering::Relaxed);
+        h.tail_lag.store(5_000, Ordering::Relaxed);
+        for _ in 0..3 {
+            assert!(h.clock.step());
+        }
+        assert!(
+            !h.shared.pump_paused(),
+            "a lagging ETL must never be held back by lane pressure"
+        );
+        // Lag recovers below the hatch: now the lanes gate the pump.
+        h.tail_lag.store(10, Ordering::Relaxed);
+        assert!(h.clock.step());
+        assert!(h.shared.pump_paused());
+        h.finish();
+    }
+
+    #[test]
+    fn ctrl_shared_exports_recd_ctrl_families() {
+        let h = harness(CtrlConfig::bounds(1, 8));
+        h.input_depth.store(8, Ordering::Relaxed);
+        assert!(h.clock.step());
+        let mut buf = MetricsBuf::new();
+        h.shared.collect(&mut buf);
+        let families = buf.into_families();
+        let value = |name: &str, labels: &[(&str, &str)]| {
+            recd_obs::sample_value(&families, name, labels)
+                .unwrap_or_else(|| panic!("family {name} {labels:?} missing from the ctrl export"))
+        };
+        assert!((value("recd_ctrl_setpoint", &[]) - 0.5).abs() < 1e-9);
+        assert!(value("recd_ctrl_ticks_total", &[]) >= 1.0);
+        assert!(value("recd_ctrl_actuations_total", &[]) >= 1.0);
+        assert!(value("recd_ctrl_error", &[("pool", "fill")]).abs() <= 1.0);
+        assert!(value("recd_ctrl_integral", &[("pool", "compute")]).abs() <= INTEGRAL_CLAMP);
+        assert_eq!(
+            value("recd_ctrl_pool_resizes_total", &[("direction", "grow")]),
+            1.0
+        );
+        assert_eq!(value("recd_ctrl_pump_paused", &[]), 0.0);
+        h.finish();
+    }
+}

@@ -673,6 +673,8 @@ impl FleetHandle {
         let batches = self.counters.forwarded_batches() as usize;
         let mut batch_pool = crate::pool::PoolStats::default();
         let mut converted_pool = crate::pool::PoolStats::default();
+        let mut blob_pool = crate::pool::PoolStats::default();
+        let mut ctrl: Option<crate::control::CtrlReport> = None;
         let mut reader_metrics = recd_reader::ReaderMetrics::default();
         let mut scale_events = Vec::new();
         let mut egress_bytes = 0usize;
@@ -682,13 +684,24 @@ impl FleetHandle {
             for (total, part) in [
                 (&mut batch_pool, &report.batch_pool),
                 (&mut converted_pool, &report.converted_pool),
+                (&mut blob_pool, &report.blob_pool),
             ] {
                 total.hits += part.hits;
                 total.misses += part.misses;
                 total.recycled += part.recycled;
                 total.discarded += part.discarded;
                 total.trimmed += part.trimmed;
+                total.steals += part.steals;
                 total.capacity += part.capacity;
+            }
+            if let Some(host_ctrl) = &report.ctrl {
+                let total = ctrl.get_or_insert_with(Default::default);
+                total.ticks += host_ctrl.ticks;
+                total.actuations += host_ctrl.actuations;
+                total.grows += host_ctrl.grows;
+                total.shrinks += host_ctrl.shrinks;
+                total.pump_pauses += host_ctrl.pump_pauses;
+                total.pump_resumes += host_ctrl.pump_resumes;
             }
             reader_metrics += report.reader_metrics;
             scale_events.extend(report.scale_events.iter().cloned());
@@ -744,6 +757,8 @@ impl FleetHandle {
             scale_events,
             batch_pool,
             converted_pool,
+            blob_pool,
+            ctrl,
             reader_metrics,
         }
     }

@@ -57,6 +57,7 @@
 
 pub mod channel;
 pub mod checkpoint;
+pub mod control;
 pub mod fleet;
 pub mod metrics;
 pub mod obs;
@@ -67,6 +68,7 @@ pub mod sink;
 
 pub use channel::{bounded, Receiver, RecvTimeout, SendError, Sender};
 pub use checkpoint::DppCheckpoint;
+pub use control::{CtrlConfig, CtrlReport, CtrlShared, PumpGate};
 pub use fleet::{
     DppFleet, FleetConfig, FleetController, FleetCounters, FleetHandle, FleetOutput, FleetReport,
 };

@@ -1,5 +1,6 @@
 //! Live counters and final reports for the streaming service.
 
+use crate::control::CtrlReport;
 use crate::pool::PoolStats;
 use crate::scaler::ScaleEvent;
 use recd_reader::ReaderMetrics;
@@ -167,6 +168,11 @@ pub struct DppSnapshot {
     /// from it and consumers recycle them back through
     /// [`DppHandle::converted_pool`](crate::DppHandle::converted_pool).
     pub converted_pool: PoolStats,
+    /// `get_into` blob buffer pool counters: fill workers install a pooled
+    /// buffer at spawn and return it at exit, so steady-state decode fetches
+    /// allocate nothing even across scaling churn.
+    #[serde(default)]
+    pub blob_pool: PoolStats,
     /// Stage errors so far.
     pub errors: u64,
 }
@@ -228,6 +234,14 @@ pub struct DppReport {
     /// Final converted-batch shell pool counters (hits require a consumer
     /// recycling shells back during the run).
     pub converted_pool: PoolStats,
+    /// Final `get_into` blob buffer pool counters; misses count exactly the
+    /// distinct fill-worker warmups, never per-fill allocations.
+    #[serde(default)]
+    pub blob_pool: PoolStats,
+    /// The PID control loop's final accounting; `None` unless the service
+    /// ran with [`DppConfig::with_ctrl`](crate::DppConfig::with_ctrl).
+    #[serde(default)]
+    pub ctrl: Option<CtrlReport>,
     /// Combined per-phase CPU/byte accounting across all workers.
     pub reader_metrics: ReaderMetrics,
 }

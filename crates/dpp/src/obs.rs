@@ -43,6 +43,12 @@ fn collect_pool(stats: &PoolStats, pool: &str, out: &mut MetricsBuf) {
         &[("pool", pool)],
         stats.trimmed as f64,
     );
+    out.counter(
+        "recd_dpp_pool_steals_total",
+        "Hits served by stealing a shell from a sibling worker's shelf.",
+        &[("pool", pool)],
+        stats.steals as f64,
+    );
     out.gauge(
         "recd_dpp_pool_capacity",
         "Pool shelf capacity (shrinks on dynamic scale-down).",
@@ -191,6 +197,7 @@ pub fn collect_snapshot(snap: &DppSnapshot, out: &mut MetricsBuf) {
     }
     collect_pool(&snap.batch_pool, "batch", out);
     collect_pool(&snap.converted_pool, "converted", out);
+    collect_pool(&snap.blob_pool, "blob", out);
     for lane in &snap.trainers {
         collect_lane(lane, out);
     }
@@ -254,9 +261,11 @@ mod tests {
                 recycled: 85,
                 discarded: 5,
                 trimmed: 0,
+                steals: 2,
                 capacity: 16,
             },
             converted_pool: PoolStats::default(),
+            blob_pool: PoolStats::default(),
             errors: 0,
         }
     }

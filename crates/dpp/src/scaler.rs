@@ -339,7 +339,10 @@ fn evaluate(
             queue_depth: depth,
         });
         pressure.above = 0;
-        return false;
+        // A grow is a resize too: without reporting it, `on_resize` never
+        // fires on the way back up and the batch pools stay stuck at their
+        // shrunken capacity after a shrink → grow flap.
+        return true;
     }
     if pressure.below >= config.sustain_ticks && target > pool.min {
         pool.governor.request_retire();
@@ -359,6 +362,97 @@ fn evaluate(
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    /// Harness for driving `evaluate` directly: a pool whose queue depth is
+    /// an atomic the test sets, with spawn hooked to a trivial thread.
+    fn test_pool(depth: Arc<AtomicUsize>, capacity: usize, min: usize, max: usize) -> PoolControls {
+        let governor = Arc::new(PoolGovernor::new());
+        governor.adopt(std::thread::spawn(|| {}));
+        PoolControls {
+            name: "fill",
+            governor,
+            min,
+            max,
+            queue_probe: Box::new(move || depth.load(Ordering::Relaxed)),
+            queue_capacity: capacity,
+            spawn: Box::new(|| std::thread::spawn(|| {})),
+        }
+    }
+
+    /// Flap regression: alternating pressured / dead-band samples must never
+    /// accumulate toward an action — every non-qualifying sample resets both
+    /// sustain counters.
+    #[test]
+    fn dead_band_samples_reset_sustain_counters() {
+        let config = ScalerConfig::bounds(1, 4).with_sustain_ticks(2);
+        let clock = ManualClock::new();
+        let depth = Arc::new(AtomicUsize::new(0));
+        let pool = test_pool(Arc::clone(&depth), 8, 1, 4);
+        let events = Arc::new(Mutex::new(Vec::new()));
+        let mut pressure = Pressure::default();
+
+        // high watermark = ceil(0.75 * 8) = 6, low = floor(0.125 * 8) = 1.
+        // Alternate pressured (6) and dead-band (3) samples far longer than
+        // sustain_ticks: no grow may ever fire.
+        for _ in 0..6 {
+            depth.store(6, Ordering::Relaxed);
+            assert!(!evaluate(&config, &clock, &pool, &mut pressure, &events));
+            depth.store(3, Ordering::Relaxed);
+            assert!(!evaluate(&config, &clock, &pool, &mut pressure, &events));
+        }
+        assert!(
+            events.lock().unwrap().is_empty(),
+            "alternating high/mid samples must never scale"
+        );
+        // Same for the idle side: alternating idle / dead-band never shrinks.
+        for _ in 0..6 {
+            depth.store(0, Ordering::Relaxed);
+            assert!(!evaluate(&config, &clock, &pool, &mut pressure, &events));
+            depth.store(3, Ordering::Relaxed);
+            assert!(!evaluate(&config, &clock, &pool, &mut pressure, &events));
+        }
+        assert!(events.lock().unwrap().is_empty());
+        for handle in pool.governor.take_handles() {
+            handle.join().unwrap();
+        }
+    }
+
+    /// A grow must report itself as a resize so `on_resize` restores batch
+    /// pool capacity after a shrink → grow flap (the controller loop only
+    /// invokes `on_resize` when `evaluate` returns true).
+    #[test]
+    fn sustained_pressure_grows_and_reports_the_resize() {
+        let config = ScalerConfig::bounds(1, 4).with_sustain_ticks(2);
+        let clock = ManualClock::new();
+        let depth = Arc::new(AtomicUsize::new(8));
+        let pool = test_pool(Arc::clone(&depth), 8, 1, 4);
+        let events = Arc::new(Mutex::new(Vec::new()));
+        let mut pressure = Pressure::default();
+
+        assert!(!evaluate(&config, &clock, &pool, &mut pressure, &events));
+        assert!(
+            evaluate(&config, &clock, &pool, &mut pressure, &events),
+            "the sustained grow must report a resize"
+        );
+        assert_eq!(pool.governor.target(), 2);
+        {
+            let events = events.lock().unwrap();
+            assert_eq!(events.len(), 1);
+            assert!(events[0].is_grow());
+        }
+
+        // And the shrink side still reports too.
+        depth.store(0, Ordering::Relaxed);
+        assert!(!evaluate(&config, &clock, &pool, &mut pressure, &events));
+        assert!(
+            evaluate(&config, &clock, &pool, &mut pressure, &events),
+            "the sustained shrink must report a resize"
+        );
+        assert_eq!(pool.governor.target(), 1);
+        for handle in pool.governor.take_handles() {
+            handle.join().unwrap();
+        }
+    }
 
     #[test]
     fn governor_retirement_bookkeeping() {

@@ -33,10 +33,11 @@
 
 use crate::channel::{bounded, Gauge, Receiver, RecvTimeout, Sender};
 use crate::checkpoint::DppCheckpoint;
+use crate::control::{spawn_pid_controller, CtrlConfig, CtrlShared, PidParams, PumpGate};
 use crate::metrics::{
     DppReport, DppSnapshot, ServiceCounters, TrainerLaneReport, TrainerLaneSnapshot,
 };
-use crate::pool::BatchPool;
+use crate::pool::{BatchPool, BlobScratch};
 use crate::scaler::{
     spawn_controller, ControllerParams, PoolControls, PoolGovernor, ScaleClock, ScaleEvent,
     ScalerConfig, WallClock,
@@ -61,6 +62,17 @@ use std::time::Duration;
 
 /// How often blocked workers wake to check for cooperative retirement.
 const WORKER_POLL: Duration = Duration::from_millis(2);
+
+/// Longest a PID-throttled submit waits for the input queue to drain below
+/// the controller's setpoint before pushing anyway. The throttle shapes
+/// arrival bursts; this cap guarantees liveness no matter what the
+/// controller does.
+const SUBMIT_THROTTLE_CAP: Duration = Duration::from_secs(2);
+
+/// Most per-worker pool shelves a service creates; beyond this, workers
+/// share shelves modulo the count (sharing is correct, just more lock
+/// traffic).
+const MAX_POOL_SHELVES: usize = 8;
 
 /// Bucket bounds (seconds) of the per-batch convert/process latency
 /// histograms — exponential-ish from 10µs to 250ms, which brackets a
@@ -127,6 +139,12 @@ pub struct DppConfig {
     pub trainer_queue_depth: usize,
     /// Dynamic worker scaling policy; `None` keeps the pools fixed.
     pub scaling: Option<ScalerConfig>,
+    /// Cross-tier PID control policy; `None` (the default) keeps today's
+    /// behaviour byte-identically. When set it supersedes `scaling`: the PID
+    /// controller owns the fill/compute pool targets *and* adds the
+    /// trainer-lane pump gate plus the PID-throttled submit path (see
+    /// [`crate::control`]).
+    pub ctrl: Option<CtrlConfig>,
     /// Bounded-retry policy for storage-facing fill reads, with the chaos
     /// counters retries are accounted into. `None` (the default) surfaces
     /// every storage error immediately, as before; set it when running under
@@ -155,6 +173,7 @@ impl DppConfig {
             assign_policy: TrainerAssignPolicy::ShardPinned,
             trainer_queue_depth: 8,
             scaling: None,
+            ctrl: None,
             chaos_retry: None,
             pipeline_factory: PreprocessPipeline::new,
         }
@@ -224,6 +243,15 @@ impl DppConfig {
     #[must_use]
     pub fn with_scaling(mut self, scaling: ScalerConfig) -> Self {
         self.scaling = Some(scaling);
+        self
+    }
+
+    /// Enables the cross-tier PID control loop. The initial worker counts
+    /// are clamped into the policy's bounds at start; when both `ctrl` and
+    /// `scaling` are set, `ctrl` wins (one controller owns the pools).
+    #[must_use]
+    pub fn with_ctrl(mut self, ctrl: CtrlConfig) -> Self {
+        self.ctrl = Some(ctrl);
         self
     }
 
@@ -316,6 +344,8 @@ impl std::error::Error for DppError {}
 
 /// Shared context of every fill worker, initial or dynamically spawned.
 struct FillCtx {
+    /// This worker's id — its home shelf in the per-worker pools.
+    worker: usize,
     input_rx: Receiver<FillTask>,
     filled_tx: Sender<FilledFile>,
     store: Arc<TableStore>,
@@ -324,6 +354,7 @@ struct FillCtx {
     phase_metrics: Arc<Mutex<ReaderMetrics>>,
     errors: Arc<Mutex<Vec<String>>>,
     batch_pool: Arc<BatchPool<ColumnarBatch>>,
+    blob_pool: Arc<BatchPool<BlobScratch>>,
     governor: Arc<PoolGovernor>,
     chaos_retry: Option<(RetryPolicy, Arc<ChaosCounters>)>,
 }
@@ -331,15 +362,26 @@ struct FillCtx {
 fn fill_worker_loop(ctx: &FillCtx) {
     let mut local = ReaderMetrics::default();
     // Long-lived decode scratch: decompression buffer, lengths stream,
-    // stripe staging batch.
+    // stripe staging batch. The blob buffer inside is pool-owned: installed
+    // here from the blob pool (a `usize::MAX` hint asks for the largest
+    // shelved buffer) and returned on exit, so the allocation survives this
+    // worker's retirement and warms its replacement across scaling churn.
     let mut scratch = FileReadScratch::default();
+    scratch.install_blob(
+        ctx.blob_pool
+            .acquire_for(ctx.worker, usize::MAX, BlobScratch::default)
+            .0,
+    );
+    // Size hint for the next decode target: files in one table are near-
+    // uniform, so the previous file's row count is the best predictor.
+    let mut row_hint = 0usize;
     let mut retired = false;
     loop {
         match ctx.input_rx.recv_timeout(WORKER_POLL) {
             RecvTimeout::Item(FillTask::File { seq, path, shard }) => {
                 // Decode into a pool-recycled batch; misses only occur while
                 // the pipeline's population warms up.
-                let mut rows = ctx.batch_pool.acquire(|| {
+                let mut rows = ctx.batch_pool.acquire_for(ctx.worker, row_hint, || {
                     ColumnarBatch::new(ctx.schema.dense_count(), ctx.schema.sparse_count())
                 });
                 // A failed attempt may leave the batch partially decoded, so
@@ -379,6 +421,7 @@ fn fill_worker_loop(ctx: &FillCtx) {
                         rows.reset(ctx.schema.dense_count(), ctx.schema.sparse_count());
                     }
                 }
+                row_hint = rows.len();
                 // A failed send means the run is being torn down; exit
                 // quietly.
                 if ctx
@@ -417,11 +460,16 @@ fn fill_worker_loop(ctx: &FillCtx) {
     if !retired {
         ctx.governor.note_exit();
     }
+    // Hand the blob allocation back for the next worker generation.
+    ctx.blob_pool
+        .recycle_for(ctx.worker, BlobScratch(scratch.take_blob()));
     *ctx.phase_metrics.lock().expect("phase metrics lock") += local;
 }
 
 /// Shared context of every compute worker.
 struct ComputeCtx {
+    /// This worker's id — its home shelf in the per-worker pools.
+    worker: usize,
     work_rx: Receiver<WorkItem>,
     out_tx: Sender<SinkInput>,
     reader: ReaderConfig,
@@ -444,9 +492,12 @@ fn compute_worker_loop(ctx: &ComputeCtx) {
         match ctx.work_rx.recv_timeout(WORKER_POLL) {
             RecvTimeout::Item(item) => {
                 // Convert into a shell from the converted pool (hits require
-                // a consumer recycling shells), then hand the drained
-                // columnar chunk straight back to the fill workers.
-                let mut batch = ctx.converted_pool.acquire(ConvertedBatch::default);
+                // a consumer recycling shells) sized for this chunk, then
+                // hand the drained columnar chunk straight back to the fill
+                // workers.
+                let mut batch =
+                    ctx.converted_pool
+                        .acquire_for(0, item.rows.len(), ConvertedBatch::default);
                 // Per-batch phase latency = the engine's own phase-CPU delta
                 // around this one batch, so the histograms see exactly what
                 // the aggregate PhaseMetrics see, bucketed.
@@ -457,7 +508,7 @@ fn compute_worker_loop(ctx: &ComputeCtx) {
                     .observe((local.convert.cpu_nanos - convert_before) as f64 / 1e9);
                 ctx.process_hist
                     .observe((local.process.cpu_nanos - process_before) as f64 / 1e9);
-                ctx.batch_pool.recycle(item.rows);
+                ctx.batch_pool.recycle_for(ctx.worker, item.rows);
                 match outcome {
                     Ok(()) => {
                         ctx.counters.batches_out.fetch_add(1, Ordering::Relaxed);
@@ -712,21 +763,30 @@ impl DppService {
         let barriers = Arc::new(BarrierState::default());
         let scale_events: Arc<Mutex<Vec<ScaleEvent>>> = Arc::new(Mutex::new(Vec::new()));
 
-        // Worker counts start clamped into the scaling bounds (when bounds
-        // exist); the pools size for the maximum population they may grow to.
-        let (initial_fill, initial_compute, max_fill, max_compute) = match &config.scaling {
-            Some(s) => (
+        // Worker counts start clamped into the controller bounds (when any
+        // exist — the PID controller supersedes the watermark scaler); the
+        // pools size for the maximum population they may grow to.
+        let (initial_fill, initial_compute, max_fill, max_compute) = if let Some(c) = &config.ctrl {
+            (
+                config.fill_workers.clamp(c.min_fill, c.max_fill),
+                config.compute_workers.clamp(c.min_compute, c.max_compute),
+                c.max_fill,
+                c.max_compute,
+            )
+        } else if let Some(s) = &config.scaling {
+            (
                 config.fill_workers.clamp(s.min_fill, s.max_fill),
                 config.compute_workers.clamp(s.min_compute, s.max_compute),
                 s.max_fill,
                 s.max_compute,
-            ),
-            None => (
+            )
+        } else {
+            (
                 config.fill_workers,
                 config.compute_workers,
                 config.fill_workers,
                 config.compute_workers,
-            ),
+            )
         };
 
         // The swap-buffer arena: every ColumnarBatch in flight — decoded
@@ -734,14 +794,25 @@ impl DppService {
         // and recycled into this one pool, so steady-state batches allocate
         // nothing. Capacity covers the maximum in-flight population (both
         // queues plus every stage's working set) with headroom; dynamic
-        // scale-downs shrink it again.
-        let batch_pool: Arc<BatchPool<ColumnarBatch>> = Arc::new(BatchPool::new(
+        // scale-downs shrink it again. One shelf per fill worker keeps the
+        // hot acquire path uncontended and size-class-matched.
+        let batch_pool: Arc<BatchPool<ColumnarBatch>> = Arc::new(BatchPool::with_shelves(
             config.queue_depth * 2 + config.shards + max_fill + max_compute,
+            max_fill.clamp(1, MAX_POOL_SHELVES),
         ));
         // Converted-batch shells flow compute → sink → consumer; the
         // consumer recycles them back through DppHandle::converted_pool.
+        // External consumers recycle from arbitrary threads, so this pool
+        // stays single-shelf (size classing still applies).
         let converted_pool: Arc<BatchPool<ConvertedBatch>> =
             Arc::new(BatchPool::new(config.queue_depth * 2 + max_compute));
+        // `get_into` blob buffers: pool-owned so decode allocations survive
+        // worker retirement/respawn. One per live fill worker plus one spare
+        // covers the whole population.
+        let blob_pool: Arc<BatchPool<BlobScratch>> = Arc::new(BatchPool::with_shelves(
+            max_fill + 1,
+            max_fill.clamp(1, MAX_POOL_SHELVES),
+        ));
 
         let (input_tx, input_rx) = bounded::<FillTask>(config.queue_depth);
         let (filled_tx, filled_rx) = bounded::<FilledFile>(config.queue_depth);
@@ -788,11 +859,13 @@ impl DppService {
             let phase_metrics = Arc::clone(&phase_metrics);
             let errors = Arc::clone(&errors);
             let batch_pool = Arc::clone(&batch_pool);
+            let blob_pool = Arc::clone(&blob_pool);
             let governor = Arc::clone(&fill_gov);
             let chaos_retry = config.chaos_retry.clone();
             Box::new(move || {
                 let worker = governor.next_worker_id();
                 let ctx = FillCtx {
+                    worker,
                     input_rx: input_rx.clone(),
                     filled_tx: filled_tx.clone(),
                     store: Arc::clone(&store),
@@ -801,6 +874,7 @@ impl DppService {
                     phase_metrics: Arc::clone(&phase_metrics),
                     errors: Arc::clone(&errors),
                     batch_pool: Arc::clone(&batch_pool),
+                    blob_pool: Arc::clone(&blob_pool),
                     governor: Arc::clone(&governor),
                     chaos_retry: chaos_retry.clone(),
                 };
@@ -826,6 +900,7 @@ impl DppService {
             Box::new(move || {
                 let worker = governor.next_worker_id();
                 let ctx = ComputeCtx {
+                    worker,
                     work_rx: work_rx.clone(),
                     out_tx: out_tx.clone(),
                     reader: reader.clone(),
@@ -893,55 +968,125 @@ impl DppService {
                 .expect("spawn sink")
         };
 
-        // The scaling controller takes ownership of the spawners; without
-        // scaling they are dropped here, releasing their channel clones.
-        let controller = match config.scaling.clone() {
-            Some(scaling) => {
-                let clock: Arc<dyn ScaleClock> = scaling
-                    .clock
-                    .clone()
-                    .unwrap_or_else(|| Arc::new(WallClock::new(scaling.tick_period)));
-                let resize_batch = Arc::clone(&batch_pool);
-                let resize_converted = Arc::clone(&converted_pool);
-                let queue_depth = config.queue_depth;
-                let shards = config.shards;
-                let params = ControllerParams {
-                    config: scaling.clone(),
-                    clock: Arc::clone(&clock),
-                    fill: PoolControls {
-                        name: "fill",
-                        governor: Arc::clone(&fill_gov),
-                        min: scaling.min_fill,
-                        max: scaling.max_fill,
-                        queue_probe: {
-                            let gauge = input_gauge.clone();
-                            Box::new(move || gauge.len())
-                        },
-                        queue_capacity: config.queue_depth,
-                        spawn: spawn_fill,
-                    },
-                    compute: PoolControls {
-                        name: "compute",
-                        governor: Arc::clone(&compute_gov),
-                        min: scaling.min_compute,
-                        max: scaling.max_compute,
-                        queue_probe: {
-                            let gauge = work_gauge.clone();
-                            Box::new(move || gauge.len())
-                        },
-                        queue_capacity: config.queue_depth,
-                        spawn: spawn_compute,
-                    },
-                    events: Arc::clone(&scale_events),
-                    on_resize: Box::new(move |fill_target, compute_target| {
-                        resize_batch
-                            .set_capacity(queue_depth * 2 + shards + fill_target + compute_target);
-                        resize_converted.set_capacity(queue_depth * 2 + compute_target);
-                    }),
+        // Exactly one controller takes ownership of the spawners: the PID
+        // control loop when configured, else the watermark scaler; without
+        // either they are dropped here, releasing their channel clones.
+        let ctrl_shared = config
+            .ctrl
+            .as_ref()
+            .map(|_| Arc::new(CtrlShared::default()));
+        let controller = if let Some(ctrl) = config.ctrl.clone() {
+            let clock: Arc<dyn ScaleClock> = ctrl
+                .clock
+                .clone()
+                .unwrap_or_else(|| Arc::new(WallClock::new(ctrl.tick_period)));
+            let resize_batch = Arc::clone(&batch_pool);
+            let resize_converted = Arc::clone(&converted_pool);
+            let queue_depth = config.queue_depth;
+            let shards = config.shards;
+            // The lane signal is the *worst* lane's fill fraction: one
+            // stalled trainer is a bottleneck even while its siblings drain.
+            let lane_probe: Box<dyn Fn() -> (usize, usize) + Send> = {
+                let gauges: Vec<Gauge<TrainerBatch>> = lane_gauges.clone();
+                let capacity = if gauges.is_empty() {
+                    0
+                } else {
+                    config.trainer_queue_depth
                 };
-                Some((clock, spawn_controller(params)))
+                Box::new(move || (gauges.iter().map(Gauge::len).max().unwrap_or(0), capacity))
+            };
+            let tail_lag_probe = ctrl
+                .tail_lag_probe
+                .clone()
+                .map(|probe| Box::new(move || probe()) as Box<dyn Fn() -> u64 + Send>);
+            let params = PidParams {
+                config: ctrl.clone(),
+                clock: Arc::clone(&clock),
+                shared: Arc::clone(ctrl_shared.as_ref().expect("ctrl shared exists")),
+                fill: PoolControls {
+                    name: "fill",
+                    governor: Arc::clone(&fill_gov),
+                    min: ctrl.min_fill,
+                    max: ctrl.max_fill,
+                    queue_probe: {
+                        let gauge = input_gauge.clone();
+                        Box::new(move || gauge.len())
+                    },
+                    queue_capacity: config.queue_depth,
+                    spawn: spawn_fill,
+                },
+                compute: PoolControls {
+                    name: "compute",
+                    governor: Arc::clone(&compute_gov),
+                    min: ctrl.min_compute,
+                    max: ctrl.max_compute,
+                    queue_probe: {
+                        let gauge = work_gauge.clone();
+                        Box::new(move || gauge.len())
+                    },
+                    queue_capacity: config.queue_depth,
+                    spawn: spawn_compute,
+                },
+                lane_probe,
+                tail_lag_probe,
+                events: Arc::clone(&scale_events),
+                on_resize: Box::new(move |fill_target, compute_target| {
+                    resize_batch
+                        .set_capacity(queue_depth * 2 + shards + fill_target + compute_target);
+                    resize_converted.set_capacity(queue_depth * 2 + compute_target);
+                }),
+            };
+            Some((clock, spawn_pid_controller(params)))
+        } else {
+            match config.scaling.clone() {
+                Some(scaling) => {
+                    let clock: Arc<dyn ScaleClock> = scaling
+                        .clock
+                        .clone()
+                        .unwrap_or_else(|| Arc::new(WallClock::new(scaling.tick_period)));
+                    let resize_batch = Arc::clone(&batch_pool);
+                    let resize_converted = Arc::clone(&converted_pool);
+                    let queue_depth = config.queue_depth;
+                    let shards = config.shards;
+                    let params = ControllerParams {
+                        config: scaling.clone(),
+                        clock: Arc::clone(&clock),
+                        fill: PoolControls {
+                            name: "fill",
+                            governor: Arc::clone(&fill_gov),
+                            min: scaling.min_fill,
+                            max: scaling.max_fill,
+                            queue_probe: {
+                                let gauge = input_gauge.clone();
+                                Box::new(move || gauge.len())
+                            },
+                            queue_capacity: config.queue_depth,
+                            spawn: spawn_fill,
+                        },
+                        compute: PoolControls {
+                            name: "compute",
+                            governor: Arc::clone(&compute_gov),
+                            min: scaling.min_compute,
+                            max: scaling.max_compute,
+                            queue_probe: {
+                                let gauge = work_gauge.clone();
+                                Box::new(move || gauge.len())
+                            },
+                            queue_capacity: config.queue_depth,
+                            spawn: spawn_compute,
+                        },
+                        events: Arc::clone(&scale_events),
+                        on_resize: Box::new(move |fill_target, compute_target| {
+                            resize_batch.set_capacity(
+                                queue_depth * 2 + shards + fill_target + compute_target,
+                            );
+                            resize_converted.set_capacity(queue_depth * 2 + compute_target);
+                        }),
+                    };
+                    Some((clock, spawn_controller(params)))
+                }
+                None => None,
             }
-            None => None,
         };
         drop(input_rx);
 
@@ -956,6 +1101,7 @@ impl DppService {
             out_gauge,
             batch_pool: Arc::clone(&batch_pool),
             converted_pool: Arc::clone(&converted_pool),
+            blob_pool: Arc::clone(&blob_pool),
             fill_gov: Arc::clone(&fill_gov),
             compute_gov: Arc::clone(&compute_gov),
             scale_events: Arc::clone(&scale_events),
@@ -989,6 +1135,7 @@ impl DppService {
             router,
             sink,
             controller,
+            ctrl_shared,
         }
     }
 }
@@ -1005,6 +1152,7 @@ pub struct SnapshotSource {
     out_gauge: Gauge<SinkInput>,
     batch_pool: Arc<BatchPool<ColumnarBatch>>,
     converted_pool: Arc<BatchPool<ConvertedBatch>>,
+    blob_pool: Arc<BatchPool<BlobScratch>>,
     fill_gov: Arc<PoolGovernor>,
     compute_gov: Arc<PoolGovernor>,
     scale_events: Arc<Mutex<Vec<ScaleEvent>>>,
@@ -1081,6 +1229,7 @@ impl SnapshotSource {
                 .collect(),
             batch_pool: self.batch_pool.stats(),
             converted_pool: self.converted_pool.stats(),
+            blob_pool: self.blob_pool.stats(),
             errors: self.counters.errors.load(Ordering::Relaxed),
         }
     }
@@ -1109,6 +1258,7 @@ pub struct DppHandle {
     router: JoinHandle<()>,
     sink: JoinHandle<BTreeMap<(usize, u64), ConvertedBatch>>,
     controller: Option<(Arc<dyn ScaleClock>, JoinHandle<()>)>,
+    ctrl_shared: Option<Arc<CtrlShared>>,
 }
 
 impl DppHandle {
@@ -1139,6 +1289,21 @@ impl DppHandle {
     }
 
     fn submit_with_shard(&mut self, path: String, shard: Option<usize>) {
+        // The PID controller's third actuation surface: shape submission
+        // bursts so the input queue rides at the setpoint instead of
+        // slamming into its capacity wall. A bounded wait — fill workers
+        // drain independently, and the cap pushes through regardless — so
+        // this only ever delays a submission, never reorders or drops one:
+        // batch composition stays a pure function of submission order.
+        if let Some(ctrl) = &self.config.ctrl {
+            let threshold = ((self.config.queue_depth as f64 * ctrl.setpoint).ceil() as usize)
+                .clamp(1, self.config.queue_depth);
+            let mut waited = Duration::ZERO;
+            while self.gauges.input_gauge.len() >= threshold && waited < SUBMIT_THROTTLE_CAP {
+                std::thread::sleep(WORKER_POLL);
+                waited += WORKER_POLL;
+            }
+        }
         let task = FillTask::File {
             seq: self.next_file_seq,
             path,
@@ -1249,6 +1414,25 @@ impl DppHandle {
         self.gauges.clone()
     }
 
+    /// The ETL pump gate — the PID controller's pump-rate actuation
+    /// endpoint. `None` unless the service runs with
+    /// [`DppConfig::with_ctrl`]. The pump loop polls
+    /// [`PumpGate::pump_allowed`] before each pump and backs off (bounded)
+    /// while full trainer lanes hold the gate red.
+    pub fn pump_gate(&self) -> Option<PumpGate> {
+        self.ctrl_shared
+            .as_ref()
+            .map(|s| PumpGate::new(Arc::clone(s)))
+    }
+
+    /// The PID controller's shared state: live `recd_ctrl_*` metrics
+    /// ([`CtrlShared`] implements [`recd_obs::Collector`] — register it on a
+    /// metrics registry to export them) and the actuation counters. `None`
+    /// unless the service runs with [`DppConfig::with_ctrl`].
+    pub fn ctrl_shared(&self) -> Option<Arc<CtrlShared>> {
+        self.ctrl_shared.clone()
+    }
+
     /// The converted-batch shell pool. A consumer that is done with an
     /// emitted [`ConvertedBatch`] recycles it here; compute workers then
     /// refill the shell's tensors in place instead of allocating, closing
@@ -1290,6 +1474,7 @@ impl DppHandle {
             router,
             sink,
             controller,
+            ctrl_shared,
             barriers: _,
             next_file_seq: _,
             next_barrier_id: _,
@@ -1363,6 +1548,8 @@ impl DppHandle {
             scale_events: scale_events.lock().expect("scale events lock").clone(),
             batch_pool: gauges.batch_pool.stats(),
             converted_pool: gauges.converted_pool.stats(),
+            blob_pool: gauges.blob_pool.stats(),
+            ctrl: ctrl_shared.as_ref().map(|shared| shared.report()),
             reader_metrics,
         };
 

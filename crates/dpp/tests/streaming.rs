@@ -206,6 +206,20 @@ fn batch_pool_recycles_buffers_at_steady_state() {
         "steady-state buffer reuse must exceed 90% (got {:.1}% over {acquires} acquires)",
         pool.reuse_rate() * 100.0
     );
+    // The blob-scratch pool closes the same loop around `get_into`, one
+    // level deeper: each fill worker acquires one pool-owned blob buffer
+    // for its whole lifetime and recycles it on exit to warm its successor.
+    // Steady-state fills are therefore blob-allocation-free — total blob
+    // acquires are bounded by worker incarnations (2 here, no scaling),
+    // never one per fill across the hundreds of files this run decodes.
+    let blob = output.report.blob_pool;
+    assert!(
+        blob.hits + blob.misses <= 2,
+        "blob scratch must be acquired once per fill-worker incarnation, \
+         not per fill (got {} hits + {} misses)",
+        blob.hits,
+        blob.misses,
+    );
     assert_eq!(output.report.samples, rounds * f.rows);
 }
 

@@ -37,8 +37,9 @@ use std::fmt;
 
 /// Magic bytes prefixing every serialized checkpoint (`"RCKP"`).
 const MAGIC: u32 = u32::from_le_bytes(*b"RCKP");
-/// Current checkpoint wire-format version.
-const VERSION: u16 = 1;
+/// Current checkpoint wire-format version. v2 added the `downsampled`
+/// counter to the counter block.
+const VERSION: u16 = 2;
 
 /// Why a checkpoint blob could not be decoded.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -318,6 +319,7 @@ fn put_counters(w: &mut ByteWriter, c: &EtlCounters) {
         c.duplicates,
         c.orphaned_features,
         c.orphaned_events,
+        c.downsampled,
         c.sealed_partitions,
         c.sealed_rows,
         c.hour_seals,
@@ -336,6 +338,7 @@ fn get_counters(r: &mut ByteReader<'_>) -> Result<EtlCounters, CheckpointError> 
         duplicates: r.get_u64()?,
         orphaned_features: r.get_u64()?,
         orphaned_events: r.get_u64()?,
+        downsampled: r.get_u64()?,
         sealed_partitions: r.get_u64()?,
         sealed_rows: r.get_u64()?,
         hour_seals: r.get_u64()?,

@@ -49,9 +49,11 @@
 //! landed DWRF file bytes.
 
 use crate::checkpoint::{EtlCheckpoint, EtlStreamState};
+use crate::downsample::DownsamplePolicy;
 use crate::partition::TablePartition;
 use crate::TableLayout;
 use recd_chaos::{ChaosCounters, RetryPolicy};
+use recd_codec::hash_ids;
 use recd_data::{EventLog, FeatureLog, LogRecord, Sample, Schema, Timestamp};
 use recd_scribe::LogTail;
 use recd_storage::{StorageError, StorageReport, StoredPartition, TableStore};
@@ -62,7 +64,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// Configuration of an [`EtlStream`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct EtlStreamConfig {
     /// Row layout of sealed partitions (matches the batch
     /// [`EtlJob`](crate::EtlJob)).
@@ -80,6 +82,16 @@ pub struct EtlStreamConfig {
     /// memory under hot hours; re-opened hours seal again, producing
     /// multiple partitions for the same hour bucket).
     pub size_watermark: usize,
+    /// Optional pre-join downsampling as `(policy, keep_rate, seed)`. Uses
+    /// the exact hash predicate of the batch
+    /// [`downsample`](crate::downsample) pass, but applied *before* the
+    /// join: a dropped record never enters the pending tables or clustering
+    /// buffers, so the stream skips all join/buffer work for it. Because
+    /// both log halves of a request carry the same session and request ids,
+    /// filtering records pre-join keeps exactly the samples a post-join
+    /// batch downsample would keep — the sealed output stays byte-identical
+    /// to `EtlJob::with_downsampling` with the same parameters.
+    pub downsample: Option<(DownsamplePolicy, f64, u64)>,
 }
 
 impl EtlStreamConfig {
@@ -92,6 +104,7 @@ impl EtlStreamConfig {
             window_ms: 30_000,
             seal_grace_ms: 1_000,
             size_watermark: usize::MAX,
+            downsample: None,
         }
     }
 
@@ -114,6 +127,15 @@ impl EtlStreamConfig {
     #[must_use]
     pub fn with_size_watermark(mut self, rows: usize) -> Self {
         self.size_watermark = rows.max(1);
+        self
+    }
+
+    /// Enables pre-join streaming downsampling with the given policy,
+    /// keep-rate, and seed (same parameters as
+    /// [`EtlJob::with_downsampling`](crate::EtlJob::with_downsampling)).
+    #[must_use]
+    pub fn with_downsample(mut self, policy: DownsamplePolicy, keep_rate: f64, seed: u64) -> Self {
+        self.downsample = Some((policy, keep_rate, seed));
         self
     }
 }
@@ -143,7 +165,7 @@ pub struct SealedPartition {
 /// Monotonic counters of one [`EtlStream`]'s lifetime. Every pushed record
 /// ends up in exactly one bucket, so after [`EtlStream::finish`]:
 /// `records == 2 * joined_samples + late_drops + duplicates +
-/// orphaned_features + orphaned_events`.
+/// orphaned_features + orphaned_events + downsampled`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
 pub struct EtlCounters {
     /// Records pushed.
@@ -160,6 +182,11 @@ pub struct EtlCounters {
     pub orphaned_features: u64,
     /// Event logs evicted (or left at finish) without matching features.
     pub orphaned_events: u64,
+    /// Records dropped pre-join by [`EtlStreamConfig::downsample`] (two per
+    /// dropped sample: the feature and event halves fail the hash predicate
+    /// independently but consistently).
+    #[serde(default)]
+    pub downsampled: u64,
     /// Partitions sealed.
     pub sealed_partitions: u64,
     /// Rows across sealed partitions.
@@ -291,6 +318,15 @@ impl EtlStream {
             self.counters.late_drops += 1;
             return;
         }
+        if !self.admits(&record) {
+            // Downsampled out before any join work. The record still
+            // advances the watermark: a heavily-downsampled stream must
+            // evict and seal at the same event-time cadence as an
+            // undownsampled one.
+            self.counters.downsampled += 1;
+            self.advance_watermark(ts);
+            return;
+        }
         let request = record.request_id().raw();
         match record {
             LogRecord::Feature(feature) => {
@@ -317,6 +353,26 @@ impl EtlStream {
                 }
             }
         }
+        self.advance_watermark(ts);
+    }
+
+    /// The batch [`downsample`](crate::downsample) hash predicate, applied
+    /// to a raw record before the join. `true` means the record survives.
+    fn admits(&self, record: &LogRecord) -> bool {
+        let Some((policy, keep_rate, seed)) = self.config.downsample else {
+            return true;
+        };
+        let key = match policy {
+            DownsamplePolicy::PerSample => record.request_id().raw(),
+            DownsamplePolicy::PerSession => record.session_id().raw(),
+        };
+        let threshold = (keep_rate.clamp(0.0, 1.0) * u64::MAX as f64) as u64;
+        hash_ids(&[seed, key]) <= threshold
+    }
+
+    /// Advances `max_ts` and the watermark, running evictions and hour
+    /// seals when the watermark moves.
+    fn advance_watermark(&mut self, ts: u64) {
         if ts > self.max_ts {
             self.max_ts = ts;
             let advanced = ts.saturating_sub(self.config.window_ms);
@@ -1130,6 +1186,59 @@ mod tests {
                 + c.duplicates
                 + c.orphaned_features
                 + c.orphaned_events
+                + c.downsampled
         );
+    }
+
+    #[test]
+    fn streaming_downsample_matches_the_batch_predicate_byte_for_byte() {
+        // 40 sessions x 4 samples, in-window arrival order.
+        let mut records = Vec::new();
+        let mut request = 0u64;
+        for session in 0..40u64 {
+            for i in 0..4u64 {
+                let ts = 1_000 + request * 3 + i;
+                records.push(feature(request, session, ts));
+                records.push(event(request, session, ts + 1, (i % 2) as f32));
+                request += 1;
+            }
+        }
+        for policy in [DownsamplePolicy::PerSample, DownsamplePolicy::PerSession] {
+            let (keep_rate, seed) = (0.5, 9);
+            let mut stream = EtlStream::new(
+                EtlStreamConfig::new(TableLayout::ClusteredBySession)
+                    .with_window_ms(1_000_000)
+                    .with_downsample(policy, keep_rate, seed),
+            );
+            for record in &records {
+                stream.push(record.clone());
+            }
+            stream.finish();
+            let streamed: Vec<Sample> = stream
+                .drain_sealed()
+                .into_iter()
+                .flat_map(|s| s.partition.samples)
+                .collect();
+
+            // Batch path: full join, then the post-join downsample pass,
+            // then the same layout.
+            let joined = crate::join_logs(&records).samples;
+            let kept = crate::downsample(&joined, policy, keep_rate, seed);
+            let batch = crate::cluster_by_session(&kept);
+            assert_eq!(streamed, batch, "{policy:?} diverged from batch");
+
+            let c = stream.report().counters;
+            assert!(c.downsampled > 0, "{policy:?} dropped nothing");
+            assert_eq!(c.downsampled, records.len() as u64 - 2 * c.joined_samples);
+            assert_eq!(
+                c.records,
+                2 * c.joined_samples
+                    + c.late_drops
+                    + c.duplicates
+                    + c.orphaned_features
+                    + c.orphaned_events
+                    + c.downsampled
+            );
+        }
     }
 }

@@ -9,7 +9,7 @@
 //! whether the batch pools are still recycling.
 
 use crate::clock::ScaleClock;
-use crate::registry::{sample_value, MetricFamily, MetricKind, MetricsRegistry, SampleValue};
+use crate::registry::{MetricFamily, MetricKind, MetricsRegistry, SampleValue};
 use std::collections::{BTreeMap, VecDeque};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
@@ -40,7 +40,7 @@ struct Series {
 /// The operator-facing quantities derived from the rings. Every field is
 /// `None` until the corresponding families have been polled at least twice
 /// (rates need two points).
-#[derive(Debug, Clone, Copy, Default, PartialEq)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct DerivedMetrics {
     /// Samples emitted toward trainers per second, over the retained window
     /// (rate of `recd_dpp_samples_out_total`) — the paper's end-to-end
@@ -50,10 +50,18 @@ pub struct DerivedMetrics {
     /// `recd_etl_tail_lag_ms` over the window). Negative means the streaming
     /// ETL is catching up to the tail; positive means it is falling behind.
     pub tail_lag_trend_ms_per_s: Option<f64>,
-    /// Batch-pool hit ratio `hits / (hits + misses)` from the latest poll of
-    /// `recd_dpp_pool_acquires_total{pool="batch"}`. Near 1.0 at steady
-    /// state; a drop means the pipeline is allocating again.
+    /// Aggregate pool hit ratio `Σhits / Σ(hits + misses)` over every
+    /// `recd_dpp_pool_acquires_total` sample — all pools, all hosts — from
+    /// the latest poll. Near 1.0 at steady state; a drop means some part of
+    /// the fleet is allocating again.
     pub pool_hit_ratio: Option<f64>,
+    /// Per-pool hit ratios (summed across hosts, sorted by pool name). The
+    /// aggregate alone misweights fleets with heterogeneous pool traffic: a
+    /// cold blob pool hides behind a hot batch pool.
+    pub pool_hit_ratios: Vec<(String, f64)>,
+    /// The worst entry of [`pool_hit_ratios`](Self::pool_hit_ratios) — the
+    /// pool to look at first when the aggregate dips.
+    pub min_pool_hit_ratio: Option<f64>,
 }
 
 /// The aggregator. Poll it manually with [`MetricsAggregator::poll_at`]
@@ -229,20 +237,47 @@ impl MetricsAggregator {
     /// fresh gather (for the point-in-time ratios).
     pub fn derived(&self) -> DerivedMetrics {
         let families: Vec<MetricFamily> = self.registry.gather();
-        let hits = sample_value(
-            &families,
-            "recd_dpp_pool_acquires_total",
-            &[("outcome", "hit"), ("pool", "batch")],
-        );
-        let misses = sample_value(
-            &families,
-            "recd_dpp_pool_acquires_total",
-            &[("outcome", "miss"), ("pool", "batch")],
-        );
-        let pool_hit_ratio = match (hits, misses) {
-            (Some(h), Some(m)) if h + m > 0.0 => Some(h / (h + m)),
-            _ => None,
-        };
+        // Group acquire counters by pool, summing across every other label
+        // (federated `host` tags in particular): per-pool ratios first, the
+        // aggregate from the per-pool sums.
+        let mut per_pool: BTreeMap<String, (f64, f64)> = BTreeMap::new();
+        if let Some(family) = families
+            .iter()
+            .find(|f| f.name == "recd_dpp_pool_acquires_total")
+        {
+            for sample in &family.samples {
+                let SampleValue::Scalar(value) = &sample.value else {
+                    continue;
+                };
+                let label = |key: &str| {
+                    sample
+                        .labels
+                        .iter()
+                        .find(|(k, _)| k == key)
+                        .map(|(_, v)| v.as_str())
+                };
+                let pool = label("pool").unwrap_or("").to_string();
+                let (hits, misses) = per_pool.entry(pool).or_insert((0.0, 0.0));
+                match label("outcome") {
+                    Some("hit") => *hits += value,
+                    Some("miss") => *misses += value,
+                    _ => {}
+                }
+            }
+        }
+        let pool_hit_ratios: Vec<(String, f64)> = per_pool
+            .iter()
+            .filter(|(_, (h, m))| h + m > 0.0)
+            .map(|(pool, (h, m))| (pool.clone(), h / (h + m)))
+            .collect();
+        let (hits, misses) = per_pool
+            .values()
+            .fold((0.0, 0.0), |(h, m), (ph, pm)| (h + ph, m + pm));
+        let pool_hit_ratio = (hits + misses > 0.0).then(|| hits / (hits + misses));
+        let min_pool_hit_ratio = pool_hit_ratios
+            .iter()
+            .map(|(_, ratio)| *ratio)
+            .reduce(f64::min);
         DerivedMetrics {
             // Family-summed so a federated fleet (per-host `host="h<i>"`
             // series) derives fleet-wide throughput; identical to the plain
@@ -250,6 +285,8 @@ impl MetricsAggregator {
             records_per_second: self.family_rate("recd_dpp_samples_out_total"),
             tail_lag_trend_ms_per_s: self.family_rate("recd_etl_tail_lag_ms"),
             pool_hit_ratio,
+            pool_hit_ratios,
+            min_pool_hit_ratio,
         }
     }
 
@@ -289,8 +326,14 @@ impl MetricsAggregator {
             None => out.push_str("  tail_lag_trend_ms_per_s: n/a\n"),
         }
         match derived.pool_hit_ratio {
-            Some(p) => out.push_str(&format!("  batch_pool_hit_ratio: {p:.3}\n")),
-            None => out.push_str("  batch_pool_hit_ratio: n/a\n"),
+            Some(p) => out.push_str(&format!("  pool_hit_ratio: {p:.3}\n")),
+            None => out.push_str("  pool_hit_ratio: n/a\n"),
+        }
+        for (pool, ratio) in &derived.pool_hit_ratios {
+            out.push_str(&format!("    pool {pool}: {ratio:.3}\n"));
+        }
+        if let Some(min) = derived.min_pool_hit_ratio {
+            out.push_str(&format!("  min_pool_hit_ratio: {min:.3}\n"));
         }
         out.push_str("series (last | window rate/s | points):\n");
         for (key, s) in series.iter() {
@@ -509,6 +552,76 @@ mod tests {
         assert!((derived.records_per_second.expect("rate") - 100.0).abs() < 1e-9);
         // The unlabelled key matches nothing: only exact/prefixed keys sum.
         assert_eq!(aggregator.rate("recd_dpp_samples_out_total"), None);
+    }
+
+    /// A host with fixed per-pool acquire counters.
+    struct PoolHost {
+        batch: (f64, f64),
+        blob: (f64, f64),
+    }
+
+    impl Collector for PoolHost {
+        fn collect(&self, out: &mut MetricsBuf) {
+            for (pool, (hits, misses)) in [("batch", self.batch), ("blob", self.blob)] {
+                out.counter(
+                    "recd_dpp_pool_acquires_total",
+                    "acquires",
+                    &[("pool", pool), ("outcome", "hit")],
+                    hits,
+                );
+                out.counter(
+                    "recd_dpp_pool_acquires_total",
+                    "acquires",
+                    &[("pool", pool), ("outcome", "miss")],
+                    misses,
+                );
+            }
+        }
+    }
+
+    /// Two federated member registries with heterogeneous pool traffic: the
+    /// per-pool ratios sum each pool across hosts, the minimum exposes the
+    /// cold pool the traffic-weighted aggregate hides.
+    #[test]
+    fn per_pool_hit_ratios_survive_federation_and_expose_the_cold_pool() {
+        let federation = Arc::new(crate::RegistryFederation::new());
+        // Host 0: hot batch pool (90/10), cold blob pool (2/8).
+        let h0 = Arc::new(MetricsRegistry::new());
+        h0.register(Arc::new(PoolHost {
+            batch: (90.0, 10.0),
+            blob: (2.0, 8.0),
+        }));
+        federation.set_member("h0", h0);
+        // Host 1: perfect batch pool (110/0), cold blob pool (3/7).
+        let h1 = Arc::new(MetricsRegistry::new());
+        h1.register(Arc::new(PoolHost {
+            batch: (110.0, 0.0),
+            blob: (3.0, 7.0),
+        }));
+        federation.set_member("h1", h1);
+        let parent = Arc::new(MetricsRegistry::new());
+        parent.register(Arc::clone(&federation) as Arc<dyn Collector>);
+
+        let aggregator = MetricsAggregator::new(parent, AggregatorConfig::default());
+        let derived = aggregator.derived();
+
+        // batch: (90+110)/(90+110+10+0) = 200/210; blob: 5/20 = 0.25.
+        let ratios: std::collections::HashMap<&str, f64> = derived
+            .pool_hit_ratios
+            .iter()
+            .map(|(p, r)| (p.as_str(), *r))
+            .collect();
+        assert!((ratios["batch"] - 200.0 / 210.0).abs() < 1e-9);
+        assert!((ratios["blob"] - 0.25).abs() < 1e-9);
+        // The minimum flags the blob pool; the aggregate (205/230 ≈ 0.89)
+        // would have hidden it.
+        assert!((derived.min_pool_hit_ratio.unwrap() - 0.25).abs() < 1e-9);
+        let aggregate = derived.pool_hit_ratio.unwrap();
+        assert!((aggregate - 205.0 / 230.0).abs() < 1e-9, "{aggregate}");
+
+        let report = aggregator.report();
+        assert!(report.contains("min_pool_hit_ratio: 0.250"));
+        assert!(report.contains("pool blob: 0.250"));
     }
 
     #[test]

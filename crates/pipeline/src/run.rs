@@ -7,8 +7,8 @@ use recd_core::{ConvertedBatch, DataLoaderConfig};
 use recd_data::{LogRecord, Schema};
 use recd_datagen::DatasetGenerator;
 use recd_dpp::{
-    DppConfig, DppFleet, DppReport, DppService, FleetConfig, FleetReport, RecvTimeout, ShardPolicy,
-    TrainerAssignPolicy, TrainerBatch, TrainerHandle,
+    CtrlConfig, DppConfig, DppFleet, DppReport, DppService, FleetConfig, FleetReport, RecvTimeout,
+    ShardPolicy, TrainerAssignPolicy, TrainerBatch, TrainerHandle,
 };
 use recd_etl::{EtlJob, EtlService, EtlServiceReport, EtlStreamConfig, ManualClock, TableLayout};
 use recd_obs::{AggregatorConfig, MetricsAggregator, MetricsRegistry, RegistryFederation};
@@ -99,6 +99,16 @@ pub struct ContinuousDerived {
     pub tail_lag_trend_ms_per_s: Option<f64>,
     /// Batch-pool hit ratio at the end of the run.
     pub pool_hit_ratio: Option<f64>,
+    /// Worst per-pool hit ratio at the end of the run (the pool to look at
+    /// first when the aggregate dips).
+    #[serde(default)]
+    pub min_pool_hit_ratio: Option<f64>,
+    /// Sustained end-to-end throughput: samples that reached the trainer
+    /// side divided by the run's wall-clock seconds. Unlike
+    /// [`records_per_second`](Self::records_per_second) (an aggregation-
+    /// window rate), this is the whole-run number the bench gate tracks.
+    #[serde(default)]
+    pub pipeline_records_per_second: Option<f64>,
     /// Distinct time series retained by the aggregator.
     pub series_tracked: usize,
 }
@@ -175,6 +185,9 @@ pub struct PipelineRunner {
     hosts: usize,
     chaos: Option<FaultPlan>,
     storage: StorageSimConfig,
+    ctrl: Option<CtrlConfig>,
+    continuous_queue_depth: Option<usize>,
+    continuous_file_shape: Option<(usize, usize)>,
 }
 
 impl PipelineRunner {
@@ -191,6 +204,9 @@ impl PipelineRunner {
             hosts: 0,
             chaos: None,
             storage: StorageSimConfig::default(),
+            ctrl: None,
+            continuous_queue_depth: None,
+            continuous_file_shape: None,
         }
     }
 
@@ -293,6 +309,47 @@ impl PipelineRunner {
             self.continuous_workers = Some(2);
         }
         self.chaos = Some(plan);
+        self
+    }
+
+    /// In continuous mode, runs the DPP tier under the unified PID
+    /// backpressure controller: the controller samples trainer-lane depths,
+    /// the DPP queues, and the ETL tail lag, resizes the fill/compute pools
+    /// toward its queue setpoint, and holds the ETL pump while trainer
+    /// lanes are the bottleneck. The controller only changes *when* work
+    /// happens, never what is produced — trainer-batch unions stay
+    /// byte-identical to an uncontrolled run. The controller's accounting
+    /// lands in [`DppReport::ctrl`](recd_dpp::DppReport).
+    #[must_use]
+    pub fn with_ctrl(mut self, ctrl: CtrlConfig) -> Self {
+        self.ctrl = Some(ctrl);
+        self
+    }
+
+    /// Overrides the continuous DPP tier's bounded queue depth (stage queues
+    /// and trainer lanes alike). Queue depth only changes when submissions
+    /// block, never what is produced — the control-loop tests shrink it so
+    /// backpressure dynamics are observable on small workloads.
+    #[must_use]
+    pub fn with_continuous_queue_depth(mut self, depth: usize) -> Self {
+        self.continuous_queue_depth = Some(depth.max(1));
+        self
+    }
+
+    /// Overrides the continuous table store's file shape
+    /// (`rows_per_stripe`, `stripes_per_file`; default `(64, 4)`). Smaller
+    /// files mean each sealed partition lands as a longer submission burst —
+    /// how the control-loop tests make input-queue dynamics observable on
+    /// small workloads. Both runs of an equivalence pair must share the
+    /// shape: file boundaries feed shard routing, so the shape participates
+    /// in batch composition.
+    #[must_use]
+    pub fn with_continuous_file_shape(
+        mut self,
+        rows_per_stripe: usize,
+        stripes_per_file: usize,
+    ) -> Self {
+        self.continuous_file_shape = Some((rows_per_stripe.max(1), stripes_per_file.max(1)));
         self
     }
 
@@ -501,7 +558,12 @@ impl PipelineRunner {
             .with_jitter_ms(2_000)
             .with_seed(spec.sized_workload().seed);
         let stream_config = EtlStreamConfig::new(layout).with_window_ms(10_000);
-        let store = Arc::new(TableStore::new(self.storage.build(), 64, 4));
+        let (rows_per_stripe, stripes_per_file) = self.continuous_file_shape.unwrap_or((64, 4));
+        let store = Arc::new(TableStore::new(
+            self.storage.build(),
+            rows_per_stripe,
+            stripes_per_file,
+        ));
 
         // Chaos plumbing: the injector owns the storage knobs; the shared
         // counters feed both retry paths and the recd_chaos_* export.
@@ -525,6 +587,11 @@ impl PipelineRunner {
             .with_shards(workers)
             .with_compute_workers(workers)
             .with_fill_workers(2);
+        if let Some(depth) = self.continuous_queue_depth {
+            dpp_config = dpp_config
+                .with_queue_depth(depth)
+                .with_trainer_queue_depth(depth);
+        }
         if self.continuous_trainers > 0 {
             dpp_config = dpp_config
                 .with_trainers(self.continuous_trainers)
@@ -534,7 +601,20 @@ impl PipelineRunner {
             etl = etl.with_chaos_retry(*policy, Arc::clone(counters));
             dpp_config = dpp_config.with_chaos_retry(*policy, Arc::clone(counters));
         }
+        if let Some(ctrl) = &self.ctrl {
+            // The controller's escape hatch reads the live ETL tail lag, so
+            // lane backpressure never holds the pump while the stream falls
+            // behind its log tail.
+            let gauges = etl.gauges();
+            dpp_config =
+                dpp_config.with_ctrl(ctrl.clone().with_tail_lag_probe(Arc::new(move || {
+                    gauges
+                        .tail_lag_ms
+                        .load(std::sync::atomic::Ordering::Relaxed)
+                })));
+        }
         let mut handle = DppService::start(dpp_config, Arc::clone(&store), schema.clone());
+        let pump_gate = handle.pump_gate();
 
         // Simulated trainer lanes: each is drained by a consumer thread that
         // interleaves consumption with the chaos harness's stall/kill
@@ -624,6 +704,17 @@ impl PipelineRunner {
                     }
                 }
             }
+            if let Some(gate) = &pump_gate {
+                // Unified backpressure: hold the ETL pump while the PID
+                // controller says trainer lanes are the bottleneck. Bounded
+                // so a chaos-stalled lane degrades to a delay, never a
+                // deadlock; the wait changes when work happens, not what is
+                // produced.
+                let waited = std::time::Instant::now();
+                while !gate.pump_allowed() && waited.elapsed() < Duration::from_secs(2) {
+                    std::thread::sleep(Duration::from_millis(2));
+                }
+            }
             etl.pump(
                 now,
                 &mut |stored: &recd_storage::StoredPartition,
@@ -664,19 +755,22 @@ impl PipelineRunner {
         for lane in lanes.into_iter().flatten() {
             batches.extend(lane.join.join().expect("lane consumer"));
         }
-        aggregator.poll_at(started.elapsed().as_secs_f64());
+        let wall_seconds = started.elapsed().as_secs_f64();
+        aggregator.poll_at(wall_seconds);
         let derived = aggregator.derived();
         let chaos = injector.as_mut().map(|inj| inj.finish());
         let report = ContinuousReport {
             etl: output.report,
-            dpp,
             fleet: None,
             derived: ContinuousDerived {
                 records_per_second: derived.records_per_second,
                 tail_lag_trend_ms_per_s: derived.tail_lag_trend_ms_per_s,
                 pool_hit_ratio: derived.pool_hit_ratio,
+                min_pool_hit_ratio: derived.min_pool_hit_ratio,
+                pipeline_records_per_second: Some(dpp.samples as f64 / wall_seconds.max(1e-9)),
                 series_tracked: aggregator.series_count(),
             },
+            dpp,
         };
         (report, chaos, batches)
     }
@@ -716,7 +810,12 @@ impl PipelineRunner {
             .with_jitter_ms(2_000)
             .with_seed(spec.sized_workload().seed);
         let stream_config = EtlStreamConfig::new(layout).with_window_ms(10_000);
-        let store = Arc::new(TableStore::new(self.storage.build(), 64, 4));
+        let (rows_per_stripe, stripes_per_file) = self.continuous_file_shape.unwrap_or((64, 4));
+        let store = Arc::new(TableStore::new(
+            self.storage.build(),
+            rows_per_stripe,
+            stripes_per_file,
+        ));
 
         let mut injector = self
             .chaos
@@ -745,9 +844,25 @@ impl PipelineRunner {
             .with_shards(workers * 3)
             .with_compute_workers(workers)
             .with_fill_workers(2);
+        if let Some(depth) = self.continuous_queue_depth {
+            host_config = host_config
+                .with_queue_depth(depth)
+                .with_trainer_queue_depth(depth);
+        }
         if let Some((policy, counters)) = &chaos_retry {
             etl = etl.with_chaos_retry(*policy, Arc::clone(counters));
             host_config = host_config.with_chaos_retry(*policy, Arc::clone(counters));
+        }
+        if let Some(ctrl) = &self.ctrl {
+            // Every host incarnation runs its own controller over its local
+            // queues; they share the ETL tail-lag probe.
+            let gauges = etl.gauges();
+            host_config =
+                host_config.with_ctrl(ctrl.clone().with_tail_lag_probe(Arc::new(move || {
+                    gauges
+                        .tail_lag_ms
+                        .load(std::sync::atomic::Ordering::Relaxed)
+                })));
         }
         // The fleet always fans out to real lanes; without requested
         // trainers a single lane is drained and discarded.
@@ -872,19 +987,24 @@ impl PipelineRunner {
             // The implicit single lane only existed to drain the fleet.
             batches.clear();
         }
-        aggregator.poll_at(started.elapsed().as_secs_f64());
+        let wall_seconds = started.elapsed().as_secs_f64();
+        aggregator.poll_at(wall_seconds);
         let derived = aggregator.derived();
         let chaos = injector.as_mut().map(|inj| inj.finish());
         let report = ContinuousReport {
             etl: output.report,
-            dpp: fleet_output.dpp,
             fleet: Some(fleet_output.report),
             derived: ContinuousDerived {
                 records_per_second: derived.records_per_second,
                 tail_lag_trend_ms_per_s: derived.tail_lag_trend_ms_per_s,
                 pool_hit_ratio: derived.pool_hit_ratio,
+                min_pool_hit_ratio: derived.min_pool_hit_ratio,
+                pipeline_records_per_second: Some(
+                    fleet_output.dpp.samples as f64 / wall_seconds.max(1e-9),
+                ),
                 series_tracked: aggregator.series_count(),
             },
+            dpp: fleet_output.dpp,
         };
         (report, chaos, batches)
     }

@@ -55,6 +55,20 @@ impl FileReadScratch {
     pub fn blob(&self) -> &[u8] {
         &self.blob
     }
+
+    /// Detaches the blob buffer, leaving an empty one behind. Lets a pool
+    /// own the allocation across worker lifetimes: a retiring fill worker
+    /// takes the buffer out of its scratch and recycles it, and a respawned
+    /// worker installs a pooled one instead of growing a cold `Vec` again.
+    pub fn take_blob(&mut self) -> Vec<u8> {
+        std::mem::take(&mut self.blob)
+    }
+
+    /// Installs a (typically pooled) blob buffer, returning the previous
+    /// one.
+    pub fn install_blob(&mut self, blob: Vec<u8>) -> Vec<u8> {
+        std::mem::replace(&mut self.blob, blob)
+    }
 }
 
 /// An in-memory DWRF-like file: stripes plus footer.

@@ -271,15 +271,17 @@ impl Dlrm {
         let dim = self.config.embedding_dim;
         let batch_size = batch.batch_size;
 
-        // Bottom MLP over dense features.
+        // Bottom MLP over dense features, straight off the columnar dense
+        // matrix — no per-row copy.
+        let zero = [0.0f32];
         let mut bottom_acts = Vec::with_capacity(batch_size);
         for row in 0..batch_size {
-            let dense = if batch.dense.cols() == 0 {
-                vec![0.0; 1]
+            let dense: &[f32] = if batch.dense.cols() == 0 {
+                &zero
             } else {
-                batch.dense.row(row).to_vec()
+                batch.dense.row(row)
             };
-            bottom_acts.push(self.bottom.forward_cached(&dense));
+            bottom_acts.push(self.bottom.forward_cached(dense));
         }
         stats.mlp_flops += self.bottom.flops() * batch_size as u64;
 
@@ -295,14 +297,16 @@ impl Dlrm {
             pooled_per_feature.push(self.pool_feature(feature, batch, mode, &mut stats));
         }
 
-        // Interaction + top MLP per row.
+        // Interaction + top MLP per row. The interaction borrows the bottom
+        // activation and the flat pooled matrices in place; the backward
+        // pass re-borrows the same rows from the cache instead of cloning
+        // them per row.
         let mut probs = Vec::with_capacity(batch_size);
         let mut top_acts = Vec::with_capacity(batch_size);
-        let mut interaction_inputs = Vec::with_capacity(batch_size);
         for (row, bottom_act) in bottom_acts.iter().enumerate() {
-            let bottom_out = bottom_act.last().expect("bottom output").clone();
+            let bottom_out: &[f32] = bottom_act.last().expect("bottom output");
             let mut vectors: Vec<&[f32]> = Vec::with_capacity(features.len() + 1);
-            vectors.push(&bottom_out);
+            vectors.push(bottom_out);
             for pooled in &pooled_per_feature {
                 vectors.push(pooled.row(row));
             }
@@ -312,13 +316,6 @@ impl Dlrm {
             let logit = acts.last().expect("top output")[0];
             probs.push(sigmoid(logit));
             top_acts.push(acts);
-            interaction_inputs.push(InteractionInput {
-                bottom_out,
-                pooled: pooled_per_feature
-                    .iter()
-                    .map(|p| p.row(row).to_vec())
-                    .collect(),
-            });
         }
         stats.mlp_flops += self.top.flops() * batch_size as u64;
 
@@ -327,7 +324,7 @@ impl Dlrm {
             ForwardCache {
                 bottom_acts,
                 top_acts,
-                interaction_inputs,
+                pooled: pooled_per_feature,
                 features,
             },
             stats,
@@ -357,12 +354,13 @@ impl Dlrm {
             // Top MLP backward.
             let grad_interaction = self.top.backward(&cache.top_acts[row], &[grad_logit], lr);
 
-            // Interaction backward.
-            let input = &cache.interaction_inputs[row];
-            let mut vectors: Vec<&[f32]> = Vec::with_capacity(input.pooled.len() + 1);
-            vectors.push(&input.bottom_out);
-            for pooled in &input.pooled {
-                vectors.push(pooled);
+            // Interaction backward, over the same borrowed rows the forward
+            // pass used.
+            let bottom_out: &[f32] = cache.bottom_acts[row].last().expect("bottom output");
+            let mut vectors: Vec<&[f32]> = Vec::with_capacity(cache.pooled.len() + 1);
+            vectors.push(bottom_out);
+            for pooled in &cache.pooled {
+                vectors.push(pooled.row(row));
             }
             let grads = pairwise_dot_interaction_backward(&vectors, dim, &grad_interaction);
 
@@ -396,17 +394,14 @@ impl Dlrm {
     }
 }
 
-/// Per-row cache needed by the backward pass.
+/// Per-row cache needed by the backward pass. Pooled activations stay in
+/// their flat per-feature [`PooledRows`] matrices; the backward pass borrows
+/// rows out of them rather than materializing per-row vectors.
 struct ForwardCache {
     bottom_acts: Vec<Vec<Vec<f32>>>,
     top_acts: Vec<Vec<Vec<f32>>>,
-    interaction_inputs: Vec<InteractionInput>,
+    pooled: Vec<PooledRows>,
     features: Vec<FeatureId>,
-}
-
-struct InteractionInput {
-    bottom_out: Vec<f32>,
-    pooled: Vec<Vec<f32>>,
 }
 
 /// Looks up the logical ids of `feature` at `row`, whichever container holds

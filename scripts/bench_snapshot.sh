@@ -84,6 +84,21 @@ if [ -z "$continuous_rps" ]; then
   exit 1
 fi
 
+# Sustained end-to-end throughput with the control loop closed: the same
+# continuous run, but with the PID backpressure controller engaged (--ctrl),
+# lifted from the controller run's derived line. This is the figure the
+# control loop must sustain — pacing is allowed to reshape *when* work
+# happens, never to cost throughput. Guarded by the gate as higher-is-better.
+echo "running controller-on pipeline throughput probe..." >&2
+pipeline_rps=$(cargo run --release -q -p recd-dpp --bin recd-dpp -- \
+  --tail --trainers 2 --assign least --ctrl --quiet 2>>"$bench_log" \
+  | awk '/^derived pipeline_records_per_second / { print $3 }')
+if [ -z "$pipeline_rps" ]; then
+  echo "bench_snapshot: controller probe printed no 'derived pipeline_records_per_second' line" >&2
+  tail -20 "$bench_log" >&2
+  exit 1
+fi
+
 # Control-plane cost of the multi-host fleet: wall-clock ms spent inside the
 # work-stealing shard rebalance across a seeded host-death + rejoin run,
 # lifted from the CLI's machine-parseable derived line. Guarded by the gate
@@ -152,6 +167,7 @@ fi
   echo "    \"etl_stream_tail_to_trainer_ms\": $(awk -v ns="$tail_to_trainer" 'BEGIN { printf "%.2f", ns / 1e6 }'),"
   echo "    \"etl_stream_seal_to_ingest_ms\": $(awk -v ns="$seal_to_ingest" 'BEGIN { printf "%.2f", ns / 1e6 }'),"
   echo "    \"continuous_records_per_second\": $continuous_rps,"
+  echo "    \"pipeline_records_per_second\": $pipeline_rps,"
   echo "    \"fleet_rebalance_ms\": $fleet_rebalance_ms,"
   echo "    \"storage_load_balance_wait_ms\": $storage_wait_ms,"
   echo "    \"storage_cache_hit_ratio\": $cache_hit_ratio"
